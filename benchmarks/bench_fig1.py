@@ -1,0 +1,19 @@
+"""Fig. 1 — dynamic value distribution of GPR-writing instructions."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_fig1
+
+
+def test_fig1_value_distribution(benchmark, runner, capsys):
+    result = run_once(benchmark, run_fig1, runner)
+    with capsys.disabled():
+        print()
+        result.print()
+    benchmark.extra_info["zero_share_pct"] = round(result.raw["zero_share"], 2)
+    benchmark.extra_info["narrow9_pct"] = round(result.raw["narrow9"], 1)
+    # Paper shape: 0x0 is the single most produced value; narrow values
+    # dominate the distribution.
+    top_value, _share = result.raw["series"][0]
+    assert top_value == 0
+    assert result.raw["narrow9"] > 30.0

@@ -1,0 +1,18 @@
+"""Fig. 2 — µops per architectural instruction and baseline IPC."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_fig2
+
+
+def test_fig2_expansion_and_ipc(benchmark, runner, capsys):
+    result = run_once(benchmark, run_fig2, runner)
+    with capsys.disabled():
+        print()
+        result.print()
+    benchmark.extra_info["expansion_mean"] = round(
+        result.raw["expansion_mean"], 3)
+    benchmark.extra_info["ipc_hmean"] = round(result.raw["ipc_hmean"], 3)
+    # Paper shape: modest µop expansion (pre/post-index cracking only).
+    assert 1.0 <= result.raw["expansion_mean"] <= 1.3
+    assert result.raw["ipc_hmean"] > 0.0

@@ -1,0 +1,24 @@
+"""Fig. 3 — speedup of MVP/TVP/GVP over the DSR baseline."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_fig3
+
+
+def test_fig3_vp_speedups(benchmark, runner, capsys):
+    result = run_once(benchmark, run_fig3, runner)
+    with capsys.disabled():
+        print()
+        result.print()
+    gmeans = result.raw["geomeans"]
+    for flavor, value in gmeans.items():
+        benchmark.extra_info[f"gmean_{flavor}_pct"] = round(value, 2)
+    # Paper shape: GVP > TVP >= MVP > 0, with a large GVP-only outlier on
+    # the xalancbmk-style workload.
+    assert gmeans["gvp"] > gmeans["tvp"] - 0.05
+    assert gmeans["gvp"] > gmeans["mvp"]
+    assert gmeans["gvp"] > 0.5
+    outlier = result.raw["per_workload"]["gvp"]["xml_tree"]
+    benchmark.extra_info["xml_tree_gvp_pct"] = round(outlier, 2)
+    assert outlier > 5.0, "the xalancbmk-style outlier should be GVP-dominant"
+    assert result.raw["per_workload"]["tvp"]["xml_tree"] < outlier / 4

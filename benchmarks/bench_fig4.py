@@ -1,0 +1,22 @@
+"""Fig. 4 — fraction of instructions eliminated at rename, by category."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_fig4
+
+
+def test_fig4_rename_eliminations(benchmark, runner, capsys):
+    result = run_once(benchmark, run_fig4, runner)
+    with capsys.disabled():
+        print()
+        result.print()
+    means = result.raw
+    for config_name, cats in means.items():
+        for cat, value in cats.items():
+            benchmark.extra_info[f"{config_name}.{cat}"] = round(value, 2)
+    # Paper shape: SpSR adds a real new elimination category on top of the
+    # baseline DSR ones, and only TVP has 9-bit-idiom eliminations.
+    assert means["mvp+spsr"]["spsr"] > 0.0
+    assert means["tvp+spsr"]["spsr"] > 0.0
+    assert means["mvp+spsr"]["nine_bit_idiom"] == 0.0
+    assert means["tvp+spsr"]["nine_bit_idiom"] >= 0.0

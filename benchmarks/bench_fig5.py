@@ -1,0 +1,19 @@
+"""Fig. 5 — MVP/TVP speedups with and without SpSR."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_fig5
+
+
+def test_fig5_spsr_speedups(benchmark, runner, capsys):
+    result = run_once(benchmark, run_fig5, runner)
+    with capsys.disabled():
+        print()
+        result.print()
+    gmeans = result.raw
+    for config_name, value in gmeans.items():
+        benchmark.extra_info[f"gmean_{config_name}_pct"] = round(value, 2)
+    # Paper shape: SpSR moves IPC very little in either direction (its
+    # benefit is backend activity, checked by Fig. 6).
+    assert abs(gmeans["mvp+spsr"] - gmeans["mvp"]) < 2.0
+    assert abs(gmeans["tvp+spsr"] - gmeans["tvp"]) < 2.0

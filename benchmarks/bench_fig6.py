@@ -1,0 +1,26 @@
+"""Fig. 6 — INT PRF read/write and IQ dispatch/issue activity."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_fig6
+
+
+def test_fig6_activity(benchmark, runner, capsys):
+    result = run_once(benchmark, run_fig6, runner)
+    with capsys.disabled():
+        print()
+        result.print()
+    raw = result.raw
+    for config_name, metrics in raw.items():
+        for metric, value in metrics.items():
+            benchmark.extra_info[f"{config_name}.{metric}"] = round(value, 2)
+    # Paper shape:
+    # 1. MVP and TVP *reduce* INT PRF writes (predictions are names, not
+    #    writes); TVP reduces at least as much as MVP.
+    assert raw["mvp"]["int_prf_writes"] < 0.5
+    assert raw["tvp"]["int_prf_writes"] <= raw["mvp"]["int_prf_writes"] + 0.5
+    # 2. GVP increases PRF writes relative to TVP (explicit wide writes).
+    assert raw["gvp"]["int_prf_writes"] > raw["tvp"]["int_prf_writes"]
+    # 3. SpSR lowers IQ dispatch versus the same flavor without SpSR.
+    assert raw["mvp+spsr"]["iq_dispatched"] < raw["mvp"]["iq_dispatched"] + 0.1
+    assert raw["tvp+spsr"]["iq_dispatched"] < raw["tvp"]["iq_dispatched"] + 0.1

@@ -1,0 +1,21 @@
+"""Ablation — swap-in value prediction algorithms (paper §7)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_predictor_ablation
+
+
+def test_predictor_ablation(benchmark, small_runner, capsys):
+    result = run_once(benchmark, run_predictor_ablation, small_runner)
+    with capsys.disabled():
+        print()
+        result.print()
+    raw = result.raw
+    for (flavor, algorithm), value in raw.items():
+        benchmark.extra_info[f"{flavor}/{algorithm}"] = round(value, 2)
+    # Shape: under TVP, history-sensitive VTAGE should not lose to the
+    # history-blind LVP by any meaningful margin.
+    assert raw[("tvp", "vtage")] >= raw[("tvp", "lvp")] - 0.5
+    # Every predictor must at least not wreck the baseline.
+    for value in raw.values():
+        assert value > -2.0

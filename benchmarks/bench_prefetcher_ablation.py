@@ -1,0 +1,20 @@
+"""§6.2 ablation — SpSR x L1D stride-prefetcher interaction."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_prefetcher_ablation
+
+
+def test_prefetcher_ablation(benchmark, small_runner, capsys):
+    result = run_once(benchmark, run_prefetcher_ablation, small_runner)
+    with capsys.disabled():
+        print()
+        result.print()
+    raw = result.raw
+    for (tag, config_name), value in raw.items():
+        benchmark.extra_info[f"{config_name}@{tag}"] = round(value, 2)
+    # Paper shape: SpSR's effect on TVP stays small with the prefetcher on
+    # or off (the paper's residual slowdowns were prefetcher artifacts).
+    for tag in ("pf_on", "pf_off"):
+        delta = raw[(tag, "tvp+spsr")] - raw[(tag, "tvp")]
+        assert abs(delta) < 2.0

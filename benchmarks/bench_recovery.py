@@ -1,0 +1,25 @@
+"""Ablation — flush vs selective replay recovery (§2.2 / §3.4)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_recovery_ablation
+
+
+def test_recovery_ablation(benchmark, small_runner, capsys):
+    result = run_once(benchmark, run_recovery_ablation, small_runner)
+    with capsys.disabled():
+        print()
+        result.print()
+    raw = result.raw
+    for (flavor, recovery), payload in raw.items():
+        benchmark.extra_info[f"{flavor}@{recovery}"] = round(
+            payload["gmean"], 2)
+    # The paper's asymmetry: replay structurally cannot fire for MVP/TVP.
+    assert raw[("mvp", "replay")]["replays"] == 0
+    assert raw[("tvp", "replay")]["replays"] == 0
+    # And recoveries are rare enough that the scheme choice barely moves
+    # the geomean (the paper's reason to keep the simple flush).
+    for flavor in ("mvp", "tvp", "gvp"):
+        delta = abs(raw[(flavor, "replay")]["gmean"]
+                    - raw[(flavor, "flush")]["gmean"])
+        assert delta < 1.0

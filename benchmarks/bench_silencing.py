@@ -1,0 +1,23 @@
+"""§3.4.1 ablation — sensitivity to the post-mispredict silencing window."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_silencing_sweep
+
+
+def test_silencing_sweep(benchmark, small_runner, capsys):
+    result = run_once(benchmark, run_silencing_sweep, small_runner)
+    with capsys.disabled():
+        print()
+        result.print()
+    raw = result.raw
+    for silence, flavors in raw.items():
+        for flavor, payload in flavors.items():
+            benchmark.extra_info[f"{flavor}@sil{silence}"] = round(
+                payload["gmean"], 2)
+    # Paper shape: performance is flat across 15..1000 silencing cycles
+    # (silencing only needs to break the refetch-repredict livelock).
+    for flavor in ("mvp", "tvp", "gvp"):
+        span = max(raw[s][flavor]["gmean"] for s in raw) - \
+            min(raw[s][flavor]["gmean"] for s in raw)
+        assert span < 3.0, f"{flavor} unexpectedly silencing-sensitive"

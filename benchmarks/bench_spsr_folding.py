@@ -1,0 +1,21 @@
+"""Ablation — SpSR generalized to full constant folding."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_spsr_folding_ablation
+
+
+def test_spsr_constant_folding(benchmark, small_runner, capsys):
+    result = run_once(benchmark, run_spsr_folding_ablation, small_runner)
+    with capsys.disabled():
+        print()
+        result.print()
+    raw = result.raw
+    for label, payload in raw.items():
+        benchmark.extra_info[f"{label}.gmean"] = round(payload["gmean"], 2)
+        benchmark.extra_info[f"{label}.spsr"] = round(payload["spsr_amean"], 2)
+    # Folding can only widen the set of reduced µops.
+    assert raw["tvp+spsr+fold"]["spsr_amean"] >= \
+        raw["tvp+spsr"]["spsr_amean"] - 0.01
+    # And, like plain SpSR, it should not move IPC much.
+    assert abs(raw["tvp+spsr+fold"]["gmean"] - raw["tvp+spsr"]["gmean"]) < 2.0

@@ -1,0 +1,24 @@
+"""Table 3 — geomean speedup vs predictor storage budget."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_table3
+
+
+def test_table3_budget_sweep(benchmark, small_runner, capsys):
+    result = run_once(benchmark, run_table3, small_runner)
+    with capsys.disabled():
+        print()
+        result.print()
+    raw = result.raw
+    budgets = list(raw)
+    for budget in budgets:
+        for flavor, value in raw[budget].items():
+            benchmark.extra_info[f"{flavor}@{budget}"] = round(value, 2)
+    # Paper shape: GVP keeps gaining from storage; MVP saturates early
+    # (its 4KB point is already near its 55KB point).
+    smallest, largest = budgets[0], budgets[-1]
+    assert raw[largest]["gvp"] >= raw[smallest]["gvp"] - 0.25
+    mvp_span = abs(raw[largest]["mvp"] - raw[smallest]["mvp"])
+    assert mvp_span < max(1.0, abs(raw[largest]["gvp"]) + 1.0), \
+        "MVP should be storage-insensitive relative to GVP"

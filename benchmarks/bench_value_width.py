@@ -1,0 +1,26 @@
+"""Ablation — predictor value-field width vs storage vs coverage."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_value_width_sweep
+
+
+def test_value_width_sweep(benchmark, small_runner, capsys):
+    result = run_once(benchmark, run_value_width_sweep, small_runner)
+    with capsys.disabled():
+        print()
+        result.print()
+    raw = result.raw
+    for width, payload in raw.items():
+        benchmark.extra_info[f"w{width}_coverage"] = round(
+            payload["coverage"], 2)
+    # Coverage is (weakly) monotonic in width — wider fields can store a
+    # superset of values (FPC randomness adds a little noise per point).
+    widths = sorted(raw)
+    for narrow, wide in zip(widths, widths[1:]):
+        assert raw[wide]["coverage"] >= raw[narrow]["coverage"] - 2.0
+    # Storage is exactly linear in the value width at fixed geometry.
+    assert raw[64]["kb"] > raw[9]["kb"] > raw[1]["kb"]
+    # The paper's design points: 64-bit captures strictly more than 1-bit.
+    assert raw[64]["coverage"] >= raw[1]["coverage"]
+    assert raw[9]["coverage"] >= raw[1]["coverage"] - 2.0

@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table/figure of the paper.  The
+instruction budget per workload is deliberately small (the cycle simulator
+is pure Python); set ``REPRO_BENCH_INSTRUCTIONS`` for a longer, more
+faithful run, e.g.::
+
+    REPRO_BENCH_INSTRUCTIONS=30000 pytest benchmarks/ --benchmark-only -s
+"""
+
+import os
+
+import pytest
+
+from repro.harness.runner import ExperimentRunner
+
+DEFAULT_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "5000"))
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """One shared runner so traces/baselines are simulated once."""
+    return ExperimentRunner(instructions=DEFAULT_INSTRUCTIONS)
+
+
+@pytest.fixture(scope="session")
+def small_runner():
+    """A cheaper runner for the sweep-heavy experiments (Table 3 etc.)."""
+    return ExperimentRunner(instructions=max(DEFAULT_INSTRUCTIONS // 2, 2000))
+
+
+def run_once(benchmark, fn, *args):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)

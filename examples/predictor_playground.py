@@ -1,0 +1,51 @@
+"""Swap-in value predictors on one workload (the paper's §7 pointer).
+
+Run:  python examples/predictor_playground.py [workload]
+"""
+
+import sys
+
+from repro.core.lvp import LvpConfig
+from repro.core.perceptron import PerceptronVpConfig
+from repro.core.stride import StrideVpConfig
+from repro.core.storage import flavor_config, vtage_storage_kb
+from repro.core.modes import VPFlavor
+from repro.emulator.trace import trace_program
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.core import CpuModel
+from repro.workloads import get_workload
+
+
+def main(argv):
+    workload = get_workload(argv[0] if argv else "match_count")
+    trace, _ = trace_program(workload.program, max_instructions=12_000)
+    baseline = CpuModel(trace, MachineConfig.baseline()).run()
+    print(f"workload: {workload.name}  "
+          f"(baseline IPC {baseline.stats.ipc:.3f})\n")
+
+    points = [
+        ("TVP / VTAGE", MachineConfig.tvp(),
+         vtage_storage_kb(flavor_config(VPFlavor.TVP))),
+        ("TVP / LVP", MachineConfig.tvp(vp_algorithm="lvp"),
+         LvpConfig(value_bits=9).storage_bits / 8 / 1024),
+        ("TVP / stride", MachineConfig.tvp(vp_algorithm="stride"),
+         StrideVpConfig(value_bits=9).storage_bits / 8 / 1024),
+        ("MVP / VTAGE", MachineConfig.mvp(),
+         vtage_storage_kb(flavor_config(VPFlavor.MVP))),
+        ("MVP / perceptron", MachineConfig.mvp(vp_algorithm="perceptron"),
+         PerceptronVpConfig().storage_bits / 8 / 1024),
+    ]
+    print(f"{'configuration':18s} {'storage':>8s} {'IPC':>7s} "
+          f"{'speedup':>8s} {'coverage':>9s} {'flushes':>8s}")
+    for label, config, storage_kb in points:
+        stats = CpuModel(trace, config).run().stats
+        speedup = 100 * (stats.ipc / baseline.stats.ipc - 1)
+        print(f"{label:18s} {storage_kb:6.1f}KB {stats.ipc:7.3f} "
+              f"{speedup:+7.2f}% {stats.vp_coverage:9.1%} "
+              f"{stats.vp_flushes:8d}")
+    print("\npaper §7: any of these can back MVP/TVP; VTAGE is what the "
+          "paper evaluates, perceptron is its explicit MVP suggestion.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

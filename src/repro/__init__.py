@@ -1,0 +1,27 @@
+"""Reproduction of "Leveraging Targeted Value Prediction to Unlock New
+Hardware Strength Reduction Potential" (Perais, MICRO 2021).
+
+Top-level convenience API::
+
+    from repro import MachineConfig, assemble, simulate
+
+    program = assemble("mov x0, #1\\nhlt")
+    result = simulate(program, MachineConfig.tvp(spsr=True))
+    print(result.stats.ipc)
+
+The subpackages follow the paper's system decomposition — see DESIGN.md:
+
+* :mod:`repro.isa` / :mod:`repro.emulator` — the architectural substrate
+* :mod:`repro.frontend` / :mod:`repro.backend` / :mod:`repro.memory` /
+  :mod:`repro.rename` / :mod:`repro.pipeline` — the out-of-order core
+* :mod:`repro.core` — the paper's contribution (MVP/TVP/GVP + SpSR)
+* :mod:`repro.workloads` / :mod:`repro.harness` — evaluation
+"""
+
+from repro.isa.assembler import assemble
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.core import CpuModel, simulate
+
+__version__ = "1.0.0"
+
+__all__ = ["CpuModel", "MachineConfig", "__version__", "assemble", "simulate"]

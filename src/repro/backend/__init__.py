@@ -1,0 +1,37 @@
+"""Out-of-order execution backend structures."""
+
+from repro.backend.naming import (
+    FLAG_INLINE_BASE,
+    HARDWIRED_ONE,
+    HARDWIRED_ZERO,
+    INLINE_BASE,
+    encode_flag_inline,
+    encode_inline,
+    inline_flags_value,
+    is_inline_name,
+    is_real_register,
+    known_value,
+)
+from repro.backend.prf import PhysicalRegisterFile
+from repro.backend.rat import RegisterAliasTable
+from repro.backend.rob import ReorderBuffer, RobEntry, UopState
+from repro.backend.storesets import StoreSets
+
+__all__ = [
+    "FLAG_INLINE_BASE",
+    "HARDWIRED_ONE",
+    "HARDWIRED_ZERO",
+    "INLINE_BASE",
+    "PhysicalRegisterFile",
+    "RegisterAliasTable",
+    "ReorderBuffer",
+    "RobEntry",
+    "StoreSets",
+    "UopState",
+    "encode_flag_inline",
+    "encode_inline",
+    "inline_flags_value",
+    "is_inline_name",
+    "is_real_register",
+    "known_value",
+]

@@ -1,0 +1,78 @@
+"""Functional unit port pool (the paper's Table 2 issue plan).
+
+Up to 15 µops issue per cycle across: 4 simple ALUs, 2 ALU+IntMul(3c),
+1 IntDiv(20c, unpipelined), 3 FP/SIMD(3c)+FPMul(4c/5c mac), 1 of those
+also FPDiv(12c, unpipelined), 2 load ports, 2 store ports.  Branches
+execute on simple ALU ports.
+"""
+
+from repro.isa.opcodes import ExecClass, Op
+
+
+class _Port:
+    __slots__ = ("capabilities", "busy_until")
+
+    def __init__(self, capabilities):
+        self.capabilities = frozenset(capabilities)
+        self.busy_until = 0  # for unpipelined units
+
+
+class FunctionalUnits:
+    """Per-cycle port arbitration plus operation latencies."""
+
+    def __init__(self, config):
+        self.config = config
+        alu = ExecClass.INT_ALU
+        # Pure-capability ports first so greedy allocation prefers them.
+        self.ports = (
+            [_Port({alu}) for _ in range(config.int_alu_ports - config.int_mul_ports)]
+            + [_Port({alu, ExecClass.INT_MUL}) for _ in range(config.int_mul_ports)]
+            + [_Port({ExecClass.INT_DIV}) for _ in range(config.int_div_ports)]
+            + [_Port({ExecClass.FP_ALU, ExecClass.FP_MUL})
+               for _ in range(config.fp_alu_ports - config.fp_div_ports)]
+            + [_Port({ExecClass.FP_ALU, ExecClass.FP_MUL, ExecClass.FP_DIV})
+               for _ in range(config.fp_div_ports)]
+            + [_Port({ExecClass.LOAD}) for _ in range(config.load_ports)]
+            + [_Port({ExecClass.STORE}) for _ in range(config.store_ports)]
+        )
+        self._issued_this_cycle = 0
+        self._cycle = -1
+        self._port_taken = [False] * len(self.ports)
+
+    def new_cycle(self, cycle):
+        self._cycle = cycle
+        self._issued_this_cycle = 0
+        for i in range(len(self._port_taken)):
+            self._port_taken[i] = False
+
+    def try_issue(self, exec_class, cycle):
+        """Claim a port for one µop; returns True on success."""
+        if self._issued_this_cycle >= self.config.issue_width:
+            return False
+        if exec_class is ExecClass.BRANCH:
+            exec_class = ExecClass.INT_ALU
+        for index, port in enumerate(self.ports):
+            if self._port_taken[index] or exec_class not in port.capabilities:
+                continue
+            if port.busy_until > cycle:
+                continue  # unpipelined unit still grinding
+            self._port_taken[index] = True
+            self._issued_this_cycle += 1
+            if exec_class in (ExecClass.INT_DIV, ExecClass.FP_DIV):
+                port.busy_until = cycle + self.latency_of(exec_class)
+            return True
+        return False
+
+    def latency_of(self, exec_class, op=None):
+        cfg = self.config
+        if exec_class is ExecClass.INT_MUL:
+            return cfg.int_mul_latency
+        if exec_class is ExecClass.INT_DIV:
+            return cfg.int_div_latency
+        if exec_class is ExecClass.FP_ALU:
+            return cfg.fp_alu_latency
+        if exec_class is ExecClass.FP_MUL:
+            return cfg.fp_mac_latency if op is Op.FMADD else cfg.fp_mul_latency
+        if exec_class is ExecClass.FP_DIV:
+            return cfg.fp_div_latency
+        return 1  # simple ALU / branch / store address

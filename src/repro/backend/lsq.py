@@ -1,0 +1,79 @@
+"""Load and store queues: forwarding and memory-order violation detection.
+
+Addresses come from the trace (the functional emulator), so conflict
+detection is exact; *timing* still matters — a load that issues before an
+older same-address store has executed is a memory-order violation unless
+the Store Sets predictor made it wait.
+"""
+
+
+class LsqEntry:
+    __slots__ = ("seq", "addr", "size", "rob_entry", "executed_cycle",
+                 "data_ready_cycle")
+
+    def __init__(self, seq, addr, size, rob_entry):
+        self.seq = seq
+        self.addr = addr
+        self.size = size
+        self.rob_entry = rob_entry
+        self.executed_cycle = None      # when the access/AGU happened
+        self.data_ready_cycle = None    # stores: when the data can forward
+
+    def overlaps(self, other):
+        return self.addr < other.addr + other.size and \
+            other.addr < self.addr + self.size
+
+    def contains(self, other):
+        """This entry's bytes fully cover *other*'s."""
+        return self.addr <= other.addr and \
+            other.addr + other.size <= self.addr + self.size
+
+
+class LoadStoreQueues:
+    """Both queues plus the cross-checking logic."""
+
+    def __init__(self, lq_capacity, sq_capacity):
+        self.lq_capacity = lq_capacity
+        self.sq_capacity = sq_capacity
+        self.loads = []
+        self.stores = []
+
+    @property
+    def lq_full(self):
+        return len(self.loads) >= self.lq_capacity
+
+    @property
+    def sq_full(self):
+        return len(self.stores) >= self.sq_capacity
+
+    def add_load(self, entry):
+        self.loads.append(entry)
+
+    def add_store(self, entry):
+        self.stores.append(entry)
+
+    # -- load issue checks ---------------------------------------------------------
+    def youngest_older_store_conflict(self, load):
+        """Youngest store older than *load* touching the same bytes."""
+        best = None
+        for store in self.stores:
+            if store.seq < load.seq and store.overlaps(load):
+                if best is None or store.seq > best.seq:
+                    best = store
+        return best
+
+    # -- store execution checks ------------------------------------------------------
+    def violating_loads(self, store):
+        """Younger loads that already executed against stale data."""
+        return [load for load in self.loads
+                if load.seq > store.seq and load.overlaps(store)
+                and load.executed_cycle is not None]
+
+    # -- lifecycle --------------------------------------------------------------------
+    def remove_committed(self, seq):
+        self.loads = [e for e in self.loads if e.seq != seq]
+        self.stores = [e for e in self.stores if e.seq != seq]
+
+    def squash_from(self, seq):
+        self.loads = [e for e in self.loads if e.seq < seq]
+        self.stores = [e for e in self.stores if e.seq < seq]

@@ -1,0 +1,88 @@
+"""Overloaded physical register names (the paper's §3.2).
+
+A physical register *name* is a small integer.  Names below the physical
+register count denote real PRF entries; the paper widens names by one bit
+so a name can instead *be* a small value.  Our encoding:
+
+* ``0`` / ``1``                      — the hardwired 0x0 / 0x1 registers
+  (present even in the baseline: they implement 0/1-idiom elimination, and
+  they are all MVP needs)
+* ``INLINE_BASE + f`` (f in 0..511)  — a signed 9-bit inline value with
+  field ``f`` (TVP/GVP physical register inlining)
+* ``FLAG_INLINE_BASE + n`` (n in 0..15) — a hardwired NZCV value, the
+  paper's footnote-4 hardwired condition-flag registers that let SpSR fully
+  reduce flag-setting instructions
+
+``known_value(name)`` recovers the rename-time-known value of a name, or
+``None`` for a real register — this single predicate is what makes SpSR
+decisions and PRF-port savings fall out naturally everywhere else.
+"""
+
+from repro.core.modes import decode_value_field
+from repro.isa.bits import fits_signed
+
+HARDWIRED_ZERO = 0
+HARDWIRED_ONE = 1
+N_HARDWIRED = 2
+INLINE_BASE = 1024
+FLAG_INLINE_BASE = 2048
+# Disjoint name spaces for the other register classes.
+FP_NAME_BASE = 4096
+FLAGS_NAME_BASE = 8192
+
+
+def is_inline_name(name):
+    """True for 9-bit inline value names (not the hardwired pair)."""
+    return INLINE_BASE <= name < INLINE_BASE + 512
+
+
+def is_flag_inline_name(name):
+    return FLAG_INLINE_BASE <= name < FLAG_INLINE_BASE + 16
+
+
+def is_real_register(name):
+    """True when *name* denotes an allocatable PRF entry."""
+    return N_HARDWIRED <= name < INLINE_BASE
+
+
+def encode_inline(value):
+    """Inline name for a signed-9-bit-representable 64-bit value.
+
+    Prefers the hardwired registers for 0/1 (they exist anyway and need no
+    extra name bit).  Raises when the value does not fit.
+    """
+    if value == 0:
+        return HARDWIRED_ZERO
+    if value == 1:
+        return HARDWIRED_ONE
+    if not fits_signed(value, 9):
+        raise ValueError(f"value {value:#x} does not fit a signed 9-bit inline name")
+    return INLINE_BASE + (value & 0x1FF)
+
+
+def encode_flag_inline(flags):
+    """Hardwired-NZCV name for a known 4-bit flags value."""
+    return FLAG_INLINE_BASE + (flags & 0xF)
+
+
+def inline_flags_value(name):
+    """The NZCV value of a hardwired-flags name."""
+    return name - FLAG_INLINE_BASE
+
+
+def known_value(name):
+    """Rename-time-known 64-bit value of *name*, or None for a real reg."""
+    if name == HARDWIRED_ZERO:
+        return 0
+    if name == HARDWIRED_ONE:
+        return 1
+    if is_inline_name(name):
+        return decode_value_field(name - INLINE_BASE, 9)
+    return None
+
+
+def known_flags(name):
+    """Rename-time-known NZCV of a flags name, or None."""
+    if is_flag_inline_name(name):
+        return name - FLAG_INLINE_BASE
+    return None

@@ -1,0 +1,121 @@
+"""Physical register file: allocation, reference counting, readiness.
+
+Reference counting implements the unlimited-reference move elimination the
+paper assumes ("we assume unlimited reference counting for move
+elimination, as existing proposals achieve potential that is close to
+ideal").  A register's count is the number of RAT + CRAT entries that
+reference it; it returns to the free list when the count reaches zero.
+
+``ready_at`` tracks, per name, the cycle at which the value becomes
+available — the scheduler's wakeup information.  Hardwired and inline
+names are always ready.
+
+Each register class (INT, FP, flags) is a separate file with a disjoint
+*name_base* so physical names never collide across classes; value-encoding
+names (:mod:`repro.backend.naming`) live between the INT space and the
+other bases.
+"""
+
+from repro.backend.naming import N_HARDWIRED
+
+
+class FreeListEmpty(Exception):
+    """No physical register available (rename must stall)."""
+
+
+class PhysicalRegisterFile:
+    """One register class."""
+
+    def __init__(self, n_regs, name_base=0, reserve_hardwired=True):
+        self.n_regs = n_regs
+        self.name_base = name_base
+        self._first = N_HARDWIRED if reserve_hardwired else 0
+        self._free = list(range(n_regs - 1, self._first - 1, -1))
+        self._refcount = [0] * n_regs
+        self._ready_at = [0] * n_regs
+        self._width = [64] * n_regs   # producer width: the ME width rule
+        self.stat_allocations = 0
+
+    def owns(self, name):
+        """True when *name* is an allocatable register of this file."""
+        index = name - self.name_base
+        return self._first <= index < self.n_regs
+
+    # -- allocation ---------------------------------------------------------------
+    @property
+    def free_count(self):
+        return len(self._free)
+
+    def alloc(self, cycle_ready=None):
+        """Take a register off the free list with refcount 1."""
+        if not self._free:
+            raise FreeListEmpty()
+        index = self._free.pop()
+        self._refcount[index] = 1
+        self._ready_at[index] = cycle_ready if cycle_ready is not None else (1 << 62)
+        self.stat_allocations += 1
+        return self.name_base + index
+
+    def add_ref(self, name):
+        """One more RAT/CRAT entry references *name*."""
+        if self.owns(name):
+            self._refcount[name - self.name_base] += 1
+
+    def release(self, name):
+        """One fewer reference; frees the register at zero."""
+        if not self.owns(name):
+            return
+        index = name - self.name_base
+        self._refcount[index] -= 1
+        if self._refcount[index] == 0:
+            self._free.append(index)
+        elif self._refcount[index] < 0:
+            raise AssertionError(f"refcount underflow on p{name}")
+
+    def refcount(self, name):
+        return self._refcount[name - self.name_base] if self.owns(name) else 0
+
+    # -- readiness -----------------------------------------------------------------
+    def set_ready(self, name, cycle):
+        """Producer completion: value available from *cycle* on."""
+        if self.owns(name):
+            self._ready_at[name - self.name_base] = cycle
+
+    def ready_at(self, name):
+        """Cycle the value behind *name* is available (0 for value names
+        and the hardwired registers)."""
+        index = name - self.name_base
+        if 0 <= index < self.n_regs:
+            return self._ready_at[index]
+        return 0
+
+    # -- width metadata (move-elimination 64->32 rule) -----------------------------
+    def set_width(self, name, width):
+        """Record the producing write's width (w-writes zero-extend)."""
+        if self.owns(name):
+            self._width[name - self.name_base] = width
+
+    def width_of(self, name):
+        if self.owns(name):
+            return self._width[name - self.name_base]
+        return 64
+
+    # -- invariants (used by property tests) ------------------------------------------
+    def live_registers(self):
+        """Names currently allocated (not free, not hardwired)."""
+        free = set(self._free)
+        return [self.name_base + i for i in range(self._first, self.n_regs)
+                if i not in free]
+
+    def check_conservation(self):
+        """Every register is exactly free or referenced: no leaks/doubles."""
+        free = set(self._free)
+        if len(free) != len(self._free):
+            raise AssertionError("duplicate entries on the free list")
+        for index in range(self._first, self.n_regs):
+            count = self._refcount[index]
+            if index in free and count != 0:
+                raise AssertionError(f"free register p{index} has refcount {count}")
+            if index not in free and count <= 0:
+                raise AssertionError(f"live register p{index} has refcount {count}")
+        return True

@@ -1,0 +1,107 @@
+"""Register Alias Table (speculative RAT + committed CRAT).
+
+Maps architectural registers to physical names.  Per the paper's §3.2.1 the
+only change TVP requires is that the stored names may be value-encoding
+names; recovery (undo-walk from the ROB) and reclamation (CRAT swap at
+commit, skipping non-register names) are otherwise the classic algorithms —
+both implemented here and exercised directly by unit tests.
+
+Three register classes share this structure: INT (x0..x30, sp), FP
+(d0..d31) and the NZCV flags pseudo-register; xzr is permanently mapped to
+the hardwired zero register.
+"""
+
+from repro.backend.naming import HARDWIRED_ZERO
+from repro.isa.registers import FLAGS, FP_BASE, N_ARCH_REGS, XZR
+
+
+class RegisterAliasTable:
+    """One speculative map + one committed map over all arch registers."""
+
+    def __init__(self, int_prf, fp_prf, flags_prf):
+        self._int_prf = int_prf
+        self._fp_prf = fp_prf
+        self._flags_prf = flags_prf
+        self.spec = [None] * N_ARCH_REGS
+        self.committed = [None] * N_ARCH_REGS
+        for reg in range(N_ARCH_REGS):
+            if reg == XZR:
+                self.spec[reg] = self.committed[reg] = HARDWIRED_ZERO
+                continue
+            prf = self._prf_of(reg)
+            name = prf.alloc(cycle_ready=0)
+            prf.add_ref(name)  # referenced by both spec and committed maps
+            self.spec[reg] = name
+            self.committed[reg] = name
+
+    def _prf_of(self, reg):
+        if reg == FLAGS:
+            return self._flags_prf
+        if reg >= FP_BASE:
+            return self._fp_prf
+        return self._int_prf
+
+    # -- speculative map ----------------------------------------------------------
+    def lookup(self, reg):
+        """Current speculative name of *reg*."""
+        return self.spec[reg]
+
+    def write(self, reg, name):
+        """Point *reg* at *name*; returns the previous name (for the ROB
+        undo log).  Reference counts move accordingly."""
+        if reg == XZR:
+            return HARDWIRED_ZERO
+        prf = self._prf_of(reg)
+        previous = self.spec[reg]
+        prf.add_ref(name)
+        prf.release(previous)
+        self.spec[reg] = name
+        return previous
+
+    def undo(self, reg, previous_name, new_name):
+        """Roll one mapping back during a flush (young -> old order)."""
+        if reg == XZR:
+            return
+        prf = self._prf_of(reg)
+        prf.add_ref(previous_name)
+        prf.release(new_name)
+        self.spec[reg] = previous_name
+
+    def drop_rob_ref(self, reg, name):
+        """Release the ROB entry's own reference on its destination name.
+
+        Reference protocol: a name is referenced by (a) speculative RAT
+        entries, (b) committed RAT entries, and (c) the ROB entry that
+        created the mapping — dropped at commit or squash.  This third
+        reference is what keeps a speculatively-overwritten register alive
+        for its in-flight consumers.
+        """
+        if reg == XZR:
+            return
+        self._prf_of(reg).release(name)
+
+    # -- committed map -------------------------------------------------------------
+    def commit(self, reg, new_name):
+        """Retire a mapping: CRAT swap + reclamation of the old name.
+
+        Per §3.2.1: if the old CRAT name is a value name it is simply not
+        put on the free list (release is a no-op for it); if the new name
+        is a value the CRAT just records it.
+        """
+        if reg == XZR:
+            return
+        prf = self._prf_of(reg)
+        previous = self.committed[reg]
+        prf.add_ref(new_name)
+        prf.release(previous)
+        self.committed[reg] = new_name
+
+    # -- invariants ---------------------------------------------------------------
+    def check_consistent_with_committed(self):
+        """After a full-pipeline flush, spec must equal committed."""
+        for reg in range(N_ARCH_REGS):
+            if self.spec[reg] != self.committed[reg]:
+                raise AssertionError(
+                    f"RAT mismatch on arch reg {reg}: "
+                    f"spec={self.spec[reg]} committed={self.committed[reg]}")
+        return True

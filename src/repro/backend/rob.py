@@ -1,0 +1,95 @@
+"""Reorder buffer.
+
+Each entry carries the rename undo log (arch reg, previous name, new name)
+used to repair the RAT on a flush — the paper's Active-List-walk recovery
+(§3.2.1), which is unchanged by value-encoding names except that the
+entries are one bit wider.
+"""
+
+import enum
+from collections import deque
+
+
+class UopState(enum.Enum):
+    WAITING = "waiting"        # in the IQ (or LSQ), not yet issued
+    ISSUED = "issued"          # executing on a functional unit
+    DONE = "done"              # result produced, prediction validated
+    ELIMINATED = "eliminated"  # removed at rename; completes instantly
+
+
+class RobEntry:
+    """One µop's lifetime in the window."""
+
+    __slots__ = (
+        "seq", "uop", "state", "dest_name", "flags_name", "undo",
+        "complete_cycle", "vp_used", "vp_predicted", "elim_kind",
+        "move_width_blocked", "wait_store_seq", "src_names",
+        "issue_ready_cycle", "in_iq", "wakeup_cycle", "wakeup_known",
+        "issue_token",
+    )
+
+    def __init__(self, seq, uop):
+        self.seq = seq
+        self.uop = uop
+        self.state = UopState.WAITING
+        self.dest_name = None          # physical name of the GPR/FPR dest
+        self.flags_name = None         # physical name of the NZCV dest
+        self.undo = []                 # [(arch_reg, prev_name, new_name)]
+        self.complete_cycle = None
+        self.vp_used = False
+        self.vp_predicted = None       # the value installed at rename
+        self.elim_kind = None          # stats category when eliminated
+        self.move_width_blocked = False  # "non-ME move" (Fig. 4)
+        self.wait_store_seq = None     # store-set predicted dependence
+        self.src_names = ()            # physical names of the sources
+        self.issue_ready_cycle = 0     # earliest cycle the IQ may select it
+        self.in_iq = False
+        self.wakeup_cycle = 0          # cached max source-ready cycle
+        self.wakeup_known = False      # True once every source is scheduled
+        self.issue_token = 0           # bumped per (re-)issue: stale
+                                       # completion events are ignored
+
+    def __repr__(self):
+        return f"<rob #{self.seq} {self.uop.text!r} {self.state.value}>"
+
+
+class ReorderBuffer:
+    """In-order window of :class:`RobEntry`."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.entries = deque()
+
+    def __len__(self):
+        return len(self.entries)
+
+    @property
+    def full(self):
+        return len(self.entries) >= self.capacity
+
+    @property
+    def empty(self):
+        return not self.entries
+
+    def push(self, entry):
+        if self.full:
+            raise AssertionError("ROB overflow")
+        self.entries.append(entry)
+
+    def head(self):
+        return self.entries[0] if self.entries else None
+
+    def pop_head(self):
+        return self.entries.popleft()
+
+    def squash_from(self, seq, rat):
+        """Remove all entries with ``entry.seq >= seq`` (young -> old),
+        undoing their RAT mappings.  Returns the squashed entries."""
+        squashed = []
+        while self.entries and self.entries[-1].seq >= seq:
+            entry = self.entries.pop()
+            for arch_reg, prev_name, new_name in reversed(entry.undo):
+                rat.undo(arch_reg, prev_name, new_name)
+                rat.drop_rob_ref(arch_reg, new_name)
+            squashed.append(entry)
+        return squashed

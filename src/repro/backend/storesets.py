@@ -1,0 +1,72 @@
+"""Store Sets memory dependence predictor (Chrysos & Emer, 1998).
+
+2k-entry SSIT (PC-indexed store-set ids) + 2k-entry LFST (last fetched
+store per set), per Table 2.  A load whose PC maps to a valid set waits for
+the store the LFST names; sets are created/merged when a memory-order
+violation is detected.
+"""
+
+_INVALID = -1
+
+
+class StoreSets:
+    def __init__(self, ssit_entries=2048, lfst_entries=2048):
+        self.ssit_entries = ssit_entries
+        self.lfst_entries = lfst_entries
+        self._ssit = [_INVALID] * ssit_entries
+        self._lfst = [_INVALID] * lfst_entries   # store seq, or invalid
+        self._next_set = 0
+        self.stat_load_waits = 0
+        self.stat_trainings = 0
+
+    def _ssit_index(self, pc):
+        return (pc >> 2) % self.ssit_entries
+
+    # -- rename-time hooks ---------------------------------------------------------
+    def load_dependence(self, load_pc):
+        """Store seq this load should wait for, or None."""
+        set_id = self._ssit[self._ssit_index(load_pc)]
+        if set_id == _INVALID:
+            return None
+        store_seq = self._lfst[set_id % self.lfst_entries]
+        if store_seq == _INVALID:
+            return None
+        self.stat_load_waits += 1
+        return store_seq
+
+    def store_renamed(self, store_pc, store_seq):
+        """Record this store as the last fetched one of its set (if any)."""
+        set_id = self._ssit[self._ssit_index(store_pc)]
+        if set_id != _INVALID:
+            self._lfst[set_id % self.lfst_entries] = store_seq
+            return set_id
+        return None
+
+    def store_done(self, store_pc, store_seq):
+        """Clear the LFST entry when the store completes or squashes."""
+        set_id = self._ssit[self._ssit_index(store_pc)]
+        if set_id != _INVALID and \
+                self._lfst[set_id % self.lfst_entries] == store_seq:
+            self._lfst[set_id % self.lfst_entries] = _INVALID
+
+    # -- training ------------------------------------------------------------------
+    def train_violation(self, store_pc, load_pc):
+        """Assign the violating pair to a common store set."""
+        self.stat_trainings += 1
+        store_index = self._ssit_index(store_pc)
+        load_index = self._ssit_index(load_pc)
+        store_set = self._ssit[store_index]
+        load_set = self._ssit[load_index]
+        if store_set == _INVALID and load_set == _INVALID:
+            new_set = self._next_set
+            self._next_set = (self._next_set + 1) % self.lfst_entries
+            self._ssit[store_index] = new_set
+            self._ssit[load_index] = new_set
+        elif store_set == _INVALID:
+            self._ssit[store_index] = load_set
+        elif load_set == _INVALID:
+            self._ssit[load_index] = store_set
+        else:
+            merged = min(store_set, load_set)
+            self._ssit[store_index] = merged
+            self._ssit[load_index] = merged

@@ -1,0 +1,30 @@
+"""The paper's primary contribution: targeted value prediction and SpSR.
+
+* :mod:`repro.core.modes`    — MVP / TVP / GVP flavor definitions
+* :mod:`repro.core.fpc`      — Forward Probabilistic Counters
+* :mod:`repro.core.vtage`    — the VTAGE value predictor
+* :mod:`repro.core.storage`  — bit-exact predictor storage model (Table 2)
+* :mod:`repro.core.inflight` — the VP-tracking FIFO
+* :mod:`repro.core.spsr`     — Speculative Strength Reduction (Table 1)
+"""
+
+from repro.core.fpc import ForwardProbabilisticCounter
+from repro.core.inflight import InflightPrediction, VPQueue
+from repro.core.modes import VPFlavor
+from repro.core.spsr import ReductionKind, SpSREngine, SpSRResult
+from repro.core.storage import vtage_storage_bits, vtage_storage_kb
+from repro.core.vtage import Vtage, VtageConfig
+
+__all__ = [
+    "ForwardProbabilisticCounter",
+    "InflightPrediction",
+    "ReductionKind",
+    "SpSREngine",
+    "SpSRResult",
+    "VPFlavor",
+    "VPQueue",
+    "Vtage",
+    "VtageConfig",
+    "vtage_storage_bits",
+    "vtage_storage_kb",
+]

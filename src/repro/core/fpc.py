@@ -1,0 +1,41 @@
+"""Forward Probabilistic Counters (Riley & Zilles; Perais & Seznec).
+
+A k-bit FPC emulates a much wider saturating counter: each increment
+*request* only succeeds with a per-level probability.  The paper uses 3-bit
+FPCs with a 1/16 acceptance probability, which makes a predictor entry
+require on the order of ~100 consecutive correct outcomes before its
+prediction is deemed confident — the source of the >99.9% accuracy the
+paper reports.
+"""
+
+from repro.util.rng import XorShift64
+
+
+class ForwardProbabilisticCounter:
+    """Shared policy object: probabilistic increment / hard reset."""
+
+    def __init__(self, bits=3, one_in=16, rng=None):
+        self.bits = bits
+        self.max_value = (1 << bits) - 1
+        self.one_in = one_in
+        self._rng = rng or XorShift64()
+
+    def increment(self, value):
+        """Request an increment of *value*; returns the new value.
+
+        The first step (0 -> 1) always succeeds; later steps succeed with
+        probability ``1/one_in`` (the paper's 1/16).
+        """
+        if value >= self.max_value:
+            return value
+        if value == 0 or self._rng.chance(self.one_in):
+            return value + 1
+        return value
+
+    def is_confident(self, value):
+        """Predictions are used only at full saturation."""
+        return value >= self.max_value
+
+    def reset(self, _value=None):
+        """Counters drop to zero on any misprediction."""
+        return 0

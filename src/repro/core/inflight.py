@@ -1,0 +1,97 @@
+"""The VP-tracking FIFO.
+
+The paper (§3.3) tracks in-flight value predictions in a dedicated FIFO
+rather than the ROB: an entry is pushed when a prediction is made at
+rename, marked at execute when the functional unit compares its result
+against the predicted value (which, under TVP, *is* the physical
+destination register name), and popped at retire to train the predictor.
+On a pipeline flush, entries belonging to squashed µops are abandoned.
+
+The FIFO also implements *silencing* (§3.4.1): after a value mispredict,
+predictions keep flowing for training but are not used by the pipeline for
+``silence_cycles`` cycles — the livelock-avoidance mechanism.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class InflightPrediction:
+    """One in-flight value prediction."""
+
+    seq: int                  # µop sequence number (trace identity)
+    pc: int
+    predicted: int            # full 64-bit predicted value
+    info: tuple               # predictor-internal provider state
+    used: bool                # installed into the rename stream?
+    correct: Optional[bool] = None  # set at execute-time validation
+
+
+class VPQueue:
+    """Bounded FIFO of :class:`InflightPrediction` keyed by µop seq."""
+
+    def __init__(self, capacity=192, silence_cycles=250):
+        self.capacity = capacity
+        self.silence_cycles = silence_cycles
+        self._entries = {}
+        self._silenced_until = -1
+        # Statistics.
+        self.stat_pushed = 0
+        self.stat_full_rejections = 0
+        self.stat_silenced_suppressions = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    @property
+    def full(self):
+        return len(self._entries) >= self.capacity
+
+    def is_silenced(self, cycle):
+        """True while the pipeline must ignore confident predictions."""
+        return cycle < self._silenced_until
+
+    def silence(self, cycle):
+        """Start (or extend) a silencing window at *cycle*."""
+        self._silenced_until = max(self._silenced_until,
+                                   cycle + self.silence_cycles)
+
+    def note_suppressed(self):
+        """Count a confident prediction dropped due to silencing."""
+        self.stat_silenced_suppressions += 1
+
+    def push(self, seq, pc, predicted, info, used):
+        """Track a prediction; returns False when the FIFO is full."""
+        if self.full:
+            self.stat_full_rejections += 1
+            return False
+        self._entries[seq] = InflightPrediction(seq, pc, predicted, info, used)
+        self.stat_pushed += 1
+        return True
+
+    def get(self, seq):
+        return self._entries.get(seq)
+
+    def validate(self, seq, actual):
+        """Execute-time comparison; returns the entry (or None)."""
+        entry = self._entries.get(seq)
+        if entry is not None:
+            entry.correct = entry.predicted == actual
+        return entry
+
+    def pop(self, seq):
+        """Retire-time removal; returns the entry for training."""
+        return self._entries.pop(seq, None)
+
+    def squash_younger(self, seq_inclusive):
+        """Drop entries for µops with seq >= *seq_inclusive* (flush).
+
+        Returns the dropped entries so predictors with speculative state
+        (e.g. the stride predictor's in-flight counters) can be repaired.
+        """
+        doomed = [entry for seq, entry in self._entries.items()
+                  if seq >= seq_inclusive]
+        for entry in doomed:
+            del self._entries[entry.seq]
+        return doomed

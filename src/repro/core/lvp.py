@@ -1,0 +1,99 @@
+"""Last Value Predictor (Lipasti et al., 1996) — a swap-in alternative.
+
+The paper (§7) notes that "there exist many variations of value predictors
+that could be swapped in to implement MVP/TVP".  LVP is the simplest: a
+tagged, PC-indexed table of last values with FPC confidence.  It has no
+history sensitivity, so it captures strictly the *constant* subset of what
+VTAGE captures — the ablation benchmark quantifies the gap.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.fpc import ForwardProbabilisticCounter
+from repro.core.modes import decode_value_field, encode_value_field
+from repro.core.vtage import Prediction
+from repro.util.rng import XorShift64
+
+
+@dataclass
+class LvpConfig:
+    """Geometry of a last-value predictor."""
+
+    value_bits: int = 64
+    log2_entries: int = 13
+    tag_bits: int = 10
+    confidence_bits: int = 3
+    fpc_one_in: int = 16
+
+    @property
+    def storage_bits(self):
+        per_entry = self.tag_bits + self.value_bits + self.confidence_bits
+        return (1 << self.log2_entries) * per_entry
+
+
+class _Entry:
+    __slots__ = ("tag", "value_field", "confidence", "valid")
+
+    def __init__(self):
+        self.tag = 0
+        self.value_field = 0
+        self.confidence = 0
+        self.valid = False
+
+
+class LastValuePredictor:
+    """Same predict/train interface as :class:`~repro.core.vtage.Vtage`."""
+
+    def __init__(self, config=None, history=None, seed=0x1A57_0001):
+        self.config = config or LvpConfig()
+        self.history = history  # unused: LVP is history-blind
+        self._fpc = ForwardProbabilisticCounter(
+            self.config.confidence_bits, self.config.fpc_one_in,
+            XorShift64(seed))
+        self._table = [_Entry() for _ in range(1 << self.config.log2_entries)]
+        self.stat_lookups = 0
+        self.stat_confident = 0
+        self.stat_correct_trained = 0
+        self.stat_incorrect_trained = 0
+
+    def _index_tag(self, pc):
+        index = (pc >> 2) & ((1 << self.config.log2_entries) - 1)
+        tag = (pc >> (2 + self.config.log2_entries)) \
+            & ((1 << self.config.tag_bits) - 1)
+        return index, tag
+
+    def predict(self, pc):
+        self.stat_lookups += 1
+        index, tag = self._index_tag(pc)
+        entry = self._table[index]
+        if not (entry.valid and entry.tag == tag):
+            return Prediction(None, False, (index,))
+        value = decode_value_field(entry.value_field, self.config.value_bits)
+        confident = self._fpc.is_confident(entry.confidence)
+        if confident:
+            self.stat_confident += 1
+        return Prediction(value, confident, (index,))
+
+    def train(self, pc, actual_value, info):
+        (index,) = info
+        _, tag = self._index_tag(pc)
+        entry = self._table[index]
+        field = encode_value_field(actual_value, self.config.value_bits)
+        if not (entry.valid and entry.tag == tag):
+            entry.tag = tag
+            entry.value_field = field
+            entry.confidence = 0
+            entry.valid = True
+            return False
+        predicted = decode_value_field(entry.value_field,
+                                       self.config.value_bits)
+        if predicted == actual_value:
+            self.stat_correct_trained += 1
+            entry.confidence = self._fpc.increment(entry.confidence)
+            return False
+        self.stat_incorrect_trained += 1
+        was_confident = self._fpc.is_confident(entry.confidence)
+        if entry.confidence == 0:
+            entry.value_field = field
+        entry.confidence = 0
+        return was_confident

@@ -1,0 +1,98 @@
+"""Value-prediction flavors: Minimal, Targeted and Generic VP.
+
+The flavor decides (a) which values the predictor can *store* (its entry
+width, hence its footprint), (b) which predictions the renamer can install
+without a physical register, and (c) whether 9-bit signed-idiom elimination
+of move-immediates is available (TVP/GVP only, as both rely on physical
+register inlining).
+"""
+
+import enum
+
+from repro.isa.bits import fits_signed
+
+
+class VPFlavor(enum.Enum):
+    """Which value-prediction infrastructure is built into the core."""
+
+    NONE = "none"   # baseline: no value predictor at all
+    MVP = "mvp"     # only 0x0 / 0x1, via hardwired physical registers
+    TVP = "tvp"     # signed 9-bit values, via physical register inlining
+    GVP = "gvp"     # any 64-bit value (inlined when it fits 9 bits)
+
+    @property
+    def value_bits(self):
+        """Width of the value field in each predictor entry."""
+        if self is VPFlavor.MVP:
+            return 1
+        if self is VPFlavor.TVP:
+            return 9
+        if self is VPFlavor.GVP:
+            return 64
+        return 0
+
+    @property
+    def enables_inlining(self):
+        """True when physical register names may encode 9-bit values."""
+        return self in (VPFlavor.TVP, VPFlavor.GVP)
+
+    @property
+    def enables_nine_bit_idiom(self):
+        """9-bit signed integer-idiom elimination rides on inlining."""
+        return self.enables_inlining
+
+    def representable(self, value):
+        """Can a prediction of *value* be installed at rename?
+
+        MVP: only the two hardwired registers.  TVP: any signed 9-bit value.
+        GVP: everything (wide values get a real physical register).
+        """
+        if self is VPFlavor.NONE:
+            return False
+        if self is VPFlavor.MVP:
+            return value in (0, 1)
+        if self is VPFlavor.TVP:
+            return fits_signed(value, 9)
+        return True
+
+    def storable(self, value):
+        """Can the *predictor entry* hold this value exactly?
+
+        Same as :meth:`representable` for MVP/TVP; GVP entries are 64-bit so
+        everything is storable.
+        """
+        return self.representable(value)
+
+    def needs_physical_register(self, value):
+        """True when installing the prediction consumes a physical register
+        and a PRF write port (GVP with a value wider than 9 bits)."""
+        return self is VPFlavor.GVP and not fits_signed(value, 9)
+
+
+def encode_value_field(value, value_bits):
+    """Truncate a 64-bit result to the predictor's value field."""
+    return value & ((1 << value_bits) - 1)
+
+
+def decode_value_field(field, value_bits):
+    """Expand a stored field back to the full 64-bit predicted value.
+
+    1-bit fields mean literally 0x0/0x1; 9-bit fields are sign-extended
+    (physical register inlining carries signed 9-bit values); 64-bit fields
+    are the value itself.
+    """
+    if value_bits >= 64:
+        return field
+    if value_bits == 1:
+        return field
+    signed = field - (1 << value_bits) if field >> (value_bits - 1) else field
+    return signed & 0xFFFF_FFFF_FFFF_FFFF
+
+
+def value_roundtrips(value, value_bits):
+    """True when encode->decode reproduces *value* exactly."""
+    if value_bits >= 64:
+        return True
+    if value_bits == 1:
+        return value in (0, 1)
+    return fits_signed(value, value_bits)

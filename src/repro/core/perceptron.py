@@ -1,0 +1,114 @@
+"""Perceptron-based Minimal Value Prediction.
+
+The paper (§7): "MVP is especially interesting as it can also leverage
+branch prediction algorithms such as perceptron [Jiménez & Lin]".  With
+only two candidate values, predicting *the value* collapses into two
+binary questions over global branch history:
+
+* will this instruction produce a usual-suspect value (0x0 or 0x1)?
+* if so, which one?
+
+We answer both with one perceptron table per question, hashed by PC, dot-
+producting signed weights against the recent global history.  Confidence
+is the classic |sum| >= theta margin, with theta sized so accuracy stays
+in the >99.9% regime the paper's FPC scheme achieves.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.vtage import Prediction
+
+
+@dataclass
+class PerceptronVpConfig:
+    """Geometry of the perceptron MVP predictor."""
+
+    history_bits: int = 32
+    log2_entries: int = 9
+    weight_bits: int = 8
+    theta: int = 96        # use-threshold: high = conservative (paper-like)
+
+    @property
+    def storage_bits(self):
+        # Two perceptron tables (hit + which-value).
+        per_row = (self.history_bits + 1) * self.weight_bits
+        return 2 * (1 << self.log2_entries) * per_row
+
+
+class _PerceptronTable:
+    def __init__(self, config):
+        self.config = config
+        rows = 1 << config.log2_entries
+        self._weights = [[0] * (config.history_bits + 1) for _ in range(rows)]
+        self._limit = (1 << (config.weight_bits - 1)) - 1
+
+    def _row(self, pc):
+        return self._weights[(pc >> 2) % len(self._weights)]
+
+    def dot(self, pc, history_bits):
+        row = self._row(pc)
+        total = row[0]
+        for i in range(self.config.history_bits):
+            bit = (history_bits >> i) & 1
+            total += row[i + 1] if bit else -row[i + 1]
+        return total
+
+    def train(self, pc, history_bits, target, total):
+        """Classic perceptron update on mispredict or weak margin."""
+        if (total >= 0) == (target > 0) and abs(total) > self.config.theta:
+            return
+        row = self._row(pc)
+        limit = self._limit
+        row[0] = max(-limit, min(limit, row[0] + target))
+        for i in range(self.config.history_bits):
+            bit = (history_bits >> i) & 1
+            delta = target if bit else -target
+            row[i + 1] = max(-limit, min(limit, row[i + 1] + delta))
+
+
+class PerceptronValuePredictor:
+    """MVP-only predictor; predict/train interface as VTAGE's."""
+
+    def __init__(self, config=None, history=None, seed=0):
+        from repro.frontend.history import GlobalHistory
+
+        self.config = config or PerceptronVpConfig()
+        self.history = history if history is not None else GlobalHistory()
+        self._is_usual = _PerceptronTable(self.config)   # produces 0/1?
+        self._which = _PerceptronTable(self.config)      # 0x1 vs 0x0
+        self.stat_lookups = 0
+        self.stat_confident = 0
+        self.stat_correct_trained = 0
+        self.stat_incorrect_trained = 0
+
+    def _history_bits(self):
+        return self.history.recent_bits(self.config.history_bits)
+
+    def predict(self, pc):
+        self.stat_lookups += 1
+        bits = self._history_bits()
+        usual = self._is_usual.dot(pc, bits)
+        which = self._which.dot(pc, bits)
+        theta = self.config.theta
+        confident = usual > theta and abs(which) > theta
+        value = 1 if which >= 0 else 0
+        if confident:
+            self.stat_confident += 1
+        return Prediction(value, confident, (bits, usual, which))
+
+    def train(self, pc, actual_value, info):
+        bits, usual, which = info
+        is_usual = actual_value in (0, 1)
+        self._is_usual.train(pc, bits, 1 if is_usual else -1, usual)
+        predicted_value = 1 if which >= 0 else 0
+        confident = usual > self.config.theta and abs(which) > self.config.theta
+        if is_usual:
+            self._which.train(pc, bits, 1 if actual_value == 1 else -1, which)
+            correct = predicted_value == actual_value
+        else:
+            correct = False
+        if correct:
+            self.stat_correct_trained += 1
+        else:
+            self.stat_incorrect_trained += 1
+        return confident and not correct

@@ -1,0 +1,235 @@
+"""Speculative Strength Reduction (the paper's §4, Table 1).
+
+At rename, when a source operand's physical register *name* is a known
+small value — because its producer was value predicted (MVP/TVP/GVP),
+0/1-idiom eliminated, 9-bit-idiom eliminated, or itself SpSR'd — specific
+instructions can be strength-reduced and disappear from the backend:
+
+* ``add x0, x0, x1`` with ``x1 == 0x0``      -> move-idiom (ME handles it)
+* ``and x0, x1, x2`` with either source 0x0  -> zero-idiom
+* ``ands``/``subs``/``adds``/``cmp`` with all inputs known -> nop + known
+  NZCV deposited in a *frontend flags register* (hardwired NZCV physical
+  registers are assumed in the backend, per the paper's footnote 4)
+* ``cbz``/``tbz`` with a known source, ``b.cond``/``csel``/``csinc``/
+  ``csneg`` with known NZCV -> resolved/reduced at rename.
+
+The engine is purely combinational: given a µop and the known values of its
+operands (``None`` when unknown), it returns what the renamer should do.
+ARMv8 is the nice case (§4.2): the reduced instructions here have no side
+effects beyond the flags we track, so every reduction is a *full*
+elimination.
+
+``constant_folding=True`` additionally enables the natural generalization
+(an extension the paper leaves on the table): folding *any* ALU µop whose
+source values are all known — used by the ablation benchmark.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa.bits import mask
+from repro.isa.condition import condition_holds
+from repro.isa.opcodes import Op
+from repro.isa.semantics import branch_taken, compute_int, compute_movk, compute_unary
+
+
+class ReductionKind(enum.Enum):
+    """What the renamer should do with a reduced µop."""
+
+    VALUE = "value"    # destination renamed to a known value (0/1/inline)
+    MOVE = "move"      # destination renamed to a source's physical name
+    BRANCH = "branch"  # branch direction resolved at rename
+
+
+@dataclass
+class SpSRResult:
+    """A strength reduction decision."""
+
+    kind: ReductionKind
+    value: Optional[int] = None      # known result (VALUE), 64-bit unsigned
+    flags: Optional[int] = None      # known NZCV produced (nop+NZCV rows)
+    move_src: Optional[int] = None   # positional index of the moved source
+    taken: Optional[bool] = None     # resolved branch direction
+
+
+_SHIFTS = frozenset({Op.LSL, Op.LSR, Op.ASR})
+_ADD_LIKE = frozenset({Op.ADD, Op.ORR, Op.EOR})
+_FLAG_SETTERS = frozenset({Op.ADDS, Op.SUBS, Op.ANDS, Op.CMP, Op.CMN, Op.TST})
+_FOLDABLE = frozenset({
+    Op.ADD, Op.SUB, Op.AND, Op.ORR, Op.EOR, Op.BIC, Op.LSL, Op.LSR, Op.ASR,
+    Op.MUL,
+})
+
+
+class SpSREngine:
+    """Combinational Table 1 matcher.
+
+    ``reduce`` inspects one µop with the rename-time knowledge of its
+    operands and returns an :class:`SpSRResult` or ``None``.  The renamer
+    remains responsible for checking that a VALUE result is *encodable*
+    under the active VP flavor (hardwired 0/1 for MVP, int9 inlining for
+    TVP/GVP) before applying the reduction.
+    """
+
+    def __init__(self, constant_folding=False):
+        self.constant_folding = constant_folding
+
+    # -- public entry point -------------------------------------------------------
+    def reduce(self, uop, known, known_flags):
+        """*known*: tuple of Optional[int], one per ``uop.src_regs`` entry
+        (the xzr entries must already be 0); *known_flags*: the frontend
+        NZCV register value or ``None``."""
+        op = uop.op
+        if op in _FLAG_SETTERS:
+            return self._flag_setter(uop, known)
+        if op in (Op.CBZ, Op.CBNZ, Op.TBZ, Op.TBNZ):
+            if known and known[0] is not None:
+                taken = branch_taken(op, None, 0, known[0], uop.imm2 or 0)
+                return SpSRResult(ReductionKind.BRANCH, taken=taken)
+            return None
+        if op is Op.B_COND:
+            if known_flags is not None:
+                taken = condition_holds(uop.cond, known_flags)
+                return SpSRResult(ReductionKind.BRANCH, taken=taken)
+            return None
+        if op in (Op.CSEL, Op.CSINC, Op.CSNEG, Op.CSET):
+            return self._conditional_select(uop, known, known_flags)
+        if uop.dst is None:
+            return None
+        return self._data_processing(uop, known)
+
+    # -- data processing (Table 1 upper rows) --------------------------------------
+    def _operands(self, uop, known):
+        """Resolve (a, b, b_is_imm): b folds in the immediate or the shifted
+        second register source; unknown values stay None."""
+        a = known[0] if known else None
+        if len(uop.src_regs) >= 2:
+            b = known[1]
+            if b is not None and uop.imm2:
+                b = mask(b << uop.imm2, uop.width)
+            return a, b, False
+        return a, uop.imm, True
+
+    def _data_processing(self, uop, known):
+        op = uop.op
+        width = uop.width
+        a, b, b_is_imm = self._operands(uop, known)
+
+        if op in _ADD_LIKE:
+            # add/orr/eor dst, src0, #1 : one-idiom when src0 == 0.
+            if b_is_imm and a == 0 and b == 1:
+                return SpSRResult(ReductionKind.VALUE, value=1)
+            if not b_is_imm and a == 0:
+                # x OP 0 == x for add/orr/eor: dst takes src1's name
+                # (unless src1 carries a shift, in which case we need its
+                # value to fold the shifted result).
+                if not uop.imm2:
+                    return SpSRResult(ReductionKind.MOVE, move_src=1)
+                if b is not None:
+                    return SpSRResult(ReductionKind.VALUE, value=b)
+            if not b_is_imm and b == 0:
+                return SpSRResult(ReductionKind.MOVE, move_src=0)
+            return self._fold(uop, a, b)
+
+        if op is Op.SUB:
+            if b == 1 and a == 1:
+                return SpSRResult(ReductionKind.VALUE, value=0)
+            if b == 0 and not b_is_imm:
+                return SpSRResult(ReductionKind.MOVE, move_src=0)
+            return self._fold(uop, a, b)
+
+        if op is Op.AND:
+            if a == 0 or b == 0:
+                return SpSRResult(ReductionKind.VALUE, value=0)
+            if b == 1 and a == 1:
+                return SpSRResult(ReductionKind.VALUE, value=1)
+            return self._fold(uop, a, b)
+
+        if op in _SHIFTS:
+            if a == 0:
+                return SpSRResult(ReductionKind.VALUE, value=0)
+            if not b_is_imm and b == 0:
+                return SpSRResult(ReductionKind.MOVE, move_src=0)
+            return self._fold(uop, a, b)
+
+        if op in (Op.UBFM, Op.SBFM, Op.RBIT):
+            if known and known[0] == 0:
+                return SpSRResult(ReductionKind.VALUE, value=0)
+            if self.constant_folding and known and known[0] is not None:
+                value = compute_unary(op, known[0], width,
+                                      immr=uop.imm, imms=uop.imm2)
+                return SpSRResult(ReductionKind.VALUE, value=value)
+            return None
+
+        if op is Op.BIC:
+            if a == 0:
+                return SpSRResult(ReductionKind.VALUE, value=0)
+            if not b_is_imm and b == 0:
+                return SpSRResult(ReductionKind.MOVE, move_src=0)
+            return None
+
+        if op is Op.MOVK and self.constant_folding and known and known[0] is not None:
+            value = compute_movk(known[0], uop.imm, uop.imm2 or 0, width)
+            return SpSRResult(ReductionKind.VALUE, value=value)
+
+        if self.constant_folding and op is Op.CLZ and known and known[0] is not None:
+            value = compute_unary(op, known[0], width)
+            return SpSRResult(ReductionKind.VALUE, value=value)
+
+        if op is Op.MUL and self.constant_folding:
+            if a == 0 or b == 0:
+                return SpSRResult(ReductionKind.VALUE, value=0)
+            if b == 1 and not b_is_imm:
+                return SpSRResult(ReductionKind.MOVE, move_src=0)
+            if a == 1:
+                return SpSRResult(ReductionKind.MOVE, move_src=1)
+
+        return self._fold(uop, a, b)
+
+    def _fold(self, uop, a, b):
+        """Optional extension: full constant folding of known operands."""
+        if not self.constant_folding or uop.op not in _FOLDABLE:
+            return None
+        if a is None or b is None:
+            return None
+        value, _ = compute_int(uop.op, a, b, uop.width)
+        return SpSRResult(ReductionKind.VALUE, value=value)
+
+    # -- flag setters (nop + NZCV rows) ---------------------------------------------
+    def _flag_setter(self, uop, known):
+        a, b, _b_is_imm = self._operands(uop, known)
+        op = uop.op
+        # ands with *either* source known-zero: result and flags both known.
+        if op in (Op.ANDS, Op.TST) and (a == 0 or b == 0):
+            value, flags = compute_int(Op.ANDS, 0, 0, uop.width)
+            return SpSRResult(ReductionKind.VALUE, value=value, flags=flags)
+        if a is None or b is None:
+            return None
+        value, flags = compute_int(op, a, b, uop.width)
+        if op in (Op.CMP, Op.CMN, Op.TST) or uop.dst is None:
+            return SpSRResult(ReductionKind.VALUE, value=None, flags=flags)
+        return SpSRResult(ReductionKind.VALUE, value=value, flags=flags)
+
+    # -- conditional selects ------------------------------------------------------------
+    def _conditional_select(self, uop, known, known_flags):
+        if known_flags is None:
+            return None
+        op = uop.op
+        holds = condition_holds(uop.cond, known_flags)
+        if op is Op.CSET:
+            return SpSRResult(ReductionKind.VALUE, value=1 if holds else 0)
+        if holds:
+            return SpSRResult(ReductionKind.MOVE, move_src=0)
+        if op is Op.CSEL:
+            return SpSRResult(ReductionKind.MOVE, move_src=1)
+        # csinc/csneg with the condition false compute src1+1 / -src1:
+        # only reducible when that source is known (extension beyond the
+        # paper's "cond is true" rows).
+        if self.constant_folding and len(known) > 1 and known[1] is not None:
+            b = known[1]
+            if op is Op.CSINC:
+                return SpSRResult(ReductionKind.VALUE, value=mask(b + 1, uop.width))
+            if op is Op.CSNEG:
+                return SpSRResult(ReductionKind.VALUE, value=mask(-b, uop.width))
+        return None

@@ -1,0 +1,38 @@
+"""Bit-exact VTAGE storage accounting (reproduces Table 2's KB figures).
+
+Per-entry cost:
+
+* base table entry:   tag(4) + value(W) + confidence(3)          [no useful]
+* tagged table entry: tag(T) + value(W) + confidence(3) + useful(2)
+
+With the paper's geometry (2^12 base; tagged 2^9,9,8,8,8,7,7 with tags
+9,9,10,10,11,11,12) this yields **55.2 KB** at W=64 (GVP), **13.9 KB** at
+W=9 (TVP) and **7.9 KB** at W=1 (MVP) — exactly the numbers in Table 2,
+which is the repo's calibration check for this model
+(`tests/core/test_storage.py`).
+"""
+
+from repro.core.vtage import VtageConfig
+
+
+def vtage_storage_bits(config):
+    """Total predictor storage in bits for a :class:`VtageConfig`."""
+    bits = (1 << config.base_log2) * (
+        config.base_tag_bits + config.value_bits + config.confidence_bits)
+    for log2, tag in zip(config.tagged_log2, config.tag_bits):
+        bits += (1 << log2) * (
+            tag + config.value_bits + config.confidence_bits + config.useful_bits)
+    return bits
+
+
+def vtage_storage_kb(config):
+    """Storage in kilobytes (1 KB = 1024 bytes), as the paper reports it."""
+    return vtage_storage_bits(config) / 8.0 / 1024.0
+
+
+def flavor_config(flavor, log2_delta=0):
+    """The Table 2 predictor for a flavor, optionally size-scaled (Table 3)."""
+    config = VtageConfig(value_bits=flavor.value_bits or 64)
+    if log2_delta:
+        config = config.scaled(log2_delta)
+    return config

@@ -1,0 +1,237 @@
+"""VTAGE value predictor (Perais & Seznec, HPCA 2014).
+
+Structure per Table 2 of the paper: one tagged base table (2^12 entries,
+4-bit tags — an LVP-like last-value table) plus 7 tagged tables with
+geometric branch-history lengths 2..128 (log2 sizes 9,9,8,8,8,7,7 and tag
+widths 9,9,10,10,11,11,12).  Confidence is a 3-bit Forward Probabilistic
+Counter with 1/16 acceptance; tagged entries carry a 2-bit useful field.
+
+The *value field width* is the knob that turns this into the paper's three
+predictors: 64 bits (GVP, 55.2KB), 9 bits (TVP, 13.9KB) or 1 bit (MVP,
+7.9KB) — see :mod:`repro.core.storage` for the exact byte accounting.
+
+Because predictions are generated in the frontend but trained at retire,
+``predict`` returns an opaque ``info`` tuple that the pipeline keeps in the
+VP-tracking FIFO and hands back to ``train`` — the hardware analogue of
+carrying table/index down the pipe instead of re-hashing.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.fpc import ForwardProbabilisticCounter
+from repro.core.modes import decode_value_field, encode_value_field
+from repro.util.rng import XorShift64
+from repro.util.series import geometric_history_lengths
+
+
+@dataclass
+class VtageConfig:
+    """Geometry of a VTAGE predictor (defaults = the paper's Table 2)."""
+
+    value_bits: int = 64
+    base_log2: int = 12
+    base_tag_bits: int = 4
+    tagged_log2: Tuple[int, ...] = (9, 9, 8, 8, 8, 7, 7)
+    tag_bits: Tuple[int, ...] = (9, 9, 10, 10, 11, 11, 12)
+    min_history: int = 2
+    max_history: int = 128
+    confidence_bits: int = 3
+    fpc_one_in: int = 16
+    useful_bits: int = 2
+    useful_reset_period: int = 128 * 1024
+
+    def __post_init__(self):
+        if len(self.tagged_log2) != len(self.tag_bits):
+            raise ValueError("tagged_log2 and tag_bits must be equal length")
+
+    @property
+    def n_tagged(self):
+        return len(self.tagged_log2)
+
+    @property
+    def history_lengths(self):
+        return geometric_history_lengths(self.min_history, self.max_history,
+                                         self.n_tagged)
+
+    def scaled(self, log2_delta):
+        """Same tables/histories, entry counts scaled by 2^log2_delta.
+
+        This is exactly the paper's Table 3 protocol: "same number of
+        tables/history bits, only table size is modified".
+        """
+        return VtageConfig(
+            value_bits=self.value_bits,
+            base_log2=max(self.base_log2 + log2_delta, 4),
+            base_tag_bits=self.base_tag_bits,
+            tagged_log2=tuple(max(n + log2_delta, 4) for n in self.tagged_log2),
+            tag_bits=self.tag_bits,
+            min_history=self.min_history,
+            max_history=self.max_history,
+            confidence_bits=self.confidence_bits,
+            fpc_one_in=self.fpc_one_in,
+            useful_bits=self.useful_bits,
+            useful_reset_period=self.useful_reset_period,
+        )
+
+
+class _Entry:
+    """A tagged VTAGE entry (the base table leaves ``useful`` at 0)."""
+
+    __slots__ = ("tag", "value_field", "confidence", "useful", "valid")
+
+    def __init__(self):
+        self.tag = 0
+        self.value_field = 0
+        self.confidence = 0
+        self.useful = 0
+        self.valid = False
+
+
+@dataclass
+class Prediction:
+    """Outcome of a VTAGE lookup."""
+
+    value: Optional[int]       # full 64-bit predicted value (None: no hit)
+    confident: bool            # FPC saturated -> usable by the pipeline
+    info: tuple = field(repr=False, default=())
+
+    @property
+    def hit(self):
+        return self.value is not None
+
+
+class Vtage:
+    """The predictor.  Pair each ``predict`` with exactly one ``train``
+    (or ``abandon`` for squashed, never-validated predictions)."""
+
+    def __init__(self, config=None, history=None, seed=0xC0FFEE42):
+        from repro.frontend.history import GlobalHistory
+
+        self.config = config or VtageConfig()
+        self.history = history if history is not None else GlobalHistory()
+        self._rng = XorShift64(seed)
+        self._fpc = ForwardProbabilisticCounter(
+            self.config.confidence_bits, self.config.fpc_one_in, self._rng)
+        cfg = self.config
+        self.base = [_Entry() for _ in range(1 << cfg.base_log2)]
+        self.tables = [[_Entry() for _ in range(1 << log2)]
+                       for log2 in cfg.tagged_log2]
+        lengths = cfg.history_lengths
+        self._index_folds = [self.history.fold(length, log2)
+                             for length, log2 in zip(lengths, cfg.tagged_log2)]
+        self._tag_folds = [self.history.fold(length, bits)
+                           for length, bits in zip(lengths, cfg.tag_bits)]
+        self._trainings = 0
+        # Statistics.
+        self.stat_lookups = 0
+        self.stat_confident = 0
+        self.stat_correct_trained = 0
+        self.stat_incorrect_trained = 0
+
+    # -- hashing -----------------------------------------------------------------
+    def _base_index(self, pc):
+        return (pc >> 2) & ((1 << self.config.base_log2) - 1)
+
+    def _base_tag(self, pc):
+        return (pc >> (2 + self.config.base_log2)) & ((1 << self.config.base_tag_bits) - 1)
+
+    def _index(self, table, pc):
+        log2 = self.config.tagged_log2[table]
+        return ((pc >> 2) ^ (pc >> (2 + log2)) ^ self._index_folds[table].value) \
+            & ((1 << log2) - 1)
+
+    def _tag(self, table, pc):
+        bits = self.config.tag_bits[table]
+        return ((pc >> 2) ^ (self._tag_folds[table].value << 1)) & ((1 << bits) - 1)
+
+    # -- prediction ---------------------------------------------------------------
+    def predict(self, pc):
+        """Look up *pc* under the current global branch history."""
+        self.stat_lookups += 1
+        provider = -1
+        provider_index = -1
+        for table in range(self.config.n_tagged - 1, -1, -1):
+            index = self._index(table, pc)
+            entry = self.tables[table][index]
+            if entry.valid and entry.tag == self._tag(table, pc):
+                provider, provider_index = table, index
+                break
+        if provider < 0:
+            index = self._base_index(pc)
+            entry = self.base[index]
+            if not (entry.valid and entry.tag == self._base_tag(pc)):
+                return Prediction(None, False, (-2, index))
+            provider_index = index
+        else:
+            entry = self.tables[provider][provider_index]
+        value = decode_value_field(entry.value_field, self.config.value_bits)
+        confident = self._fpc.is_confident(entry.confidence)
+        if confident:
+            self.stat_confident += 1
+        return Prediction(value, confident, (provider, provider_index))
+
+    # -- training -----------------------------------------------------------------
+    def train(self, pc, actual_value, info):
+        """Retire-time update with the architecturally correct value.
+
+        *info* is the tuple returned by the paired ``predict``; the indices
+        it contains are reused verbatim (the FIFO-carried state).
+        """
+        provider, provider_index = info
+        field_value = encode_value_field(actual_value, self.config.value_bits)
+        mispredicted_confident = False
+        if provider == -2:
+            # Base-table miss: allocate the base entry (LVP behaviour).
+            entry = self.base[provider_index]
+            entry.tag = self._base_tag(pc)
+            entry.value_field = field_value
+            entry.confidence = 0
+            entry.valid = True
+        else:
+            entry = (self.base[provider_index] if provider < 0
+                     else self.tables[provider][provider_index])
+            predicted = decode_value_field(entry.value_field, self.config.value_bits)
+            if predicted == actual_value:
+                self.stat_correct_trained += 1
+                entry.confidence = self._fpc.increment(entry.confidence)
+                if provider >= 0 and self._fpc.is_confident(entry.confidence):
+                    entry.useful = min(entry.useful + 1,
+                                       (1 << self.config.useful_bits) - 1)
+            else:
+                self.stat_incorrect_trained += 1
+                mispredicted_confident = self._fpc.is_confident(entry.confidence)
+                if entry.confidence == 0:
+                    entry.value_field = field_value
+                entry.confidence = 0
+                if provider >= 0:
+                    entry.useful = max(entry.useful - 1, 0)
+                self._allocate(pc, field_value, provider)
+        self._trainings += 1
+        if self._trainings % self.config.useful_reset_period == 0:
+            self._reset_useful()
+        return mispredicted_confident
+
+    def _allocate(self, pc, field_value, provider):
+        """On a wrong value, try to steal an entry in a longer table."""
+        start = provider + 1
+        for table in range(max(start, 0), self.config.n_tagged):
+            index = self._index(table, pc)
+            entry = self.tables[table][index]
+            if entry.useful == 0:
+                if not self._rng.chance(2) and table < self.config.n_tagged - 1:
+                    continue  # probabilistic skip spreads allocations out
+                entry.tag = self._tag(table, pc)
+                entry.value_field = field_value
+                entry.confidence = 0
+                entry.useful = 0
+                entry.valid = True
+                return
+        for table in range(max(start, 0), self.config.n_tagged):
+            entry = self.tables[table][self._index(table, pc)]
+            entry.useful = max(entry.useful - 1, 0)
+
+    def _reset_useful(self):
+        for table in self.tables:
+            for entry in table:
+                entry.useful >>= 1

@@ -1,0 +1,6 @@
+"""Functional (architectural) emulation and dynamic µop traces."""
+
+from repro.emulator.machine import EmulationError, Machine
+from repro.emulator.trace import DynUop, trace_program
+
+__all__ = ["DynUop", "EmulationError", "Machine", "trace_program"]

@@ -1,0 +1,315 @@
+"""The functional machine: architectural state plus a µop-level stepper.
+
+The machine executes the program architecturally (the golden model) and
+emits :class:`~repro.emulator.trace.DynUop` records.  It is also used on its
+own by tests as a reference interpreter.
+"""
+
+from repro.emulator.trace import DynUop
+from repro.isa.bits import mask
+from repro.isa.opcodes import Op, access_size, exec_class
+from repro.isa.program import INST_BYTES
+from repro.isa.registers import FLAGS, N_ARCH_REGS, XZR, is_fpr
+from repro.isa.semantics import (
+    branch_taken,
+    compute_csel,
+    compute_fcmp,
+    compute_fcvtzs,
+    compute_fp,
+    compute_int,
+    compute_movk,
+    compute_scvtf,
+    compute_unary,
+)
+from repro.isa.uops import decode_program
+
+STACK_BASE = 0x0800_0000
+PAGE_SIZE = 4096
+PAGE_MASK = PAGE_SIZE - 1
+
+_INT_ALU_OPS = frozenset({
+    Op.ADD, Op.ADDS, Op.SUB, Op.SUBS, Op.AND, Op.ANDS, Op.ORR, Op.EOR,
+    Op.BIC, Op.LSL, Op.LSR, Op.ASR, Op.MUL, Op.SDIV, Op.UDIV,
+    Op.CMP, Op.CMN, Op.TST,
+})
+
+
+class EmulationError(RuntimeError):
+    """Raised when the program does something the emulator cannot run."""
+
+
+class Machine:
+    """Architectural state: registers, NZCV, byte-addressable memory, PC."""
+
+    def __init__(self, program, sp=STACK_BASE):
+        self.program = program
+        self.decoded = decode_program(program)
+        self.regs = [0] * N_ARCH_REGS
+        self.regs[32] = sp  # stack pointer
+        self.flags = 0
+        self.pc = program.entry_pc
+        self.halted = False
+        self._pages = {}
+        self._seq = 0
+        self._arch_seq = 0
+        for address, payload in program.data_image:
+            self._write_bytes(address, payload)
+
+    # -- memory ----------------------------------------------------------------
+    def _page(self, address):
+        base = address & ~PAGE_MASK
+        page = self._pages.get(base)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[base] = page
+        return page
+
+    def _write_bytes(self, address, payload):
+        for i, byte in enumerate(payload):
+            addr = address + i
+            self._page(addr)[addr & PAGE_MASK] = byte
+
+    def read_mem(self, address, size):
+        """Little-endian unsigned read of *size* bytes."""
+        value = 0
+        for i in range(size):
+            addr = address + i
+            value |= self._page(addr)[addr & PAGE_MASK] << (8 * i)
+        return value
+
+    def write_mem(self, address, value, size):
+        """Little-endian write of *size* bytes."""
+        for i in range(size):
+            addr = address + i
+            self._page(addr)[addr & PAGE_MASK] = (value >> (8 * i)) & 0xFF
+
+    # -- registers ---------------------------------------------------------------
+    def read_reg(self, operand):
+        """Architectural register read honouring xzr and w-views."""
+        if operand.reg == XZR:
+            return 0
+        value = self.regs[operand.reg]
+        return value & 0xFFFF_FFFF if operand.width == 32 else value
+
+    def write_reg(self, operand, value):
+        """Architectural register write (w-writes zero-extend; xzr is void)."""
+        if operand.reg == XZR:
+            return
+        self.regs[operand.reg] = mask(value, operand.width)
+
+    # -- execution ----------------------------------------------------------------
+    def run(self, max_instructions=100_000):
+        """Yield DynUops until HLT, a bad PC, or the instruction budget."""
+        executed = 0
+        while not self.halted and executed < max_instructions:
+            index = self.program.index_of(self.pc)
+            if not 0 <= index < len(self.program.instructions):
+                raise EmulationError(f"PC out of code range: {self.pc:#x}")
+            for uop_record in self.step(index):
+                yield uop_record
+            executed += 1
+
+    def step(self, index):
+        """Execute the architectural instruction at *index*; yield its µops."""
+        uops = self.decoded[index]
+        pc = self.pc
+        next_pc = pc + INST_BYTES
+        records = []
+        for position, uop in enumerate(uops):
+            record = self._execute_uop(uop, pc, position, len(uops), next_pc)
+            if record.is_branch and record.taken:
+                next_pc = record.target_pc
+            records.append(record)
+        # Patch next_pc into all records of this instruction and advance.
+        for record in records:
+            record.next_pc = next_pc
+        self.pc = next_pc
+        self._arch_seq += 1
+        return records
+
+    # -- helpers -------------------------------------------------------------------
+    def _operand_values(self, uop):
+        return tuple(self.read_reg(src) for src in uop.srcs)
+
+    def _deps_of(self, uop):
+        deps = [src.reg for src in uop.srcs if src.reg != XZR]
+        if uop.mem is not None:
+            deps.append(uop.mem.base.reg)
+            if uop.mem.offset_reg is not None and uop.mem.offset_reg.reg != XZR:
+                deps.append(uop.mem.offset_reg.reg)
+        if uop.reads_flags:
+            deps.append(FLAGS)
+        return tuple(deps)
+
+    def _mem_address(self, uop):
+        base = self.read_reg(uop.mem.base)
+        offset = uop.mem.offset_imm
+        if uop.mem.offset_reg is not None:
+            offset += self.read_reg(uop.mem.offset_reg) << uop.mem.offset_shift
+        return mask(base + offset, 64)
+
+    def _make_record(self, uop, pc, position, count, next_pc, *, result=None,
+                     flags_out=None, taken=False, target_pc=None, addr=None,
+                     size=0, store_value=None, src_values=()):
+        dst = uop.dsts[0] if uop.dsts else None
+        if dst is not None and dst.reg == XZR:
+            dst = None  # writes to xzr produce no architectural value
+        record = DynUop(
+            seq=self._seq, arch_seq=self._arch_seq, pc=pc, uop_index=position,
+            uop_count=count, op=uop.op, cls=exec_class(uop.op),
+            width=uop.width, dst=None if dst is None else dst.reg,
+            dst_is_fp=bool(dst and is_fpr(dst.reg)),
+            writes_flags=flags_out is not None,
+            deps=self._deps_of(uop),
+            src_regs=tuple(src.reg for src in uop.srcs),
+            cond=uop.cond, imm=uop.imm, imm2=uop.imm2, result=result,
+            flags_out=flags_out, is_branch=uop.is_branch,
+            is_cond_branch=uop.is_conditional_branch,
+            is_indirect=uop.is_indirect_branch,
+            is_call=uop.op in (Op.BL, Op.BLR), is_return=uop.op is Op.RET,
+            taken=taken, target_pc=target_pc, next_pc=next_pc,
+            is_load=uop.is_load, is_store=uop.is_store, addr=addr, size=size,
+            store_value=store_value, src_values=src_values, text=uop.text,
+        )
+        self._seq += 1
+        return record
+
+    def _execute_uop(self, uop, pc, position, count, next_pc):
+        op = uop.op
+        src_values = self._operand_values(uop)
+
+        if op in _INT_ALU_OPS:
+            a = src_values[0]
+            b = src_values[1] if len(src_values) > 1 else (uop.imm or 0)
+            reg_shift = uop.imm2 if (len(src_values) > 1 and uop.imm2) else 0
+            result, flags_out = compute_int(op, a, b, uop.width, reg_shift)
+            if uop.dsts:
+                self.write_reg(uop.dsts[0], result)
+            if flags_out is not None:
+                self.flags = flags_out
+            return self._make_record(uop, pc, position, count, next_pc,
+                                     result=result if uop.dsts else None,
+                                     flags_out=flags_out, src_values=src_values)
+
+        if op is Op.MADD:
+            a, b, c = src_values
+            result = mask(c + a * b, uop.width)
+            self.write_reg(uop.dsts[0], result)
+            return self._make_record(uop, pc, position, count, next_pc,
+                                     result=result, src_values=src_values)
+
+        if op in (Op.RBIT, Op.CLZ, Op.UBFM, Op.SBFM):
+            result = compute_unary(op, src_values[0], uop.width,
+                                   immr=uop.imm, imms=uop.imm2)
+            self.write_reg(uop.dsts[0], result)
+            return self._make_record(uop, pc, position, count, next_pc,
+                                     result=result, src_values=src_values)
+
+        if op is Op.MOV:
+            result = mask(src_values[0], uop.width)
+            self.write_reg(uop.dsts[0], result)
+            return self._make_record(uop, pc, position, count, next_pc,
+                                     result=result, src_values=src_values)
+
+        if op is Op.MOVZ:
+            result = mask(uop.imm or 0, uop.width)
+            self.write_reg(uop.dsts[0], result)
+            return self._make_record(uop, pc, position, count, next_pc,
+                                     result=result, src_values=src_values)
+
+        if op is Op.MOVK:
+            result = compute_movk(src_values[0], uop.imm, uop.imm2 or 0, uop.width)
+            self.write_reg(uop.dsts[0], result)
+            return self._make_record(uop, pc, position, count, next_pc,
+                                     result=result, src_values=src_values)
+
+        if op in (Op.CSEL, Op.CSINC, Op.CSNEG, Op.CSET):
+            a = src_values[0]
+            b = src_values[1] if len(src_values) > 1 else 0
+            result = compute_csel(op, uop.cond, self.flags, a, b, uop.width)
+            self.write_reg(uop.dsts[0], result)
+            return self._make_record(uop, pc, position, count, next_pc,
+                                     result=result, src_values=src_values)
+
+        if uop.is_load:
+            address = self._mem_address(uop)
+            size = access_size(op, uop.width)
+            raw = self.read_mem(address, size)
+            if op is Op.LDRSW:
+                raw = mask(raw | (0xFFFF_FFFF_0000_0000 if raw & 0x8000_0000 else 0), 64)
+            result = raw
+            self.write_reg(uop.dsts[0], result)
+            return self._make_record(uop, pc, position, count, next_pc,
+                                     result=result, addr=address, size=size,
+                                     src_values=src_values)
+
+        if uop.is_store:
+            address = self._mem_address(uop)
+            size = access_size(op, uop.width)
+            value = mask(src_values[0], min(uop.width, 8 * size)) & ((1 << (8 * size)) - 1)
+            self.write_mem(address, value, size)
+            return self._make_record(uop, pc, position, count, next_pc,
+                                     addr=address, size=size, store_value=value,
+                                     src_values=src_values)
+
+        if uop.is_branch:
+            return self._branch(uop, pc, position, count, next_pc, src_values)
+
+        if op is Op.FCMP:
+            flags_out = compute_fcmp(src_values[0], src_values[1])
+            self.flags = flags_out
+            return self._make_record(uop, pc, position, count, next_pc,
+                                     flags_out=flags_out, src_values=src_values)
+
+        if op in (Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV, Op.FMADD, Op.FMOV):
+            if op is Op.FMOV and not src_values:
+                result = uop.imm or 0
+            else:
+                a = src_values[0]
+                b = src_values[1] if len(src_values) > 1 else 0
+                c = src_values[2] if len(src_values) > 2 else 0
+                result = compute_fp(op, a, b, c)
+            self.write_reg(uop.dsts[0], result)
+            return self._make_record(uop, pc, position, count, next_pc,
+                                     result=result, src_values=src_values)
+
+        if op is Op.FCVTZS:
+            result = compute_fcvtzs(src_values[0], uop.width)
+            self.write_reg(uop.dsts[0], result)
+            return self._make_record(uop, pc, position, count, next_pc,
+                                     result=result, src_values=src_values)
+
+        if op is Op.SCVTF:
+            result = compute_scvtf(src_values[0], 64)
+            self.write_reg(uop.dsts[0], result)
+            return self._make_record(uop, pc, position, count, next_pc,
+                                     result=result, src_values=src_values)
+
+        if op is Op.NOP:
+            return self._make_record(uop, pc, position, count, next_pc)
+
+        if op is Op.HLT:
+            self.halted = True
+            return self._make_record(uop, pc, position, count, next_pc)
+
+        raise EmulationError(f"unimplemented opcode {op}")
+
+    def _branch(self, uop, pc, position, count, next_pc, src_values):
+        op = uop.op
+        if op in (Op.BR, Op.BLR, Op.RET):
+            target = src_values[0]
+        else:
+            target = self.program.resolve(uop.target) if uop.target else next_pc
+        src_value = src_values[0] if src_values else 0
+        taken = branch_taken(op, uop.cond, self.flags, src_value, uop.imm2 or 0)
+        result = None
+        if op in (Op.BL, Op.BLR):
+            result = pc + INST_BYTES
+            self.regs[30] = result
+        record = self._make_record(uop, pc, position, count, next_pc,
+                                   result=result, taken=taken,
+                                   target_pc=target if taken else None,
+                                   src_values=src_values)
+        if result is not None:
+            record.dst = 30
+        return record

@@ -1,0 +1,122 @@
+"""Dynamic micro-op trace records.
+
+The timing model is trace-driven: the functional emulator executes the
+program architecturally and emits one :class:`DynUop` per retired µop,
+carrying the concrete result value, memory address and branch outcome.  The
+timing model replays this correct-path stream and decides predictor
+hits/misses by comparing predictions against the recorded truth.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa.opcodes import ExecClass, Op
+
+
+@dataclass
+class DynUop:
+    """One dynamic micro-op on the correct path."""
+
+    __slots__ = (
+        "seq", "arch_seq", "pc", "uop_index", "uop_count", "op", "cls",
+        "width", "dst", "dst_is_fp", "writes_flags", "deps", "src_regs",
+        "cond", "imm", "imm2", "result", "flags_out", "is_branch",
+        "is_cond_branch", "is_indirect", "is_call", "is_return", "taken",
+        "target_pc", "next_pc", "is_load", "is_store", "addr", "size",
+        "store_value", "src_values", "text",
+    )
+
+    seq: int                 # global µop sequence number
+    arch_seq: int            # architectural instruction sequence number
+    pc: int
+    uop_index: int           # position within the architectural instruction
+    uop_count: int           # µops of the architectural instruction
+    op: Op
+    cls: ExecClass
+    width: int
+    dst: Optional[int]       # architectural destination register (or None)
+    dst_is_fp: bool
+    writes_flags: bool
+    deps: Tuple[int, ...]    # architectural registers read (incl. FLAGS)
+    src_regs: Tuple[int, ...]  # positional register sources (incl. xzr)
+    cond: Optional[object]   # condition code for csel/b.cond families
+    imm: Optional[int]
+    imm2: Optional[int]      # shift amount / tbz bit / ubfm imms
+    result: Optional[int]    # value written to dst
+    flags_out: Optional[int]
+    is_branch: bool
+    is_cond_branch: bool
+    is_indirect: bool
+    is_call: bool
+    is_return: bool
+    taken: bool
+    target_pc: Optional[int]  # where the branch goes when taken
+    next_pc: int              # actual next pc after this µop's instruction
+    is_load: bool
+    is_store: bool
+    addr: Optional[int]
+    size: int
+    store_value: Optional[int]
+    src_values: Tuple[int, ...]
+    text: str
+
+    @property
+    def is_last_uop(self):
+        """True for the final µop of its architectural instruction."""
+        return self.uop_index == self.uop_count - 1
+
+    def __repr__(self):
+        return f"<uop #{self.seq} pc={self.pc:#x} {self.text}>"
+
+
+@dataclass
+class TraceStats:
+    """Aggregate counts produced alongside a trace."""
+
+    arch_instructions: int = 0
+    uops: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    taken_branches: int = 0
+    gpr_writers: int = 0
+    value_histogram: dict = field(default_factory=dict)
+
+    @property
+    def expansion_ratio(self):
+        """µops per architectural instruction (the paper's Fig. 2 bars)."""
+        if self.arch_instructions == 0:
+            return 0.0
+        return self.uops / self.arch_instructions
+
+
+def trace_program(program, max_instructions=100_000, machine=None,
+                  collect_value_histogram=False):
+    """Emulate *program* and return ``(list_of_DynUop, TraceStats)``.
+
+    A convenience wrapper over :class:`~repro.emulator.machine.Machine`.
+    """
+    from repro.emulator.machine import Machine
+
+    machine = machine or Machine(program)
+    trace = []
+    stats = TraceStats()
+    histogram = stats.value_histogram
+    for uop in machine.run(max_instructions=max_instructions):
+        trace.append(uop)
+        stats.uops += 1
+        if uop.is_last_uop:
+            stats.arch_instructions += 1
+        if uop.is_load:
+            stats.loads += 1
+        elif uop.is_store:
+            stats.stores += 1
+        if uop.is_branch:
+            stats.branches += 1
+            if uop.taken:
+                stats.taken_branches += 1
+        if uop.dst is not None and not uop.dst_is_fp:
+            stats.gpr_writers += 1
+            if collect_value_histogram:
+                histogram[uop.result] = histogram.get(uop.result, 0) + 1
+    return trace, stats

@@ -1,0 +1,17 @@
+"""Frontend prediction structures: TAGE, BTB, RAS, indirect target cache."""
+
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.history import FoldedHistory, GlobalHistory
+from repro.frontend.indirect import IndirectTargetCache
+from repro.frontend.ras import ReturnAddressStack
+from repro.frontend.tage import Tage, TageConfig
+
+__all__ = [
+    "BranchTargetBuffer",
+    "FoldedHistory",
+    "GlobalHistory",
+    "IndirectTargetCache",
+    "ReturnAddressStack",
+    "Tage",
+    "TageConfig",
+]

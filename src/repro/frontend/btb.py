@@ -1,0 +1,48 @@
+"""Branch Target Buffer: set-associative, LRU, stores taken targets.
+
+A BTB miss on a taken branch means the frontend does not know the target at
+fetch; the paper's pipeline detects this "mistarget" at Decode (Table 2),
+costing a small redirect penalty that the fetch engine models.
+"""
+
+
+class BranchTargetBuffer:
+    """*entries* total, *ways*-way set associative, true-LRU."""
+
+    def __init__(self, entries=8192, ways=4):
+        if entries % ways:
+            raise ValueError("entries must be divisible by ways")
+        self.sets = entries // ways
+        self.ways = ways
+        # Per set: list of [tag, target] in LRU order (front = MRU).
+        self._data = [[] for _ in range(self.sets)]
+        self.stat_hits = 0
+        self.stat_misses = 0
+
+    def _locate(self, pc):
+        index = (pc >> 2) % self.sets
+        tag = pc >> 2
+        return self._data[index], tag
+
+    def lookup(self, pc):
+        """Predicted target for *pc*, or ``None`` on a BTB miss."""
+        ways, tag = self._locate(pc)
+        for position, way in enumerate(ways):
+            if way[0] == tag:
+                ways.insert(0, ways.pop(position))
+                self.stat_hits += 1
+                return way[1]
+        self.stat_misses += 1
+        return None
+
+    def install(self, pc, target):
+        """Insert/refresh the mapping pc -> target."""
+        ways, tag = self._locate(pc)
+        for position, way in enumerate(ways):
+            if way[0] == tag:
+                way[1] = target
+                ways.insert(0, ways.pop(position))
+                return
+        ways.insert(0, [tag, target])
+        if len(ways) > self.ways:
+            ways.pop()

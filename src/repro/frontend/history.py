@@ -1,0 +1,70 @@
+"""Global branch history with O(1) folded views (Seznec-style CSRs).
+
+TAGE-like predictors hash very long histories (up to 640 bits here) into
+table indices.  Folding the full history on every lookup would dominate
+simulation time, so each (length, width) view is maintained incrementally as
+a circular shift register updated once per history push.
+"""
+
+_RING_BITS = 2048
+
+
+class FoldedHistory:
+    """A *width*-bit fold of the most recent *length* history bits."""
+
+    __slots__ = ("length", "width", "value", "_out_shift")
+
+    def __init__(self, length, width):
+        self.length = length
+        self.width = width
+        self.value = 0
+        self._out_shift = length % width
+
+    def update(self, new_bit, old_bit):
+        """Push *new_bit*, retire *old_bit* (the bit leaving the window)."""
+        value = (self.value << 1) | new_bit
+        value ^= old_bit << self._out_shift
+        value ^= value >> self.width
+        self.value = value & ((1 << self.width) - 1)
+
+
+class GlobalHistory:
+    """Ring buffer of branch outcomes plus registered folded views.
+
+    ``push(taken)`` is O(number of registered folds).  ``fold(...)`` returns
+    a live :class:`FoldedHistory` whose ``value`` is always current.
+    """
+
+    def __init__(self):
+        self._ring = bytearray(_RING_BITS)
+        self._head = 0          # position of the *next* bit to write
+        self._folds = []
+
+    def fold(self, length, width):
+        """Register (or reuse) a folded view of the last *length* bits."""
+        if length >= _RING_BITS:
+            raise ValueError(f"history length {length} exceeds ring capacity")
+        for fold in self._folds:
+            if fold.length == length and fold.width == width:
+                return fold
+        fold = FoldedHistory(length, width)
+        self._folds.append(fold)
+        return fold
+
+    def push(self, taken):
+        """Append one branch outcome and update every folded view."""
+        ring = self._ring
+        head = self._head
+        new_bit = 1 if taken else 0
+        for fold in self._folds:
+            old_bit = ring[(head - fold.length) % _RING_BITS]
+            fold.update(new_bit, old_bit)
+        ring[head] = new_bit
+        self._head = (head + 1) % _RING_BITS
+
+    def recent_bits(self, count):
+        """The last *count* outcomes as an int (LSB = most recent)."""
+        value = 0
+        for i in range(count):
+            value |= self._ring[(self._head - 1 - i) % _RING_BITS] << i
+        return value

@@ -1,0 +1,44 @@
+"""Indirect Branch Target Cache: path-history-hashed target predictor.
+
+1k entries per Table 2.  Indexed by PC xor a short path history of recent
+taken-branch target bits, the classic ITTAGE-lite scheme.
+"""
+
+
+class IndirectTargetCache:
+    """Direct-mapped target cache with a small path-history hash."""
+
+    def __init__(self, entries=1024, path_bits=16):
+        self.entries = entries
+        self.path_bits = path_bits
+        self._table = [None] * entries  # each entry: (tag, target)
+        self._path = 0
+        self.stat_hits = 0
+        self.stat_misses = 0
+
+    def _index_tag(self, pc):
+        # Fold the whole path register into the low index bits (branch
+        # targets are aligned, so without the fold the low bits carry no
+        # path information at all).
+        path = self._path ^ (self._path >> 8)
+        hashed = (pc >> 2) ^ path
+        tag = ((pc >> 2) ^ (self._path << 1)) & 0xFFFF
+        return hashed % self.entries, tag
+
+    def lookup(self, pc):
+        """Predicted indirect target or ``None``."""
+        index, tag = self._index_tag(pc)
+        entry = self._table[index]
+        if entry is not None and entry[0] == tag:
+            self.stat_hits += 1
+            return entry[1]
+        self.stat_misses += 1
+        return None
+
+    def install(self, pc, target):
+        index, tag = self._index_tag(pc)
+        self._table[index] = (tag, target)
+
+    def push_path(self, target):
+        """Fold a taken-branch target into the path history."""
+        self._path = ((self._path << 2) ^ (target >> 2)) & ((1 << self.path_bits) - 1)

@@ -1,0 +1,30 @@
+"""Return Address Stack: a fixed-depth circular stack of call return PCs."""
+
+
+class ReturnAddressStack:
+    """Classic RAS; overflow wraps (oldest entries are silently lost)."""
+
+    def __init__(self, depth=32):
+        self.depth = depth
+        self._stack = [0] * depth
+        self._top = 0          # number of live entries, saturates at depth
+        self._pos = 0          # circular write position
+        self.stat_pushes = 0
+        self.stat_pops = 0
+        self.stat_underflows = 0
+
+    def push(self, return_pc):
+        self._stack[self._pos] = return_pc
+        self._pos = (self._pos + 1) % self.depth
+        self._top = min(self._top + 1, self.depth)
+        self.stat_pushes += 1
+
+    def pop(self):
+        """Predicted return target, or ``None`` when the stack is empty."""
+        self.stat_pops += 1
+        if self._top == 0:
+            self.stat_underflows += 1
+            return None
+        self._pos = (self._pos - 1) % self.depth
+        self._top -= 1
+        return self._stack[self._pos]

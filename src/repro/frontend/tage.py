@@ -1,0 +1,204 @@
+"""TAGE conditional branch predictor (Seznec, "A new case for TAGE").
+
+Configured per Table 2 of the paper: one bimodal base table plus 15 tagged
+tables with geometric history lengths 5..640, ~32KB total.  The simulator
+predicts and trains at fetch time with the correct outcome (trace-driven),
+which keeps the global history identical to hardware on the correct path.
+"""
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.util.rng import XorShift64
+from repro.util.series import geometric_history_lengths
+
+
+@dataclass
+class TageConfig:
+    """Geometry of a TAGE predictor."""
+
+    n_tables: int = 15
+    min_history: int = 5
+    max_history: int = 640
+    base_log2: int = 13                      # bimodal entries (2-bit each)
+    tagged_log2: List[int] = field(default_factory=lambda: [10] * 15)
+    tag_bits: List[int] = field(default_factory=lambda: list(range(8, 23)))
+    counter_bits: int = 3
+    useful_bits: int = 2
+    useful_reset_period: int = 256 * 1024
+
+    def __post_init__(self):
+        if len(self.tagged_log2) != self.n_tables:
+            raise ValueError("tagged_log2 must list one size per table")
+        if len(self.tag_bits) != self.n_tables:
+            raise ValueError("tag_bits must list one width per table")
+        self.tag_bits = [min(b, 14) for b in self.tag_bits]
+
+    @property
+    def history_lengths(self):
+        return geometric_history_lengths(self.min_history, self.max_history,
+                                         self.n_tables)
+
+    @property
+    def storage_bits(self):
+        """Total storage, for reporting against the paper's 32KB budget."""
+        bits = (1 << self.base_log2) * 2
+        entry_bits = [
+            tag + self.counter_bits + self.useful_bits for tag in self.tag_bits
+        ]
+        for log2, per_entry in zip(self.tagged_log2, entry_bits):
+            bits += (1 << log2) * per_entry
+        return bits
+
+
+class _TaggedEntry:
+    __slots__ = ("tag", "counter", "useful")
+
+    def __init__(self):
+        self.tag = 0
+        self.counter = 0  # signed-ish: 0..7, taken when >= 4
+        self.useful = 0
+
+
+class Tage:
+    """The predictor.  ``predict`` and ``update`` must be called in pairs."""
+
+    def __init__(self, config=None, history=None, seed=0xB5297A4D):
+        from repro.frontend.history import GlobalHistory
+
+        self.config = config or TageConfig()
+        self.history = history if history is not None else GlobalHistory()
+        self._rng = XorShift64(seed)
+        cfg = self.config
+        self.base = bytearray([2] * (1 << cfg.base_log2))  # weak not-taken
+        self.tables = [
+            [_TaggedEntry() for _ in range(1 << log2)] for log2 in cfg.tagged_log2
+        ]
+        lengths = cfg.history_lengths
+        self._index_folds = [
+            self.history.fold(length, log2)
+            for length, log2 in zip(lengths, cfg.tagged_log2)
+        ]
+        self._tag_folds = [
+            self.history.fold(length, tag_bits)
+            for length, tag_bits in zip(lengths, cfg.tag_bits)
+        ]
+        self._tag_folds2 = [
+            self.history.fold(length, max(tag_bits - 1, 1))
+            for length, tag_bits in zip(lengths, cfg.tag_bits)
+        ]
+        self._branches_seen = 0
+        self.stat_lookups = 0
+        self.stat_mispredicts = 0
+
+    # -- hashing ---------------------------------------------------------------
+    def _index(self, table, pc):
+        log2 = self.config.tagged_log2[table]
+        fold = self._index_folds[table].value
+        return (pc ^ (pc >> log2) ^ fold) & ((1 << log2) - 1)
+
+    def _tag(self, table, pc):
+        bits = self.config.tag_bits[table]
+        tag = pc ^ self._tag_folds[table].value ^ (self._tag_folds2[table].value << 1)
+        return tag & ((1 << bits) - 1)
+
+    def _base_index(self, pc):
+        return (pc >> 2) & ((1 << self.config.base_log2) - 1)
+
+    # -- prediction --------------------------------------------------------------
+    def predict(self, pc):
+        """Returns ``(taken, info)``; pass *info* back to :meth:`update`."""
+        self.stat_lookups += 1
+        provider = -1
+        provider_index = 0
+        alt = -1
+        alt_index = 0
+        for table in range(self.config.n_tables - 1, -1, -1):
+            index = self._index(table, pc)
+            entry = self.tables[table][index]
+            if entry.tag == self._tag(table, pc):
+                if provider < 0:
+                    provider, provider_index = table, index
+                else:
+                    alt, alt_index = table, index
+                    break
+        base_index = self._base_index(pc)
+        base_taken = self.base[base_index] >= 2
+        if provider >= 0:
+            entry = self.tables[provider][provider_index]
+            taken = entry.counter >= 4
+            alt_taken = (self.tables[alt][alt_index].counter >= 4
+                         if alt >= 0 else base_taken)
+        else:
+            taken = base_taken
+            alt_taken = base_taken
+        info = (provider, provider_index, alt, alt_index, base_index,
+                taken, alt_taken)
+        return taken, info
+
+    # -- update -------------------------------------------------------------------
+    def update(self, pc, taken, info):
+        """Train with the true outcome and push it into global history."""
+        provider, provider_index, alt, alt_index, base_index, predicted, alt_taken = info
+        if predicted != taken:
+            self.stat_mispredicts += 1
+        if provider >= 0:
+            entry = self.tables[provider][provider_index]
+            self._update_counter(entry, taken)
+            if predicted != alt_taken:
+                entry.useful = min(entry.useful + 1, 3) if predicted == taken \
+                    else max(entry.useful - 1, 0)
+            if alt < 0 and predicted != taken:
+                # Also train base when the provider was wrong and no alt.
+                self._update_base(base_index, taken)
+        else:
+            self._update_base(base_index, taken)
+        if predicted != taken:
+            self._allocate(pc, taken, provider)
+        self._branches_seen += 1
+        if self._branches_seen % self.config.useful_reset_period == 0:
+            self._reset_useful()
+        self.history.push(taken)
+
+    def _update_counter(self, entry, taken):
+        if taken:
+            entry.counter = min(entry.counter + 1, 7)
+        else:
+            entry.counter = max(entry.counter - 1, 0)
+
+    def _update_base(self, base_index, taken):
+        value = self.base[base_index]
+        self.base[base_index] = min(value + 1, 3) if taken else max(value - 1, 0)
+
+    def _allocate(self, pc, taken, provider):
+        """Allocate one entry in a longer-history table on a mispredict."""
+        start = provider + 1
+        candidates = [
+            table for table in range(start, self.config.n_tables)
+            if self.tables[table][self._index(table, pc)].useful == 0
+        ]
+        if not candidates:
+            for table in range(start, self.config.n_tables):
+                entry = self.tables[table][self._index(table, pc)]
+                entry.useful = max(entry.useful - 1, 0)
+            return
+        # Prefer the shortest candidate, with some randomization (Seznec).
+        choice = candidates[0]
+        if len(candidates) > 1 and self._rng.chance(2):
+            choice = candidates[1]
+        index = self._index(choice, pc)
+        entry = self.tables[choice][index]
+        entry.tag = self._tag(choice, pc)
+        entry.counter = 4 if taken else 3
+        entry.useful = 0
+
+    def _reset_useful(self):
+        for table in self.tables:
+            for entry in table:
+                entry.useful >>= 1
+
+    @property
+    def mispredict_rate(self):
+        if self.stat_lookups == 0:
+            return 0.0
+        return self.stat_mispredicts / self.stat_lookups

@@ -1,0 +1,30 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from repro.harness.runner import ExperimentRunner, RunRecord
+from repro.harness.experiments import (
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_prefetcher_ablation,
+    run_silencing_sweep,
+    run_table2,
+    run_table3,
+)
+
+__all__ = [
+    "ExperimentRunner",
+    "RunRecord",
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_prefetcher_ablation",
+    "run_silencing_sweep",
+    "run_table2",
+    "run_table3",
+]

@@ -1,0 +1,88 @@
+"""Command-line entry point: ``python -m repro.harness <experiment...>``.
+
+Examples::
+
+    python -m repro.harness fig3
+    python -m repro.harness fig3 fig5 --instructions 20000
+    python -m repro.harness all --workloads xml_tree,hash_loop
+    repro-harness table2
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.harness.experiments import EXPERIMENTS
+from repro.harness.runner import ExperimentRunner
+
+
+def _jsonable(value):
+    """Best-effort conversion of raw experiment payloads to JSON."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-harness",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiments", nargs="+",
+                        help="experiment ids (%s) or 'all'"
+                             % ", ".join(sorted(EXPERIMENTS)))
+    parser.add_argument("--instructions", type=int, default=None,
+                        help="dynamic instruction budget per workload "
+                             "(default: each workload's own default)")
+    parser.add_argument("--workloads", type=str, default=None,
+                        help="comma-separated subset of workload names")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print each simulation as it finishes")
+    parser.add_argument("--save", type=str, default=None, metavar="FILE",
+                        help="also write machine-readable results as JSON")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    names = list(args.experiments)
+    if "all" in names:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        return 2
+    workloads = None
+    if args.workloads:
+        from repro.workloads import suite
+
+        workloads = suite(args.workloads.split(","))
+    runner = ExperimentRunner(workloads=workloads,
+                              instructions=args.instructions,
+                              verbose=args.verbose)
+    saved = {}
+    for name in names:
+        started = time.time()
+        result = EXPERIMENTS[name](runner)
+        result.print()
+        print(f"[{name} completed in {time.time() - started:.1f}s]\n")
+        saved[name] = {
+            "title": result.title,
+            "headers": result.headers,
+            "rows": _jsonable(result.rows),
+            "notes": result.notes,
+            "raw": _jsonable(result.raw),
+        }
+    if args.save:
+        with open(args.save, "w") as handle:
+            json.dump(saved, handle, indent=2)
+        print(f"[results saved to {args.save}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

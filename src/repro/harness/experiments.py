@@ -1,0 +1,572 @@
+"""One function per table/figure of the paper's evaluation.
+
+Each ``run_*`` takes an :class:`~repro.harness.runner.ExperimentRunner`
+(sharing traces/results across experiments) and returns an
+:class:`~repro.harness.report.ExperimentResult` whose rows mirror what the
+paper plots; the ``notes`` carry the paper-vs-measured comparison.
+"""
+
+from repro.core.modes import VPFlavor
+from repro.core.storage import flavor_config, vtage_storage_kb
+from repro.harness import paper_data
+from repro.harness.report import ExperimentResult, pct
+from repro.pipeline.config import MachineConfig
+from repro.util.stats import amean, geomean, hmean, percent
+
+_FLAVORS = ("mvp", "tvp", "gvp")
+
+
+def _speedups(runner, config_names):
+    """{config: {workload: speedup%}} over the shared baseline."""
+    results = runner.run_all(("baseline",) + tuple(config_names))
+    base = results["baseline"]
+    table = {}
+    for name in config_names:
+        table[name] = {
+            wl: results[name][wl].speedup_over(base[wl])
+            for wl in results[name]
+        }
+    return table, results
+
+
+def _geomean_speedup(per_workload):
+    return 100.0 * (geomean(1.0 + s / 100.0 for s in per_workload.values()) - 1.0)
+
+
+# ------------------------------------------------------------------ Fig. 1
+def run_fig1(runner, top=20):
+    """Dynamic value distribution of GPR-writing instructions."""
+    from repro.workloads.profile import narrow_fraction, top_values, value_profile
+
+    budget = runner.instructions or 20_000
+    counter, total = value_profile(runner.workloads,
+                                   instructions_each=budget)
+    series = top_values(counter, total, top)
+    rows = [[f"{value:#x}", pct(share, signed=False)]
+            for value, share in series]
+    narrow9 = narrow_fraction(counter, total, bits=9)
+    zero_share = percent(counter.get(0, 0), total)
+    notes = [
+        f"paper: 0x0 is the most produced value (~{paper_data.FIG1_TOP_SHARE_APPROX}%), "
+        f"0x1 ranks 3rd, narrow values dominate",
+        f"measured: 0x0 share {zero_share:.2f}%, "
+        f"signed-9-bit-representable {narrow9:.1f}% of produced values",
+    ]
+    return ExperimentResult(
+        "fig1", "Fig. 1 — Dynamic value distribution (GPR writers)",
+        ["value", "share"], rows, notes,
+        raw={"zero_share": zero_share, "narrow9": narrow9,
+             "series": series},
+    )
+
+
+# ------------------------------------------------------------------ Fig. 2
+def run_fig2(runner):
+    """µops per architectural instruction (bars) and baseline IPC (line)."""
+    results = runner.run_all(("baseline",))["baseline"]
+    rows = []
+    expansions, ipcs = [], []
+    for workload in runner.workloads:
+        stats = results[workload.name].stats
+        rows.append([workload.name, f"{stats.expansion_ratio:.3f}",
+                     f"{stats.ipc:.3f}"])
+        expansions.append(stats.expansion_ratio)
+        ipcs.append(stats.ipc)
+    rows.append(["mean/hmean", f"{amean(expansions):.3f}",
+                 f"{hmean(ipcs):.3f}"])
+    low, high = paper_data.FIG2_EXPANSION_RANGE
+    notes = [
+        f"paper: per-benchmark expansion ratios ~{low}-{high} "
+        f"(pre/post-index addressing cracks into 2 µops)",
+        f"measured mean expansion: {amean(expansions):.3f}",
+    ]
+    return ExperimentResult(
+        "fig2", "Fig. 2 — µops per architectural instruction + baseline IPC",
+        ["workload", "uops/inst", "IPC"], rows, notes,
+        raw={"expansion_mean": amean(expansions), "ipc_hmean": hmean(ipcs)},
+    )
+
+
+# ------------------------------------------------------------------ Fig. 3
+def run_fig3(runner):
+    """Speedups of MVP/TVP/GVP over the ME+0/1-idiom baseline."""
+    speedups, results = _speedups(runner, _FLAVORS)
+    rows = []
+    for workload in runner.workloads:
+        name = workload.name
+        rows.append([name] + [pct(speedups[f][name]) for f in _FLAVORS])
+    gmeans = {f: _geomean_speedup(speedups[f]) for f in _FLAVORS}
+    rows.append(["geomean"] + [pct(gmeans[f]) for f in _FLAVORS])
+    coverage = {f: 100 * amean(results[f][wl].stats.vp_coverage
+                               for wl in speedups[f]) for f in _FLAVORS}
+    accuracy = {f: 100 * amean(results[f][wl].stats.vp_accuracy
+                               for wl in speedups[f]
+                               if results[f][wl].stats.vp_correct_used) or 100.0
+                for f in _FLAVORS}
+    notes = [
+        "paper geomeans: MVP +{mvp:.2f}%, TVP +{tvp:.2f}%, GVP +{gvp:.2f}%".format(
+            **paper_data.FIG3_GEOMEAN_SPEEDUP),
+        "measured geomeans: MVP {m}, TVP {t}, GVP {g}".format(
+            m=pct(gmeans["mvp"]), t=pct(gmeans["tvp"]), g=pct(gmeans["gvp"])),
+        "paper avg coverage: MVP {mvp}%, TVP {tvp}%, GVP {gvp}%".format(
+            **paper_data.FIG3_COVERAGE),
+        "measured avg coverage: MVP {m:.1f}%, TVP {t:.1f}%, GVP {g:.1f}%".format(
+            m=coverage["mvp"], t=coverage["tvp"], g=coverage["gvp"]),
+        "xml_tree is the xalancbmk-style outlier (paper: GVP +52.65%)",
+    ]
+    return ExperimentResult(
+        "fig3", "Fig. 3 — Speedup of MVP/TVP/GVP over baseline",
+        ["workload", "MVP", "TVP", "GVP"], rows, notes,
+        raw={"geomeans": gmeans, "coverage": coverage, "accuracy": accuracy,
+             "per_workload": speedups},
+    )
+
+
+# ---------------------------------------------------------------- Table 2
+def run_table2(_runner=None):
+    """Predictor storage model (the VP rows of Table 2) — closed form."""
+    rows = []
+    for flavor_name in ("gvp", "tvp", "mvp"):
+        flavor = VPFlavor[flavor_name.upper()]
+        measured = vtage_storage_kb(flavor_config(flavor))
+        published = paper_data.TABLE2_STORAGE_KB[flavor_name]
+        rows.append([flavor_name.upper(), f"{measured:.2f} KB",
+                     f"{published} KB",
+                     "match" if int(measured * 10) / 10 == published else "DIFF"])
+    notes = ["paper truncates to one decimal; we report two and compare "
+             "after truncation"]
+    return ExperimentResult(
+        "table2", "Table 2 (VP rows) — value predictor storage",
+        ["flavor", "measured", "paper", "verdict"], rows, notes,
+        raw={row[0]: row[1] for row in rows},
+    )
+
+
+# ---------------------------------------------------------------- Table 3
+def run_table3(runner):
+    """Geomean speedup per flavor at four predictor storage budgets."""
+    base_results = runner.run_all(("baseline",))["baseline"]
+    rows = []
+    raw = {}
+    for budget, delta in paper_data.TABLE3_LOG2_DELTAS.items():
+        row = [budget]
+        raw[budget] = {}
+        for flavor_name in _FLAVORS:
+            flavor = VPFlavor[flavor_name.upper()]
+            vtage = flavor_config(flavor, log2_delta=delta)
+            config = runner.config(flavor_name, vtage=vtage)
+            config_name = f"{flavor_name}@{budget}"
+            speedups = {}
+            for workload in runner.workloads:
+                record = runner.run(workload, config_name, config=config)
+                speedups[workload.name] = record.speedup_over(
+                    base_results[workload.name])
+            gmean = _geomean_speedup(speedups)
+            raw[budget][flavor_name] = gmean
+            paper_value = paper_data.TABLE3[budget][flavor_name]
+            row.append(f"{pct(gmean)} (paper {pct(paper_value)})")
+        rows.append(row)
+    notes = [
+        "protocol per the paper: same tables/histories, only entry counts "
+        "scaled (log2 deltas {} vs the MVP-budget geometry)".format(
+            dict(paper_data.TABLE3_LOG2_DELTAS)),
+        "expected shape: GVP scales with budget; MVP saturates by ~4-8KB",
+    ]
+    return ExperimentResult(
+        "table3", "Table 3 — geomean speedup vs predictor storage budget",
+        ["budget", "MVP", "TVP", "GVP"], rows, notes, raw=raw)
+
+
+# ------------------------------------------------------------------ Fig. 4
+def run_fig4(runner):
+    """Fraction of rename-eliminated instructions, MVP+SpSR and TVP+SpSR."""
+    results = runner.run_all(("mvp+spsr", "tvp+spsr"))
+    categories = ["zero_idiom", "one_idiom", "move", "nine_bit_idiom",
+                  "spsr", "non_me_move"]
+    rows = []
+    means = {}
+    for config_name in ("mvp+spsr", "tvp+spsr"):
+        per_cat = {cat: [] for cat in categories}
+        for workload in runner.workloads:
+            fractions = results[config_name][workload.name] \
+                .stats.elimination_fractions()
+            rows.append([config_name, workload.name] +
+                        [pct(fractions[c], signed=False) for c in categories])
+            for cat in categories:
+                per_cat[cat].append(fractions[cat])
+        means[config_name] = {cat: amean(v) for cat, v in per_cat.items()}
+        rows.append([config_name, "amean"] +
+                    [pct(means[config_name][c], signed=False)
+                     for c in categories])
+    notes = [
+        "paper (MVP): 0-idiom 0.72%, 1-idiom 0.39%, move 3.96%, SpSR 1.73%, "
+        "non-ME move 0.44%",
+        "paper (TVP): + 9-bit idiom 0.48%, SpSR 1.70%",
+        "synthetic kernels are idiom-denser than SPEC, so absolute "
+        "fractions run higher; the category structure is the check",
+    ]
+    return ExperimentResult(
+        "fig4", "Fig. 4 — Instructions eliminated at rename (by category)",
+        ["config", "workload"] + categories, rows, notes, raw=means)
+
+
+# ------------------------------------------------------------------ Fig. 5
+def run_fig5(runner):
+    """Speedup of MVP/TVP with and without SpSR."""
+    config_names = ("mvp", "mvp+spsr", "tvp", "tvp+spsr")
+    speedups, _results = _speedups(runner, config_names)
+    rows = []
+    for workload in runner.workloads:
+        rows.append([workload.name] +
+                    [pct(speedups[c][workload.name]) for c in config_names])
+    gmeans = {c: _geomean_speedup(speedups[c]) for c in config_names}
+    rows.append(["geomean"] + [pct(gmeans[c]) for c in config_names])
+    notes = [
+        "paper geomeans: MVP +0.54% / +SpSR +0.64%; TVP +1.11% / +SpSR +1.17%",
+        "expected shape: SpSR moves IPC very little either way (its win is "
+        "backend activity, Fig. 6)",
+    ]
+    return ExperimentResult(
+        "fig5", "Fig. 5 — MVP/TVP speedup with and without SpSR",
+        ["workload", "MVP", "MVP+SpSR", "TVP", "TVP+SpSR"], rows, notes,
+        raw=gmeans)
+
+
+# ------------------------------------------------------------------ Fig. 6
+def run_fig6(runner):
+    """Activity proxies normalized to baseline."""
+    config_names = ("mvp", "mvp+spsr", "tvp", "tvp+spsr", "gvp", "gvp+spsr")
+    results = runner.run_all(("baseline",) + config_names)
+    base = results["baseline"]
+    metrics = ["int_prf_reads", "int_prf_writes", "iq_dispatched", "iq_issued"]
+    rows = []
+    raw = {}
+    for config_name in config_names:
+        deltas = {}
+        for metric in metrics:
+            base_total = sum(getattr(base[wl].stats, metric)
+                             for wl in base)
+            total = sum(getattr(results[config_name][wl].stats, metric)
+                        for wl in results[config_name])
+            deltas[metric] = percent(total - base_total, base_total)
+        raw[config_name] = deltas
+        rows.append([config_name] + [pct(deltas[m]) for m in metrics])
+    notes = [
+        "paper: MVP -2.41% PRF reads / -4.17% writes; TVP -9.51% / -11.32%; "
+        "GVP *increases* writes (explicit wide-prediction writes)",
+        "paper: SpSR lowers IQ dispatch/issue by ~1.5-2.7%",
+    ]
+    return ExperimentResult(
+        "fig6", "Fig. 6 — INT PRF and IQ activity vs baseline",
+        ["config"] + metrics, rows, notes, raw=raw)
+
+
+# --------------------------------------------------------- §3.4.1 ablation
+def run_silencing_sweep(runner, cycles=(0, 15, 250, 1000)):
+    """Sensitivity to the post-mispredict silencing window."""
+    base_results = runner.run_all(("baseline",))["baseline"]
+    rows = []
+    raw = {}
+    for silence in cycles:
+        row = [str(silence)]
+        raw[silence] = {}
+        for flavor_name in _FLAVORS:
+            config = runner.config(flavor_name, vp_silence_cycles=silence)
+            speedups = {}
+            flushes = 0
+            for workload in runner.workloads:
+                record = runner.run(workload, f"{flavor_name}@sil{silence}",
+                                    config=config)
+                speedups[workload.name] = record.speedup_over(
+                    base_results[workload.name])
+                flushes += record.stats.vp_flushes
+            gmean = _geomean_speedup(speedups)
+            raw[silence][flavor_name] = {"gmean": gmean, "flushes": flushes}
+            row.append(f"{pct(gmean)} ({flushes} fl)")
+        rows.append(row)
+    notes = [
+        "paper §3.4.1: 15 cycles suffices except for one prefetcher "
+        "interaction; 250 is used everywhere as it costs nothing",
+        "0 cycles risks livelock (the repeated-mispredict loop); the "
+        "deadlock watchdog would catch it",
+    ]
+    return ExperimentResult(
+        "silencing", "§3.4.1 — silencing-cycle sensitivity (geomean speedup)",
+        ["silence cycles", "MVP", "TVP", "GVP"], rows, notes, raw=raw)
+
+
+# -------------------------------------------------------- §6.2 ablation
+def run_prefetcher_ablation(runner):
+    """SpSR x L1D-stride-prefetcher interaction (the roms/cam4 anecdote)."""
+    from repro.pipeline.config import MemoryConfig
+
+    rows = []
+    raw = {}
+    for prefetch_on in (True, False):
+        memory = MemoryConfig(enable_stride_prefetcher=prefetch_on)
+        tag = "pf_on" if prefetch_on else "pf_off"
+        base_records = {}
+        for workload in runner.workloads:
+            base_records[workload.name] = runner.run(
+                workload, f"baseline@{tag}",
+                config=MachineConfig.baseline(memory=memory))
+        for config_name in ("tvp", "tvp+spsr"):
+            config = runner.config(config_name, memory=memory)
+            speedups = {}
+            for workload in runner.workloads:
+                record = runner.run(workload, f"{config_name}@{tag}",
+                                    config=config)
+                speedups[workload.name] = record.speedup_over(
+                    base_records[workload.name])
+            gmean = _geomean_speedup(speedups)
+            raw[(tag, config_name)] = gmean
+            rows.append([tag, config_name, pct(gmean)])
+    notes = [
+        "paper §6.2: with the stride prefetcher off, SpSR's residual "
+        "slowdowns on perlbench/x264/cam4 disappear (TVP+SpSR geomean "
+        "+0.11% vs +0.06% with it on)",
+    ]
+    return ExperimentResult(
+        "prefetcher", "§6.2 — SpSR x stride-prefetcher interaction",
+        ["prefetcher", "config", "geomean speedup"], rows, notes, raw=raw)
+
+
+# ----------------------------------------------------- extension ablations
+def run_recovery_ablation(runner):
+    """Flush vs selective replay (§2.2 / §3.4).
+
+    Replay can only repair wide GVP predictions (real storage); MVP/TVP
+    must flush regardless — so the knob shows movement only for GVP, which
+    is exactly the paper's argument for keeping the simple flush.
+    """
+    base_results = runner.run_all(("baseline",))["baseline"]
+    rows = []
+    raw = {}
+    for flavor_name in _FLAVORS:
+        for recovery in ("flush", "replay"):
+            config = runner.config(flavor_name, vp_recovery=recovery)
+            speedups = {}
+            flushes = replays = 0
+            for workload in runner.workloads:
+                record = runner.run(workload,
+                                    f"{flavor_name}@{recovery}",
+                                    config=config)
+                speedups[workload.name] = record.speedup_over(
+                    base_results[workload.name])
+                flushes += record.stats.vp_flushes
+                replays += record.stats.vp_replays
+            gmean = _geomean_speedup(speedups)
+            raw[(flavor_name, recovery)] = {"gmean": gmean,
+                                            "flushes": flushes,
+                                            "replays": replays}
+            rows.append([flavor_name, recovery, pct(gmean),
+                         str(flushes), str(replays)])
+    notes = [
+        "MVP/TVP predictions live in hardwired/inline names with no "
+        "storage for the correct value: replay structurally cannot fire "
+        "(replays stay 0), the paper's §3.4 asymmetry",
+        "with >99.9% accuracy, recoveries are so rare the scheme choice "
+        "barely moves geomean IPC — the paper's reason to keep flush",
+    ]
+    return ExperimentResult(
+        "recovery", "Ablation — flush vs selective replay recovery",
+        ["flavor", "recovery", "geomean speedup", "flushes", "replays"],
+        rows, notes, raw=raw)
+
+
+def run_capacity_sweep(runner, log2_deltas=(-7, -5, -3, 0)):
+    """Scale-compensated Table 3: predictor capacity pressure.
+
+    At our 10^4-instruction scale even the paper's ~4KB point holds every
+    static µop, so Table 3's GVP-budget sensitivity cannot appear at its
+    absolute sizes.  Shrinking the tables much further (down to tens of
+    entries) recreates the same capacity mechanism proportionally: with
+    too few entries, tag aliasing destroys confidence and coverage, and it
+    recovers as the predictor grows.
+    """
+    from repro.core.storage import flavor_config, vtage_storage_kb
+
+    base_results = runner.run_all(("baseline",))["baseline"]
+    rows = []
+    raw = {}
+    for delta in log2_deltas:
+        row = [f"2^{delta}"]
+        raw[delta] = {}
+        for flavor_name in _FLAVORS:
+            flavor = VPFlavor[flavor_name.upper()]
+            vtage = flavor_config(flavor, log2_delta=delta)
+            config = runner.config(flavor_name, vtage=vtage)
+            speedups, coverages = {}, []
+            for workload in runner.workloads:
+                record = runner.run(workload,
+                                    f"{flavor_name}@cap{delta}",
+                                    config=config)
+                speedups[workload.name] = record.speedup_over(
+                    base_results[workload.name])
+                coverages.append(record.stats.vp_coverage)
+            gmean = _geomean_speedup(speedups)
+            coverage = 100 * amean(coverages)
+            raw[delta][flavor_name] = {"gmean": gmean,
+                                       "coverage": coverage,
+                                       "kb": vtage_storage_kb(vtage)}
+            row.append(f"{pct(gmean)} cov {coverage:.1f}% "
+                       f"({vtage_storage_kb(vtage):.2f}KB)")
+        rows.append(row)
+    notes = [
+        "the proportional analogue of Table 3 for short traces: coverage "
+        "and speedup collapse when entries alias, recover with capacity",
+    ]
+    return ExperimentResult(
+        "capacity", "Ablation — predictor capacity pressure "
+        "(scale-compensated Table 3)",
+        ["table scale", "MVP", "TVP", "GVP"], rows, notes, raw=raw)
+
+
+
+def run_predictor_ablation(runner):
+    """Swap-in predictor algorithms (§7: VTAGE vs LVP vs stride vs
+    perceptron-MVP)."""
+    from repro.core.lvp import LvpConfig
+    from repro.core.perceptron import PerceptronVpConfig
+    from repro.core.stride import StrideVpConfig
+    from repro.core.storage import flavor_config, vtage_storage_bits
+
+    base_results = runner.run_all(("baseline",))["baseline"]
+    points = [
+        ("tvp", "vtage", vtage_storage_bits(flavor_config(VPFlavor.TVP))),
+        ("tvp", "lvp", LvpConfig(value_bits=9).storage_bits),
+        ("tvp", "stride", StrideVpConfig(value_bits=9).storage_bits),
+        ("mvp", "vtage", vtage_storage_bits(flavor_config(VPFlavor.MVP))),
+        ("mvp", "perceptron", PerceptronVpConfig().storage_bits),
+    ]
+    rows = []
+    raw = {}
+    for flavor_name, algorithm, storage_bits in points:
+        config = runner.config(flavor_name, vp_algorithm=algorithm)
+        speedups, coverages = {}, []
+        for workload in runner.workloads:
+            record = runner.run(workload, f"{flavor_name}/{algorithm}",
+                                config=config)
+            speedups[workload.name] = record.speedup_over(
+                base_results[workload.name])
+            coverages.append(record.stats.vp_coverage)
+        gmean = _geomean_speedup(speedups)
+        raw[(flavor_name, algorithm)] = gmean
+        rows.append([flavor_name, algorithm,
+                     f"{storage_bits / 8 / 1024:.1f} KB", pct(gmean),
+                     pct(100 * amean(coverages), signed=False)])
+    notes = [
+        "paper §7: 'there exist many variations of value predictors that "
+        "could be swapped in'; perceptron-MVP is its explicit suggestion",
+        "expected shape: VTAGE >= LVP (history sensitivity); stride adds "
+        "speculative in-flight state for little targeted-VP gain",
+    ]
+    return ExperimentResult(
+        "predictors", "Ablation — swap-in value prediction algorithms",
+        ["flavor", "algorithm", "storage", "geomean speedup", "coverage"],
+        rows, notes, raw=raw)
+
+
+def run_spsr_folding_ablation(runner):
+    """SpSR constant folding: the generalization the paper leaves open."""
+    base_results = runner.run_all(("baseline",))["baseline"]
+    rows = []
+    raw = {}
+    for label, config in [
+        ("tvp", MachineConfig.tvp()),
+        ("tvp+spsr", MachineConfig.tvp(spsr=True)),
+        ("tvp+spsr+fold", MachineConfig.tvp(spsr=True,
+                                            spsr_constant_folding=True)),
+    ]:
+        speedups, spsr_fracs = {}, []
+        for workload in runner.workloads:
+            record = runner.run(workload, f"fold/{label}", config=config)
+            speedups[workload.name] = record.speedup_over(
+                base_results[workload.name])
+            spsr_fracs.append(
+                record.stats.elimination_fractions()["spsr"])
+        gmean = _geomean_speedup(speedups)
+        raw[label] = {"gmean": gmean, "spsr_amean": amean(spsr_fracs)}
+        rows.append([label, pct(gmean),
+                     pct(amean(spsr_fracs), signed=False)])
+    notes = [
+        "constant folding reduces any Table-1-adjacent ALU µop whose "
+        "operands are all rename-time known (an extension beyond Table 1)",
+        "expected: strictly more eliminations, IPC still nearly flat",
+    ]
+    return ExperimentResult(
+        "folding", "Ablation — SpSR with full constant folding",
+        ["config", "geomean speedup", "SpSR eliminated (amean)"],
+        rows, notes, raw=raw)
+
+
+def run_value_width_sweep(runner, widths=(1, 5, 9, 13, 17, 33, 64)):
+    """Predictor value-field width vs storage vs achievable coverage.
+
+    Standalone VTAGE over the suite's traces (no timing): the tradeoff
+    curve that motivates the paper's choice of 1/9/64-bit design points.
+    """
+    from repro.core.storage import vtage_storage_kb
+    from repro.core.vtage import Vtage, VtageConfig
+    from repro.frontend.history import GlobalHistory
+    from repro.rename.renamer import vp_eligible
+
+    rows = []
+    raw = {}
+    for width in widths:
+        correct = 0
+        eligible = 0
+        for workload in runner.workloads:
+            history = GlobalHistory()
+            predictor = Vtage(VtageConfig(value_bits=width), history=history)
+            for uop in runner.trace_of(workload):
+                if uop.is_cond_branch:
+                    history.push(uop.taken)
+                if not vp_eligible(uop):
+                    continue
+                eligible += 1
+                prediction = predictor.predict(uop.pc)
+                if prediction.confident and prediction.value == uop.result:
+                    correct += 1
+                predictor.train(uop.pc, uop.result, prediction.info)
+        coverage = percent(correct, eligible)
+        storage = vtage_storage_kb(VtageConfig(value_bits=width))
+        raw[width] = {"coverage": coverage, "kb": storage}
+        rows.append([str(width), f"{storage:.1f} KB",
+                     pct(coverage, signed=False)])
+    notes = [
+        "the paper's design points are 1 (MVP), 9 (TVP) and 64 (GVP) bits",
+        "expected: coverage grows with width while storage grows linearly; "
+        "the knee past 9 bits is what makes TVP 'targeted'",
+    ]
+    return ExperimentResult(
+        "width", "Ablation — value-field width vs storage vs coverage",
+        ["value bits", "storage", "coverage"], rows, notes, raw=raw)
+
+
+EXPERIMENTS = {
+    "fig1": run_fig1,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "table2": run_table2,
+    "table3": run_table3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "silencing": run_silencing_sweep,
+    "prefetcher": run_prefetcher_ablation,
+    "predictors": run_predictor_ablation,
+    "folding": run_spsr_folding_ablation,
+    "width": run_value_width_sweep,
+    "capacity": run_capacity_sweep,
+    "recovery": run_recovery_ablation,
+}
+
+
+def _register_characterize():
+    from repro.harness.inspect import run_characterize
+
+    EXPERIMENTS["characterize"] = run_characterize
+
+
+_register_characterize()

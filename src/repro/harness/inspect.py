@@ -1,0 +1,137 @@
+"""Workload characterization: the analysis behind Figs. 1-2.
+
+``characterize(workload)`` runs the functional emulator and summarizes the
+properties the paper's reasoning depends on — instruction mix, µop
+expansion, branch and value behaviour, VP-eligibility and the
+narrow-value share.  Exposed as ``python -m repro.harness characterize``.
+"""
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.emulator.trace import trace_program
+from repro.isa.bits import fits_signed
+from repro.isa.opcodes import ExecClass, FP_OPS
+from repro.rename.renamer import vp_eligible
+
+
+@dataclass
+class Characterization:
+    """Per-workload profile summary."""
+
+    name: str
+    arch_instructions: int = 0
+    uops: int = 0
+    expansion: float = 1.0
+    mix: Dict[str, float] = field(default_factory=dict)   # % of µops
+    branch_share: float = 0.0
+    taken_share: float = 0.0
+    load_share: float = 0.0
+    store_share: float = 0.0
+    fp_share: float = 0.0
+    vp_eligible_share: float = 0.0
+    zero_share: float = 0.0      # of GPR-writer results
+    one_share: float = 0.0
+    narrow9_share: float = 0.0
+    top_values: list = field(default_factory=list)
+    static_pcs: int = 0
+    static_eligible_pcs: int = 0
+
+
+_MIX_BUCKETS = {
+    ExecClass.INT_ALU: "int_alu",
+    ExecClass.INT_MUL: "int_mul",
+    ExecClass.INT_DIV: "int_div",
+    ExecClass.FP_ALU: "fp",
+    ExecClass.FP_MUL: "fp",
+    ExecClass.FP_DIV: "fp",
+    ExecClass.LOAD: "load",
+    ExecClass.STORE: "store",
+    ExecClass.BRANCH: "branch",
+    ExecClass.NOP: "nop",
+}
+
+
+def characterize(workload, instructions=10_000):
+    """Profile one workload functionally (no timing model involved)."""
+    trace, stats = trace_program(workload.program,
+                                 max_instructions=instructions)
+    profile = Characterization(name=workload.name)
+    profile.arch_instructions = stats.arch_instructions
+    profile.uops = stats.uops
+    profile.expansion = stats.expansion_ratio
+
+    mix = Counter()
+    values = Counter()
+    gpr_writers = 0
+    eligible = 0
+    pcs = set()
+    eligible_pcs = set()
+    taken = 0
+    branches = 0
+    for uop in trace:
+        mix[_MIX_BUCKETS[uop.cls]] += 1
+        pcs.add(uop.pc)
+        if uop.is_branch:
+            branches += 1
+            taken += 1 if uop.taken else 0
+        if vp_eligible(uop):
+            eligible += 1
+            eligible_pcs.add(uop.pc)
+        if uop.dst is not None and not uop.dst_is_fp:
+            gpr_writers += 1
+            values[uop.result] += 1
+        if uop.op in FP_OPS:
+            mix["fp"] += 0  # already bucketed; keeps the key present
+
+    total = max(len(trace), 1)
+    profile.mix = {k: 100.0 * v / total for k, v in sorted(mix.items())}
+    profile.branch_share = 100.0 * branches / total
+    profile.taken_share = 100.0 * taken / branches if branches else 0.0
+    profile.load_share = profile.mix.get("load", 0.0)
+    profile.store_share = profile.mix.get("store", 0.0)
+    profile.fp_share = profile.mix.get("fp", 0.0)
+    profile.vp_eligible_share = 100.0 * eligible / total
+    writers = max(gpr_writers, 1)
+    profile.zero_share = 100.0 * values.get(0, 0) / writers
+    profile.one_share = 100.0 * values.get(1, 0) / writers
+    narrow = sum(n for v, n in values.items() if fits_signed(v, 9))
+    profile.narrow9_share = 100.0 * narrow / writers
+    profile.top_values = values.most_common(5)
+    profile.static_pcs = len(pcs)
+    profile.static_eligible_pcs = len(eligible_pcs)
+    return profile
+
+
+def run_characterize(runner):
+    """Harness experiment: one row per workload."""
+    from repro.harness.report import ExperimentResult
+
+    rows = []
+    raw = {}
+    for workload in runner.workloads:
+        budget = runner.instructions or 10_000
+        profile = characterize(workload, instructions=budget)
+        raw[workload.name] = profile
+        rows.append([
+            workload.name,
+            f"{profile.expansion:.3f}",
+            f"{profile.branch_share:.1f}%",
+            f"{profile.load_share:.1f}%",
+            f"{profile.fp_share:.1f}%",
+            f"{profile.vp_eligible_share:.1f}%",
+            f"{profile.zero_share:.1f}%",
+            f"{profile.narrow9_share:.1f}%",
+            str(profile.static_eligible_pcs),
+        ])
+    notes = [
+        "zero%/narrow9% are over GPR-writing µops (the Fig. 1 population)",
+        "static eligible PCs bounds how much predictor capacity matters "
+        "(see the capacity ablation)",
+    ]
+    return ExperimentResult(
+        "characterize", "Workload characterization (functional profile)",
+        ["workload", "uops/inst", "branch", "load", "fp", "VP-elig",
+         "zero", "narrow9", "elig PCs"],
+        rows, notes, raw=raw)

@@ -1,0 +1,68 @@
+"""The published numbers every experiment compares against.
+
+All values transcribed from Perais, "Leveraging Targeted Value Prediction
+to Unlock New Hardware Strength Reduction Potential", MICRO 2021.
+"""
+
+# Table 2, Value Prediction rows: predictor storage (KB, paper truncates
+# to one decimal).
+TABLE2_STORAGE_KB = {"gvp": 55.2, "tvp": 13.9, "mvp": 7.9}
+
+# Fig. 3: geomean speedup over the ME+0/1-idiom baseline (percent).
+FIG3_GEOMEAN_SPEEDUP = {"mvp": 0.54, "tvp": 1.11, "gvp": 4.67}
+
+# Fig. 3 commentary: average coverage and accuracy.
+FIG3_COVERAGE = {"mvp": 5.3, "tvp": 12.6, "gvp": 32.7}     # percent
+FIG3_ACCURACY_FLOOR = 99.9                                  # percent
+
+# Fig. 3 outlier: xalancbmk.
+FIG3_XALANCBMK = {"mvp": 0.52, "tvp": 0.41, "gvp": 52.65}   # speedup %
+FIG3_XALANCBMK_COVERAGE = {"mvp": 7.30, "tvp": 55.97, "gvp": 72.32}
+
+# Table 3: geomean speedup (%) per flavor at each storage budget.
+TABLE3 = {
+    # budget label      MVP    TVP    GVP
+    "0.5x MVP (~4KB)": {"mvp": 0.50, "tvp": 0.74, "gvp": 2.54},
+    "MVP (~8KB)":      {"mvp": 0.54, "tvp": 0.96, "gvp": 2.86},
+    "TVP (~14KB)":     {"mvp": 0.60, "tvp": 1.11, "gvp": 3.51},
+    "GVP (~55KB)":     {"mvp": 0.66, "tvp": 1.24, "gvp": 4.67},
+}
+# log2 scale factor applied to every VTAGE table, per budget row.
+TABLE3_LOG2_DELTAS = {
+    "0.5x MVP (~4KB)": -1,
+    "MVP (~8KB)": 0,
+    "TVP (~14KB)": 1,
+    "GVP (~55KB)": 3,
+}
+
+# Fig. 4 averages: % of dynamic instructions eliminated at rename.
+FIG4_MVP = {"zero_idiom": 0.72, "one_idiom": 0.39, "move": 3.96,
+            "spsr": 1.73, "non_me_move": 0.44}
+FIG4_TVP = {"zero_idiom": 0.72, "one_idiom": 0.39, "move": 4.06,
+            "nine_bit_idiom": 0.48, "spsr": 1.70, "non_me_move": 0.34}
+
+# Fig. 5: geomean speedups (%) with and without SpSR.
+FIG5_GEOMEAN = {"mvp": 0.54, "mvp+spsr": 0.64, "tvp": 1.11, "tvp+spsr": 1.17}
+
+# Fig. 6: activity normalized to baseline (percent deltas).
+FIG6 = {
+    "mvp": {"int_prf_reads": -2.41, "int_prf_writes": -4.17},
+    "tvp": {"int_prf_reads": -9.51, "int_prf_writes": -11.32},
+    "mvp+spsr": {"iq_dispatched": -1.64, "iq_issued": -1.53},
+    "tvp+spsr": {"iq_dispatched": -2.41, "iq_issued": -2.04},
+    "gvp+spsr": {"iq_dispatched": -2.66, "iq_issued": -1.90},
+}
+# GVP increases INT PRF writes (wide predictions written explicitly).
+FIG6_GVP_WRITES_INCREASE = True
+
+# Fig. 1: qualitative shape — 0x0 is the most produced value (~5%), 0x1 is
+# third (~2%), and many of the top-20 values are narrow.
+FIG1_TOP_VALUE = 0x0
+FIG1_TOP_SHARE_APPROX = 5.0
+
+# Fig. 2: µops per architectural instruction land in ~1.0-1.15 on average.
+FIG2_EXPANSION_RANGE = (1.0, 1.3)
+
+# §3.4.1: silencing cycles evaluated.
+SILENCING_DEFAULT = 250
+SILENCING_MINIMAL = 15

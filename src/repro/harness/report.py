@@ -1,0 +1,60 @@
+"""ASCII reporting of experiment results."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class ExperimentResult:
+    """A rendered experiment: a titled table plus comparison notes."""
+
+    experiment_id: str          # e.g. "fig3"
+    title: str
+    headers: List[str]
+    rows: List[list]
+    notes: List[str] = field(default_factory=list)
+    raw: dict = field(default_factory=dict)   # machine-readable payload
+
+    def format(self):
+        return format_table(self.title, self.headers, self.rows, self.notes)
+
+    def print(self):
+        print(self.format())
+
+
+def _cell(value):
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(title, headers, rows, notes=()):
+    """Monospace table with a title rule and optional trailing notes."""
+    text_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "=" * len(title)]
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in text_rows:
+        lines.append("  ".join(c.rjust(w) if _is_numeric(c) else c.ljust(w)
+                               for c, w in zip(row, widths)))
+    for note in notes:
+        lines.append(f"  * {note}")
+    return "\n".join(lines) + "\n"
+
+
+def _is_numeric(cell):
+    try:
+        float(cell.replace("%", "").replace("+", ""))
+        return True
+    except ValueError:
+        return False
+
+
+def pct(value, signed=True):
+    """Format a percentage cell."""
+    return f"{value:+.2f}%" if signed else f"{value:.2f}%"

@@ -1,0 +1,95 @@
+"""Shared run infrastructure: trace caching and config sweeps.
+
+Every experiment needs (workload x config) simulations over the same
+traces; the runner memoizes traces per (workload, instruction budget) and
+baseline results per workload so multi-figure sessions do not re-simulate.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.emulator.trace import trace_program
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.core import CpuModel
+from repro.pipeline.stats import PipelineStats
+
+
+@dataclass
+class RunRecord:
+    """One (workload, config) simulation result."""
+
+    workload: str
+    config_name: str
+    stats: PipelineStats
+
+    @property
+    def ipc(self):
+        return self.stats.ipc
+
+    def speedup_over(self, baseline):
+        """Speedup in percent over a baseline RunRecord."""
+        return 100.0 * (self.ipc / baseline.ipc - 1.0)
+
+
+class ExperimentRunner:
+    """Trace/result cache plus the standard config set."""
+
+    def __init__(self, workloads=None, instructions=None, verbose=False):
+        from repro.workloads import suite
+
+        self.workloads = workloads if workloads is not None else suite()
+        self.instructions = instructions
+        self.verbose = verbose
+        self._traces: Dict[Tuple[str, int], list] = {}
+        self._results: Dict[Tuple[str, str], RunRecord] = {}
+
+    # -- configuration points the paper evaluates ----------------------------------
+    @staticmethod
+    def config(name, **overrides):
+        """Named configuration factory covering every evaluated point."""
+        builders = {
+            "baseline": MachineConfig.baseline,
+            "mvp": MachineConfig.mvp,
+            "tvp": MachineConfig.tvp,
+            "gvp": MachineConfig.gvp,
+            "mvp+spsr": lambda **kw: MachineConfig.mvp(spsr=True, **kw),
+            "tvp+spsr": lambda **kw: MachineConfig.tvp(spsr=True, **kw),
+            "gvp+spsr": lambda **kw: MachineConfig.gvp(spsr=True, **kw),
+        }
+        return builders[name](**overrides)
+
+    # -- execution -------------------------------------------------------------------
+    def budget_for(self, workload):
+        return self.instructions or workload.default_instructions
+
+    def trace_of(self, workload):
+        key = (workload.name, self.budget_for(workload))
+        if key not in self._traces:
+            trace, _stats = trace_program(workload.program,
+                                          max_instructions=key[1])
+            self._traces[key] = trace
+        return self._traces[key]
+
+    def run(self, workload, config_name, config=None) -> RunRecord:
+        """Simulate one point (memoized by (workload, config_name))."""
+        key = (workload.name, config_name)
+        if key in self._results:
+            return self._results[key]
+        machine_config = config if config is not None else self.config(config_name)
+        model = CpuModel(self.trace_of(workload), machine_config)
+        result = model.run()
+        record = RunRecord(workload.name, config_name, result.stats)
+        self._results[key] = record
+        if self.verbose:
+            print(f"    ran {workload.name} / {config_name}: "
+                  f"IPC={record.ipc:.3f}")
+        return record
+
+    def run_all(self, config_names):
+        """Run every workload under every named config; returns
+        {config_name: {workload_name: RunRecord}}."""
+        out = {name: {} for name in config_names}
+        for workload in self.workloads:
+            for name in config_names:
+                out[name][workload.name] = self.run(workload, name)
+        return out

@@ -1,0 +1,37 @@
+"""ARMv8-flavoured mini ISA: registers, instructions, assembler, semantics.
+
+This package is the architectural substrate of the reproduction.  It defines
+a symbolic (non-binary-encoded) AArch64-like instruction set that covers
+every instruction class the paper's Table 1 idiom list and evaluation rely
+on: flag-setting arithmetic (``adds``/``subs``/``ands``), conditional
+selects (``csel``/``csinc``/``csneg``), compare-and-branch
+(``cbz``/``tbz``), shifts, bitfield moves, pre/post-indexed and pair
+loads/stores (which expand to multiple micro-ops), and a small FP subset.
+"""
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.condition import Cond, condition_holds
+from repro.isa.instructions import AddrMode, Instruction, MemAccess, Operand
+from repro.isa.opcodes import ExecClass, Op
+from repro.isa.program import Program
+from repro.isa.registers import FLAGS, FP_BASE, NZCV, Reg, SP, XZR
+
+__all__ = [
+    "AddrMode",
+    "AssemblyError",
+    "Cond",
+    "ExecClass",
+    "FLAGS",
+    "FP_BASE",
+    "Instruction",
+    "MemAccess",
+    "NZCV",
+    "Op",
+    "Operand",
+    "Program",
+    "Reg",
+    "SP",
+    "XZR",
+    "assemble",
+    "condition_holds",
+]

@@ -1,0 +1,477 @@
+"""Two-pass text assembler for the mini-ISA.
+
+Supported syntax (a pragmatic subset of GNU AArch64 assembly)::
+
+    .text                       // default section
+    loop:
+        ldr   x1, [x0, #8]!     // pre-indexed load
+        add   x2, x2, x1
+        subs  x3, x3, #1
+        b.ne  loop
+        hlt
+
+    .data
+    table:  .quad 1, 2, 3, next // data labels may reference each other
+    next:   .zero 64
+
+Comments start with ``//`` or ``;``.  Immediates are written ``#imm`` and
+may be decimal, hex (``0x``) or negative.  ``adr xd, label`` materializes a
+code or data address.
+"""
+
+import re
+import struct
+from dataclasses import replace
+
+from repro.isa.condition import parse_cond
+from repro.isa.instructions import AddrMode, Instruction, MemAccess
+from repro.isa.opcodes import Op
+from repro.isa.program import DATA_BASE, Program
+from repro.isa.registers import Operand, XZR, parse_reg
+
+_THREE_REG_OPS = {
+    "add": Op.ADD, "adds": Op.ADDS, "sub": Op.SUB, "subs": Op.SUBS,
+    "and": Op.AND, "ands": Op.ANDS, "orr": Op.ORR, "eor": Op.EOR,
+    "bic": Op.BIC, "mul": Op.MUL, "sdiv": Op.SDIV, "udiv": Op.UDIV,
+    "lsl": Op.LSL, "lsr": Op.LSR, "asr": Op.ASR,
+}
+_TWO_REG_OPS = {"rbit": Op.RBIT, "clz": Op.CLZ}
+_CMP_OPS = {"cmp": Op.CMP, "cmn": Op.CMN, "tst": Op.TST}
+_CSEL_OPS = {"csel": Op.CSEL, "csinc": Op.CSINC, "csneg": Op.CSNEG}
+_MEM_OPS = {
+    "ldr": Op.LDR, "ldrb": Op.LDRB, "ldrh": Op.LDRH, "ldrsw": Op.LDRSW,
+    "str": Op.STR, "strb": Op.STRB, "strh": Op.STRH,
+}
+_FP3_OPS = {"fadd": Op.FADD, "fsub": Op.FSUB, "fmul": Op.FMUL, "fdiv": Op.FDIV}
+
+
+class AssemblyError(ValueError):
+    """Raised on any syntax or semantic error, with line information."""
+
+    def __init__(self, message, line_no=None, line=""):
+        location = f" (line {line_no}: {line.strip()!r})" if line_no else ""
+        super().__init__(message + location)
+
+
+def _strip_comment(line):
+    for marker in ("//", ";"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def _split_operands(text):
+    """Split an operand string on top-level commas (respecting brackets)."""
+    parts, depth, current = [], 0, []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_imm(token):
+    token = token.strip()
+    if token.startswith("#"):
+        token = token[1:]
+    try:
+        return int(token, 0)
+    except ValueError:
+        return None
+
+
+def _require_reg(token, line_no, line):
+    operand = parse_reg(token.strip())
+    if operand is None:
+        raise AssemblyError(f"expected register, got {token!r}", line_no, line)
+    return operand
+
+
+class _Assembler:
+    def __init__(self, source):
+        self.source = source
+        self.instructions = []
+        self.labels = {}
+        self.data_labels = {}
+        self.data_items = []     # (address, kind, payload) resolved in pass 2
+        self.data_cursor = DATA_BASE
+        self.section = "text"
+        self.adr_fixups = []     # instruction indices whose imm is a label
+
+    # -- pass 1 ---------------------------------------------------------------
+    def run(self):
+        for line_no, raw in enumerate(self.source.splitlines(), start=1):
+            line = _strip_comment(raw)
+            if not line:
+                continue
+            self._line(line, line_no, raw)
+        self._apply_fixups()
+        program = Program(
+            instructions=self.instructions,
+            labels=self.labels,
+            data_labels=self.data_labels,
+            data_image=self._emit_data(),
+        )
+        self._check_branch_targets(program)
+        return program
+
+    def _line(self, line, line_no, raw):
+        match = re.match(r"^([A-Za-z_.$][\w.$]*):\s*(.*)$", line)
+        if match:
+            label, rest = match.group(1), match.group(2)
+            if self.section == "text":
+                self._define_code_label(label, line_no, raw)
+            else:
+                self._define_data_label(label, line_no, raw)
+            if rest:
+                self._line(rest, line_no, raw)
+            return
+        if line.startswith("."):
+            self._directive(line, line_no, raw)
+            return
+        if self.section != "text":
+            raise AssemblyError("instruction outside .text", line_no, raw)
+        self._instruction(line, line_no, raw)
+
+    def _define_code_label(self, label, line_no, raw):
+        if label in self.labels or label in self.data_labels:
+            raise AssemblyError(f"duplicate label {label!r}", line_no, raw)
+        self.labels[label] = len(self.instructions)
+
+    def _define_data_label(self, label, line_no, raw):
+        if label in self.labels or label in self.data_labels:
+            raise AssemblyError(f"duplicate label {label!r}", line_no, raw)
+        self.data_labels[label] = self.data_cursor
+
+    # -- directives -------------------------------------------------------------
+    def _directive(self, line, line_no, raw):
+        parts = line.split(None, 1)
+        name = parts[0]
+        args = parts[1] if len(parts) > 1 else ""
+        if name == ".text":
+            self.section = "text"
+        elif name == ".data":
+            self.section = "data"
+        elif name == ".align":
+            amount = int(args, 0)
+            pad = -self.data_cursor % amount
+            if pad:
+                self.data_items.append((self.data_cursor, "zero", pad))
+                self.data_cursor += pad
+        elif name == ".zero":
+            count = int(args, 0)
+            self.data_items.append((self.data_cursor, "zero", count))
+            self.data_cursor += count
+        elif name in (".quad", ".word", ".half", ".byte"):
+            size = {".quad": 8, ".word": 4, ".half": 2, ".byte": 1}[name]
+            for token in _split_operands(args):
+                self.data_items.append((self.data_cursor, "int", (size, token)))
+                self.data_cursor += size
+        elif name == ".double":
+            for token in _split_operands(args):
+                self.data_items.append((self.data_cursor, "double", float(token)))
+                self.data_cursor += 8
+        else:
+            raise AssemblyError(f"unknown directive {name!r}", line_no, raw)
+
+    def _emit_data(self):
+        chunks = []
+        for address, kind, payload in self.data_items:
+            if kind == "zero":
+                chunks.append((address, bytes(payload)))
+            elif kind == "double":
+                chunks.append((address, struct.pack("<d", payload)))
+            else:
+                size, token = payload
+                value = _parse_imm(token)
+                if value is None:
+                    if token in self.data_labels:
+                        value = self.data_labels[token]
+                    elif token in self.labels:
+                        from repro.isa.program import CODE_BASE, INST_BYTES
+
+                        value = CODE_BASE + self.labels[token] * INST_BYTES
+                    else:
+                        raise AssemblyError(f"bad data value {token!r}")
+                value &= (1 << (8 * size)) - 1
+                chunks.append((address, value.to_bytes(size, "little")))
+        return chunks
+
+    def _apply_fixups(self):
+        for index in self.adr_fixups:
+            inst = self.instructions[index]
+            label = inst.target
+            if label in self.data_labels:
+                address = self.data_labels[label]
+            elif label in self.labels:
+                address = None  # resolved against Program below
+            else:
+                raise AssemblyError(f"adr: unknown label {label!r}")
+            if address is not None:
+                self.instructions[index] = replace(inst, imm=address, target=None)
+
+    def _check_branch_targets(self, program):
+        for inst in program.instructions:
+            if inst.target is not None and inst.op is not Op.MOVZ:
+                if inst.target not in program.labels:
+                    raise AssemblyError(
+                        f"undefined branch target {inst.target!r} in {inst.text!r}")
+            elif inst.target is not None:  # leftover adr to a code label
+                address = program.pc_of(program.labels[inst.target])
+                idx = program.instructions.index(inst)
+                program.instructions[idx] = replace(inst, imm=address, target=None)
+
+    # -- instructions -----------------------------------------------------------
+    def _emit(self, **kwargs):
+        self.instructions.append(Instruction(**kwargs))
+
+    def _instruction(self, line, line_no, raw):
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        operands = _split_operands(operand_text)
+        try:
+            self._dispatch(mnemonic, operands, line)
+        except AssemblyError:
+            raise
+        except (ValueError, KeyError, IndexError) as exc:
+            raise AssemblyError(str(exc), line_no, raw) from exc
+
+    def _dispatch(self, mnemonic, ops, text):
+        if mnemonic in _THREE_REG_OPS:
+            self._three_reg(_THREE_REG_OPS[mnemonic], ops, text)
+        elif mnemonic in _TWO_REG_OPS:
+            dst, src = _require_reg(ops[0], None, text), _require_reg(ops[1], None, text)
+            self._emit(op=_TWO_REG_OPS[mnemonic], dsts=(dst,), srcs=(src,), text=text)
+        elif mnemonic in _CMP_OPS:
+            self._compare(_CMP_OPS[mnemonic], ops, text)
+        elif mnemonic in _CSEL_OPS:
+            dst = _require_reg(ops[0], None, text)
+            s1 = _require_reg(ops[1], None, text)
+            s2 = _require_reg(ops[2], None, text)
+            cond = parse_cond(ops[3])
+            self._emit(op=_CSEL_OPS[mnemonic], dsts=(dst,), srcs=(s1, s2),
+                       cond=cond, text=text)
+        elif mnemonic == "cset":
+            dst = _require_reg(ops[0], None, text)
+            cond = parse_cond(ops[1])
+            self._emit(op=Op.CSET, dsts=(dst,),
+                       srcs=(Operand(XZR, dst.width), Operand(XZR, dst.width)),
+                       cond=cond, text=text)
+        elif mnemonic == "madd":
+            regs = tuple(_require_reg(tok, None, text) for tok in ops)
+            self._emit(op=Op.MADD, dsts=regs[:1], srcs=regs[1:], text=text)
+        elif mnemonic == "mov":
+            self._mov(ops, text)
+        elif mnemonic in ("movz", "movn"):
+            self._movz(Op.MOVZ if mnemonic == "movz" else Op.MOVN, ops, text)
+        elif mnemonic == "movk":
+            self._movk(ops, text)
+        elif mnemonic == "adr":
+            dst = _require_reg(ops[0], None, text)
+            self._emit(op=Op.MOVZ, dsts=(dst,), imm=None, target=ops[1], text=text)
+            self.adr_fixups.append(len(self.instructions) - 1)
+        elif mnemonic in ("ubfm", "sbfm"):
+            self._bfm(Op.UBFM if mnemonic == "ubfm" else Op.SBFM, ops, text)
+        elif mnemonic in ("ubfx", "sbfx"):
+            dst = _require_reg(ops[0], None, text)
+            src = _require_reg(ops[1], None, text)
+            lsb, width = _parse_imm(ops[2]), _parse_imm(ops[3])
+            op = Op.UBFM if mnemonic == "ubfx" else Op.SBFM
+            self._emit(op=op, dsts=(dst,), srcs=(src,), imm=lsb,
+                       imm2=lsb + width - 1, text=text)
+        elif mnemonic in ("uxtb", "uxth", "sxtb", "sxth"):
+            dst = _require_reg(ops[0], None, text)
+            src = _require_reg(ops[1], None, text)
+            imms = 7 if mnemonic.endswith("b") else 15
+            op = Op.UBFM if mnemonic.startswith("u") else Op.SBFM
+            self._emit(op=op, dsts=(dst,), srcs=(src,), imm=0, imm2=imms, text=text)
+        elif mnemonic.startswith("b.") and len(mnemonic) > 2:
+            cond = parse_cond(mnemonic[2:])
+            self._emit(op=Op.B_COND, cond=cond, target=ops[0], text=text)
+        elif mnemonic in ("b", "bl"):
+            self._emit(op=Op.B if mnemonic == "b" else Op.BL, target=ops[0], text=text)
+        elif mnemonic in ("cbz", "cbnz"):
+            src = _require_reg(ops[0], None, text)
+            op = Op.CBZ if mnemonic == "cbz" else Op.CBNZ
+            self._emit(op=op, srcs=(src,), target=ops[1], text=text)
+        elif mnemonic in ("tbz", "tbnz"):
+            src = _require_reg(ops[0], None, text)
+            bit = _parse_imm(ops[1])
+            op = Op.TBZ if mnemonic == "tbz" else Op.TBNZ
+            self._emit(op=op, srcs=(src,), imm2=bit, target=ops[2], text=text)
+        elif mnemonic in ("br", "blr"):
+            src = _require_reg(ops[0], None, text)
+            self._emit(op=Op.BR if mnemonic == "br" else Op.BLR, srcs=(src,), text=text)
+        elif mnemonic == "ret":
+            src = _require_reg(ops[0], None, text) if ops else Operand(30, 64)
+            self._emit(op=Op.RET, srcs=(src,), text=text)
+        elif mnemonic in _MEM_OPS:
+            self._mem(_MEM_OPS[mnemonic], ops, text)
+        elif mnemonic in ("ldp", "stp"):
+            self._mem_pair(Op.LDP if mnemonic == "ldp" else Op.STP, ops, text)
+        elif mnemonic in _FP3_OPS:
+            regs = tuple(_require_reg(tok, None, text) for tok in ops)
+            self._emit(op=_FP3_OPS[mnemonic], dsts=regs[:1], srcs=regs[1:], text=text)
+        elif mnemonic == "fmadd":
+            regs = tuple(_require_reg(tok, None, text) for tok in ops)
+            self._emit(op=Op.FMADD, dsts=regs[:1], srcs=regs[1:], text=text)
+        elif mnemonic == "fmov":
+            dst = _require_reg(ops[0], None, text)
+            src = parse_reg(ops[1].strip())
+            if src is not None:
+                self._emit(op=Op.FMOV, dsts=(dst,), srcs=(src,), text=text)
+            else:
+                token = ops[1].lstrip("#")
+                raw_bits = struct.unpack("<Q", struct.pack("<d", float(token)))[0]
+                self._emit(op=Op.FMOV, dsts=(dst,), imm=raw_bits, text=text)
+        elif mnemonic == "fcmp":
+            s1 = _require_reg(ops[0], None, text)
+            s2 = _require_reg(ops[1], None, text)
+            self._emit(op=Op.FCMP, srcs=(s1, s2), text=text)
+        elif mnemonic == "scvtf":
+            dst = _require_reg(ops[0], None, text)
+            src = _require_reg(ops[1], None, text)
+            self._emit(op=Op.SCVTF, dsts=(dst,), srcs=(src,), text=text)
+        elif mnemonic == "fcvtzs":
+            dst = _require_reg(ops[0], None, text)
+            src = _require_reg(ops[1], None, text)
+            self._emit(op=Op.FCVTZS, dsts=(dst,), srcs=(src,), text=text)
+        elif mnemonic == "nop":
+            self._emit(op=Op.NOP, text=text)
+        elif mnemonic == "hlt":
+            self._emit(op=Op.HLT, text=text)
+        else:
+            raise AssemblyError(f"unknown mnemonic {mnemonic!r}")
+
+    def _three_reg(self, op, ops, text):
+        dst = _require_reg(ops[0], None, text)
+        src1 = _require_reg(ops[1], None, text)
+        shift = 0
+        if len(ops) == 4:
+            match = re.match(r"lsl\s+#(\d+)$", ops[3].strip(), re.IGNORECASE)
+            if not match:
+                raise AssemblyError(f"bad shift specifier {ops[3]!r}")
+            shift = int(match.group(1))
+            ops = ops[:3]
+        imm = _parse_imm(ops[2])
+        if imm is not None:
+            self._emit(op=op, dsts=(dst,), srcs=(src1,), imm=imm << shift, text=text)
+        else:
+            src2 = _require_reg(ops[2], None, text)
+            self._emit(op=op, dsts=(dst,), srcs=(src1, src2), imm2=shift or None,
+                       text=text)
+
+    def _compare(self, op, ops, text):
+        src1 = _require_reg(ops[0], None, text)
+        imm = _parse_imm(ops[1])
+        if imm is not None:
+            self._emit(op=op, srcs=(src1,), imm=imm, text=text)
+        else:
+            src2 = _require_reg(ops[1], None, text)
+            self._emit(op=op, srcs=(src1, src2), text=text)
+
+    def _mov(self, ops, text):
+        dst = _require_reg(ops[0], None, text)
+        imm = _parse_imm(ops[1])
+        if imm is not None:
+            width_mask = (1 << dst.width) - 1
+            self._emit(op=Op.MOVZ, dsts=(dst,), imm=imm & width_mask, text=text)
+        else:
+            src = _require_reg(ops[1], None, text)
+            self._emit(op=Op.MOV, dsts=(dst,), srcs=(src,), text=text)
+
+    def _movz(self, op, ops, text):
+        dst = _require_reg(ops[0], None, text)
+        imm = _parse_imm(ops[1])
+        shift = 0
+        if len(ops) == 3:
+            match = re.match(r"lsl\s+#(\d+)$", ops[2].strip(), re.IGNORECASE)
+            shift = int(match.group(1))
+        value = imm << shift
+        if op is Op.MOVN:
+            value = ~value & ((1 << dst.width) - 1)
+        self._emit(op=Op.MOVZ if op is Op.MOVN else op, dsts=(dst,),
+                   imm=value, text=text)
+
+    def _movk(self, ops, text):
+        dst = _require_reg(ops[0], None, text)
+        imm = _parse_imm(ops[1])
+        shift = 0
+        if len(ops) == 3:
+            match = re.match(r"lsl\s+#(\d+)$", ops[2].strip(), re.IGNORECASE)
+            shift = int(match.group(1))
+        self._emit(op=Op.MOVK, dsts=(dst,), srcs=(dst,), imm=imm, imm2=shift,
+                   text=text)
+
+    def _bfm(self, op, ops, text):
+        dst = _require_reg(ops[0], None, text)
+        src = _require_reg(ops[1], None, text)
+        immr, imms = _parse_imm(ops[2]), _parse_imm(ops[3])
+        self._emit(op=op, dsts=(dst,), srcs=(src,), imm=immr, imm2=imms, text=text)
+
+    def _parse_mem_operand(self, token, trailing, text):
+        token = token.strip()
+        writeback_pre = token.endswith("!")
+        if writeback_pre:
+            token = token[:-1].strip()
+        if not (token.startswith("[") and token.endswith("]")):
+            raise AssemblyError(f"bad memory operand {token!r}")
+        inner = _split_operands(token[1:-1])
+        base = _require_reg(inner[0], None, text)
+        offset_imm, offset_reg, offset_shift = 0, None, 0
+        if len(inner) >= 2:
+            imm = _parse_imm(inner[1])
+            if imm is not None:
+                offset_imm = imm
+            else:
+                offset_reg = _require_reg(inner[1], None, text)
+                if len(inner) == 3:
+                    match = re.match(r"lsl\s+#(\d+)$", inner[2].strip(), re.IGNORECASE)
+                    if not match:
+                        raise AssemblyError(f"bad index shift {inner[2]!r}")
+                    offset_shift = int(match.group(1))
+        mode = AddrMode.OFFSET
+        if writeback_pre:
+            mode = AddrMode.PRE_INDEX
+        elif trailing is not None:
+            mode = AddrMode.POST_INDEX
+            offset_imm = _parse_imm(trailing)
+            if offset_imm is None:
+                raise AssemblyError(f"bad post-index amount {trailing!r}")
+        return MemAccess(base=base, mode=mode, offset_imm=offset_imm,
+                         offset_reg=offset_reg, offset_shift=offset_shift)
+
+    def _mem(self, op, ops, text):
+        reg = _require_reg(ops[0], None, text)
+        trailing = ops[2] if len(ops) == 3 else None
+        mem = self._parse_mem_operand(ops[1], trailing, text)
+        if op in (Op.STR, Op.STRB, Op.STRH):
+            self._emit(op=op, srcs=(reg,), mem=mem, text=text)
+        else:
+            self._emit(op=op, dsts=(reg,), mem=mem, text=text)
+
+    def _mem_pair(self, op, ops, text):
+        r1 = _require_reg(ops[0], None, text)
+        r2 = _require_reg(ops[1], None, text)
+        trailing = ops[3] if len(ops) == 4 else None
+        mem = self._parse_mem_operand(ops[2], trailing, text)
+        if op is Op.STP:
+            self._emit(op=op, srcs=(r1, r2), mem=mem, text=text)
+        else:
+            self._emit(op=op, dsts=(r1, r2), mem=mem, text=text)
+
+
+def assemble(source):
+    """Assemble *source* text into a :class:`~repro.isa.program.Program`."""
+    return _Assembler(source).run()

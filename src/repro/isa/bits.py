@@ -1,0 +1,141 @@
+"""Fixed-width integer arithmetic helpers.
+
+All architectural values are stored as non-negative Python ints masked to
+their register width.  These helpers centralize the masking and the NZCV
+flag computations so the functional emulator and the strength-reduction
+logic agree bit-for-bit.
+"""
+
+MASK32 = 0xFFFF_FFFF
+MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+# NZCV bit positions inside the 4-bit flags value used throughout the repo.
+FLAG_N = 0x8
+FLAG_Z = 0x4
+FLAG_C = 0x2
+FLAG_V = 0x1
+
+
+def mask(value, width):
+    """Truncate *value* to an unsigned *width*-bit quantity."""
+    return value & (MASK64 if width == 64 else MASK32)
+
+
+def to_signed(value, width=64):
+    """Reinterpret an unsigned *width*-bit value as a signed integer."""
+    sign_bit = 1 << (width - 1)
+    value = mask(value, width)
+    return value - (1 << width) if value & sign_bit else value
+
+
+def to_unsigned(value, width=64):
+    """Reinterpret a (possibly negative) integer as unsigned *width*-bit."""
+    return value & ((1 << width) - 1)
+
+
+def fits_signed(value, bits):
+    """True when the *unsigned 64-bit* value is a sign-extended ``bits``-bit
+    integer, i.e. representable by a signed ``bits``-bit immediate.
+
+    This is the test Targeted VP applies before inlining a value into a
+    physical register name (the paper uses ``bits == 9``).
+    """
+    signed = to_signed(value, 64)
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    return lo <= signed <= hi
+
+
+def fits_signed_32(value, bits):
+    """Like :func:`fits_signed` but for a 32-bit register value."""
+    signed = to_signed(value, 32)
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    return lo <= signed <= hi
+
+
+def nzcv(n, z, c, v):
+    """Pack flag booleans into the canonical 4-bit NZCV value."""
+    return (FLAG_N if n else 0) | (FLAG_Z if z else 0) | (FLAG_C if c else 0) | (FLAG_V if v else 0)
+
+
+def add_with_flags(a, b, width, carry_in=0):
+    """ARMv8 ``ADDS``: return ``(result, nzcv)`` for ``a + b + carry_in``."""
+    a = mask(a, width)
+    b = mask(b, width)
+    unsigned_sum = a + b + carry_in
+    result = mask(unsigned_sum, width)
+    n = bool(result >> (width - 1))
+    z = result == 0
+    c = unsigned_sum > mask(MASK64, width)
+    signed_sum = to_signed(a, width) + to_signed(b, width) + carry_in
+    v = not (-(1 << (width - 1)) <= signed_sum <= (1 << (width - 1)) - 1)
+    return result, nzcv(n, z, c, v)
+
+
+def sub_with_flags(a, b, width):
+    """ARMv8 ``SUBS``: computed as ``a + ~b + 1`` so carry means no-borrow."""
+    b_inverted = mask(~mask(b, width), width)
+    return add_with_flags(a, b_inverted, width, carry_in=1)
+
+
+def logic_flags(result, width):
+    """NZCV produced by ARMv8 flag-setting logical ops (``ANDS``): C=V=0."""
+    result = mask(result, width)
+    n = bool(result >> (width - 1))
+    z = result == 0
+    return nzcv(n, z, False, False)
+
+
+def rbit(value, width):
+    """Reverse the bit order of *value* within *width* bits."""
+    value = mask(value, width)
+    out = 0
+    for _ in range(width):
+        out = (out << 1) | (value & 1)
+        value >>= 1
+    return out
+
+
+def clz(value, width):
+    """Count leading zero bits of *value* within *width* bits."""
+    value = mask(value, width)
+    if value == 0:
+        return width
+    return width - value.bit_length()
+
+
+def ubfm(value, immr, imms, width):
+    """ARMv8 unsigned bitfield move (covers ``lsr``/``ubfx``/``uxtb`` ...).
+
+    Semantics (simplified to the common ``imms >= immr`` extract form and
+    the ``imms + 1 == immr`` shift-left form used by the assembler aliases):
+    rotate right by ``immr`` then keep bits ``0..imms`` zero-extended.
+    """
+    value = mask(value, width)
+    rotated = ((value >> immr) | (value << (width - immr))) if immr else value
+    rotated = mask(rotated, width)
+    if imms >= immr:
+        # Extract bits immr..imms, place at bit 0.
+        nbits = imms - immr + 1
+        return (value >> immr) & ((1 << nbits) - 1)
+    # lsl alias: bits 0..imms moved to immr-rotated position.
+    nbits = imms + 1
+    field = value & ((1 << nbits) - 1)
+    return mask(field << (width - immr), width)
+
+
+def sbfm(value, immr, imms, width):
+    """ARMv8 signed bitfield move (covers ``asr``/``sxtb``/``sxth``)."""
+    value = mask(value, width)
+    if imms >= immr:
+        nbits = imms - immr + 1
+        field = (value >> immr) & ((1 << nbits) - 1)
+        if field & (1 << (nbits - 1)):
+            field |= mask(MASK64, width) ^ ((1 << nbits) - 1)
+        return mask(field, width)
+    nbits = imms + 1
+    field = value & ((1 << nbits) - 1)
+    if field & (1 << (nbits - 1)):
+        field |= mask(MASK64, width) ^ ((1 << nbits) - 1)
+    return mask(field << (width - immr), width)

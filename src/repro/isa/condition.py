@@ -1,0 +1,89 @@
+"""ARMv8 condition codes and their evaluation against NZCV flags."""
+
+import enum
+
+from repro.isa.bits import FLAG_C, FLAG_N, FLAG_V, FLAG_Z
+
+
+class Cond(enum.Enum):
+    """ARMv8 condition mnemonics."""
+
+    EQ = "eq"
+    NE = "ne"
+    CS = "cs"
+    CC = "cc"
+    MI = "mi"
+    PL = "pl"
+    VS = "vs"
+    VC = "vc"
+    HI = "hi"
+    LS = "ls"
+    GE = "ge"
+    LT = "lt"
+    GT = "gt"
+    LE = "le"
+    AL = "al"
+
+
+_ALIASES = {"hs": Cond.CS, "lo": Cond.CC}
+
+
+def parse_cond(token):
+    """Parse a condition mnemonic (accepting the hs/lo aliases)."""
+    token = token.lower()
+    if token in _ALIASES:
+        return _ALIASES[token]
+    return Cond(token)
+
+
+def invert(cond):
+    """The logical negation of a condition code (AL has no inverse here)."""
+    pairs = {
+        Cond.EQ: Cond.NE, Cond.NE: Cond.EQ,
+        Cond.CS: Cond.CC, Cond.CC: Cond.CS,
+        Cond.MI: Cond.PL, Cond.PL: Cond.MI,
+        Cond.VS: Cond.VC, Cond.VC: Cond.VS,
+        Cond.HI: Cond.LS, Cond.LS: Cond.HI,
+        Cond.GE: Cond.LT, Cond.LT: Cond.GE,
+        Cond.GT: Cond.LE, Cond.LE: Cond.GT,
+    }
+    if cond not in pairs:
+        raise ValueError(f"cannot invert {cond}")
+    return pairs[cond]
+
+
+def condition_holds(cond, flags):
+    """Evaluate *cond* against a 4-bit NZCV *flags* value."""
+    n = bool(flags & FLAG_N)
+    z = bool(flags & FLAG_Z)
+    c = bool(flags & FLAG_C)
+    v = bool(flags & FLAG_V)
+    if cond is Cond.EQ:
+        return z
+    if cond is Cond.NE:
+        return not z
+    if cond is Cond.CS:
+        return c
+    if cond is Cond.CC:
+        return not c
+    if cond is Cond.MI:
+        return n
+    if cond is Cond.PL:
+        return not n
+    if cond is Cond.VS:
+        return v
+    if cond is Cond.VC:
+        return not v
+    if cond is Cond.HI:
+        return c and not z
+    if cond is Cond.LS:
+        return not c or z
+    if cond is Cond.GE:
+        return n == v
+    if cond is Cond.LT:
+        return n != v
+    if cond is Cond.GT:
+        return not z and n == v
+    if cond is Cond.LE:
+        return z or n != v
+    return True  # AL

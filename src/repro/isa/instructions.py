@@ -1,0 +1,109 @@
+"""Architectural instruction representation.
+
+Instructions are kept symbolic (no binary encoding): an :class:`Instruction`
+carries its opcode, destination/source :class:`~repro.isa.registers.Operand`
+lists, an optional immediate, an optional condition code and an optional
+:class:`MemAccess` describing the addressing mode.  The assembler builds
+these; the µop expander and the functional emulator consume them.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa.opcodes import (
+    BRANCHES,
+    CONDITIONAL_BRANCHES,
+    FLAG_READERS,
+    FLAG_WRITERS,
+    INDIRECT_BRANCHES,
+    LOADS,
+    MEM_OPS,
+    Op,
+    STORES,
+)
+from repro.isa.registers import Operand
+
+
+class AddrMode(enum.Enum):
+    """Memory addressing mode."""
+
+    OFFSET = "offset"          # [base, #imm] or [base, reg]
+    PRE_INDEX = "pre_index"    # [base, #imm]!  (base updated before access)
+    POST_INDEX = "post_index"  # [base], #imm   (base updated after access)
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    """Addressing-mode description for a load/store."""
+
+    base: Operand
+    mode: AddrMode = AddrMode.OFFSET
+    offset_imm: int = 0
+    offset_reg: Optional[Operand] = None
+    offset_shift: int = 0  # left shift applied to the register offset
+
+    @property
+    def has_writeback(self):
+        """True when the base register is updated by the access."""
+        return self.mode is not AddrMode.OFFSET
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One architectural instruction."""
+
+    op: Op
+    dsts: Tuple[Operand, ...] = ()
+    srcs: Tuple[Operand, ...] = ()
+    imm: Optional[int] = None
+    imm2: Optional[int] = None          # second immediate (ubfm imms, movk shift, tbz bit)
+    cond: Optional["Cond"] = None       # noqa: F821 - condition code
+    mem: Optional[MemAccess] = None
+    target: Optional[str] = None        # branch target label
+    text: str = field(default="", compare=False)
+
+    # -- classification helpers -------------------------------------------------
+    @property
+    def is_branch(self):
+        return self.op in BRANCHES
+
+    @property
+    def is_conditional_branch(self):
+        return self.op in CONDITIONAL_BRANCHES
+
+    @property
+    def is_indirect_branch(self):
+        return self.op in INDIRECT_BRANCHES
+
+    @property
+    def is_load(self):
+        return self.op in LOADS
+
+    @property
+    def is_store(self):
+        return self.op in STORES
+
+    @property
+    def is_mem(self):
+        return self.op in MEM_OPS
+
+    @property
+    def writes_flags(self):
+        return self.op in FLAG_WRITERS
+
+    @property
+    def reads_flags(self):
+        return self.op in FLAG_READERS
+
+    @property
+    def width(self):
+        """Operating width, taken from the first register operand."""
+        if self.dsts:
+            return self.dsts[0].width
+        if self.srcs:
+            return self.srcs[0].width
+        return 64
+
+    def __repr__(self):
+        return self.text or f"<{self.op.value}>"

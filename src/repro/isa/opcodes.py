@@ -1,0 +1,175 @@
+"""Opcode enumeration and execution-class metadata.
+
+``Op`` names every mnemonic the mini-ISA supports.  ``ExecClass`` maps each
+micro-op onto one of the Table 2 functional-unit classes, which drives issue
+port selection and latency in the timing model.
+"""
+
+import enum
+
+
+class ExecClass(enum.Enum):
+    """Functional-unit class of a micro-op (Table 2 of the paper)."""
+
+    INT_ALU = "int_alu"      # simple ALU, 1 cycle
+    INT_MUL = "int_mul"      # integer multiply, 3 cycles
+    INT_DIV = "int_div"      # integer divide, 20 cycles, unpipelined
+    FP_ALU = "fp_alu"        # simple FP/SIMD, 3 cycles
+    FP_MUL = "fp_mul"        # FP multiply, 4 cycles (5 for MAC)
+    FP_DIV = "fp_div"        # FP divide, 12 cycles, unpipelined
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"        # executes on a simple ALU port
+    NOP = "nop"
+
+
+class Op(enum.Enum):
+    """Architectural mnemonics of the mini-ISA."""
+
+    # Integer arithmetic / logic.
+    ADD = "add"
+    ADDS = "adds"
+    SUB = "sub"
+    SUBS = "subs"
+    AND = "and"
+    ANDS = "ands"
+    ORR = "orr"
+    EOR = "eor"
+    BIC = "bic"
+    LSL = "lsl"
+    LSR = "lsr"
+    ASR = "asr"
+    MUL = "mul"
+    MADD = "madd"
+    SDIV = "sdiv"
+    UDIV = "udiv"
+    RBIT = "rbit"
+    CLZ = "clz"
+    UBFM = "ubfm"
+    SBFM = "sbfm"
+    # Moves.
+    MOV = "mov"        # register move (alias of orr dst, xzr, src)
+    MOVZ = "movz"      # move wide immediate (zeroing)
+    MOVN = "movn"      # move wide immediate (inverted)
+    MOVK = "movk"      # move wide immediate (keep)
+    # Conditional data processing.
+    CSEL = "csel"
+    CSINC = "csinc"
+    CSNEG = "csneg"
+    CSET = "cset"      # alias of csinc dst, xzr, xzr, !cond
+    CMP = "cmp"        # alias of subs xzr, ...
+    CMN = "cmn"        # alias of adds xzr, ...
+    TST = "tst"        # alias of ands xzr, ...
+    # Branches.
+    B = "b"
+    B_COND = "b.cond"
+    CBZ = "cbz"
+    CBNZ = "cbnz"
+    TBZ = "tbz"
+    TBNZ = "tbnz"
+    BL = "bl"
+    BLR = "blr"
+    BR = "br"
+    RET = "ret"
+    # Memory.
+    LDR = "ldr"
+    LDRB = "ldrb"
+    LDRH = "ldrh"
+    LDRSW = "ldrsw"
+    STR = "str"
+    STRB = "strb"
+    STRH = "strh"
+    LDP = "ldp"
+    STP = "stp"
+    # Floating point.
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FMADD = "fmadd"
+    FMOV = "fmov"
+    FCMP = "fcmp"
+    FCVTZS = "fcvtzs"  # FP -> INT conversion (writes a GPR)
+    SCVTF = "scvtf"    # INT -> FP conversion
+    # Misc.
+    NOP = "nop"
+    HLT = "hlt"        # stop the emulator
+
+
+# Ops whose destination is a general purpose register when executed.
+# Only these are Value-Prediction eligible per the paper ("only instructions
+# that produce one (or more) general purpose register").
+GPR_PRODUCERS = frozenset({
+    Op.ADD, Op.ADDS, Op.SUB, Op.SUBS, Op.AND, Op.ANDS, Op.ORR, Op.EOR,
+    Op.BIC, Op.LSL, Op.LSR, Op.ASR, Op.MUL, Op.MADD, Op.SDIV, Op.UDIV,
+    Op.RBIT, Op.CLZ, Op.UBFM, Op.SBFM, Op.MOV, Op.MOVZ, Op.MOVN, Op.MOVK,
+    Op.CSEL, Op.CSINC, Op.CSNEG, Op.CSET,
+    Op.LDR, Op.LDRB, Op.LDRH, Op.LDRSW, Op.LDP, Op.FCVTZS,
+})
+
+# Ops that write the NZCV flags.
+FLAG_WRITERS = frozenset({Op.ADDS, Op.SUBS, Op.ANDS, Op.CMP, Op.CMN, Op.TST, Op.FCMP})
+
+# Ops that read the NZCV flags.
+FLAG_READERS = frozenset({Op.B_COND, Op.CSEL, Op.CSINC, Op.CSNEG, Op.CSET})
+
+BRANCHES = frozenset({
+    Op.B, Op.B_COND, Op.CBZ, Op.CBNZ, Op.TBZ, Op.TBNZ, Op.BL, Op.BLR,
+    Op.BR, Op.RET,
+})
+
+CONDITIONAL_BRANCHES = frozenset({Op.B_COND, Op.CBZ, Op.CBNZ, Op.TBZ, Op.TBNZ})
+INDIRECT_BRANCHES = frozenset({Op.BLR, Op.BR, Op.RET})
+CALLS = frozenset({Op.BL, Op.BLR})
+
+LOADS = frozenset({Op.LDR, Op.LDRB, Op.LDRH, Op.LDRSW, Op.LDP})
+STORES = frozenset({Op.STR, Op.STRB, Op.STRH, Op.STP})
+MEM_OPS = LOADS | STORES
+
+FP_OPS = frozenset({
+    Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV, Op.FMADD, Op.FMOV, Op.FCMP,
+    Op.FCVTZS, Op.SCVTF,
+})
+
+
+_EXEC_CLASS = {
+    Op.MUL: ExecClass.INT_MUL,
+    Op.MADD: ExecClass.INT_MUL,
+    Op.SDIV: ExecClass.INT_DIV,
+    Op.UDIV: ExecClass.INT_DIV,
+    Op.FADD: ExecClass.FP_ALU,
+    Op.FSUB: ExecClass.FP_ALU,
+    Op.FMOV: ExecClass.FP_ALU,
+    Op.FCMP: ExecClass.FP_ALU,
+    Op.FCVTZS: ExecClass.FP_ALU,
+    Op.SCVTF: ExecClass.FP_ALU,
+    Op.FMUL: ExecClass.FP_MUL,
+    Op.FMADD: ExecClass.FP_MUL,
+    Op.FDIV: ExecClass.FP_DIV,
+    Op.NOP: ExecClass.NOP,
+    Op.HLT: ExecClass.NOP,
+}
+
+
+def exec_class(op):
+    """Functional-unit class for an opcode (memory/branch checked first)."""
+    if op in LOADS:
+        return ExecClass.LOAD
+    if op in STORES:
+        return ExecClass.STORE
+    if op in BRANCHES:
+        return ExecClass.BRANCH
+    return _EXEC_CLASS.get(op, ExecClass.INT_ALU)
+
+
+# Memory access size in bytes for each memory op (per element for LDP/STP,
+# which is width-dependent and resolved by the expander).
+def access_size(op, width):
+    """Bytes touched per element by a memory opcode at a given width."""
+    if op in (Op.LDRB, Op.STRB):
+        return 1
+    if op in (Op.LDRH, Op.STRH):
+        return 2
+    if op is Op.LDRSW:
+        return 4
+    return 8 if width == 64 else 4

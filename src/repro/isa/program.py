@@ -1,0 +1,44 @@
+"""Assembled program container."""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.isa.instructions import Instruction
+
+CODE_BASE = 0x0000_4000
+DATA_BASE = 0x0010_0000
+INST_BYTES = 4
+
+
+@dataclass
+class Program:
+    """An assembled program: code, labels, and an initial data image."""
+
+    instructions: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)          # label -> inst index
+    data_labels: Dict[str, int] = field(default_factory=dict)     # label -> address
+    data_image: List[Tuple[int, bytes]] = field(default_factory=list)
+    entry: int = 0
+
+    def pc_of(self, index):
+        """Byte address of the instruction at *index*."""
+        return CODE_BASE + index * INST_BYTES
+
+    def index_of(self, pc):
+        """Instruction index for a code byte address."""
+        return (pc - CODE_BASE) // INST_BYTES
+
+    @property
+    def entry_pc(self):
+        return self.pc_of(self.entry)
+
+    def resolve(self, label):
+        """Address of a code or data label."""
+        if label in self.labels:
+            return self.pc_of(self.labels[label])
+        if label in self.data_labels:
+            return self.data_labels[label]
+        raise KeyError(f"unknown label {label!r}")
+
+    def __len__(self):
+        return len(self.instructions)

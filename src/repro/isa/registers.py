@@ -1,0 +1,119 @@
+"""Architectural register namespace.
+
+Registers are identified by small integers so the rename machinery can use
+them as array indices:
+
+* ``0 .. 30``  — general purpose registers ``x0`` .. ``x30``
+* ``31``       — ``xzr``, the hardwired zero register
+* ``32``       — ``sp``, the stack pointer (kept distinct from ``xzr``)
+* ``33``       — ``nzcv``, the condition-flags pseudo register
+* ``34 .. 65`` — floating point registers ``d0`` .. ``d31``
+
+An :class:`Operand` couples a register id with an access *width* (32 for
+``w`` views, 64 for ``x``/``d`` views).  Writing a ``w`` register
+zero-extends into the 64-bit architectural register, as on real AArch64 —
+this is what makes the paper's move-elimination width-mismatch rule
+meaningful.
+"""
+
+from dataclasses import dataclass
+
+N_GPR = 31
+XZR = 31
+SP = 32
+FLAGS = 33
+NZCV = FLAGS
+FP_BASE = 34
+N_FPR = 32
+N_ARCH_REGS = FP_BASE + N_FPR
+
+
+class Reg:
+    """Namespace of symbolic register-id constructors."""
+
+    @staticmethod
+    def x(index):
+        """General purpose register id for ``x<index>``."""
+        if not 0 <= index < N_GPR:
+            raise ValueError(f"x{index} out of range")
+        return index
+
+    @staticmethod
+    def d(index):
+        """Floating point register id for ``d<index>``."""
+        if not 0 <= index < N_FPR:
+            raise ValueError(f"d{index} out of range")
+        return FP_BASE + index
+
+
+def is_gpr(reg):
+    """True for ``x0..x30`` and ``xzr`` (not ``sp``, not flags, not FP)."""
+    return 0 <= reg <= XZR
+
+
+def is_gpr_or_sp(reg):
+    """True for any integer register including the stack pointer."""
+    return 0 <= reg <= SP
+
+
+def is_fpr(reg):
+    """True for ``d0..d31``."""
+    return FP_BASE <= reg < FP_BASE + N_FPR
+
+
+def reg_name(reg, width=64):
+    """Human-readable name for a register id (used by disassembly/debug)."""
+    if reg == XZR:
+        return "xzr" if width == 64 else "wzr"
+    if reg == SP:
+        return "sp"
+    if reg == FLAGS:
+        return "nzcv"
+    if is_fpr(reg):
+        return f"d{reg - FP_BASE}"
+    prefix = "x" if width == 64 else "w"
+    return f"{prefix}{reg}"
+
+
+@dataclass(frozen=True)
+class Operand:
+    """A register operand: id plus access width (32 or 64 bits)."""
+
+    reg: int
+    width: int = 64
+
+    def __post_init__(self):
+        if self.width not in (32, 64):
+            raise ValueError(f"bad operand width {self.width}")
+
+    @property
+    def is_zero_reg(self):
+        """True when this operand is the hardwired zero register."""
+        return self.reg == XZR
+
+    def __repr__(self):
+        return reg_name(self.reg, self.width)
+
+
+def parse_reg(token):
+    """Parse a register token like ``x3``, ``w12``, ``xzr``, ``sp``, ``d7``.
+
+    Returns an :class:`Operand` or ``None`` when the token is not a
+    register name.
+    """
+    token = token.lower()
+    if token in ("xzr",):
+        return Operand(XZR, 64)
+    if token in ("wzr",):
+        return Operand(XZR, 32)
+    if token == "sp":
+        return Operand(SP, 64)
+    if len(token) >= 2 and token[0] in "xwd" and token[1:].isdigit():
+        index = int(token[1:])
+        if token[0] == "d":
+            if index < N_FPR:
+                return Operand(Reg.d(index), 64)
+            return None
+        if index < N_GPR:
+            return Operand(index, 64 if token[0] == "x" else 32)
+    return None

@@ -1,0 +1,189 @@
+"""Architectural semantics of every opcode (the golden functional model).
+
+These are pure functions over operand *values*; the emulator supplies the
+values and applies the results.  Keeping them side-effect free lets the
+property-based tests compare them directly against plain Python arithmetic.
+"""
+
+import struct
+
+from repro.isa.bits import (
+    add_with_flags,
+    clz,
+    logic_flags,
+    mask,
+    rbit,
+    sbfm,
+    sub_with_flags,
+    to_signed,
+    ubfm,
+)
+from repro.isa.condition import condition_holds
+from repro.isa.opcodes import Op
+
+
+def _shift_amount(value, width):
+    """ARMv8 variable shifts use the amount modulo the register width."""
+    return value % width
+
+
+def compute_int(op, a, b, width, reg_shift=0):
+    """Integer ALU semantics: returns ``(result, flags_or_None)``.
+
+    *a* and *b* are unsigned register/immediate values; *reg_shift* is the
+    optional ``lsl #n`` applied to the second register operand.
+    """
+    b = mask(b << reg_shift, width) if reg_shift else mask(b, width)
+    a = mask(a, width)
+    if op is Op.ADD:
+        return mask(a + b, width), None
+    if op in (Op.ADDS, Op.CMN):
+        return add_with_flags(a, b, width)
+    if op is Op.SUB:
+        return mask(a - b, width), None
+    if op in (Op.SUBS, Op.CMP):
+        return sub_with_flags(a, b, width)
+    if op is Op.AND:
+        return a & b, None
+    if op in (Op.ANDS, Op.TST):
+        result = a & b
+        return result, logic_flags(result, width)
+    if op is Op.ORR:
+        return a | b, None
+    if op is Op.EOR:
+        return a ^ b, None
+    if op is Op.BIC:
+        return a & mask(~b, width), None
+    if op is Op.LSL:
+        return mask(a << _shift_amount(b, width), width), None
+    if op is Op.LSR:
+        return a >> _shift_amount(b, width), None
+    if op is Op.ASR:
+        return mask(to_signed(a, width) >> _shift_amount(b, width), width), None
+    if op is Op.MUL:
+        return mask(a * b, width), None
+    if op is Op.SDIV:
+        if b == 0:
+            return 0, None
+        quotient = int(to_signed(a, width) / to_signed(b, width))
+        return mask(quotient, width), None
+    if op is Op.UDIV:
+        return (0 if b == 0 else a // b), None
+    raise ValueError(f"not an integer ALU op: {op}")
+
+
+def compute_unary(op, a, width, immr=None, imms=None):
+    """Single-source integer ops: rbit/clz/ubfm/sbfm."""
+    if op is Op.RBIT:
+        return rbit(a, width)
+    if op is Op.CLZ:
+        return clz(a, width)
+    if op is Op.UBFM:
+        return ubfm(a, immr, imms, width)
+    if op is Op.SBFM:
+        return sbfm(a, immr, imms, width)
+    raise ValueError(f"not a unary op: {op}")
+
+
+def compute_csel(op, cond, flags, a, b, width):
+    """csel/csinc/csneg/cset result."""
+    if condition_holds(cond, flags):
+        if op is Op.CSET:
+            return 1
+        return mask(a, width)
+    if op is Op.CSEL:
+        return mask(b, width)
+    if op is Op.CSINC:
+        return mask(b + 1, width)
+    if op is Op.CSNEG:
+        return mask(-to_signed(b, width), width)
+    if op is Op.CSET:
+        return 0
+    raise ValueError(f"not a conditional select: {op}")
+
+
+def compute_movk(dst_value, imm, shift, width):
+    """movk: insert a 16-bit field at *shift* keeping the other bits."""
+    keep_mask = mask(~(0xFFFF << shift), width)
+    return (dst_value & keep_mask) | ((imm & 0xFFFF) << shift)
+
+
+def branch_taken(op, cond, flags, src_value, bit):
+    """Direction of a (possibly conditional) branch.
+
+    Unconditional/indirect branches are always taken.
+    """
+    if op is Op.B_COND:
+        return condition_holds(cond, flags)
+    if op is Op.CBZ:
+        return src_value == 0
+    if op is Op.CBNZ:
+        return src_value != 0
+    if op is Op.TBZ:
+        return not (src_value >> bit) & 1
+    if op is Op.TBNZ:
+        return bool((src_value >> bit) & 1)
+    return True
+
+
+# -- floating point (IEEE754 double bit patterns stored in 64-bit regs) --------
+
+def _as_float(bits):
+    return struct.unpack("<d", struct.pack("<Q", bits & 0xFFFF_FFFF_FFFF_FFFF))[0]
+
+
+def _as_bits(value):
+    try:
+        return struct.unpack("<Q", struct.pack("<d", value))[0]
+    except (OverflowError, ValueError):
+        return struct.unpack("<Q", struct.pack("<d", float("inf")))[0]
+
+
+def compute_fp(op, a_bits, b_bits, c_bits=0):
+    """FP arithmetic on IEEE754 bit patterns: returns result bits."""
+    a, b = _as_float(a_bits), _as_float(b_bits)
+    if op is Op.FADD:
+        return _as_bits(a + b)
+    if op is Op.FSUB:
+        return _as_bits(a - b)
+    if op is Op.FMUL:
+        return _as_bits(a * b)
+    if op is Op.FDIV:
+        if b == 0.0:
+            return _as_bits(float("inf") if a > 0 else float("-inf") if a < 0 else float("nan"))
+        return _as_bits(a / b)
+    if op is Op.FMADD:
+        return _as_bits(a * b + _as_float(c_bits))
+    if op is Op.FMOV:
+        return a_bits
+    raise ValueError(f"not an FP op: {op}")
+
+
+def compute_fcmp(a_bits, b_bits):
+    """NZCV flags produced by fcmp (ARMv8 FP compare flag mapping)."""
+    from repro.isa.bits import nzcv
+
+    a, b = _as_float(a_bits), _as_float(b_bits)
+    if a != a or b != b:  # NaN: unordered
+        return nzcv(False, False, True, True)
+    if a == b:
+        return nzcv(False, True, True, False)
+    if a < b:
+        return nzcv(True, False, False, False)
+    return nzcv(False, False, True, False)
+
+
+def compute_fcvtzs(a_bits, width):
+    """FP to signed integer, round toward zero, saturating."""
+    value = _as_float(a_bits)
+    if value != value:  # NaN
+        return 0
+    hi = (1 << (width - 1)) - 1
+    lo = -(1 << (width - 1))
+    clamped = max(lo, min(hi, int(value)))
+    return mask(clamped, width)
+
+
+def compute_scvtf(a_value, width):
+    """Signed integer to FP bits."""
+    return _as_bits(float(to_signed(a_value, width)))

@@ -1,0 +1,16 @@
+"""Memory-system substrate: caches, MSHRs, TLBs, prefetchers, DRAM."""
+
+from repro.memory.cache import Cache, MainMemory
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.prefetch import AmpmPrefetcher, StridePrefetcher
+from repro.memory.tlb import Tlb, TlbHierarchy
+
+__all__ = [
+    "AmpmPrefetcher",
+    "Cache",
+    "MainMemory",
+    "MemoryHierarchy",
+    "StridePrefetcher",
+    "Tlb",
+    "TlbHierarchy",
+]

@@ -1,0 +1,165 @@
+"""Timestamp-based set-associative cache model with MSHRs.
+
+The timing simulator asks ``access(addr, cycle, ...)`` and receives the
+cycle at which the data is available.  Lines carry a ``ready_at`` stamp so
+an in-flight fill (demand or prefetch) services later requests at its
+arrival time rather than as an instant hit; a bounded MSHR file limits the
+number of outstanding misses, delaying further misses until a slot frees
+up — the behaviour responsible for the memory-level-parallelism limits the
+paper's Table 2 parameters (56/64 MSHRs) imply.
+"""
+
+
+class _Line:
+    __slots__ = ("tag", "dirty", "ready_at")
+
+    def __init__(self, tag, ready_at):
+        self.tag = tag
+        self.dirty = False
+        self.ready_at = ready_at
+
+
+class MainMemory:
+    """Fixed-latency DRAM endpoint."""
+
+    def __init__(self, latency=110):
+        self.latency = latency
+        self.stat_accesses = 0
+
+    def access(self, _addr, cycle, is_write=False, pc=None, is_prefetch=False):
+        self.stat_accesses += 1
+        return cycle + self.latency
+
+    def invalidate_all(self):  # pragma: no cover - interface symmetry
+        pass
+
+
+class Cache:
+    """One cache level.
+
+    *latency* is the load-to-use latency in cycles (Table 2 numbers).  The
+    next level is *parent* (another Cache or MainMemory).  An optional
+    *prefetcher* is trained on demand accesses and may call
+    :meth:`prefetch_line`.
+    """
+
+    def __init__(self, name, size_bytes, ways, line_size=64, latency=4,
+                 mshrs=16, parent=None, prefetcher=None):
+        if size_bytes % (ways * line_size):
+            raise ValueError(f"{name}: size not divisible into {ways} ways")
+        self.name = name
+        self.sets = size_bytes // (ways * line_size)
+        self.ways = ways
+        self.line_size = line_size
+        self.line_bits = line_size.bit_length() - 1
+        self.latency = latency
+        self.mshr_limit = mshrs
+        self.parent = parent
+        self.prefetcher = prefetcher
+        self._sets = [[] for _ in range(self.sets)]  # LRU order, front = MRU
+        self._mshrs = {}                              # line_addr -> fill cycle
+        # Statistics.
+        self.stat_hits = 0
+        self.stat_misses = 0
+        self.stat_prefetch_issued = 0
+        self.stat_prefetch_hits = 0   # demand hits on prefetched lines
+        self.stat_writebacks = 0
+        self.stat_mshr_stalls = 0
+
+    # -- internals --------------------------------------------------------------
+    def _locate(self, addr):
+        line_addr = addr >> self.line_bits
+        return self._sets[line_addr % self.sets], line_addr
+
+    def _purge_mshrs(self, cycle):
+        if len(self._mshrs) > self.mshr_limit // 2:
+            done = [line for line, fill in self._mshrs.items() if fill <= cycle]
+            for line in done:
+                del self._mshrs[line]
+
+    def _mshr_delay(self, cycle):
+        """Cycle at which a new miss can be accepted."""
+        self._purge_mshrs(cycle)
+        live = [fill for fill in self._mshrs.values() if fill > cycle]
+        if len(live) < self.mshr_limit:
+            return cycle
+        self.stat_mshr_stalls += 1
+        return min(live)
+
+    def _install(self, ways, tag, ready_at):
+        line = _Line(tag, ready_at)
+        ways.insert(0, line)
+        if len(ways) > self.ways:
+            victim = ways.pop()
+            if victim.dirty:
+                self.stat_writebacks += 1
+        return line
+
+    # -- public API ----------------------------------------------------------------
+    def access(self, addr, cycle, is_write=False, pc=None, is_prefetch=False):
+        """Access *addr* at *cycle*; returns the data-ready cycle."""
+        ways, line_addr = self._locate(addr)
+        for position, line in enumerate(ways):
+            if line.tag == line_addr:
+                ways.insert(0, ways.pop(position))
+                if is_write:
+                    line.dirty = True
+                if not is_prefetch:
+                    self.stat_hits += 1
+                    if line.ready_at > cycle:
+                        self.stat_prefetch_hits += 1
+                    self._train_prefetcher(pc, addr, cycle, hit=True)
+                return max(cycle + self.latency, line.ready_at + 1)
+        # Miss.
+        if not is_prefetch:
+            self.stat_misses += 1
+        start = self._mshr_delay(cycle)
+        pending = self._mshrs.get(line_addr)
+        if pending is not None and pending > cycle:
+            fill = pending  # coalesce with the in-flight fill
+        else:
+            fill = self.parent.access(addr, start + self.latency,
+                                      is_write=False, pc=pc,
+                                      is_prefetch=is_prefetch)
+            self._mshrs[line_addr] = fill
+        line = self._install(ways, line_addr, fill)
+        if is_write:
+            line.dirty = True
+        if not is_prefetch:
+            self._train_prefetcher(pc, addr, cycle, hit=False)
+        return max(fill, cycle + self.latency)
+
+    def prefetch_line(self, addr, cycle):
+        """Bring a line in without charging a demand request."""
+        ways, line_addr = self._locate(addr)
+        for line in ways:
+            if line.tag == line_addr:
+                return  # already present or in flight
+        if line_addr in self._mshrs and self._mshrs[line_addr] > cycle:
+            return
+        if self._mshr_delay(cycle) > cycle:
+            return  # no MSHR available: drop the prefetch
+        self.stat_prefetch_issued += 1
+        fill = self.parent.access(addr, cycle + self.latency,
+                                  is_write=False, pc=None, is_prefetch=True)
+        self._mshrs[line_addr] = fill
+        self._install(ways, line_addr, fill)
+
+    def _train_prefetcher(self, pc, addr, cycle, hit):
+        if self.prefetcher is not None:
+            self.prefetcher.observe(self, pc, addr, cycle, hit)
+
+    # -- inspection -------------------------------------------------------------------
+    @property
+    def stat_accesses(self):
+        return self.stat_hits + self.stat_misses
+
+    @property
+    def miss_rate(self):
+        total = self.stat_accesses
+        return self.stat_misses / total if total else 0.0
+
+    def invalidate_all(self):
+        """Drop all lines (used between benchmark repetitions)."""
+        self._sets = [[] for _ in range(self.sets)]
+        self._mshrs.clear()

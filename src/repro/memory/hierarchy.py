@@ -1,0 +1,64 @@
+"""The full Table 2 memory system wired together.
+
+128KB 8-way L1D (4c) and L1I (1c), 1MB 8-way L2 (12c), 8MB 16-way L3 (37c),
+DRAM behind that; degree-4 stride prefetcher on the L1D and AMPM on the L2;
+TLBs per :mod:`repro.memory.tlb`.
+"""
+
+from repro.memory.cache import Cache, MainMemory
+from repro.memory.prefetch import AmpmPrefetcher, StridePrefetcher
+from repro.memory.tlb import TlbHierarchy
+
+
+class MemoryHierarchy:
+    """Facade the pipeline talks to: ``load``/``store``/``ifetch``."""
+
+    def __init__(self, config=None):
+        from repro.pipeline.config import MemoryConfig
+
+        cfg = config or MemoryConfig()
+        self.config = cfg
+        self.dram = MainMemory(latency=cfg.dram_latency)
+        self.l3 = Cache("L3", cfg.l3_size, cfg.l3_ways, cfg.line_size,
+                        latency=cfg.l3_latency, mshrs=cfg.l3_mshrs,
+                        parent=self.dram)
+        l2_prefetcher = AmpmPrefetcher(degree=cfg.ampm_degree) \
+            if cfg.enable_ampm_prefetcher else None
+        self.l2 = Cache("L2", cfg.l2_size, cfg.l2_ways, cfg.line_size,
+                        latency=cfg.l2_latency, mshrs=cfg.l2_mshrs,
+                        parent=self.l3, prefetcher=l2_prefetcher)
+        l1d_prefetcher = StridePrefetcher(degree=cfg.stride_degree) \
+            if cfg.enable_stride_prefetcher else None
+        self.l1d = Cache("L1D", cfg.l1d_size, cfg.l1d_ways, cfg.line_size,
+                         latency=cfg.l1d_latency, mshrs=cfg.l1d_mshrs,
+                         parent=self.l2, prefetcher=l1d_prefetcher)
+        self.l1i = Cache("L1I", cfg.l1i_size, cfg.l1i_ways, cfg.line_size,
+                         latency=cfg.l1i_latency, mshrs=cfg.l1i_mshrs,
+                         parent=self.l2)
+        self.tlbs = TlbHierarchy(walk_penalty=cfg.tlb_walk_penalty)
+
+    def load(self, addr, cycle, pc=None):
+        """Data load: returns the data-ready cycle."""
+        penalty = self.tlbs.translate_data(addr)
+        return self.l1d.access(addr, cycle + penalty, is_write=False, pc=pc)
+
+    def store(self, addr, cycle, pc=None):
+        """Data store: returns the completion cycle (write-allocate)."""
+        penalty = self.tlbs.translate_data(addr)
+        return self.l1d.access(addr, cycle + penalty, is_write=True, pc=pc)
+
+    def ifetch(self, addr, cycle):
+        """Instruction fetch of the line containing *addr*."""
+        penalty = self.tlbs.translate_inst(addr)
+        return self.l1i.access(addr, cycle + penalty, is_write=False)
+
+    def stats(self):
+        """Flat dict of the interesting counters."""
+        out = {}
+        for cache in (self.l1i, self.l1d, self.l2, self.l3):
+            out[f"{cache.name}.hits"] = cache.stat_hits
+            out[f"{cache.name}.misses"] = cache.stat_misses
+            out[f"{cache.name}.prefetches"] = cache.stat_prefetch_issued
+        out["dram.accesses"] = self.dram.stat_accesses
+        out["tlb.walks"] = self.tlbs.stat_walks
+        return out

@@ -1,0 +1,68 @@
+"""TLB hierarchy per Table 2: two 256-entry L1 TLBs (0-cycle, folded into
+the L1 load-to-use) backed by a 3072-entry 12-way L2 TLB (4 cycles), with a
+fixed page-walk penalty beyond that."""
+
+PAGE_BITS = 12
+
+
+class Tlb:
+    """Set-associative TLB with LRU replacement."""
+
+    def __init__(self, entries, ways, latency=0):
+        if entries % ways:
+            raise ValueError("entries must divide into ways")
+        self.sets = entries // ways
+        self.ways = ways
+        self.latency = latency
+        self._sets = [[] for _ in range(self.sets)]
+        self.stat_hits = 0
+        self.stat_misses = 0
+
+    def lookup(self, vpn):
+        ways = self._sets[vpn % self.sets]
+        if vpn in ways:
+            ways.remove(vpn)
+            ways.insert(0, vpn)
+            self.stat_hits += 1
+            return True
+        self.stat_misses += 1
+        return False
+
+    def install(self, vpn):
+        ways = self._sets[vpn % self.sets]
+        if vpn in ways:
+            return
+        ways.insert(0, vpn)
+        if len(ways) > self.ways:
+            ways.pop()
+
+
+class TlbHierarchy:
+    """L1 I/D TLBs + shared L2 TLB + fixed walk penalty."""
+
+    def __init__(self, l1_entries=256, l1_ways=1, l2_entries=3072, l2_ways=12,
+                 l2_latency=4, walk_penalty=40):
+        self.itlb = Tlb(l1_entries, l1_ways, latency=0)
+        self.dtlb = Tlb(l1_entries, l1_ways, latency=0)
+        self.l2 = Tlb(l2_entries, l2_ways, latency=l2_latency)
+        self.walk_penalty = walk_penalty
+        self.stat_walks = 0
+
+    def _translate(self, l1, addr):
+        """Extra cycles the translation adds on top of the cache access."""
+        vpn = addr >> PAGE_BITS
+        if l1.lookup(vpn):
+            return 0
+        if self.l2.lookup(vpn):
+            l1.install(vpn)
+            return self.l2.latency
+        self.stat_walks += 1
+        self.l2.install(vpn)
+        l1.install(vpn)
+        return self.l2.latency + self.walk_penalty
+
+    def translate_data(self, addr):
+        return self._translate(self.dtlb, addr)
+
+    def translate_inst(self, addr):
+        return self._translate(self.itlb, addr)

@@ -1,0 +1,14 @@
+"""The out-of-order superscalar timing model (the gem5 substitute)."""
+
+from repro.pipeline.config import MachineConfig, MemoryConfig
+from repro.pipeline.core import CpuModel, SimulationResult, simulate
+from repro.pipeline.stats import PipelineStats
+
+__all__ = [
+    "CpuModel",
+    "MachineConfig",
+    "MemoryConfig",
+    "PipelineStats",
+    "SimulationResult",
+    "simulate",
+]

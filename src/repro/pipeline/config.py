@@ -1,0 +1,160 @@
+"""Machine configuration: the paper's Table 2, knob for knob.
+
+``MachineConfig()`` is the baseline core (move elimination + 0/1-idiom
+elimination, no value prediction).  The classmethods build the evaluated
+configurations: ``mvp()``, ``tvp()``, ``gvp()``, each optionally with
+``spsr=True``.
+"""
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.modes import VPFlavor
+from repro.core.vtage import VtageConfig
+
+
+@dataclass
+class MemoryConfig:
+    """Cache/TLB/prefetcher parameters (Table 2)."""
+
+    line_size: int = 64
+    l1i_size: int = 128 * 1024
+    l1i_ways: int = 8
+    l1i_latency: int = 1
+    l1i_mshrs: int = 8
+    l1d_size: int = 128 * 1024
+    l1d_ways: int = 8
+    l1d_latency: int = 4
+    l1d_mshrs: int = 56
+    l2_size: int = 1024 * 1024
+    l2_ways: int = 8
+    l2_latency: int = 12
+    l2_mshrs: int = 64
+    l3_size: int = 8 * 1024 * 1024
+    l3_ways: int = 16
+    l3_latency: int = 37
+    l3_mshrs: int = 64
+    dram_latency: int = 110
+    tlb_walk_penalty: int = 40
+    enable_stride_prefetcher: bool = True
+    stride_degree: int = 4
+    enable_ampm_prefetcher: bool = True
+    ampm_degree: int = 2
+
+
+@dataclass
+class MachineConfig:
+    """The full core (Table 2: 11-stage pipeline at 3GHz)."""
+
+    # Frontend.
+    fetch_width: int = 16              # from a 64B line buffer
+    fetch_queue: int = 32
+    taken_branch_penalty: int = 1
+    fetch_to_decode: int = 3
+    decode_width: int = 8
+    decode_to_rename: int = 1
+    mistarget_penalty: int = 2         # BTB-miss taken branch, fixed at Decode
+    # Rename / dispatch / commit.
+    rename_width: int = 8
+    rename_to_dispatch: int = 2
+    commit_width: int = 8
+    rob_entries: int = 315
+    iq_entries: int = 92
+    lq_entries: int = 74
+    sq_entries: int = 53
+    int_phys_regs: int = 292
+    fp_phys_regs: int = 292
+    # Issue/execute (port plan per Table 2).
+    issue_width: int = 15
+    int_alu_ports: int = 6             # 4 simple + 2 shared with IntMul
+    int_mul_ports: int = 2
+    int_mul_latency: int = 3
+    int_div_ports: int = 1
+    int_div_latency: int = 20          # unpipelined
+    fp_alu_ports: int = 4
+    fp_alu_latency: int = 3
+    fp_mul_ports: int = 4
+    fp_mul_latency: int = 4
+    fp_mac_latency: int = 5
+    fp_div_ports: int = 1
+    fp_div_latency: int = 12           # unpipelined
+    load_ports: int = 2
+    store_ports: int = 2
+    store_forward_latency: int = 5
+    # Branch prediction.
+    tage_tables: int = 15
+    tage_min_history: int = 5
+    tage_max_history: int = 640
+    btb_entries: int = 8192
+    ras_entries: int = 32
+    indirect_entries: int = 1024
+    # Redirect bubble after a resolved mispredict; the frontend refill time
+    # (fetch->decode->rename latencies) adds on top, so the effective
+    # penalty matches the paper's 11-stage pipeline.
+    redirect_penalty: int = 2
+    # Memory dependence prediction (Store Sets).
+    ssit_entries: int = 2048
+    lfst_entries: int = 2048
+    # Rename optimizations (the paper's baseline includes DSR).
+    enable_move_elimination: bool = True
+    enable_zero_one_idiom: bool = True
+    # Value prediction.
+    vp_flavor: VPFlavor = VPFlavor.NONE
+    # Which prediction algorithm backs the flavor.  The paper evaluates
+    # VTAGE; "lvp", "stride" and (MVP-only) "perceptron" are the swap-in
+    # alternatives its §7 points at, used by the predictor ablation.
+    vp_algorithm: str = "vtage"
+    vtage: Optional[VtageConfig] = None    # None -> Table 2 default for flavor
+    vp_queue_entries: int = 192
+    vp_silence_cycles: int = 250
+    # Misprediction recovery: "flush" (the paper's choice, §3.4) or
+    # "replay" (selective re-execution of consumers, §2.2).  Replay is
+    # only *possible* when the prediction had real storage — a wide GVP
+    # prediction written to a physical register.  MVP/TVP predictions live
+    # in hardwired/inline names with nowhere to put the correct value, so
+    # they always flush (including the offender) regardless of this knob —
+    # the asymmetry the paper's §3.4 is about.
+    vp_recovery: str = "flush"
+    # Speculative Strength Reduction.
+    enable_spsr: bool = False
+    spsr_constant_folding: bool = False    # extension, off by default
+    # Memory system.
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    # Simulation.
+    seed: int = 0x5EED_0001
+
+    # -- derived -----------------------------------------------------------------
+    @property
+    def enable_nine_bit_idiom(self):
+        """9-bit signed-idiom elimination comes with TVP/GVP inlining."""
+        return self.vp_flavor.enables_nine_bit_idiom
+
+    def vtage_config(self):
+        """The value predictor geometry for this configuration."""
+        if self.vtage is not None:
+            return self.vtage
+        if self.vp_flavor is VPFlavor.NONE:
+            return None
+        return VtageConfig(value_bits=self.vp_flavor.value_bits)
+
+    # -- the paper's evaluated configurations ------------------------------------
+    @classmethod
+    def baseline(cls, **overrides):
+        """ME + 0/1-idiom elimination, no VP (the Fig. 3/5 baseline)."""
+        return cls(**overrides)
+
+    @classmethod
+    def mvp(cls, spsr=False, **overrides):
+        return cls(vp_flavor=VPFlavor.MVP, enable_spsr=spsr, **overrides)
+
+    @classmethod
+    def tvp(cls, spsr=False, **overrides):
+        return cls(vp_flavor=VPFlavor.TVP, enable_spsr=spsr, **overrides)
+
+    @classmethod
+    def gvp(cls, spsr=False, **overrides):
+        return cls(vp_flavor=VPFlavor.GVP, enable_spsr=spsr, **overrides)
+
+    def with_(self, **overrides):
+        """A copy with some fields replaced."""
+        return replace(self, **overrides)

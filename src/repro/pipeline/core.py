@@ -1,0 +1,759 @@
+"""The cycle-level out-of-order core (the gem5 substitute).
+
+Trace-driven: the functional emulator supplies the correct-path µop stream
+(:class:`~repro.emulator.trace.DynUop`); this model replays it through an
+11-stage-equivalent pipeline — fetch (16-wide, line buffer, I-cache, BTB /
+TAGE / RAS / indirect predictor), decode (8-wide), rename (8-wide with
+move/idiom elimination, SpSR and value prediction), dispatch into
+ROB/IQ/LQ/SQ, port-constrained issue, execution with the Table 2 latencies
+and the full cache hierarchy, in-place value-prediction validation, and
+8-wide in-order commit with CRAT-based register reclamation.
+
+Speculation model:
+
+* **Branches** resolve at execute; a mispredicted branch blocks fetch until
+  it resolves (wrong-path µops are not simulated — the standard
+  trace-driven approximation, see DESIGN.md §5).
+* **Value mispredictions** squash the offending µop and everything younger
+  (the paper's §3.4 requires the offender to be included), repair the RAT
+  by walking the ROB undo log, restart fetch at the offender, and silence
+  the predictor for 250 cycles.
+* **Memory-order violations** (a load that issued before an older
+  same-address store executed) squash from the load; Store Sets learn the
+  pair.
+"""
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+
+from repro.backend.fus import FunctionalUnits
+from repro.backend.lsq import LoadStoreQueues, LsqEntry
+from repro.backend.naming import FLAGS_NAME_BASE, FP_NAME_BASE
+from repro.backend.prf import PhysicalRegisterFile
+from repro.backend.rat import RegisterAliasTable
+from repro.backend.rob import ReorderBuffer, RobEntry, UopState
+from repro.backend.storesets import StoreSets
+from repro.core.inflight import VPQueue
+from repro.core.modes import VPFlavor
+from repro.core.spsr import SpSREngine
+from repro.core.vtage import Vtage
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.history import GlobalHistory
+from repro.frontend.indirect import IndirectTargetCache
+from repro.frontend.ras import ReturnAddressStack
+from repro.frontend.tage import Tage, TageConfig
+from repro.isa.opcodes import ExecClass
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.stats import PipelineStats
+from repro.rename.renamer import Renamer, vp_eligible
+
+_LINE_SHIFT = 6  # 64B fetch lines
+
+
+class SimulationDeadlock(RuntimeError):
+    """The pipeline stopped making progress (a model bug, not a workload)."""
+
+
+@dataclass
+class SimulationResult:
+    """What one run returns."""
+
+    stats: PipelineStats
+    config: MachineConfig
+    trace_uops: int
+
+    @property
+    def ipc(self):
+        return self.stats.ipc
+
+
+class CpuModel:
+    """One core instance bound to one trace."""
+
+    def __init__(self, trace, config=None):
+        self.trace = trace
+        self.config = config or MachineConfig()
+        cfg = self.config
+        self.stats = PipelineStats()
+
+        # Register files and rename state.
+        self.int_prf = PhysicalRegisterFile(cfg.int_phys_regs, name_base=0)
+        self.fp_prf = PhysicalRegisterFile(cfg.fp_phys_regs,
+                                           name_base=FP_NAME_BASE)
+        self.flags_prf = PhysicalRegisterFile(384, name_base=FLAGS_NAME_BASE)
+        self.rat = RegisterAliasTable(self.int_prf, self.fp_prf,
+                                      self.flags_prf)
+
+        # Prediction structures.
+        self.history = GlobalHistory()
+        self.tage = Tage(TageConfig(n_tables=cfg.tage_tables,
+                                    min_history=cfg.tage_min_history,
+                                    max_history=cfg.tage_max_history),
+                         history=self.history, seed=cfg.seed)
+        self.btb = BranchTargetBuffer(cfg.btb_entries)
+        self.ras = ReturnAddressStack(cfg.ras_entries)
+        self.indirect = IndirectTargetCache(cfg.indirect_entries)
+        self.vtage = self._build_value_predictor(cfg)
+        self.vp_queue = None
+        if self.vtage is not None:
+            self.vp_queue = VPQueue(cfg.vp_queue_entries,
+                                    cfg.vp_silence_cycles)
+        spsr = SpSREngine(cfg.spsr_constant_folding) if cfg.enable_spsr else None
+
+        # Backend.
+        self.rob = ReorderBuffer(cfg.rob_entries)
+        self.iq = []
+        self.lsq = LoadStoreQueues(cfg.lq_entries, cfg.sq_entries)
+        self.fus = FunctionalUnits(cfg)
+        self.store_sets = StoreSets(cfg.ssit_entries, cfg.lfst_entries)
+        self.memory = MemoryHierarchy(cfg.memory)
+        self.renamer = Renamer(cfg, self.rat, self.int_prf, self.fp_prf,
+                               self.flags_prf, self.stats, spsr_engine=spsr,
+                               vtage=self.vtage, vp_queue=self.vp_queue)
+
+        # Frontend state.
+        self.fetch_index = 0
+        self.fetch_stall_until = 0
+        self.waiting_branch_seq = None
+        self.branch_seen = set()
+        self.current_fetch_line = None
+        self.fetch_queue = deque()
+        self.decode_queue = deque()
+        self.decode_queue_cap = 3 * cfg.decode_width
+
+        # Value predictions are generated in the frontend (at fetch), where
+        # the global branch history is exactly the branches older than the
+        # µop — rename-time lookup would see younger, already-fetched
+        # branches.  Keyed by seq; refetches re-predict (as hardware does).
+        self.pending_predictions = {}
+        self.renamer.pending_predictions = self.pending_predictions
+
+        # Execution bookkeeping.
+        self.completions = []            # heap of (cycle, tiebreak, entry)
+        self._completion_counter = 0
+        self.store_entries = {}          # seq -> LsqEntry (stores in flight)
+        self.entries_by_seq = {}         # seq -> RobEntry (in window)
+        self.cycle = 0
+        self._activity = 0
+
+    def _build_value_predictor(self, cfg):
+        """The value predictor backing the configured flavor (or None)."""
+        if cfg.vp_flavor is VPFlavor.NONE:
+            return None
+        algorithm = cfg.vp_algorithm
+        if algorithm == "vtage":
+            return Vtage(cfg.vtage_config(), history=self.history,
+                         seed=cfg.seed + 7)
+        if algorithm == "lvp":
+            from repro.core.lvp import LastValuePredictor, LvpConfig
+
+            return LastValuePredictor(
+                LvpConfig(value_bits=cfg.vp_flavor.value_bits),
+                seed=cfg.seed + 7)
+        if algorithm == "stride":
+            from repro.core.stride import StrideValuePredictor, StrideVpConfig
+
+            return StrideValuePredictor(
+                StrideVpConfig(value_bits=cfg.vp_flavor.value_bits),
+                seed=cfg.seed + 7)
+        if algorithm == "perceptron":
+            from repro.core.perceptron import PerceptronValuePredictor
+
+            if cfg.vp_flavor is not VPFlavor.MVP:
+                raise ValueError("the perceptron predictor only makes sense "
+                                 "for MVP (two candidate values)")
+            return PerceptronValuePredictor(history=self.history)
+        raise ValueError(f"unknown vp_algorithm {algorithm!r}")
+
+    # ==================================================================== run
+    def run(self, max_cycles=None, progress_window=20_000):
+        """Simulate until the whole trace has retired."""
+        target = len(self.trace)
+        last_retired = -1
+        idle_events = 0
+        while self.stats.retired_uops < target:
+            self.cycle += 1
+            self._activity = 0
+            self._commit()
+            self._complete()
+            self._issue()
+            self._rename_dispatch()
+            self._decode()
+            self._fetch()
+            if self._activity == 0:
+                # Fully idle cycle: jump to the next scheduled event
+                # (identical architectural behaviour, much faster on
+                # memory-latency-bound phases).
+                self._skip_to_next_event()
+            if self.stats.retired_uops == last_retired:
+                idle_events += 1
+                if idle_events > progress_window:
+                    raise SimulationDeadlock(self._deadlock_report())
+            else:
+                idle_events = 0
+                last_retired = self.stats.retired_uops
+            if max_cycles is not None and self.cycle > max_cycles:
+                break
+        self.stats.cycles = self.cycle
+        self.stats.memory = self.memory.stats()
+        return SimulationResult(self.stats, self.config, len(self.trace))
+
+    def _skip_to_next_event(self):
+        """Advance the clock to just before the next possible event."""
+        candidates = []
+        if self.completions:
+            candidates.append(self.completions[0][0])
+        if self.fetch_queue:
+            candidates.append(self.fetch_queue[0][0])
+        if self.decode_queue:
+            candidates.append(self.decode_queue[0][0])
+        if self.fetch_index < len(self.trace) \
+                and self.waiting_branch_seq is None:
+            candidates.append(self.fetch_stall_until)
+        for entry in self.iq:
+            limit = max(entry.issue_ready_cycle,
+                        entry.wakeup_cycle if entry.wakeup_known else 0)
+            candidates.append(limit)
+        for port in self.fus.ports:
+            if port.busy_until > self.cycle:
+                candidates.append(port.busy_until)
+        future = [c for c in candidates if c > self.cycle]
+        if not future:
+            return  # something is imminent (or deadlocked: the watchdog sees it)
+        self.cycle = min(future) - 1  # the loop header increments
+
+    def _deadlock_report(self):
+        head = self.rob.head()
+        return (f"no commit for too long at cycle {self.cycle}: "
+                f"retired={self.stats.retired_uops}/{len(self.trace)} "
+                f"head={head!r} state={head.state if head else None} "
+                f"fetch_index={self.fetch_index} "
+                f"waiting_branch={self.waiting_branch_seq} "
+                f"iq={len(self.iq)} rob={len(self.rob)}")
+
+    # ================================================================= commit
+    def _commit(self):
+        cycle = self.cycle
+        stats = self.stats
+        for _ in range(self.config.commit_width):
+            entry = self.rob.head()
+            if entry is None:
+                return
+            if entry.state is UopState.DONE:
+                if entry.complete_cycle >= cycle:
+                    return
+            elif entry.state is UopState.ELIMINATED:
+                pass  # completes at rename; commit immediately when head
+            else:
+                return
+            self.rob.pop_head()
+            self._activity += 1
+            self.entries_by_seq.pop(entry.seq, None)
+            uop = entry.uop
+            stats.retired_uops += 1
+            if uop.is_last_uop:
+                stats.retired_arch_insts += 1
+            if uop.is_branch:
+                stats.branches += 1
+            if entry.elim_kind is not None:
+                self._count_elimination(entry.elim_kind)
+            if entry.move_width_blocked:
+                stats.elim_move_width_blocked += 1
+            if self.vp_queue is not None and vp_eligible(uop):
+                stats.vp_eligible += 1
+                self._train_vp_at_commit(entry, uop)
+            for arch_reg, _prev, new_name in entry.undo:
+                self.rat.commit(arch_reg, new_name)
+                self.rat.drop_rob_ref(arch_reg, new_name)
+            if uop.is_store:
+                self.memory.store(uop.addr, cycle, pc=uop.pc)
+                self.store_sets.store_done(uop.pc, uop.seq)
+                self.store_entries.pop(uop.seq, None)
+                self.lsq.remove_committed(uop.seq)
+            elif uop.is_load:
+                self.lsq.remove_committed(uop.seq)
+
+    def _count_elimination(self, kind):
+        stats = self.stats
+        if kind == "zero_idiom":
+            stats.elim_zero_idiom += 1
+        elif kind == "one_idiom":
+            stats.elim_one_idiom += 1
+        elif kind == "move":
+            stats.elim_move += 1
+        elif kind == "nine_bit_idiom":
+            stats.elim_nine_bit_idiom += 1
+        elif kind == "spsr":
+            stats.elim_spsr += 1
+
+    def _train_vp_at_commit(self, entry, uop):
+        vp_entry = self.vp_queue.pop(uop.seq)
+        if vp_entry is None:
+            return
+        if vp_entry.used:
+            # A used-and-wrong prediction can never reach commit: it
+            # flushes at validation.  So this one was correct.
+            self.stats.vp_correct_used += 1
+        self.vtage.train(uop.pc, uop.result, vp_entry.info)
+
+    # ================================================================ complete
+    def _complete(self):
+        cycle = self.cycle
+        while self.completions and self.completions[0][0] <= cycle:
+            _, _tiebreak, entry, token = heapq.heappop(self.completions)
+            self._activity += 1
+            if entry.state is not UopState.ISSUED \
+                    or entry.issue_token != token:
+                continue  # squashed or replayed while in flight
+            entry.state = UopState.DONE
+            uop = entry.uop
+            # PRF write accounting (Fig. 6): one write per real dest; wide
+            # GVP predictions were additionally written at rename.
+            if entry.dest_name is not None:
+                if uop.dst_is_fp:
+                    if self.fp_prf.owns(entry.dest_name):
+                        self.stats.fp_prf_writes += 1
+                elif self.int_prf.owns(entry.dest_name):
+                    self.stats.int_prf_writes += 1
+            # In-place value-prediction validation at the functional unit.
+            if self.vp_queue is not None:
+                vp_entry = self.vp_queue.get(uop.seq)
+                if vp_entry is not None:
+                    vp_entry.correct = vp_entry.predicted == uop.result
+                    if vp_entry.used and not vp_entry.correct:
+                        self._value_mispredict(entry, vp_entry)
+                        continue
+            if self.waiting_branch_seq == uop.seq:
+                self._resume_fetch_after(entry.complete_cycle)
+
+    def _resume_fetch_after(self, resolve_cycle):
+        self.waiting_branch_seq = None
+        self.fetch_stall_until = max(self.fetch_stall_until,
+                                     resolve_cycle + self.config.redirect_penalty)
+
+    # ----------------------------------------------------------------- flushes
+    def _value_mispredict(self, entry, vp_entry):
+        """§3.4: flush including the mispredicted instruction + silencing.
+
+        Under ``vp_recovery == "replay"``, a misprediction whose value had
+        *real storage* (a wide GVP prediction written to a physical
+        register) is instead repaired in place and its consumers replayed
+        (§2.2).  MVP/TVP inline predictions have nowhere to put the
+        correct value, so they always take the flush path — the paper's
+        central recovery asymmetry.
+        """
+        stats = self.stats
+        stats.vp_incorrect_used += 1
+        # Train immediately so the refetched/replayed instance sees the
+        # truth, then silence so it is not value predicted again.
+        self.vtage.train(entry.uop.pc, entry.uop.result, vp_entry.info)
+        self.vp_queue.pop(entry.seq)
+        if self.config.vp_recovery == "replay" \
+                and entry.dest_name is not None \
+                and self.int_prf.owns(entry.dest_name) \
+                and self._selective_replay(entry):
+            self.vp_queue.silence(self.cycle)
+            return
+        stats.vp_flushes += 1
+        self._flush_from(entry.seq, entry.complete_cycle)
+        self.vp_queue.silence(self.cycle)
+
+    def _selective_replay(self, offender):
+        """Re-execute the offender's transitive consumers in place.
+
+        Returns False (caller falls back to flush) when a tainted consumer
+        was eliminated at rename — its *rename decision* depended on the
+        wrong value and replay cannot re-rename.
+        """
+        correction_cycle = self.cycle + 2  # broadcast the corrected value
+        tainted_names = {offender.dest_name}
+        to_replay = []
+        for candidate in self.rob.entries:
+            if candidate.seq <= offender.seq:
+                continue
+            if not any(name in tainted_names
+                       for name in candidate.src_names):
+                continue
+            if candidate.state is UopState.ELIMINATED:
+                return False  # wrong rename decision: must flush
+            if candidate.dest_name is not None \
+                    and not candidate.vp_used:
+                tainted_names.add(candidate.dest_name)
+            if candidate.flags_name is not None:
+                tainted_names.add(candidate.flags_name)
+            to_replay.append(candidate)
+        # Correct the offender's register.
+        self.int_prf.set_ready(offender.dest_name, correction_cycle)
+        self.stats.int_prf_writes += 1   # the correction write
+        offender.complete_cycle = max(offender.complete_cycle,
+                                      correction_cycle)
+        # Reset every tainted consumer back to the waiting state.
+        lq_by_seq = {load.seq: load for load in self.lsq.loads}
+        for candidate in to_replay:
+            if candidate.state is UopState.ISSUED:
+                candidate.issue_token += 1  # cancel the in-flight event
+            candidate.state = UopState.WAITING
+            candidate.wakeup_known = False
+            candidate.complete_cycle = None
+            if candidate.dest_name is not None and not candidate.vp_used:
+                prf = self.fp_prf if candidate.uop.dst_is_fp else self.int_prf
+                prf.set_ready(candidate.dest_name, self._UNSCHEDULED << 1)
+            if candidate.flags_name is not None:
+                self.flags_prf.set_ready(candidate.flags_name,
+                                         self._UNSCHEDULED << 1)
+            if candidate.uop.is_load and candidate.seq in lq_by_seq:
+                lq_by_seq[candidate.seq].executed_cycle = None
+            if candidate.uop.is_store:
+                store = self.store_entries.get(candidate.seq)
+                if store is not None:
+                    store.executed_cycle = None
+                    store.data_ready_cycle = None
+            if not candidate.in_iq:
+                candidate.in_iq = True
+                self.iq.append(candidate)
+                self.stats.iq_dispatched += 1   # replay re-dispatch
+        if to_replay:
+            self.iq.sort(key=lambda e: e.seq)   # keep oldest-first select
+        self.stats.vp_replays += 1
+        self.stats.replayed_uops += len(to_replay)
+        return True
+
+    def _memory_order_violation(self, store_entry, load_entry):
+        stats = self.stats
+        stats.store_set_violations += 1
+        stats.memory_order_flushes += 1
+        self.store_sets.train_violation(store_entry.rob_entry.uop.pc,
+                                        load_entry.rob_entry.uop.pc)
+        self._flush_from(load_entry.seq, self.cycle)
+
+    def _flush_from(self, flush_seq, resolve_cycle):
+        """Squash every µop with seq >= flush_seq and refetch it."""
+        squashed = self.rob.squash_from(flush_seq, self.rat)
+        for entry in squashed:
+            self.entries_by_seq.pop(entry.seq, None)
+            if entry.uop.is_store:
+                self.store_sets.store_done(entry.uop.pc, entry.seq)
+                self.store_entries.pop(entry.seq, None)
+            # Resetting the state marks any in-flight completion stale.
+            entry.state = UopState.WAITING
+            entry.in_iq = False
+        self.iq = [e for e in self.iq if e.seq < flush_seq]
+        self.lsq.squash_from(flush_seq)
+        if self.vp_queue is not None:
+            dropped = self.vp_queue.squash_younger(flush_seq)
+            if dropped and hasattr(self.vtage, "abandon"):
+                for vp_entry in dropped:
+                    self.vtage.abandon(vp_entry.pc, vp_entry.info)
+        self.fetch_queue = deque(
+            item for item in self.fetch_queue if item[1].seq < flush_seq)
+        self.decode_queue = deque(
+            item for item in self.decode_queue if item[1].seq < flush_seq)
+        self.fetch_index = min(self.fetch_index, flush_seq)
+        if self.waiting_branch_seq is not None \
+                and self.waiting_branch_seq >= flush_seq:
+            self.waiting_branch_seq = None
+        self.fetch_stall_until = max(self.fetch_stall_until,
+                                     resolve_cycle + self.config.redirect_penalty)
+
+    # =================================================================== issue
+    def _issue(self):
+        cycle = self.cycle
+        if not self.iq:
+            return
+        self.fus.new_cycle(cycle)
+        issued_any = False
+        issue_budget = self.config.issue_width
+        issued = 0
+        for entry in self.iq:
+            if issued >= issue_budget:
+                break
+            if entry.issue_ready_cycle > cycle:
+                continue
+            if not self._sources_ready(entry, cycle):
+                continue
+            if not self.fus.try_issue(entry.uop.cls, cycle):
+                continue
+            self._execute(entry, cycle)
+            issued += 1
+            issued_any = True
+        if issued_any:
+            self.iq = [e for e in self.iq
+                       if e.state is UopState.WAITING and e.in_iq]
+
+    _UNSCHEDULED = 1 << 60  # producers not yet issued report ~infinity
+
+    def _sources_ready(self, entry, cycle):
+        # Readiness times become known when producers *issue* (their
+        # completion cycle is fixed then), so the max over sources can be
+        # cached — this turns the IQ scan from O(sources) per entry per
+        # cycle into O(1) for entries whose wakeup time is known.
+        if not entry.wakeup_known:
+            latest = 0
+            for name in entry.src_names:
+                ready = self._ready_of(name)
+                if ready >= self._UNSCHEDULED:
+                    return False  # some producer still unissued
+                if ready > latest:
+                    latest = ready
+            entry.wakeup_cycle = latest
+            entry.wakeup_known = True
+        if entry.wakeup_cycle > cycle:
+            return False
+        if entry.wait_store_seq is not None:
+            store = self.store_entries.get(entry.wait_store_seq)
+            if store is not None and store.executed_cycle is None:
+                return False
+            entry.wait_store_seq = None
+        return True
+
+    def _ready_of(self, name):
+        if name >= FLAGS_NAME_BASE:
+            return self.flags_prf.ready_at(name)
+        if name >= FP_NAME_BASE:
+            return self.fp_prf.ready_at(name)
+        return self.int_prf.ready_at(name)
+
+    def _execute(self, entry, cycle):
+        uop = entry.uop
+        stats = self.stats
+        stats.iq_issued += 1
+        self._activity += 1
+        entry.state = UopState.ISSUED
+        entry.in_iq = False
+        for name in entry.src_names:
+            if name >= FLAGS_NAME_BASE:
+                continue  # the flags file is not the INT PRF
+            if name >= FP_NAME_BASE:
+                if self.fp_prf.owns(name):
+                    stats.fp_prf_reads += 1
+            elif self.int_prf.owns(name):
+                stats.int_prf_reads += 1
+        if uop.is_load:
+            complete = self._execute_load(entry, cycle)
+        elif uop.is_store:
+            complete = cycle + 1
+            store = self.store_entries.get(uop.seq)
+            if store is not None:
+                store.executed_cycle = complete
+                store.data_ready_cycle = complete
+                self._check_order_violation(store)
+        else:
+            latency = self.fus.latency_of(uop.cls, uop.op)
+            complete = cycle + latency
+        entry.complete_cycle = complete
+        # Schedule readiness now that the completion cycle is known
+        # (consumers may issue back-to-back via the bypass network).
+        if entry.dest_name is not None and not entry.vp_used:
+            prf = self.fp_prf if uop.dst_is_fp else self.int_prf
+            prf.set_ready(entry.dest_name, complete)
+        if entry.flags_name is not None:
+            self.flags_prf.set_ready(entry.flags_name, complete)
+        self._completion_counter += 1
+        entry.issue_token += 1
+        heapq.heappush(self.completions,
+                       (complete, self._completion_counter, entry,
+                        entry.issue_token))
+
+    def _execute_load(self, entry, cycle):
+        uop = entry.uop
+        load = self._lq_entry_of(uop.seq)
+        cache_ready = self.memory.load(uop.addr, cycle, pc=uop.pc)
+        complete = cache_ready
+        store = self.lsq.youngest_older_store_conflict(load) if load else None
+        if store is not None and store.executed_cycle is not None:
+            if store.contains(load):
+                forward = max(cycle, store.data_ready_cycle) + \
+                    self.config.store_forward_latency
+                self.stats.store_forwards += 1
+                complete = min(complete, forward)
+            else:
+                # Partial overlap: wait for the store data, then replay.
+                complete = max(complete, store.data_ready_cycle +
+                               self.config.store_forward_latency + 2)
+        if load is not None:
+            load.executed_cycle = cycle
+        return complete
+
+    def _lq_entry_of(self, seq):
+        for load in self.lsq.loads:
+            if load.seq == seq:
+                return load
+        return None
+
+    def _check_order_violation(self, store):
+        victims = self.lsq.violating_loads(store)
+        if not victims:
+            return
+        oldest = min(victims, key=lambda load: load.seq)
+        self._memory_order_violation(store, oldest)
+
+    # ================================================================== rename
+    def _rename_dispatch(self):
+        cycle = self.cycle
+        cfg = self.config
+        stats = self.stats
+        for _ in range(cfg.rename_width):
+            if not self.decode_queue:
+                return
+            ready_cycle, uop = self.decode_queue[0]
+            if ready_cycle > cycle:
+                return
+            if self.rob.full:
+                stats.stall_rob_full += 1
+                return
+            if uop.is_load and self.lsq.lq_full:
+                stats.stall_lq_full += 1
+                return
+            if uop.is_store and self.lsq.sq_full:
+                stats.stall_sq_full += 1
+                return
+            if len(self.iq) >= cfg.iq_entries:
+                stats.stall_iq_full += 1
+                return
+            if not self.renamer.can_rename(uop):
+                stats.stall_no_phys_reg += 1
+                return
+            self.decode_queue.popleft()
+            self._activity += 1
+            entry = RobEntry(uop.seq, uop)
+            outcome = self.renamer.rename(entry, cycle)
+            self.rob.push(entry)
+            self.entries_by_seq[uop.seq] = entry
+            if outcome.eliminated:
+                if outcome.resolved_branch_taken is not None:
+                    stats.spsr_resolved_branches += 1
+                    if self.waiting_branch_seq == uop.seq:
+                        self._resume_fetch_after(cycle)
+                continue
+            if uop.cls is ExecClass.NOP:
+                entry.state = UopState.DONE
+                entry.complete_cycle = cycle
+                continue
+            entry.issue_ready_cycle = cycle + cfg.rename_to_dispatch + 1
+            entry.in_iq = True
+            self.iq.append(entry)
+            stats.iq_dispatched += 1
+            if uop.is_load:
+                lq_entry = LsqEntry(uop.seq, uop.addr, uop.size, entry)
+                self.lsq.add_load(lq_entry)
+                dep = self.store_sets.load_dependence(uop.pc)
+                if dep is not None and dep in self.store_entries:
+                    entry.wait_store_seq = dep
+            elif uop.is_store:
+                sq_entry = LsqEntry(uop.seq, uop.addr, uop.size, entry)
+                self.lsq.add_store(sq_entry)
+                self.store_entries[uop.seq] = sq_entry
+                self.store_sets.store_renamed(uop.pc, uop.seq)
+
+    # ================================================================== decode
+    def _decode(self):
+        cycle = self.cycle
+        moved = 0
+        while self.fetch_queue and moved < self.config.decode_width \
+                and len(self.decode_queue) < self.decode_queue_cap:
+            ready_cycle, uop = self.fetch_queue[0]
+            if ready_cycle > cycle:
+                return
+            self.fetch_queue.popleft()
+            self._activity += 1
+            self.decode_queue.append(
+                (cycle + self.config.decode_to_rename, uop))
+            moved += 1
+
+    # =================================================================== fetch
+    def _fetch(self):
+        cycle = self.cycle
+        cfg = self.config
+        if cycle < self.fetch_stall_until or self.waiting_branch_seq is not None:
+            return
+        budget = cfg.fetch_width
+        trace = self.trace
+        while budget > 0 and self.fetch_index < len(trace) \
+                and len(self.fetch_queue) < cfg.fetch_queue:
+            uop = trace[self.fetch_index]
+            line = uop.pc >> _LINE_SHIFT
+            if line != self.current_fetch_line:
+                self.current_fetch_line = line
+                ready = self.memory.ifetch(uop.pc, cycle)
+                if ready > cycle + cfg.memory.l1i_latency:
+                    self.fetch_stall_until = ready
+                    return
+            self.fetch_queue.append((cycle + cfg.fetch_to_decode, uop))
+            self.fetch_index += 1
+            self.stats.fetched_uops += 1
+            self._activity += 1
+            budget -= 1
+            if self.vtage is not None and vp_eligible(uop):
+                self.pending_predictions[uop.seq] = self.vtage.predict(uop.pc)
+            if uop.is_branch:
+                if not self._fetch_branch(uop, cycle):
+                    return
+
+    def _fetch_branch(self, uop, cycle):
+        """Returns False when fetch must stop after this branch."""
+        cfg = self.config
+        first_encounter = uop.seq not in self.branch_seen
+        if first_encounter:
+            self.branch_seen.add(uop.seq)
+            kind = self._predict_branch(uop)
+        else:
+            kind = "taken" if uop.taken else "fall"
+        if kind == "mispredict":
+            self.stats.branch_mispredicts += 1
+            self.waiting_branch_seq = uop.seq
+            return False
+        if kind == "mistarget":
+            self.stats.btb_mistargets += 1
+            self.fetch_stall_until = cycle + 1 + cfg.mistarget_penalty
+            return False
+        if kind == "taken":
+            self.fetch_stall_until = cycle + 1 + cfg.taken_branch_penalty
+            return False
+        return True
+
+    def _predict_branch(self, uop):
+        """First-encounter prediction + training of the frontend structures."""
+        pc = uop.pc
+        if uop.is_cond_branch:
+            predicted_taken, info = self.tage.predict(pc)
+            self.tage.update(pc, uop.taken, info)
+            if predicted_taken != uop.taken:
+                return "mispredict"
+            if not uop.taken:
+                return "fall"
+            target = self.btb.lookup(pc)
+            self.btb.install(pc, uop.target_pc)
+            return "taken" if target == uop.target_pc else "mistarget"
+        if uop.is_call:
+            self.ras.push(pc + 4)
+        if uop.is_return:
+            predicted = self.ras.pop()
+            return "taken" if predicted == uop.target_pc else "mispredict"
+        if uop.is_indirect:
+            predicted = self.indirect.lookup(pc)
+            self.indirect.install(pc, uop.target_pc)
+            self.indirect.push_path(uop.target_pc)
+            return "taken" if predicted == uop.target_pc else "mispredict"
+        # Unconditional direct branch (b / bl).
+        target = self.btb.lookup(pc)
+        self.btb.install(pc, uop.target_pc)
+        return "taken" if target == uop.target_pc else "mistarget"
+
+
+def simulate(program_or_trace, config=None, max_instructions=50_000):
+    """Convenience wrapper: emulate (if needed) then run the timing model.
+
+    Accepts an assembled :class:`~repro.isa.program.Program` or a
+    pre-computed µop trace list.
+    """
+    if isinstance(program_or_trace, list):
+        trace = program_or_trace
+    else:
+        from repro.emulator.trace import trace_program
+
+        trace, _ = trace_program(program_or_trace,
+                                 max_instructions=max_instructions)
+    model = CpuModel(trace, config)
+    return model.run()

@@ -1,0 +1,123 @@
+"""Statistics collected by one simulation run.
+
+Everything the paper's figures need lives here: IPC (in *architectural*
+instructions per cycle, like the paper), the µop expansion ratio (Fig. 2),
+VP coverage/accuracy (§6.1), the rename-elimination breakdown (Fig. 4) and
+the activity proxies (Fig. 6: INT PRF reads/writes, IQ dispatched/issued).
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PipelineStats:
+    """Flat counter bag with derived metrics as properties."""
+
+    cycles: int = 0
+    retired_arch_insts: int = 0
+    retired_uops: int = 0
+    # Fetch / branches.
+    fetched_uops: int = 0
+    branches: int = 0
+    branch_mispredicts: int = 0
+    btb_mistargets: int = 0
+    spsr_resolved_branches: int = 0
+    # Rename eliminations (counted over retired µops, like the paper's
+    # "fraction of dynamic instructions eliminated at rename").
+    elim_zero_idiom: int = 0
+    elim_one_idiom: int = 0
+    elim_move: int = 0
+    elim_move_width_blocked: int = 0   # the "non-ME move" bars of Fig. 4
+    elim_nine_bit_idiom: int = 0
+    elim_spsr: int = 0
+    # Value prediction.
+    vp_eligible: int = 0
+    vp_predicted_used: int = 0
+    vp_correct_used: int = 0
+    vp_incorrect_used: int = 0
+    vp_flushes: int = 0
+    vp_replays: int = 0                # selective-replay recoveries (GVP)
+    replayed_uops: int = 0             # consumers re-executed by replays
+    vp_not_representable: int = 0      # confident but outside flavor range
+    vp_phys_reg_predictions: int = 0   # GVP wide values needing a register
+    # §3.6: value-predicted loads must carry acquire semantics under the
+    # ARMv8 memory model (single-core here, so this is bookkeeping only).
+    vp_loads_marked_acquire: int = 0
+    # Memory ordering.
+    store_set_violations: int = 0
+    memory_order_flushes: int = 0
+    store_forwards: int = 0
+    # Activity proxies (Fig. 6).
+    int_prf_reads: int = 0
+    int_prf_writes: int = 0
+    fp_prf_reads: int = 0
+    fp_prf_writes: int = 0
+    iq_dispatched: int = 0
+    iq_issued: int = 0
+    # Resource stall cycles (diagnostics).
+    stall_rob_full: int = 0
+    stall_iq_full: int = 0
+    stall_lq_full: int = 0
+    stall_sq_full: int = 0
+    stall_no_phys_reg: int = 0
+    # Memory system snapshot (filled at the end of the run).
+    memory: dict = field(default_factory=dict)
+
+    # -- derived -------------------------------------------------------------------
+    @property
+    def ipc(self):
+        """Architectural instructions per cycle (the paper's IPC)."""
+        return self.retired_arch_insts / self.cycles if self.cycles else 0.0
+
+    @property
+    def upc(self):
+        """µops per cycle."""
+        return self.retired_uops / self.cycles if self.cycles else 0.0
+
+    @property
+    def expansion_ratio(self):
+        """µops per architectural instruction (Fig. 2 bars)."""
+        if not self.retired_arch_insts:
+            return 0.0
+        return self.retired_uops / self.retired_arch_insts
+
+    @property
+    def vp_coverage(self):
+        """#correct_used / #VP-eligible (the paper's coverage metric)."""
+        if not self.vp_eligible:
+            return 0.0
+        return self.vp_correct_used / self.vp_eligible
+
+    @property
+    def vp_accuracy(self):
+        """#correct_used / (#correct_used + #incorrect_used)."""
+        used = self.vp_correct_used + self.vp_incorrect_used
+        return self.vp_correct_used / used if used else 0.0
+
+    @property
+    def branch_mpki(self):
+        """Branch mispredicts per kilo (architectural) instruction."""
+        if not self.retired_arch_insts:
+            return 0.0
+        return 1000.0 * self.branch_mispredicts / self.retired_arch_insts
+
+    def elimination_fractions(self):
+        """Fig. 4: per-category eliminated fraction of retired µops."""
+        total = max(self.retired_uops, 1)
+        return {
+            "zero_idiom": 100.0 * self.elim_zero_idiom / total,
+            "one_idiom": 100.0 * self.elim_one_idiom / total,
+            "move": 100.0 * self.elim_move / total,
+            "nine_bit_idiom": 100.0 * self.elim_nine_bit_idiom / total,
+            "spsr": 100.0 * self.elim_spsr / total,
+            "non_me_move": 100.0 * self.elim_move_width_blocked / total,
+        }
+
+    def activity(self):
+        """Fig. 6 raw activity counters."""
+        return {
+            "int_prf_reads": self.int_prf_reads,
+            "int_prf_writes": self.int_prf_writes,
+            "iq_dispatched": self.iq_dispatched,
+            "iq_issued": self.iq_issued,
+        }

@@ -1,0 +1,5 @@
+"""The rename stage: DSR (move/0/1/9-bit idiom elimination), SpSR and VP."""
+
+from repro.rename.renamer import RenameOutcome, Renamer
+
+__all__ = ["RenameOutcome", "Renamer"]

@@ -1,0 +1,322 @@
+"""Rename-stage logic: where the whole paper happens.
+
+Per µop, in priority order:
+
+1. **Dynamic strength reduction (DSR)** — the baseline optimizations:
+   move elimination (with the 64->32 width rule), zero/one-idiom
+   elimination, and — under TVP/GVP — 9-bit signed-idiom elimination of
+   move-immediates via physical register inlining.
+2. **Speculative Strength Reduction** — Table 1 matching on rename-time
+   known operand values (hardwired/inline source names, hardwired NZCV).
+3. **Value prediction** — VTAGE lookup; confident predictions are
+   installed by renaming the destination to a hardwired register (MVP), an
+   inline value name (TVP / narrow GVP) or a freshly written physical
+   register (wide GVP).  The µop still dispatches and executes so the
+   functional unit can validate the prediction in place.
+4. Plain renaming for whatever is left.
+
+The renamer mutates the RAT/PRF and fills in the
+:class:`~repro.backend.rob.RobEntry`; the pipeline core handles queues and
+timing.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.backend.naming import (
+    HARDWIRED_ONE,
+    HARDWIRED_ZERO,
+    encode_flag_inline,
+    encode_inline,
+    known_flags,
+    known_value,
+)
+from repro.backend.prf import FreeListEmpty
+from repro.backend.rob import UopState
+from repro.core.modes import VPFlavor
+from repro.core.spsr import ReductionKind
+from repro.isa.bits import fits_signed
+from repro.isa.opcodes import ExecClass, Op
+from repro.isa.registers import FLAGS, XZR
+
+_MOVE_IDIOM_OPS = frozenset({Op.ADD, Op.ORR, Op.EOR})
+_VP_CLASSES = frozenset({ExecClass.INT_ALU, ExecClass.INT_MUL,
+                         ExecClass.INT_DIV, ExecClass.LOAD})
+
+
+def vp_eligible(uop):
+    """The paper's eligibility rule: arithmetic and load µops that produce
+    one (or more) general purpose register."""
+    return (uop.dst is not None and not uop.dst_is_fp
+            and not uop.is_branch and uop.cls in _VP_CLASSES)
+
+
+@dataclass
+class RenameOutcome:
+    """What the pipeline core needs to know after renaming one µop."""
+
+    eliminated: bool = False
+    resolved_branch_taken: Optional[bool] = None  # SpSR-resolved branch
+    vp_used: bool = False
+
+
+class Renamer:
+    """The rename stage (see the module docstring for the full pipeline
+    of decisions: DSR -> SpSR -> VP -> plain renaming)."""
+
+    def __init__(self, config, rat, int_prf, fp_prf, flags_prf, stats,
+                 spsr_engine=None, vtage=None, vp_queue=None):
+        self.config = config
+        self.rat = rat
+        self.int_prf = int_prf
+        self.fp_prf = fp_prf
+        self.flags_prf = flags_prf
+        self.stats = stats
+        self.spsr = spsr_engine
+        self.vtage = vtage
+        self.vp_queue = vp_queue
+        self.flavor = config.vp_flavor
+        # Filled by the pipeline with fetch-time predictions (seq -> Prediction).
+        self.pending_predictions = {}
+
+    # -- capacity pre-check (core calls this before committing to rename) -----------
+    def can_rename(self, uop):
+        """Conservatively: enough physical registers for the worst case."""
+        need_int = 1 if (uop.dst is not None and not uop.dst_is_fp) else 0
+        need_fp = 1 if (uop.dst is not None and uop.dst_is_fp) else 0
+        need_flags = 1 if uop.writes_flags else 0
+        return (self.int_prf.free_count >= need_int
+                and self.fp_prf.free_count >= need_fp
+                and self.flags_prf.free_count >= need_flags)
+
+    # -- main entry point --------------------------------------------------------------
+    def rename(self, entry, cycle):
+        """Rename one µop into *entry*; assumes :meth:`can_rename` passed."""
+        uop = entry.uop
+        rat = self.rat
+        # Source names resolve against the pre-update RAT.
+        entry.src_names = tuple(rat.lookup(reg) for reg in uop.deps)
+
+        outcome = RenameOutcome()
+        reduction = self._strength_reduce(entry, uop, cycle)
+        if reduction is not None:
+            kind, payload = reduction
+            self._apply_elimination(entry, uop, kind, payload, cycle, outcome)
+            return outcome
+
+        if self._try_value_predict(entry, uop, cycle):
+            outcome.vp_used = True
+        if not outcome.vp_used and uop.dst is not None:
+            self._allocate_dest(entry, uop)
+        if uop.writes_flags:
+            self._allocate_flags(entry)
+        return outcome
+
+    # -- strength reduction decision -------------------------------------------------
+    def _strength_reduce(self, entry, uop, cycle):
+        """Returns ``(stat_kind, payload)`` or None.
+
+        payload: ('value', value, flags|None) or ('move', src_index,
+        flags|None) or ('branch', taken).
+        """
+        dsr = self._dsr(entry, uop)
+        if dsr is not None:
+            return dsr
+        if self.spsr is None:
+            return None
+        known = tuple(known_value(self.rat.lookup(reg)) for reg in uop.src_regs)
+        flags_known = None
+        if uop.cond is not None or uop.op is Op.B_COND:
+            flags_known = known_flags(self.rat.lookup(FLAGS))
+        result = self.spsr.reduce(uop, known, flags_known)
+        if result is None:
+            return None
+        if result.kind is ReductionKind.BRANCH:
+            return ("spsr", ("branch", result.taken))
+        if result.kind is ReductionKind.MOVE:
+            src_reg = uop.src_regs[result.move_src]
+            name = self.rat.lookup(src_reg)
+            if not self._move_width_safe(name, uop.width):
+                return None
+            return ("spsr", ("move", result.move_src, result.flags))
+        # VALUE: destination (if any) must be encodable under the flavor.
+        if result.value is not None and uop.dst is not None:
+            if not self._encodable(result.value):
+                return None
+        if result.flags is not None and not uop.writes_flags:
+            return None
+        return ("spsr", ("value", result.value, result.flags))
+
+    def _encodable(self, value):
+        if value in (0, 1):
+            return True
+        return self.flavor.enables_inlining and fits_signed(value, 9)
+
+    # -- baseline DSR ------------------------------------------------------------------
+    def _dsr(self, entry, uop):
+        """Move elimination and 0/1/9-bit idiom elimination (gem5-style)."""
+        op = uop.op
+        if uop.dst is None:
+            return None
+        if op is Op.MOVZ:
+            if self.config.enable_zero_one_idiom and uop.imm == 0:
+                return ("zero_idiom", ("value", 0, None))
+            if self.config.enable_zero_one_idiom and uop.imm == 1:
+                return ("one_idiom", ("value", 1, None))
+            if self.config.enable_nine_bit_idiom and fits_signed(uop.imm, 9):
+                return ("nine_bit_idiom", ("value", uop.imm, None))
+            return None
+        if op is Op.MOV and self.config.enable_move_elimination:
+            return self._try_move(entry, uop, 0)
+        if self.config.enable_zero_one_idiom and op is Op.EOR \
+                and len(uop.src_regs) == 2 \
+                and uop.src_regs[0] == uop.src_regs[1] and not uop.imm2 \
+                and uop.src_regs[0] != XZR:
+            return ("zero_idiom", ("value", 0, None))
+        if self.config.enable_zero_one_idiom and op is Op.AND \
+                and XZR in uop.src_regs:
+            return ("zero_idiom", ("value", 0, None))
+        if self.config.enable_move_elimination and op in _MOVE_IDIOM_OPS \
+                and len(uop.src_regs) == 2 and XZR in uop.src_regs \
+                and not uop.imm2:
+            other = 1 if uop.src_regs[0] == XZR else 0
+            if uop.src_regs[other] == XZR:   # both zero: eor covered above
+                return ("zero_idiom", ("value", 0, None))
+            return self._try_move(entry, uop, other)
+        return None
+
+    def _try_move(self, entry, uop, src_index):
+        name = self.rat.lookup(uop.src_regs[src_index])
+        if not self._move_width_safe(name, uop.width):
+            entry.move_width_blocked = True   # counted at commit (Fig. 4)
+            return None
+        return ("move", ("move", src_index, None))
+
+    def _move_width_safe(self, src_name, dst_width):
+        """A move is fully eliminable unless a 64-bit-written register is
+        moved into a 32-bit view (the upper half would leak).  Inline value
+        names are safe when the value is non-negative (upper bits zero)."""
+        if dst_width == 64:
+            return True
+        value = known_value(src_name)
+        if value is not None:
+            return 0 <= value < (1 << 32)
+        return self.int_prf.width_of(src_name) == 32
+
+    # -- applying an elimination --------------------------------------------------------
+    def _apply_elimination(self, entry, uop, stat_kind, payload, cycle, outcome):
+        entry.state = UopState.ELIMINATED
+        entry.elim_kind = stat_kind
+        entry.complete_cycle = cycle
+        outcome.eliminated = True
+        action = payload[0]
+        if action == "branch":
+            outcome.resolved_branch_taken = payload[1]
+            return
+        if action == "move":
+            _action, src_index, flags = payload
+            name = self.rat.lookup(uop.src_regs[src_index])
+            self._map_dest(entry, uop, name)
+            if flags is not None and uop.writes_flags:
+                self._map_flags(entry, encode_flag_inline(flags))
+            return
+        _action, value, flags = payload
+        if uop.dst is not None and value is not None:
+            self._map_dest(entry, uop, self._encode(value))
+        if flags is not None and uop.writes_flags:
+            self._map_flags(entry, encode_flag_inline(flags))
+
+    def _encode(self, value):
+        if value == 0:
+            return HARDWIRED_ZERO
+        if value == 1:
+            return HARDWIRED_ONE
+        return encode_inline(value)
+
+    # -- value prediction ---------------------------------------------------------------
+    def _try_value_predict(self, entry, uop, cycle):
+        """Returns True when a prediction was installed as the dest name."""
+        if self.vtage is None or not vp_eligible(uop):
+            return False
+        queue = self.vp_queue
+        if queue.full:
+            self.pending_predictions.pop(uop.seq, None)
+            return False
+        prediction = self.pending_predictions.pop(uop.seq, None)
+        if prediction is None:
+            prediction = self.vtage.predict(uop.pc)
+        if not prediction.hit:
+            queue.push(uop.seq, uop.pc, prediction.value, prediction.info,
+                       used=False)
+            return False
+        usable = prediction.confident
+        if usable and queue.is_silenced(cycle):
+            queue.note_suppressed()
+            usable = False
+        if usable and not self.flavor.representable(prediction.value):
+            self.stats.vp_not_representable += 1
+            usable = False
+        installed = False
+        if usable:
+            installed = self._install_prediction(entry, uop, prediction.value,
+                                                 cycle)
+        queue.push(uop.seq, uop.pc, prediction.value, prediction.info,
+                   used=installed)
+        if installed:
+            entry.vp_used = True
+            entry.vp_predicted = prediction.value
+            if uop.is_load:
+                # §3.6: a value-predicted load is marked load-acquire so
+                # the ARMv8 memory model stays intact under multithreading
+                # (no timing effect in this single-core model).
+                self.stats.vp_loads_marked_acquire += 1
+        return installed
+
+    def _install_prediction(self, entry, uop, value, cycle):
+        if self.flavor is VPFlavor.GVP and self.flavor.needs_physical_register(value):
+            # Wide GVP prediction: a real register, written at rename.
+            try:
+                name = self.int_prf.alloc(cycle_ready=cycle + 1)
+            except FreeListEmpty:
+                return False
+            self.int_prf.set_width(name, uop.width)
+            self.stats.int_prf_writes += 1
+            self.stats.vp_phys_reg_predictions += 1
+            # alloc() granted one reference: that is the ROB entry's own,
+            # dropped at commit/squash; rat.write adds the RAT's.
+            prev = self.rat.write(uop.dst, name)
+            entry.undo.append((uop.dst, prev, name))
+            entry.dest_name = name
+            return True
+        self._map_dest(entry, uop, self._encode(value))
+        return True
+
+    # -- plain renaming -------------------------------------------------------------------
+    def _allocate_dest(self, entry, uop):
+        # alloc()'s reference is the ROB entry's own (dropped at
+        # commit/squash); rat.write adds the speculative RAT's.
+        prf = self.fp_prf if uop.dst_is_fp else self.int_prf
+        name = prf.alloc()
+        prf.set_width(name, uop.width)
+        prev = self.rat.write(uop.dst, name)
+        entry.undo.append((uop.dst, prev, name))
+        entry.dest_name = name
+
+    def _allocate_flags(self, entry):
+        name = self.flags_prf.alloc()
+        prev = self.rat.write(FLAGS, name)
+        entry.undo.append((FLAGS, prev, name))
+        entry.flags_name = name
+
+    def _map_dest(self, entry, uop, name):
+        """Point the destination at an existing/inline name."""
+        self.int_prf.add_ref(name)  # the ROB entry's reference
+        prev = self.rat.write(uop.dst, name)
+        entry.undo.append((uop.dst, prev, name))
+        entry.dest_name = name
+
+    def _map_flags(self, entry, name):
+        self.flags_prf.add_ref(name)  # no-op for hardwired-NZCV names
+        prev = self.rat.write(FLAGS, name)
+        entry.undo.append((FLAGS, prev, name))
+        entry.flags_name = name

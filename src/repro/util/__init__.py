@@ -1,0 +1,7 @@
+"""Shared utilities: deterministic RNG, geometric series, statistics helpers."""
+
+from repro.util.rng import XorShift64
+from repro.util.series import geometric_history_lengths
+from repro.util.stats import geomean
+
+__all__ = ["XorShift64", "geometric_history_lengths", "geomean"]

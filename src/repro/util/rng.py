@@ -1,0 +1,33 @@
+"""Deterministic pseudo-randomness for probabilistic hardware counters.
+
+Hardware FPC/TAGE implementations use an LFSR; we use xorshift64 so every
+simulation is exactly reproducible for a given seed (``Date``-free, as
+required for replayable experiments).
+"""
+
+_MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+class XorShift64:
+    """Marsaglia xorshift64: a tiny, fast, deterministic PRNG."""
+
+    def __init__(self, seed=0x9E3779B97F4A7C15):
+        if seed == 0:
+            raise ValueError("xorshift seed must be non-zero")
+        self._state = seed & _MASK64
+
+    def next(self):
+        """Next 64-bit pseudo-random value."""
+        x = self._state
+        x ^= (x << 13) & _MASK64
+        x ^= x >> 7
+        x ^= (x << 17) & _MASK64
+        self._state = x
+        return x
+
+    def chance(self, one_in):
+        """True with probability ``1 / one_in`` (one_in must be a power of 2
+        for hardware fidelity, but any positive int works)."""
+        if one_in <= 1:
+            return True
+        return self.next() % one_in == 0

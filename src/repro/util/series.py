@@ -1,0 +1,26 @@
+"""Geometric history-length series used by TAGE-like predictors."""
+
+
+def geometric_history_lengths(minimum, maximum, count):
+    """*count* history lengths growing geometrically from min to max.
+
+    This is the classic TAGE L(i) = min * (max/min)^((i-1)/(count-1)) series
+    (Seznec), rounded to integers and forced monotonically increasing.
+    """
+    if count == 1:
+        return [maximum]
+    if count - 1 > maximum - minimum:
+        raise ValueError(
+            f"cannot fit {count} strictly increasing lengths in "
+            f"[{minimum}, {maximum}]")
+    lengths = []
+    ratio = (maximum / minimum) ** (1.0 / (count - 1))
+    value = float(minimum)
+    previous = 0
+    for _ in range(count):
+        length = max(int(round(value)), previous + 1)
+        lengths.append(length)
+        previous = length
+        value *= ratio
+    lengths[-1] = maximum
+    return lengths

@@ -1,0 +1,43 @@
+"""Small statistics helpers shared by the harness and benchmarks."""
+
+import math
+
+
+def geomean(values):
+    """Geometric mean of positive values (returns 0.0 on empty input)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def geomean_speedup_percent(speedup_percents):
+    """Geometric mean of speedups expressed in percent (paper style).
+
+    ``[+10.0, -5.0]`` means 1.10x and 0.95x; the result is again in percent.
+    """
+    factors = [1.0 + s / 100.0 for s in speedup_percents]
+    return (geomean(factors) - 1.0) * 100.0
+
+
+def amean(values):
+    """Arithmetic mean (0.0 on empty input)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def hmean(values):
+    """Harmonic mean, the paper's choice for averaging IPC."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("hmean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def percent(part, whole):
+    """``part / whole`` in percent, 0.0 when the denominator is zero."""
+    return 100.0 * part / whole if whole else 0.0

@@ -1,0 +1,20 @@
+"""Synthetic SPEC CPU2017-speed stand-in workloads.
+
+The paper evaluates on SPEC2k17 speed; we cannot ship SPEC, so each kernel
+here is constructed to exercise the behaviour class the paper's analysis
+leans on for one (or a family of) benchmark(s) — see each kernel module's
+docstring and DESIGN.md §2 for the substitution argument.
+"""
+
+from repro.workloads.base import Workload, build_workload
+from repro.workloads.profile import value_profile
+from repro.workloads.suite import SUITE, get_workload, suite
+
+__all__ = [
+    "SUITE",
+    "Workload",
+    "build_workload",
+    "get_workload",
+    "suite",
+    "value_profile",
+]

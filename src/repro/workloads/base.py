@@ -1,0 +1,61 @@
+"""Workload container and helpers shared by the kernel generators."""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.util.rng import XorShift64
+
+
+@dataclass
+class Workload:
+    """One runnable benchmark kernel."""
+
+    name: str
+    spec_analog: str               # which SPEC2k17 behaviour it stands in for
+    description: str
+    source: str                    # assembly text
+    default_instructions: int = 30_000
+    _program: Optional[Program] = field(default=None, repr=False)
+
+    @property
+    def program(self):
+        """Lazily assembled program (cached)."""
+        if self._program is None:
+            self._program = assemble(self.source)
+        return self._program
+
+
+def build_workload(name, spec_analog, description, source,
+                   default_instructions=30_000):
+    """Constructor wrapper so kernels read declaratively."""
+    return Workload(name=name, spec_analog=spec_analog,
+                    description=description, source=source,
+                    default_instructions=default_instructions)
+
+
+def quad_table(label, values, per_line=8):
+    """Emit a ``label: .quad ...`` data block for a list of values."""
+    lines = [f"{label}:"]
+    for start in range(0, len(values), per_line):
+        chunk = ", ".join(str(v) for v in values[start:start + per_line])
+        lines.append(f"    .quad {chunk}")
+    return "\n".join(lines)
+
+
+def random_values(count, bits=16, seed=0xDA7A_0001):
+    """Deterministic pseudo-random unsigned values for table data."""
+    rng = XorShift64(seed)
+    mask = (1 << bits) - 1
+    return [rng.next() & mask for _ in range(count)]
+
+
+def random_permutation(count, seed=0xDA7A_0002):
+    """Deterministic pseudo-random permutation of range(count)."""
+    rng = XorShift64(seed)
+    values = list(range(count))
+    for i in range(count - 1, 0, -1):
+        j = rng.next() % (i + 1)
+        values[i], values[j] = values[j], values[i]
+    return values

@@ -1,0 +1,1 @@
+"""One module per synthetic kernel; see :mod:`repro.workloads.suite`."""

@@ -1,0 +1,53 @@
+"""deepsjeng/leela-like: bitboard evaluation.
+
+64-bit mask manipulation, bit-serial popcount (the ``and #1`` results are
+a dense stream of 0/1 values — MVP's natural prey), table-driven scoring
+and data-dependent early exits.
+"""
+
+from repro.workloads.base import build_workload, quad_table, random_values
+
+
+def build():
+    boards = random_values(128, bits=64, seed=0xB0A2D)
+    weights = [v % 32 for v in random_values(64, bits=8, seed=0xB0A2E)]
+    source = f"""
+// bitboard popcount-and-score over 128 positions
+    adr   x12, eval_globals
+outer:
+    adr   x1, boards
+    mov   x3, #128
+    mov   x0, #0
+board:
+    ldr   x2, [x12]          // weight-table base (GVP-predictable)
+    ldr   x11, [x12, #8]     // side-to-move flag: always 0x1 (MVP)
+    ldr   x4, [x1], #8
+    and   x5, x4, #4095      // low zone only: bounded popcount loop
+    mov   x6, #0             // bit index
+bits:
+    and   x7, x5, #1         // 0/1 stream
+    cbz   x7, skipw
+    ldr   x8, [x2, x6, lsl #3]
+    madd  x0, x8, x11, x0    // weight * side + acc (chain uses both loads)
+skipw:
+    add   x6, x6, #1
+    lsr   x5, x5, #1
+    cbnz  x5, bits
+    eor   x9, x4, x4, lsl #1 // neighbour-pair mask
+    and   x9, x9, #255
+    add   x0, x0, x9
+    subs  x3, x3, #1
+    b.ne  board
+    b     outer
+
+.data
+eval_globals: .quad weights, 1
+{quad_table("boards", boards)}
+{quad_table("weights", weights)}
+"""
+    return build_workload(
+        name="board_eval",
+        spec_analog="631.deepsjeng_s / 641.leela_s",
+        description="bitboard popcount scoring with 0/1-rich dataflow",
+        source=source,
+    )

@@ -1,0 +1,57 @@
+"""wrf/cam4/pop2-like: FP physics with conditional masking.
+
+Mixed INT/FP: a column of cells is updated with FP arithmetic, but each
+cell first passes a threshold test whose 0/1 mask feeds integer
+bookkeeping — the pattern behind cam4's modest MVP uplift in the paper
+(predictable mask values on the integer side of an FP code).
+"""
+
+from repro.workloads.base import build_workload
+
+_CELLS = 512
+
+
+def build():
+    # All cells start above the 0.5 threshold (and only grow), so the
+    # per-cell mask is a stable 0x1 after decay: the FP code's integer
+    # side is MVP-predictable, like cam4's bookkeeping.
+    doubles = "\n".join(
+        f"    .double {0.6 + (i % 7) * 0.05}" for i in range(_CELLS))
+    source = f"""
+// climate column update with threshold masks
+    fmov  d0, #0.5           // threshold
+    fmov  d1, #0.98          // decay
+    mov   x9, #0             // saturated-cell count
+    adr   x10, col_meta
+outer:
+    ldr   x1, [x10]          // column base (GVP-predictable pointer)
+    ldr   x11, [x10, #8]     // mask stride: always 0x1 (MVP-predictable)
+    mov   x2, #{_CELLS}
+cell:
+    ldr   d2, [x1]
+    fmul  d3, d2, d1         // decay
+    fcmp  d3, d0
+    cset  x4, gt             // mask: saturates to 0x1 after warmup
+    tbz   x2, #3, nomask     // sample bookkeeping every 8th cell
+    sub   x5, x4, x11        // mask delta vs previous: 0x0 in steady state
+    add   x9, x9, x4         // integer bookkeeping through the mask
+    add   x12, x12, x5       // transition counter (stays 0)
+nomask:
+    fadd  d4, d3, d0
+    str   d4, [x1], #8
+    subs  x2, x2, #1
+    b.ne  cell
+    b     outer
+
+.data
+col_meta: .quad column, 1
+.align 64
+column:
+{doubles}
+"""
+    return build_workload(
+        name="climate_mix",
+        spec_analog="621.wrf_s / 627.cam4_s / 628.pop2_s",
+        description="FP column physics with 0/1 threshold masks",
+        source=source,
+    )

@@ -1,0 +1,63 @@
+"""gcc-like: IR-node interpretation through an indirect jump table.
+
+A stream of (opcode, operand) records dispatched through ``br`` exercises
+the indirect target cache like a compiler's switch-heavy IR walkers; the
+per-op handlers are short ALU bursts with many small constants.
+"""
+
+from repro.workloads.base import build_workload, quad_table, random_values
+
+_N_NODES = 256
+
+
+def build():
+    opcodes = [v % 4 for v in random_values(_N_NODES, bits=8, seed=0x6CC1)]
+    operands = random_values(_N_NODES, bits=10, seed=0x6CC2)
+    nodes = []
+    for opcode, operand in zip(opcodes, operands):
+        nodes.extend([opcode, operand])
+    source = f"""
+// gcc-like opcode dispatch over IR nodes
+    mov   x0, #0            // accumulator
+    mov   x10, #0           // node index
+    adr   x11, ctx
+outer:
+    adr   x1, nodes
+    mov   x3, #{_N_NODES}
+walk:
+    ldr   x2, [x11]           // handler-table base (GVP-predictable)
+    ldp   x4, x5, [x1], #16   // opcode, operand
+    ldr   x6, [x2, x4, lsl #3]
+    br    x6
+op_add:
+    add   x0, x0, x5
+    b     next
+op_xor:
+    eor   x0, x0, x5
+    b     next
+op_shift:
+    and   x7, x5, #7
+    lsl   x8, x0, #1
+    orr   x0, x8, x7
+    b     next
+op_test:
+    tst   x5, #1
+    cset  x9, ne
+    add   x0, x0, x9
+next:
+    subs  x3, x3, #1
+    b.ne  walk
+    add   x10, x10, #1
+    b     outer
+
+.data
+ctx:      .quad handlers
+handlers: .quad op_add, op_xor, op_shift, op_test
+{quad_table("nodes", nodes)}
+"""
+    return build_workload(
+        name="compiler_cfg",
+        spec_analog="602.gcc_s",
+        description="IR-node opcode dispatch via indirect branches",
+        source=source,
+    )

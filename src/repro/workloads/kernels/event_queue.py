@@ -1,0 +1,73 @@
+"""omnetpp-like: binary-heap sift-down over random keys.
+
+Compare-and-swap ladders with data-dependent branches and csel-based
+min-selection: the discrete-event-simulator profile (pointer-light here,
+but the same unpredictable compare outcomes and 0/1 cset values).
+"""
+
+from repro.workloads.base import build_workload, quad_table, random_values
+
+_HEAP = 255
+
+
+def build():
+    import heapq
+
+    keys = random_values(_HEAP + 1, bits=20, seed=0x0E55)
+    # 1-indexed binary min-heap: heapify so the kernel's sift-downs keep
+    # the heap property invariant (checked by the semantics tests).
+    body = keys[1:]
+    heapq.heapify(body)
+    ordered = [keys[0]] + [0] * _HEAP
+    # heapq is 0-indexed; rebuild a valid 1-indexed layout level by level.
+    for position, value in enumerate(body, start=1):
+        ordered[position] = value
+    keys = ordered
+    source = f"""
+// heap sift-down from the root, repeatedly re-seeded
+    mov   x9, #1             // rotating new-key seed
+    adr   x10, heap_meta
+outer:
+    ldr   x1, [x10]          // heap base pointer (GVP-predictable)
+    // pseudo-random new root key from the seed
+    lsl   x2, x9, #13
+    eor   x9, x9, x2
+    lsr   x2, x9, #7
+    eor   x9, x9, x2
+    and   x0, x9, #1048575
+    str   x0, [x1, #8]       // heap[1] = new key
+    mov   x3, #1             // i = 1
+sift:
+    ldr   x11, [x10, #8]     // heap arity selector: always 0x1 (MVP)
+    ldr   x12, [x10, #16]    // key record size: always 0x8 (TVP)
+    lsl   x4, x3, x11        // left child (chain uses the loaded 0x1)
+    cmp   x4, #{_HEAP}
+    b.hi  done
+    add   x5, x4, #1         // right child
+    madd  x13, x4, x12, x1   // child addresses via the loaded record size
+    madd  x14, x5, x12, x1
+    ldr   x6, [x13]
+    ldr   x7, [x14]
+    cmp   x6, x7
+    csel  x8, x6, x7, ls     // smaller child key
+    csel  x4, x4, x5, ls     // smaller child index
+    ldr   x6, [x1, x3, lsl #3]
+    cmp   x8, x6
+    b.hs  done               // heap property holds
+    str   x6, [x1, x4, lsl #3]
+    str   x8, [x1, x3, lsl #3]
+    mov   x3, x4
+    b     sift
+done:
+    b     outer
+
+.data
+heap_meta: .quad heap, 1, 8
+{quad_table("heap", keys)}
+"""
+    return build_workload(
+        name="event_queue",
+        spec_analog="620.omnetpp_s",
+        description="binary-heap sift-down with unpredictable compares",
+        source=source,
+    )

@@ -1,0 +1,66 @@
+"""nab/imagick-like: FP inner products (8-tap FIR).
+
+Serial fmadd chains bound by FP-MAC latency; integer side is only loop
+control.  Like the paper's FP codes, VP has nearly nothing to predict
+(only GPR producers are eligible).
+"""
+
+from repro.workloads.base import build_workload
+
+_SAMPLES = 1024
+
+
+def build():
+    taps = [0.25, -0.125, 0.5, 0.0625, -0.25, 0.125, -0.5, 0.03125]
+    tap_lines = "\n".join(f"    .double {t}" for t in taps)
+    source = f"""
+// 8-tap FIR over {_SAMPLES} samples
+outer:
+    adr   x1, signal
+    adr   x2, taps
+    adr   x3, output
+    mov   x4, #{_SAMPLES - 8}
+    ldr   d8, [x2]
+    ldr   d9, [x2, #8]
+    ldr   d10, [x2, #16]
+    ldr   d11, [x2, #24]
+    ldr   d12, [x2, #32]
+    ldr   d13, [x2, #40]
+    ldr   d14, [x2, #48]
+    ldr   d15, [x2, #56]
+sample:
+    ldr   d0, [x1]
+    ldr   d1, [x1, #8]
+    fmul  d16, d0, d8
+    fmadd d16, d1, d9, d16
+    ldr   d2, [x1, #16]
+    ldr   d3, [x1, #24]
+    fmadd d16, d2, d10, d16
+    fmadd d16, d3, d11, d16
+    ldr   d4, [x1, #32]
+    ldr   d5, [x1, #40]
+    fmadd d16, d4, d12, d16
+    fmadd d16, d5, d13, d16
+    ldr   d6, [x1, #48]
+    ldr   d7, [x1, #56]
+    fmadd d16, d6, d14, d16
+    fmadd d16, d7, d15, d16
+    str   d16, [x3], #8
+    add   x1, x1, #8
+    subs  x4, x4, #1
+    b.ne  sample
+    b     outer
+
+.data
+taps:
+{tap_lines}
+.align 64
+signal: .zero {_SAMPLES * 8}
+output: .zero {_SAMPLES * 8}
+"""
+    return build_workload(
+        name="fir_filter",
+        spec_analog="644.nab_s / 638.imagick_s",
+        description="8-tap FP FIR, FP-MAC latency bound",
+        source=source,
+    )

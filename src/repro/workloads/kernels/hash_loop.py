@@ -1,0 +1,57 @@
+"""perlbench-like: string hashing with character-class tests.
+
+Byte loads produce narrow values; the character-class comparisons produce a
+stream of 0/1 ``cset`` results (MVP food); the hash recurrence is a serial
+integer chain.  Matches perlbench's branchy, integer-heavy profile.
+"""
+
+from repro.workloads.base import build_workload, random_values
+
+
+def build():
+    text_bytes = [v % 96 + 32 for v in random_values(512, bits=16, seed=0x9E12)]
+    data_lines = ["text:"]
+    for start in range(0, len(text_bytes), 16):
+        chunk = ", ".join(str(b) for b in text_bytes[start:start + 16])
+        data_lines.append(f"    .byte {chunk}")
+    source = f"""
+// perlbench-like string hash + classify.  The cursor stride and the
+// buffer base live in memory (globals the compiler cannot register-
+// allocate): their loads produce the constant values 0x1 and a pointer —
+// MVP/TVP and GVP prediction targets on the cursor-advance chain.
+    mov   x0, #0          // hash
+    mov   x9, #0          // slash count
+    mov   x10, #0         // digit count
+    adr   x12, globals
+outer:
+    ldr   x1, [x12, #8]   // text base pointer (GVP-predictable)
+    mov   x2, #512
+scan:
+    ldr   x11, [x12]      // stride global: always 0x1 (MVP-predictable)
+    ldrb  w3, [x1]
+    add   x1, x1, x11     // cursor chain broken by predicting 0x1
+    lsl   x4, x0, #5
+    sub   x4, x4, x0      // h*31
+    add   x0, x4, x3      // h = h*31 + c
+    cmp   x3, #47         // '/'
+    cset  x5, eq
+    add   x9, x9, x5
+    sub   x6, x3, #48
+    cmp   x6, #10
+    cset  x7, cc          // is-digit
+    add   x10, x10, x7
+    subs  x2, x2, #1
+    b.ne  scan
+    and   x0, x0, #65535
+    b     outer
+
+.data
+globals: .quad 1, text
+{chr(10).join(data_lines)}
+"""
+    return build_workload(
+        name="hash_loop",
+        spec_analog="600.perlbench_s",
+        description="string hashing + character classification (branchy INT)",
+        source=source,
+    )

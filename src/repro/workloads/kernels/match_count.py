@@ -1,0 +1,66 @@
+"""xz-like: LZ match-length scanning.
+
+Byte-compare loops with early exits at unpredictable positions; the
+match/mismatch ``cset`` results and short match lengths are narrow values,
+and the exit branch is the classic hard-to-predict compression branch.
+"""
+
+from repro.workloads.base import build_workload, random_values
+
+_WINDOW = 1024
+
+
+def build():
+    window = [v & 0xFF for v in random_values(_WINDOW, bits=8, seed=0x717A)]
+    # A shifted copy with sprinkled corruption: matches of varying length.
+    copy = list(window)
+    noise = random_values(_WINDOW, bits=8, seed=0x717B)
+    for i, n in enumerate(noise):
+        if n % 11 == 0:
+            copy[i] = (copy[i] + 1) & 0xFF
+    def byte_block(label, data):
+        lines = [f"{label}:"]
+        for start in range(0, len(data), 16):
+            chunk = ", ".join(str(b) for b in data[start:start + 16])
+            lines.append(f"    .byte {chunk}")
+        return "\n".join(lines)
+    source = f"""
+// xz-like match-length scan between two windows
+    mov   x0, #0             // total matched bytes
+    mov   x9, #0             // start cursor
+    adr   x10, lz_globals
+outer:
+    ldr   x1, [x10, #8]      // window A base (GVP-predictable pointer)
+    ldr   x2, [x10, #16]     // window B base (GVP-predictable pointer)
+    and   x9, x9, #{_WINDOW // 2 - 1}
+    add   x1, x1, x9
+    add   x2, x2, x9
+    mov   x3, #0             // match length
+scan:
+    ldr   x11, [x10]         // match step global: always 0x1 (MVP)
+    ldrb  w4, [x1, x3]
+    ldrb  w5, [x2, x3]
+    cmp   w4, w5
+    b.ne  mismatch
+    add   x3, x3, x11        // length chain broken by predicting 0x1
+    cmp   x3, #64
+    b.cc  scan
+mismatch:
+    add   x0, x0, x3
+    cmp   x3, #4
+    cset  x6, hs             // "long enough match" flag (0/1)
+    add   x9, x9, #7
+    add   x9, x9, x6
+    b     outer
+
+.data
+lz_globals: .quad 1, window_a, window_b
+{byte_block("window_a", window)}
+{byte_block("window_b", copy)}
+"""
+    return build_workload(
+        name="match_count",
+        spec_analog="657.xz_s",
+        description="LZ match scanning with unpredictable early exits",
+        source=source,
+    )

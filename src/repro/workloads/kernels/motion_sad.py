@@ -1,0 +1,68 @@
+"""x264-like: sum-of-absolute-differences over pixel blocks.
+
+Byte loads, subtract, conditional negate (abs), accumulate — very regular
+control flow, narrow values throughout, moderate ILP.  Many block pairs
+are identical, so the SAD accumulator sees long runs of produced zeros
+(which is exactly why x264 benefits from 0-value prediction idioms).
+"""
+
+from repro.workloads.base import build_workload, random_values
+
+_BLOCKS = 16
+_BLOCK_BYTES = 64
+
+
+def build():
+    ref = [v & 0xFF for v in random_values(_BLOCKS * _BLOCK_BYTES, bits=8,
+                                           seed=0xC264)]
+    # Half the candidate blocks equal the reference (zero SAD runs).
+    cand = list(ref)
+    noise = random_values(len(cand), bits=8, seed=0xC265)
+    for i, n in enumerate(noise):
+        if (i // _BLOCK_BYTES) % 2 == 1:
+            cand[i] = (cand[i] + n) & 0xFF
+    def byte_block(label, data):
+        lines = [f"{label}:"]
+        for start in range(0, len(data), 16):
+            chunk = ", ".join(str(b) for b in data[start:start + 16])
+            lines.append(f"    .byte {chunk}")
+        return "\n".join(lines)
+    source = f"""
+// x264-like SAD over {_BLOCKS} blocks of {_BLOCK_BYTES} bytes
+    adr   x11, sad_globals
+outer:
+    adr   x1, ref_pixels
+    adr   x2, cand_pixels
+    mov   x3, #{_BLOCKS}
+    mov   x10, #0            // best (min) SAD so far
+block:
+    mov   x0, #0             // SAD accumulator
+    mov   x4, #{_BLOCK_BYTES}
+pixel:
+    ldr   x9, [x11]          // pixel stride global: always 0x1 (MVP)
+    ldrb  w5, [x1]
+    ldrb  w6, [x2]
+    add   x1, x1, x9         // cursor chains broken by predicting 0x1
+    add   x2, x2, x9
+    subs  w7, w5, w6
+    csneg w7, w7, w7, pl     // absolute difference
+    add   x0, x0, x7
+    subs  x4, x4, #1
+    b.ne  pixel
+    cmp   x0, x10
+    csel  x10, x0, x10, ls
+    subs  x3, x3, #1
+    b.ne  block
+    b     outer
+
+.data
+sad_globals: .quad 1
+{byte_block("ref_pixels", ref)}
+{byte_block("cand_pixels", cand)}
+"""
+    return build_workload(
+        name="motion_sad",
+        spec_analog="625.x264_s",
+        description="block SAD with abs-diff ladders and zero runs",
+        source=source,
+    )

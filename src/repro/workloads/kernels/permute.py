@@ -1,0 +1,53 @@
+"""exchange2-like: digit-array permutation shuffling.
+
+exchange2 spends its life moving the digits 0..9 between small arrays:
+nearly every produced value is a single decimal digit, giving the densest
+narrow-value distribution in the suite (prime TVP territory) and an
+L1-resident working set.
+"""
+
+from repro.workloads.base import build_workload, quad_table, random_permutation
+
+
+def build():
+    schedule = random_permutation(64, seed=0xE2C4)
+    source = f"""
+// digit shuffling through a 16-entry board
+    adr   x10, digits_meta
+outer:
+    ldr   x1, [x10]          // board base pointer (GVP-predictable)
+    adr   x2, schedule
+    mov   x3, #64
+step:
+    ldr   x11, [x10, #8]     // digit modulus: always 0x9 (TVP-predictable)
+    ldr   x12, [x10, #16]    // element size: always 0x8 (TVP-predictable)
+    ldr   x4, [x2], #8       // schedule entry
+    and   x5, x4, #15        // slot i
+    lsr   x6, x4, #4
+    and   x6, x6, #15        // slot j (0..3 of upper bits)
+    madd  x13, x5, x12, x1   // &board[i] via the loaded element size:
+    madd  x14, x6, x12, x1   // predicting 0x8 breaks the address chains
+    ldr   x7, [x13]
+    ldr   x8, [x14]
+    add   x9, x7, x8
+    cmp   x9, x11
+    b.ls  nostep
+    sub   x9, x9, x11        // keep digits in 0..9
+nostep:
+    str   x8, [x13]
+    str   x9, [x14]
+    subs  x3, x3, #1
+    b.ne  step
+    b     outer
+
+.data
+digits_meta: .quad board, 9, 8
+board: .quad 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0, 1, 2, 3, 4, 5
+{quad_table("schedule", schedule)}
+"""
+    return build_workload(
+        name="permute",
+        spec_analog="648.exchange2_s",
+        description="digit permutation shuffling (dense narrow values)",
+        source=source,
+    )

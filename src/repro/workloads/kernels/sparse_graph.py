@@ -1,0 +1,52 @@
+"""mcf-like: pointer chasing across a large, randomized node ring.
+
+Nodes are spread over ~2MB (beyond the 1MB L2), visited in a random
+permutation order, so every hop is a serial L3-latency load — the
+low-IPC, memory-latency-bound profile of 605.mcf_s.
+"""
+
+from repro.workloads.base import build_workload, random_permutation
+
+_N_NODES = 4096
+_STRIDE = 512  # bytes between node slots: 4096 * 512 = 2MB footprint
+
+
+def build():
+    order = random_permutation(_N_NODES, seed=0x3CF5)
+    # next[order[i]] = order[i+1]: one big cycle in permuted order.
+    lines = ["nodes:"]
+    next_of = [0] * _N_NODES
+    for position in range(_N_NODES):
+        next_of[order[position]] = order[(position + 1) % _N_NODES]
+    for index in range(_N_NODES):
+        target = f"nodes + {next_of[index] * _STRIDE}"
+        # .quad supports plain ints only; precompute absolute addresses via
+        # the data base: nodes label resolves first, so store offsets and
+        # rebuild pointers at startup instead.
+        lines.append(f"    .quad {next_of[index] * _STRIDE}")
+        lines.append(f"    .zero {_STRIDE - 8}")
+        del target
+    source = f"""
+// mcf-like pointer chase: node -> offset of next node
+    adr   x1, nodes          // base
+    mov   x2, #0             // current offset
+    mov   x0, #0
+chase:
+    add   x3, x1, x2
+    ldr   x2, [x3]           // next offset (serial, L3-latency)
+    ldr   x4, [x3, #8]       // payload (zero)
+    add   x0, x0, x4
+    add   x0, x0, #1
+    b     chase
+
+.data
+.align 64
+{chr(10).join(lines)}
+"""
+    return build_workload(
+        name="sparse_graph",
+        spec_analog="605.mcf_s",
+        description="randomized pointer chase over a 2MB ring (L3-bound)",
+        source=source,
+        default_instructions=12_000,
+    )

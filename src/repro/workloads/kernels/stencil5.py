@@ -1,0 +1,54 @@
+"""roms/cactuBSSN-like: 2D 5-point FP stencil over a 64x64 grid.
+
+Row-strided double loads (two access streams at +/- one row) exercise the
+stride prefetcher at multiple strides; the FP adds form short chains.
+"""
+
+from repro.workloads.base import build_workload
+
+_DIM = 64
+_ROW_BYTES = _DIM * 8
+
+
+def build():
+    source = f"""
+// 5-point stencil: out = 0.25 * (N + S + E + W)
+    fmov  d0, #0.25
+outer:
+    adr   x1, grid_in
+    adr   x2, grid_out
+    add   x1, x1, #{_ROW_BYTES + 8}   // start at [1][1]
+    add   x2, x2, #{_ROW_BYTES + 8}
+    mov   x3, #{_DIM - 2}             // rows
+rows:
+    mov   x4, #{_DIM - 2}             // cols
+cols:
+    ldr   d1, [x1, #-8]               // W
+    ldr   d2, [x1, #8]                // E
+    ldr   d3, [x1, #-{_ROW_BYTES}]    // N
+    ldr   d4, [x1, #{_ROW_BYTES}]     // S
+    fadd  d5, d1, d2
+    fadd  d6, d3, d4
+    fadd  d7, d5, d6
+    fmul  d8, d7, d0
+    str   d8, [x2], #8
+    add   x1, x1, #8
+    subs  x4, x4, #1
+    b.ne  cols
+    add   x1, x1, #16                 // skip halo
+    add   x2, x2, #16
+    subs  x3, x3, #1
+    b.ne  rows
+    b     outer
+
+.data
+.align 64
+grid_in:  .zero {_DIM * _ROW_BYTES}
+grid_out: .zero {_DIM * _ROW_BYTES}
+"""
+    return build_workload(
+        name="stencil5",
+        spec_analog="654.roms_s / 607.cactuBSSN_s",
+        description="2D 5-point FP stencil with multi-stride access",
+        source=source,
+    )

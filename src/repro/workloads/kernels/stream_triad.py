@@ -1,0 +1,58 @@
+"""bwaves/lbm-like: FP streaming (STREAM triad a = b + s*c).
+
+Unit-stride double loads/stores over arrays larger than the L1D: the
+stride prefetcher's bread and butter, FP-pipe bound, with almost no
+VP-predictable integer values — the paper's FP codes show near-zero
+MVP/TVP uplift, and this kernel reproduces that.
+"""
+
+from repro.workloads.base import build_workload
+
+_ELEMENTS = 4096  # 32KB per array
+
+
+def build():
+    source = f"""
+// STREAM triad over {_ELEMENTS} doubles
+    fmov  d0, #3.5           // scalar s
+outer:
+    adr   x1, array_a
+    adr   x2, array_b
+    adr   x3, array_c
+    mov   x4, #{_ELEMENTS // 4}
+triad:
+    ldr   d1, [x2]
+    ldr   d2, [x3]
+    fmadd d3, d2, d0, d1
+    str   d3, [x1]
+    ldr   d4, [x2, #8]
+    ldr   d5, [x3, #8]
+    fmadd d6, d5, d0, d4
+    str   d6, [x1, #8]
+    ldr   d1, [x2, #16]
+    ldr   d2, [x3, #16]
+    fmadd d3, d2, d0, d1
+    str   d3, [x1, #16]
+    ldr   d4, [x2, #24]
+    ldr   d5, [x3, #24]
+    fmadd d6, d5, d0, d4
+    str   d6, [x1, #24]!     // one writeback bumps the output pointer
+    add   x1, x1, #8
+    add   x2, x2, #32
+    add   x3, x3, #32
+    subs  x4, x4, #1
+    b.ne  triad
+    b     outer
+
+.data
+.align 64
+array_a: .zero {_ELEMENTS * 8}
+array_b: .zero {_ELEMENTS * 8}
+array_c: .zero {_ELEMENTS * 8}
+"""
+    return build_workload(
+        name="stream_triad",
+        spec_analog="603.bwaves_s / 619.lbm_s",
+        description="FP STREAM triad, prefetcher-friendly streaming",
+        source=source,
+    )

@@ -1,0 +1,55 @@
+"""fotonik3d-like: wave-equation field sweep over a large array.
+
+Two read streams and one write stream at fixed offsets, L1-overflowing
+footprint, almost branchless — the streaming FP profile where prefetchers
+do all the work and value prediction finds nothing (the paper's FP codes
+with ~0% uplift).
+"""
+
+from repro.workloads.base import build_workload
+
+_POINTS = 8192  # 64KB per field
+
+
+def build():
+    source = f"""
+// 1D wave update: next = 2*cur - prev + c * (laplacian)
+    fmov  d0, #0.0625        // c
+    fmov  d1, #2.0
+outer:
+    adr   x1, field_cur
+    adr   x2, field_prev
+    adr   x3, field_next
+    mov   x4, #{_POINTS - 2}
+    add   x1, x1, #8
+    add   x2, x2, #8
+    add   x3, x3, #8
+point:
+    ldr   d2, [x1]           // cur[i]
+    ldr   d3, [x1, #-8]      // cur[i-1]
+    ldr   d4, [x1, #8]       // cur[i+1]
+    ldr   d5, [x2]           // prev[i]
+    fadd  d6, d3, d4
+    fmul  d7, d2, d1
+    fsub  d8, d7, d5
+    fmadd d9, d6, d0, d8
+    str   d9, [x3]
+    add   x1, x1, #8
+    add   x2, x2, #8
+    add   x3, x3, #8
+    subs  x4, x4, #1
+    b.ne  point
+    b     outer
+
+.data
+.align 64
+field_cur:  .zero {_POINTS * 8}
+field_prev: .zero {_POINTS * 8}
+field_next: .zero {_POINTS * 8}
+"""
+    return build_workload(
+        name="wave_field",
+        spec_analog="649.fotonik3d_s",
+        description="1D wave-equation sweep, stream-bound FP",
+        source=source,
+    )

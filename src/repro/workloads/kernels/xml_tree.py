@@ -1,0 +1,67 @@
+"""xalancbmk-like: the paper's GVP outlier, in miniature.
+
+Section 6.1 of the paper traces xalancbmk's +52.65% GVP speedup to "three
+predictable yet dependent loads within a loop, that are used to retrieve
+the base address of a structure through multiple indirections", feeding a
+fourth load that fetches a small varying element.  Pointer values need
+more than 9 bits, so MVP and TVP cannot capture them.
+
+Here: three chained pointer loads whose values are identical every
+iteration (so GVP's VTAGE predicts them), a varying data load off the
+resolved base, and a data-dependent branch whose resolution sits behind
+the whole chain — value-predicting the pointers collapses the chain and
+resolves the branch early.
+"""
+
+from repro.workloads.base import build_workload
+
+_TABLE = 256
+
+
+def build():
+    data_bytes = []
+    state = 0x1234_5678
+    for _ in range(_TABLE):
+        state = (state * 1103515245 + 12345) & 0x7FFF_FFFF
+        data_bytes.append((state >> 13) & 0xFF)  # high bits: decorrelated
+    byte_lines = []
+    for start in range(0, _TABLE, 16):
+        chunk = ", ".join(str(b) for b in data_bytes[start:start + 16])
+        byte_lines.append(f"    .byte {chunk}")
+    source = f"""
+// xalancbmk-like triple indirection to a stable base + varying element
+    mov   x0, #0             // match count
+    mov   x7, #1             // xorshift cursor state
+loop:
+    adr   x2, head
+    ldr   x3, [x2]           // indirection 1 (stable pointer)
+    ldr   x4, [x3]           // indirection 2 (stable pointer)
+    ldr   x5, [x4]           // indirection 3 (stable pointer)
+    ldr   x5, [x5]           // indirection 4 (stable base address)
+    lsl   x9, x7, #13        // xorshift step: pseudo-random element index
+    eor   x7, x7, x9
+    lsr   x9, x7, #7
+    eor   x7, x7, x9
+    and   x8, x7, #{_TABLE - 1}
+    ldrb  w6, [x5, x8]       // varying element
+    tbz   w6, #0, even       // data-dependent: ~50% mispredicted
+    add   x0, x0, #1
+even:
+    add   x0, x0, #0
+    b     loop
+
+.data
+head:   .quad inner1
+inner1: .quad inner2
+inner2: .quad inner3
+inner3: .quad table
+table:
+{chr(10).join(byte_lines)}
+"""
+    return build_workload(
+        name="xml_tree",
+        spec_analog="623.xalancbmk_s",
+        description="stable dependent-load chain + data-dependent branch "
+                    "(GVP-only outlier)",
+        source=source,
+    )

@@ -1,0 +1,43 @@
+"""Value profiling: the paper's Fig. 1 (distribution of produced values).
+
+Functional emulation only — no timing — so it is cheap enough to run over
+the whole suite.
+"""
+
+from collections import Counter
+
+from repro.emulator.trace import trace_program
+from repro.isa.bits import fits_signed
+
+
+def value_profile(workloads, instructions_each=20_000):
+    """Aggregate value histogram over GPR-writing µops of the suite.
+
+    Returns ``(counter, total)`` where *counter* maps produced 64-bit
+    values to occurrence counts.
+    """
+    counter = Counter()
+    total = 0
+    for workload in workloads:
+        _trace, stats = trace_program(workload.program,
+                                      max_instructions=instructions_each,
+                                      collect_value_histogram=True)
+        counter.update(stats.value_histogram)
+        total += stats.gpr_writers
+    return counter, total
+
+
+def top_values(counter, total, count=20):
+    """The paper's Fig. 1 series: top values by dynamic frequency (%)"""
+    return [(value, 100.0 * hits / total)
+            for value, hits in counter.most_common(count)]
+
+
+def narrow_fraction(counter, total, bits=9):
+    """Fraction of produced values that fit a signed *bits*-bit integer —
+    the headroom TVP's inlining targets."""
+    if total == 0:
+        return 0.0
+    narrow = sum(hits for value, hits in counter.items()
+                 if fits_signed(value, bits))
+    return 100.0 * narrow / total

@@ -1,0 +1,53 @@
+"""The workload suite registry."""
+
+from repro.workloads.kernels import (
+    board_eval,
+    climate_mix,
+    compiler_cfg,
+    event_queue,
+    fir_filter,
+    hash_loop,
+    match_count,
+    motion_sad,
+    permute,
+    sparse_graph,
+    stencil5,
+    stream_triad,
+    wave_field,
+    xml_tree,
+)
+
+_BUILDERS = [
+    hash_loop.build,
+    compiler_cfg.build,
+    stream_triad.build,
+    sparse_graph.build,
+    stencil5.build,
+    event_queue.build,
+    xml_tree.build,
+    motion_sad.build,
+    board_eval.build,
+    fir_filter.build,
+    match_count.build,
+    permute.build,
+    climate_mix.build,
+    wave_field.build,
+]
+
+SUITE = [builder() for builder in _BUILDERS]
+_BY_NAME = {workload.name: workload for workload in SUITE}
+
+
+def suite(names=None):
+    """The full suite, or the named subset (in suite order)."""
+    if names is None:
+        return list(SUITE)
+    missing = set(names) - set(_BY_NAME)
+    if missing:
+        raise KeyError(f"unknown workloads: {sorted(missing)}")
+    return [w for w in SUITE if w.name in set(names)]
+
+
+def get_workload(name):
+    """One workload by name."""
+    return _BY_NAME[name]

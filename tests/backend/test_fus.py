@@ -1,0 +1,91 @@
+"""Functional unit port pool (Table 2 issue plan)."""
+
+from repro.backend.fus import FunctionalUnits
+from repro.isa.opcodes import ExecClass, Op
+from repro.pipeline.config import MachineConfig
+
+
+def make():
+    fus = FunctionalUnits(MachineConfig())
+    fus.new_cycle(10)
+    return fus
+
+
+def test_port_totals_match_table2():
+    fus = make()
+    assert len(fus.ports) == 15  # 4+2 ALU, 1 div, 3+1 FP, 2 ld, 2 st
+
+
+def test_alu_capacity_is_six():
+    fus = make()
+    grants = sum(fus.try_issue(ExecClass.INT_ALU, 10) for _ in range(10))
+    assert grants == 6
+
+
+def test_mul_shares_alu_ports():
+    fus = make()
+    assert fus.try_issue(ExecClass.INT_MUL, 10)
+    assert fus.try_issue(ExecClass.INT_MUL, 10)
+    assert not fus.try_issue(ExecClass.INT_MUL, 10)
+    # The two shared ports are taken: only 4 pure ALU slots remain.
+    grants = sum(fus.try_issue(ExecClass.INT_ALU, 10) for _ in range(10))
+    assert grants == 4
+
+
+def test_alu_prefers_pure_ports():
+    fus = make()
+    for _ in range(4):
+        assert fus.try_issue(ExecClass.INT_ALU, 10)
+    # Pure ports exhausted; muls still fit on the shared ones.
+    assert fus.try_issue(ExecClass.INT_MUL, 10)
+    assert fus.try_issue(ExecClass.INT_MUL, 10)
+
+
+def test_branch_uses_alu_port():
+    fus = make()
+    for _ in range(6):
+        assert fus.try_issue(ExecClass.BRANCH, 10)
+    assert not fus.try_issue(ExecClass.BRANCH, 10)
+
+
+def test_load_store_ports():
+    fus = make()
+    assert sum(fus.try_issue(ExecClass.LOAD, 10) for _ in range(4)) == 2
+    assert sum(fus.try_issue(ExecClass.STORE, 10) for _ in range(4)) == 2
+
+
+def test_unpipelined_divider_blocks():
+    fus = make()
+    assert fus.try_issue(ExecClass.INT_DIV, 10)
+    fus.new_cycle(11)
+    assert not fus.try_issue(ExecClass.INT_DIV, 11)   # busy 20 cycles
+    fus.new_cycle(10 + fus.latency_of(ExecClass.INT_DIV))
+    assert fus.try_issue(ExecClass.INT_DIV, 10 + fus.latency_of(ExecClass.INT_DIV))
+
+
+def test_fp_div_shares_one_port():
+    fus = make()
+    assert fus.try_issue(ExecClass.FP_DIV, 10)
+    assert not fus.try_issue(ExecClass.FP_DIV, 10)
+    # The other three FP ports still take fp-alu work.
+    grants = sum(fus.try_issue(ExecClass.FP_ALU, 10) for _ in range(5))
+    assert grants == 3
+
+
+def test_issue_width_cap():
+    config = MachineConfig(issue_width=3)
+    fus = FunctionalUnits(config)
+    fus.new_cycle(0)
+    grants = sum(fus.try_issue(ExecClass.INT_ALU, 0) for _ in range(6))
+    assert grants == 3
+
+
+def test_latencies_match_table2():
+    fus = make()
+    assert fus.latency_of(ExecClass.INT_ALU) == 1
+    assert fus.latency_of(ExecClass.INT_MUL) == 3
+    assert fus.latency_of(ExecClass.INT_DIV) == 20
+    assert fus.latency_of(ExecClass.FP_ALU) == 3
+    assert fus.latency_of(ExecClass.FP_MUL) == 4
+    assert fus.latency_of(ExecClass.FP_MUL, Op.FMADD) == 5
+    assert fus.latency_of(ExecClass.FP_DIV) == 12

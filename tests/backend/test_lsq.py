@@ -1,0 +1,77 @@
+"""Load/store queues: overlap logic, forwarding predicates, violations."""
+
+from repro.backend.lsq import LoadStoreQueues, LsqEntry
+
+
+def entry(seq, addr, size=8):
+    return LsqEntry(seq, addr, size, rob_entry=None)
+
+
+def test_overlap_and_containment():
+    store = entry(1, 0x100, 8)
+    assert store.overlaps(entry(2, 0x100, 8))
+    assert store.overlaps(entry(2, 0x104, 8))   # partial
+    assert store.overlaps(entry(2, 0xFC, 8))
+    assert not store.overlaps(entry(2, 0x108, 8))
+    assert not store.overlaps(entry(2, 0xF8, 8))
+    assert store.contains(entry(2, 0x100, 8))
+    assert store.contains(entry(2, 0x104, 4))
+    assert not store.contains(entry(2, 0x104, 8))
+
+
+def test_capacity_flags():
+    queues = LoadStoreQueues(lq_capacity=1, sq_capacity=1)
+    assert not queues.lq_full and not queues.sq_full
+    queues.add_load(entry(1, 0x100))
+    queues.add_store(entry(2, 0x200))
+    assert queues.lq_full and queues.sq_full
+
+
+def test_youngest_older_store_conflict():
+    queues = LoadStoreQueues(8, 8)
+    queues.add_store(entry(1, 0x100))
+    queues.add_store(entry(3, 0x100))
+    queues.add_store(entry(5, 0x200))   # different address
+    queues.add_store(entry(7, 0x100))   # younger than the load
+    load = entry(6, 0x100)
+    conflict = queues.youngest_older_store_conflict(load)
+    assert conflict.seq == 3
+
+
+def test_no_conflict_when_disjoint():
+    queues = LoadStoreQueues(8, 8)
+    queues.add_store(entry(1, 0x300))
+    assert queues.youngest_older_store_conflict(entry(2, 0x100)) is None
+
+
+def test_violating_loads_are_younger_and_executed():
+    queues = LoadStoreQueues(8, 8)
+    executed = entry(5, 0x100)
+    executed.executed_cycle = 10
+    pending = entry(7, 0x100)            # younger but not yet executed
+    older = entry(1, 0x100)
+    older.executed_cycle = 3             # older than the store: no violation
+    for load in (executed, pending, older):
+        queues.add_load(load)
+    store = entry(2, 0x100)
+    victims = queues.violating_loads(store)
+    assert victims == [executed]
+
+
+def test_remove_committed():
+    queues = LoadStoreQueues(8, 8)
+    queues.add_load(entry(1, 0x100))
+    queues.add_store(entry(2, 0x200))
+    queues.remove_committed(1)
+    queues.remove_committed(2)
+    assert not queues.loads and not queues.stores
+
+
+def test_squash_from():
+    queues = LoadStoreQueues(8, 8)
+    for seq in (1, 3, 5):
+        queues.add_load(entry(seq, 0x100))
+        queues.add_store(entry(seq + 1, 0x200))
+    queues.squash_from(4)
+    assert [e.seq for e in queues.loads] == [1, 3]
+    assert [e.seq for e in queues.stores] == [2]

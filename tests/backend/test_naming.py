@@ -1,0 +1,77 @@
+"""Overloaded physical register names."""
+
+from hypothesis import given, strategies as st
+
+from repro.backend.naming import (
+    FLAG_INLINE_BASE,
+    HARDWIRED_ONE,
+    HARDWIRED_ZERO,
+    INLINE_BASE,
+    encode_flag_inline,
+    encode_inline,
+    inline_flags_value,
+    is_inline_name,
+    is_real_register,
+    known_flags,
+    known_value,
+)
+from repro.isa.bits import to_unsigned
+
+
+def test_hardwired_values():
+    assert known_value(HARDWIRED_ZERO) == 0
+    assert known_value(HARDWIRED_ONE) == 1
+
+
+def test_zero_one_prefer_hardwired_names():
+    assert encode_inline(0) == HARDWIRED_ZERO
+    assert encode_inline(1) == HARDWIRED_ONE
+
+
+@given(st.integers(-256, 255))
+def test_inline_roundtrip(value):
+    unsigned = to_unsigned(value, 64)
+    name = encode_inline(unsigned)
+    assert known_value(name) == unsigned
+
+
+def test_inline_rejects_wide_values():
+    import pytest
+
+    with pytest.raises(ValueError):
+        encode_inline(256)
+    with pytest.raises(ValueError):
+        encode_inline(to_unsigned(-257, 64))
+
+
+def test_negative_inline_is_sign_extended():
+    name = encode_inline(to_unsigned(-1, 64))
+    assert known_value(name) == 0xFFFF_FFFF_FFFF_FFFF
+
+
+def test_real_register_range():
+    assert not is_real_register(HARDWIRED_ZERO)
+    assert not is_real_register(HARDWIRED_ONE)
+    assert is_real_register(2)
+    assert is_real_register(291)
+    assert not is_real_register(INLINE_BASE)
+    assert not is_real_register(INLINE_BASE + 511)
+
+
+def test_real_registers_have_no_known_value():
+    assert known_value(5) is None
+    assert known_value(291) is None
+
+
+@given(st.integers(0, 15))
+def test_flag_inline_roundtrip(flags):
+    name = encode_flag_inline(flags)
+    assert known_flags(name) == flags
+    assert inline_flags_value(name) == flags
+
+
+def test_flag_names_disjoint_from_value_names():
+    assert not is_inline_name(FLAG_INLINE_BASE)
+    assert known_value(FLAG_INLINE_BASE) is None
+    assert known_flags(INLINE_BASE) is None
+    assert known_flags(2) is None

@@ -1,0 +1,140 @@
+"""RAT protocols: rename, undo, commit, value-name reclamation rules."""
+
+import pytest
+
+from repro.backend.naming import (
+    FLAGS_NAME_BASE,
+    FP_NAME_BASE,
+    HARDWIRED_ONE,
+    HARDWIRED_ZERO,
+    INLINE_BASE,
+)
+from repro.backend.prf import PhysicalRegisterFile
+from repro.backend.rat import RegisterAliasTable
+from repro.isa.registers import FLAGS, FP_BASE, XZR
+
+
+@pytest.fixture
+def rig():
+    int_prf = PhysicalRegisterFile(40)
+    fp_prf = PhysicalRegisterFile(40, name_base=FP_NAME_BASE)
+    flags_prf = PhysicalRegisterFile(16, name_base=FLAGS_NAME_BASE)
+    rat = RegisterAliasTable(int_prf, fp_prf, flags_prf)
+    return rat, int_prf, fp_prf, flags_prf
+
+
+def test_initial_state_consistent(rig):
+    rat, int_prf, _, _ = rig
+    assert rat.check_consistent_with_committed()
+    assert rat.lookup(XZR) == HARDWIRED_ZERO
+    int_prf.check_conservation()
+
+
+def test_xzr_is_immutable(rig):
+    rat, _, _, _ = rig
+    assert rat.write(XZR, 7) == HARDWIRED_ZERO
+    assert rat.lookup(XZR) == HARDWIRED_ZERO
+
+
+def test_rename_then_commit_frees_old(rig):
+    rat, int_prf, _, _ = rig
+    old = rat.lookup(3)
+    new = int_prf.alloc()           # ROB reference
+    prev = rat.write(3, new)
+    assert prev == old
+    assert rat.lookup(3) == new
+    free_before = int_prf.free_count
+    rat.commit(3, new)
+    rat.drop_rob_ref(3, new)
+    assert int_prf.free_count == free_before + 1   # old name reclaimed
+    assert rat.check_consistent_with_committed()
+
+
+def test_rename_then_undo_restores(rig):
+    rat, int_prf, _, _ = rig
+    old = rat.lookup(3)
+    new = int_prf.alloc()
+    prev = rat.write(3, new)
+    rat.undo(3, prev, new)
+    rat.drop_rob_ref(3, new)
+    assert rat.lookup(3) == old
+    assert rat.check_consistent_with_committed()
+    int_prf.check_conservation()
+
+
+def test_value_name_in_rat_acts_as_register_file(rig):
+    """§3.2.1: the RAT stores the prediction as a name; nothing to free."""
+    rat, int_prf, _, _ = rig
+    value_name = INLINE_BASE + 0x42
+    int_prf.add_ref(value_name)     # ROB ref (no-op)
+    prev = rat.write(5, value_name)
+    free_before = int_prf.free_count
+    rat.commit(5, value_name)
+    rat.drop_rob_ref(5, value_name)
+    assert int_prf.free_count == free_before + 1   # prev real name freed
+    # Overwrite the value name: nothing goes on the free list for it.
+    new = int_prf.alloc()
+    rat.write(5, new)
+    rat.commit(5, new)
+    rat.drop_rob_ref(5, new)
+    assert rat.check_consistent_with_committed()
+    int_prf.check_conservation()
+    del prev
+
+
+def test_hardwired_names_never_reclaimed(rig):
+    rat, int_prf, _, _ = rig
+    int_prf.add_ref(HARDWIRED_ONE)
+    rat.write(7, HARDWIRED_ONE)
+    rat.commit(7, HARDWIRED_ONE)
+    rat.drop_rob_ref(7, HARDWIRED_ONE)
+    assert rat.lookup(7) == HARDWIRED_ONE
+    int_prf.check_conservation()
+
+
+def test_move_elimination_shares_names(rig):
+    """Two arch regs mapped to one name; reclamation waits for both."""
+    rat, int_prf, _, _ = rig
+    producer = int_prf.alloc()
+    rat.write(1, producer)
+    rat.commit(1, producer)
+    rat.drop_rob_ref(1, producer)
+    # Move-eliminate: x2 takes x1's name.
+    int_prf.add_ref(producer)       # ROB ref of the move
+    rat.write(2, producer)
+    rat.commit(2, producer)
+    rat.drop_rob_ref(2, producer)
+    assert rat.lookup(1) == rat.lookup(2) == producer
+    # Overwrite x1: producer must stay (x2 still references it).
+    other = int_prf.alloc()
+    rat.write(1, other)
+    rat.commit(1, other)
+    rat.drop_rob_ref(1, other)
+    assert int_prf.refcount(producer) > 0
+    # Overwrite x2 as well: now the producer is reclaimed.
+    third = int_prf.alloc()
+    rat.write(2, third)
+    rat.commit(2, third)
+    rat.drop_rob_ref(2, third)
+    assert int_prf.refcount(producer) == 0
+    int_prf.check_conservation()
+
+
+def test_fp_and_flags_use_their_own_files(rig):
+    rat, int_prf, fp_prf, flags_prf = rig
+    fp_new = fp_prf.alloc()
+    rat.write(FP_BASE + 3, fp_new)
+    flags_new = flags_prf.alloc()
+    rat.write(FLAGS, flags_new)
+    assert rat.lookup(FP_BASE + 3) == fp_new
+    assert rat.lookup(FLAGS) == flags_new
+    int_prf.check_conservation()
+    fp_prf.check_conservation()
+
+
+def test_inconsistency_detected(rig):
+    rat, int_prf, _, _ = rig
+    new = int_prf.alloc()
+    rat.write(4, new)   # spec != committed until commit
+    with pytest.raises(AssertionError):
+        rat.check_consistent_with_committed()

@@ -1,0 +1,110 @@
+"""Reorder buffer: capacity, ordering, squash-with-undo."""
+
+import pytest
+
+from repro.backend.naming import FLAGS_NAME_BASE, FP_NAME_BASE
+from repro.backend.prf import PhysicalRegisterFile
+from repro.backend.rat import RegisterAliasTable
+from repro.backend.rob import ReorderBuffer, RobEntry, UopState
+
+
+class _FakeUop:
+    def __init__(self, seq):
+        self.seq = seq
+        self.text = f"uop{seq}"
+        self.is_store = False
+
+
+def make_rat():
+    int_prf = PhysicalRegisterFile(64)
+    fp_prf = PhysicalRegisterFile(64, name_base=FP_NAME_BASE)
+    flags_prf = PhysicalRegisterFile(16, name_base=FLAGS_NAME_BASE)
+    return RegisterAliasTable(int_prf, fp_prf, flags_prf), int_prf
+
+
+def entry(seq):
+    return RobEntry(seq, _FakeUop(seq))
+
+
+def test_fifo_order_and_capacity():
+    rob = ReorderBuffer(capacity=3)
+    for seq in range(3):
+        rob.push(entry(seq))
+    assert rob.full
+    assert rob.head().seq == 0
+    with pytest.raises(AssertionError):
+        rob.push(entry(3))
+    assert rob.pop_head().seq == 0
+    assert len(rob) == 2
+
+
+def test_squash_from_removes_young_inclusive():
+    rob = ReorderBuffer(capacity=8)
+    rat, _ = make_rat()
+    for seq in range(5):
+        rob.push(entry(seq))
+    squashed = rob.squash_from(2, rat)
+    assert sorted(e.seq for e in squashed) == [2, 3, 4]
+    assert [e.seq for e in rob.entries] == [0, 1]
+
+
+def test_squash_undoes_rat_in_reverse_order():
+    rob = ReorderBuffer(capacity=8)
+    rat, int_prf = make_rat()
+    original = rat.lookup(3)
+    # Two successive renames of x3 by seq 0 and seq 1.
+    names = []
+    for seq in range(2):
+        e = entry(seq)
+        name = int_prf.alloc()
+        prev = rat.write(3, name)
+        e.undo.append((3, prev, name))
+        names.append(name)
+        rob.push(e)
+    assert rat.lookup(3) == names[1]
+    rob.squash_from(0, rat)
+    assert rat.lookup(3) == original
+    int_prf.check_conservation()
+
+
+def test_partial_squash_keeps_older_mapping():
+    rob = ReorderBuffer(capacity=8)
+    rat, int_prf = make_rat()
+    names = []
+    for seq in range(3):
+        e = entry(seq)
+        name = int_prf.alloc()
+        prev = rat.write(3, name)
+        e.undo.append((3, prev, name))
+        names.append(name)
+        rob.push(e)
+    rob.squash_from(1, rat)
+    assert rat.lookup(3) == names[0]
+    assert len(rob) == 1
+
+
+def test_multi_dest_entry_undo():
+    """An entry with a GPR dest and a flags dest rolls back both."""
+    from repro.isa.registers import FLAGS
+
+    rob = ReorderBuffer(capacity=4)
+    rat, int_prf = make_rat()
+    old_reg = rat.lookup(5)
+    old_flags = rat.lookup(FLAGS)
+    e = entry(0)
+    name = int_prf.alloc()
+    e.undo.append((5, rat.write(5, name), name))
+    flags_prf = rat._prf_of(FLAGS)
+    fname = flags_prf.alloc()
+    e.undo.append((FLAGS, rat.write(FLAGS, fname), fname))
+    rob.push(e)
+    rob.squash_from(0, rat)
+    assert rat.lookup(5) == old_reg
+    assert rat.lookup(FLAGS) == old_flags
+
+
+def test_entry_initial_state():
+    e = entry(7)
+    assert e.state is UopState.WAITING
+    assert e.undo == []
+    assert not e.vp_used and not e.move_width_blocked

@@ -1,0 +1,70 @@
+"""Store Sets memory dependence predictor."""
+
+from repro.backend.storesets import StoreSets
+
+
+def test_untrained_predicts_no_dependence():
+    sets = StoreSets()
+    assert sets.load_dependence(0x4000) is None
+
+
+def test_violation_creates_dependence():
+    sets = StoreSets()
+    store_pc, load_pc = 0x4000, 0x4100
+    sets.train_violation(store_pc, load_pc)
+    sets.store_renamed(store_pc, store_seq=10)
+    assert sets.load_dependence(load_pc) == 10
+
+
+def test_store_done_clears_lfst():
+    sets = StoreSets()
+    sets.train_violation(0x4000, 0x4100)
+    sets.store_renamed(0x4000, 10)
+    sets.store_done(0x4000, 10)
+    assert sets.load_dependence(0x4100) is None
+
+
+def test_store_done_ignores_stale_seq():
+    sets = StoreSets()
+    sets.train_violation(0x4000, 0x4100)
+    sets.store_renamed(0x4000, 10)
+    sets.store_renamed(0x4000, 20)   # newer instance
+    sets.store_done(0x4000, 10)      # old one completing must not clear
+    assert sets.load_dependence(0x4100) == 20
+
+
+def test_lfst_tracks_most_recent_store():
+    sets = StoreSets()
+    sets.train_violation(0x4000, 0x4100)
+    sets.store_renamed(0x4000, 10)
+    sets.store_renamed(0x4000, 30)
+    assert sets.load_dependence(0x4100) == 30
+
+
+def test_merging_two_sets():
+    sets = StoreSets()
+    sets.train_violation(0x4000, 0x4100)   # set A = {st 0x4000, ld 0x4100}
+    sets.train_violation(0x5000, 0x5100)   # set B = {st 0x5000, ld 0x5100}
+    sets.train_violation(0x4000, 0x5100)   # violating pair merges into A
+    sets.store_renamed(0x4000, 42)
+    # Both loads now depend on the merged store.
+    assert sets.load_dependence(0x4100) == 42
+    assert sets.load_dependence(0x5100) == 42
+
+
+def test_join_existing_set():
+    sets = StoreSets()
+    sets.train_violation(0x4000, 0x4100)
+    sets.train_violation(0x4000, 0x4200)   # second load joins the set
+    sets.store_renamed(0x4000, 5)
+    assert sets.load_dependence(0x4100) == 5
+    assert sets.load_dependence(0x4200) == 5
+
+
+def test_stats():
+    sets = StoreSets()
+    sets.train_violation(0x4000, 0x4100)
+    sets.store_renamed(0x4000, 1)
+    sets.load_dependence(0x4100)
+    assert sets.stat_trainings == 1
+    assert sets.stat_load_waits == 1

@@ -1,0 +1,17 @@
+"""Shared pytest fixtures (helpers live in tests/helpers.py)."""
+
+import pytest
+
+
+@pytest.fixture
+def tiny_loop():
+    """A small, fully-deterministic loop program source."""
+    return """
+        mov   x0, #0
+        mov   x1, #50
+    loop:
+        add   x0, x0, x1
+        subs  x1, x1, #1
+        b.ne  loop
+        hlt
+    """

@@ -1,0 +1,190 @@
+"""Swap-in value predictors: LVP, stride, perceptron (the §7 extensions)."""
+
+import pytest
+
+from repro.core.lvp import LastValuePredictor, LvpConfig
+from repro.core.perceptron import PerceptronValuePredictor, PerceptronVpConfig
+from repro.core.stride import StrideValuePredictor, StrideVpConfig
+from repro.frontend.history import GlobalHistory
+
+
+def drive_constant(predictor, pc, value, rounds=400):
+    used = 0
+    for _ in range(rounds):
+        prediction = predictor.predict(pc)
+        if prediction.confident and prediction.value == value:
+            used += 1
+        predictor.train(pc, value, prediction.info)
+    return used
+
+
+# -- LVP ------------------------------------------------------------------------
+def test_lvp_learns_constants():
+    lvp = LastValuePredictor()
+    assert drive_constant(lvp, 0x4000, 42) > 200
+
+
+def test_lvp_cannot_learn_strides():
+    lvp = LastValuePredictor()
+    confident = 0
+    for i in range(400):
+        prediction = lvp.predict(0x4000)
+        if prediction.confident and prediction.value == i * 8:
+            confident += 1
+        lvp.train(0x4000, i * 8, prediction.info)
+    assert confident == 0
+
+
+def test_lvp_tag_conflict_reallocates():
+    lvp = LastValuePredictor(LvpConfig(log2_entries=4, tag_bits=8))
+    drive_constant(lvp, 0x4000, 7, rounds=50)
+    # A pc aliasing the same index with a different tag steals the entry.
+    alias = 0x4000 + (1 << (2 + 4)) * 3
+    lvp.train(alias, 9, lvp.predict(alias).info)
+    prediction = lvp.predict(0x4000)
+    assert not (prediction.confident and prediction.value == 7)
+
+
+def test_lvp_storage_model():
+    config = LvpConfig(value_bits=9)
+    assert config.storage_bits == (1 << 13) * (10 + 9 + 3)
+
+
+# -- stride ----------------------------------------------------------------------
+def test_stride_learns_arithmetic_sequences():
+    predictor = StrideValuePredictor()
+    correct = 0
+    value = 0
+    for i in range(600):
+        prediction = predictor.predict(0x4000)
+        if prediction.confident and prediction.value == value:
+            correct += 1
+        predictor.train(0x4000, value, prediction.info)
+        value += 8
+    assert correct > 300
+
+
+def test_stride_learns_constants_too():
+    predictor = StrideValuePredictor()
+    assert drive_constant(predictor, 0x4000, 5) > 200
+
+
+def test_stride_inflight_scaling():
+    """Two in-flight instances: the second prediction is last + 2*stride."""
+    predictor = StrideValuePredictor()
+    value = 0
+    for _ in range(600):
+        prediction = predictor.predict(0x4000)
+        predictor.train(0x4000, value, prediction.info)
+        value += 8
+    first = predictor.predict(0x4000)     # in-flight becomes 1
+    second = predictor.predict(0x4000)    # in-flight becomes 2
+    assert first.value == value
+    assert second.value == value + 8
+    predictor.abandon(0x4000, second.info)
+    predictor.train(0x4000, value, first.info)
+
+
+def test_stride_abandon_repairs_inflight():
+    predictor = StrideValuePredictor()
+    for _ in range(10):
+        prediction = predictor.predict(0x4000)
+        predictor.abandon(0x4000, prediction.info)
+    index, _ = predictor._index_tag(0x4000)
+    assert predictor._table[index].inflight == 0
+
+
+def test_stride_storage_model():
+    config = StrideVpConfig(value_bits=9)
+    assert config.storage_bits == (1 << 12) * (10 + 9 + 16 + 3 + 6)
+
+
+# -- perceptron --------------------------------------------------------------------
+def test_perceptron_learns_constant_zero():
+    history = GlobalHistory()
+    predictor = PerceptronValuePredictor(history=history)
+    used = 0
+    for i in range(600):
+        history.push(i % 2 == 0)
+        prediction = predictor.predict(0x4000)
+        if prediction.confident and prediction.value == 0:
+            used += 1
+        predictor.train(0x4000, 0, prediction.info)
+    assert used > 100
+
+
+def test_perceptron_history_correlated_value():
+    """Value follows the last branch direction: linearly separable."""
+    history = GlobalHistory()
+    predictor = PerceptronValuePredictor(history=history)
+    correct_late = 0
+    for i in range(2500):
+        taken = (i % 3 == 0)
+        history.push(taken)
+        value = 1 if taken else 0
+        prediction = predictor.predict(0x4000)
+        if i > 2000 and prediction.confident and prediction.value == value:
+            correct_late += 1
+        predictor.train(0x4000, value, prediction.info)
+    assert correct_late > 200
+
+
+def test_perceptron_rejects_wide_values():
+    history = GlobalHistory()
+    predictor = PerceptronValuePredictor(history=history)
+    confident = 0
+    for i in range(800):
+        history.push(bool(i & 1))
+        prediction = predictor.predict(0x4000)
+        if prediction.confident:
+            confident += 1
+        predictor.train(0x4000, 1000 + i, prediction.info)
+    assert confident < 10
+
+
+def test_perceptron_storage_model():
+    config = PerceptronVpConfig()
+    assert config.storage_bits == 2 * (1 << 9) * 33 * 8
+
+
+# -- pipeline integration -----------------------------------------------------------
+@pytest.mark.parametrize("algorithm", ["lvp", "stride", "perceptron"])
+def test_alternative_predictors_run_in_pipeline(algorithm):
+    from tests.helpers import run_pipeline
+    from repro.pipeline.config import MachineConfig
+
+    source = """
+        mov   x0, #0
+        mov   x1, #2000
+        adr   x2, slot
+    loop:
+        ldr   x3, [x2]
+        add   x0, x0, x3
+        subs  x1, x1, #1
+        b.ne  loop
+        hlt
+    .data
+    slot: .quad 0
+    """
+    config = MachineConfig.mvp(vp_algorithm=algorithm)
+    model, result = run_pipeline(source, config=config,
+                                 max_instructions=10_000)
+    assert result.stats.retired_uops == result.trace_uops
+    assert result.stats.vp_correct_used > 50
+    assert model.rat.check_consistent_with_committed()
+
+
+def test_perceptron_requires_mvp():
+    from repro.pipeline.config import MachineConfig
+    from repro.pipeline.core import CpuModel
+
+    with pytest.raises(ValueError):
+        CpuModel([], MachineConfig.tvp(vp_algorithm="perceptron"))
+
+
+def test_unknown_algorithm_rejected():
+    from repro.pipeline.config import MachineConfig
+    from repro.pipeline.core import CpuModel
+
+    with pytest.raises(ValueError):
+        CpuModel([], MachineConfig.mvp(vp_algorithm="nonsense"))

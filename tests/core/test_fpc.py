@@ -1,0 +1,55 @@
+"""Forward Probabilistic Counters."""
+
+from repro.core.fpc import ForwardProbabilisticCounter
+from repro.util.rng import XorShift64
+
+
+def test_first_increment_always_succeeds():
+    fpc = ForwardProbabilisticCounter(rng=XorShift64(1))
+    assert fpc.increment(0) == 1
+
+
+def test_saturation():
+    fpc = ForwardProbabilisticCounter(bits=3, one_in=1, rng=XorShift64(1))
+    value = 0
+    for _ in range(10):
+        value = fpc.increment(value)
+    assert value == 7
+    assert fpc.increment(7) == 7
+    assert fpc.is_confident(7)
+    assert not fpc.is_confident(6)
+
+
+def test_reset():
+    fpc = ForwardProbabilisticCounter(rng=XorShift64(1))
+    assert fpc.reset(7) == 0
+
+
+def test_probabilistic_step_rate():
+    fpc = ForwardProbabilisticCounter(bits=3, one_in=16, rng=XorShift64(99))
+    successes = sum(1 for _ in range(16_000) if fpc.increment(1) == 2)
+    # Expected ~1000 of 16000.
+    assert 700 < successes < 1300
+
+
+def test_expected_trainings_to_confidence():
+    """3-bit FPC at 1/16 needs on the order of 100 correct outcomes."""
+    counts = []
+    for seed in range(1, 30):
+        fpc = ForwardProbabilisticCounter(rng=XorShift64(seed))
+        value, steps = 0, 0
+        while not fpc.is_confident(value):
+            value = fpc.increment(value)
+            steps += 1
+        counts.append(steps)
+    average = sum(counts) / len(counts)
+    assert 40 < average < 250
+
+
+def test_deterministic_given_seed():
+    a = ForwardProbabilisticCounter(rng=XorShift64(5))
+    b = ForwardProbabilisticCounter(rng=XorShift64(5))
+    va = vb = 0
+    for _ in range(200):
+        va, vb = a.increment(va), b.increment(vb)
+    assert va == vb

@@ -1,0 +1,59 @@
+"""The VP-tracking FIFO and its silencing window."""
+
+from repro.core.inflight import VPQueue
+
+
+def test_push_validate_pop_lifecycle():
+    queue = VPQueue(capacity=4)
+    assert queue.push(seq=10, pc=0x4000, predicted=7, info=(0, 1), used=True)
+    entry = queue.validate(10, actual=7)
+    assert entry.correct is True
+    popped = queue.pop(10)
+    assert popped is entry
+    assert len(queue) == 0
+
+
+def test_validate_mismatch():
+    queue = VPQueue(capacity=4)
+    queue.push(1, 0x4000, 5, (), used=True)
+    assert queue.validate(1, actual=6).correct is False
+
+
+def test_capacity_rejection():
+    queue = VPQueue(capacity=2)
+    assert queue.push(1, 0, 0, (), used=False)
+    assert queue.push(2, 0, 0, (), used=False)
+    assert not queue.push(3, 0, 0, (), used=False)
+    assert queue.stat_full_rejections == 1
+
+
+def test_squash_younger_inclusive():
+    queue = VPQueue(capacity=8)
+    for seq in (1, 2, 3, 4):
+        queue.push(seq, 0, 0, (), used=False)
+    dropped = queue.squash_younger(3)
+    assert sorted(e.seq for e in dropped) == [3, 4]
+    assert queue.get(2) is not None
+    assert queue.get(3) is None and queue.get(4) is None
+
+
+def test_silencing_window():
+    queue = VPQueue(capacity=4, silence_cycles=100)
+    assert not queue.is_silenced(0)
+    queue.silence(50)
+    assert queue.is_silenced(51)
+    assert queue.is_silenced(149)
+    assert not queue.is_silenced(150)
+
+
+def test_silencing_extends_not_shrinks():
+    queue = VPQueue(capacity=4, silence_cycles=100)
+    queue.silence(100)   # until 200
+    queue.silence(50)    # until 150 — must not shrink
+    assert queue.is_silenced(199)
+
+
+def test_pop_missing_returns_none():
+    queue = VPQueue(capacity=4)
+    assert queue.pop(99) is None
+    assert queue.validate(99, 0) is None

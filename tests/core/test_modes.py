@@ -1,0 +1,87 @@
+"""VP flavor semantics and value-field encode/decode."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.modes import (
+    VPFlavor,
+    decode_value_field,
+    encode_value_field,
+    value_roundtrips,
+)
+from repro.isa.bits import to_unsigned
+
+u64 = st.integers(0, 2**64 - 1)
+
+
+def test_value_bits_per_flavor():
+    assert VPFlavor.MVP.value_bits == 1
+    assert VPFlavor.TVP.value_bits == 9
+    assert VPFlavor.GVP.value_bits == 64
+    assert VPFlavor.NONE.value_bits == 0
+
+
+def test_inlining_capability():
+    assert not VPFlavor.MVP.enables_inlining
+    assert VPFlavor.TVP.enables_inlining
+    assert VPFlavor.GVP.enables_inlining
+    assert VPFlavor.TVP.enables_nine_bit_idiom
+
+
+def test_mvp_representable_exactly_zero_one():
+    assert VPFlavor.MVP.representable(0)
+    assert VPFlavor.MVP.representable(1)
+    assert not VPFlavor.MVP.representable(2)
+    assert not VPFlavor.MVP.representable(to_unsigned(-1, 64))
+
+
+def test_tvp_representable_int9():
+    assert VPFlavor.TVP.representable(255)
+    assert VPFlavor.TVP.representable(to_unsigned(-256, 64))
+    assert not VPFlavor.TVP.representable(256)
+    assert not VPFlavor.TVP.representable(0xDEADBEEF)
+
+
+@given(u64)
+def test_gvp_represents_everything(value):
+    assert VPFlavor.GVP.representable(value)
+
+
+def test_gvp_physical_register_rule():
+    assert not VPFlavor.GVP.needs_physical_register(1)
+    assert not VPFlavor.GVP.needs_physical_register(255)
+    assert VPFlavor.GVP.needs_physical_register(512)
+    assert VPFlavor.GVP.needs_physical_register(0xFFFF_0000)
+    assert not VPFlavor.MVP.needs_physical_register(0xFFFF_0000)
+
+
+def test_none_flavor_is_inert():
+    assert not VPFlavor.NONE.representable(0)
+    assert not VPFlavor.NONE.enables_inlining
+
+
+@given(st.integers(-256, 255))
+def test_nine_bit_roundtrip(value):
+    unsigned = to_unsigned(value, 64)
+    field = encode_value_field(unsigned, 9)
+    assert decode_value_field(field, 9) == unsigned
+    assert value_roundtrips(unsigned, 9)
+
+
+@given(u64)
+def test_sixty_four_bit_roundtrip(value):
+    assert decode_value_field(encode_value_field(value, 64), 64) == value
+    assert value_roundtrips(value, 64)
+
+
+def test_one_bit_field():
+    assert decode_value_field(encode_value_field(0, 1), 1) == 0
+    assert decode_value_field(encode_value_field(1, 1), 1) == 1
+    assert not value_roundtrips(2, 1)
+    # Truncation aliasing: 3 stores field 1 and decodes to 1 (a mismatch
+    # that training will see — the mechanism that keeps MVP honest).
+    assert decode_value_field(encode_value_field(3, 1), 1) == 1
+
+
+@given(st.integers(256, 2**63))
+def test_wide_values_do_not_roundtrip_in_9_bits(value):
+    assert not value_roundtrips(value, 9)

@@ -1,0 +1,264 @@
+"""The full Table 1 idiom matrix for Speculative Strength Reduction."""
+
+import pytest
+
+from tests.helpers import emulate
+
+from repro.core.spsr import ReductionKind, SpSREngine, SpSRResult
+from repro.isa.bits import nzcv, to_unsigned
+
+
+def uop(line):
+    """The first µop of a one-line program (with a `next` label)."""
+    trace, _ = emulate(f"{line}\nnext: hlt", max_instructions=1)
+    return trace[0]
+
+
+@pytest.fixture
+def engine():
+    return SpSREngine()
+
+
+def assert_value(result, value, flags=None):
+    assert result is not None and result.kind is ReductionKind.VALUE
+    assert result.value == value
+    if flags is not None:
+        assert result.flags == flags
+
+
+def assert_move(result, src_index):
+    assert result is not None and result.kind is ReductionKind.MOVE
+    assert result.move_src == src_index
+
+
+# -- sub rows ---------------------------------------------------------------------
+def test_sub_imm1_with_src_one_is_zero_idiom(engine):
+    assert_value(engine.reduce(uop("sub x0, x1, #1"), (1,), None), 0)
+
+
+def test_sub_imm1_with_src_zero_not_reduced(engine):
+    assert engine.reduce(uop("sub x0, x1, #1"), (0,), None) is None
+
+
+def test_sub_reg_src1_zero_is_move(engine):
+    assert_move(engine.reduce(uop("sub x0, x1, x2"), (None, 0), None), 0)
+
+
+def test_sub_reg_both_one_is_zero_idiom(engine):
+    assert_value(engine.reduce(uop("sub x0, x1, x2"), (1, 1), None), 0)
+
+
+# -- add/orr/eor rows ------------------------------------------------------------------
+@pytest.mark.parametrize("mnemonic", ["add", "orr", "eor"])
+def test_addlike_imm1_with_zero_src_is_one_idiom(engine, mnemonic):
+    assert_value(engine.reduce(uop(f"{mnemonic} x0, x1, #1"), (0,), None), 1)
+
+
+@pytest.mark.parametrize("mnemonic", ["add", "orr", "eor"])
+def test_addlike_src0_zero_is_move_of_src1(engine, mnemonic):
+    assert_move(engine.reduce(uop(f"{mnemonic} x0, x1, x2"), (0, None), None), 1)
+
+
+@pytest.mark.parametrize("mnemonic", ["add", "orr", "eor"])
+def test_addlike_src1_zero_is_move_of_src0(engine, mnemonic):
+    assert_move(engine.reduce(uop(f"{mnemonic} x0, x1, x2"), (None, 0), None), 0)
+
+
+def test_add_shifted_source_blocks_plain_move(engine):
+    # add x0, x1, x2, lsl #3 with x1 == 0: dst = x2 << 3, not a plain move.
+    result = engine.reduce(uop("add x0, x1, x2, lsl #3"), (0, None), None)
+    assert result is None or result.kind is not ReductionKind.MOVE
+
+
+def test_add_shifted_known_source_folds_to_value(engine):
+    result = engine.reduce(uop("add x0, x1, x2, lsl #3"), (0, 2), None)
+    assert_value(result, 16)
+
+
+# -- and rows -----------------------------------------------------------------------
+def test_and_imm1_src_zero(engine):
+    assert_value(engine.reduce(uop("and x0, x1, #1"), (0,), None), 0)
+
+
+def test_and_imm1_src_one(engine):
+    assert_value(engine.reduce(uop("and x0, x1, #1"), (1,), None), 1)
+
+
+def test_and_reg_either_zero(engine):
+    assert_value(engine.reduce(uop("and x0, x1, x2"), (0, None), None), 0)
+    assert_value(engine.reduce(uop("and x0, x1, x2"), (None, 0), None), 0)
+
+
+def test_and_imm_zero(engine):
+    assert_value(engine.reduce(uop("and x0, x1, #0"), (None,), None), 0)
+
+
+# -- shift rows ------------------------------------------------------------------------
+@pytest.mark.parametrize("mnemonic", ["lsl", "lsr", "asr"])
+def test_shift_of_zero_is_zero_idiom(engine, mnemonic):
+    assert_value(engine.reduce(uop(f"{mnemonic} x0, x1, #5"), (0,), None), 0)
+    assert_value(engine.reduce(uop(f"{mnemonic} x0, x1, x2"), (0, None), None), 0)
+
+
+@pytest.mark.parametrize("mnemonic", ["lsl", "lsr"])
+def test_shift_by_zero_reg_is_move(engine, mnemonic):
+    assert_move(engine.reduce(uop(f"{mnemonic} x0, x1, x2"), (None, 0), None), 0)
+
+
+# -- ubfm / bic / rbit rows ----------------------------------------------------------------
+def test_ubfm_of_zero(engine):
+    assert_value(engine.reduce(uop("ubfx x0, x1, #4, #8"), (0,), None), 0)
+
+
+def test_rbit_of_zero(engine):
+    assert_value(engine.reduce(uop("rbit x0, x1"), (0,), None), 0)
+
+
+def test_bic_src0_zero(engine):
+    assert_value(engine.reduce(uop("bic x0, x1, x2"), (0, None), None), 0)
+
+
+def test_bic_src1_zero_is_move(engine):
+    assert_move(engine.reduce(uop("bic x0, x1, x2"), (None, 0), None), 0)
+
+
+# -- flag setters (nop + NZCV rows) -----------------------------------------------------------
+def test_ands_either_source_zero_gives_known_flags(engine):
+    expected_flags = nzcv(False, True, False, False)
+    result = engine.reduce(uop("ands x0, x1, x2"), (0, None), None)
+    assert_value(result, 0, expected_flags)
+    result = engine.reduce(uop("ands x0, x1, x2"), (None, 0), None)
+    assert_value(result, 0, expected_flags)
+
+
+def test_ands_both_one(engine):
+    result = engine.reduce(uop("ands x0, x1, x2"), (1, 1), None)
+    assert_value(result, 1, nzcv(False, False, False, False))
+
+
+def test_ands_imm_with_zero_source(engine):
+    result = engine.reduce(uop("ands x0, x1, #12"), (0,), None)
+    assert_value(result, 0)
+
+
+def test_subs_both_known(engine):
+    # 0 - 1 = -1 with N set, no carry (borrow).
+    result = engine.reduce(uop("subs x0, x1, x2"), (0, 1), None)
+    assert_value(result, to_unsigned(-1, 64), nzcv(True, False, False, False))
+
+
+def test_subs_unknown_operand_not_reduced(engine):
+    assert engine.reduce(uop("subs x0, x1, x2"), (0, None), None) is None
+
+
+def test_adds_both_known(engine):
+    result = engine.reduce(uop("adds x0, x1, x2"), (1, 1), None)
+    assert_value(result, 2, nzcv(False, False, False, False))
+
+
+def test_cmp_both_known_is_flags_only(engine):
+    result = engine.reduce(uop("cmp x1, #1"), (1,), None)
+    assert result.kind is ReductionKind.VALUE
+    assert result.value is None
+    assert result.flags == nzcv(False, True, True, False)  # equal: Z, C
+
+
+def test_tst_with_zero(engine):
+    result = engine.reduce(uop("tst x1, x2"), (0, None), None)
+    assert result.flags == nzcv(False, True, False, False)
+
+
+# -- branches ----------------------------------------------------------------------------------
+def test_cbz_known_zero_resolves_taken(engine):
+    result = engine.reduce(uop("cbz x1, next"), (0,), None)
+    assert result.kind is ReductionKind.BRANCH and result.taken is True
+
+
+def test_cbnz_known_zero_resolves_not_taken(engine):
+    result = engine.reduce(uop("cbnz x1, next"), (0,), None)
+    assert result.taken is False
+
+
+def test_tbz_known_value(engine):
+    result = engine.reduce(uop("tbz x1, #1, next"), (2,), None)
+    assert result.taken is False   # bit 1 of 2 is set
+    result = engine.reduce(uop("tbz x1, #1, next"), (1,), None)
+    assert result.taken is True
+
+
+def test_cbz_unknown_not_resolved(engine):
+    assert engine.reduce(uop("cbz x1, next"), (None,), None) is None
+
+
+def test_bcond_with_known_flags(engine):
+    flags = nzcv(False, True, False, False)   # Z
+    result = engine.reduce(uop("b.eq next"), (), flags)
+    assert result.taken is True
+    result = engine.reduce(uop("b.ne next"), (), flags)
+    assert result.taken is False
+
+
+def test_bcond_without_flags(engine):
+    assert engine.reduce(uop("b.eq next"), (), None) is None
+
+
+# -- conditional selects -----------------------------------------------------------------------
+def test_csel_with_known_flags(engine):
+    z_flags = nzcv(False, True, False, False)
+    result = engine.reduce(uop("csel x0, x1, x2, eq"), (None, None), z_flags)
+    assert_move(result, 0)
+    result = engine.reduce(uop("csel x0, x1, x2, ne"), (None, None), z_flags)
+    assert_move(result, 1)
+
+
+def test_csinc_only_when_condition_true(engine):
+    z_flags = nzcv(False, True, False, False)
+    assert_move(engine.reduce(uop("csinc x0, x1, x2, eq"),
+                              (None, None), z_flags), 0)
+    # Condition false: csinc computes x2+1 — not a move (paper's rule).
+    assert engine.reduce(uop("csinc x0, x1, x2, ne"),
+                         (None, None), z_flags) is None
+
+
+def test_cset_with_known_flags(engine):
+    z_flags = nzcv(False, True, False, False)
+    assert_value(engine.reduce(uop("cset x0, eq"), (0, 0), z_flags), 1)
+    assert_value(engine.reduce(uop("cset x0, ne"), (0, 0), z_flags), 0)
+
+
+def test_csel_without_flags(engine):
+    assert engine.reduce(uop("csel x0, x1, x2, eq"), (None, None), None) is None
+
+
+# -- non-candidates -------------------------------------------------------------------------------
+def test_loads_never_reduced(engine):
+    assert engine.reduce(uop("ldr x0, [x1]"), (), None) is None
+
+
+def test_mul_not_in_table1(engine):
+    assert engine.reduce(uop("mul x0, x1, x2"), (0, None), None) is None
+
+
+def test_unknown_operands_not_reduced(engine):
+    assert engine.reduce(uop("add x0, x1, x2"), (None, None), None) is None
+    assert engine.reduce(uop("and x0, x1, x2"), (5, None), None) is None
+
+
+# -- constant-folding extension ---------------------------------------------------------------------
+def test_folding_extension_computes_alu_results():
+    engine = SpSREngine(constant_folding=True)
+    assert_value(engine.reduce(uop("add x0, x1, x2"), (3, 4), None), 7)
+    assert_value(engine.reduce(uop("eor x0, x1, x2"), (5, 3), None), 6)
+    assert_value(engine.reduce(uop("mul x0, x1, x2"), (0, None), None), 0)
+    assert_move(engine.reduce(uop("mul x0, x1, x2"), (1, None), None), 1)
+
+
+def test_folding_extension_csinc_false_with_known_src():
+    engine = SpSREngine(constant_folding=True)
+    flags = nzcv(False, False, False, False)  # EQ false
+    result = engine.reduce(uop("csinc x0, x1, x2, eq"), (None, 9), flags)
+    assert_value(result, 10)
+
+
+def test_folding_off_by_default(engine):
+    assert engine.reduce(uop("add x0, x1, x2"), (3, 4), None) is None

@@ -1,0 +1,68 @@
+"""Bit-exact Table 2 storage reproduction — the model's calibration check."""
+
+from repro.core.modes import VPFlavor
+from repro.core.storage import flavor_config, vtage_storage_bits, vtage_storage_kb
+from repro.core.vtage import VtageConfig
+
+
+def truncate1(value):
+    """The paper truncates to one decimal."""
+    return int(value * 10) / 10
+
+
+def test_gvp_is_55_2_kb():
+    assert truncate1(vtage_storage_kb(VtageConfig(value_bits=64))) == 55.2
+
+
+def test_tvp_is_13_9_kb():
+    assert truncate1(vtage_storage_kb(VtageConfig(value_bits=9))) == 13.9
+
+
+def test_mvp_is_7_9_kb():
+    assert truncate1(vtage_storage_kb(VtageConfig(value_bits=1))) == 7.9
+
+
+def test_exact_bit_counts():
+    # Derived by hand from Table 2's geometry (see storage.py docstring).
+    assert vtage_storage_bits(VtageConfig(value_bits=64)) == 452224
+    assert vtage_storage_bits(VtageConfig(value_bits=9)) == 114304
+    assert vtage_storage_bits(VtageConfig(value_bits=1)) == 65152
+
+
+def test_storage_monotonic_in_value_bits():
+    sizes = [vtage_storage_bits(VtageConfig(value_bits=w))
+             for w in (1, 9, 16, 32, 64)]
+    assert sizes == sorted(sizes)
+
+
+def test_paper_ratios():
+    """Paper: TVP uses 25.1% of GVP storage, MVP 14.4%."""
+    gvp = vtage_storage_kb(VtageConfig(value_bits=64))
+    tvp = vtage_storage_kb(VtageConfig(value_bits=9))
+    mvp = vtage_storage_kb(VtageConfig(value_bits=1))
+    assert abs(tvp / gvp - 0.251) < 0.005
+    assert abs(mvp / gvp - 0.144) < 0.005
+
+
+def test_scaled_config_halves_and_doubles():
+    base = VtageConfig(value_bits=9)
+    assert abs(vtage_storage_bits(base.scaled(-1)) / vtage_storage_bits(base)
+               - 0.5) < 0.01
+    assert abs(vtage_storage_bits(base.scaled(1)) / vtage_storage_bits(base)
+               - 2.0) < 0.01
+
+
+def test_scaled_preserves_histories_and_tags():
+    base = VtageConfig(value_bits=9)
+    scaled = base.scaled(2)
+    assert scaled.history_lengths == base.history_lengths
+    assert scaled.tag_bits == base.tag_bits
+    assert scaled.value_bits == base.value_bits
+
+
+def test_flavor_config_budget_points():
+    """Table 3's four budgets, per flavor."""
+    mvp_half = vtage_storage_kb(flavor_config(VPFlavor.MVP, log2_delta=-1))
+    assert 3.5 < mvp_half < 4.5      # "~4KB"
+    gvp_big = vtage_storage_kb(flavor_config(VPFlavor.GVP))
+    assert 54 < gvp_big < 56         # "~55KB"

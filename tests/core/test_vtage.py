@@ -1,0 +1,116 @@
+"""VTAGE predictor behaviour."""
+
+from repro.core.vtage import Vtage, VtageConfig
+from repro.frontend.history import GlobalHistory
+
+
+def make(value_bits=9, seed=7):
+    history = GlobalHistory()
+    return Vtage(VtageConfig(value_bits=value_bits), history=history,
+                 seed=seed), history
+
+
+def drive_constant(vtage, pc, value, rounds):
+    used_correct = 0
+    for _ in range(rounds):
+        prediction = vtage.predict(pc)
+        if prediction.confident and prediction.value == value:
+            used_correct += 1
+        vtage.train(pc, value, prediction.info)
+    return used_correct
+
+
+def test_constant_value_becomes_confident():
+    vtage, _ = make()
+    assert drive_constant(vtage, 0x4000, 42, 500) > 200
+
+
+def test_unpredictable_value_never_confident():
+    vtage, _ = make()
+    confident = 0
+    for i in range(500):
+        prediction = vtage.predict(0x4000)
+        if prediction.confident:
+            confident += 1
+        vtage.train(0x4000, (i * 2654435761) & 0x1FF, prediction.info)
+    assert confident < 5
+
+
+def test_value_change_drops_confidence():
+    vtage, _ = make()
+    drive_constant(vtage, 0x4000, 7, 400)
+    prediction = vtage.predict(0x4000)
+    assert prediction.confident
+    vtage.train(0x4000, 9, prediction.info)   # one wrong outcome
+    after = vtage.predict(0x4000)
+    assert not after.confident
+
+
+def test_distinct_pcs_do_not_interfere():
+    vtage, _ = make()
+    a = drive_constant(vtage, 0x4000, 1, 400)
+    b = drive_constant(vtage, 0x8000, 2, 400)
+    assert a > 100 and b > 100
+
+
+def test_narrow_field_cannot_learn_wide_values():
+    """A 1-bit MVP entry trains wrong forever on the value 5."""
+    vtage, _ = make(value_bits=1)
+    assert drive_constant(vtage, 0x4000, 5, 500) == 0
+
+
+def test_wide_field_learns_pointers():
+    vtage, _ = make(value_bits=64)
+    assert drive_constant(vtage, 0x4000, 0x7FFF_8000_1234, 500) > 200
+
+
+def test_history_correlated_values():
+    """Value alternates with a branch outcome: tagged tables catch it."""
+    vtage, history = make(value_bits=9)
+    correct_late = 0
+    for i in range(2000):
+        taken = i % 2 == 0
+        history.push(taken)
+        value = 11 if taken else 22
+        prediction = vtage.predict(0x4000)
+        if i > 1500 and prediction.confident and prediction.value == value:
+            correct_late += 1
+        vtage.train(0x4000, value, prediction.info)
+    assert correct_late > 100
+
+
+def test_info_is_self_contained_across_other_trainings():
+    """Training uses FIFO-carried indices, not a re-hash."""
+    vtage, history = make()
+    prediction = vtage.predict(0x4000)
+    # History shifts between predict and train (as in a real pipeline).
+    for _ in range(50):
+        history.push(True)
+        other = vtage.predict(0x9000)
+        vtage.train(0x9000, 3, other.info)
+    vtage.train(0x4000, 5, prediction.info)   # must not raise / corrupt
+    assert vtage.stat_lookups > 0
+
+
+def test_statistics_counters():
+    vtage, _ = make()
+    drive_constant(vtage, 0x4000, 9, 100)
+    assert vtage.stat_lookups == 100
+    assert vtage.stat_correct_trained > 0
+
+
+def test_train_returns_confident_mispredict_flag():
+    vtage, _ = make()
+    drive_constant(vtage, 0x4000, 7, 400)
+    prediction = vtage.predict(0x4000)
+    assert prediction.confident
+    assert vtage.train(0x4000, 8, prediction.info) is True
+    prediction = vtage.predict(0x4000)
+    assert vtage.train(0x4000, 7, prediction.info) is False
+
+
+def test_config_mismatch_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        VtageConfig(tagged_log2=(9, 9), tag_bits=(9,))

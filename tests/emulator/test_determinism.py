@@ -1,0 +1,63 @@
+"""Golden determinism: traces are bit-identical across runs.
+
+The whole experiment methodology (trace caching, resumable sweeps,
+recorded EXPERIMENTS.md numbers) rests on the emulator being a pure
+function of (program, budget) and the simulator a pure function of
+(trace, config).
+"""
+
+import hashlib
+
+from repro.emulator.trace import trace_program
+from repro.workloads import get_workload
+
+
+def _digest(trace):
+    hasher = hashlib.sha256()
+    for uop in trace:
+        hasher.update(
+            f"{uop.seq},{uop.pc},{uop.op.value},{uop.result},"
+            f"{uop.addr},{uop.taken},{uop.next_pc};".encode())
+    return hasher.hexdigest()
+
+
+def test_trace_is_deterministic():
+    workload = get_workload("event_queue")
+    first, _ = trace_program(workload.program, max_instructions=3000)
+    second, _ = trace_program(workload.program, max_instructions=3000)
+    assert _digest(first) == _digest(second)
+
+
+def test_trace_prefix_property():
+    """A shorter budget yields an exact prefix of a longer run."""
+    workload = get_workload("hash_loop")
+    short, _ = trace_program(workload.program, max_instructions=1000)
+    long, _ = trace_program(workload.program, max_instructions=2000)
+    assert _digest(short) == _digest(long[:len(short)])
+
+
+def test_simulation_is_pure_function_of_trace_and_config():
+    from repro.pipeline.config import MachineConfig
+    from repro.pipeline.core import CpuModel
+
+    workload = get_workload("match_count")
+    trace, _ = trace_program(workload.program, max_instructions=2500)
+    runs = [CpuModel(trace, MachineConfig.tvp(spsr=True)).run().stats
+            for _ in range(2)]
+    for attribute in ("cycles", "vp_flushes", "int_prf_reads",
+                      "iq_issued", "elim_spsr", "branch_mispredicts"):
+        assert getattr(runs[0], attribute) == getattr(runs[1], attribute)
+
+
+def test_seed_changes_fpc_randomness_only_slightly():
+    """Different seeds may shift FPC acceptances but not correctness."""
+    from repro.pipeline.config import MachineConfig
+    from repro.pipeline.core import CpuModel
+
+    workload = get_workload("match_count")
+    trace, _ = trace_program(workload.program, max_instructions=2500)
+    a = CpuModel(trace, MachineConfig.mvp(seed=111)).run().stats
+    b = CpuModel(trace, MachineConfig.mvp(seed=222)).run().stats
+    assert a.retired_uops == b.retired_uops == len(trace)
+    assert a.vp_accuracy >= 0.999 or a.vp_correct_used == 0
+    assert b.vp_accuracy >= 0.999 or b.vp_correct_used == 0

@@ -1,0 +1,262 @@
+"""The functional emulator as a reference interpreter."""
+
+import pytest
+
+from tests.helpers import emulate, final_value
+
+from repro.emulator.machine import EmulationError, Machine, STACK_BASE
+from repro.isa.assembler import assemble
+from repro.isa.registers import Operand
+
+
+def run_machine(source, max_instructions=10_000):
+    machine = Machine(assemble(source))
+    for _ in machine.run(max_instructions=max_instructions):
+        pass
+    return machine
+
+
+# -- memory ---------------------------------------------------------------------
+def test_memory_rw_roundtrip():
+    machine = Machine(assemble("nop"))
+    machine.write_mem(0x2000, 0x1122334455667788, 8)
+    assert machine.read_mem(0x2000, 8) == 0x1122334455667788
+    assert machine.read_mem(0x2000, 4) == 0x55667788
+    assert machine.read_mem(0x2004, 4) == 0x11223344
+
+
+def test_memory_crosses_page_boundary():
+    machine = Machine(assemble("nop"))
+    machine.write_mem(0x2FFE, 0xAABBCCDD, 4)
+    assert machine.read_mem(0x2FFE, 4) == 0xAABBCCDD
+
+
+def test_data_image_loaded():
+    machine = run_machine("""
+        adr x0, v
+        ldr x1, [x0]
+        hlt
+    .data
+    v: .quad 0xDEAD
+    """)
+    assert machine.regs[1] == 0xDEAD
+
+
+def test_sp_initialized():
+    machine = Machine(assemble("nop"))
+    assert machine.read_reg(Operand(32, 64)) == STACK_BASE
+
+
+# -- register semantics ------------------------------------------------------------
+def test_w_write_zero_extends():
+    machine = run_machine("""
+        mov  x0, #-1
+        add  w0, w0, #1
+        hlt
+    """)
+    assert machine.regs[0] == 0  # 0xFFFFFFFF + 1 truncates, upper cleared
+
+
+def test_xzr_reads_zero_and_discards_writes():
+    machine = run_machine("""
+        add xzr, xzr, #5
+        add x0, xzr, #7
+        hlt
+    """)
+    assert machine.regs[0] == 7
+
+
+# -- programs ------------------------------------------------------------------------
+def test_sum_loop():
+    machine = run_machine("""
+        mov x0, #0
+        mov x1, #100
+    loop:
+        add x0, x0, x1
+        subs x1, x1, #1
+        b.ne loop
+        hlt
+    """)
+    assert machine.regs[0] == 5050
+
+
+def test_fibonacci():
+    machine = run_machine("""
+        mov x0, #0
+        mov x1, #1
+        mov x2, #20
+    step:
+        add x3, x0, x1
+        mov x0, x1
+        mov x1, x3
+        subs x2, x2, #1
+        b.ne step
+        hlt
+    """)
+    assert machine.regs[0] == 6765  # fib(20)
+
+
+def test_call_and_return():
+    machine = run_machine("""
+        mov  x0, #5
+        bl   double
+        bl   double
+        hlt
+    double:
+        add  x0, x0, x0
+        ret
+    """)
+    assert machine.regs[0] == 20
+
+
+def test_indirect_branch_via_table():
+    machine = run_machine("""
+        adr x1, table
+        ldr x2, [x1]
+        br  x2
+        hlt
+    target:
+        mov x0, #99
+        hlt
+    .data
+    table: .quad target
+    """)
+    assert machine.regs[0] == 99
+
+
+def test_pre_post_index_semantics():
+    machine = run_machine("""
+        adr  x1, buf
+        mov  x2, #7
+        str  x2, [x1], #8      // post: store at buf, x1 += 8
+        mov  x3, #9
+        str  x3, [x1, #8]!     // pre: x1 += 8 then store at buf+16
+        adr  x4, buf
+        ldr  x5, [x4]
+        ldr  x6, [x4, #16]
+        hlt
+    .data
+    buf: .zero 64
+    """)
+    assert machine.regs[5] == 7
+    assert machine.regs[6] == 9
+
+
+def test_ldp_stp_roundtrip():
+    machine = run_machine("""
+        adr  x1, buf
+        mov  x2, #11
+        mov  x3, #22
+        stp  x2, x3, [x1]
+        ldp  x4, x5, [x1]
+        hlt
+    .data
+    buf: .zero 16
+    """)
+    assert (machine.regs[4], machine.regs[5]) == (11, 22)
+
+
+def test_byte_and_half_access():
+    machine = run_machine("""
+        adr  x1, buf
+        mov  x2, #0x1FF
+        strb w2, [x1]
+        strh w2, [x1, #8]
+        ldrb w3, [x1]
+        ldrh w4, [x1, #8]
+        hlt
+    .data
+    buf: .zero 16
+    """)
+    assert machine.regs[3] == 0xFF
+    assert machine.regs[4] == 0x1FF
+
+
+def test_ldrsw_sign_extends():
+    machine = run_machine("""
+        adr  x1, buf
+        ldrsw x2, [x1]
+        hlt
+    .data
+    buf: .word 0x80000000
+    """)
+    assert machine.regs[2] == 0xFFFF_FFFF_8000_0000
+
+
+def test_flags_across_instructions():
+    machine = run_machine("""
+        mov  x0, #3
+        cmp  x0, #3
+        cset x1, eq
+        cmp  x0, #4
+        cset x2, lt
+        cset x3, ge
+        hlt
+    """)
+    assert machine.regs[1] == 1
+    assert machine.regs[2] == 1
+    assert machine.regs[3] == 0
+
+
+def test_csel_family_end_to_end():
+    machine = run_machine("""
+        mov   x1, #10
+        mov   x2, #20
+        cmp   x1, x2
+        csel  x3, x1, x2, lt
+        csinc x4, x1, x2, ge
+        csneg x5, x1, x2, ge
+        hlt
+    """)
+    assert machine.regs[3] == 10
+    assert machine.regs[4] == 21       # cond false -> x2 + 1
+    assert machine.regs[5] == 2**64 - 20  # cond false -> -x2
+
+
+def test_fp_pipeline_end_to_end():
+    machine = run_machine("""
+        fmov  d0, #2.0
+        fmov  d1, #3.0
+        fadd  d2, d0, d1
+        fmul  d3, d2, d0
+        fcvtzs x0, d3
+        scvtf d4, x0
+        fcmp  d4, d3
+        cset  x1, eq
+        hlt
+    """)
+    assert machine.regs[0] == 10
+    assert machine.regs[1] == 1
+
+
+def test_tbz_tbnz():
+    machine = run_machine("""
+        mov  x0, #4
+        tbz  x0, #2, skip1     // bit 2 is set -> not taken
+        mov  x1, #1
+    skip1:
+        tbnz x0, #0, skip2     // bit 0 is clear -> not taken
+        mov  x2, #1
+    skip2:
+        tbz  x0, #0, skip3     // bit 0 is clear -> taken
+        mov  x3, #1
+    skip3:
+        hlt
+    """)
+    assert machine.regs[1] == 1
+    assert machine.regs[2] == 1
+    assert machine.regs[3] == 0
+
+
+def test_bad_pc_raises():
+    machine = Machine(assemble("br x0"))  # x0 = 0 -> invalid code address
+    with pytest.raises(EmulationError):
+        for _ in machine.run():
+            pass
+
+
+def test_instruction_budget_stops():
+    program = assemble("loop: b loop")
+    machine = Machine(program)
+    count = sum(1 for _ in machine.run(max_instructions=500))
+    assert count == 500

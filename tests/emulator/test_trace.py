@@ -1,0 +1,144 @@
+"""DynUop trace records and aggregate trace statistics."""
+
+from tests.helpers import emulate, final_value
+
+from repro.isa.opcodes import ExecClass, Op
+from repro.isa.registers import FLAGS
+
+
+def test_seq_numbers_are_dense_and_match_index():
+    trace, _ = emulate("""
+        mov x0, #1
+        ldr x1, [x2], #8
+        hlt
+    """)
+    assert [u.seq for u in trace] == list(range(len(trace)))
+
+
+def test_uop_index_and_count():
+    trace, _ = emulate("""
+        ldr x1, [x2], #8
+        hlt
+    """)
+    load, add, hlt = trace
+    assert (load.uop_index, load.uop_count) == (0, 2)
+    assert (add.uop_index, add.uop_count) == (1, 2)
+    assert not load.is_last_uop and add.is_last_uop
+    assert hlt.is_last_uop
+
+
+def test_branch_records():
+    trace, stats = emulate("""
+        mov x0, #2
+    loop:
+        subs x0, x0, #1
+        b.ne loop
+        hlt
+    """)
+    branches = [u for u in trace if u.is_branch]
+    assert len(branches) == 2
+    assert branches[0].taken and not branches[1].taken
+    assert branches[0].target_pc == branches[0].pc - 4
+    assert stats.taken_branches == 1
+    assert stats.branches == 2
+
+
+def test_call_return_records():
+    trace, _ = emulate("""
+        bl f
+        hlt
+    f:
+        ret
+    """)
+    call = trace[0]
+    ret = trace[1]
+    assert call.is_call and call.dst == 30 and call.result == call.pc + 4
+    assert ret.is_return and ret.target_pc == call.pc + 4
+
+
+def test_memory_records():
+    trace, stats = emulate("""
+        adr x1, buf
+        mov x2, #5
+        str x2, [x1, #8]
+        ldr x3, [x1, #8]
+        hlt
+    .data
+    buf: .zero 16
+    """)
+    store = next(u for u in trace if u.is_store)
+    load = next(u for u in trace if u.is_load)
+    assert store.addr == load.addr
+    assert store.store_value == 5
+    assert load.result == 5
+    assert store.size == load.size == 8
+    assert stats.loads == 1 and stats.stores == 1
+
+
+def test_flags_deps_recorded():
+    trace, _ = emulate("""
+        cmp  x0, #0
+        cset x1, eq
+        hlt
+    """)
+    cmp, cset = trace[0], trace[1]
+    assert cmp.writes_flags and cmp.flags_out is not None
+    assert FLAGS in cset.deps
+
+
+def test_value_histogram_counts_gpr_writers_only():
+    _trace, stats = emulate("""
+        mov  x0, #7
+        fmov d0, #1.0
+        str  x0, [x1]
+        hlt
+    """, collect_value_histogram=True)
+    assert stats.value_histogram == {7: 1}
+    assert stats.gpr_writers == 1
+
+
+def test_expansion_ratio():
+    _trace, stats = emulate("""
+        ldr x0, [x1], #8
+        ldr x2, [x1], #8
+        nop
+        nop
+        hlt
+    """)
+    # 2 cracked loads (2 µops each) + 3 singles = 7 µops / 5 arch insts.
+    assert abs(stats.expansion_ratio - 7 / 5) < 1e-9
+
+
+def test_exec_classes():
+    trace, _ = emulate("""
+        mul  x0, x1, x2
+        udiv x3, x4, x5
+        fadd d0, d1, d2
+        fmul d3, d4, d5
+        fdiv d6, d7, d8
+        b    next
+    next:
+        hlt
+    """)
+    classes = [u.cls for u in trace]
+    assert classes[:6] == [ExecClass.INT_MUL, ExecClass.INT_DIV,
+                           ExecClass.FP_ALU, ExecClass.FP_MUL,
+                           ExecClass.FP_DIV, ExecClass.BRANCH]
+
+
+def test_src_regs_positional():
+    trace, _ = emulate("""
+        csel x0, x1, x2, eq
+        hlt
+    """)
+    assert trace[0].src_regs == (1, 2)
+    assert trace[0].cond is not None
+
+
+def test_final_value_helper():
+    trace, _ = emulate("""
+        mov x5, #1
+        mov x5, #2
+        hlt
+    """)
+    assert final_value(trace, 5) == 2

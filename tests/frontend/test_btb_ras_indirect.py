@@ -1,0 +1,116 @@
+"""BTB, return address stack, indirect target cache."""
+
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.indirect import IndirectTargetCache
+from repro.frontend.ras import ReturnAddressStack
+
+
+# -- BTB --------------------------------------------------------------------------
+def test_btb_miss_then_hit():
+    btb = BranchTargetBuffer(entries=64, ways=4)
+    assert btb.lookup(0x4000) is None
+    btb.install(0x4000, 0x5000)
+    assert btb.lookup(0x4000) == 0x5000
+
+
+def test_btb_update_existing():
+    btb = BranchTargetBuffer(entries=64, ways=4)
+    btb.install(0x4000, 0x5000)
+    btb.install(0x4000, 0x6000)
+    assert btb.lookup(0x4000) == 0x6000
+
+
+def test_btb_lru_eviction():
+    btb = BranchTargetBuffer(entries=8, ways=2)  # 4 sets
+    set_stride = 4 * 4  # pcs mapping to the same set differ by sets*4
+    pcs = [0x4000 + i * set_stride for i in range(3)]
+    btb.install(pcs[0], 1)
+    btb.install(pcs[1], 2)
+    btb.lookup(pcs[0])          # refresh pcs[0] to MRU
+    btb.install(pcs[2], 3)      # evicts pcs[1]
+    assert btb.lookup(pcs[0]) == 1
+    assert btb.lookup(pcs[1]) is None
+    assert btb.lookup(pcs[2]) == 3
+
+
+def test_btb_stats():
+    btb = BranchTargetBuffer(entries=64, ways=4)
+    btb.lookup(0x4000)
+    btb.install(0x4000, 1)
+    btb.lookup(0x4000)
+    assert btb.stat_misses == 1 and btb.stat_hits == 1
+
+
+def test_btb_rejects_bad_geometry():
+    import pytest
+
+    with pytest.raises(ValueError):
+        BranchTargetBuffer(entries=10, ways=4)
+
+
+# -- RAS --------------------------------------------------------------------------
+def test_ras_lifo():
+    ras = ReturnAddressStack(depth=8)
+    for pc in (1, 2, 3):
+        ras.push(pc)
+    assert [ras.pop(), ras.pop(), ras.pop()] == [3, 2, 1]
+
+
+def test_ras_underflow_returns_none():
+    ras = ReturnAddressStack(depth=4)
+    assert ras.pop() is None
+    assert ras.stat_underflows == 1
+
+
+def test_ras_overflow_wraps_losing_oldest():
+    ras = ReturnAddressStack(depth=2)
+    ras.push(1)
+    ras.push(2)
+    ras.push(3)   # overwrites 1
+    assert ras.pop() == 3
+    assert ras.pop() == 2
+    assert ras.pop() is None
+
+
+def test_ras_push_pop_interleave():
+    ras = ReturnAddressStack(depth=4)
+    ras.push(10)
+    assert ras.pop() == 10
+    ras.push(20)
+    ras.push(30)
+    assert ras.pop() == 30
+    assert ras.pop() == 20
+
+
+# -- indirect target cache -----------------------------------------------------------
+def test_indirect_learns_target():
+    cache = IndirectTargetCache(entries=64)
+    assert cache.lookup(0x4000) is None
+    cache.install(0x4000, 0x7000)
+    assert cache.lookup(0x4000) == 0x7000
+
+
+def test_indirect_path_history_discriminates():
+    cache = IndirectTargetCache(entries=256)
+    cache.install(0x4000, 0x7000)
+    cache.push_path(0x9000)   # different path -> different index/tag likely
+    after = cache.lookup(0x4000)
+    # With the path folded in, the old entry is usually not visible.
+    cache2 = IndirectTargetCache(entries=256)
+    cache2.install(0x4000, 0x7000)
+    assert cache2.lookup(0x4000) == 0x7000
+    assert after is None or after == 0x7000  # depends on hash; just no crash
+
+
+def test_indirect_per_path_targets():
+    """Same branch pc, two paths, two targets — both learnable."""
+    cache = IndirectTargetCache(entries=256)
+    outcomes = []
+    for trial in range(40):
+        path_target = 0x9000 if trial % 2 == 0 else 0xA000
+        cache.push_path(path_target)
+        predicted = cache.lookup(0x4000)
+        actual = 0x7000 if trial % 2 == 0 else 0x8000
+        outcomes.append(predicted == actual)
+        cache.install(0x4000, actual)
+    assert sum(outcomes[-20:]) >= 16  # learned both contexts

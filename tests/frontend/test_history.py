@@ -1,0 +1,75 @@
+"""Folded global history: the incremental CSRs must equal a naive fold."""
+
+from hypothesis import given, strategies as st
+
+from repro.frontend.history import FoldedHistory, GlobalHistory
+
+
+@given(st.lists(st.booleans(), max_size=300), st.integers(2, 20),
+       st.integers(4, 12))
+def test_folds_match_replay(outcomes, length, width):
+    history = GlobalHistory()
+    fold = history.fold(length, width)
+    replay = FoldedHistory(length, width)
+    window = []
+    for taken in outcomes:
+        old_bit = window[-length] if len(window) >= length else 0
+        replay.update(1 if taken else 0, old_bit)
+        history.push(taken)
+        window.append(1 if taken else 0)
+        assert fold.value == replay.value
+
+
+def test_fold_reuse_returns_same_object():
+    history = GlobalHistory()
+    a = history.fold(10, 8)
+    b = history.fold(10, 8)
+    c = history.fold(11, 8)
+    assert a is b and a is not c
+
+
+def test_fold_depends_on_last_n_bits_only():
+    """Two different prefixes followed by the same *length* suffix must
+    fold to the same value."""
+    length, width = 8, 5
+    suffix = [1, 0, 1, 1, 0, 0, 1, 0]
+
+    def run(prefix):
+        history = GlobalHistory()
+        fold = history.fold(length, width)
+        for bit in prefix + suffix:
+            history.push(bool(bit))
+        return fold.value
+
+    assert run([1, 1, 1, 0, 0, 1]) == run([0] * 20)
+
+
+def test_recent_bits():
+    history = GlobalHistory()
+    history.fold(4, 4)
+    for taken in (True, False, True, True):
+        history.push(taken)
+    # LSB = most recent: T,T,F,T -> 0b1011
+    assert history.recent_bits(4) == 0b1011
+
+
+def test_too_long_history_rejected():
+    import pytest
+
+    history = GlobalHistory()
+    with pytest.raises(ValueError):
+        history.fold(5000, 10)
+
+
+def test_distinct_histories_give_distinct_folds():
+    """A width-w fold of w fresh bits is injective on those bits."""
+    import itertools
+
+    values = set()
+    for pattern in itertools.product([0, 1], repeat=8):
+        h = GlobalHistory()
+        f = h.fold(8, 8)
+        for bit in pattern:
+            h.push(bool(bit))
+        values.add(f.value)
+    assert len(values) == 256

@@ -1,0 +1,91 @@
+"""TAGE learning behaviour on canonical branch patterns."""
+
+from repro.frontend.history import GlobalHistory
+from repro.frontend.tage import Tage, TageConfig
+
+
+def drive(tage, pc, outcomes):
+    """Predict+update a stream; returns mispredict count."""
+    mispredicts = 0
+    for taken in outcomes:
+        predicted, info = tage.predict(pc)
+        if predicted != taken:
+            mispredicts += 1
+        tage.update(pc, taken, info)
+    return mispredicts
+
+
+def small_tage():
+    config = TageConfig(n_tables=6, min_history=2, max_history=64,
+                        base_log2=9, tagged_log2=[7] * 6,
+                        tag_bits=[8, 9, 10, 11, 12, 13])
+    return Tage(config, history=GlobalHistory())
+
+
+def test_always_taken_learned_immediately():
+    tage = small_tage()
+    assert drive(tage, 0x4000, [True] * 200) < 5
+
+
+def test_always_not_taken():
+    tage = small_tage()
+    assert drive(tage, 0x4000, [False] * 200) < 5
+
+
+def test_alternating_pattern_learned():
+    tage = small_tage()
+    pattern = [True, False] * 300
+    late = drive(tage, 0x4000, pattern[:200])  # warmup
+    del late
+    assert drive(tage, 0x4000, pattern[200:]) < 40
+
+
+def test_loop_exit_pattern_learned():
+    """T T T T N repeating — needs ~4 bits of history."""
+    tage = small_tage()
+    pattern = ([True] * 4 + [False]) * 200
+    drive(tage, 0x4000, pattern[:500])
+    assert drive(tage, 0x4000, pattern[500:]) < 60
+
+
+def test_correlated_branches():
+    """Branch B follows branch A's direction: global history catches it."""
+    tage = small_tage()
+    import itertools
+
+    mispredicts_b = 0
+    directions = [bool(i % 3 == 0) for i in range(600)]
+    for index, direction in enumerate(directions):
+        for pc in (0x4000, 0x4100):
+            predicted, info = tage.predict(pc)
+            if pc == 0x4100 and index > 300 and predicted != direction:
+                mispredicts_b += 1
+            tage.update(pc, direction, info)
+    del itertools
+    assert mispredicts_b < 40
+
+
+def test_storage_accounting():
+    config = TageConfig()
+    bits = config.storage_bits
+    # Paper: ~32KB conditional predictor.
+    assert 28 * 1024 * 8 <= bits <= 36 * 1024 * 8
+
+
+def test_history_lengths_match_table2():
+    config = TageConfig()
+    lengths = config.history_lengths
+    assert lengths[0] == 5 and lengths[-1] == 640 and len(lengths) == 15
+
+
+def test_mispredict_rate_property():
+    tage = small_tage()
+    drive(tage, 0x4000, [True] * 100)
+    assert 0.0 <= tage.mispredict_rate <= 1.0
+
+
+def test_config_validation():
+    import pytest
+
+    with pytest.raises(ValueError):
+        TageConfig(n_tables=3, tagged_log2=[8, 8], tag_bits=[8, 8, 8])

@@ -1,0 +1,30 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["fig3"])
+    assert args.experiments == ["fig3"]
+    assert args.instructions is None
+    assert args.workloads is None
+
+
+def test_unknown_experiment_rejected(capsys):
+    assert main(["not_an_experiment"]) == 2
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_table2_runs(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "55.2" in out
+
+
+def test_workload_subset_and_budget(capsys):
+    code = main(["fig2", "--workloads", "hash_loop", "--instructions", "1200"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "hash_loop" in out

@@ -1,0 +1,29 @@
+"""CLI --save JSON output."""
+
+import json
+
+from repro.harness.cli import main
+
+
+def test_save_writes_json(tmp_path, capsys):
+    out = tmp_path / "results.json"
+    code = main(["table2", "--save", str(out)])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert "table2" in payload
+    assert payload["table2"]["headers"] == ["flavor", "measured", "paper",
+                                            "verdict"]
+    assert any("55.2" in " ".join(map(str, row))
+               for row in payload["table2"]["rows"])
+    capsys.readouterr()
+
+
+def test_save_handles_non_jsonable_raw(tmp_path, capsys):
+    # characterize's raw payload holds dataclasses: must stringify cleanly.
+    out = tmp_path / "char.json"
+    code = main(["characterize", "--workloads", "hash_loop",
+                 "--instructions", "1000", "--save", str(out)])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert "characterize" in payload
+    capsys.readouterr()

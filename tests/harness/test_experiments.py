@@ -1,0 +1,69 @@
+"""Experiment functions produce well-formed, shape-correct results."""
+
+import pytest
+
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_table2,
+)
+from repro.harness.runner import ExperimentRunner
+from repro.workloads import suite
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(
+        workloads=suite(["hash_loop", "xml_tree", "match_count"]),
+        instructions=2500)
+
+
+def test_experiment_registry_covers_all_figures():
+    assert set(EXPERIMENTS) >= {"fig1", "fig2", "fig3", "fig4", "fig5",
+                                "fig6", "table2", "table3", "silencing",
+                                "prefetcher"}
+
+
+def test_fig1_structure(runner):
+    result = run_fig1(runner)
+    assert result.experiment_id == "fig1"
+    assert result.headers == ["value", "share"]
+    assert result.rows
+    assert result.raw["series"][0][0] == 0
+
+
+def test_fig2_structure(runner):
+    result = run_fig2(runner)
+    names = [row[0] for row in result.rows]
+    assert "hash_loop" in names and "mean/hmean" in names
+    assert result.raw["expansion_mean"] >= 1.0
+
+
+def test_fig3_structure_and_outlier(runner):
+    result = run_fig3(runner)
+    assert [h for h in result.headers] == ["workload", "MVP", "TVP", "GVP"]
+    assert "geomeans" in result.raw
+    outlier = result.raw["per_workload"]["gvp"]["xml_tree"]
+    assert outlier > 2.0
+
+
+def test_table2_is_exact(runner):
+    result = run_table2(runner)
+    verdicts = [row[3] for row in result.rows]
+    assert verdicts == ["match", "match", "match"]
+
+
+def test_result_format_renders(runner):
+    text = run_table2(runner).format()
+    assert "55.2" in text and "=" in text
+
+
+def test_experiments_share_runner_cache(runner):
+    """fig3 after fig2 must reuse the baseline runs (same records)."""
+    run_fig2(runner)
+    cached = dict(runner._results)
+    run_fig3(runner)
+    for key, record in cached.items():
+        assert runner._results[key] is record

@@ -1,0 +1,56 @@
+"""Workload characterization."""
+
+import pytest
+
+from repro.harness.inspect import characterize, run_characterize
+from repro.harness.runner import ExperimentRunner
+from repro.workloads import get_workload, suite
+
+
+def test_characterize_basic_fields():
+    profile = characterize(get_workload("hash_loop"), instructions=2000)
+    assert profile.arch_instructions == 2000
+    assert profile.uops >= 2000
+    assert 1.0 <= profile.expansion <= 1.5
+    assert abs(sum(profile.mix.values()) - 100.0) < 0.5
+
+
+def test_characterize_fp_kernel():
+    profile = characterize(get_workload("stream_triad"), instructions=2000)
+    assert profile.fp_share > 10.0
+    assert profile.vp_eligible_share < 40.0
+
+
+def test_characterize_branchy_kernel():
+    profile = characterize(get_workload("match_count"), instructions=2000)
+    assert profile.branch_share > 15.0
+    assert 0.0 < profile.taken_share < 100.0
+
+
+def test_characterize_value_shares():
+    profile = characterize(get_workload("board_eval"), instructions=2000)
+    assert profile.zero_share + profile.one_share > 5.0
+    assert profile.narrow9_share >= profile.zero_share
+
+
+def test_characterize_static_pc_counts():
+    profile = characterize(get_workload("permute"), instructions=2000)
+    assert 0 < profile.static_eligible_pcs <= profile.static_pcs
+    assert profile.static_pcs <= len(get_workload("permute").program) + 8
+
+
+def test_run_characterize_experiment():
+    runner = ExperimentRunner(workloads=suite(["hash_loop", "stream_triad"]),
+                              instructions=1500)
+    result = run_characterize(runner)
+    assert result.experiment_id == "characterize"
+    assert len(result.rows) == 2
+    assert set(result.raw) == {"hash_loop", "stream_triad"}
+    text = result.format()
+    assert "hash_loop" in text
+
+
+def test_characterize_registered_in_cli():
+    from repro.harness.experiments import EXPERIMENTS
+
+    assert "characterize" in EXPERIMENTS

@@ -1,0 +1,60 @@
+"""Internal consistency of the transcribed paper numbers."""
+
+from repro.harness import paper_data
+
+
+def test_table3_budgets_match_deltas():
+    assert set(paper_data.TABLE3) == set(paper_data.TABLE3_LOG2_DELTAS)
+
+
+def test_table3_paper_shape():
+    """The published grid itself: GVP scales, MVP nearly flat."""
+    budgets = list(paper_data.TABLE3)
+    gvp = [paper_data.TABLE3[b]["gvp"] for b in budgets]
+    assert gvp == sorted(gvp)
+    mvp = [paper_data.TABLE3[b]["mvp"] for b in budgets]
+    assert max(mvp) - min(mvp) < 0.2
+
+
+def test_fig3_ordering():
+    data = paper_data.FIG3_GEOMEAN_SPEEDUP
+    assert data["gvp"] > data["tvp"] > data["mvp"] > 0
+
+
+def test_fig3_coverage_ordering():
+    cov = paper_data.FIG3_COVERAGE
+    assert cov["gvp"] > cov["tvp"] > cov["mvp"]
+
+
+def test_xalancbmk_outlier_is_gvp_only():
+    data = paper_data.FIG3_XALANCBMK
+    assert data["gvp"] > 50
+    assert data["mvp"] < 1 and data["tvp"] < 1
+
+
+def test_fig4_categories_complete():
+    assert set(paper_data.FIG4_MVP) == {"zero_idiom", "one_idiom", "move",
+                                        "spsr", "non_me_move"}
+    assert "nine_bit_idiom" in paper_data.FIG4_TVP
+
+
+def test_fig5_spsr_is_ipc_neutral():
+    data = paper_data.FIG5_GEOMEAN
+    assert abs(data["mvp+spsr"] - data["mvp"]) < 0.2
+    assert abs(data["tvp+spsr"] - data["tvp"]) < 0.2
+
+
+def test_fig6_signs():
+    assert paper_data.FIG6["mvp"]["int_prf_writes"] < 0
+    assert paper_data.FIG6["tvp"]["int_prf_writes"] < \
+        paper_data.FIG6["mvp"]["int_prf_writes"]
+    assert paper_data.FIG6_GVP_WRITES_INCREASE
+
+
+def test_storage_matches_model():
+    from repro.core.modes import VPFlavor
+    from repro.core.storage import flavor_config, vtage_storage_kb
+
+    for name, kb in paper_data.TABLE2_STORAGE_KB.items():
+        measured = vtage_storage_kb(flavor_config(VPFlavor[name.upper()]))
+        assert int(measured * 10) / 10 == kb

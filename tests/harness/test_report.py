@@ -1,0 +1,35 @@
+"""ASCII report formatting."""
+
+from repro.harness.report import ExperimentResult, format_table, pct
+
+
+def test_format_table_alignment():
+    text = format_table("Title", ["name", "value"],
+                        [["alpha", 1.5], ["beta", 22.25]],
+                        notes=["a note"])
+    lines = text.splitlines()
+    assert lines[0] == "Title"
+    assert lines[1] == "====="
+    assert "name" in lines[2] and "value" in lines[2]
+    assert "alpha" in lines[4]
+    assert lines[-1] == "  * a note"
+
+
+def test_numeric_cells_right_aligned():
+    text = format_table("T", ["a"], [["5.00"], ["123.00"]])
+    rows = text.splitlines()[4:6]
+    assert rows[0].endswith("5.00")
+    assert rows[1].endswith("123.00")
+
+
+def test_pct_formatting():
+    assert pct(1.234) == "+1.23%"
+    assert pct(-0.5) == "-0.50%"
+    assert pct(3.0, signed=False) == "3.00%"
+
+
+def test_experiment_result_roundtrip(capsys):
+    result = ExperimentResult("x", "A Title", ["h"], [["v"]], ["note"])
+    result.print()
+    out = capsys.readouterr().out
+    assert "A Title" in out and "note" in out

@@ -1,0 +1,56 @@
+"""Experiment runner: caching and config dispatch."""
+
+from repro.harness.runner import ExperimentRunner
+from repro.pipeline.config import MachineConfig
+from repro.workloads import suite
+
+
+def small_runner():
+    return ExperimentRunner(workloads=suite(["hash_loop", "permute"]),
+                            instructions=1500)
+
+
+def test_results_are_memoized():
+    runner = small_runner()
+    workload = runner.workloads[0]
+    first = runner.run(workload, "baseline")
+    second = runner.run(workload, "baseline")
+    assert first is second
+
+
+def test_traces_shared_across_configs():
+    runner = small_runner()
+    workload = runner.workloads[0]
+    trace = runner.trace_of(workload)
+    assert runner.trace_of(workload) is trace
+
+
+def test_config_names():
+    for name in ("baseline", "mvp", "tvp", "gvp", "mvp+spsr", "tvp+spsr",
+                 "gvp+spsr"):
+        config = ExperimentRunner.config(name)
+        assert isinstance(config, MachineConfig)
+    assert ExperimentRunner.config("tvp+spsr").enable_spsr
+
+
+def test_run_all_shape():
+    runner = small_runner()
+    results = runner.run_all(("baseline", "mvp"))
+    assert set(results) == {"baseline", "mvp"}
+    assert set(results["mvp"]) == {"hash_loop", "permute"}
+
+
+def test_speedup_over():
+    runner = small_runner()
+    workload = runner.workloads[0]
+    base = runner.run(workload, "baseline")
+    assert abs(base.speedup_over(base)) < 1e-12
+
+
+def test_budget_for_prefers_explicit():
+    runner = ExperimentRunner(workloads=suite(["hash_loop"]),
+                              instructions=777)
+    assert runner.budget_for(runner.workloads[0]) == 777
+    default_runner = ExperimentRunner(workloads=suite(["hash_loop"]))
+    assert default_runner.budget_for(default_runner.workloads[0]) == \
+        default_runner.workloads[0].default_instructions

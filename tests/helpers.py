@@ -1,0 +1,30 @@
+"""Shared test helpers (importable: from tests.helpers import ...)."""
+
+from repro.emulator.trace import trace_program
+from repro.isa.assembler import assemble
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.core import CpuModel
+
+
+def emulate(source, max_instructions=10_000, **trace_kwargs):
+    """Assemble + run the functional emulator; returns (trace, stats)."""
+    return trace_program(assemble(source),
+                         max_instructions=max_instructions, **trace_kwargs)
+
+
+def run_pipeline(source, config=None, max_instructions=5_000):
+    """Assemble, emulate and simulate; returns (model, result)."""
+    trace, _ = emulate(source, max_instructions)
+    model = CpuModel(trace, config or MachineConfig.baseline())
+    return model, model.run()
+
+
+def final_value(trace, reg):
+    """Last value written to architectural register *reg* in a trace."""
+    value = None
+    for uop in trace:
+        if uop.dst == reg:
+            value = uop.result
+    return value
+
+

@@ -1,0 +1,295 @@
+"""Assembler syntax coverage and error reporting."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.instructions import AddrMode
+from repro.isa.opcodes import Op
+from repro.isa.program import CODE_BASE, DATA_BASE
+from repro.isa.registers import FP_BASE, SP, XZR
+
+
+def one(source):
+    program = assemble(source)
+    assert len(program.instructions) == 1
+    return program.instructions[0]
+
+
+# -- data processing ----------------------------------------------------------
+def test_three_reg_add():
+    inst = one("add x0, x1, x2")
+    assert inst.op is Op.ADD
+    assert [o.reg for o in inst.dsts] == [0]
+    assert [o.reg for o in inst.srcs] == [1, 2]
+
+
+def test_add_immediate():
+    inst = one("add x0, x1, #42")
+    assert inst.imm == 42
+    assert len(inst.srcs) == 1
+
+
+def test_add_negative_hex_imm():
+    assert one("add x0, x1, #-1").imm == -1
+    assert one("add x0, x1, #0x1f").imm == 31
+
+
+def test_shifted_register_operand():
+    inst = one("add x0, x1, x2, lsl #3")
+    assert inst.imm2 == 3
+    assert len(inst.srcs) == 2
+
+
+def test_shifted_immediate():
+    assert one("add x0, x1, #2, lsl #12").imm == 2 << 12
+
+
+def test_w_width_ops():
+    inst = one("sub w3, w4, w5")
+    assert inst.width == 32
+
+
+def test_flag_setters():
+    assert one("adds x0, x1, x2").op is Op.ADDS
+    assert one("subs x0, x1, #1").op is Op.SUBS
+    assert one("ands x0, x1, x2").op is Op.ANDS
+
+
+def test_compare_forms():
+    cmp = one("cmp x0, #7")
+    assert cmp.op is Op.CMP and not cmp.dsts and cmp.imm == 7
+    tst = one("tst x1, x2")
+    assert tst.op is Op.TST and len(tst.srcs) == 2
+
+
+def test_mov_register_and_immediate():
+    assert one("mov x0, x1").op is Op.MOV
+    movz = one("mov x0, #5")
+    assert movz.op is Op.MOVZ and movz.imm == 5
+
+
+def test_mov_negative_immediate_masks_to_width():
+    assert one("mov x0, #-1").imm == 2**64 - 1
+    assert one("mov w0, #-1").imm == 2**32 - 1
+
+
+def test_movz_with_shift():
+    assert one("movz x0, #1, lsl #16").imm == 1 << 16
+
+
+def test_movn_inverts():
+    assert one("movn x0, #0").imm == 2**64 - 1
+
+
+def test_movk_keeps_dst_as_source():
+    inst = one("movk x0, #0xBEEF, lsl #16")
+    assert inst.op is Op.MOVK
+    assert inst.srcs[0].reg == 0
+    assert inst.imm == 0xBEEF and inst.imm2 == 16
+
+
+def test_bitfield_aliases():
+    ubfx = one("ubfx x0, x1, #8, #4")
+    assert ubfx.op is Op.UBFM and ubfx.imm == 8 and ubfx.imm2 == 11
+    uxtb = one("uxtb x0, x1")
+    assert uxtb.imm == 0 and uxtb.imm2 == 7
+    sxth = one("sxth x0, x1")
+    assert sxth.op is Op.SBFM and sxth.imm2 == 15
+
+
+def test_csel_family():
+    csel = one("csel x0, x1, x2, eq")
+    assert csel.op is Op.CSEL and csel.cond.value == "eq"
+    cset = one("cset x0, ne")
+    assert cset.op is Op.CSET
+    assert all(s.reg == XZR for s in cset.srcs)
+
+
+def test_madd():
+    inst = one("madd x0, x1, x2, x3")
+    assert [o.reg for o in inst.srcs] == [1, 2, 3]
+
+
+# -- branches -------------------------------------------------------------------
+def test_branch_forms():
+    program = assemble("""
+    top:
+        b.ne top
+        cbz x0, top
+        tbz x1, #5, top
+        b top
+        bl top
+        ret
+        br x9
+    """)
+    ops = [i.op for i in program.instructions]
+    assert ops == [Op.B_COND, Op.CBZ, Op.TBZ, Op.B, Op.BL, Op.RET, Op.BR]
+    assert program.instructions[2].imm2 == 5
+    assert program.instructions[5].srcs[0].reg == 30  # ret defaults to x30
+
+
+def test_branch_condition_aliases():
+    assert one("b.hs somewhere\nsomewhere:" if False else "b.hs t\nt:").cond.value == "cs"
+
+
+def test_undefined_branch_target_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("b nowhere")
+
+
+# -- memory ----------------------------------------------------------------------
+def test_load_offset_forms():
+    base = one("ldr x0, [x1]")
+    assert base.mem.mode is AddrMode.OFFSET and base.mem.offset_imm == 0
+    imm = one("ldr x0, [x1, #8]")
+    assert imm.mem.offset_imm == 8
+    neg = one("ldr x0, [x1, #-16]")
+    assert neg.mem.offset_imm == -16
+    reg = one("ldr x0, [x1, x2]")
+    assert reg.mem.offset_reg.reg == 2
+    shifted = one("ldr x0, [x1, x2, lsl #3]")
+    assert shifted.mem.offset_shift == 3
+
+
+def test_load_writeback_forms():
+    pre = one("ldr x0, [x1, #8]!")
+    assert pre.mem.mode is AddrMode.PRE_INDEX and pre.mem.offset_imm == 8
+    post = one("ldr x0, [x1], #8")
+    assert post.mem.mode is AddrMode.POST_INDEX and post.mem.offset_imm == 8
+
+
+def test_store_sizes():
+    assert one("strb w0, [x1]").op is Op.STRB
+    assert one("strh w0, [x1]").op is Op.STRH
+    assert one("str x0, [sp, #16]").mem.base.reg == SP
+
+
+def test_pair_forms():
+    ldp = one("ldp x0, x1, [x2, #16]")
+    assert ldp.op is Op.LDP and len(ldp.dsts) == 2
+    stp = one("stp x3, x4, [x5], #32")
+    assert stp.op is Op.STP and stp.mem.mode is AddrMode.POST_INDEX
+
+
+def test_fp_load():
+    inst = one("ldr d0, [x1]")
+    assert inst.dsts[0].reg == FP_BASE
+
+
+def test_bad_memory_operand():
+    with pytest.raises(AssemblyError):
+        assemble("ldr x0, (x1)")
+
+
+# -- FP --------------------------------------------------------------------------
+def test_fp_ops():
+    assert one("fadd d0, d1, d2").op is Op.FADD
+    assert one("fmadd d0, d1, d2, d3").op is Op.FMADD
+    assert one("scvtf d0, x1").op is Op.SCVTF
+    assert one("fcvtzs x0, d1").op is Op.FCVTZS
+
+
+def test_fmov_immediate_stores_ieee_bits():
+    import struct
+
+    inst = one("fmov d0, #1.5")
+    assert inst.imm == struct.unpack("<Q", struct.pack("<d", 1.5))[0]
+
+
+# -- labels / data ------------------------------------------------------------------
+def test_labels_and_adr():
+    program = assemble("""
+        adr x0, table
+        adr x1, loop
+    loop:
+        b loop
+    .data
+    table: .quad 1, 2, 3
+    """)
+    assert program.instructions[0].imm == DATA_BASE
+    assert program.instructions[1].imm == CODE_BASE + 2 * 4
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("a:\na:\n nop")
+
+
+def test_data_directives_layout():
+    program = assemble("""
+        nop
+    .data
+    a: .quad 0x1122334455667788
+    b: .word 0xAABBCCDD
+    c: .half 0x1234
+    d: .byte 7
+    e: .zero 16
+    f: .double 2.0
+    """)
+    addresses = program.data_labels
+    assert addresses["a"] == DATA_BASE
+    assert addresses["b"] == DATA_BASE + 8
+    assert addresses["c"] == DATA_BASE + 12
+    assert addresses["d"] == DATA_BASE + 14
+    assert addresses["e"] == DATA_BASE + 15
+    assert addresses["f"] == DATA_BASE + 31
+
+
+def test_align_directive():
+    program = assemble("""
+        nop
+    .data
+    a: .byte 1
+    .align 8
+    b: .quad 2
+    """)
+    assert program.data_labels["b"] % 8 == 0
+
+
+def test_data_label_references():
+    program = assemble("""
+        nop
+    .data
+    head: .quad next
+    next: .quad head
+    """)
+    image = dict(program.data_image)
+    head = program.data_labels["head"]
+    stored = int.from_bytes(image[head], "little")
+    assert stored == program.data_labels["next"]
+
+
+def test_quad_of_code_label():
+    program = assemble("""
+    entry:
+        nop
+    .data
+    table: .quad entry
+    """)
+    image = dict(program.data_image)
+    stored = int.from_bytes(image[program.data_labels["table"]], "little")
+    assert stored == CODE_BASE
+
+
+def test_comments_stripped():
+    program = assemble("""
+        nop        // a comment
+        nop        ; another
+    """)
+    assert len(program.instructions) == 2
+
+
+def test_unknown_mnemonic_reports_line():
+    with pytest.raises(AssemblyError) as excinfo:
+        assemble("nop\nfrobnicate x0")
+    assert "frobnicate" in str(excinfo.value)
+
+
+def test_unknown_directive_rejected():
+    with pytest.raises(AssemblyError):
+        assemble(".bogus 4")
+
+
+def test_instruction_in_data_section_rejected():
+    with pytest.raises(AssemblyError):
+        assemble(".data\nadd x0, x1, x2")

@@ -1,0 +1,186 @@
+"""Fixed-width arithmetic helpers — property-tested against Python ints."""
+
+from hypothesis import given, strategies as st
+
+from repro.isa.bits import (
+    FLAG_C,
+    FLAG_N,
+    FLAG_V,
+    FLAG_Z,
+    add_with_flags,
+    clz,
+    fits_signed,
+    logic_flags,
+    mask,
+    rbit,
+    sbfm,
+    sub_with_flags,
+    to_signed,
+    to_unsigned,
+    ubfm,
+)
+
+u64 = st.integers(0, 2**64 - 1)
+u32 = st.integers(0, 2**32 - 1)
+
+
+# -- masking / sign views -------------------------------------------------------
+@given(u64)
+def test_mask64_idempotent(value):
+    assert mask(mask(value, 64), 64) == mask(value, 64)
+
+
+@given(st.integers(-2**70, 2**70))
+def test_mask_is_mod_2n(value):
+    assert mask(value, 64) == value % 2**64
+    assert mask(value, 32) == value % 2**32
+
+
+@given(u64)
+def test_to_signed_roundtrip(value):
+    assert to_unsigned(to_signed(value, 64), 64) == value
+
+
+@given(u32)
+def test_to_signed_roundtrip_32(value):
+    assert to_unsigned(to_signed(value, 32), 32) == value
+
+
+@given(st.integers(-(2**8), 2**8 - 1))
+def test_fits_signed_9_exactly(value):
+    assert fits_signed(to_unsigned(value, 64), 9)
+
+
+@given(st.integers(2**8, 2**62))
+def test_fits_signed_9_rejects_large(value):
+    assert not fits_signed(value, 9)
+    assert not fits_signed(to_unsigned(-value - 1, 64), 9)
+
+
+def test_fits_signed_boundaries():
+    assert fits_signed(255, 9)
+    assert fits_signed(to_unsigned(-256, 64), 9)
+    assert not fits_signed(256, 9)
+    assert not fits_signed(to_unsigned(-257, 64), 9)
+
+
+# -- flag-producing arithmetic ----------------------------------------------------
+@given(u64, u64)
+def test_add_matches_python(a, b):
+    result, _flags = add_with_flags(a, b, 64)
+    assert result == (a + b) % 2**64
+
+
+@given(u64, u64)
+def test_add_flags_nz(a, b):
+    result, flags = add_with_flags(a, b, 64)
+    assert bool(flags & FLAG_Z) == (result == 0)
+    assert bool(flags & FLAG_N) == (result >= 2**63)
+
+
+@given(u64, u64)
+def test_add_carry_is_unsigned_overflow(a, b):
+    _result, flags = add_with_flags(a, b, 64)
+    assert bool(flags & FLAG_C) == (a + b >= 2**64)
+
+
+@given(u64, u64)
+def test_add_overflow_is_signed_overflow(a, b):
+    _result, flags = add_with_flags(a, b, 64)
+    signed_sum = to_signed(a, 64) + to_signed(b, 64)
+    assert bool(flags & FLAG_V) == not_in_signed_range(signed_sum)
+
+
+def not_in_signed_range(value):
+    return not (-(2**63) <= value <= 2**63 - 1)
+
+
+@given(u64, u64)
+def test_sub_matches_python(a, b):
+    result, _flags = sub_with_flags(a, b, 64)
+    assert result == (a - b) % 2**64
+
+
+@given(u64, u64)
+def test_sub_carry_means_no_borrow(a, b):
+    _result, flags = sub_with_flags(a, b, 64)
+    assert bool(flags & FLAG_C) == (a >= b)
+
+
+@given(u64, u64)
+def test_unsigned_compare_via_flags(a, b):
+    """The hi/ls conditions fall out of C and Z (ARMv8 semantics)."""
+    _result, flags = sub_with_flags(a, b, 64)
+    c, z = bool(flags & FLAG_C), bool(flags & FLAG_Z)
+    assert (c and not z) == (a > b)
+    assert (not c or z) == (a <= b)
+
+
+@given(u64, u64)
+def test_signed_compare_via_flags(a, b):
+    _result, flags = sub_with_flags(a, b, 64)
+    n, v = bool(flags & FLAG_N), bool(flags & FLAG_V)
+    assert (n == v) == (to_signed(a, 64) >= to_signed(b, 64))
+
+
+@given(u32, u32)
+def test_sub_32bit_flags(a, b):
+    _result, flags = sub_with_flags(a, b, 32)
+    assert bool(flags & FLAG_C) == (a >= b)
+
+
+@given(u64)
+def test_logic_flags_clear_cv(value):
+    flags = logic_flags(value, 64)
+    assert not flags & FLAG_C
+    assert not flags & FLAG_V
+    assert bool(flags & FLAG_Z) == (value == 0)
+
+
+# -- bit manipulation ---------------------------------------------------------------
+@given(u64)
+def test_rbit_involution(value):
+    assert rbit(rbit(value, 64), 64) == value
+
+
+def test_rbit_known():
+    assert rbit(1, 64) == 1 << 63
+    assert rbit(0b1011, 8) == 0b11010000
+
+
+@given(u64)
+def test_clz_matches_bit_length(value):
+    assert clz(value, 64) == 64 - value.bit_length()
+
+
+def test_clz_zero():
+    assert clz(0, 64) == 64
+    assert clz(0, 32) == 32
+
+
+@given(u64, st.integers(0, 63))
+def test_ubfm_lsr_alias(value, shift):
+    # lsr #s == ubfm immr=s, imms=63
+    assert ubfm(value, shift, 63, 64) == value >> shift
+
+
+@given(u64, st.integers(1, 63))
+def test_ubfm_lsl_alias(value, shift):
+    # lsl #s == ubfm immr=64-s, imms=63-s
+    assert ubfm(value, 64 - shift, 63 - shift, 64) == mask(value << shift, 64)
+
+
+@given(u64)
+def test_ubfm_uxtb(value):
+    assert ubfm(value, 0, 7, 64) == value & 0xFF
+
+
+@given(u64)
+def test_sbfm_sxtb(value):
+    expected = to_unsigned(to_signed(value & 0xFF, 8), 64)
+    assert sbfm(value, 0, 7, 64) == expected
+
+
+@given(u64, st.integers(0, 63))
+def test_sbfm_asr_alias(value, shift):
+    assert sbfm(value, shift, 63, 64) == to_unsigned(to_signed(value, 64) >> shift, 64)

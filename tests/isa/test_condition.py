@@ -1,0 +1,68 @@
+"""ARMv8 condition-code evaluation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.bits import sub_with_flags, to_signed
+from repro.isa.condition import Cond, condition_holds, invert, parse_cond
+
+ALL_FLAGS = st.integers(0, 15)
+u64 = st.integers(0, 2**64 - 1)
+
+
+def test_parse_aliases():
+    assert parse_cond("hs") is Cond.CS
+    assert parse_cond("lo") is Cond.CC
+    assert parse_cond("EQ") is Cond.EQ
+
+
+def test_parse_unknown_raises():
+    with pytest.raises(ValueError):
+        parse_cond("zz")
+
+
+@given(ALL_FLAGS)
+def test_al_always_holds(flags):
+    assert condition_holds(Cond.AL, flags)
+
+
+@given(ALL_FLAGS)
+def test_inversion_is_complement(flags):
+    for cond in Cond:
+        if cond is Cond.AL:
+            continue
+        assert condition_holds(cond, flags) != \
+            condition_holds(invert(cond), flags)
+
+
+def test_invert_al_raises():
+    with pytest.raises(ValueError):
+        invert(Cond.AL)
+
+
+@given(u64, u64)
+def test_conditions_match_comparison_semantics(a, b):
+    """After cmp a, b every condition must equal the Python comparison."""
+    _result, flags = sub_with_flags(a, b, 64)
+    sa, sb = to_signed(a, 64), to_signed(b, 64)
+    expectations = {
+        Cond.EQ: a == b,
+        Cond.NE: a != b,
+        Cond.CS: a >= b,     # unsigned >=
+        Cond.CC: a < b,      # unsigned <
+        Cond.HI: a > b,      # unsigned >
+        Cond.LS: a <= b,     # unsigned <=
+        Cond.GE: sa >= sb,
+        Cond.LT: sa < sb,
+        Cond.GT: sa > sb,
+        Cond.LE: sa <= sb,
+    }
+    for cond, expected in expectations.items():
+        assert condition_holds(cond, flags) == expected, cond
+
+
+def test_mi_pl_vs_vc():
+    assert condition_holds(Cond.MI, 0b1000)
+    assert condition_holds(Cond.PL, 0b0000)
+    assert condition_holds(Cond.VS, 0b0001)
+    assert condition_holds(Cond.VC, 0b0000)

@@ -1,0 +1,37 @@
+"""Program container: addresses, labels, data image."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.program import CODE_BASE, DATA_BASE, INST_BYTES
+
+
+def test_pc_index_roundtrip():
+    program = assemble("nop\nnop\nnop")
+    for index in range(3):
+        pc = program.pc_of(index)
+        assert program.index_of(pc) == index
+    assert program.entry_pc == CODE_BASE
+
+
+def test_resolve_code_and_data_labels():
+    program = assemble("""
+    start:
+        nop
+    .data
+    blob: .zero 8
+    """)
+    assert program.resolve("start") == CODE_BASE
+    assert program.resolve("blob") == DATA_BASE
+
+
+def test_resolve_unknown_raises():
+    program = assemble("nop")
+    with pytest.raises(KeyError):
+        program.resolve("missing")
+
+
+def test_len_and_instruction_spacing():
+    program = assemble("nop\nnop")
+    assert len(program) == 2
+    assert program.pc_of(1) - program.pc_of(0) == INST_BYTES

@@ -1,0 +1,81 @@
+"""Register namespace and operand parsing."""
+
+import pytest
+
+from repro.isa.registers import (
+    FLAGS,
+    FP_BASE,
+    N_ARCH_REGS,
+    Operand,
+    Reg,
+    SP,
+    XZR,
+    is_fpr,
+    is_gpr,
+    parse_reg,
+    reg_name,
+)
+
+
+def test_layout_is_disjoint():
+    assert XZR == 31
+    assert SP == 32
+    assert FLAGS == 33
+    assert FP_BASE == 34
+    assert N_ARCH_REGS == 34 + 32
+
+
+def test_reg_constructors():
+    assert Reg.x(0) == 0
+    assert Reg.x(30) == 30
+    assert Reg.d(0) == FP_BASE
+    assert Reg.d(31) == FP_BASE + 31
+
+
+def test_reg_constructors_range_checked():
+    with pytest.raises(ValueError):
+        Reg.x(31)
+    with pytest.raises(ValueError):
+        Reg.d(32)
+
+
+def test_classification():
+    assert is_gpr(0) and is_gpr(XZR)
+    assert not is_gpr(SP) and not is_gpr(FLAGS)
+    assert is_fpr(FP_BASE) and is_fpr(FP_BASE + 31)
+    assert not is_fpr(FP_BASE + 32)
+
+
+@pytest.mark.parametrize("token,reg,width", [
+    ("x0", 0, 64), ("w0", 0, 32), ("x30", 30, 64), ("w12", 12, 32),
+    ("xzr", XZR, 64), ("wzr", XZR, 32), ("sp", SP, 64),
+    ("d0", FP_BASE, 64), ("d31", FP_BASE + 31, 64), ("X3", 3, 64),
+])
+def test_parse_reg_accepts(token, reg, width):
+    operand = parse_reg(token)
+    assert operand == Operand(reg, width)
+
+
+@pytest.mark.parametrize("token", ["x31", "w31", "d32", "y0", "x", "#5", "q0"])
+def test_parse_reg_rejects(token):
+    assert parse_reg(token) is None
+
+
+def test_operand_width_validation():
+    with pytest.raises(ValueError):
+        Operand(0, 16)
+
+
+def test_operand_repr_and_names():
+    assert repr(Operand(0, 64)) == "x0"
+    assert repr(Operand(0, 32)) == "w0"
+    assert reg_name(XZR) == "xzr"
+    assert reg_name(XZR, 32) == "wzr"
+    assert reg_name(SP) == "sp"
+    assert reg_name(FLAGS) == "nzcv"
+    assert reg_name(FP_BASE + 5) == "d5"
+
+
+def test_zero_reg_property():
+    assert Operand(XZR, 64).is_zero_reg
+    assert not Operand(0, 64).is_zero_reg

@@ -1,0 +1,217 @@
+"""Opcode semantics — property-tested against plain Python arithmetic."""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.bits import mask, to_signed, to_unsigned
+from repro.isa.condition import Cond
+from repro.isa.opcodes import Op
+from repro.isa.semantics import (
+    branch_taken,
+    compute_csel,
+    compute_fcmp,
+    compute_fcvtzs,
+    compute_fp,
+    compute_int,
+    compute_movk,
+    compute_scvtf,
+    compute_unary,
+)
+
+u64 = st.integers(0, 2**64 - 1)
+u32 = st.integers(0, 2**32 - 1)
+
+
+# -- integer ALU ---------------------------------------------------------------
+@given(u64, u64)
+def test_add_sub_inverse(a, b):
+    total, _ = compute_int(Op.ADD, a, b, 64)
+    back, _ = compute_int(Op.SUB, total, b, 64)
+    assert back == a
+
+
+@given(u64, u64)
+def test_logicals(a, b):
+    assert compute_int(Op.AND, a, b, 64)[0] == a & b
+    assert compute_int(Op.ORR, a, b, 64)[0] == a | b
+    assert compute_int(Op.EOR, a, b, 64)[0] == a ^ b
+    assert compute_int(Op.BIC, a, b, 64)[0] == a & ~b & (2**64 - 1)
+
+
+@given(u64, st.integers(0, 63))
+def test_shifts(a, s):
+    assert compute_int(Op.LSL, a, s, 64)[0] == mask(a << s, 64)
+    assert compute_int(Op.LSR, a, s, 64)[0] == a >> s
+    assert compute_int(Op.ASR, a, s, 64)[0] == \
+        to_unsigned(to_signed(a, 64) >> s, 64)
+
+
+@given(u64, u64)
+def test_variable_shift_uses_modulo_width(a, b):
+    assert compute_int(Op.LSL, a, b, 64)[0] == mask(a << (b % 64), 64)
+    assert compute_int(Op.LSR, a, b, 32)[0] == mask(a, 32) >> (b % 32)
+
+
+@given(u64, u64)
+def test_mul(a, b):
+    assert compute_int(Op.MUL, a, b, 64)[0] == (a * b) % 2**64
+
+
+@given(u64, u64)
+def test_udiv(a, b):
+    expected = 0 if b == 0 else a // b
+    assert compute_int(Op.UDIV, a, b, 64)[0] == expected
+
+
+@given(st.integers(-2**31, 2**31 - 1), st.integers(-2**31, 2**31 - 1))
+def test_sdiv_truncates_toward_zero(a, b):
+    ua, ub = to_unsigned(a, 64), to_unsigned(b, 64)
+    result = compute_int(Op.SDIV, ua, ub, 64)[0]
+    expected = 0 if b == 0 else int(a / b)
+    assert to_signed(result, 64) == expected
+
+
+def test_sdiv_corner_cases():
+    # Division by zero yields 0; INT_MIN / -1 wraps to INT_MIN (ARM).
+    assert compute_int(Op.SDIV, 5, 0, 64)[0] == 0
+    int_min = 1 << 63
+    minus_one = 2**64 - 1
+    assert compute_int(Op.SDIV, int_min, minus_one, 64)[0] == int_min
+
+
+@given(u64, u64, st.integers(0, 4))
+def test_register_shift_operand(a, b, shift):
+    shifted, _ = compute_int(Op.ADD, a, b, 64, reg_shift=shift)
+    assert shifted == mask(a + mask(b << shift, 64), 64)
+
+
+@given(u32, u32)
+def test_32bit_ops_stay_32bit(a, b):
+    for op in (Op.ADD, Op.SUB, Op.MUL, Op.EOR):
+        result, _ = compute_int(op, a, b, 32)
+        assert result <= 0xFFFF_FFFF
+
+
+def test_compute_int_rejects_non_alu():
+    with pytest.raises(ValueError):
+        compute_int(Op.LDR, 0, 0, 64)
+
+
+# -- unary ---------------------------------------------------------------------
+@given(u64)
+def test_unary_ops(value):
+    assert compute_unary(Op.CLZ, value, 64) == 64 - value.bit_length()
+    assert compute_unary(Op.UBFM, value, 64, immr=0, imms=7) == value & 0xFF
+
+
+# -- conditional selects ---------------------------------------------------------
+@given(u64, u64, st.integers(0, 15))
+def test_csel_picks_sides(a, b, flags):
+    from repro.isa.condition import condition_holds
+
+    result = compute_csel(Op.CSEL, Cond.EQ, flags, a, b, 64)
+    assert result == (a if condition_holds(Cond.EQ, flags) else b)
+
+
+@given(u64, u64)
+def test_csinc_csneg_on_false(a, b):
+    flags = 0  # EQ does not hold
+    assert compute_csel(Op.CSINC, Cond.EQ, flags, a, b, 64) == mask(b + 1, 64)
+    assert compute_csel(Op.CSNEG, Cond.EQ, flags, a, b, 64) == \
+        to_unsigned(-to_signed(b, 64), 64)
+
+
+def test_cset():
+    assert compute_csel(Op.CSET, Cond.EQ, 0b0100, 0, 0, 64) == 1
+    assert compute_csel(Op.CSET, Cond.EQ, 0b0000, 0, 0, 64) == 0
+
+
+# -- movk -------------------------------------------------------------------------
+@given(u64, st.integers(0, 2**16 - 1), st.sampled_from([0, 16, 32, 48]))
+def test_movk_inserts_field(dst, imm, shift):
+    result = compute_movk(dst, imm, shift, 64)
+    assert (result >> shift) & 0xFFFF == imm
+    cleared = result & ~(0xFFFF << shift) & (2**64 - 1)
+    assert cleared == dst & ~(0xFFFF << shift) & (2**64 - 1)
+
+
+# -- branches ---------------------------------------------------------------------
+@given(u64)
+def test_cbz_cbnz(value):
+    assert branch_taken(Op.CBZ, None, 0, value, 0) == (value == 0)
+    assert branch_taken(Op.CBNZ, None, 0, value, 0) == (value != 0)
+
+
+@given(u64, st.integers(0, 63))
+def test_tbz_tbnz(value, bit):
+    expected = bool((value >> bit) & 1)
+    assert branch_taken(Op.TBNZ, None, 0, value, bit) == expected
+    assert branch_taken(Op.TBZ, None, 0, value, bit) == (not expected)
+
+
+def test_unconditional_always_taken():
+    for op in (Op.B, Op.BL, Op.BR, Op.RET):
+        assert branch_taken(op, None, 0, 0, 0)
+
+
+# -- floating point -----------------------------------------------------------------
+def _bits(x):
+    return struct.unpack("<Q", struct.pack("<d", x))[0]
+
+
+finite = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e100, max_value=1e100)
+
+
+@given(finite, finite)
+def test_fp_add_mul(a, b):
+    assert compute_fp(Op.FADD, _bits(a), _bits(b)) == _bits(a + b)
+    assert compute_fp(Op.FMUL, _bits(a), _bits(b)) == _bits(a * b)
+
+
+@given(finite, finite, finite)
+def test_fmadd(a, b, c):
+    assert compute_fp(Op.FMADD, _bits(a), _bits(b), _bits(c)) == _bits(a * b + c)
+
+
+def test_fdiv_by_zero():
+    inf = struct.unpack("<d", struct.pack("<Q",
+                                          compute_fp(Op.FDIV, _bits(1.0), _bits(0.0))))[0]
+    assert inf == float("inf")
+
+
+@given(finite, finite)
+def test_fcmp_flag_mapping(a, b):
+    flags = compute_fcmp(_bits(a), _bits(b))
+    if a == b:
+        assert flags == 0b0110   # Z, C
+    elif a < b:
+        assert flags == 0b1000   # N
+    else:
+        assert flags == 0b0010   # C
+
+
+def test_fcmp_nan_unordered():
+    nan = _bits(float("nan"))
+    assert compute_fcmp(nan, _bits(1.0)) == 0b0011  # C, V
+
+
+@given(st.floats(-1e18, 1e18, allow_nan=False))
+def test_fcvtzs_truncates(value):
+    result = compute_fcvtzs(_bits(value), 64)
+    assert to_signed(result, 64) == int(value)
+
+
+def test_fcvtzs_saturates():
+    big = _bits(1e30)
+    assert to_signed(compute_fcvtzs(big, 64), 64) == 2**63 - 1
+    assert to_signed(compute_fcvtzs(_bits(-1e30), 64), 64) == -(2**63)
+    assert compute_fcvtzs(_bits(float("nan")), 64) == 0
+
+
+@given(st.integers(-2**53, 2**53))
+def test_scvtf_roundtrip(value):
+    bits = compute_scvtf(to_unsigned(value, 64), 64)
+    assert struct.unpack("<d", struct.pack("<Q", bits))[0] == float(value)

@@ -1,0 +1,80 @@
+"""Decode-time µop expansion."""
+
+from repro.isa.assembler import assemble
+from repro.isa.instructions import AddrMode
+from repro.isa.opcodes import Op
+from repro.isa.uops import decode_program, expand
+
+
+def _expand(source):
+    program = assemble(source)
+    return expand(program.instructions[0])
+
+
+def test_simple_ops_stay_single():
+    assert len(_expand("add x0, x1, x2")) == 1
+    assert len(_expand("ldr x0, [x1, #8]")) == 1
+    assert len(_expand("b.eq t\nt:")) == 1
+
+
+def test_pre_index_load_cracks_to_add_then_load():
+    uops = _expand("ldr x0, [x1, #8]!")
+    assert len(uops) == 2
+    assert uops[0].op is Op.ADD and uops[0].imm == 8
+    assert uops[0].dsts[0].reg == 1
+    assert uops[1].op is Op.LDR
+    assert uops[1].mem.mode is AddrMode.OFFSET
+    assert uops[1].mem.offset_imm == 0
+
+
+def test_post_index_store_cracks_to_store_then_add():
+    uops = _expand("str x0, [x1], #16")
+    assert len(uops) == 2
+    assert uops[0].op is Op.STR
+    assert uops[0].mem.offset_imm == 0
+    assert uops[1].op is Op.ADD and uops[1].imm == 16
+
+
+def test_ldp_cracks_to_two_loads():
+    uops = _expand("ldp x0, x1, [x2, #16]")
+    assert [u.op for u in uops] == [Op.LDR, Op.LDR]
+    assert uops[0].mem.offset_imm == 16
+    assert uops[1].mem.offset_imm == 24
+    assert uops[0].dsts[0].reg == 0
+    assert uops[1].dsts[0].reg == 1
+
+
+def test_ldp_32bit_element_spacing():
+    uops = _expand("ldp w0, w1, [x2]")
+    assert uops[1].mem.offset_imm == 4
+
+
+def test_stp_post_index_is_three_uops():
+    uops = _expand("stp x0, x1, [x2], #32")
+    assert [u.op for u in uops] == [Op.STR, Op.STR, Op.ADD]
+    assert uops[2].imm == 32
+
+
+def test_ldp_pre_index_order():
+    uops = _expand("ldp x0, x1, [x2, #16]!")
+    assert [u.op for u in uops] == [Op.ADD, Op.LDR, Op.LDR]
+    assert uops[0].imm == 16
+    assert uops[1].mem.offset_imm == 0
+
+
+def test_decode_program_indexes_by_instruction():
+    program = assemble("""
+        add x0, x0, #1
+        ldr x1, [x2], #8
+        nop
+    """)
+    decoded = decode_program(program)
+    assert [len(u) for u in decoded] == [1, 2, 1]
+
+
+def test_expansion_preserves_register_offset():
+    program = assemble("ldr x0, [x1, x2, lsl #3]")
+    uops = expand(program.instructions[0])
+    assert len(uops) == 1
+    assert uops[0].mem.offset_reg.reg == 2
+    assert uops[0].mem.offset_shift == 3

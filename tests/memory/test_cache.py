@@ -1,0 +1,112 @@
+"""Cache timing model: hits, misses, LRU, MSHRs, in-flight fills."""
+
+import pytest
+
+from repro.memory.cache import Cache, MainMemory
+
+
+def make(size=1024, ways=2, latency=4, mshrs=4, parent_latency=100):
+    memory = MainMemory(latency=parent_latency)
+    cache = Cache("L1", size, ways, line_size=64, latency=latency,
+                  mshrs=mshrs, parent=memory)
+    return cache, memory
+
+
+def test_miss_then_hit_latencies():
+    cache, _ = make()
+    first = cache.access(0x1000, cycle=10)
+    assert first >= 10 + 4 + 100       # through the parent
+    second = cache.access(0x1000, cycle=first + 1)
+    assert second == first + 1 + 4     # pure hit latency
+    assert cache.stat_misses == 1 and cache.stat_hits == 1
+
+
+def test_same_line_different_offsets_hit():
+    cache, _ = make()
+    done = cache.access(0x1000, 0)
+    assert cache.access(0x1038, done) == done + 4
+
+
+def test_in_flight_fill_serves_at_arrival():
+    """A second access to a line being filled waits for the fill, not a
+    fresh memory trip."""
+    cache, _ = make()
+    first = cache.access(0x1000, 0)
+    second = cache.access(0x1008, 1)
+    assert second <= first + 1
+    assert second > 1 + 4
+
+
+def test_lru_eviction():
+    cache, _ = make(size=256, ways=2)   # 2 sets, 2 ways
+    set_stride = 2 * 64
+    lines = [0x1000 + i * set_stride for i in range(3)]
+    done = 0
+    for addr in lines[:2]:
+        done = cache.access(addr, done)
+    cache.access(lines[0], done)        # refresh lines[0]
+    done = cache.access(lines[2], done + 1)  # evicts lines[1]
+    hit0 = cache.access(lines[0], done)
+    assert hit0 == done + 4             # still resident
+    miss1 = cache.access(lines[1], hit0)
+    assert miss1 > hit0 + 4             # was evicted
+
+
+def test_mshr_limit_delays_extra_misses():
+    cache, _ = make(mshrs=2)
+    t0 = cache.access(0x10000, 0)
+    t1 = cache.access(0x20000, 0)
+    t2 = cache.access(0x30000, 0)       # third miss: must wait for a slot
+    assert t2 > max(t0, t1)
+    assert cache.stat_mshr_stalls >= 1
+
+
+def test_writeback_counted():
+    cache, _ = make(size=128, ways=1)   # 2 sets, direct mapped
+    done = cache.access(0x1000, 0, is_write=True)
+    done = cache.access(0x1000 + 128, done)   # same set, evicts dirty line
+    assert cache.stat_writebacks == 1
+
+
+def test_prefetch_brings_line_without_demand_stats():
+    cache, memory = make()
+    cache.prefetch_line(0x5000, 0)
+    assert cache.stat_prefetch_issued == 1
+    assert cache.stat_misses == 0
+    # A later demand access is a hit (timed at the fill arrival).
+    done = cache.access(0x5000, 200)
+    assert done == 200 + 4
+    assert cache.stat_hits == 1
+
+
+def test_early_demand_on_prefetched_line_waits_for_fill():
+    cache, _ = make(parent_latency=100)
+    cache.prefetch_line(0x5000, 0)
+    done = cache.access(0x5000, 2)
+    assert done > 100   # cannot beat the fill
+
+
+def test_prefetch_duplicate_suppressed():
+    cache, _ = make()
+    cache.prefetch_line(0x5000, 0)
+    cache.prefetch_line(0x5000, 1)
+    assert cache.stat_prefetch_issued == 1
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        Cache("bad", 1000, 3, parent=MainMemory())
+
+
+def test_miss_rate():
+    cache, _ = make()
+    done = cache.access(0x1000, 0)
+    cache.access(0x1000, done)
+    assert cache.miss_rate == 0.5
+
+
+def test_invalidate_all():
+    cache, _ = make()
+    done = cache.access(0x1000, 0)
+    cache.invalidate_all()
+    assert cache.access(0x1000, done) > done + 4  # miss again

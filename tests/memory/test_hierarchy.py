@@ -1,0 +1,71 @@
+"""The assembled Table 2 memory system."""
+
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.config import MemoryConfig
+
+
+def test_default_geometry_matches_table2():
+    memory = MemoryHierarchy()
+    assert memory.l1d.sets * memory.l1d.ways * 64 == 128 * 1024
+    assert memory.l1i.sets * memory.l1i.ways * 64 == 128 * 1024
+    assert memory.l2.sets * memory.l2.ways * 64 == 1024 * 1024
+    assert memory.l3.sets * memory.l3.ways * 64 == 8 * 1024 * 1024
+    assert memory.l1d.latency == 4
+    assert memory.l2.latency == 12
+    assert memory.l3.latency == 37
+
+
+def test_load_latency_ladder():
+    memory = MemoryHierarchy()
+    cold = memory.load(0x100000, 0)
+    assert cold >= 4 + 12 + 37 + memory.config.dram_latency
+    warm = memory.load(0x100000, cold)
+    assert warm == cold + 4
+
+
+def test_store_allocates():
+    memory = MemoryHierarchy()
+    done = memory.store(0x200000, 0)
+    assert memory.load(0x200000, done) == done + 4
+
+
+def test_ifetch_uses_l1i():
+    memory = MemoryHierarchy()
+    memory.ifetch(0x4000, 0)
+    assert memory.l1i.stat_misses == 1
+    assert memory.l1d.stat_misses == 0
+
+
+def test_l2_shared_between_sides():
+    memory = MemoryHierarchy()
+    memory.ifetch(0x8000, 0)
+    memory.load(0x8000, 1000)   # L1D miss but L2 hit
+    assert memory.l2.stat_hits >= 1
+
+
+def test_prefetchers_can_be_disabled():
+    config = MemoryConfig(enable_stride_prefetcher=False,
+                          enable_ampm_prefetcher=False)
+    memory = MemoryHierarchy(config)
+    assert memory.l1d.prefetcher is None
+    assert memory.l2.prefetcher is None
+    for i in range(16):
+        memory.load(0x100000 + i * 64, i * 300)
+    assert memory.l1d.stat_prefetch_issued == 0
+
+
+def test_stride_prefetcher_fires_on_streaming():
+    memory = MemoryHierarchy()
+    cycle = 0
+    for i in range(16):
+        cycle = memory.load(0x100000 + i * 64, cycle, pc=0x4000)
+    assert memory.l1d.stat_prefetch_issued > 0
+
+
+def test_stats_snapshot_keys():
+    memory = MemoryHierarchy()
+    memory.load(0x1000, 0)
+    stats = memory.stats()
+    for key in ("L1D.hits", "L1D.misses", "L2.misses", "L3.misses",
+                "dram.accesses", "tlb.walks"):
+        assert key in stats

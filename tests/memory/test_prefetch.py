@@ -1,0 +1,103 @@
+"""Stride and AMPM prefetchers."""
+
+from repro.memory.prefetch import AmpmPrefetcher, StridePrefetcher
+
+
+class _RecordingCache:
+    def __init__(self):
+        self.prefetched = []
+
+    def prefetch_line(self, addr, cycle):
+        self.prefetched.append(addr)
+
+
+def test_stride_detects_and_issues_degree():
+    cache = _RecordingCache()
+    prefetcher = StridePrefetcher(degree=4, confidence_threshold=2)
+    pc = 0x4000
+    for i in range(6):
+        prefetcher.observe(cache, pc, 0x1000 + i * 64, cycle=i, hit=True)
+    assert cache.prefetched, "a steady stride must trigger prefetches"
+    # The last batch targets addr + stride * (1..4).
+    last = cache.prefetched[-4:]
+    base = 0x1000 + 5 * 64
+    assert last == [base + 64 * d for d in range(1, 5)]
+
+
+def test_stride_needs_confidence():
+    cache = _RecordingCache()
+    prefetcher = StridePrefetcher(degree=4, confidence_threshold=2)
+    prefetcher.observe(cache, 0x4000, 0x1000, 0, True)
+    prefetcher.observe(cache, 0x4000, 0x1040, 0, True)
+    assert cache.prefetched == []   # stride seen once, not yet confident
+
+
+def test_stride_random_pattern_stays_quiet():
+    cache = _RecordingCache()
+    prefetcher = StridePrefetcher(degree=4)
+    addresses = [0x1000, 0x9040, 0x2300, 0x7000, 0x1240, 0x5480]
+    for i, addr in enumerate(addresses):
+        prefetcher.observe(cache, 0x4000, addr, i, True)
+    assert cache.prefetched == []
+
+
+def test_stride_negative_strides():
+    cache = _RecordingCache()
+    prefetcher = StridePrefetcher(degree=2, confidence_threshold=2)
+    for i in range(6):
+        prefetcher.observe(cache, 0x4000, 0x9000 - i * 64, i, True)
+    assert cache.prefetched
+    assert cache.prefetched[-1] < 0x9000
+
+
+def test_stride_is_per_pc():
+    cache = _RecordingCache()
+    prefetcher = StridePrefetcher(degree=1, confidence_threshold=2)
+    # Interleaved streams from two PCs with different strides.
+    for i in range(6):
+        prefetcher.observe(cache, 0x4000, 0x1000 + i * 64, i, True)
+        prefetcher.observe(cache, 0x5000, 0x8000 + i * 128, i, True)
+    assert any(a > 0x8000 for a in cache.prefetched)
+    assert any(a < 0x8000 for a in cache.prefetched)
+
+
+def test_stride_table_capacity_eviction():
+    cache = _RecordingCache()
+    prefetcher = StridePrefetcher(table_size=2, degree=1)
+    for pc in (0x4000, 0x5000, 0x6000):
+        prefetcher.observe(cache, pc, 0x1000, 0, True)
+    assert len(prefetcher._table) == 2
+
+
+def test_stride_ignores_anonymous_accesses():
+    cache = _RecordingCache()
+    prefetcher = StridePrefetcher()
+    prefetcher.observe(cache, None, 0x1000, 0, True)
+    assert prefetcher.stat_trainings == 0
+
+
+def test_ampm_pattern_match():
+    cache = _RecordingCache()
+    prefetcher = AmpmPrefetcher(degree=2)
+    zone = 0x10000
+    # Touch lines 0,1,2 in order: offset 3 has (2,1) history -> prefetch.
+    for offset in range(3):
+        prefetcher.observe(cache, None, zone + offset * 64, 0, True)
+    assert zone + 3 * 64 in cache.prefetched
+
+
+def test_ampm_respects_zone_boundary():
+    cache = _RecordingCache()
+    prefetcher = AmpmPrefetcher(degree=8)
+    zone = 0x10000
+    for offset in range(60, 64):
+        prefetcher.observe(cache, None, zone + offset * 64, 0, True)
+    assert all(zone <= addr < zone + 4096 for addr in cache.prefetched)
+
+
+def test_ampm_zone_capacity():
+    cache = _RecordingCache()
+    prefetcher = AmpmPrefetcher(zones=2)
+    for zone_index in range(4):
+        prefetcher.observe(cache, None, zone_index * 4096, 0, True)
+    assert len(prefetcher._maps) == 2

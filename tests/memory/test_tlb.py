@@ -1,0 +1,53 @@
+"""TLB hierarchy."""
+
+import pytest
+
+from repro.memory.tlb import Tlb, TlbHierarchy
+
+
+def test_l1_hit_after_install():
+    tlb = Tlb(entries=16, ways=2)
+    assert not tlb.lookup(5)
+    tlb.install(5)
+    assert tlb.lookup(5)
+
+
+def test_lru_within_set():
+    tlb = Tlb(entries=4, ways=2)   # 2 sets
+    tlb.install(0)       # set 0
+    tlb.install(2)       # set 0
+    tlb.lookup(0)        # refresh
+    tlb.install(4)       # set 0: evicts vpn 2
+    assert tlb.lookup(0)
+    assert not tlb.lookup(2)
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        Tlb(entries=10, ways=3)
+
+
+def test_hierarchy_penalties():
+    tlbs = TlbHierarchy(l1_entries=4, l1_ways=1, l2_entries=64, l2_ways=8,
+                        l2_latency=4, walk_penalty=40)
+    addr = 0x1234_5000
+    first = tlbs.translate_data(addr)
+    assert first == 4 + 40            # full walk
+    assert tlbs.stat_walks == 1
+    second = tlbs.translate_data(addr)
+    assert second == 0                # L1 hit now
+    # Evict from the tiny L1 with conflicting pages, keep L2 resident.
+    for page in range(1, 6):
+        tlbs.translate_data(addr + page * (4 << 12))
+    third = tlbs.translate_data(addr)
+    assert third in (0, 4)            # at worst an L2 hit, never a walk
+    assert tlbs.stat_walks == 6
+
+
+def test_itlb_and_dtlb_are_separate():
+    tlbs = TlbHierarchy(l1_entries=4, l1_ways=1)
+    addr = 0x8000
+    tlbs.translate_data(addr)
+    # The instruction side has not seen this page in its L1 (L2 has).
+    penalty = tlbs.translate_inst(addr)
+    assert penalty == tlbs.l2.latency

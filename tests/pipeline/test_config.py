@@ -1,0 +1,68 @@
+"""Machine configuration factory and derived properties."""
+
+from repro.core.modes import VPFlavor
+from repro.pipeline.config import MachineConfig, MemoryConfig
+
+
+def test_baseline_defaults_match_table2():
+    config = MachineConfig.baseline()
+    assert config.rob_entries == 315
+    assert config.iq_entries == 92
+    assert config.lq_entries == 74
+    assert config.sq_entries == 53
+    assert config.int_phys_regs == 292
+    assert config.fp_phys_regs == 292
+    assert config.fetch_width == 16
+    assert config.rename_width == 8
+    assert config.issue_width == 15
+    assert config.vp_flavor is VPFlavor.NONE
+    assert not config.enable_spsr
+    assert config.enable_move_elimination
+    assert config.enable_zero_one_idiom
+
+
+def test_flavor_factories():
+    assert MachineConfig.mvp().vp_flavor is VPFlavor.MVP
+    assert MachineConfig.tvp(spsr=True).enable_spsr
+    assert MachineConfig.gvp().vp_flavor is VPFlavor.GVP
+
+
+def test_nine_bit_idiom_derived_from_flavor():
+    assert not MachineConfig.baseline().enable_nine_bit_idiom
+    assert not MachineConfig.mvp().enable_nine_bit_idiom
+    assert MachineConfig.tvp().enable_nine_bit_idiom
+    assert MachineConfig.gvp().enable_nine_bit_idiom
+
+
+def test_vtage_config_widths():
+    assert MachineConfig.baseline().vtage_config() is None
+    assert MachineConfig.mvp().vtage_config().value_bits == 1
+    assert MachineConfig.tvp().vtage_config().value_bits == 9
+    assert MachineConfig.gvp().vtage_config().value_bits == 64
+
+
+def test_vtage_override():
+    from repro.core.vtage import VtageConfig
+
+    custom = VtageConfig(value_bits=9, base_log2=8)
+    config = MachineConfig.tvp(vtage=custom)
+    assert config.vtage_config() is custom
+
+
+def test_with_override():
+    config = MachineConfig.baseline().with_(rob_entries=64)
+    assert config.rob_entries == 64
+    assert MachineConfig.baseline().rob_entries == 315
+
+
+def test_memory_defaults():
+    memory = MemoryConfig()
+    assert memory.l1d_size == 128 * 1024
+    assert memory.l2_size == 1024 * 1024
+    assert memory.l3_size == 8 * 1024 * 1024
+    assert memory.enable_stride_prefetcher
+    assert memory.enable_ampm_prefetcher
+
+
+def test_silencing_default_matches_paper():
+    assert MachineConfig.baseline().vp_silence_cycles == 250

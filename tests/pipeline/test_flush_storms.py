@@ -1,0 +1,120 @@
+"""Stress interactions: VP flushes x branch mispredicts x memory ordering.
+
+These programs are built to fire several recovery mechanisms at once; the
+assertions are the global invariants that must survive any interleaving.
+"""
+
+import pytest
+
+from tests.helpers import run_pipeline
+
+from repro.pipeline.config import MachineConfig
+
+# A value that changes every 64 iterations (periodic VP traps), a
+# data-dependent branch, and an aliasing store/load pair.
+STORM = """
+    adr   x1, cell
+    adr   x2, flag
+    mov   x9, #1
+    mov   x8, #3000
+loop:
+    ldr   x3, [x1]          // VP target; rewritten periodically below
+    add   x0, x0, x3
+    and   x4, x8, #63
+    cbnz  x4, nostore
+    add   x5, x3, #1
+    str   x5, [x1]          // value changes: confident predictions break
+nostore:
+    lsl   x6, x9, #13       // xorshift for an unpredictable branch
+    eor   x9, x9, x6
+    lsr   x6, x9, #7
+    eor   x9, x9, x6
+    tbz   x9, #4, skip
+    str   x9, [x2]
+    ldr   x7, [x2]          // aliasing pair: ordering machinery engaged
+    add   x0, x0, x7
+skip:
+    subs  x8, x8, #1
+    b.ne  loop
+    hlt
+.data
+cell: .quad 0
+flag: .quad 0
+"""
+
+CONFIGS = [
+    ("baseline", MachineConfig.baseline()),
+    ("mvp", MachineConfig.mvp()),
+    ("tvp+spsr", MachineConfig.tvp(spsr=True)),
+    ("gvp+spsr", MachineConfig.gvp(spsr=True)),
+]
+
+
+@pytest.mark.parametrize("name,config", CONFIGS)
+def test_storm_retires_fully(name, config):
+    model, result = run_pipeline(STORM, config=config,
+                                 max_instructions=20_000)
+    assert result.stats.retired_uops == result.trace_uops
+
+
+@pytest.mark.parametrize("name,config", CONFIGS)
+def test_storm_leaves_consistent_state(name, config):
+    model, _ = run_pipeline(STORM, config=config, max_instructions=20_000)
+    assert model.rat.check_consistent_with_committed()
+    model.int_prf.check_conservation()
+    model.fp_prf.check_conservation()
+    model.flags_prf.check_conservation()
+    assert len(model.rob) == 0
+    assert not model.iq
+    assert not model.lsq.loads and not model.lsq.stores
+
+
+def test_storm_actually_fires_vp_flushes():
+    _, result = run_pipeline(STORM, config=MachineConfig.gvp(),
+                             max_instructions=20_000)
+    assert result.stats.vp_flushes >= 1
+    assert result.stats.branch_mispredicts > 50
+
+
+def test_storm_determinism_across_reruns():
+    results = [run_pipeline(STORM, config=MachineConfig.tvp(spsr=True),
+                            max_instructions=12_000)[1]
+               for _ in range(2)]
+    assert results[0].stats.cycles == results[1].stats.cycles
+    assert results[0].stats.vp_flushes == results[1].stats.vp_flushes
+
+
+def test_storm_elimination_counts_do_not_exceed_retired():
+    _, result = run_pipeline(STORM, config=MachineConfig.tvp(spsr=True),
+                             max_instructions=20_000)
+    stats = result.stats
+    eliminated = (stats.elim_zero_idiom + stats.elim_one_idiom
+                  + stats.elim_move + stats.elim_nine_bit_idiom
+                  + stats.elim_spsr)
+    assert eliminated <= stats.retired_uops
+    assert stats.iq_dispatched + eliminated >= stats.retired_uops - \
+        stats.branches  # NOPs/HLT and eliminated µops skip the IQ
+
+
+def test_vp_counters_consistent():
+    _, result = run_pipeline(STORM, config=MachineConfig.gvp(),
+                             max_instructions=20_000)
+    stats = result.stats
+    assert stats.vp_correct_used + stats.vp_incorrect_used <= stats.vp_eligible \
+        + stats.vp_flushes  # refetched offenders are eligible twice
+    assert stats.vp_incorrect_used == stats.vp_flushes
+
+
+def test_tiny_window_storm():
+    """Shrunken structures force every stall path simultaneously."""
+    config = MachineConfig.tvp(spsr=True, rob_entries=24, iq_entries=8,
+                               lq_entries=4, sq_entries=4,
+                               int_phys_regs=48)
+    model, result = run_pipeline(STORM, config=config,
+                                 max_instructions=10_000)
+    assert result.stats.retired_uops == result.trace_uops
+    assert model.rat.check_consistent_with_committed()
+    stats = result.stats
+    assert stats.stall_rob_full + stats.stall_iq_full + \
+        stats.stall_lq_full + stats.stall_sq_full + \
+        stats.stall_no_phys_reg > 0

@@ -1,0 +1,60 @@
+"""Run-loop controls: the watchdog, max_cycles, and the simulate() API."""
+
+import pytest
+
+from tests.helpers import emulate
+
+from repro.isa.assembler import assemble
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.core import CpuModel, SimulationDeadlock, simulate
+
+
+def small_trace():
+    trace, _ = emulate("""
+        mov x0, #0
+        mov x1, #200
+    loop:
+        add x0, x0, #1
+        subs x1, x1, #1
+        b.ne loop
+        hlt
+    """, max_instructions=2000)
+    return trace
+
+
+def test_simulate_accepts_program():
+    program = assemble("mov x0, #1\nmov x1, #2\nhlt")
+    result = simulate(program, MachineConfig.baseline())
+    assert result.stats.retired_arch_insts == 3
+
+
+def test_simulate_accepts_trace():
+    result = simulate(small_trace(), MachineConfig.baseline())
+    assert result.stats.retired_uops == result.trace_uops
+
+
+def test_max_cycles_stops_early():
+    trace = small_trace()
+    full = CpuModel(trace, MachineConfig.baseline()).run()
+    partial = CpuModel(trace, MachineConfig.baseline()).run(max_cycles=20)
+    # The idle-cycle skipper may overshoot the cap by one event window,
+    # but the run must stop far short of the full simulation.
+    assert partial.stats.cycles < full.stats.cycles
+    assert partial.stats.retired_uops < partial.trace_uops
+
+
+def test_watchdog_reports_stuck_pipeline():
+    """If a stage stops making progress, the deadlock report names the
+    stuck state instead of spinning forever."""
+    model = CpuModel(small_trace(), MachineConfig.baseline())
+    model._fetch = lambda: None   # simulate a wedged frontend
+    with pytest.raises(SimulationDeadlock) as excinfo:
+        model.run(progress_window=50)
+    message = str(excinfo.value)
+    assert "retired=" in message and "fetch_index" in message
+
+
+def test_empty_trace_returns_immediately():
+    result = CpuModel([], MachineConfig.baseline()).run()
+    assert result.stats.cycles == 0
+    assert result.stats.retired_uops == 0

@@ -1,0 +1,53 @@
+"""Derived statistics."""
+
+from repro.pipeline.stats import PipelineStats
+
+
+def test_ipc_and_upc():
+    stats = PipelineStats(cycles=100, retired_arch_insts=250,
+                          retired_uops=300)
+    assert stats.ipc == 2.5
+    assert stats.upc == 3.0
+    assert abs(stats.expansion_ratio - 1.2) < 1e-12
+
+
+def test_zero_cycle_guards():
+    stats = PipelineStats()
+    assert stats.ipc == 0.0
+    assert stats.upc == 0.0
+    assert stats.expansion_ratio == 0.0
+    assert stats.vp_coverage == 0.0
+    assert stats.vp_accuracy == 0.0
+    assert stats.branch_mpki == 0.0
+
+
+def test_vp_metrics():
+    stats = PipelineStats(vp_eligible=200, vp_correct_used=50,
+                          vp_incorrect_used=1)
+    assert stats.vp_coverage == 0.25
+    assert abs(stats.vp_accuracy - 50 / 51) < 1e-12
+
+
+def test_branch_mpki():
+    stats = PipelineStats(retired_arch_insts=10_000, branch_mispredicts=42)
+    assert stats.branch_mpki == 4.2
+
+
+def test_elimination_fractions_sum_structure():
+    stats = PipelineStats(retired_uops=1000, elim_zero_idiom=10,
+                          elim_one_idiom=5, elim_move=40,
+                          elim_nine_bit_idiom=5, elim_spsr=17,
+                          elim_move_width_blocked=4)
+    fractions = stats.elimination_fractions()
+    assert fractions["zero_idiom"] == 1.0
+    assert fractions["spsr"] == 1.7
+    assert fractions["non_me_move"] == 0.4
+    assert set(fractions) == {"zero_idiom", "one_idiom", "move",
+                              "nine_bit_idiom", "spsr", "non_me_move"}
+
+
+def test_activity_snapshot():
+    stats = PipelineStats(int_prf_reads=7, int_prf_writes=8,
+                          iq_dispatched=9, iq_issued=10)
+    assert stats.activity() == {"int_prf_reads": 7, "int_prf_writes": 8,
+                                "iq_dispatched": 9, "iq_issued": 10}

@@ -1,0 +1,170 @@
+"""Hand-computable timing checks: the model's latencies must be visible.
+
+Each test builds a microbenchmark whose steady-state cycles-per-iteration
+is derivable from Table 2 parameters by hand, and checks the simulator
+lands in a tight window around it.
+"""
+
+from tests.helpers import run_pipeline
+
+from repro.pipeline.config import MachineConfig
+
+
+def cycles_per_iteration(source, iterations, max_instructions=None,
+                         config=None):
+    insts = max_instructions or iterations * 40
+    _, result = run_pipeline(source, config=config,
+                             max_instructions=insts)
+    return result.stats.cycles / (result.stats.retired_arch_insts /
+                                  _loop_len(source))
+
+
+def _loop_len(source):
+    lines = [l.split("//")[0].strip() for l in source.splitlines()]
+    body = []
+    in_loop = False
+    for line in lines:
+        if line.startswith("loop:"):
+            in_loop = True
+            continue
+        if in_loop:
+            body.append(line)
+            if line.startswith("b.") or line == "b loop":
+                break
+    return len([l for l in body if l and not l.endswith(":")])
+
+
+def test_serial_add_chain_is_one_cycle_per_add():
+    """8 chained adds -> >= 8 cycles/iteration (1c ALU, full bypass)."""
+    source = """
+        mov x9, #2000
+    loop:
+        add x0, x0, #1
+        add x0, x0, #1
+        add x0, x0, #1
+        add x0, x0, #1
+        add x0, x0, #1
+        add x0, x0, #1
+        add x0, x0, #1
+        add x0, x0, #1
+        subs x9, x9, #1
+        b.ne loop
+        hlt
+    """
+    cpi = cycles_per_iteration(source, 2000, max_instructions=12_000)
+    assert 8.0 <= cpi <= 11.0
+
+
+def test_load_to_use_latency_visible():
+    """Chained L1-hit loads -> ~4 cycles each (Table 2 load-to-use)."""
+    source = """
+        adr  x1, cell
+        str  x1, [x1]          // self-pointer: serial ldr chain
+        mov  x9, #1500
+    loop:
+        ldr  x1, [x1]
+        ldr  x1, [x1]
+        ldr  x1, [x1]
+        ldr  x1, [x1]
+        subs x9, x9, #1
+        b.ne loop
+        hlt
+    .data
+    cell: .quad 0
+    """
+    cpi = cycles_per_iteration(source, 1500, max_instructions=10_000)
+    assert 16.0 <= cpi <= 20.0
+
+
+def test_int_mul_latency_visible():
+    """Chained multiplies -> ~3 cycles each."""
+    source = """
+        mov  x0, #1
+        mov  x9, #1500
+    loop:
+        mul  x0, x0, x0
+        mul  x0, x0, x0
+        mul  x0, x0, x0
+        mul  x0, x0, x0
+        subs x9, x9, #1
+        b.ne loop
+        hlt
+    """
+    cpi = cycles_per_iteration(source, 1500, max_instructions=10_000)
+    assert 12.0 <= cpi <= 15.0
+
+
+def test_fp_mac_chain_latency():
+    """Chained fmadd -> ~5 cycles each (Table 2 MAC latency)."""
+    source = """
+        fmov d0, #1.0
+        fmov d1, #0.5
+        mov  x9, #1200
+    loop:
+        fmadd d0, d0, d1, d0
+        fmadd d0, d0, d1, d0
+        subs x9, x9, #1
+        b.ne loop
+        hlt
+    """
+    cpi = cycles_per_iteration(source, 1200, max_instructions=6_000)
+    assert 10.0 <= cpi <= 13.0
+
+
+def test_value_prediction_collapses_load_chain():
+    """With GVP, the serial self-pointer chain above becomes ~free."""
+    source = """
+        adr  x1, cell
+        str  x1, [x1]
+        mov  x9, #1500
+    loop:
+        ldr  x1, [x1]
+        ldr  x1, [x1]
+        ldr  x1, [x1]
+        ldr  x1, [x1]
+        subs x9, x9, #1
+        b.ne loop
+        hlt
+    .data
+    cell: .quad 0
+    """
+    base_cpi = cycles_per_iteration(source, 1500, max_instructions=10_000)
+    gvp_cpi = cycles_per_iteration(source, 1500, max_instructions=10_000,
+                                   config=MachineConfig.gvp())
+    # Predicting the (constant) pointer breaks the 16-cycle chain down to
+    # the loop-control limit.
+    assert gvp_cpi < base_cpi * 0.45
+
+
+def test_taken_branch_throughput_limit():
+    """An empty-body loop is fetch-limited by the taken-branch penalty:
+    one iteration per (1 + taken_penalty) cycles at best."""
+    source = """
+        mov x9, #4000
+    loop:
+        subs x9, x9, #1
+        b.ne loop
+        hlt
+    """
+    _, result = run_pipeline(source, max_instructions=9_000)
+    iterations = result.stats.retired_arch_insts / 2
+    cycles_per_iter = result.stats.cycles / iterations
+    assert cycles_per_iter >= 1.9   # 1 fetch cycle + 1 bubble
+
+
+def test_commit_width_bounds_ipc():
+    config = MachineConfig.baseline(commit_width=2)
+    source = """
+        mov x9, #3000
+    loop:
+        add x0, x0, #1
+        add x1, x1, #1
+        add x2, x2, #1
+        add x3, x3, #1
+        add x4, x4, #1
+        subs x9, x9, #1
+        b.ne loop
+        hlt
+    """
+    _, result = run_pipeline(source, config=config, max_instructions=9_000)
+    assert result.stats.ipc <= 2.001

@@ -1,0 +1,171 @@
+"""Value prediction and SpSR behaviour through the full pipeline."""
+
+import pytest
+
+from tests.helpers import run_pipeline
+
+from repro.pipeline.config import MachineConfig
+
+PREDICTABLE_LOAD = """
+    mov   x0, #0
+    mov   x1, #3000
+    adr   x2, slot
+loop:
+    ldr   x3, [x2]          // always 0x0: MVP-predictable
+    add   x4, x3, x0        // consumer chain
+    add   x0, x4, #1
+    subs  x1, x1, #1
+    b.ne  loop
+    hlt
+.data
+slot: .quad 0
+"""
+
+CHANGING_VALUE = """
+    mov   x0, #0
+    mov   x1, #4000
+    adr   x2, slot
+    mov   x7, #2000
+loop:
+    ldr   x3, [x2]
+    add   x0, x0, x3
+    subs  x7, x7, #1
+    b.ne  keep
+    mov   x8, #9
+    str   x8, [x2]          // flips the loaded value mid-run
+keep:
+    subs  x1, x1, #1
+    b.ne  loop
+    hlt
+.data
+slot: .quad 0
+"""
+
+
+def test_mvp_covers_zero_loads():
+    model, result = run_pipeline(PREDICTABLE_LOAD,
+                                 config=MachineConfig.mvp(),
+                                 max_instructions=18_000)
+    stats = result.stats
+    assert stats.vp_correct_used > 500
+    assert stats.vp_incorrect_used == 0
+    assert stats.vp_coverage > 0.10
+
+
+def test_vp_accuracy_above_paper_floor():
+    for config in (MachineConfig.mvp(), MachineConfig.tvp(),
+                   MachineConfig.gvp()):
+        _, result = run_pipeline(CHANGING_VALUE, config=config,
+                                 max_instructions=25_000)
+        if result.stats.vp_correct_used + result.stats.vp_incorrect_used:
+            assert result.stats.vp_accuracy > 0.999
+
+
+def test_value_mispredict_flushes_and_recovers():
+    model, result = run_pipeline(CHANGING_VALUE,
+                                 config=MachineConfig.gvp(),
+                                 max_instructions=25_000)
+    stats = result.stats
+    assert stats.vp_flushes >= 1
+    assert stats.retired_uops == result.trace_uops
+    assert model.rat.check_consistent_with_committed()
+    model.int_prf.check_conservation()
+
+
+def test_silencing_prevents_livelock():
+    """Even with a 0-cycle window the refetched instance trains before it
+    is re-predicted (the flush trained the predictor), so the pipeline
+    must always make progress."""
+    config = MachineConfig.gvp(vp_silence_cycles=0)
+    model, result = run_pipeline(CHANGING_VALUE, config=config,
+                                 max_instructions=25_000)
+    assert result.stats.retired_uops == result.trace_uops
+
+
+def test_vp_flush_includes_offender():
+    """§3.4: the mispredicted µop itself must be refetched — visible as
+    fetched_uops exceeding the trace length when flushes happened."""
+    model, result = run_pipeline(CHANGING_VALUE,
+                                 config=MachineConfig.gvp(),
+                                 max_instructions=25_000)
+    if result.stats.vp_flushes:
+        assert result.stats.fetched_uops > result.trace_uops
+
+
+def test_baseline_has_no_vp_state():
+    model, result = run_pipeline(PREDICTABLE_LOAD,
+                                 config=MachineConfig.baseline(),
+                                 max_instructions=6_000)
+    assert model.vtage is None
+    assert result.stats.vp_eligible == 0
+
+
+def test_vp_reduces_prf_writes():
+    _, base = run_pipeline(PREDICTABLE_LOAD,
+                           config=MachineConfig.baseline(),
+                           max_instructions=18_000)
+    _, mvp = run_pipeline(PREDICTABLE_LOAD, config=MachineConfig.mvp(),
+                          max_instructions=18_000)
+    assert mvp.stats.int_prf_writes < base.stats.int_prf_writes
+
+
+def test_spsr_reduces_iq_dispatch():
+    _, mvp = run_pipeline(PREDICTABLE_LOAD, config=MachineConfig.mvp(),
+                          max_instructions=18_000)
+    _, spsr = run_pipeline(PREDICTABLE_LOAD,
+                           config=MachineConfig.mvp(spsr=True),
+                           max_instructions=18_000)
+    assert spsr.stats.elim_spsr > 0
+    assert spsr.stats.iq_dispatched < mvp.stats.iq_dispatched
+    assert spsr.stats.retired_uops == mvp.stats.retired_uops
+
+
+def test_spsr_preserves_correct_retirement():
+    model, result = run_pipeline(CHANGING_VALUE,
+                                 config=MachineConfig.tvp(spsr=True),
+                                 max_instructions=25_000)
+    assert result.stats.retired_uops == result.trace_uops
+    assert model.rat.check_consistent_with_committed()
+
+
+def test_gvp_wide_predictions_increase_writes():
+    pointer_chase = """
+        mov   x0, #0
+        mov   x1, #2500
+    loop:
+        adr   x2, head
+        ldr   x3, [x2]       // stable pointer: wide GVP prediction
+        ldr   x4, [x3]
+        add   x0, x0, x4
+        subs  x1, x1, #1
+        b.ne  loop
+        hlt
+    .data
+    head: .quad cell
+    cell: .quad 7
+    """
+    _, base = run_pipeline(pointer_chase, config=MachineConfig.baseline(),
+                           max_instructions=15_000)
+    _, gvp = run_pipeline(pointer_chase, config=MachineConfig.gvp(),
+                          max_instructions=15_000)
+    assert gvp.stats.vp_phys_reg_predictions > 0
+    assert gvp.stats.int_prf_writes > base.stats.int_prf_writes
+
+
+def test_vp_flavors_preserve_cycle_determinism():
+    for config in (MachineConfig.mvp(), MachineConfig.tvp(spsr=True)):
+        _, a = run_pipeline(PREDICTABLE_LOAD, config=config,
+                            max_instructions=8000)
+        _, b = run_pipeline(PREDICTABLE_LOAD, config=config,
+                            max_instructions=8000)
+        assert a.stats.cycles == b.stats.cycles
+
+
+def test_vp_loads_marked_acquire():
+    """§3.6: every used prediction on a load is marked load-acquire."""
+    _, result = run_pipeline(PREDICTABLE_LOAD, config=MachineConfig.mvp(),
+                             max_instructions=18_000)
+    stats = result.stats
+    assert stats.vp_loads_marked_acquire > 0
+    used = stats.vp_correct_used + stats.vp_incorrect_used
+    assert stats.vp_loads_marked_acquire <= used + stats.vp_flushes

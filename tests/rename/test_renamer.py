@@ -1,0 +1,372 @@
+"""Rename-stage logic in isolation: DSR, SpSR application, VP install."""
+
+import pytest
+
+from tests.helpers import emulate
+
+from repro.backend.naming import (
+    FLAGS_NAME_BASE,
+    FP_NAME_BASE,
+    HARDWIRED_ONE,
+    HARDWIRED_ZERO,
+    INLINE_BASE,
+    encode_inline,
+    known_flags,
+    known_value,
+)
+from repro.backend.prf import PhysicalRegisterFile
+from repro.backend.rat import RegisterAliasTable
+from repro.backend.rob import RobEntry, UopState
+from repro.core.inflight import VPQueue
+from repro.core.modes import VPFlavor
+from repro.core.spsr import SpSREngine
+from repro.core.vtage import Vtage, VtageConfig
+from repro.isa.bits import to_unsigned
+from repro.isa.registers import FLAGS
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.stats import PipelineStats
+from repro.rename.renamer import Renamer, vp_eligible
+
+
+def uops_of(source, count=None):
+    trace, _ = emulate(f"{source}\nnext: hlt", max_instructions=count or 64)
+    return trace
+
+
+class Rig:
+    def __init__(self, config=None):
+        self.config = config or MachineConfig()
+        self.int_prf = PhysicalRegisterFile(self.config.int_phys_regs)
+        self.fp_prf = PhysicalRegisterFile(self.config.fp_phys_regs,
+                                           name_base=FP_NAME_BASE)
+        self.flags_prf = PhysicalRegisterFile(64, name_base=FLAGS_NAME_BASE)
+        self.rat = RegisterAliasTable(self.int_prf, self.fp_prf,
+                                      self.flags_prf)
+        self.stats = PipelineStats()
+        spsr = SpSREngine() if self.config.enable_spsr else None
+        vtage = None
+        queue = None
+        if self.config.vp_flavor is not VPFlavor.NONE:
+            vtage = Vtage(self.config.vtage_config())
+            queue = VPQueue()
+        self.vtage = vtage
+        self.queue = queue
+        self.renamer = Renamer(self.config, self.rat, self.int_prf,
+                               self.fp_prf, self.flags_prf, self.stats,
+                               spsr_engine=spsr, vtage=vtage, vp_queue=queue)
+
+    def rename(self, uop, cycle=1):
+        entry = RobEntry(uop.seq, uop)
+        outcome = self.renamer.rename(entry, cycle)
+        return entry, outcome
+
+
+# -- baseline DSR ---------------------------------------------------------------
+def test_zero_idiom_movz():
+    rig = Rig()
+    uop = uops_of("mov x0, #0")[0]
+    entry, outcome = rig.rename(uop)
+    assert outcome.eliminated
+    assert entry.dest_name == HARDWIRED_ZERO
+    assert rig.rat.lookup(0) == HARDWIRED_ZERO
+    assert entry.elim_kind == "zero_idiom"
+
+
+def test_one_idiom_movz():
+    rig = Rig()
+    entry, outcome = rig.rename(uops_of("mov x3, #1")[0])
+    assert outcome.eliminated and entry.dest_name == HARDWIRED_ONE
+
+
+def test_eor_self_is_zero_idiom():
+    rig = Rig()
+    entry, outcome = rig.rename(uops_of("eor x2, x5, x5")[0])
+    assert outcome.eliminated and entry.dest_name == HARDWIRED_ZERO
+
+
+def test_and_with_xzr_is_zero_idiom():
+    rig = Rig()
+    entry, outcome = rig.rename(uops_of("and x2, x5, xzr")[0])
+    assert outcome.eliminated and entry.dest_name == HARDWIRED_ZERO
+
+
+def test_orr_with_xzr_is_move_idiom():
+    rig = Rig()
+    source_name = rig.rat.lookup(5)
+    entry, outcome = rig.rename(uops_of("orr x2, xzr, x5")[0])
+    assert outcome.eliminated
+    assert entry.dest_name == source_name
+    assert entry.elim_kind == "move"
+
+
+def test_plain_mov_eliminated():
+    rig = Rig()
+    source_name = rig.rat.lookup(7)
+    entry, outcome = rig.rename(uops_of("mov x2, x7")[0])
+    assert outcome.eliminated and entry.dest_name == source_name
+
+
+def test_move_elimination_disabled_by_config():
+    rig = Rig(MachineConfig(enable_move_elimination=False))
+    entry, outcome = rig.rename(uops_of("mov x2, x7")[0])
+    assert not outcome.eliminated
+    assert entry.dest_name != rig.rat.lookup(7)
+
+
+def test_width_rule_blocks_64_to_32_move():
+    """A w-view move of a 64-bit-written register cannot be eliminated."""
+    rig = Rig()
+    # Producer writes x7 as a 64-bit value.
+    rig.rename(uops_of("add x7, x8, x9")[0])
+    assert rig.int_prf.width_of(rig.rat.lookup(7)) == 64
+    entry, outcome = rig.rename(uops_of("mov w2, w7")[0])
+    assert not outcome.eliminated
+    assert entry.move_width_blocked
+
+
+def test_width_rule_allows_32_producer():
+    rig = Rig()
+    rig.rename(uops_of("add w7, w8, w9")[0])
+    entry, outcome = rig.rename(uops_of("mov w2, w7")[0])
+    assert outcome.eliminated
+
+
+def test_nine_bit_idiom_requires_tvp():
+    baseline = Rig()
+    entry, outcome = baseline.rename(uops_of("mov x0, #42")[0])
+    assert not outcome.eliminated
+    tvp = Rig(MachineConfig.tvp())
+    entry, outcome = tvp.rename(uops_of("mov x0, #42")[0])
+    assert outcome.eliminated
+    assert entry.elim_kind == "nine_bit_idiom"
+    assert known_value(entry.dest_name) == 42
+
+
+def test_nine_bit_idiom_negative_value():
+    rig = Rig(MachineConfig.tvp())
+    entry, outcome = rig.rename(uops_of("mov x0, #-7")[0])
+    assert outcome.eliminated
+    assert known_value(entry.dest_name) == to_unsigned(-7, 64)
+
+
+def test_nine_bit_idiom_rejects_wide_imm():
+    rig = Rig(MachineConfig.tvp())
+    entry, outcome = rig.rename(uops_of("mov x0, #1000")[0])
+    assert not outcome.eliminated
+
+
+# -- SpSR at rename ---------------------------------------------------------------
+def test_spsr_move_from_predicted_zero():
+    rig = Rig(MachineConfig.mvp(spsr=True))
+    # Make x1 known-zero via idiom elimination, then the add reduces.
+    rig.rename(uops_of("mov x1, #0")[0])
+    other_name = rig.rat.lookup(2)
+    entry, outcome = rig.rename(uops_of("add x0, x1, x2")[0])
+    assert outcome.eliminated
+    assert entry.elim_kind == "spsr"
+    assert entry.dest_name == other_name
+
+
+def test_spsr_flag_setter_writes_hardwired_nzcv():
+    rig = Rig(MachineConfig.mvp(spsr=True))
+    rig.rename(uops_of("mov x1, #0")[0])
+    entry, outcome = rig.rename(uops_of("ands x0, x1, x2")[0])
+    assert outcome.eliminated
+    flags = known_flags(rig.rat.lookup(FLAGS))
+    assert flags == 0b0100   # Z set
+
+
+def test_spsr_chain_through_flags_to_csel():
+    rig = Rig(MachineConfig.mvp(spsr=True))
+    rig.rename(uops_of("mov x1, #0")[0])
+    rig.rename(uops_of("ands x0, x1, x2")[0])
+    chosen = rig.rat.lookup(3)
+    entry, outcome = rig.rename(uops_of("csel x5, x3, x4, eq")[0])
+    assert outcome.eliminated
+    assert entry.dest_name == chosen
+
+
+def test_spsr_frontend_nzcv_invalidated_by_real_flag_writer():
+    rig = Rig(MachineConfig.mvp(spsr=True))
+    rig.rename(uops_of("mov x1, #0")[0])
+    rig.rename(uops_of("ands x0, x1, x2")[0])
+    assert known_flags(rig.rat.lookup(FLAGS)) is not None
+    rig.rename(uops_of("cmp x8, x9")[0])   # unknown operands: executes
+    assert known_flags(rig.rat.lookup(FLAGS)) is None
+    entry, outcome = rig.rename(uops_of("csel x5, x3, x4, eq")[0])
+    assert not outcome.eliminated
+
+
+def test_spsr_branch_resolution():
+    rig = Rig(MachineConfig.mvp(spsr=True))
+    rig.rename(uops_of("mov x1, #0")[0])
+    entry, outcome = rig.rename(uops_of("cbz x1, next")[0])
+    assert outcome.eliminated
+    assert outcome.resolved_branch_taken is True
+
+
+def test_spsr_value_not_encodable_in_mvp_rejected():
+    """subs with known 0,1 gives -1: MVP cannot encode it, no reduction."""
+    rig = Rig(MachineConfig.mvp(spsr=True))
+    rig.rename(uops_of("mov x1, #0")[0])
+    rig.rename(uops_of("mov x2, #1")[0])
+    entry, outcome = rig.rename(uops_of("subs x0, x1, x2")[0])
+    assert not outcome.eliminated
+
+
+def test_spsr_value_encodable_in_tvp():
+    rig = Rig(MachineConfig.tvp(spsr=True))
+    rig.rename(uops_of("mov x1, #0")[0])
+    rig.rename(uops_of("mov x2, #1")[0])
+    entry, outcome = rig.rename(uops_of("subs x0, x1, x2")[0])
+    assert outcome.eliminated
+    assert known_value(entry.dest_name) == to_unsigned(-1, 64)
+
+
+def test_spsr_disabled_in_baseline():
+    rig = Rig()
+    rig.rename(uops_of("mov x1, #0")[0])
+    entry, outcome = rig.rename(uops_of("add x0, x1, x2")[0])
+    assert not outcome.eliminated
+
+
+# -- value prediction install -----------------------------------------------------------
+def train_confident(rig, pc, value, rounds=400):
+    for _ in range(rounds):
+        prediction = rig.vtage.predict(pc)
+        rig.vtage.train(pc, value, prediction.info)
+
+
+def test_vp_eligibility_rules():
+    uops = uops_of("""
+        add x0, x1, x2
+        ldr x3, [x4]
+        str x5, [x6]
+        b.eq next
+        fadd d0, d1, d2
+        fcvtzs x7, d3
+        cmp x8, x9
+    """)
+    flags = [vp_eligible(u) for u in uops[:7]]
+    assert flags == [True, True, False, False, False, False, False]
+
+
+def test_mvp_installs_hardwired_register():
+    rig = Rig(MachineConfig.mvp())
+    uop = uops_of("add x0, x1, x2")[0]
+    train_confident(rig, uop.pc, 0)
+    entry, outcome = rig.rename(uop)
+    assert outcome.vp_used
+    assert entry.dest_name == HARDWIRED_ZERO
+    assert entry.vp_predicted == 0
+
+
+def test_mvp_cannot_install_wide_value():
+    rig = Rig(MachineConfig.mvp())
+    uop = uops_of("add x0, x1, x2")[0]
+    train_confident(rig, uop.pc, 1)   # MVP entry learns 0x1
+    # Sanity: 1 installs fine.
+    entry, outcome = rig.rename(uop)
+    assert outcome.vp_used and entry.dest_name == HARDWIRED_ONE
+
+
+def test_tvp_installs_inline_name():
+    rig = Rig(MachineConfig.tvp())
+    uop = uops_of("add x0, x1, x2")[0]
+    train_confident(rig, uop.pc, 42)
+    entry, outcome = rig.rename(uop)
+    assert outcome.vp_used
+    assert entry.dest_name == encode_inline(42)
+    assert INLINE_BASE <= entry.dest_name < INLINE_BASE + 512
+
+
+def test_tvp_rejects_wide_value():
+    """A 9-bit entry cannot even *store* a wide value, so it never becomes
+    confident and is never installed — storage width and rename
+    capability coincide by design (§3.3)."""
+    rig = Rig(MachineConfig.tvp())
+    uop = uops_of("add x0, x1, x2")[0]
+    train_confident(rig, uop.pc, 0x10000)
+    prediction = rig.vtage.predict(uop.pc)
+    assert not prediction.confident
+    entry, outcome = rig.rename(uop)
+    assert not outcome.vp_used
+
+
+def test_gvp_wide_value_gets_physical_register():
+    rig = Rig(MachineConfig.gvp())
+    uop = uops_of("add x0, x1, x2")[0]
+    train_confident(rig, uop.pc, 0xDEAD0000)
+    writes_before = rig.stats.int_prf_writes
+    entry, outcome = rig.rename(uop)
+    assert outcome.vp_used
+    assert rig.int_prf.owns(entry.dest_name)
+    assert rig.stats.int_prf_writes == writes_before + 1
+    assert rig.stats.vp_phys_reg_predictions == 1
+    assert rig.int_prf.ready_at(entry.dest_name) <= 2  # written at rename
+
+
+def test_gvp_narrow_value_still_inlined():
+    rig = Rig(MachineConfig.gvp())
+    uop = uops_of("add x0, x1, x2")[0]
+    train_confident(rig, uop.pc, 5)
+    entry, outcome = rig.rename(uop)
+    assert outcome.vp_used
+    assert not rig.int_prf.owns(entry.dest_name)
+
+
+def test_silenced_predictions_not_used():
+    rig = Rig(MachineConfig.mvp())
+    uop = uops_of("add x0, x1, x2")[0]
+    train_confident(rig, uop.pc, 0)
+    rig.queue.silence(0)   # silenced until cycle 250
+    entry, outcome = rig.rename(uop, cycle=10)
+    assert not outcome.vp_used
+    assert rig.queue.stat_silenced_suppressions == 1
+
+
+def test_unconfident_prediction_tracked_not_used():
+    rig = Rig(MachineConfig.mvp())
+    uop = uops_of("add x0, x1, x2")[0]
+    # Barely trained: present in the base table but unconfident.
+    prediction = rig.vtage.predict(uop.pc)
+    rig.vtage.train(uop.pc, 0, prediction.info)
+    entry, outcome = rig.rename(uop)
+    assert not outcome.vp_used
+    assert rig.queue.get(uop.seq) is not None   # FIFO tracks it for training
+
+
+def test_full_fifo_blocks_prediction():
+    rig = Rig(MachineConfig.mvp())
+    rig.queue.capacity = 0
+    uop = uops_of("add x0, x1, x2")[0]
+    train_confident(rig, uop.pc, 0)
+    entry, outcome = rig.rename(uop)
+    assert not outcome.vp_used
+    assert rig.queue.get(uop.seq) is None
+
+
+def test_vp_used_uop_still_has_sources_for_validation():
+    rig = Rig(MachineConfig.mvp())
+    uop = uops_of("add x0, x1, x2")[0]
+    train_confident(rig, uop.pc, 0)
+    entry, outcome = rig.rename(uop)
+    assert outcome.vp_used
+    assert len(entry.src_names) == 2   # it still issues and executes
+
+
+# -- bookkeeping --------------------------------------------------------------------
+def test_undo_log_records_all_mappings():
+    rig = Rig()
+    entry, _ = rig.rename(uops_of("adds x0, x1, x2")[0])
+    renamed = {reg for reg, _prev, _new in entry.undo}
+    assert renamed == {0, FLAGS}
+
+
+def test_can_rename_respects_free_lists():
+    rig = Rig()
+    uop = uops_of("add x0, x1, x2")[0]
+    while rig.int_prf.free_count:
+        rig.int_prf.alloc()
+    assert not rig.renamer.can_rename(uop)
+    assert rig.renamer.can_rename(uops_of("cmp x0, x1")[0])

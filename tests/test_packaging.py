@@ -1,0 +1,55 @@
+"""Package surface: public API importability and entry points."""
+
+import importlib
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.isa",
+    "repro.emulator",
+    "repro.frontend",
+    "repro.core",
+    "repro.backend",
+    "repro.rename",
+    "repro.memory",
+    "repro.pipeline",
+    "repro.workloads",
+    "repro.harness",
+    "repro.util",
+]
+
+
+@pytest.mark.parametrize("name", PUBLIC_MODULES)
+def test_module_imports(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a module docstring"
+
+
+def test_top_level_api():
+    import repro
+
+    assert hasattr(repro, "__version__")
+    from repro import MachineConfig, assemble, simulate  # noqa: F401
+
+
+def test_all_exports_resolve():
+    for name in PUBLIC_MODULES:
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_public_classes_have_docstrings():
+    from repro.core.spsr import SpSREngine
+    from repro.core.vtage import Vtage
+    from repro.pipeline.core import CpuModel
+    from repro.rename.renamer import Renamer
+
+    for cls in (SpSREngine, Vtage, CpuModel, Renamer):
+        assert cls.__doc__
+        public = [m for m in vars(cls)
+                  if not m.startswith("_") and callable(getattr(cls, m))]
+        for method_name in public:
+            assert getattr(cls, method_name).__doc__, \
+                f"{cls.__name__}.{method_name} lacks a docstring"

@@ -1,0 +1,47 @@
+"""XorShift64 determinism and distribution sanity."""
+
+import pytest
+
+from repro.util.rng import XorShift64
+
+
+def test_deterministic_for_seed():
+    a = XorShift64(seed=42)
+    b = XorShift64(seed=42)
+    assert [a.next() for _ in range(100)] == [b.next() for _ in range(100)]
+
+
+def test_different_seeds_diverge():
+    a = XorShift64(seed=1)
+    b = XorShift64(seed=2)
+    assert [a.next() for _ in range(10)] != [b.next() for _ in range(10)]
+
+
+def test_zero_seed_rejected():
+    with pytest.raises(ValueError):
+        XorShift64(seed=0)
+
+
+def test_values_are_64_bit():
+    rng = XorShift64(seed=7)
+    for _ in range(1000):
+        value = rng.next()
+        assert 0 <= value <= 0xFFFF_FFFF_FFFF_FFFF
+
+
+def test_chance_one_is_always_true():
+    rng = XorShift64(seed=3)
+    assert all(rng.chance(1) for _ in range(50))
+
+
+def test_chance_sixteen_rate_is_plausible():
+    rng = XorShift64(seed=9)
+    hits = sum(rng.chance(16) for _ in range(16_000))
+    # Expected ~1000; allow generous slack for a 1000-trial binomial.
+    assert 700 < hits < 1300
+
+
+def test_no_short_cycles():
+    rng = XorShift64(seed=5)
+    seen = {rng.next() for _ in range(10_000)}
+    assert len(seen) == 10_000

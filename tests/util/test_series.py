@@ -1,0 +1,43 @@
+"""Geometric history series."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.series import geometric_history_lengths
+
+
+def test_paper_branch_series_endpoints():
+    lengths = geometric_history_lengths(5, 640, 15)
+    assert lengths[0] == 5
+    assert lengths[-1] == 640
+    assert len(lengths) == 15
+
+
+def test_paper_value_series():
+    lengths = geometric_history_lengths(2, 128, 7)
+    assert lengths == [2, 4, 8, 16, 32, 64, 128]
+
+
+def test_single_table():
+    assert geometric_history_lengths(4, 64, 1) == [64]
+
+
+@given(st.integers(1, 16), st.integers(2, 30))
+def test_strictly_increasing(minimum, count):
+    maximum = minimum * 64
+    lengths = geometric_history_lengths(minimum, maximum, count)
+    assert all(b > a for a, b in zip(lengths, lengths[1:]))
+    assert lengths[-1] == maximum
+
+
+@given(st.integers(8, 100), st.integers(2, 8))
+def test_bounds_respected(minimum, count):
+    maximum = minimum * 10
+    lengths = geometric_history_lengths(minimum, maximum, count)
+    assert lengths[0] >= minimum
+    assert max(lengths) == maximum
+
+
+def test_overconstrained_rejected():
+    with pytest.raises(ValueError):
+        geometric_history_lengths(1, 3, 10)

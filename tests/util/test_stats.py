@@ -1,0 +1,55 @@
+"""geomean / hmean / percent helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import amean, geomean, geomean_speedup_percent, hmean, percent
+
+
+def test_geomean_basic():
+    assert math.isclose(geomean([2, 8]), 4.0)
+
+
+def test_geomean_empty():
+    assert geomean([]) == 0.0
+
+
+def test_geomean_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        geomean([1.0, 0.0])
+
+
+def test_geomean_speedup_percent_identity():
+    assert math.isclose(geomean_speedup_percent([0.0, 0.0]), 0.0)
+
+
+def test_geomean_speedup_percent_mixed():
+    # 1.10x and ~0.909x cancel geometrically.
+    result = geomean_speedup_percent([10.0, -100.0 / 11.0])
+    assert abs(result) < 1e-9
+
+
+def test_hmean_ipc_style():
+    assert math.isclose(hmean([1.0, 1.0]), 1.0)
+    assert hmean([1.0, 3.0]) < amean([1.0, 3.0])
+
+
+def test_hmean_empty():
+    assert hmean([]) == 0.0
+
+
+def test_percent_zero_denominator():
+    assert percent(5, 0) == 0.0
+
+
+def test_percent_basic():
+    assert percent(1, 4) == 25.0
+
+
+@given(st.lists(st.floats(0.1, 100.0), min_size=1, max_size=20))
+def test_mean_inequality(values):
+    # Classic HM <= GM <= AM chain.
+    assert hmean(values) <= geomean(values) + 1e-9
+    assert geomean(values) <= amean(values) + 1e-9

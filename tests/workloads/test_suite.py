@@ -1,0 +1,99 @@
+"""Workload suite integrity."""
+
+import pytest
+
+from repro.emulator.trace import trace_program
+from repro.workloads import SUITE, get_workload, suite
+from repro.workloads.profile import narrow_fraction, top_values, value_profile
+
+
+def test_suite_has_fourteen_kernels():
+    assert len(SUITE) == 14
+    assert len({w.name for w in SUITE}) == 14
+
+
+def test_every_kernel_names_its_spec_analog():
+    for workload in SUITE:
+        assert workload.spec_analog
+        assert workload.description
+
+
+@pytest.mark.parametrize("workload", SUITE, ids=lambda w: w.name)
+def test_kernel_assembles_and_emulates(workload):
+    trace, stats = trace_program(workload.program, max_instructions=2000)
+    assert stats.arch_instructions == 2000
+    assert 1.0 <= stats.expansion_ratio <= 1.5
+
+
+@pytest.mark.parametrize("workload", SUITE, ids=lambda w: w.name)
+def test_kernel_runs_longer_than_any_budget(workload):
+    """Kernels loop indefinitely; the budget is the only terminator."""
+    trace, stats = trace_program(workload.program, max_instructions=4000)
+    assert stats.arch_instructions == 4000
+
+
+def test_get_workload_and_subset():
+    workload = get_workload("xml_tree")
+    assert workload.name == "xml_tree"
+    subset = suite(["hash_loop", "permute"])
+    assert [w.name for w in subset] == ["hash_loop", "permute"]
+    with pytest.raises(KeyError):
+        suite(["nonexistent"])
+
+
+def test_program_is_cached():
+    workload = get_workload("hash_loop")
+    assert workload.program is workload.program
+
+
+def test_value_profile_matches_fig1_shape():
+    counter, total = value_profile(suite(), instructions_each=2500)
+    series = top_values(counter, total, 5)
+    assert series[0][0] == 0              # 0x0 on top
+    assert series[0][1] > 3.0             # with a solid share
+    top5 = [value for value, _share in series]
+    assert 1 in top5                      # 0x1 among the leaders
+    assert narrow_fraction(counter, total, 9) > 30.0
+
+
+def test_branchy_kernels_have_branches():
+    for name in ("hash_loop", "event_queue", "match_count"):
+        _trace, stats = trace_program(get_workload(name).program,
+                                      max_instructions=2000)
+        assert stats.branches > 100
+
+
+def test_fp_kernels_have_fp_work():
+    from repro.isa.opcodes import FP_OPS
+
+    for name in ("stream_triad", "stencil5", "fir_filter"):
+        trace, _ = trace_program(get_workload(name).program,
+                                 max_instructions=2000)
+        assert sum(1 for u in trace if u.op in FP_OPS) > 200
+
+
+def test_sparse_graph_misses():
+    from repro.pipeline import MachineConfig
+    from repro.pipeline.core import CpuModel
+
+    trace, _ = trace_program(get_workload("sparse_graph").program,
+                             max_instructions=2500)
+    model = CpuModel(trace, MachineConfig.baseline())
+    result = model.run()
+    assert result.stats.memory["L1D.misses"] > 200
+    assert result.stats.ipc < 0.3
+
+
+def test_xml_tree_is_gvp_outlier():
+    from repro.pipeline import MachineConfig
+    from repro.pipeline.core import CpuModel
+
+    trace, _ = trace_program(get_workload("xml_tree").program,
+                             max_instructions=6000)
+    ipcs = {}
+    for name, config in [("base", MachineConfig.baseline()),
+                         ("tvp", MachineConfig.tvp()),
+                         ("gvp", MachineConfig.gvp())]:
+        ipcs[name] = CpuModel(trace, config).run().stats.ipc
+    assert ipcs["gvp"] > ipcs["base"] * 1.05
+    assert abs(ipcs["tvp"] - ipcs["base"]) / ipcs["base"] < 0.02
