@@ -1,0 +1,71 @@
+"""Simulator throughput — raw timing-model speed in kuops/s.
+
+Unlike the ``bench_fig*`` files, which reproduce paper figures, this
+benchmark tracks the *simulator itself*: how many µops per second the
+cycle model retires.  It is the acceptance gauge for hot-path
+optimization work — compare ``kuops_per_s`` in ``--benchmark-json``
+output (or the ``__main__`` quick mode) across commits.
+
+Quick mode for CI (no pytest-benchmark machinery)::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py --quick
+"""
+
+import time
+
+from repro.harness.runner import ExperimentRunner
+from repro.pipeline.core import CpuModel
+
+# A config mix covering the three major simulator modes: plain OoO,
+# value prediction with selective replay, and VP + SpSR folding.
+_CONFIGS = ("baseline", "tvp", "gvp+spsr")
+_WORKLOADS = ("hash_loop", "sparse_graph", "xml_tree")
+
+
+def _simulate_suite(instructions):
+    """Simulate the mix serially; returns (uops retired, wall seconds).
+
+    Traces are built *before* the clock starts — this measures the
+    timing model only, not the functional emulator.
+    """
+    from repro.workloads import suite
+
+    runner = ExperimentRunner(workloads=suite(_WORKLOADS),
+                              instructions=instructions)
+    points = [(runner.trace_of(workload), runner.config(name))
+              for workload in runner.workloads for name in _CONFIGS]
+    uops = 0
+    started = time.perf_counter()
+    for trace, config in points:
+        stats = CpuModel(trace, config).run().stats
+        uops += stats.retired_uops
+    wall = time.perf_counter() - started
+    return uops, wall
+
+
+def test_simulator_throughput(benchmark):
+    from conftest import DEFAULT_INSTRUCTIONS, run_once
+
+    uops, wall = run_once(benchmark, _simulate_suite, DEFAULT_INSTRUCTIONS)
+    benchmark.extra_info["kuops_per_s"] = round(uops / wall / 1000.0, 1)
+    benchmark.extra_info["uops"] = uops
+    assert uops > 0
+
+
+def main(instructions=3000):
+    uops, wall = _simulate_suite(instructions)
+    print(f"simulated {uops} uops in {wall:.2f}s "
+          f"= {uops / wall / 1000.0:.1f} kuops/s")
+    return 0
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true",
+                        help="small budget suitable for CI smoke runs")
+    parser.add_argument("--instructions", type=int, default=None)
+    cli_args = parser.parse_args()
+    budget = cli_args.instructions or (2000 if cli_args.quick else 10000)
+    raise SystemExit(main(budget))

@@ -6,27 +6,41 @@ is pure Python); set ``REPRO_BENCH_INSTRUCTIONS`` for a longer, more
 faithful run, e.g.::
 
     REPRO_BENCH_INSTRUCTIONS=30000 pytest benchmarks/ --benchmark-only -s
+
+Sweeps fan out across worker processes (``REPRO_BENCH_JOBS``, default all
+cores) and reuse the on-disk simulation cache (disable by setting
+``REPRO_BENCH_CACHE=0``).
 """
 
 import os
 
 import pytest
 
-from repro.harness.runner import ExperimentRunner
+from repro.harness.cache import SimulationCache
+from repro.harness.parallel import make_runner
 
 DEFAULT_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "5000"))
+BENCH_JOBS = (int(os.environ["REPRO_BENCH_JOBS"])
+              if "REPRO_BENCH_JOBS" in os.environ else None)
+BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE", "1") != "0"
+
+
+def _make_runner(instructions):
+    cache = SimulationCache() if BENCH_CACHE else None
+    return make_runner(instructions=instructions, cache=cache,
+                       jobs=BENCH_JOBS)
 
 
 @pytest.fixture(scope="session")
 def runner():
     """One shared runner so traces/baselines are simulated once."""
-    return ExperimentRunner(instructions=DEFAULT_INSTRUCTIONS)
+    return _make_runner(DEFAULT_INSTRUCTIONS)
 
 
 @pytest.fixture(scope="session")
 def small_runner():
     """A cheaper runner for the sweep-heavy experiments (Table 3 etc.)."""
-    return ExperimentRunner(instructions=max(DEFAULT_INSTRUCTIONS // 2, 2000))
+    return _make_runner(max(DEFAULT_INSTRUCTIONS // 2, 2000))
 
 
 def run_once(benchmark, fn, *args):

@@ -37,28 +37,41 @@ class FunctionalUnits:
         )
         self._issued_this_cycle = 0
         self._cycle = -1
-        self._port_taken = [False] * len(self.ports)
+        self._issue_width = config.issue_width
+        self._n_ports = len(self.ports)
+        self._port_taken = [False] * self._n_ports
+        # Candidate port indices per class, in the same greedy (pure
+        # capabilities first) order the linear capability scan used.
+        # Keyed by the enum's (string) value: interned-string hashing is
+        # much cheaper than the pure-Python enum __hash__.
+        self._ports_of = {
+            cls.value: tuple(index for index, port in enumerate(self.ports)
+                             if cls in port.capabilities)
+            for cls in ExecClass
+        }
+        self._ports_of[ExecClass.BRANCH.value] = \
+            self._ports_of[ExecClass.INT_ALU.value]
 
     def new_cycle(self, cycle):
         self._cycle = cycle
         self._issued_this_cycle = 0
-        for i in range(len(self._port_taken)):
-            self._port_taken[i] = False
+        self._port_taken = [False] * self._n_ports
 
     def try_issue(self, exec_class, cycle):
         """Claim a port for one µop; returns True on success."""
-        if self._issued_this_cycle >= self.config.issue_width:
+        if self._issued_this_cycle >= self._issue_width:
             return False
-        if exec_class is ExecClass.BRANCH:
-            exec_class = ExecClass.INT_ALU
-        for index, port in enumerate(self.ports):
-            if self._port_taken[index] or exec_class not in port.capabilities:
+        taken = self._port_taken
+        ports = self.ports
+        for index in self._ports_of[exec_class.value]:
+            if taken[index]:
                 continue
+            port = ports[index]
             if port.busy_until > cycle:
                 continue  # unpipelined unit still grinding
-            self._port_taken[index] = True
+            taken[index] = True
             self._issued_this_cycle += 1
-            if exec_class in (ExecClass.INT_DIV, ExecClass.FP_DIV):
+            if exec_class is ExecClass.INT_DIV or exec_class is ExecClass.FP_DIV:
                 port.busy_until = cycle + self.latency_of(exec_class)
             return True
         return False

@@ -4,7 +4,14 @@ Addresses come from the trace (the functional emulator), so conflict
 detection is exact; *timing* still matters — a load that issues before an
 older same-address store has executed is a memory-order violation unless
 the Store Sets predictor made it wait.
+
+Both queues are kept in seq (age) order: entries arrive at rename in
+program order, commit removes from the head, and squashes remove a tail
+suffix.  That invariant makes removal O(1) and lets the conflict check
+walk stores youngest-first and stop at the first overlap.
 """
+
+from collections import deque
 
 
 class LsqEntry:
@@ -35,8 +42,9 @@ class LoadStoreQueues:
     def __init__(self, lq_capacity, sq_capacity):
         self.lq_capacity = lq_capacity
         self.sq_capacity = sq_capacity
-        self.loads = []
-        self.stores = []
+        self.loads = deque()
+        self.stores = deque()
+        self._load_by_seq = {}
 
     @property
     def lq_full(self):
@@ -48,32 +56,56 @@ class LoadStoreQueues:
 
     def add_load(self, entry):
         self.loads.append(entry)
+        self._load_by_seq[entry.seq] = entry
 
     def add_store(self, entry):
         self.stores.append(entry)
 
+    def load_of(self, seq):
+        """The LQ entry for *seq*, or None."""
+        return self._load_by_seq.get(seq)
+
     # -- load issue checks ---------------------------------------------------------
     def youngest_older_store_conflict(self, load):
         """Youngest store older than *load* touching the same bytes."""
-        best = None
-        for store in self.stores:
-            if store.seq < load.seq and store.overlaps(load):
-                if best is None or store.seq > best.seq:
-                    best = store
-        return best
+        load_seq = load.seq
+        load_addr = load.addr
+        load_end = load_addr + load.size
+        for store in reversed(self.stores):
+            if store.seq < load_seq and store.addr < load_end \
+                    and load_addr < store.addr + store.size:
+                return store
+        return None
 
     # -- store execution checks ------------------------------------------------------
     def violating_loads(self, store):
         """Younger loads that already executed against stale data."""
+        store_seq = store.seq
         return [load for load in self.loads
-                if load.seq > store.seq and load.overlaps(store)
-                and load.executed_cycle is not None]
+                if load.seq > store_seq and load.executed_cycle is not None
+                and load.overlaps(store)]
 
     # -- lifecycle --------------------------------------------------------------------
     def remove_committed(self, seq):
-        self.loads = [e for e in self.loads if e.seq != seq]
-        self.stores = [e for e in self.stores if e.seq != seq]
+        loads = self.loads
+        if loads and loads[0].seq == seq:
+            loads.popleft()
+            self._load_by_seq.pop(seq, None)
+            return
+        stores = self.stores
+        if stores and stores[0].seq == seq:
+            stores.popleft()
+            return
+        # Out-of-order removal: never hit by the in-order commit path, but
+        # kept so direct API users get the original semantics.
+        self.loads = deque(e for e in loads if e.seq != seq)
+        self.stores = deque(e for e in stores if e.seq != seq)
+        self._load_by_seq.pop(seq, None)
 
     def squash_from(self, seq):
-        self.loads = [e for e in self.loads if e.seq < seq]
-        self.stores = [e for e in self.stores if e.seq < seq]
+        loads = self.loads
+        while loads and loads[-1].seq >= seq:
+            self._load_by_seq.pop(loads.pop().seq, None)
+        stores = self.stores
+        while stores and stores[-1].seq >= seq:
+            stores.pop()

@@ -58,18 +58,20 @@ class PhysicalRegisterFile:
 
     def add_ref(self, name):
         """One more RAT/CRAT entry references *name*."""
-        if self.owns(name):
-            self._refcount[name - self.name_base] += 1
+        index = name - self.name_base  # inlined owns(): hot path
+        if self._first <= index < self.n_regs:
+            self._refcount[index] += 1
 
     def release(self, name):
         """One fewer reference; frees the register at zero."""
-        if not self.owns(name):
+        index = name - self.name_base  # inlined owns(): hot path
+        if not (self._first <= index < self.n_regs):
             return
-        index = name - self.name_base
-        self._refcount[index] -= 1
-        if self._refcount[index] == 0:
+        refcount = self._refcount
+        refcount[index] -= 1
+        if refcount[index] == 0:
             self._free.append(index)
-        elif self._refcount[index] < 0:
+        elif refcount[index] < 0:
             raise AssertionError(f"refcount underflow on p{name}")
 
     def refcount(self, name):
@@ -78,8 +80,9 @@ class PhysicalRegisterFile:
     # -- readiness -----------------------------------------------------------------
     def set_ready(self, name, cycle):
         """Producer completion: value available from *cycle* on."""
-        if self.owns(name):
-            self._ready_at[name - self.name_base] = cycle
+        index = name - self.name_base  # inlined owns(): hot path
+        if self._first <= index < self.n_regs:
+            self._ready_at[index] = cycle
 
     def ready_at(self, name):
         """Cycle the value behind *name* is available (0 for value names
@@ -88,6 +91,20 @@ class PhysicalRegisterFile:
         if 0 <= index < self.n_regs:
             return self._ready_at[index]
         return 0
+
+    def ready_slot(self, name):
+        """A ``(buffer, index)`` pair with ``buffer[index] == ready_at(name)``.
+
+        The buffer is this file's readiness array, mutated in place by
+        :meth:`set_ready`, so the slot stays valid for the file's lifetime —
+        the scheduler caches it to skip the per-lookup range dispatch.
+        Returns None for names outside the file (value-encoding names),
+        whose readiness is the constant 0.
+        """
+        index = name - self.name_base
+        if 0 <= index < self.n_regs:
+            return self._ready_at, index
+        return None
 
     # -- width metadata (move-elimination 64->32 rule) -----------------------------
     def set_width(self, name, width):

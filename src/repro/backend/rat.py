@@ -80,6 +80,22 @@ class RegisterAliasTable:
             return
         self._prf_of(reg).release(name)
 
+    def commit_and_drop(self, reg, new_name):
+        """Equivalent to ``commit(reg, new_name)`` then
+        ``drop_rob_ref(reg, new_name)`` — the retire-time pair.
+
+        The ROB entry's own reference transfers to the CRAT, so the
+        +1/-1 on *new_name* cancels (the entry's reference keeps the
+        count >= 1 throughout) and only the old committed name is
+        actually released.
+        """
+        if reg == XZR:
+            return
+        prf = self._prf_of(reg)
+        previous = self.committed[reg]
+        self.committed[reg] = new_name
+        prf.release(previous)
+
     # -- committed map -------------------------------------------------------------
     def commit(self, reg, new_name):
         """Retire a mapping: CRAT swap + reclamation of the old name.

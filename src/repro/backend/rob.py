@@ -25,7 +25,7 @@ class RobEntry:
         "complete_cycle", "vp_used", "vp_predicted", "elim_kind",
         "move_width_blocked", "wait_store_seq", "src_names",
         "issue_ready_cycle", "in_iq", "wakeup_cycle", "wakeup_known",
-        "issue_token",
+        "issue_token", "select_gate",
     )
 
     def __init__(self, seq, uop):
@@ -48,6 +48,11 @@ class RobEntry:
         self.wakeup_known = False      # True once every source is scheduled
         self.issue_token = 0           # bumped per (re-)issue: stale
                                        # completion events are ignored
+        self.select_gate = 0           # single scan key: earliest cycle the
+                                       # scheduler may reconsider this entry
+                                       # (dispatch floor, then cached wakeup
+                                       # time; ~infinity while parked on an
+                                       # unissued producer in the wakeup CAM)
 
     def __repr__(self):
         return f"<rob #{self.seq} {self.uop.text!r} {self.state.value}>"

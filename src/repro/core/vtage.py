@@ -75,19 +75,6 @@ class VtageConfig:
         )
 
 
-class _Entry:
-    """A tagged VTAGE entry (the base table leaves ``useful`` at 0)."""
-
-    __slots__ = ("tag", "value_field", "confidence", "useful", "valid")
-
-    def __init__(self):
-        self.tag = 0
-        self.value_field = 0
-        self.confidence = 0
-        self.useful = 0
-        self.valid = False
-
-
 @dataclass
 class Prediction:
     """Outcome of a VTAGE lookup."""
@@ -114,14 +101,30 @@ class Vtage:
         self._fpc = ForwardProbabilisticCounter(
             self.config.confidence_bits, self.config.fpc_one_in, self._rng)
         cfg = self.config
-        self.base = [_Entry() for _ in range(1 << cfg.base_log2)]
-        self.tables = [[_Entry() for _ in range(1 << log2)]
-                       for log2 in cfg.tagged_log2]
+        # Tables as parallel arrays (tag / value field / FPC confidence /
+        # useful / valid) rather than one object per entry: every model
+        # instantiation builds ~6K entries, and the hot predict loop only
+        # ever touches one or two fields per probe.
+        base_size = 1 << cfg.base_log2
+        self._base_tags = [0] * base_size
+        self._base_values = [0] * base_size
+        self._base_conf = bytearray(base_size)
+        self._base_valid = bytearray(base_size)
+        sizes = [1 << log2 for log2 in cfg.tagged_log2]
+        self._tbl_tags = [[0] * size for size in sizes]
+        self._tbl_values = [[0] * size for size in sizes]
+        self._tbl_conf = [bytearray(size) for size in sizes]
+        self._tbl_valid = [bytearray(size) for size in sizes]
+        self._tbl_useful = [bytearray(size) for size in sizes]
         lengths = cfg.history_lengths
         self._index_folds = [self.history.fold(length, log2)
                              for length, log2 in zip(lengths, cfg.tagged_log2)]
         self._tag_folds = [self.history.fold(length, bits)
                            for length, bits in zip(lengths, cfg.tag_bits)]
+        # Immutable hash parameters, unpacked for the hot predict loop.
+        self._log2s = tuple(cfg.tagged_log2)
+        self._idx_masks = tuple((1 << log2) - 1 for log2 in cfg.tagged_log2)
+        self._tag_masks = tuple((1 << bits) - 1 for bits in cfg.tag_bits)
         self._trainings = 0
         # Statistics.
         self.stat_lookups = 0
@@ -151,22 +154,35 @@ class Vtage:
         self.stat_lookups += 1
         provider = -1
         provider_index = -1
-        for table in range(self.config.n_tagged - 1, -1, -1):
-            index = self._index(table, pc)
-            entry = self.tables[table][index]
-            if entry.valid and entry.tag == self._tag(table, pc):
+        pc2 = pc >> 2
+        log2s = self._log2s
+        idx_masks = self._idx_masks
+        tag_masks = self._tag_masks
+        index_folds = self._index_folds
+        tag_folds = self._tag_folds
+        tbl_tags = self._tbl_tags
+        tbl_valid = self._tbl_valid
+        for table in range(len(tbl_tags) - 1, -1, -1):
+            # Inlined _index/_tag (this loop dominates the lookup cost).
+            index = (pc2 ^ (pc2 >> log2s[table])
+                     ^ index_folds[table].value) & idx_masks[table]
+            if tbl_valid[table][index] and tbl_tags[table][index] == \
+                    (pc2 ^ (tag_folds[table].value << 1)) & tag_masks[table]:
                 provider, provider_index = table, index
                 break
         if provider < 0:
             index = self._base_index(pc)
-            entry = self.base[index]
-            if not (entry.valid and entry.tag == self._base_tag(pc)):
+            if not (self._base_valid[index]
+                    and self._base_tags[index] == self._base_tag(pc)):
                 return Prediction(None, False, (-2, index))
             provider_index = index
+            value_field = self._base_values[index]
+            confidence = self._base_conf[index]
         else:
-            entry = self.tables[provider][provider_index]
-        value = decode_value_field(entry.value_field, self.config.value_bits)
-        confident = self._fpc.is_confident(entry.confidence)
+            value_field = self._tbl_values[provider][provider_index]
+            confidence = self._tbl_conf[provider][provider_index]
+        value = decode_value_field(value_field, self.config.value_bits)
+        confident = self._fpc.is_confident(confidence)
         if confident:
             self.stat_confident += 1
         return Prediction(value, confident, (provider, provider_index))
@@ -183,29 +199,36 @@ class Vtage:
         mispredicted_confident = False
         if provider == -2:
             # Base-table miss: allocate the base entry (LVP behaviour).
-            entry = self.base[provider_index]
-            entry.tag = self._base_tag(pc)
-            entry.value_field = field_value
-            entry.confidence = 0
-            entry.valid = True
+            self._base_tags[provider_index] = self._base_tag(pc)
+            self._base_values[provider_index] = field_value
+            self._base_conf[provider_index] = 0
+            self._base_valid[provider_index] = 1
         else:
-            entry = (self.base[provider_index] if provider < 0
-                     else self.tables[provider][provider_index])
-            predicted = decode_value_field(entry.value_field, self.config.value_bits)
+            if provider < 0:
+                values, conf = self._base_values, self._base_conf
+                useful = None  # the base table has no useful field
+            else:
+                values = self._tbl_values[provider]
+                conf = self._tbl_conf[provider]
+                useful = self._tbl_useful[provider]
+            predicted = decode_value_field(values[provider_index],
+                                           self.config.value_bits)
             if predicted == actual_value:
                 self.stat_correct_trained += 1
-                entry.confidence = self._fpc.increment(entry.confidence)
-                if provider >= 0 and self._fpc.is_confident(entry.confidence):
-                    entry.useful = min(entry.useful + 1,
-                                       (1 << self.config.useful_bits) - 1)
+                conf[provider_index] = self._fpc.increment(conf[provider_index])
+                if useful is not None and \
+                        self._fpc.is_confident(conf[provider_index]):
+                    useful[provider_index] = min(
+                        useful[provider_index] + 1,
+                        (1 << self.config.useful_bits) - 1)
             else:
                 self.stat_incorrect_trained += 1
-                mispredicted_confident = self._fpc.is_confident(entry.confidence)
-                if entry.confidence == 0:
-                    entry.value_field = field_value
-                entry.confidence = 0
-                if provider >= 0:
-                    entry.useful = max(entry.useful - 1, 0)
+                mispredicted_confident = self._fpc.is_confident(conf[provider_index])
+                if conf[provider_index] == 0:
+                    values[provider_index] = field_value
+                conf[provider_index] = 0
+                if useful is not None and useful[provider_index]:
+                    useful[provider_index] -= 1
                 self._allocate(pc, field_value, provider)
         self._trainings += 1
         if self._trainings % self.config.useful_reset_period == 0:
@@ -217,21 +240,21 @@ class Vtage:
         start = provider + 1
         for table in range(max(start, 0), self.config.n_tagged):
             index = self._index(table, pc)
-            entry = self.tables[table][index]
-            if entry.useful == 0:
+            if self._tbl_useful[table][index] == 0:
                 if not self._rng.chance(2) and table < self.config.n_tagged - 1:
                     continue  # probabilistic skip spreads allocations out
-                entry.tag = self._tag(table, pc)
-                entry.value_field = field_value
-                entry.confidence = 0
-                entry.useful = 0
-                entry.valid = True
+                self._tbl_tags[table][index] = self._tag(table, pc)
+                self._tbl_values[table][index] = field_value
+                self._tbl_conf[table][index] = 0
+                self._tbl_useful[table][index] = 0
+                self._tbl_valid[table][index] = 1
                 return
         for table in range(max(start, 0), self.config.n_tagged):
-            entry = self.tables[table][self._index(table, pc)]
-            entry.useful = max(entry.useful - 1, 0)
+            useful = self._tbl_useful[table]
+            index = self._index(table, pc)
+            if useful[index]:
+                useful[index] -= 1
 
     def _reset_useful(self):
-        for table in self.tables:
-            for entry in table:
-                entry.useful >>= 1
+        self._tbl_useful = [bytearray(value >> 1 for value in useful)
+                            for useful in self._tbl_useful]

@@ -12,6 +12,11 @@ from typing import Optional, Tuple
 
 from repro.isa.opcodes import ExecClass, Op
 
+# The paper's value-prediction eligibility classes (a tuple so membership
+# tests compare by identity instead of the pure-Python enum ``__hash__``).
+_VP_CLASSES = (ExecClass.INT_ALU, ExecClass.INT_MUL,
+               ExecClass.INT_DIV, ExecClass.LOAD)
+
 
 @dataclass
 class DynUop:
@@ -23,7 +28,7 @@ class DynUop:
         "cond", "imm", "imm2", "result", "flags_out", "is_branch",
         "is_cond_branch", "is_indirect", "is_call", "is_return", "taken",
         "target_pc", "next_pc", "is_load", "is_store", "addr", "size",
-        "store_value", "src_values", "text",
+        "store_value", "src_values", "text", "vp_elig",
     )
 
     seq: int                 # global µop sequence number
@@ -59,6 +64,14 @@ class DynUop:
     store_value: Optional[int]
     src_values: Tuple[int, ...]
     text: str
+
+    def __post_init__(self):
+        # Value-prediction eligibility (the paper's rule: arithmetic and
+        # load µops producing a general-purpose register), precomputed
+        # once because the pipeline consults it at fetch, rename and
+        # commit for every µop.
+        self.vp_elig = (self.dst is not None and not self.dst_is_fp
+                        and not self.is_branch and self.cls in _VP_CLASSES)
 
     @property
     def is_last_uop(self):

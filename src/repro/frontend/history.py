@@ -12,20 +12,21 @@ _RING_BITS = 2048
 class FoldedHistory:
     """A *width*-bit fold of the most recent *length* history bits."""
 
-    __slots__ = ("length", "width", "value", "_out_shift")
+    __slots__ = ("length", "width", "value", "_out_shift", "_mask")
 
     def __init__(self, length, width):
         self.length = length
         self.width = width
         self.value = 0
         self._out_shift = length % width
+        self._mask = (1 << width) - 1
 
     def update(self, new_bit, old_bit):
         """Push *new_bit*, retire *old_bit* (the bit leaving the window)."""
         value = (self.value << 1) | new_bit
         value ^= old_bit << self._out_shift
         value ^= value >> self.width
-        self.value = value & ((1 << self.width) - 1)
+        self.value = value & self._mask
 
 
 class GlobalHistory:
@@ -57,8 +58,12 @@ class GlobalHistory:
         head = self._head
         new_bit = 1 if taken else 0
         for fold in self._folds:
-            old_bit = ring[(head - fold.length) % _RING_BITS]
-            fold.update(new_bit, old_bit)
+            # fold.update(new_bit, old_bit), inlined: push() runs once per
+            # branch over ~50 registered folds and dominates history cost.
+            value = ((fold.value << 1) | new_bit) \
+                ^ (ring[(head - fold.length) % _RING_BITS] << fold._out_shift)
+            value ^= value >> fold.width
+            fold.value = value & fold._mask
         ring[head] = new_bit
         self._head = (head + 1) % _RING_BITS
 

@@ -51,15 +51,6 @@ class TageConfig:
         return bits
 
 
-class _TaggedEntry:
-    __slots__ = ("tag", "counter", "useful")
-
-    def __init__(self):
-        self.tag = 0
-        self.counter = 0  # signed-ish: 0..7, taken when >= 4
-        self.useful = 0
-
-
 class Tage:
     """The predictor.  ``predict`` and ``update`` must be called in pairs."""
 
@@ -71,9 +62,13 @@ class Tage:
         self._rng = XorShift64(seed)
         cfg = self.config
         self.base = bytearray([2] * (1 << cfg.base_log2))  # weak not-taken
-        self.tables = [
-            [_TaggedEntry() for _ in range(1 << log2)] for log2 in cfg.tagged_log2
-        ]
+        # Tagged components as parallel arrays (tag / 0..7 counter, taken
+        # when >= 4 / 0..3 useful) — far cheaper to build and index than
+        # one object per entry.
+        sizes = [1 << log2 for log2 in cfg.tagged_log2]
+        self._tags = [[0] * size for size in sizes]
+        self._counters = [bytearray(size) for size in sizes]
+        self._useful = [bytearray(size) for size in sizes]
         lengths = cfg.history_lengths
         self._index_folds = [
             self.history.fold(length, log2)
@@ -115,8 +110,7 @@ class Tage:
         alt_index = 0
         for table in range(self.config.n_tables - 1, -1, -1):
             index = self._index(table, pc)
-            entry = self.tables[table][index]
-            if entry.tag == self._tag(table, pc):
+            if self._tags[table][index] == self._tag(table, pc):
                 if provider < 0:
                     provider, provider_index = table, index
                 else:
@@ -125,9 +119,8 @@ class Tage:
         base_index = self._base_index(pc)
         base_taken = self.base[base_index] >= 2
         if provider >= 0:
-            entry = self.tables[provider][provider_index]
-            taken = entry.counter >= 4
-            alt_taken = (self.tables[alt][alt_index].counter >= 4
+            taken = self._counters[provider][provider_index] >= 4
+            alt_taken = (self._counters[alt][alt_index] >= 4
                          if alt >= 0 else base_taken)
         else:
             taken = base_taken
@@ -143,11 +136,12 @@ class Tage:
         if predicted != taken:
             self.stat_mispredicts += 1
         if provider >= 0:
-            entry = self.tables[provider][provider_index]
-            self._update_counter(entry, taken)
+            self._update_counter(provider, provider_index, taken)
             if predicted != alt_taken:
-                entry.useful = min(entry.useful + 1, 3) if predicted == taken \
-                    else max(entry.useful - 1, 0)
+                useful = self._useful[provider]
+                useful[provider_index] = \
+                    min(useful[provider_index] + 1, 3) if predicted == taken \
+                    else max(useful[provider_index] - 1, 0)
             if alt < 0 and predicted != taken:
                 # Also train base when the provider was wrong and no alt.
                 self._update_base(base_index, taken)
@@ -160,11 +154,12 @@ class Tage:
             self._reset_useful()
         self.history.push(taken)
 
-    def _update_counter(self, entry, taken):
+    def _update_counter(self, table, index, taken):
+        counters = self._counters[table]
         if taken:
-            entry.counter = min(entry.counter + 1, 7)
+            counters[index] = min(counters[index] + 1, 7)
         else:
-            entry.counter = max(entry.counter - 1, 0)
+            counters[index] = max(counters[index] - 1, 0)
 
     def _update_base(self, base_index, taken):
         value = self.base[base_index]
@@ -175,27 +170,26 @@ class Tage:
         start = provider + 1
         candidates = [
             table for table in range(start, self.config.n_tables)
-            if self.tables[table][self._index(table, pc)].useful == 0
+            if self._useful[table][self._index(table, pc)] == 0
         ]
         if not candidates:
             for table in range(start, self.config.n_tables):
-                entry = self.tables[table][self._index(table, pc)]
-                entry.useful = max(entry.useful - 1, 0)
+                useful = self._useful[table]
+                index = self._index(table, pc)
+                useful[index] = max(useful[index] - 1, 0)
             return
         # Prefer the shortest candidate, with some randomization (Seznec).
         choice = candidates[0]
         if len(candidates) > 1 and self._rng.chance(2):
             choice = candidates[1]
         index = self._index(choice, pc)
-        entry = self.tables[choice][index]
-        entry.tag = self._tag(choice, pc)
-        entry.counter = 4 if taken else 3
-        entry.useful = 0
+        self._tags[choice][index] = self._tag(choice, pc)
+        self._counters[choice][index] = 4 if taken else 3
+        self._useful[choice][index] = 0
 
     def _reset_useful(self):
-        for table in self.tables:
-            for entry in table:
-                entry.useful >>= 1
+        self._useful = [bytearray(value >> 1 for value in useful)
+                        for useful in self._useful]
 
     @property
     def mispredict_rate(self):

@@ -1,0 +1,185 @@
+"""Persistent disk cache for simulation results.
+
+Re-running ``python -m repro.harness all`` (or the benchmark suite) used to
+re-simulate every (workload × config) point from scratch.  Simulations are
+deterministic functions of (workload, instruction budget, machine
+configuration, simulator code), so their stats can be cached on disk and
+replayed exactly.
+
+Keys
+----
+A cache entry is keyed by the SHA-256 of:
+
+* the workload name,
+* the dynamic instruction budget,
+* the **config fingerprint** — a hash of the canonicalised
+  :class:`~repro.pipeline.config.MachineConfig` contents (every field,
+  nested dataclasses and enums included), so two configs that differ in
+  any knob never collide, and
+* the **code-version hash** — a hash over every ``src/repro`` Python
+  source file, so editing the simulator invalidates the whole cache.
+
+Entries are JSON files written atomically (temp file + ``os.replace``), so
+a killed run never leaves a torn entry, and concurrent writers (the
+parallel runner) last-write-win with identical payloads.
+
+The cache directory defaults to ``.repro-cache/`` under the current
+working directory and can be moved with the ``REPRO_CACHE_DIR``
+environment variable or the ``--cache-dir`` CLI flag.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import fields, is_dataclass
+from enum import Enum
+
+from repro.pipeline.stats import PipelineStats
+
+_CACHE_FORMAT = 1          # bump to orphan all existing entries
+_DEFAULT_DIR = ".repro-cache"
+
+
+# -- canonicalisation / fingerprints -----------------------------------------------
+def _canonical(value):
+    """A JSON-stable structure capturing *value* exactly."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _canonical(getattr(value, f.name))
+                for f in fields(value)}
+    if isinstance(value, Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, dict):
+        return {str(key): _canonical(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def config_fingerprint(config):
+    """A short stable hash of every knob in a machine configuration."""
+    blob = json.dumps(_canonical(config), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+_code_version_memo = None
+
+
+def code_version_hash():
+    """Hash of every ``repro`` source file (memoized per process).
+
+    Any edit to the simulator — a config default, a pipeline tweak —
+    changes this value and therefore orphans every existing cache entry.
+    """
+    global _code_version_memo
+    if _code_version_memo is not None:
+        return _code_version_memo
+    import repro
+
+    package_root = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.sha256()
+    for directory, subdirs, filenames in sorted(os.walk(package_root)):
+        subdirs.sort()
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(directory, filename)
+            digest.update(os.path.relpath(path, package_root).encode())
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+    _code_version_memo = digest.hexdigest()[:16]
+    return _code_version_memo
+
+
+def simulation_key(workload_name, instructions, fingerprint):
+    """The cache key for one (workload, budget, config) simulation point."""
+    blob = json.dumps([_CACHE_FORMAT, workload_name, instructions,
+                       fingerprint, code_version_hash()],
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:32]
+
+
+# -- the cache itself ----------------------------------------------------------------
+class SimulationCache:
+    """Disk-backed (workload × config) result store with hit statistics."""
+
+    def __init__(self, directory=None):
+        if directory is None:
+            directory = os.environ.get("REPRO_CACHE_DIR") or _DEFAULT_DIR
+        self.directory = str(directory)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.errors = 0
+
+    def _path_of(self, key):
+        return os.path.join(self.directory, f"{key}.json")
+
+    def load(self, key):
+        """The cached :class:`PipelineStats` for *key*, or None."""
+        try:
+            with open(self._path_of(key)) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        stats_dict = payload.get("stats")
+        known = {f.name for f in fields(PipelineStats)}
+        if stats_dict is None or not set(stats_dict) <= known:
+            self.misses += 1   # written by an incompatible version
+            return None
+        self.hits += 1
+        return PipelineStats(**stats_dict)
+
+    def store(self, key, workload_name, config_name, instructions, stats):
+        """Atomically persist one simulation result.
+
+        An unwritable cache location degrades to a no-op (counted in
+        ``errors``) — caching is an optimization, never a reason to
+        lose a finished simulation.
+        """
+        from dataclasses import asdict
+
+        payload = {
+            "format": _CACHE_FORMAT,
+            "workload": workload_name,
+            "config": config_name,
+            "instructions": instructions,
+            "code_version": code_version_hash(),
+            "stats": asdict(stats),
+        }
+        tmp_path = None
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            handle, tmp_path = tempfile.mkstemp(dir=self.directory,
+                                                suffix=".tmp")
+            with os.fdopen(handle, "w") as tmp:
+                json.dump(payload, tmp, sort_keys=True)
+            os.replace(tmp_path, self._path_of(key))
+        except OSError:
+            if tmp_path is not None:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+            self.errors += 1
+            return
+        self.stores += 1
+
+    # -- reporting -----------------------------------------------------------------
+    @property
+    def lookups(self):
+        return self.hits + self.misses
+
+    def summary(self):
+        """One human-readable line for reports/CLI output."""
+        if not self.lookups and not self.stores and not self.errors:
+            return f"cache {self.directory}: unused"
+        line = (f"cache {self.directory}: {self.hits}/{self.lookups} hits, "
+                f"{self.stores} new entries")
+        if self.errors:
+            line += f", {self.errors} write failures"
+        return line

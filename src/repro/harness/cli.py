@@ -13,8 +13,9 @@ import json
 import sys
 import time
 
+from repro.harness.cache import SimulationCache
 from repro.harness.experiments import EXPERIMENTS
-from repro.harness.runner import ExperimentRunner
+from repro.harness.parallel import default_jobs, make_runner
 
 
 def _jsonable(value):
@@ -44,11 +45,24 @@ def build_parser():
                         help="print each simulation as it finishes")
     parser.add_argument("--save", type=str, default=None, metavar="FILE",
                         help="also write machine-readable results as JSON")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for (workload x config) "
+                             "sweeps (default: all cores, %d here)"
+                             % default_jobs())
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write the on-disk "
+                             "simulation result cache")
+    parser.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
+                        help="simulation cache location (default: "
+                             ".repro-cache, or $REPRO_CACHE_DIR)")
     return parser
 
 
 def main(argv=None):
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     names = list(args.experiments)
     if "all" in names:
         names = list(EXPERIMENTS)
@@ -61,9 +75,12 @@ def main(argv=None):
         from repro.workloads import suite
 
         workloads = suite(args.workloads.split(","))
-    runner = ExperimentRunner(workloads=workloads,
-                              instructions=args.instructions,
-                              verbose=args.verbose)
+    cache = None if args.no_cache else SimulationCache(args.cache_dir)
+    runner = make_runner(workloads=workloads,
+                         instructions=args.instructions,
+                         verbose=args.verbose,
+                         cache=cache,
+                         jobs=args.jobs)
     saved = {}
     for name in names:
         started = time.time()
@@ -81,6 +98,8 @@ def main(argv=None):
         with open(args.save, "w") as handle:
             json.dump(saved, handle, indent=2)
         print(f"[results saved to {args.save}]")
+    if cache is not None:
+        print(f"[{cache.summary()}]")
     return 0
 
 

@@ -2,13 +2,16 @@
 
 Every experiment needs (workload x config) simulations over the same
 traces; the runner memoizes traces per (workload, instruction budget) and
-baseline results per workload so multi-figure sessions do not re-simulate.
+results per (workload, config name, config fingerprint) so multi-figure
+sessions do not re-simulate.  With a :class:`SimulationCache` attached,
+results also persist across processes and sessions.
 """
 
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.emulator.trace import trace_program
+from repro.harness.cache import config_fingerprint, simulation_key
 from repro.pipeline.config import MachineConfig
 from repro.pipeline.core import CpuModel
 from repro.pipeline.stats import PipelineStats
@@ -34,14 +37,17 @@ class RunRecord:
 class ExperimentRunner:
     """Trace/result cache plus the standard config set."""
 
-    def __init__(self, workloads=None, instructions=None, verbose=False):
+    def __init__(self, workloads=None, instructions=None, verbose=False,
+                 cache=None):
         from repro.workloads import suite
 
         self.workloads = workloads if workloads is not None else suite()
         self.instructions = instructions
         self.verbose = verbose
+        self.cache = cache
         self._traces: Dict[Tuple[str, int], list] = {}
-        self._results: Dict[Tuple[str, str], RunRecord] = {}
+        self._results: Dict[Tuple[str, str, str], RunRecord] = {}
+        self._named_fingerprints: Dict[str, str] = {}
 
     # -- configuration points the paper evaluates ----------------------------------
     @staticmethod
@@ -58,6 +64,20 @@ class ExperimentRunner:
         }
         return builders[name](**overrides)
 
+    def fingerprint_of(self, config_name, config=None):
+        """The fingerprint keying results for (config_name, config).
+
+        Experiments reuse names like ``"tvp"`` with ad-hoc overrides, so
+        the memo key must hash the actual configuration, not just its
+        label; named configs are fingerprinted once per runner.
+        """
+        if config is not None:
+            return config_fingerprint(config)
+        if config_name not in self._named_fingerprints:
+            self._named_fingerprints[config_name] = config_fingerprint(
+                self.config(config_name))
+        return self._named_fingerprints[config_name]
+
     # -- execution -------------------------------------------------------------------
     def budget_for(self, workload):
         return self.instructions or workload.default_instructions
@@ -71,19 +91,35 @@ class ExperimentRunner:
         return self._traces[key]
 
     def run(self, workload, config_name, config=None) -> RunRecord:
-        """Simulate one point (memoized by (workload, config_name))."""
-        key = (workload.name, config_name)
+        """Simulate one point (memoized by workload + config contents)."""
+        fingerprint = self.fingerprint_of(config_name, config)
+        key = (workload.name, config_name, fingerprint)
         if key in self._results:
             return self._results[key]
-        machine_config = config if config is not None else self.config(config_name)
-        model = CpuModel(self.trace_of(workload), machine_config)
-        result = model.run()
-        record = RunRecord(workload.name, config_name, result.stats)
+        budget = self.budget_for(workload)
+        stats = None
+        disk_key = None
+        if self.cache is not None:
+            disk_key = simulation_key(workload.name, budget, fingerprint)
+            stats = self.cache.load(disk_key)
+        if stats is None:
+            machine_config = (config if config is not None
+                              else self.config(config_name))
+            model = CpuModel(self.trace_of(workload), machine_config)
+            stats = model.run().stats
+            if self.cache is not None:
+                self.cache.store(disk_key, workload.name, config_name,
+                                 budget, stats)
+        record = RunRecord(workload.name, config_name, stats)
         self._results[key] = record
         if self.verbose:
             print(f"    ran {workload.name} / {config_name}: "
                   f"IPC={record.ipc:.3f}")
         return record
+
+    def admit(self, record, config_name, fingerprint):
+        """Adopt a record simulated elsewhere (the parallel runner)."""
+        self._results[(record.workload, config_name, fingerprint)] = record
 
     def run_all(self, config_names):
         """Run every workload under every named config; returns

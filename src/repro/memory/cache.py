@@ -101,7 +101,8 @@ class Cache:
         ways, line_addr = self._locate(addr)
         for position, line in enumerate(ways):
             if line.tag == line_addr:
-                ways.insert(0, ways.pop(position))
+                if position:
+                    ways.insert(0, ways.pop(position))
                 if is_write:
                     line.dirty = True
                 if not is_prefetch:

@@ -23,6 +23,7 @@ Speculation model:
   pair.
 """
 
+import gc
 import heapq
 from collections import deque
 from dataclasses import dataclass
@@ -50,6 +51,11 @@ from repro.pipeline.stats import PipelineStats
 from repro.rename.renamer import Renamer, vp_eligible
 
 _LINE_SHIFT = 6  # 64B fetch lines
+
+
+def _seq_of(entry):
+    """Sort key keeping the scheduler's select list oldest-first."""
+    return entry.seq
 
 
 class SimulationDeadlock(RuntimeError):
@@ -138,6 +144,31 @@ class CpuModel:
         self.cycle = 0
         self._activity = 0
 
+        # Scheduler acceleration (architecturally invisible).
+        #
+        # _event_heap is a lazy min-heap of future cycles at which an IQ
+        # entry may become selectable (dispatch ready-times and computed
+        # wakeup times).  _skip_to_next_event consults it instead of
+        # scanning every IQ entry; stale entries (already past, or whose
+        # µop issued/squashed meanwhile) merely cause a shorter jump,
+        # never a longer one, so timing is unchanged.
+        self._event_heap = []
+        # Lower bound over every IQ entry's select_gate; _issue skips the
+        # scan entirely while the bound is in the future (see _issue).
+        self._iq_min_gate = 0
+        # Wakeup CAM: physical name -> IQ entries blocked because that
+        # producer has not issued yet (its completion cycle is unknown).
+        # The producer's set_ready pops exactly these waiters, so blocked
+        # entries are never rescanned in between.  Stale registrations
+        # (squashed/replayed µops) merely trigger a harmless rescan.
+        self._waiters = {}
+        # name -> (readiness buffer, index) resolved once per physical
+        # name, replacing the per-lookup INT/FP/flags range dispatch.
+        self._ready_slots = {}
+        # name -> 0 (not a PRF register) / 1 (INT) / 2 (FP), for the
+        # Fig. 6 PRF read/write accounting; a name's class never changes.
+        self._name_kind = {}
+
     def _build_value_predictor(self, cfg):
         """The value predictor backing the configured flavor (or None)."""
         if cfg.vp_flavor is VPFlavor.NONE:
@@ -170,18 +201,38 @@ class CpuModel:
     # ==================================================================== run
     def run(self, max_cycles=None, progress_window=20_000):
         """Simulate until the whole trace has retired."""
+        # The pipeline allocates heavily (ROB entries, undo tuples, heap
+        # items) but never creates reference cycles, so the cyclic GC only
+        # costs time here.  Pause it for the simulation.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._run(max_cycles, progress_window)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _run(self, max_cycles, progress_window):
         target = len(self.trace)
         last_retired = -1
         idle_events = 0
-        while self.stats.retired_uops < target:
+        stats = self.stats
+        commit = self._commit
+        complete = self._complete
+        issue = self._issue
+        rename_dispatch = self._rename_dispatch
+        decode = self._decode
+        fetch = self._fetch
+        while stats.retired_uops < target:
             self.cycle += 1
             self._activity = 0
-            self._commit()
-            self._complete()
-            self._issue()
-            self._rename_dispatch()
-            self._decode()
-            self._fetch()
+            commit()
+            complete()
+            issue()
+            rename_dispatch()
+            decode()
+            fetch()
             if self._activity == 0:
                 # Fully idle cycle: jump to the next scheduled event
                 # (identical architectural behaviour, much faster on
@@ -201,7 +252,19 @@ class CpuModel:
         return SimulationResult(self.stats, self.config, len(self.trace))
 
     def _skip_to_next_event(self):
-        """Advance the clock to just before the next possible event."""
+        """Advance the clock to just before the next possible event.
+
+        Scheduler wake-ups (dispatch ready-times, computed wakeup times)
+        are maintained incrementally in ``_event_heap`` rather than by
+        scanning the IQ.  Unpipelined-port busy windows need no candidate
+        of their own: a port's ``busy_until`` equals its occupying µop's
+        completion cycle, which is already in ``completions`` (squashes
+        leave the stale event in place, so the bound survives flushes).
+        """
+        cycle = self.cycle
+        heap = self._event_heap
+        while heap and heap[0] <= cycle:
+            heapq.heappop(heap)
         candidates = []
         if self.completions:
             candidates.append(self.completions[0][0])
@@ -212,14 +275,9 @@ class CpuModel:
         if self.fetch_index < len(self.trace) \
                 and self.waiting_branch_seq is None:
             candidates.append(self.fetch_stall_until)
-        for entry in self.iq:
-            limit = max(entry.issue_ready_cycle,
-                        entry.wakeup_cycle if entry.wakeup_known else 0)
-            candidates.append(limit)
-        for port in self.fus.ports:
-            if port.busy_until > self.cycle:
-                candidates.append(port.busy_until)
-        future = [c for c in candidates if c > self.cycle]
+        if heap:
+            candidates.append(heap[0])
+        future = [c for c in candidates if c > cycle]
         if not future:
             return  # something is imminent (or deadlocked: the watchdog sees it)
         self.cycle = min(future) - 1  # the loop header increments
@@ -235,22 +293,38 @@ class CpuModel:
 
     # ================================================================= commit
     def _commit(self):
+        rob_entries = self.rob.entries
+        if not rob_entries:
+            return
         cycle = self.cycle
-        stats = self.stats
-        for _ in range(self.config.commit_width):
-            entry = self.rob.head()
-            if entry is None:
+        done = UopState.DONE
+        eliminated = UopState.ELIMINATED
+        # Head pre-check before the hoists: on most cycles the head µop is
+        # not yet retirable and the stage has nothing to do.
+        head = rob_entries[0]
+        state = head.state
+        if state is done:
+            if head.complete_cycle >= cycle:
                 return
-            if entry.state is UopState.DONE:
+        elif state is not eliminated:
+            return
+        stats = self.stats
+        entries_by_seq = self.entries_by_seq
+        rat = self.rat
+        vp_queue = self.vp_queue
+        for _ in range(self.config.commit_width):
+            if not rob_entries:
+                return
+            entry = rob_entries[0]
+            state = entry.state
+            if state is done:
                 if entry.complete_cycle >= cycle:
                     return
-            elif entry.state is UopState.ELIMINATED:
-                pass  # completes at rename; commit immediately when head
-            else:
+            elif state is not eliminated:
                 return
-            self.rob.pop_head()
+            rob_entries.popleft()
             self._activity += 1
-            self.entries_by_seq.pop(entry.seq, None)
+            entries_by_seq.pop(entry.seq, None)
             uop = entry.uop
             stats.retired_uops += 1
             if uop.is_last_uop:
@@ -261,19 +335,35 @@ class CpuModel:
                 self._count_elimination(entry.elim_kind)
             if entry.move_width_blocked:
                 stats.elim_move_width_blocked += 1
-            if self.vp_queue is not None and vp_eligible(uop):
+            if vp_queue is not None and uop.vp_elig:
                 stats.vp_eligible += 1
                 self._train_vp_at_commit(entry, uop)
             for arch_reg, _prev, new_name in entry.undo:
-                self.rat.commit(arch_reg, new_name)
-                self.rat.drop_rob_ref(arch_reg, new_name)
+                rat.commit_and_drop(arch_reg, new_name)
             if uop.is_store:
-                self.memory.store(uop.addr, cycle, pc=uop.pc)
-                self.store_sets.store_done(uop.pc, uop.seq)
-                self.store_entries.pop(uop.seq, None)
-                self.lsq.remove_committed(uop.seq)
+                self._retire_store(uop, cycle)
             elif uop.is_load:
                 self.lsq.remove_committed(uop.seq)
+
+    # -- store-entry bookkeeping (shared by commit and squash) ------------------
+    def _release_store_tracking(self, pc, seq):
+        """Drop a store from the Store Sets LFST and the in-flight map.
+
+        The single place both the retire and squash paths go through, so
+        their bookkeeping cannot drift.
+        """
+        self.store_sets.store_done(pc, seq)
+        self.store_entries.pop(seq, None)
+
+    def _retire_store(self, uop, cycle):
+        """Commit a store: write memory, then release its tracking."""
+        self.memory.store(uop.addr, cycle, pc=uop.pc)
+        self._release_store_tracking(uop.pc, uop.seq)
+        self.lsq.remove_committed(uop.seq)
+
+    def _squash_store(self, entry):
+        """Squash an in-flight store (its LSQ entry dies with the squash)."""
+        self._release_store_tracking(entry.uop.pc, entry.seq)
 
     def _count_elimination(self, kind):
         stats = self.stats
@@ -311,11 +401,15 @@ class CpuModel:
             uop = entry.uop
             # PRF write accounting (Fig. 6): one write per real dest; wide
             # GVP predictions were additionally written at rename.
-            if entry.dest_name is not None:
+            dest_name = entry.dest_name
+            if dest_name is not None:
+                kind = self._name_kind.get(dest_name)
+                if kind is None:
+                    kind = self._classify_name(dest_name)
                 if uop.dst_is_fp:
-                    if self.fp_prf.owns(entry.dest_name):
+                    if kind == 2:
                         self.stats.fp_prf_writes += 1
-                elif self.int_prf.owns(entry.dest_name):
+                elif kind == 1:
                     self.stats.int_prf_writes += 1
             # In-place value-prediction validation at the functional unit.
             if self.vp_queue is not None:
@@ -386,16 +480,28 @@ class CpuModel:
             to_replay.append(candidate)
         # Correct the offender's register.
         self.int_prf.set_ready(offender.dest_name, correction_cycle)
+        waiters = self._waiters.pop(offender.dest_name, None)
+        if waiters:
+            for waiter in waiters:
+                gate = waiter.issue_ready_cycle
+                waiter.select_gate = gate
+                if gate < self._iq_min_gate:
+                    self._iq_min_gate = gate
         self.stats.int_prf_writes += 1   # the correction write
         offender.complete_cycle = max(offender.complete_cycle,
                                       correction_cycle)
         # Reset every tainted consumer back to the waiting state.
-        lq_by_seq = {load.seq: load for load in self.lsq.loads}
+        lq_of = self.lsq.load_of
         for candidate in to_replay:
             if candidate.state is UopState.ISSUED:
                 candidate.issue_token += 1  # cancel the in-flight event
             candidate.state = UopState.WAITING
             candidate.wakeup_known = False
+            # Forget any parked/cached wakeup state: revert the scan key
+            # to the dispatch floor so the scheduler reconsiders it.
+            candidate.select_gate = candidate.issue_ready_cycle
+            if candidate.select_gate < self._iq_min_gate:
+                self._iq_min_gate = candidate.select_gate
             candidate.complete_cycle = None
             if candidate.dest_name is not None and not candidate.vp_used:
                 prf = self.fp_prf if candidate.uop.dst_is_fp else self.int_prf
@@ -403,8 +509,10 @@ class CpuModel:
             if candidate.flags_name is not None:
                 self.flags_prf.set_ready(candidate.flags_name,
                                          self._UNSCHEDULED << 1)
-            if candidate.uop.is_load and candidate.seq in lq_by_seq:
-                lq_by_seq[candidate.seq].executed_cycle = None
+            if candidate.uop.is_load:
+                lq_entry = lq_of(candidate.seq)
+                if lq_entry is not None:
+                    lq_entry.executed_cycle = None
             if candidate.uop.is_store:
                 store = self.store_entries.get(candidate.seq)
                 if store is not None:
@@ -415,7 +523,7 @@ class CpuModel:
                 self.iq.append(candidate)
                 self.stats.iq_dispatched += 1   # replay re-dispatch
         if to_replay:
-            self.iq.sort(key=lambda e: e.seq)   # keep oldest-first select
+            self.iq.sort(key=_seq_of)           # keep oldest-first select
         self.stats.vp_replays += 1
         self.stats.replayed_uops += len(to_replay)
         return True
@@ -434,8 +542,7 @@ class CpuModel:
         for entry in squashed:
             self.entries_by_seq.pop(entry.seq, None)
             if entry.uop.is_store:
-                self.store_sets.store_done(entry.uop.pc, entry.seq)
-                self.store_entries.pop(entry.seq, None)
+                self._squash_store(entry)
             # Resetting the state marks any in-flight completion stale.
             entry.state = UopState.WAITING
             entry.in_iq = False
@@ -459,28 +566,71 @@ class CpuModel:
 
     # =================================================================== issue
     def _issue(self):
-        cycle = self.cycle
-        if not self.iq:
+        iq = self.iq
+        if not iq:
             return
-        self.fus.new_cycle(cycle)
-        issued_any = False
+        cycle = self.cycle
+        # ``_iq_min_gate`` is a lower bound on every IQ entry's gate: when
+        # it is in the future, no entry is selectable and the whole scan
+        # is skipped.  The bound is lowered at every gate-lowering site
+        # (dispatch, wakeup-CAM pop, replay reset) and raised back to the
+        # exact minimum by any completed scan that issues nothing — so a
+        # stale-low bound costs one fruitless scan, never a missed issue.
+        if self._iq_min_gate > cycle:
+            return
         issue_budget = self.config.issue_width
         issued = 0
-        for entry in self.iq:
-            if issued >= issue_budget:
-                break
-            if entry.issue_ready_cycle > cycle:
+        fus_started = False
+        next_min = self._UNSCHEDULED << 2
+        sources_ready = self._sources_ready
+        try_issue = self.fus.try_issue
+        for entry in iq:
+            # ``select_gate`` folds the dispatch floor, the cached wakeup
+            # time and the parked-on-unissued-producer state into one
+            # integer, so the common skip is a single comparison.
+            gate = entry.select_gate
+            if gate > cycle:
+                if gate < next_min:
+                    next_min = gate
                 continue
-            if not self._sources_ready(entry, cycle):
+            if entry.wakeup_known:
+                if entry.wait_store_seq is not None \
+                        and not sources_ready(entry, cycle):
+                    if gate < next_min:
+                        next_min = gate   # store pending: rescan each cycle
+                    continue
+            elif not sources_ready(entry, cycle):
+                gate = entry.select_gate  # updated: wakeup time or parked
+                if gate < next_min:
+                    next_min = gate
                 continue
-            if not self.fus.try_issue(entry.uop.cls, cycle):
+            if not fus_started:
+                # Port state is only reset on cycles with a candidate.
+                fus_started = True
+                self.fus.new_cycle(cycle)
+            if not try_issue(entry.uop.cls, cycle):
+                if gate < next_min:
+                    next_min = gate       # port conflict: retry next cycle
                 continue
             self._execute(entry, cycle)
             issued += 1
-            issued_any = True
-        if issued_any:
-            self.iq = [e for e in self.iq
-                       if e.state is UopState.WAITING and e.in_iq]
+            if issued >= issue_budget:
+                break
+        if issued:
+            # Compact in place (a memory-order flush inside _execute may
+            # have replaced self.iq, so re-read it).
+            iq = self.iq
+            write = 0
+            waiting = UopState.WAITING
+            for entry in iq:
+                if entry.state is waiting and entry.in_iq:
+                    iq[write] = entry
+                    write += 1
+            del iq[write:]
+        else:
+            # Complete fruitless scan: every entry was visited, so
+            # next_min is the exact minimum gate and the bound is tight.
+            self._iq_min_gate = next_min
 
     _UNSCHEDULED = 1 << 60  # producers not yet issued report ~infinity
 
@@ -491,14 +641,30 @@ class CpuModel:
         # cycle into O(1) for entries whose wakeup time is known.
         if not entry.wakeup_known:
             latest = 0
+            slots = self._ready_slots
+            unscheduled = self._UNSCHEDULED
             for name in entry.src_names:
-                ready = self._ready_of(name)
-                if ready >= self._UNSCHEDULED:
-                    return False  # some producer still unissued
+                slot = slots.get(name)
+                if slot is None:
+                    slot = self._resolve_ready_slot(name)
+                ready = slot[0][slot[1]]
+                if ready >= unscheduled:
+                    # Producer unissued: park this entry in the wakeup
+                    # CAM and skip it until the producer schedules.
+                    entry.select_gate = unscheduled
+                    waiters = self._waiters.get(name)
+                    if waiters is None:
+                        self._waiters[name] = [entry]
+                    else:
+                        waiters.append(entry)
+                    return False
                 if ready > latest:
                     latest = ready
             entry.wakeup_cycle = latest
             entry.wakeup_known = True
+            entry.select_gate = latest
+            if latest > cycle:
+                heapq.heappush(self._event_heap, latest)
         if entry.wakeup_cycle > cycle:
             return False
         if entry.wait_store_seq is not None:
@@ -508,12 +674,36 @@ class CpuModel:
             entry.wait_store_seq = None
         return True
 
-    def _ready_of(self, name):
+    _ALWAYS_READY = ((0,), 0)  # slot for value-encoding/hardwired names
+
+    def _resolve_ready_slot(self, name):
+        """Bind *name* to its readiness storage once (then memoized)."""
         if name >= FLAGS_NAME_BASE:
-            return self.flags_prf.ready_at(name)
-        if name >= FP_NAME_BASE:
-            return self.fp_prf.ready_at(name)
-        return self.int_prf.ready_at(name)
+            prf = self.flags_prf
+        elif name >= FP_NAME_BASE:
+            prf = self.fp_prf
+        else:
+            prf = self.int_prf
+        slot = prf.ready_slot(name) or self._ALWAYS_READY
+        self._ready_slots[name] = slot
+        return slot
+
+    def _classify_name(self, name):
+        """0: not a PRF register, 1: INT PRF, 2: FP PRF (memoized)."""
+        if name >= FLAGS_NAME_BASE:
+            kind = 0
+        elif name >= FP_NAME_BASE:
+            kind = 2 if self.fp_prf.owns(name) else 0
+        else:
+            kind = 1 if self.int_prf.owns(name) else 0
+        self._name_kind[name] = kind
+        return kind
+
+    def _ready_of(self, name):
+        slot = self._ready_slots.get(name)
+        if slot is None:
+            slot = self._resolve_ready_slot(name)
+        return slot[0][slot[1]]
 
     def _execute(self, entry, cycle):
         uop = entry.uop
@@ -522,14 +712,15 @@ class CpuModel:
         self._activity += 1
         entry.state = UopState.ISSUED
         entry.in_iq = False
+        name_kind = self._name_kind
         for name in entry.src_names:
-            if name >= FLAGS_NAME_BASE:
-                continue  # the flags file is not the INT PRF
-            if name >= FP_NAME_BASE:
-                if self.fp_prf.owns(name):
-                    stats.fp_prf_reads += 1
-            elif self.int_prf.owns(name):
+            kind = name_kind.get(name)
+            if kind is None:
+                kind = self._classify_name(name)
+            if kind == 1:
                 stats.int_prf_reads += 1
+            elif kind == 2:
+                stats.fp_prf_reads += 1
         if uop.is_load:
             complete = self._execute_load(entry, cycle)
         elif uop.is_store:
@@ -545,11 +736,26 @@ class CpuModel:
         entry.complete_cycle = complete
         # Schedule readiness now that the completion cycle is known
         # (consumers may issue back-to-back via the bypass network).
+        waiters_map = self._waiters
         if entry.dest_name is not None and not entry.vp_used:
             prf = self.fp_prf if uop.dst_is_fp else self.int_prf
             prf.set_ready(entry.dest_name, complete)
+            waiters = waiters_map.pop(entry.dest_name, None)
+            if waiters:
+                for waiter in waiters:
+                    gate = waiter.issue_ready_cycle
+                    waiter.select_gate = gate
+                    if gate < self._iq_min_gate:
+                        self._iq_min_gate = gate
         if entry.flags_name is not None:
             self.flags_prf.set_ready(entry.flags_name, complete)
+            waiters = waiters_map.pop(entry.flags_name, None)
+            if waiters:
+                for waiter in waiters:
+                    gate = waiter.issue_ready_cycle
+                    waiter.select_gate = gate
+                    if gate < self._iq_min_gate:
+                        self._iq_min_gate = gate
         self._completion_counter += 1
         entry.issue_token += 1
         heapq.heappush(self.completions,
@@ -577,10 +783,7 @@ class CpuModel:
         return complete
 
     def _lq_entry_of(self, seq):
-        for load in self.lsq.loads:
-            if load.seq == seq:
-                return load
-        return None
+        return self.lsq.load_of(seq)
 
     def _check_order_violation(self, store):
         victims = self.lsq.violating_loads(store)
@@ -591,36 +794,53 @@ class CpuModel:
 
     # ================================================================== rename
     def _rename_dispatch(self):
+        decode_queue = self.decode_queue
+        if not decode_queue:
+            return
         cycle = self.cycle
+        # Cheap early-outs before the hoists: most cycles either have
+        # nothing decoded yet or the head µop is still in flight.
+        if decode_queue[0][0] > cycle:
+            return
         cfg = self.config
         stats = self.stats
+        rob = self.rob
+        rob_entries = rob.entries
+        rob_capacity = rob.capacity
+        lsq = self.lsq
+        renamer = self.renamer
+        iq = self.iq
+        iq_entries = cfg.iq_entries
+        entries_by_seq = self.entries_by_seq
+        dispatch_ready = cycle + cfg.rename_to_dispatch + 1
+        pushed_event = False
         for _ in range(cfg.rename_width):
-            if not self.decode_queue:
+            if not decode_queue:
                 return
-            ready_cycle, uop = self.decode_queue[0]
+            ready_cycle, uop = decode_queue[0]
             if ready_cycle > cycle:
                 return
-            if self.rob.full:
+            if len(rob_entries) >= rob_capacity:
                 stats.stall_rob_full += 1
                 return
-            if uop.is_load and self.lsq.lq_full:
+            if uop.is_load and lsq.lq_full:
                 stats.stall_lq_full += 1
                 return
-            if uop.is_store and self.lsq.sq_full:
+            if uop.is_store and lsq.sq_full:
                 stats.stall_sq_full += 1
                 return
-            if len(self.iq) >= cfg.iq_entries:
+            if len(iq) >= iq_entries:
                 stats.stall_iq_full += 1
                 return
-            if not self.renamer.can_rename(uop):
+            if not renamer.can_rename(uop):
                 stats.stall_no_phys_reg += 1
                 return
-            self.decode_queue.popleft()
+            decode_queue.popleft()
             self._activity += 1
             entry = RobEntry(uop.seq, uop)
-            outcome = self.renamer.rename(entry, cycle)
-            self.rob.push(entry)
-            self.entries_by_seq[uop.seq] = entry
+            outcome = renamer.rename(entry, cycle)
+            rob_entries.append(entry)   # capacity checked above (rob.push)
+            entries_by_seq[uop.seq] = entry
             if outcome.eliminated:
                 if outcome.resolved_branch_taken is not None:
                     stats.spsr_resolved_branches += 1
@@ -631,35 +851,51 @@ class CpuModel:
                 entry.state = UopState.DONE
                 entry.complete_cycle = cycle
                 continue
-            entry.issue_ready_cycle = cycle + cfg.rename_to_dispatch + 1
+            entry.issue_ready_cycle = dispatch_ready
+            entry.select_gate = dispatch_ready
             entry.in_iq = True
-            self.iq.append(entry)
+            iq.append(entry)
             stats.iq_dispatched += 1
+            if not pushed_event:
+                # Every µop dispatched this cycle shares one ready-time.
+                heapq.heappush(self._event_heap, dispatch_ready)
+                pushed_event = True
+                if dispatch_ready < self._iq_min_gate:
+                    self._iq_min_gate = dispatch_ready
             if uop.is_load:
                 lq_entry = LsqEntry(uop.seq, uop.addr, uop.size, entry)
-                self.lsq.add_load(lq_entry)
+                lsq.add_load(lq_entry)
                 dep = self.store_sets.load_dependence(uop.pc)
                 if dep is not None and dep in self.store_entries:
                     entry.wait_store_seq = dep
             elif uop.is_store:
                 sq_entry = LsqEntry(uop.seq, uop.addr, uop.size, entry)
-                self.lsq.add_store(sq_entry)
+                lsq.add_store(sq_entry)
                 self.store_entries[uop.seq] = sq_entry
                 self.store_sets.store_renamed(uop.pc, uop.seq)
 
     # ================================================================== decode
     def _decode(self):
+        fetch_queue = self.fetch_queue
+        if not fetch_queue:
+            return
         cycle = self.cycle
+        # Cheap early-out before the hoists: the head µop is usually
+        # still covering its fetch-to-decode latency.
+        if fetch_queue[0][0] > cycle:
+            return
+        decode_queue = self.decode_queue
+        rename_ready = cycle + self.config.decode_to_rename
+        cap = self.decode_queue_cap
         moved = 0
-        while self.fetch_queue and moved < self.config.decode_width \
-                and len(self.decode_queue) < self.decode_queue_cap:
-            ready_cycle, uop = self.fetch_queue[0]
+        width = self.config.decode_width
+        while fetch_queue and moved < width and len(decode_queue) < cap:
+            ready_cycle, uop = fetch_queue[0]
             if ready_cycle > cycle:
                 return
-            self.fetch_queue.popleft()
+            fetch_queue.popleft()
             self._activity += 1
-            self.decode_queue.append(
-                (cycle + self.config.decode_to_rename, uop))
+            decode_queue.append((rename_ready, uop))
             moved += 1
 
     # =================================================================== fetch
@@ -670,8 +906,15 @@ class CpuModel:
             return
         budget = cfg.fetch_width
         trace = self.trace
-        while budget > 0 and self.fetch_index < len(trace) \
-                and len(self.fetch_queue) < cfg.fetch_queue:
+        trace_len = len(trace)
+        fetch_queue = self.fetch_queue
+        queue_cap = cfg.fetch_queue
+        decode_ready = cycle + cfg.fetch_to_decode
+        stats = self.stats
+        vtage = self.vtage
+        pending_predictions = self.pending_predictions
+        while budget > 0 and self.fetch_index < trace_len \
+                and len(fetch_queue) < queue_cap:
             uop = trace[self.fetch_index]
             line = uop.pc >> _LINE_SHIFT
             if line != self.current_fetch_line:
@@ -680,13 +923,13 @@ class CpuModel:
                 if ready > cycle + cfg.memory.l1i_latency:
                     self.fetch_stall_until = ready
                     return
-            self.fetch_queue.append((cycle + cfg.fetch_to_decode, uop))
+            fetch_queue.append((decode_ready, uop))
             self.fetch_index += 1
-            self.stats.fetched_uops += 1
+            stats.fetched_uops += 1
             self._activity += 1
             budget -= 1
-            if self.vtage is not None and vp_eligible(uop):
-                self.pending_predictions[uop.seq] = self.vtage.predict(uop.pc)
+            if vtage is not None and uop.vp_elig:
+                pending_predictions[uop.seq] = vtage.predict(uop.pc)
             if uop.is_branch:
                 if not self._fetch_branch(uop, cycle):
                     return

@@ -40,15 +40,14 @@ from repro.isa.opcodes import ExecClass, Op
 from repro.isa.registers import FLAGS, XZR
 
 _MOVE_IDIOM_OPS = frozenset({Op.ADD, Op.ORR, Op.EOR})
-_VP_CLASSES = frozenset({ExecClass.INT_ALU, ExecClass.INT_MUL,
-                         ExecClass.INT_DIV, ExecClass.LOAD})
 
 
 def vp_eligible(uop):
     """The paper's eligibility rule: arithmetic and load µops that produce
-    one (or more) general purpose register."""
-    return (uop.dst is not None and not uop.dst_is_fp
-            and not uop.is_branch and uop.cls in _VP_CLASSES)
+    one (or more) general purpose register.  Precomputed per µop in
+    :class:`~repro.emulator.trace.DynUop` — hot paths read ``uop.vp_elig``
+    directly."""
+    return uop.vp_elig
 
 
 @dataclass
@@ -58,6 +57,13 @@ class RenameOutcome:
     eliminated: bool = False
     resolved_branch_taken: Optional[bool] = None  # SpSR-resolved branch
     vp_used: bool = False
+
+
+# Most µops rename plainly (no elimination, no prediction).  They all share
+# one immutable outcome instance so the hot path skips the dataclass
+# constructor; paths that set a flag build a fresh instance.
+_PLAIN_OUTCOME = RenameOutcome()
+_VP_OUTCOME = RenameOutcome(vp_used=True)
 
 
 class Renamer:
@@ -76,41 +82,46 @@ class Renamer:
         self.vtage = vtage
         self.vp_queue = vp_queue
         self.flavor = config.vp_flavor
+        # Hot-path copies of immutable config switches (attribute chains
+        # through the config dataclass dominate _dsr otherwise).
+        self._en_zero_one = config.enable_zero_one_idiom
+        self._en_nine_bit = config.enable_nine_bit_idiom
+        self._en_move_elim = config.enable_move_elimination
         # Filled by the pipeline with fetch-time predictions (seq -> Prediction).
         self.pending_predictions = {}
 
     # -- capacity pre-check (core calls this before committing to rename) -----------
     def can_rename(self, uop):
         """Conservatively: enough physical registers for the worst case."""
-        need_int = 1 if (uop.dst is not None and not uop.dst_is_fp) else 0
-        need_fp = 1 if (uop.dst is not None and uop.dst_is_fp) else 0
-        need_flags = 1 if uop.writes_flags else 0
-        return (self.int_prf.free_count >= need_int
-                and self.fp_prf.free_count >= need_fp
-                and self.flags_prf.free_count >= need_flags)
+        if uop.dst is not None:
+            prf = self.fp_prf if uop.dst_is_fp else self.int_prf
+            if not prf.free_count:
+                return False
+        return not uop.writes_flags or self.flags_prf.free_count > 0
 
     # -- main entry point --------------------------------------------------------------
     def rename(self, entry, cycle):
         """Rename one µop into *entry*; assumes :meth:`can_rename` passed."""
         uop = entry.uop
         rat = self.rat
-        # Source names resolve against the pre-update RAT.
-        entry.src_names = tuple(rat.lookup(reg) for reg in uop.deps)
+        # Source names resolve against the pre-update RAT (direct map
+        # indexing: ``rat.lookup`` is just ``rat.spec[reg]``).
+        spec = rat.spec
+        entry.src_names = tuple([spec[reg] for reg in uop.deps])
 
-        outcome = RenameOutcome()
         reduction = self._strength_reduce(entry, uop, cycle)
         if reduction is not None:
+            outcome = RenameOutcome()
             kind, payload = reduction
             self._apply_elimination(entry, uop, kind, payload, cycle, outcome)
             return outcome
 
-        if self._try_value_predict(entry, uop, cycle):
-            outcome.vp_used = True
-        if not outcome.vp_used and uop.dst is not None:
+        vp_used = self._try_value_predict(entry, uop, cycle)
+        if not vp_used and uop.dst is not None:
             self._allocate_dest(entry, uop)
         if uop.writes_flags:
             self._allocate_flags(entry)
-        return outcome
+        return _VP_OUTCOME if vp_used else _PLAIN_OUTCOME
 
     # -- strength reduction decision -------------------------------------------------
     def _strength_reduce(self, entry, uop, cycle):
@@ -124,10 +135,11 @@ class Renamer:
             return dsr
         if self.spsr is None:
             return None
-        known = tuple(known_value(self.rat.lookup(reg)) for reg in uop.src_regs)
+        spec = self.rat.spec
+        known = tuple(known_value(spec[reg]) for reg in uop.src_regs)
         flags_known = None
         if uop.cond is not None or uop.op is Op.B_COND:
-            flags_known = known_flags(self.rat.lookup(FLAGS))
+            flags_known = known_flags(spec[FLAGS])
         result = self.spsr.reduce(uop, known, flags_known)
         if result is None:
             return None
@@ -159,24 +171,24 @@ class Renamer:
         if uop.dst is None:
             return None
         if op is Op.MOVZ:
-            if self.config.enable_zero_one_idiom and uop.imm == 0:
+            if self._en_zero_one and uop.imm == 0:
                 return ("zero_idiom", ("value", 0, None))
-            if self.config.enable_zero_one_idiom and uop.imm == 1:
+            if self._en_zero_one and uop.imm == 1:
                 return ("one_idiom", ("value", 1, None))
-            if self.config.enable_nine_bit_idiom and fits_signed(uop.imm, 9):
+            if self._en_nine_bit and fits_signed(uop.imm, 9):
                 return ("nine_bit_idiom", ("value", uop.imm, None))
             return None
-        if op is Op.MOV and self.config.enable_move_elimination:
+        if op is Op.MOV and self._en_move_elim:
             return self._try_move(entry, uop, 0)
-        if self.config.enable_zero_one_idiom and op is Op.EOR \
+        if self._en_zero_one and op is Op.EOR \
                 and len(uop.src_regs) == 2 \
                 and uop.src_regs[0] == uop.src_regs[1] and not uop.imm2 \
                 and uop.src_regs[0] != XZR:
             return ("zero_idiom", ("value", 0, None))
-        if self.config.enable_zero_one_idiom and op is Op.AND \
+        if self._en_zero_one and op is Op.AND \
                 and XZR in uop.src_regs:
             return ("zero_idiom", ("value", 0, None))
-        if self.config.enable_move_elimination and op in _MOVE_IDIOM_OPS \
+        if self._en_move_elim and op in _MOVE_IDIOM_OPS \
                 and len(uop.src_regs) == 2 and XZR in uop.src_regs \
                 and not uop.imm2:
             other = 1 if uop.src_regs[0] == XZR else 0
@@ -236,7 +248,7 @@ class Renamer:
     # -- value prediction ---------------------------------------------------------------
     def _try_value_predict(self, entry, uop, cycle):
         """Returns True when a prediction was installed as the dest name."""
-        if self.vtage is None or not vp_eligible(uop):
+        if self.vtage is None or not uop.vp_elig:
             return False
         queue = self.vp_queue
         if queue.full:

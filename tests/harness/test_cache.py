@@ -1,0 +1,80 @@
+"""Persistent simulation cache: warm == cold, and key hygiene."""
+
+from dataclasses import asdict, replace
+
+from repro.harness.cache import (SimulationCache, code_version_hash,
+                                 config_fingerprint, simulation_key)
+from repro.harness.runner import ExperimentRunner
+from repro.pipeline.config import MachineConfig
+from repro.workloads import suite
+
+_WORKLOADS = ["hash_loop"]
+_BUDGET = 1200
+
+
+def _runner(cache):
+    return ExperimentRunner(workloads=suite(_WORKLOADS),
+                            instructions=_BUDGET, cache=cache)
+
+
+def test_warm_cache_replays_cold_run_exactly(tmp_path):
+    cache = SimulationCache(tmp_path)
+    cold = _runner(cache).run_all(("baseline", "tvp"))
+    assert cache.stores == 2 and cache.hits == 0
+
+    warm_cache = SimulationCache(tmp_path)
+    warm = _runner(warm_cache).run_all(("baseline", "tvp"))
+    assert warm_cache.hits == 2 and warm_cache.stores == 0
+    assert ({k: asdict(r.stats) for k, v in warm.items()
+             for k, r in v.items()}
+            == {k: asdict(r.stats) for k, v in cold.items()
+                for k, r in v.items()})
+
+
+def test_uncached_runner_unaffected():
+    runner = _runner(cache=None)
+    record = runner.run(runner.workloads[0], "baseline")
+    assert record.stats.retired_uops > 0
+
+
+def test_same_name_different_config_does_not_collide():
+    # Regression: results used to be memoized by (workload, config_name)
+    # alone, so two different configs passed under the same label
+    # silently returned the first one's stats.
+    runner = _runner(cache=None)
+    workload = runner.workloads[0]
+    narrow = replace(MachineConfig.baseline(), rob_entries=16)
+    wide = MachineConfig.baseline()
+    first = runner.run(workload, "baseline", config=narrow)
+    second = runner.run(workload, "baseline", config=wide)
+    assert first is not second
+    assert first.stats.cycles != second.stats.cycles
+
+
+def test_fingerprint_sensitivity():
+    base = MachineConfig.baseline()
+    assert config_fingerprint(base) == config_fingerprint(
+        MachineConfig.baseline())
+    assert (config_fingerprint(base)
+            != config_fingerprint(replace(base, rob_entries=base.rob_entries + 1)))
+    assert config_fingerprint(base) != config_fingerprint(
+        MachineConfig.tvp())
+
+
+def test_simulation_key_dimensions():
+    fp = config_fingerprint(MachineConfig.baseline())
+    assert simulation_key("a", 1000, fp) != simulation_key("b", 1000, fp)
+    assert simulation_key("a", 1000, fp) != simulation_key("a", 2000, fp)
+    assert code_version_hash() == code_version_hash()
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = SimulationCache(tmp_path)
+    runner = _runner(cache)
+    runner.run(runner.workloads[0], "baseline")
+    (entry,) = [p for p in tmp_path.iterdir() if p.suffix == ".json"]
+    entry.write_text("{ torn")
+    rerun_cache = SimulationCache(tmp_path)
+    record = _runner(rerun_cache).run(suite(_WORKLOADS)[0], "baseline")
+    assert rerun_cache.misses == 1 and rerun_cache.stores == 1
+    assert record.stats.retired_uops > 0

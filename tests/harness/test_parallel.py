@@ -1,0 +1,54 @@
+"""Parallel fan-out: determinism versus the serial runner."""
+
+from dataclasses import asdict
+
+from repro.harness.parallel import ParallelRunner, make_runner
+from repro.harness.runner import ExperimentRunner
+from repro.workloads import suite
+
+_WORKLOADS = ["hash_loop", "permute"]
+_CONFIGS = ("baseline", "mvp", "tvp", "gvp", "mvp+spsr", "tvp+spsr",
+            "gvp+spsr")
+_BUDGET = 1200
+
+
+def _stats_of(results):
+    return {(config, workload): asdict(record.stats)
+            for config, by_workload in results.items()
+            for workload, record in by_workload.items()}
+
+
+def test_parallel_matches_serial_for_every_config():
+    serial = ExperimentRunner(workloads=suite(_WORKLOADS),
+                              instructions=_BUDGET)
+    parallel = ParallelRunner(workloads=suite(_WORKLOADS),
+                              instructions=_BUDGET, jobs=2)
+    serial_results = serial.run_all(_CONFIGS)
+    parallel_results = parallel.run_all(_CONFIGS)
+    assert _stats_of(parallel_results) == _stats_of(serial_results)
+
+
+def test_jobs_one_is_pure_serial():
+    runner = ParallelRunner(workloads=suite(_WORKLOADS),
+                            instructions=_BUDGET, jobs=1)
+    reference = ExperimentRunner(workloads=suite(_WORKLOADS),
+                                 instructions=_BUDGET)
+    assert (_stats_of(runner.run_all(("baseline", "tvp")))
+            == _stats_of(reference.run_all(("baseline", "tvp"))))
+
+
+def test_parallel_results_are_memoized():
+    runner = ParallelRunner(workloads=suite(_WORKLOADS),
+                            instructions=_BUDGET, jobs=2)
+    first = runner.run_all(("baseline",))
+    record = first["baseline"]["hash_loop"]
+    again = runner.run(runner.workloads[0], "baseline")
+    assert again is record
+
+
+def test_make_runner_selects_class():
+    assert isinstance(make_runner(workloads=suite(_WORKLOADS), jobs=2),
+                      ParallelRunner)
+    serial = make_runner(workloads=suite(_WORKLOADS), jobs=1)
+    assert isinstance(serial, ExperimentRunner)
+    assert not isinstance(serial, ParallelRunner)
