@@ -1,0 +1,43 @@
+"""Static analysis over assembled programs and the simulator source.
+
+Three independent passes back the dynamic pipeline statistics with static
+ground truth:
+
+* :mod:`repro.analysis.verifier` — a dataflow verifier proving each
+  assembled :class:`~repro.isa.program.Program` well-formed (CFG
+  construction, def-before-use for integer/FP/NZCV registers, branch-target
+  and data-label validity, constant-address load/store sanity).
+* :mod:`repro.analysis.opportunity` — a static SpSR/TVP opportunity
+  analysis classifying every static µop site as idiom-eliminable,
+  Table-1-reducible or VP-eligible, producing per-kernel upper bounds that
+  the dynamic elimination counters are checked against, plus the
+  :class:`~repro.analysis.opportunity.EliminationAudit` runtime cross-check
+  hook the pipeline calls on every rename-time elimination.
+* :mod:`repro.analysis.lint` — an AST linter enforcing the simulator's
+  determinism discipline (no wall-clock/OS randomness, no unordered-set
+  iteration in stats paths, no machine-config mutation after construction,
+  no undeclared stats counters).
+
+``python -m repro.harness audit`` and ``python -m repro.harness lint``
+expose the passes on the command line; both run in CI.
+"""
+
+from repro.analysis.findings import Finding, findings_to_json
+from repro.analysis.lint import lint_paths, lint_source
+from repro.analysis.opportunity import (
+    EliminationAudit,
+    EliminationAuditError,
+    StaticOpportunities,
+)
+from repro.analysis.verifier import verify_program
+
+__all__ = [
+    "EliminationAudit",
+    "EliminationAuditError",
+    "Finding",
+    "StaticOpportunities",
+    "findings_to_json",
+    "lint_paths",
+    "lint_source",
+    "verify_program",
+]

@@ -1,0 +1,84 @@
+"""Control-flow graph construction over assembled programs.
+
+The graph is per-instruction (programs are a few hundred instructions at
+most): ``successors[i]`` lists the instruction indices control may reach
+after instruction ``i``.  Conservative choices, documented per opcode:
+
+* ``b``               -> target only
+* conditional branch  -> fall-through + target
+* ``bl``              -> target *and* fall-through: the call-return
+  approximation.  Register definitions made inside the callee are not
+  credited to the return site, so the def-before-use analysis stays sound
+  (it can only over-report, never under-report).
+* ``br``              -> every labelled instruction (an indirect jump
+  through a table of code labels can reach any of them)
+* ``blr``             -> every labelled instruction + fall-through
+* ``ret`` / ``hlt``   -> no successors (exit)
+
+``len(program)`` is used as a pseudo-index meaning "past the end of code";
+the verifier reports any edge to it as a fall-off-the-end error.
+"""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.isa.opcodes import Op
+
+
+@dataclass
+class Cfg:
+    """Per-instruction successor graph of one program."""
+
+    program: object
+    successors: List[Tuple[int, ...]]
+    reachable: frozenset          # instruction indices reachable from entry
+
+    @property
+    def end_index(self):
+        """The pseudo-index meaning control ran past the last instruction."""
+        return len(self.successors)
+
+
+def _label_indices(program):
+    """All label target indices, in source order (deterministic)."""
+    return tuple(sorted(set(program.labels.values())))
+
+
+def build_cfg(program):
+    """Build the :class:`Cfg` of an assembled program."""
+    n = len(program.instructions)
+    labels = program.labels
+    label_targets = _label_indices(program)
+    successors = []
+    for index, inst in enumerate(program.instructions):
+        op = inst.op
+        fall = index + 1
+        if op is Op.HLT or op is Op.RET:
+            succ = ()
+        elif op is Op.B:
+            succ = (labels[inst.target],) if inst.target in labels else ()
+        elif op is Op.BL:
+            target = (labels[inst.target],) if inst.target in labels else ()
+            succ = target + (fall,)
+        elif op is Op.BR:
+            succ = label_targets
+        elif op is Op.BLR:
+            succ = label_targets + (fall,)
+        elif inst.is_conditional_branch:
+            target = (labels[inst.target],) if inst.target in labels else ()
+            succ = (fall,) + target
+        else:
+            succ = (fall,)
+        successors.append(tuple(succ))
+
+    reachable = set()
+    if n:
+        worklist = [program.entry]
+        while worklist:
+            index = worklist.pop()
+            if index in reachable or not 0 <= index < n:
+                continue
+            reachable.add(index)
+            worklist.extend(successors[index])
+    return Cfg(program=program, successors=successors,
+               reachable=frozenset(reachable))

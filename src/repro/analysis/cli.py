@@ -1,0 +1,165 @@
+"""``harness audit`` and ``harness lint`` command-line entry points.
+
+Both commands print human-readable findings by default, a machine-readable
+JSON document with ``--json``, and exit non-zero when any error-severity
+finding exists (``--strict`` also fails on warnings).  CI runs both.
+
+``audit``  — per shipped kernel: assemble, run the static verifier, build
+the static SpSR/TVP opportunity map, then simulate with the per-µop
+elimination audit attached and cross-check the retired elimination
+counters against the trace's static upper bounds.
+
+``lint``   — run the determinism lint (DET001-DET004) over ``src/repro``.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.findings import ERROR, Finding, findings_to_json, has_errors
+from repro.analysis.lint import lint_paths
+from repro.analysis.opportunity import (
+    EliminationAudit,
+    EliminationAuditError,
+    StaticOpportunities,
+)
+from repro.analysis.verifier import verify_program
+from repro.emulator.trace import trace_program
+from repro.pipeline.core import CpuModel
+
+
+def _default_config():
+    from repro.harness.runner import ExperimentRunner
+    return ExperimentRunner.config("tvp+spsr")
+
+
+def audit_workload(workload, config=None, instructions=None):
+    """Audit one workload; returns ``(findings, summary_dict)``."""
+    config = config or _default_config()
+    name = workload.name
+    findings = list(verify_program(workload.program, name=name))
+    folding = bool(getattr(config, "spsr_constant_folding", False))
+    opps = StaticOpportunities.analyze(workload.program, name=name,
+                                       constant_folding=folding)
+    summary = {"static": opps.static_counts()}
+    if any(f.severity == ERROR for f in findings):
+        return findings, summary  # do not simulate a broken program
+
+    budget = instructions or min(workload.default_instructions, 20_000)
+    trace, _ = trace_program(workload.program, max_instructions=budget)
+    model = CpuModel(trace, config, elim_audit=EliminationAudit(opps))
+    try:
+        stats = model.run().stats
+    except EliminationAuditError as exc:
+        findings.append(Finding(
+            rule="A002", severity=ERROR, where=name,
+            location="<simulation>", message=str(exc)))
+        return findings, summary
+    summary["dynamic_bounds"] = opps.dynamic_bounds(trace)
+    summary["eliminated"] = {
+        "zero_idiom": stats.elim_zero_idiom,
+        "one_idiom": stats.elim_one_idiom,
+        "move": stats.elim_move,
+        "nine_bit_idiom": stats.elim_nine_bit_idiom,
+        "spsr": stats.elim_spsr,
+        "vp_eligible": stats.vp_eligible,
+    }
+    for message in opps.check_bounds(trace, stats):
+        findings.append(Finding(
+            rule="A001", severity=ERROR, where=name,
+            location="<simulation>", message=message))
+    return findings, summary
+
+
+def _emit(findings, payload, as_json, ok_message):
+    if as_json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in findings:
+            print(finding.render())
+        if not findings:
+            print(ok_message)
+
+
+def run_audit(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="harness audit",
+        description="Statically verify and dynamically cross-check kernels.")
+    parser.add_argument("workloads", nargs="*",
+                        help="kernel names (default: the whole suite)")
+    parser.add_argument("--config", default="tvp+spsr",
+                        help="named machine config to simulate under")
+    parser.add_argument("--instructions", type=int, default=None,
+                        help="per-kernel instruction budget")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable JSON output")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail on warnings too")
+    args = parser.parse_args(argv)
+
+    from repro.harness.runner import ExperimentRunner
+    from repro.workloads import suite
+
+    config = ExperimentRunner.config(args.config)
+    workloads = suite(args.workloads or None)
+    findings = []
+    summaries = {}
+    for workload in workloads:
+        kernel_findings, summary = audit_workload(
+            workload, config=config, instructions=args.instructions)
+        findings.extend(kernel_findings)
+        summaries[workload.name] = summary
+    payload = {
+        "command": "audit",
+        "config": args.config,
+        "findings": findings_to_json(findings),
+        "kernels": summaries,
+        "ok": not has_errors(findings, strict=args.strict),
+    }
+    _emit(findings, payload, args.as_json,
+          f"audit ok: {len(workloads)} kernels verified and cross-checked")
+    return 0 if payload["ok"] else 1
+
+
+def run_lint(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="harness lint",
+        description="Determinism lint (DET001-DET004) over the simulator.")
+    parser.add_argument("paths", nargs="*",
+                        help="package roots to lint (default: src/repro)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable JSON output")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail on warnings too")
+    args = parser.parse_args(argv)
+
+    if args.paths:
+        roots = [Path(p) for p in args.paths]
+    else:
+        import repro
+        roots = [Path(repro.__file__).parent]
+    findings = []
+    for root in roots:
+        findings.extend(lint_paths(root))
+    payload = {
+        "command": "lint",
+        "findings": findings_to_json(findings),
+        "ok": not has_errors(findings, strict=args.strict),
+    }
+    _emit(findings, payload, args.as_json,
+          f"lint ok: {', '.join(str(r) for r in roots)} is clean")
+    return 0 if payload["ok"] else 1
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] not in ("audit", "lint"):
+        print("usage: analysis {audit,lint} [options]", file=sys.stderr)
+        return 2
+    command, rest = argv[0], argv[1:]
+    return run_audit(rest) if command == "audit" else run_lint(rest)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Finding records shared by the verifier, the opportunity audit and the lint.
+
+A finding is one diagnosed problem with a stable rule id, a severity and a
+location.  ``error`` findings fail ``harness audit`` / ``harness lint``;
+``warning`` findings are reported but only fail under ``--strict``.
+"""
+
+from dataclasses import asdict, dataclass
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosed problem."""
+
+    rule: str        # stable id, e.g. "V004" or "DET002"
+    severity: str    # ERROR or WARNING
+    where: str       # kernel name or source file (relative path)
+    location: str    # "#12 pc=0x4030: add x0, x1, x2" or "line 37"
+    message: str
+
+    def to_dict(self):
+        return asdict(self)
+
+    def render(self):
+        return f"[{self.rule}] {self.severity}: {self.where} {self.location}: {self.message}"
+
+
+def has_errors(findings, strict=False):
+    """True when *findings* should produce a non-zero exit."""
+    if strict:
+        return bool(findings)
+    return any(f.severity == ERROR for f in findings)
+
+
+def findings_to_json(findings):
+    """JSON-ready list of finding dicts (stable field order)."""
+    return [f.to_dict() for f in findings]

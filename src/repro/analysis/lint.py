@@ -1,0 +1,218 @@
+"""Determinism lint for the simulator sources (AST-based, no execution).
+
+The cycle model must be a pure function of (trace, config): two runs of
+the same experiment must produce bit-identical statistics.  Four rules
+guard the ways that property has historically been lost in simulators:
+
+* **DET001** — ``random`` / ``time`` / ``datetime`` imports anywhere in
+  ``src/repro`` except ``util/rng.py`` (the seeded PRNG) and the harness
+  (wall-clock progress reporting is fine; model code must not see time).
+* **DET002** — iteration over a ``set``/``frozenset`` in the model
+  packages (``pipeline``, ``backend``, ``core``, ``rename``,
+  ``frontend``, ``memory``).  Set *membership* is deterministic; set
+  *iteration order* is salted per process.  Wrap in ``sorted(...)`` or
+  use an insertion-ordered ``dict`` instead.
+* **DET003** — mutation of a machine config (``*.config.attr = ...`` or
+  rebinding ``*.config``) outside ``__init__``: configs are frozen inputs
+  once simulation starts.
+* **DET004** — incrementing an undeclared stats counter
+  (``*.stats.name += ...`` where ``name`` is not a declared
+  :class:`~repro.pipeline.stats.PipelineStats` field): silent typos here
+  create counters that exist only at runtime and never reach reports.
+
+Detection is intentionally heuristic but *sound for this codebase*: every
+rule was validated against the current sources (zero findings at HEAD)
+and against seeded violations of each kind (see tests/analysis).
+"""
+
+import ast
+from pathlib import Path, PurePosixPath
+
+from repro.analysis.findings import ERROR, Finding
+from repro.pipeline.stats import PipelineStats
+
+_NONDET_MODULES = frozenset({"random", "time", "datetime"})
+# Sub-packages of repro that implement the cycle model proper.
+_MODEL_PACKAGES = frozenset({
+    "pipeline", "backend", "core", "rename", "frontend", "memory",
+})
+# Files allowed to import the nondeterminism modules.
+_DET001_ALLOWED_PACKAGES = frozenset({"harness"})
+_DET001_ALLOWED_FILES = frozenset({"util/rng.py"})
+
+
+def _subpackage(relpath):
+    """The repro sub-package a relative posix path belongs to ('' if none)."""
+    parts = PurePosixPath(relpath).parts
+    if "repro" in parts:
+        parts = parts[parts.index("repro") + 1:]
+    return parts[0] if len(parts) > 1 else ""
+
+
+def _tail(relpath, n=2):
+    return "/".join(PurePosixPath(relpath).parts[-n:])
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, relpath):
+        self.relpath = relpath
+        self.package = _subpackage(relpath)
+        self.in_model = self.package in _MODEL_PACKAGES
+        self.findings = []
+        self.set_names = set()        # local/global names bound to sets
+        self.set_attrs = set()        # self.<attr> names bound to sets
+        self.func_stack = []
+        self.counter_names = frozenset(PipelineStats.counter_names())
+
+    def add(self, rule, node, message):
+        self.findings.append(Finding(
+            rule=rule, severity=ERROR, where=self.relpath,
+            location=f"line {node.lineno}", message=message))
+
+    # -- DET001: nondeterminism imports --------------------------------------------
+    def _det001_allowed(self):
+        return (self.package in _DET001_ALLOWED_PACKAGES
+                or _tail(self.relpath) in _DET001_ALLOWED_FILES)
+
+    def visit_Import(self, node):
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in _NONDET_MODULES and not self._det001_allowed():
+                self.add("DET001", node,
+                         f"import of nondeterministic module {root!r} "
+                         "(only util/rng.py and the harness may)")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node):
+        root = (node.module or "").split(".")[0]
+        if root in _NONDET_MODULES and not self._det001_allowed():
+            self.add("DET001", node,
+                     f"import from nondeterministic module {root!r} "
+                     "(only util/rng.py and the harness may)")
+        self.generic_visit(node)
+
+    # -- set binding collection + DET002 -------------------------------------------
+    @staticmethod
+    def _is_set_expr(node):
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("set", "frozenset"))
+
+    def _record_binding(self, target, value):
+        is_set = self._is_set_expr(value)
+        if isinstance(target, ast.Name):
+            (self.set_names.add if is_set
+             else self.set_names.discard)(target.id)
+        elif isinstance(target, ast.Attribute) \
+                and isinstance(target.value, ast.Name) \
+                and target.value.id == "self":
+            (self.set_attrs.add if is_set
+             else self.set_attrs.discard)(target.attr)
+
+    def _iterates_set(self, node):
+        if self._is_set_expr(node):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self":
+            return node.attr in self.set_attrs
+        return False
+
+    def _check_iteration(self, iter_node):
+        if self.in_model and self._iterates_set(iter_node):
+            self.add("DET002", iter_node,
+                     "iteration over a set has salted, nondeterministic "
+                     "order; wrap in sorted(...) or use a dict")
+
+    def visit_For(self, node):
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node):
+        for gen in node.generators:
+            self._check_iteration(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    # -- DET003 / DET004: assignments ----------------------------------------------
+    def _check_target(self, node, target, augmented):
+        if not isinstance(target, ast.Attribute):
+            return
+        owner = target.value
+        in_init = bool(self.func_stack) and \
+            self.func_stack[-1] in ("__init__", "__post_init__")
+        if self.in_model and not in_init:
+            if target.attr == "config":
+                self.add("DET003", node,
+                         "machine config rebound outside __init__; configs "
+                         "are frozen once simulation starts")
+            elif isinstance(owner, ast.Attribute) and owner.attr == "config":
+                self.add("DET003", node,
+                         f"machine config field {target.attr!r} mutated "
+                         "outside __init__; configs are frozen once "
+                         "simulation starts")
+        if augmented and self.in_model:
+            is_stats = (isinstance(owner, ast.Name) and owner.id == "stats") \
+                or (isinstance(owner, ast.Attribute) and owner.attr == "stats")
+            if is_stats and target.attr not in self.counter_names:
+                self.add("DET004", node,
+                         f"stats counter {target.attr!r} is not declared in "
+                         "the PipelineStats schema")
+
+    def visit_Assign(self, node):
+        for target in node.targets:
+            self._check_target(node, target, augmented=False)
+            self._record_binding(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node):
+        if node.value is not None:
+            self._check_target(node, node.target, augmented=False)
+            self._record_binding(node.target, node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node):
+        self._check_target(node, node.target, augmented=True)
+        self.generic_visit(node)
+
+    # -- scope tracking --------------------------------------------------------------
+    def _visit_function(self, node):
+        self.func_stack.append(node.name)
+        self.generic_visit(node)
+        self.func_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+
+def lint_source(source, relpath):
+    """Lint one module's source text; *relpath* scopes the path rules."""
+    relpath = str(PurePosixPath(relpath))
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        return [Finding(rule="DET000", severity=ERROR, where=relpath,
+                        location=f"line {exc.lineno or 0}",
+                        message=f"syntax error: {exc.msg}")]
+    linter = _Linter(relpath)
+    linter.visit(tree)
+    return sorted(linter.findings,
+                  key=lambda f: (int(f.location.split()[-1]), f.rule))
+
+
+def lint_paths(root):
+    """Lint every ``*.py`` under *root*; returns a list of Findings."""
+    root = Path(root)
+    findings = []
+    for path in sorted(root.rglob("*.py")):
+        relpath = path.relative_to(root.parent).as_posix()
+        findings.extend(lint_source(path.read_text(), relpath))
+    return findings

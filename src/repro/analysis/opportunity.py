@@ -1,0 +1,200 @@
+"""Static SpSR/TVP opportunity analysis and the runtime elimination audit.
+
+Classifies every static µop site of a program (after decode-time
+expansion) into the rename-elimination categories the pipeline counts
+dynamically:
+
+* ``zero_idiom`` / ``one_idiom``   — 0/1-idiom eliminable (gem5-style DSR)
+* ``move``                         — move-eliminable
+* ``nine_bit_idiom``               — 9-bit signed move-immediate, eliminable
+  by physical-register inlining under TVP/GVP
+* ``spsr``                         — Table-1 reducible for *some* rename-time
+  known operand assignment (:func:`repro.core.spsr.statically_reducible`)
+
+plus value-prediction eligibility (the paper's rule: arithmetic/load µops
+producing a general purpose register).  Each classification is a provable
+*upper bound*: the renamer can only ever apply an elimination of kind *k*
+at a site statically classified *k*.  Two consumers rely on that:
+
+* :meth:`StaticOpportunities.dynamic_bounds` turns a µop trace into
+  per-kind ceilings that the run's retired elimination counters must not
+  exceed;
+* :class:`EliminationAudit` is the per-µop runtime cross-check the
+  pipeline invokes on every rename-time elimination — a violation means a
+  simulator bug, not a workload property, and raises immediately.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+from repro.core.spsr import statically_reducible
+from repro.isa.bits import fits_signed
+from repro.isa.opcodes import BRANCHES, ExecClass, Op, exec_class
+from repro.isa.registers import XZR, is_fpr
+from repro.isa.uops import expand
+
+ELIM_KINDS = ("zero_idiom", "one_idiom", "move", "nine_bit_idiom", "spsr")
+
+_MOVE_IDIOM_OPS = frozenset({Op.ADD, Op.ORR, Op.EOR})
+_VP_CLASSES = frozenset({ExecClass.INT_ALU, ExecClass.INT_MUL,
+                         ExecClass.INT_DIV, ExecClass.LOAD})
+
+
+@dataclass(frozen=True)
+class Site:
+    """One static µop site and its eliminability classification."""
+
+    pc: int
+    uop_index: int
+    text: str
+    kinds: FrozenSet[str]
+    vp_eligible: bool
+
+
+def classify_uop(uop, constant_folding=False):
+    """``(kinds, vp_eligible)`` for one expanded µop (an Instruction)."""
+    op = uop.op
+    dst = uop.dsts[0] if uop.dsts else None
+    if dst is not None and dst.reg == XZR:
+        dst = None
+    has_dst = dst is not None
+    src_regs = tuple(src.reg for src in uop.srcs)
+
+    kinds = set()
+    if has_dst:
+        if op is Op.MOVZ:
+            imm = uop.imm or 0
+            if imm == 0:
+                kinds.add("zero_idiom")
+            elif imm == 1:
+                kinds.add("one_idiom")
+            if fits_signed(imm, 9):
+                kinds.add("nine_bit_idiom")
+        elif op is Op.MOV:
+            kinds.add("move")
+        elif op is Op.EOR and len(src_regs) == 2 \
+                and src_regs[0] == src_regs[1] and not uop.imm2 \
+                and src_regs[0] != XZR:
+            kinds.add("zero_idiom")
+        if op is Op.AND and XZR in src_regs:
+            kinds.add("zero_idiom")
+        if op in _MOVE_IDIOM_OPS and len(src_regs) == 2 \
+                and XZR in src_regs and not uop.imm2:
+            if src_regs[0] == XZR and src_regs[1] == XZR:
+                kinds.add("zero_idiom")
+            else:
+                kinds.add("move")
+    if statically_reducible(op, has_dst=has_dst,
+                            constant_folding=constant_folding):
+        kinds.add("spsr")
+
+    vp_eligible = (has_dst and not is_fpr(dst.reg) and op not in BRANCHES
+                   and exec_class(op) in _VP_CLASSES)
+    return frozenset(kinds), vp_eligible
+
+
+class EliminationAuditError(RuntimeError):
+    """A dynamic elimination happened at a statically ineligible site."""
+
+
+class StaticOpportunities:
+    """Per-program static elimination/VP opportunity map and bounds."""
+
+    def __init__(self, sites, name="program", constant_folding=False):
+        self.name = name
+        self.constant_folding = constant_folding
+        self.sites: Dict[Tuple[int, int], Site] = sites
+
+    @classmethod
+    def analyze(cls, program, name="program", constant_folding=False):
+        """Classify every static µop site of an assembled program."""
+        sites = {}
+        for index, inst in enumerate(program.instructions):
+            pc = program.pc_of(index)
+            for uop_index, uop in enumerate(expand(inst)):
+                kinds, vp = classify_uop(uop, constant_folding)
+                sites[(pc, uop_index)] = Site(
+                    pc=pc, uop_index=uop_index,
+                    text=uop.text.strip() or uop.op.value,
+                    kinds=kinds, vp_eligible=vp)
+        return cls(sites, name=name, constant_folding=constant_folding)
+
+    # -- static summary -----------------------------------------------------------
+    def static_counts(self):
+        """Number of static sites eligible per kind (plus VP)."""
+        counts = {kind: 0 for kind in ELIM_KINDS}
+        counts["vp_eligible"] = 0
+        for site in self.sites.values():
+            for kind in site.kinds:
+                counts[kind] += 1
+            if site.vp_eligible:
+                counts["vp_eligible"] += 1
+        return counts
+
+    # -- dynamic upper bounds -------------------------------------------------------
+    def dynamic_bounds(self, trace):
+        """Per-kind ceilings for a µop trace: the number of dynamic µops at
+        sites statically eligible for each kind.  Each trace µop retires at
+        most once, so retired elimination counters can never exceed these.
+        """
+        bounds = {kind: 0 for kind in ELIM_KINDS}
+        bounds["vp_eligible"] = 0
+        sites = self.sites
+        for uop in trace:
+            site = sites.get((uop.pc, uop.uop_index))
+            if site is None:
+                continue
+            for kind in site.kinds:
+                bounds[kind] += 1
+            if site.vp_eligible:
+                bounds["vp_eligible"] += 1
+        return bounds
+
+    def check_bounds(self, trace, stats):
+        """Compare a finished run's elimination counters against the trace
+        bounds; returns a list of human-readable violation messages."""
+        bounds = self.dynamic_bounds(trace)
+        observed = {
+            "zero_idiom": stats.elim_zero_idiom,
+            "one_idiom": stats.elim_one_idiom,
+            "move": stats.elim_move,
+            "nine_bit_idiom": stats.elim_nine_bit_idiom,
+            "spsr": stats.elim_spsr,
+            "vp_eligible": stats.vp_eligible,
+        }
+        violations = []
+        for kind, count in observed.items():
+            if count > bounds[kind]:
+                violations.append(
+                    f"{self.name}: dynamic {kind} count {count} exceeds the "
+                    f"static upper bound {bounds[kind]}")
+        return violations
+
+
+class EliminationAudit:
+    """The pipeline's per-elimination cross-check hook.
+
+    Attach via ``CpuModel(trace, config, elim_audit=audit)``; the rename
+    stage calls :meth:`check` for every µop it eliminates.  Any elimination
+    at a site the static analysis did not classify eligible is a simulator
+    bug and raises :class:`EliminationAuditError` on the spot.
+    """
+
+    def __init__(self, opportunities):
+        self.opportunities = opportunities
+        self._sites = opportunities.sites
+        self.checked = 0
+
+    def check(self, uop, kind):
+        site = self._sites.get((uop.pc, uop.uop_index))
+        if site is None:
+            raise EliminationAuditError(
+                f"{self.opportunities.name}: eliminated µop at unknown "
+                f"static site pc={uop.pc:#x} uop={uop.uop_index} ({uop.text})")
+        if kind not in site.kinds:
+            raise EliminationAuditError(
+                f"{self.opportunities.name}: {kind!r} elimination at "
+                f"statically ineligible site pc={uop.pc:#x} "
+                f"uop={uop.uop_index} ({site.text}); eligible kinds: "
+                f"{sorted(site.kinds) or 'none'}")
+        self.checked += 1

@@ -1,0 +1,276 @@
+"""Dataflow verifier for assembled programs.
+
+Proves each kernel well-formed before any cycle is simulated:
+
+* **V001** structural sanity (entry index, label indices, data image
+  placement — delegated to :meth:`Program.validate`).
+* **V002** every branch/adr target resolves to a code label.
+* **V003** control cannot run past the end of the code section.
+* **V004** def-before-use: every integer/FP register read is dominated by
+  a write on *every* path from the entry (``xzr``/``sp`` are pre-defined).
+* **V005** NZCV discipline: every flag consumer (``b.cond``, ``csel``,
+  ``csinc``, ``csneg``, ``cset``) is dominated by a flag setter.
+* **V006** constant-addressed loads/stores stay inside the initialized
+  data image (error if they overlap the code section).
+* **V007** unreachable instructions (warning).
+
+The analysis runs at µop granularity over the decode-time expansion, so
+pre/post-indexed writeback µops define their base registers exactly like
+the timing model sees them.  Both dataflows (must-defined registers and
+constant propagation) are simple forward fixpoints; programs are a few
+hundred instructions, so no acceleration is needed.
+"""
+
+from collections import deque
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.findings import ERROR, Finding, WARNING
+from repro.isa.bits import mask
+from repro.isa.opcodes import BRANCHES, Op, access_size
+from repro.isa.program import CODE_BASE, INST_BYTES
+from repro.isa.registers import FLAGS, SP, XZR, reg_name
+from repro.isa.semantics import compute_movk
+from repro.isa.uops import expand
+
+# Registers architecturally defined before the first instruction runs: the
+# hardwired zero and the stack pointer (the machine seeds it at init).
+_PREDEFINED = frozenset({XZR, SP})
+
+
+def _uop_uses(uop):
+    """Architectural registers this µop reads (mirrors Machine._deps_of)."""
+    uses = [src.reg for src in uop.srcs if src.reg != XZR]
+    if uop.mem is not None:
+        uses.append(uop.mem.base.reg)
+        if uop.mem.offset_reg is not None and uop.mem.offset_reg.reg != XZR:
+            uses.append(uop.mem.offset_reg.reg)
+    if uop.reads_flags:
+        uses.append(FLAGS)
+    return uses
+
+
+def _uop_defs(uop):
+    """Architectural registers this µop writes."""
+    defs = [dst.reg for dst in uop.dsts if dst.reg != XZR]
+    if uop.writes_flags:
+        defs.append(FLAGS)
+    if uop.op in (Op.BL, Op.BLR):
+        defs.append(30)  # the link register
+    return defs
+
+
+def _location(program, index):
+    inst = program.instructions[index]
+    text = inst.text.strip() or inst.op.value
+    return f"#{index} pc={program.pc_of(index):#x}: {text}"
+
+
+class _Verifier:
+    def __init__(self, program, name):
+        self.program = program
+        self.name = name
+        self.findings = []
+        self.expanded = [expand(inst) for inst in program.instructions]
+        self.cfg = build_cfg(program)
+
+    def add(self, rule, severity, index, message):
+        self.findings.append(Finding(
+            rule=rule, severity=severity, where=self.name,
+            location=_location(self.program, index), message=message))
+
+    # -- structural --------------------------------------------------------------
+    def check_structure(self):
+        try:
+            self.program.validate()
+        except ValueError as exc:
+            self.findings.append(Finding(
+                rule="V001", severity=ERROR, where=self.name,
+                location="<program>", message=str(exc)))
+
+    def check_targets(self):
+        labels = self.program.labels
+        for index, inst in enumerate(self.program.instructions):
+            if inst.target is None:
+                continue
+            if inst.op in BRANCHES:
+                if inst.target not in labels:
+                    self.add("V002", ERROR, index,
+                             f"branch target {inst.target!r} is not a code label")
+            else:
+                # Only branches may carry symbolic targets after assembly;
+                # anything else is an unresolved adr-style fixup.
+                self.add("V002", ERROR, index,
+                         f"unresolved symbolic operand {inst.target!r}")
+
+    def check_fall_off_end(self):
+        end = self.cfg.end_index
+        for index in sorted(self.cfg.reachable):
+            if end in self.cfg.successors[index]:
+                self.add("V003", ERROR, index,
+                         "control can run past the end of the code section")
+
+    def check_unreachable(self):
+        for index in range(len(self.program.instructions)):
+            if index not in self.cfg.reachable:
+                self.add("V007", WARNING, index, "instruction is unreachable")
+
+    # -- def-before-use ----------------------------------------------------------
+    def check_def_before_use(self):
+        n = len(self.program.instructions)
+        if not n:
+            return
+        successors = self.cfg.successors
+        ins = {self.program.entry: set(_PREDEFINED)}
+        work = deque([self.program.entry])
+        while work:
+            index = work.popleft()
+            out = set(ins[index])
+            for uop in self.expanded[index]:
+                out.update(_uop_defs(uop))
+            for succ in successors[index]:
+                if not 0 <= succ < n:
+                    continue
+                known = ins.get(succ)
+                if known is None:
+                    ins[succ] = set(out)
+                    work.append(succ)
+                else:
+                    merged = known & out
+                    if merged != known:
+                        ins[succ] = merged
+                        work.append(succ)
+        for index in sorted(self.cfg.reachable):
+            defined = set(ins.get(index, _PREDEFINED))
+            for uop in self.expanded[index]:
+                for reg in _uop_uses(uop):
+                    if reg in defined:
+                        continue
+                    if reg == FLAGS:
+                        self.add("V005", ERROR, index,
+                                 "flag consumer is not dominated by a "
+                                 "flag-setting instruction")
+                    else:
+                        self.add("V004", ERROR, index,
+                                 f"register {reg_name(reg)} may be read "
+                                 "before it is written")
+                defined.update(_uop_defs(uop))
+
+    # -- constant-address sanity ---------------------------------------------------
+    def _transfer_consts(self, index, env, record=False):
+        """Constant propagation through one instruction (µop by µop)."""
+        pc = self.program.pc_of(index)
+        for uop in self.expanded[index]:
+            if record:
+                self._check_mem(index, uop, env)
+            dsts = [dst for dst in uop.dsts if dst.reg != XZR]
+            if uop.op in (Op.BL, Op.BLR):
+                env[30] = pc + INST_BYTES
+            if not dsts:
+                continue
+            dst = dsts[0]
+            value = None
+            op = uop.op
+            if op is Op.MOVZ:
+                value = mask(uop.imm or 0, dst.width)
+            elif op is Op.MOV and uop.srcs:
+                value = env.get(uop.srcs[0].reg)
+                if uop.srcs[0].reg == XZR:
+                    value = 0
+            elif op is Op.MOVK and uop.srcs \
+                    and env.get(uop.srcs[0].reg) is not None:
+                value = compute_movk(env[uop.srcs[0].reg], uop.imm,
+                                     uop.imm2 or 0, dst.width)
+            elif op in (Op.ADD, Op.SUB) and len(uop.srcs) == 1 \
+                    and uop.mem is None and env.get(uop.srcs[0].reg) is not None:
+                base = env[uop.srcs[0].reg]
+                delta = uop.imm or 0
+                value = mask(base + delta if op is Op.ADD else base - delta,
+                             dst.width)
+            for reg in _uop_defs(uop):
+                env.pop(reg, None)
+            if value is not None:
+                env[dst.reg] = value
+
+    def _data_extent(self):
+        image = self.program.data_image
+        if not image:
+            return None
+        lo = min(address for address, _ in image)
+        hi = max(address + len(payload) for address, payload in image)
+        return lo, hi
+
+    def _check_mem(self, index, uop, env):
+        if uop.mem is None:
+            return
+        mem = uop.mem
+        base = 0 if mem.base.reg == XZR else env.get(mem.base.reg)
+        if base is None:
+            return
+        offset = mem.offset_imm
+        if mem.offset_reg is not None:
+            if mem.offset_reg.reg == XZR:
+                reg_offset = 0
+            else:
+                reg_offset = env.get(mem.offset_reg.reg)
+                if reg_offset is None:
+                    return
+            offset += reg_offset << mem.offset_shift
+        address = mask(base + offset, 64)
+        size = access_size(uop.op, uop.width)
+        code_end = CODE_BASE + len(self.program.instructions) * INST_BYTES
+        if address < code_end and address + size > CODE_BASE:
+            self.add("V006", ERROR, index,
+                     f"memory access at {address:#x} overlaps the code section")
+            return
+        extent = self._data_extent()
+        if extent is None:
+            return
+        lo, hi = extent
+        if address + size <= lo or address >= hi:
+            self.add("V006", WARNING, index,
+                     f"constant-addressed access at {address:#x} is outside "
+                     f"the initialized data image [{lo:#x}, {hi:#x})")
+
+    def check_constant_addresses(self):
+        n = len(self.program.instructions)
+        if not n:
+            return
+        successors = self.cfg.successors
+        ins = {self.program.entry: {XZR: 0}}
+        work = deque([self.program.entry])
+        # Fixpoint first (no findings while environments still shrink).
+        while work:
+            index = work.popleft()
+            env = dict(ins[index])
+            self._transfer_consts(index, env)
+            for succ in successors[index]:
+                if not 0 <= succ < n:
+                    continue
+                known = ins.get(succ)
+                if known is None:
+                    ins[succ] = dict(env)
+                    work.append(succ)
+                else:
+                    merged = {reg: value for reg, value in known.items()
+                              if env.get(reg) == value}
+                    if merged != known:
+                        ins[succ] = merged
+                        work.append(succ)
+        for index in sorted(self.cfg.reachable):
+            env = dict(ins.get(index, {}))
+            self._transfer_consts(index, env, record=True)
+
+    # -- driver -------------------------------------------------------------------
+    def run(self):
+        self.check_structure()
+        self.check_targets()
+        self.check_fall_off_end()
+        self.check_unreachable()
+        self.check_def_before_use()
+        self.check_constant_addresses()
+        return self.findings
+
+
+def verify_program(program, name="program"):
+    """Run every static check; returns a list of :class:`Finding`."""
+    return _Verifier(program, name).run()

@@ -62,6 +62,40 @@ _FOLDABLE = frozenset({
 })
 
 
+# Ops ``reduce`` can fire on regardless of destination: flag setters,
+# conditional branches and conditional selects.
+_STATIC_ALWAYS = _FLAG_SETTERS | frozenset({
+    Op.CBZ, Op.CBNZ, Op.TBZ, Op.TBNZ, Op.B_COND,
+    Op.CSEL, Op.CSINC, Op.CSNEG, Op.CSET,
+})
+# Data-processing ops with a Table 1 row (need a GPR destination).
+_STATIC_DST = frozenset({
+    Op.ADD, Op.ORR, Op.EOR, Op.SUB, Op.AND, Op.LSL, Op.LSR, Op.ASR,
+    Op.UBFM, Op.SBFM, Op.RBIT, Op.BIC,
+})
+# Ops only reducible under the constant-folding extension.
+_STATIC_FOLD_ONLY = frozenset({Op.MOVK, Op.CLZ, Op.MUL})
+
+
+def statically_reducible(op, has_dst=True, constant_folding=False):
+    """Pure static SpSR eligibility: could :meth:`SpSREngine.reduce` ever
+    return a reduction for a µop with this opcode?
+
+    This is the offline upper bound the opportunity analysis and the
+    runtime elimination audit are built on: for every µop and every
+    assignment of rename-time-known operand values, ``reduce`` returning
+    non-``None`` implies this predicate holds.  The converse is not
+    required (eligibility is an upper bound, not a promise).
+    """
+    if op in _STATIC_ALWAYS:
+        return True
+    if not has_dst:
+        return False
+    if op in _STATIC_DST:
+        return True
+    return constant_folding and op in _STATIC_FOLD_ONLY
+
+
 class SpSREngine:
     """Combinational Table 1 matcher.
 

@@ -102,9 +102,11 @@ class Machine:
         """Yield DynUops until HLT, a bad PC, or the instruction budget."""
         executed = 0
         while not self.halted and executed < max_instructions:
-            index = self.program.index_of(self.pc)
-            if not 0 <= index < len(self.program.instructions):
-                raise EmulationError(f"PC out of code range: {self.pc:#x}")
+            try:
+                index = self.program.index_of(self.pc)
+            except ValueError:
+                raise EmulationError(
+                    f"PC out of code range: {self.pc:#x}") from None
             for uop_record in self.step(index):
                 yield uop_record
             executed += 1

@@ -59,6 +59,14 @@ def build_parser():
 
 
 def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in ("audit", "lint"):
+        # Static-analysis subcommands (repro.analysis): `harness audit`
+        # verifies + cross-checks the kernels, `harness lint` runs the
+        # simulator determinism lint.
+        from repro.analysis.cli import main as analysis_main
+
+        return analysis_main(argv)
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:

@@ -123,6 +123,7 @@ class _Assembler:
             data_image=self._emit_data(),
         )
         self._check_branch_targets(program)
+        program.validate()
         return program
 
     def _line(self, line, line_no, raw):

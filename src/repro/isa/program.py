@@ -25,12 +25,52 @@ class Program:
         return CODE_BASE + index * INST_BYTES
 
     def index_of(self, pc):
-        """Instruction index for a code byte address."""
-        return (pc - CODE_BASE) // INST_BYTES
+        """Instruction index for a code byte address.
+
+        Raises :class:`ValueError` for addresses outside the code section
+        or not 4-byte aligned — both indicate a control-flow bug (a wild
+        branch target or a corrupted PC), never a valid fetch.
+        """
+        offset = pc - CODE_BASE
+        if offset % INST_BYTES:
+            raise ValueError(f"misaligned code address: {pc:#x}")
+        index = offset // INST_BYTES
+        if not 0 <= index < len(self.instructions):
+            raise ValueError(f"code address out of range: {pc:#x}")
+        return index
 
     @property
     def entry_pc(self):
         return self.pc_of(self.entry)
+
+    def validate(self):
+        """Structural invariants every assembled program must satisfy.
+
+        The assembler calls this on every program it emits; the static
+        verifier reports a violation as finding V001.  Raises ValueError.
+        """
+        n = len(self.instructions)
+        if not n:
+            raise ValueError("program has no instructions")
+        if not 0 <= self.entry < n:
+            raise ValueError(f"entry index {self.entry} outside code "
+                             f"[0, {n})")
+        for label, index in self.labels.items():
+            # index == n is a trailing end-of-code label; branching to it
+            # is the verifier's fall-off-the-end finding, not a structural
+            # error.
+            if not 0 <= index <= n:
+                raise ValueError(f"code label {label!r} points at "
+                                 f"instruction {index}, outside [0, {n}]")
+        code_end = CODE_BASE + n * INST_BYTES
+        for label, address in self.data_labels.items():
+            if CODE_BASE <= address < code_end:
+                raise ValueError(f"data label {label!r} at {address:#x} "
+                                 "overlaps the code section")
+        for address, payload in self.data_image:
+            if address < code_end and address + len(payload) > CODE_BASE:
+                raise ValueError(f"data image chunk at {address:#x} "
+                                 "overlaps the code section")
 
     def resolve(self, label):
         """Address of a code or data label."""

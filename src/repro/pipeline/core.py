@@ -78,11 +78,15 @@ class SimulationResult:
 class CpuModel:
     """One core instance bound to one trace."""
 
-    def __init__(self, trace, config=None):
+    def __init__(self, trace, config=None, elim_audit=None):
         self.trace = trace
         self.config = config or MachineConfig()
         cfg = self.config
         self.stats = PipelineStats()
+        # Optional static-eligibility cross-check (repro.analysis): called
+        # on every rename-time elimination, raises on any elimination at a
+        # site the static opportunity analysis did not classify eligible.
+        self.elim_audit = elim_audit
 
         # Register files and rename state.
         self.int_prf = PhysicalRegisterFile(cfg.int_phys_regs, name_base=0)
@@ -123,7 +127,9 @@ class CpuModel:
         self.fetch_index = 0
         self.fetch_stall_until = 0
         self.waiting_branch_seq = None
-        self.branch_seen = set()
+        # Insertion-ordered on purpose (determinism lint DET002): dict
+        # membership is as fast as a set's and iteration order is defined.
+        self.branch_seen = {}
         self.current_fetch_line = None
         self.fetch_queue = deque()
         self.decode_queue = deque()
@@ -842,6 +848,8 @@ class CpuModel:
             rob_entries.append(entry)   # capacity checked above (rob.push)
             entries_by_seq[uop.seq] = entry
             if outcome.eliminated:
+                if self.elim_audit is not None:
+                    self.elim_audit.check(uop, entry.elim_kind)
                 if outcome.resolved_branch_taken is not None:
                     stats.spsr_resolved_branches += 1
                     if self.waiting_branch_seq == uop.seq:
@@ -939,7 +947,7 @@ class CpuModel:
         cfg = self.config
         first_encounter = uop.seq not in self.branch_seen
         if first_encounter:
-            self.branch_seen.add(uop.seq)
+            self.branch_seen[uop.seq] = True
             kind = self._predict_branch(uop)
         else:
             kind = "taken" if uop.taken else "fall"

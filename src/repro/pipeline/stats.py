@@ -63,6 +63,14 @@ class PipelineStats:
     # Memory system snapshot (filled at the end of the run).
     memory: dict = field(default_factory=dict)
 
+    @classmethod
+    def counter_names(cls):
+        """The declared counter schema: every int field, in declaration
+        order.  The determinism lint (DET004) rejects increments of any
+        stats attribute not listed here."""
+        return tuple(name for name, f in cls.__dataclass_fields__.items()
+                     if f.type is int or f.type == "int")
+
     # -- derived -------------------------------------------------------------------
     @property
     def ipc(self):

@@ -22,6 +22,7 @@ def build():
     fmov  d0, #0.5           // threshold
     fmov  d1, #0.98          // decay
     mov   x9, #0             // saturated-cell count
+    mov   x12, #0            // mask-transition counter
     adr   x10, col_meta
 outer:
     ldr   x1, [x10]          // column base (GVP-predictable pointer)

@@ -1,0 +1,75 @@
+"""`harness audit` / `harness lint` command-line behaviour."""
+
+import json
+
+import pytest
+
+from repro.analysis import cli as analysis_cli
+from repro.harness.cli import main as harness_main
+
+
+def run_json(capsys, argv):
+    code = analysis_cli.main(argv)
+    payload = json.loads(capsys.readouterr().out)
+    return code, payload
+
+
+def test_audit_one_kernel_json(capsys):
+    code, payload = run_json(
+        capsys, ["audit", "hash_loop", "--instructions", "500", "--json"])
+    assert code == 0
+    assert payload["ok"] is True
+    assert payload["findings"] == []
+    kernel = payload["kernels"]["hash_loop"]
+    assert set(kernel) == {"static", "dynamic_bounds", "eliminated"}
+    for kind, count in kernel["eliminated"].items():
+        assert count <= kernel["dynamic_bounds"][kind], kind
+
+
+def test_audit_text_output(capsys):
+    assert analysis_cli.main(["audit", "stream_triad",
+                              "--instructions", "500"]) == 0
+    out = capsys.readouterr().out
+    assert "audit ok" in out
+
+
+def test_lint_json(capsys):
+    code, payload = run_json(capsys, ["lint", "--json"])
+    assert code == 0
+    assert payload == {"command": "lint", "findings": [], "ok": True}
+
+
+def test_lint_flags_seeded_violation(tmp_path, capsys):
+    root = tmp_path / "repro" / "pipeline"
+    root.mkdir(parents=True)
+    (root / "bad.py").write_text("import random\nseen = set()\n"
+                                 "for x in seen:\n    pass\n")
+    code, payload = run_json(
+        capsys, ["lint", str(tmp_path / "repro"), "--json"])
+    assert code == 1
+    assert payload["ok"] is False
+    rules = [f["rule"] for f in payload["findings"]]
+    assert rules == ["DET001", "DET002"]
+    assert payload["findings"][0]["where"].endswith("repro/pipeline/bad.py")
+    assert payload["findings"][0]["location"] == "line 1"
+
+
+def test_unknown_command_rejected(capsys):
+    assert analysis_cli.main(["frobnicate"]) == 2
+
+
+def test_harness_dispatches_audit(capsys):
+    code = harness_main(["audit", "fir_filter", "--instructions", "500"])
+    assert code == 0
+    assert "audit ok" in capsys.readouterr().out
+
+
+def test_harness_dispatches_lint(capsys):
+    code = harness_main(["lint", "--json"])
+    assert code == 0
+    assert json.loads(capsys.readouterr().out)["ok"] is True
+
+
+def test_audit_unknown_workload_rejected():
+    with pytest.raises(KeyError):
+        analysis_cli.main(["audit", "no_such_kernel"])

@@ -1,0 +1,176 @@
+"""Determinism lint: seeded violations of each rule are flagged with
+file:line; the repository at HEAD is clean."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.lint import lint_paths, lint_source
+
+
+def lint(source, relpath="repro/pipeline/fake.py"):
+    return lint_source(textwrap.dedent(source), relpath)
+
+
+def test_repo_is_clean_at_head():
+    import repro
+    assert lint_paths(Path(repro.__file__).parent) == []
+
+
+# -- DET001: nondeterminism imports -------------------------------------------------
+def test_det001_random_import_flagged():
+    findings = lint("import random\n")
+    assert [f.rule for f in findings] == ["DET001"]
+    assert findings[0].location == "line 1"
+    assert findings[0].where == "repro/pipeline/fake.py"
+
+
+def test_det001_from_import_flagged():
+    findings = lint("x = 1\nfrom time import monotonic\n")
+    assert [f.rule for f in findings] == ["DET001"]
+    assert findings[0].location == "line 2"
+
+
+def test_det001_allowed_in_rng_and_harness():
+    assert lint("import random\n", "repro/util/rng.py") == []
+    assert lint("import time\n", "repro/harness/cli.py") == []
+
+
+def test_det001_datetime_flagged_outside_model_packages_too():
+    # DET001 covers all of src/repro, not just the model packages.
+    findings = lint("import datetime\n", "repro/isa/assembler.py")
+    assert [f.rule for f in findings] == ["DET001"]
+
+
+# -- DET002: set iteration ----------------------------------------------------------
+def test_det002_for_over_set_flagged():
+    findings = lint("""
+        pending = set()
+        for item in pending:
+            print(item)
+    """)
+    assert [f.rule for f in findings] == ["DET002"]
+    assert findings[0].location == "line 3"
+
+
+def test_det002_self_attribute_set_flagged():
+    findings = lint("""
+        class Core:
+            def __init__(self):
+                self.seen = set()
+            def drain(self):
+                return [s for s in self.seen]
+    """)
+    assert [f.rule for f in findings] == ["DET002"]
+    assert findings[0].location == "line 6"
+
+
+def test_det002_set_literal_iteration_flagged():
+    findings = lint("out = [x for x in {1, 2, 3}]\n")
+    assert [f.rule for f in findings] == ["DET002"]
+
+
+def test_det002_sorted_iteration_accepted():
+    assert lint("""
+        pending = set()
+        for item in sorted(pending):
+            print(item)
+    """) == []
+
+
+def test_det002_membership_accepted():
+    assert lint("""
+        pending = set()
+        def look(x):
+            return x in pending
+    """) == []
+
+
+def test_det002_outside_model_packages_accepted():
+    source = "pending = set()\nfor item in pending:\n    print(item)\n"
+    assert lint(source, "repro/harness/cli.py") == []
+
+
+def test_det002_rebound_to_list_accepted():
+    assert lint("""
+        pending = set()
+        pending = sorted(pending)
+        for item in pending:
+            print(item)
+    """) == []
+
+
+# -- DET003: config mutation after start --------------------------------------------
+def test_det003_config_field_mutation_flagged():
+    findings = lint("""
+        class Core:
+            def __init__(self, config):
+                self.config = config
+            def tick(self):
+                self.config.rob_entries = 1
+    """)
+    assert [f.rule for f in findings] == ["DET003"]
+    assert findings[0].location == "line 6"
+
+
+def test_det003_config_rebind_flagged():
+    findings = lint("""
+        class Core:
+            def tick(self, other):
+                self.config = other
+    """)
+    assert [f.rule for f in findings] == ["DET003"]
+
+
+def test_det003_init_assignment_accepted():
+    assert lint("""
+        class Core:
+            def __init__(self, config):
+                self.config = config
+                self.config.seed = 7
+    """) == []
+
+
+# -- DET004: undeclared stats counters ----------------------------------------------
+def test_det004_undeclared_counter_flagged():
+    findings = lint("""
+        class Core:
+            def tick(self):
+                self.stats.retired_uops += 1
+                self.stats.made_up_counter += 1
+    """)
+    assert [f.rule for f in findings] == ["DET004"]
+    assert findings[0].location == "line 5"
+    assert "made_up_counter" in findings[0].message
+
+
+def test_det004_local_stats_alias_flagged():
+    findings = lint("""
+        def tick(stats):
+            stats.typo_counter += 1
+    """)
+    assert [f.rule for f in findings] == ["DET004"]
+
+
+def test_det004_declared_counters_accepted():
+    assert lint("""
+        def tick(stats):
+            stats.cycles += 1
+            stats.elim_spsr += 1
+            stats.vp_eligible += 1
+    """) == []
+
+
+# -- reporting ----------------------------------------------------------------------
+def test_syntax_error_reported_not_raised():
+    findings = lint_source("def broken(:\n", "repro/pipeline/bad.py")
+    assert [f.rule for f in findings] == ["DET000"]
+
+
+def test_findings_sorted_by_line():
+    findings = lint("""
+        import random
+        s = set()
+        for x in s:
+            pass
+    """)
+    assert [f.rule for f in findings] == ["DET001", "DET002"]

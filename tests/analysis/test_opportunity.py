@@ -1,0 +1,170 @@
+"""Static opportunity analysis + the runtime elimination cross-check."""
+
+import pytest
+
+from tests.helpers import emulate
+
+from repro.analysis.opportunity import (
+    EliminationAudit,
+    EliminationAuditError,
+    Site,
+    StaticOpportunities,
+)
+from repro.isa.assembler import assemble
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.core import CpuModel
+from repro.workloads import suite
+
+
+def analyze(source, **kwargs):
+    return StaticOpportunities.analyze(assemble(source), **kwargs)
+
+
+# -- static classification -----------------------------------------------------------
+def test_movz_idiom_classification():
+    opps = analyze("mov x0, #0\nmov x1, #1\nmov x2, #37\nmov x3, #900\nhlt")
+    counts = opps.static_counts()
+    assert counts["zero_idiom"] == 1
+    assert counts["one_idiom"] == 1
+    assert counts["nine_bit_idiom"] == 3   # 0, 1 and 37 fit int9; 900 not
+
+
+def test_move_and_zero_register_idioms():
+    opps = analyze("mov x9, #5\nmov x0, x9\neor x1, x9, x9\n"
+                   "and x2, x9, xzr\nadd x3, x9, xzr\nhlt")
+    counts = opps.static_counts()
+    assert counts["move"] == 2        # mov x0,x9 and add x3,x9,xzr
+    assert counts["zero_idiom"] == 2  # eor-same and and-with-xzr
+
+
+def test_spsr_superset_of_table1():
+    opps = analyze("mov x1, #3\ncmp x1, #0\nb.eq out\n"
+                   "add x0, x1, x1\nout: hlt")
+    by_text = {site.text: site for site in opps.sites.values()}
+    assert "spsr" in by_text["cmp x1, #0"].kinds
+    assert "spsr" in by_text["b.eq out"].kinds
+    assert "spsr" in by_text["add x0, x1, x1"].kinds
+    assert "spsr" not in by_text["hlt"].kinds
+
+
+def test_constant_folding_widens_eligibility():
+    source = "mov x1, #3\nmul x0, x1, x1\nhlt"
+    assert analyze(source).static_counts()["spsr"] == 0
+    assert analyze(source, constant_folding=True).static_counts()["spsr"] == 1
+
+
+def test_vp_eligibility_matches_trace_flags():
+    source = "mov x1, #3\nadd x0, x1, #1\nldr x2, [sp]\ncbnz x0, out\nout: hlt"
+    opps = analyze(source)
+    trace, _ = emulate(source, max_instructions=10)
+    for uop in trace:
+        assert opps.sites[(uop.pc, uop.uop_index)].vp_eligible == uop.vp_elig
+
+
+def test_expanded_uops_get_distinct_sites():
+    # Pre-indexed load expands to a writeback add + a load: two sites.
+    opps = analyze("mov x1, #5\nstr x1, [sp, #-16]!\nhlt")
+    uop_indices = {key[1] for key in opps.sites}
+    assert 1 in uop_indices
+
+
+# -- dynamic bounds -----------------------------------------------------------------
+def test_dynamic_bounds_count_trace_occurrences():
+    source = """
+    mov x1, #4
+loop:
+    sub x1, x1, #1
+    cbnz x1, loop
+    hlt
+"""
+    opps = analyze(source)
+    trace, _ = emulate(source, max_instructions=100)
+    bounds = opps.dynamic_bounds(trace)
+    assert bounds["nine_bit_idiom"] == 1   # the single mov executes once
+    assert bounds["spsr"] == 8             # 4x sub + 4x cbnz
+
+
+def test_check_bounds_flags_inflated_counters():
+    source = "mov x1, #4\nadd x0, x1, #1\nhlt"
+    opps = analyze(source, name="toy")
+    trace, _ = emulate(source, max_instructions=10)
+    model = CpuModel(trace, MachineConfig.tvp(spsr=True))
+    stats = model.run().stats
+    assert opps.check_bounds(trace, stats) == []
+    stats.elim_spsr = 10_000  # corrupt the counter past any real bound
+    violations = opps.check_bounds(trace, stats)
+    assert violations and "spsr" in violations[0] and "toy" in violations[0]
+
+
+# -- the runtime cross-check ---------------------------------------------------------
+def _run_audited(source, config, opps=None):
+    opps = opps or StaticOpportunities.analyze(assemble(source))
+    trace, _ = emulate(source, max_instructions=2_000)
+    audit = EliminationAudit(opps)
+    model = CpuModel(trace, config, elim_audit=audit)
+    model.run()
+    return audit, model.stats
+
+
+def test_audit_accepts_real_eliminations():
+    source = """
+    mov x0, #0
+    mov x1, #1
+    mov x9, #5
+    mov x2, x9
+    eor x3, x9, x9
+    mov x4, #100
+loop:
+    sub x4, x4, #1
+    cbnz x4, loop
+    hlt
+"""
+    audit, stats = _run_audited(source, MachineConfig.tvp(spsr=True))
+    eliminated = (stats.elim_zero_idiom + stats.elim_one_idiom +
+                  stats.elim_move + stats.elim_nine_bit_idiom +
+                  stats.elim_spsr)
+    assert eliminated > 0
+    assert audit.checked == eliminated
+
+
+def test_audit_rejects_elimination_at_ineligible_site():
+    # Strip every site's eligibility: the first real elimination the
+    # renamer performs must now trip the cross-check.
+    source = "mov x0, #0\nmov x1, #1\nhlt"
+    opps = StaticOpportunities.analyze(assemble(source), name="stripped")
+    for key, site in opps.sites.items():
+        opps.sites[key] = Site(pc=site.pc, uop_index=site.uop_index,
+                               text=site.text, kinds=frozenset(),
+                               vp_eligible=site.vp_eligible)
+    with pytest.raises(EliminationAuditError, match="ineligible site"):
+        _run_audited(source, MachineConfig.tvp(spsr=True), opps=opps)
+
+
+def test_audit_rejects_unknown_site():
+    source = "mov x0, #0\nhlt"
+    opps = StaticOpportunities.analyze(assemble(source), name="empty")
+    opps.sites.clear()
+    with pytest.raises(EliminationAuditError, match="unknown"):
+        _run_audited(source, MachineConfig.tvp(spsr=True), opps=opps)
+
+
+def test_audit_direct_check_mocked_kind():
+    # A load µop is never spsr-eliminable: a mocked dynamic elimination
+    # claiming so must be rejected.
+    source = "ldr x0, [sp]\nhlt"
+    opps = StaticOpportunities.analyze(assemble(source), name="mock")
+    trace, _ = emulate(source, max_instructions=5)
+    audit = EliminationAudit(opps)
+    with pytest.raises(EliminationAuditError, match="spsr"):
+        audit.check(trace[0], "spsr")
+
+
+@pytest.mark.parametrize("workload", suite(), ids=lambda w: w.name)
+def test_suite_runs_clean_under_audit(workload):
+    """Every kernel simulates under the cross-check without violations."""
+    opps = StaticOpportunities.analyze(workload.program, name=workload.name)
+    trace, _ = emulate(workload.source, max_instructions=2_000)
+    model = CpuModel(trace, MachineConfig.tvp(spsr=True),
+                     elim_audit=EliminationAudit(opps))
+    stats = model.run().stats
+    assert opps.check_bounds(trace, stats) == []

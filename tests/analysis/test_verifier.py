@@ -1,0 +1,180 @@
+"""Static program verifier: each rule fires on a corrupted program and
+stays silent on every shipped kernel."""
+
+import pytest
+
+from repro.analysis.findings import ERROR, WARNING, has_errors
+from repro.analysis.verifier import verify_program
+from repro.isa.assembler import assemble
+from repro.workloads import suite
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+def errors_of(findings):
+    return [f for f in findings if f.severity == ERROR]
+
+
+# -- clean programs ---------------------------------------------------------------
+def test_trivial_program_is_clean():
+    program = assemble("mov x0, #1\nadd x1, x0, #2\nhlt")
+    assert verify_program(program) == []
+
+
+@pytest.mark.parametrize("workload", suite(), ids=lambda w: w.name)
+def test_every_shipped_kernel_verifies(workload):
+    findings = verify_program(workload.program, name=workload.name)
+    assert errors_of(findings) == []
+
+
+# -- V002: dangling branch target --------------------------------------------------
+def test_dangling_branch_target_rejected():
+    program = assemble("start: b start\nhlt")
+    del program.labels["start"]  # simulate a corrupted/unresolved label
+    findings = verify_program(program)
+    assert "V002" in rules_of(findings)
+    assert has_errors(findings)
+
+
+# -- V003: control runs past the end -----------------------------------------------
+def test_fall_off_end_rejected():
+    findings = verify_program(assemble("add x0, xzr, xzr"))
+    assert "V003" in rules_of(findings)
+
+
+def test_branch_to_trailing_label_rejected():
+    findings = verify_program(assemble("b end\nend:"))
+    assert "V003" in rules_of(findings)
+
+
+# -- V004: use before def -----------------------------------------------------------
+def test_use_before_def_rejected():
+    findings = verify_program(assemble("add x0, x1, x2\nhlt"))
+    v004 = [f for f in findings if f.rule == "V004"]
+    assert len(v004) == 2  # x1 and x2
+    assert all(f.severity == ERROR for f in v004)
+    assert "x1" in v004[0].message
+
+
+def test_def_on_only_one_path_rejected():
+    # x1 is written on the taken path only: the join reads a maybe-undef.
+    source = """
+    mov x0, #1
+    cbz x0, skip
+    mov x1, #7
+skip:
+    add x2, x1, #1
+    hlt
+"""
+    findings = verify_program(assemble(source))
+    assert "V004" in rules_of(findings)
+
+
+def test_def_on_all_paths_accepted():
+    source = """
+    mov x0, #1
+    cbz x0, other
+    mov x1, #7
+    b join
+other:
+    mov x1, #9
+join:
+    add x2, x1, #1
+    hlt
+"""
+    assert verify_program(assemble(source)) == []
+
+
+def test_loop_carried_def_accepted():
+    # The loop body reads x1 defined before entry and redefines it: fine.
+    source = """
+    mov x1, #8
+loop:
+    sub x1, x1, #1
+    cbnz x1, loop
+    hlt
+"""
+    assert verify_program(assemble(source)) == []
+
+
+def test_predefined_registers_accepted():
+    # xzr and sp are architecturally defined before the first instruction.
+    assert verify_program(assemble("add x0, sp, #16\nhlt")) == []
+
+
+# -- V005: flag consumer without a setter -------------------------------------------
+def test_flag_consumer_without_setter_rejected():
+    findings = verify_program(assemble("start: b.eq start\nhlt"))
+    assert "V005" in rules_of(findings)
+    assert has_errors(findings)
+
+
+def test_csel_without_flag_setter_rejected():
+    source = "mov x1, #1\nmov x2, #2\ncsel x0, x1, x2, eq\nhlt"
+    findings = verify_program(assemble(source))
+    assert "V005" in rules_of(findings)
+
+
+def test_dominated_flag_consumer_accepted():
+    source = "mov x1, #3\ncmp x1, #0\nb.eq out\nout: hlt"
+    assert verify_program(assemble(source)) == []
+
+
+def test_flag_setter_on_one_path_only_rejected():
+    source = """
+    mov x0, #1
+    cbz x0, use
+    cmp x0, #2
+use:
+    b.eq use2
+use2:
+    hlt
+"""
+    findings = verify_program(assemble(source))
+    assert "V005" in rules_of(findings)
+
+
+# -- V006: constant-address sanity ---------------------------------------------------
+def test_load_overlapping_code_section_rejected():
+    findings = verify_program(assemble("movz x1, #0x4000\nldr x0, [x1]\nhlt"))
+    v006 = [f for f in findings if f.rule == "V006"]
+    assert v006 and v006[0].severity == ERROR
+    assert "overlaps the code section" in v006[0].message
+
+
+def test_load_outside_data_image_warns():
+    source = """
+    adr x1, tbl
+    ldr x0, [x1, #4096]
+    hlt
+.data
+tbl: .quad 1
+"""
+    findings = verify_program(assemble(source))
+    v006 = [f for f in findings if f.rule == "V006"]
+    assert v006 and v006[0].severity == WARNING
+    assert not has_errors(findings)
+
+
+def test_load_inside_data_image_accepted():
+    source = "adr x1, tbl\nldr x0, [x1]\nhlt\n.data\ntbl: .quad 1"
+    assert verify_program(assemble(source)) == []
+
+
+# -- V007: unreachable code ---------------------------------------------------------
+def test_unreachable_code_warns():
+    findings = verify_program(assemble("hlt\nmov x0, #1\nhlt"))
+    v007 = [f for f in findings if f.rule == "V007"]
+    assert v007 and v007[0].severity == WARNING
+
+
+# -- finding metadata ---------------------------------------------------------------
+def test_findings_carry_location_and_name():
+    findings = verify_program(assemble("add x0, x9, #1\nhlt"), name="bad")
+    finding = findings[0]
+    assert finding.where == "bad"
+    assert finding.location.startswith("#0 pc=0x4000")
+    assert "add" in finding.location
+    assert finding.to_dict()["rule"] == "V004"

@@ -1,0 +1,176 @@
+"""Golden agreement tests: every SpSR reduction matches the ISA semantics.
+
+For exhaustive small operand values (and all 16 NZCV states), whatever
+:meth:`SpSREngine.reduce` claims must agree with what the architectural
+semantics (`compute_int` / `compute_csel` / `branch_taken`) actually
+produce:
+
+* a VALUE reduction's value equals the architecturally computed result,
+* a deposited NZCV equals the flags `compute_int` computes,
+* a MOVE reduction's source holds exactly the architectural result,
+* a BRANCH resolution matches `branch_taken` / `condition_holds`.
+
+This pins the ReductionKind rows of core/spsr.py to isa/semantics.py so
+the two can never drift apart silently.
+"""
+
+import pytest
+
+from tests.helpers import emulate
+
+from repro.core.spsr import ReductionKind, SpSREngine
+from repro.isa.bits import mask, to_unsigned
+from repro.isa.condition import condition_holds
+from repro.isa.opcodes import Op
+from repro.isa.semantics import branch_taken, compute_csel, compute_int
+
+# Small signed values exercising zero, one, sign boundaries and carries.
+SMALL = [to_unsigned(v, 64) for v in (-2, -1, 0, 1, 2, 3)]
+SMALL_W = [to_unsigned(v, 32) for v in (-2, -1, 0, 1, 2, 3)]
+ALL_FLAGS = list(range(16))  # every NZCV combination
+
+
+def uop(line):
+    trace, _ = emulate(f"{line}\nnext: hlt", max_instructions=1)
+    return trace[0]
+
+
+def _check_data_processing(engine, u, known, width):
+    """reduce() on a two-source data-processing µop must agree with
+    compute_int for every claim it makes."""
+    result = engine.reduce(u, known, None)
+    if result is None:
+        return
+    golden, golden_flags = compute_int(u.op, known[0], known[1], width)
+    if result.kind is ReductionKind.VALUE:
+        if result.value is not None:
+            assert result.value == golden, (u.text, known)
+        if result.flags is not None:
+            assert result.flags == golden_flags, (u.text, known)
+    elif result.kind is ReductionKind.MOVE:
+        assert mask(known[result.move_src], width) == golden, (u.text, known)
+    else:  # pragma: no cover - data processing never resolves branches
+        pytest.fail(f"unexpected kind {result.kind} for {u.text}")
+
+
+@pytest.mark.parametrize("mnemonic,op", [
+    ("add", Op.ADD), ("sub", Op.SUB), ("and", Op.AND), ("orr", Op.ORR),
+    ("eor", Op.EOR), ("bic", Op.BIC), ("lsl", Op.LSL), ("lsr", Op.LSR),
+    ("asr", Op.ASR),
+])
+@pytest.mark.parametrize("folding", [False, True])
+def test_data_processing_rows_agree_with_semantics(mnemonic, op, folding):
+    engine = SpSREngine(constant_folding=folding)
+    u = uop(f"{mnemonic} x0, x1, x2")
+    assert u.op is op
+    shifts = [0, 1, 3]
+    for a in SMALL:
+        bs = shifts if op in (Op.LSL, Op.LSR, Op.ASR) else SMALL
+        for b in bs:
+            _check_data_processing(engine, u, (a, b), 64)
+
+
+@pytest.mark.parametrize("mnemonic,op", [
+    ("add", Op.ADD), ("sub", Op.SUB), ("and", Op.AND), ("orr", Op.ORR),
+    ("eor", Op.EOR),
+])
+def test_data_processing_rows_agree_32bit(mnemonic, op):
+    engine = SpSREngine(constant_folding=True)
+    u = uop(f"{mnemonic} w0, w1, w2")
+    for a in SMALL_W:
+        for b in SMALL_W:
+            _check_data_processing(engine, u, (a, b), 32)
+
+
+@pytest.mark.parametrize("line,width", [
+    ("adds x0, x1, x2", 64), ("subs x0, x1, x2", 64),
+    ("ands x0, x1, x2", 64), ("cmp x1, x2", 64), ("cmn x1, x2", 64),
+    ("tst x1, x2", 64),
+    ("adds w0, w1, w2", 32), ("subs w0, w1, w2", 32), ("cmp w1, w2", 32),
+])
+def test_flag_setter_nzcv_deposits_agree(line, width):
+    """The nop+NZCV rows: deposited flags must be architecturally exact."""
+    engine = SpSREngine()
+    u = uop(line)
+    values = SMALL if width == 64 else SMALL_W
+    for a in values:
+        for b in values:
+            result = engine.reduce(u, (a, b), None)
+            golden, golden_flags = compute_int(u.op, a, b, width)
+            assert result is not None and result.kind is ReductionKind.VALUE
+            assert result.flags == golden_flags, (line, a, b)
+            if result.value is not None:
+                assert result.value == golden, (line, a, b)
+
+
+@pytest.mark.parametrize("line,imm2", [
+    ("cbz x1, next", 0), ("cbnz x1, next", 0),
+    ("tbz x1, #0, next", 0), ("tbz x1, #1, next", 1),
+    ("tbnz x1, #0, next", 0),
+])
+def test_compare_branch_resolution_agrees(line, imm2):
+    engine = SpSREngine()
+    u = uop(line)
+    for value in SMALL:
+        result = engine.reduce(u, (value,), None)
+        assert result is not None and result.kind is ReductionKind.BRANCH
+        golden = branch_taken(u.op, None, 0, value, u.imm2 or 0)
+        assert result.taken == golden, (line, value)
+
+
+@pytest.mark.parametrize("cond", [
+    "eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc",
+    "hi", "ls", "ge", "lt", "gt", "le",
+])
+def test_conditional_branch_resolution_agrees(cond):
+    engine = SpSREngine()
+    u = uop(f"b.{cond} next")
+    for flags in ALL_FLAGS:
+        result = engine.reduce(u, (), flags)
+        assert result is not None and result.kind is ReductionKind.BRANCH
+        assert result.taken == condition_holds(u.cond, flags), (cond, flags)
+
+
+@pytest.mark.parametrize("line", [
+    "csel x0, x1, x2, eq", "csel x0, x1, x2, lt",
+    "csinc x0, x1, x2, ne", "csneg x0, x1, x2, gt",
+    "cset x0, eq", "cset x0, hi",
+])
+@pytest.mark.parametrize("folding", [False, True])
+def test_conditional_select_rows_agree(line, folding):
+    engine = SpSREngine(constant_folding=folding)
+    u = uop(line)
+    for flags in ALL_FLAGS:
+        for a in SMALL:
+            for b in SMALL:
+                known = (a, b) if len(u.src_regs) == 2 else ()
+                result = engine.reduce(u, known, flags)
+                if result is None:
+                    continue
+                golden = compute_csel(u.op, u.cond, flags, a, b, 64)
+                if result.kind is ReductionKind.VALUE:
+                    assert result.value == golden, (line, flags, a, b)
+                else:
+                    assert result.kind is ReductionKind.MOVE
+                    assert mask(known[result.move_src], 64) == golden, \
+                        (line, flags, a, b)
+
+
+@pytest.mark.parametrize("line", [
+    "add x0, x1, #1", "sub x0, x1, #1", "orr x0, x1, #1", "eor x0, x1, #1",
+    "and x0, x1, #3", "lsl x0, x1, #2", "lsr x0, x1, #1",
+])
+@pytest.mark.parametrize("folding", [False, True])
+def test_immediate_rows_agree_with_semantics(line, folding):
+    engine = SpSREngine(constant_folding=folding)
+    u = uop(line)
+    for a in SMALL:
+        result = engine.reduce(u, (a,), None)
+        if result is None:
+            continue
+        golden, _ = compute_int(u.op, a, u.imm, 64)
+        if result.kind is ReductionKind.VALUE:
+            assert result.value == golden, (line, a)
+        else:
+            assert result.kind is ReductionKind.MOVE
+            assert mask(a, 64) == golden, (line, a)

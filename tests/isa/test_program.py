@@ -35,3 +35,68 @@ def test_len_and_instruction_spacing():
     program = assemble("nop\nnop")
     assert len(program) == 2
     assert program.pc_of(1) - program.pc_of(0) == INST_BYTES
+
+
+# -- index_of validation ----------------------------------------------------------
+def test_index_of_rejects_misaligned_pc():
+    program = assemble("nop\nnop")
+    with pytest.raises(ValueError, match="misaligned"):
+        program.index_of(CODE_BASE + 2)
+
+
+def test_index_of_rejects_pc_below_code_base():
+    program = assemble("nop")
+    with pytest.raises(ValueError, match="out of range"):
+        program.index_of(CODE_BASE - INST_BYTES)
+
+
+def test_index_of_rejects_pc_past_code_end():
+    program = assemble("nop\nnop")
+    with pytest.raises(ValueError, match="out of range"):
+        program.index_of(CODE_BASE + 2 * INST_BYTES)
+
+
+# -- validate ---------------------------------------------------------------------
+def test_validate_accepts_assembled_program():
+    assemble("nop\nhlt").validate()  # must not raise
+
+
+def test_validate_rejects_empty_program():
+    from repro.isa.program import Program
+
+    with pytest.raises(ValueError, match="no instructions"):
+        Program().validate()
+
+
+def test_validate_rejects_bad_entry():
+    program = assemble("nop\nhlt")
+    program.entry = 5
+    with pytest.raises(ValueError, match="entry"):
+        program.validate()
+
+
+def test_validate_rejects_label_outside_code():
+    program = assemble("nop\nhlt")
+    program.labels["wild"] = 99
+    with pytest.raises(ValueError, match="wild"):
+        program.validate()
+
+
+def test_validate_allows_trailing_end_label():
+    program = assemble("b end\nend:")
+    assert program.labels["end"] == 1  # one past the last instruction
+    program.validate()  # must not raise
+
+
+def test_validate_rejects_data_overlapping_code():
+    program = assemble("nop\nhlt")
+    program.data_labels["bad"] = CODE_BASE
+    with pytest.raises(ValueError, match="overlaps the code section"):
+        program.validate()
+
+
+def test_validate_rejects_data_image_overlapping_code():
+    program = assemble("nop\nhlt")
+    program.data_image.append((CODE_BASE - 2, b"\x00" * 8))
+    with pytest.raises(ValueError, match="overlaps the code section"):
+        program.validate()
