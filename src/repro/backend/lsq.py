@@ -65,6 +65,10 @@ class LoadStoreQueues:
         """The LQ entry for *seq*, or None."""
         return self._load_by_seq.get(seq)
 
+    def occupancy(self):
+        """``(lq_live, sq_live)`` (sampled by the observability layer)."""
+        return len(self.loads), len(self.stores)
+
     # -- load issue checks ---------------------------------------------------------
     def youngest_older_store_conflict(self, load):
         """Youngest store older than *load* touching the same bytes."""

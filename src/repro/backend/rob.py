@@ -76,6 +76,11 @@ class ReorderBuffer:
     def empty(self):
         return not self.entries
 
+    @property
+    def occupancy(self):
+        """Live entries right now (sampled by the observability layer)."""
+        return len(self.entries)
+
     def push(self, entry):
         if self.full:
             raise AssertionError("ROB overflow")

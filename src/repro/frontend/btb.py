@@ -19,6 +19,11 @@ class BranchTargetBuffer:
         self.stat_hits = 0
         self.stat_misses = 0
 
+    @property
+    def fill(self):
+        """Installed entries across all sets (observability sampling)."""
+        return sum(len(ways) for ways in self._data)
+
     def _locate(self, pc):
         index = (pc >> 2) % self.sets
         tag = pc >> 2

@@ -13,6 +13,11 @@ class ReturnAddressStack:
         self.stat_pops = 0
         self.stat_underflows = 0
 
+    @property
+    def live_entries(self):
+        """Current stack depth (sampled by the observability layer)."""
+        return self._top
+
     def push(self, return_pc):
         self._stack[self._pos] = return_pc
         self._pos = (self._pos + 1) % self.depth

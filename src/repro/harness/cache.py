@@ -43,10 +43,17 @@ _DEFAULT_DIR = ".repro-cache"
 
 # -- canonicalisation / fingerprints -----------------------------------------------
 def _canonical(value):
-    """A JSON-stable structure capturing *value* exactly."""
+    """A JSON-stable structure capturing *value* exactly.
+
+    Dataclass fields marked ``metadata={"fingerprint": False}`` are
+    skipped: they describe *how a run is observed* (tracing, sampling),
+    never what the machine computes, so they must not fragment the cache
+    key space — a traced run hits the cache entry its untraced twin wrote.
+    """
     if is_dataclass(value) and not isinstance(value, type):
         return {f.name: _canonical(getattr(value, f.name))
-                for f in fields(value)}
+                for f in fields(value)
+                if f.metadata.get("fingerprint", True)}
     if isinstance(value, Enum):
         return f"{type(value).__name__}.{value.name}"
     if isinstance(value, dict):

@@ -67,6 +67,12 @@ def main(argv=None):
         from repro.analysis.cli import main as analysis_main
 
         return analysis_main(argv)
+    if argv and argv[0] == "trace":
+        # Observability subcommand: one traced simulation, exported as a
+        # Konata/gem5 O3PipeView text trace and a JSONL event stream.
+        from repro.observability.cli import main as trace_main
+
+        return trace_main(argv)
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:

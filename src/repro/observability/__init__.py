@@ -1,0 +1,23 @@
+"""Pipeline observability: per-µop lifecycle tracing, typed VP/SpSR/flush
+events, interval metrics time series, and trace exporters.
+
+The cycle model accepts any :class:`~repro.observability.tracer.Tracer`;
+the default :data:`~repro.observability.tracer.NULL_TRACER` keeps the
+untraced path zero-overhead and bit-identical.
+"""
+
+from repro.observability.config import TraceConfig
+from repro.observability.export import write_jsonl, write_o3_pipeview
+from repro.observability.interval import IntervalSample, MetricsTimeSeries
+from repro.observability.tracer import (
+    NULL_TRACER,
+    PipelineTracer,
+    Tracer,
+    UopLifetime,
+)
+
+__all__ = [
+    "TraceConfig", "Tracer", "NULL_TRACER", "PipelineTracer", "UopLifetime",
+    "MetricsTimeSeries", "IntervalSample", "write_o3_pipeview",
+    "write_jsonl",
+]

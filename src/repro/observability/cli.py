@@ -1,0 +1,114 @@
+"""``python -m repro.harness trace <workload>`` — run one traced simulation.
+
+Examples::
+
+    python -m repro.harness trace hash_loop
+    python -m repro.harness trace xml_tree --config gvp+spsr \\
+        --instructions 5000 --sample-interval 500 --out-dir traces/
+
+Writes a gem5 O3PipeView text trace (drag into Konata to visualize the
+pipeline) and a JSONL stream (per-µop lifetimes, typed VP/SpSR/flush
+events, per-interval metrics) named ``<workload>.<config>.pipeview`` /
+``<workload>.<config>.trace.jsonl``.
+"""
+
+import argparse
+import os
+import sys
+
+_CONFIG_NAMES = ("baseline", "mvp", "tvp", "gvp",
+                 "mvp+spsr", "tvp+spsr", "gvp+spsr")
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-harness trace",
+        description="Trace one (workload, config) simulation: per-uop "
+                    "lifecycle events, VP/SpSR/flush events and interval "
+                    "metrics.")
+    parser.add_argument("workload", help="workload name (see `suite`)")
+    parser.add_argument("--config", default="tvp+spsr",
+                        choices=_CONFIG_NAMES,
+                        help="machine configuration (default: tvp+spsr)")
+    parser.add_argument("--instructions", type=int, default=3000,
+                        help="dynamic instruction budget (default: 3000)")
+    parser.add_argument("--sample-interval", type=int, default=200,
+                        metavar="N",
+                        help="metrics sample period in cycles; 0 disables "
+                             "the time series (default: 200)")
+    parser.add_argument("--max-lifetimes", type=int, default=None,
+                        metavar="N",
+                        help="cap recorded per-uop lifetimes (default: all)")
+    parser.add_argument("--out-dir", default=".", metavar="DIR",
+                        help="where to write the trace files (default: .)")
+    parser.add_argument("--format", default="both",
+                        choices=("both", "konata", "jsonl"),
+                        help="which exporters to run (default: both)")
+    return parser
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "trace":
+        argv = argv[1:]
+    args = build_parser().parse_args(argv)
+    if args.instructions < 1:
+        print("--instructions must be >= 1", file=sys.stderr)
+        return 2
+    if args.sample_interval < 0:
+        print("--sample-interval must be >= 0", file=sys.stderr)
+        return 2
+
+    from repro.emulator.trace import trace_program
+    from repro.harness.runner import ExperimentRunner
+    from repro.observability.config import TraceConfig
+    from repro.observability.export import write_jsonl, write_o3_pipeview
+    from repro.observability.tracer import PipelineTracer
+    from repro.pipeline.core import CpuModel
+    from repro.workloads import get_workload
+
+    try:
+        workload = get_workload(args.workload)
+    except KeyError:
+        print(f"unknown workload {args.workload!r}", file=sys.stderr)
+        return 2
+    config = ExperimentRunner.config(args.config).with_(
+        trace=TraceConfig(sample_interval=args.sample_interval,
+                          max_lifetimes=args.max_lifetimes))
+
+    trace, _ = trace_program(workload.program,
+                             max_instructions=args.instructions)
+    model = CpuModel(trace, config)
+    result = model.run()
+    tracer = model.tracer
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    stem = os.path.join(args.out_dir, f"{args.workload}.{args.config}")
+    written = []
+    if args.format in ("both", "konata"):
+        path = stem + ".pipeview"
+        records = write_o3_pipeview(tracer.lifetimes, path)
+        written.append(f"{path} ({records} uops, Konata/gem5 O3PipeView)")
+    if args.format in ("both", "jsonl"):
+        path = stem + ".trace.jsonl"
+        lines = write_jsonl(tracer, path, stats=result.stats,
+                            workload=args.workload, config_name=args.config)
+        written.append(f"{path} ({lines} lines)")
+
+    stats = result.stats
+    samples = len(tracer.series.samples) if tracer.series else 0
+    print(f"traced {args.workload} / {args.config}: "
+          f"{stats.retired_uops} uops over {stats.cycles} cycles "
+          f"(IPC {stats.ipc:.3f})")
+    print(f"  lifetimes: {len(tracer.lifetimes)} "
+          f"({len(tracer.squashed_lifetimes())} squashed"
+          + (f", {tracer.lifetimes_dropped} dropped by --max-lifetimes"
+             if tracer.lifetimes_dropped else "") + ")")
+    print(f"  events: {len(tracer.events)}   interval samples: {samples}")
+    for line in written:
+        print(f"  wrote {line}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Observability knobs, kept apart from the architectural configuration.
+
+A :class:`TraceConfig` describes *how a run is watched*, never *what the
+machine does*: two simulations that differ only in their trace settings
+produce bit-identical :class:`~repro.pipeline.stats.PipelineStats`.  The
+harness cache relies on that — the ``trace`` field of
+:class:`~repro.pipeline.config.MachineConfig` is excluded from the config
+fingerprint, so traced and untraced runs share cache entries.
+
+This module must stay free of ``repro`` imports: it is imported by
+``pipeline.config`` (for the ``trace`` field type) and by the tracer.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class TraceConfig:
+    """What the per-µop lifecycle tracer should record and emit."""
+
+    enabled: bool = True
+    # Metrics time-series sampling period in cycles (0 disables sampling).
+    sample_interval: int = 0
+    # Output paths; None means "keep in memory only" (tests, inspection).
+    konata_out: Optional[str] = None   # gem5 O3PipeView text (Konata-readable)
+    jsonl_out: Optional[str] = None    # JSONL events + interval samples
+    # Stop recording per-µop lifetimes after this many (memory guard for
+    # long runs; typed events and interval samples keep flowing).  None
+    # records everything.
+    max_lifetimes: Optional[int] = None
+
+    def __post_init__(self):
+        if self.sample_interval < 0:
+            raise ValueError("sample_interval must be >= 0")
+        if self.max_lifetimes is not None and self.max_lifetimes < 0:
+            raise ValueError("max_lifetimes must be >= 0 or None")

@@ -1,0 +1,127 @@
+"""Trace exporters: gem5 O3PipeView text and JSONL event streams.
+
+``write_o3_pipeview`` emits the exact line format of gem5's O3 pipeline
+viewer trace (``O3PipeView:<stage>:<tick>...``), which the Konata
+pipeline visualizer imports directly (Konata: File -> Open -> gem5
+O3PipeView trace).  One record per µop incarnation; squashed stages carry
+tick 0, the gem5 convention for "never happened".
+
+``write_jsonl`` emits one self-describing JSON object per line:
+
+* ``{"type": "meta", ...}``       — schema version, workload, config
+* ``{"type": "uop", ...}``        — one per µop lifetime (stage cycles,
+  fate, elimination kind, VP use, assigned name)
+* ``{"type": "event", ...}``      — typed VP/SpSR/flush/branch events
+* ``{"type": "sample", ...}``     — per-interval metrics rows
+* ``{"type": "summary", ...}``    — final PipelineStats counters
+
+Both writers accept a path or an open text file.
+"""
+
+import json
+from contextlib import contextmanager
+
+JSONL_SCHEMA_VERSION = 1
+
+_O3_STAGES = ("fetch", "decode", "rename", "dispatch", "issue")
+
+
+@contextmanager
+def _open_out(path_or_file):
+    if hasattr(path_or_file, "write"):
+        yield path_or_file
+    else:
+        with open(path_or_file, "w") as handle:
+            yield handle
+
+
+def _tick(cycle):
+    """gem5 tick for a stage cycle (0 = the stage never happened)."""
+    return 0 if cycle is None else cycle
+
+
+def write_o3_pipeview(lifetimes, path_or_file):
+    """Write gem5 O3PipeView / Konata-compatible text; returns #records."""
+    written = 0
+    with _open_out(path_or_file) as out:
+        for lifetime in lifetimes:
+            stages = {stage: _tick(getattr(lifetime, stage))
+                      for stage in _O3_STAGES}
+            complete = _tick(lifetime.writeback)
+            if lifetime.elim_kind is not None:
+                # Eliminated at rename: completes instantly there, which
+                # the viewer renders as a collapsed (zero-length) µop.
+                rename = stages["rename"]
+                stages["dispatch"] = stages["issue"] = rename
+                complete = rename
+            out.write(f"O3PipeView:fetch:{stages['fetch']}:"
+                      f"0x{lifetime.pc:08x}:0:{lifetime.seq}:"
+                      f"{lifetime.text.strip()}\n")
+            for stage in _O3_STAGES[1:]:
+                out.write(f"O3PipeView:{stage}:{stages[stage]}\n")
+            out.write(f"O3PipeView:complete:{complete}\n")
+            retire = _tick(lifetime.commit)
+            store_tick = retire if (lifetime.is_store and retire) else 0
+            out.write(f"O3PipeView:retire:{retire}:store:{store_tick}\n")
+            written += 1
+    return written
+
+
+def _uop_row(lifetime):
+    return {
+        "type": "uop",
+        "seq": lifetime.seq,
+        "inc": lifetime.incarnation,
+        "pc": lifetime.pc,
+        "text": lifetime.text.strip(),
+        "fetch": lifetime.fetch,
+        "decode": lifetime.decode,
+        "rename": lifetime.rename,
+        "dispatch": lifetime.dispatch,
+        "issue": lifetime.issue,
+        "writeback": lifetime.writeback,
+        "commit": lifetime.commit,
+        "squash": lifetime.squash,
+        "squash_reason": lifetime.squash_reason,
+        "elim_kind": lifetime.elim_kind,
+        "vp_used": lifetime.vp_used,
+        "dest_name": lifetime.dest_name,
+        "dispatch_count": lifetime.dispatch_count,
+        "issue_count": lifetime.issue_count,
+    }
+
+
+def write_jsonl(tracer, path_or_file, stats=None, workload=None,
+                config_name=None):
+    """Write the full JSONL stream; returns the number of lines."""
+    lines = 0
+    with _open_out(path_or_file) as out:
+        def emit(row):
+            nonlocal lines
+            out.write(json.dumps(row, sort_keys=True,
+                                 separators=(",", ":")) + "\n")
+            lines += 1
+
+        emit({"type": "meta", "version": JSONL_SCHEMA_VERSION,
+              "workload": workload, "config": config_name,
+              "sample_interval": tracer.config.sample_interval,
+              "lifetimes": len(tracer.lifetimes),
+              "lifetimes_dropped": tracer.lifetimes_dropped,
+              "events": len(tracer.events)})
+        for lifetime in tracer.lifetimes:
+            emit(_uop_row(lifetime))
+        for cycle, kind, payload in tracer.events:
+            row = {"type": "event", "cycle": cycle, "kind": kind}
+            row.update(payload)
+            emit(row)
+        if tracer.series is not None:
+            for sample in tracer.series.samples:
+                row = {"type": "sample"}
+                row.update(sample.as_dict())
+                emit(row)
+        if stats is not None:
+            emit({"type": "summary", "cycles": stats.cycles,
+                  "ipc": stats.ipc,
+                  "counters": {name: getattr(stats, name)
+                               for name in type(stats).counter_names()}})
+    return lines

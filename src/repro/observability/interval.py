@@ -1,0 +1,135 @@
+"""Per-interval metrics time series sampled from a live simulation.
+
+Every ``interval`` cycles the sampler snapshots the run's counters and
+derives interval-local rates (IPC, VP coverage/accuracy, eliminations per
+kilocycle) plus instantaneous structure occupancies (ROB/IQ/LQ/SQ, RAS
+depth, BTB fill).  This is what localizes a VP-misprediction flush storm
+to the 2k cycles where it happened instead of diluting it into an
+end-of-run aggregate.
+
+The pipeline's idle-cycle fast-forward (``_skip_to_next_event``) means
+``tick`` is only called on *active* cycles; a boundary crossed during an
+idle stretch yields one sample whose ``cycles`` span covers the whole
+stretch — sample records carry their actual ``cycle`` stamp and width, so
+consumers never need to assume uniform spacing.
+"""
+
+from dataclasses import dataclass, fields
+
+# Counters whose per-interval deltas are recorded (all declared
+# PipelineStats fields; checked at sampler construction).
+_DELTA_COUNTERS = (
+    "retired_arch_insts", "retired_uops", "vp_correct_used",
+    "vp_incorrect_used", "vp_flushes", "vp_replays",
+    "memory_order_flushes", "branch_mispredicts",
+    "elim_zero_idiom", "elim_one_idiom", "elim_move",
+    "elim_nine_bit_idiom", "elim_spsr",
+)
+
+
+@dataclass
+class IntervalSample:
+    """One row of the metrics time series."""
+
+    cycle: int                 # cycle at which the sample was taken
+    cycles: int                # width of the interval it covers
+    # Interval-local deltas.
+    retired_arch_insts: int = 0
+    retired_uops: int = 0
+    vp_correct_used: int = 0
+    vp_incorrect_used: int = 0
+    vp_flushes: int = 0
+    vp_replays: int = 0
+    memory_order_flushes: int = 0
+    branch_mispredicts: int = 0
+    elim_zero_idiom: int = 0
+    elim_one_idiom: int = 0
+    elim_move: int = 0
+    elim_nine_bit_idiom: int = 0
+    elim_spsr: int = 0
+    # Instantaneous occupancies (at the sample cycle).
+    rob_occupancy: int = 0
+    iq_occupancy: int = 0
+    lq_occupancy: int = 0
+    sq_occupancy: int = 0
+    ras_depth: int = 0
+    btb_fill: int = 0
+
+    # -- derived rates ---------------------------------------------------------------
+    @property
+    def ipc(self):
+        """Architectural IPC over this interval."""
+        return self.retired_arch_insts / self.cycles if self.cycles else 0.0
+
+    @property
+    def upc(self):
+        return self.retired_uops / self.cycles if self.cycles else 0.0
+
+    @property
+    def eliminations(self):
+        return (self.elim_zero_idiom + self.elim_one_idiom + self.elim_move
+                + self.elim_nine_bit_idiom + self.elim_spsr)
+
+    @property
+    def elim_per_kilocycle(self):
+        if not self.cycles:
+            return 0.0
+        return 1000.0 * self.eliminations / self.cycles
+
+    @property
+    def vp_accuracy(self):
+        used = self.vp_correct_used + self.vp_incorrect_used
+        return self.vp_correct_used / used if used else 0.0
+
+    def as_dict(self):
+        """Flat dict (fields + derived rates) for the JSONL exporter."""
+        row = {f.name: getattr(self, f.name) for f in fields(self)}
+        row["ipc"] = self.ipc
+        row["upc"] = self.upc
+        row["elim_per_kilocycle"] = self.elim_per_kilocycle
+        row["vp_accuracy"] = self.vp_accuracy
+        return row
+
+
+class MetricsTimeSeries:
+    """Samples a :class:`~repro.pipeline.core.CpuModel` every N cycles."""
+
+    def __init__(self, model, interval):
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.model = model
+        self.interval = interval
+        self.samples = []
+        self._last_cycle = 0
+        self._next_at = interval
+        self._last_counts = {name: 0 for name in _DELTA_COUNTERS}
+
+    def tick(self, cycle):
+        """Called once per active cycle; records samples at boundaries."""
+        if cycle >= self._next_at:
+            self._record(cycle)
+            self._next_at = (cycle // self.interval + 1) * self.interval
+
+    def flush(self, cycle):
+        """Record the final partial interval at the end of the run."""
+        if cycle > self._last_cycle:
+            self._record(cycle)
+
+    def _record(self, cycle):
+        model = self.model
+        stats = model.stats
+        sample = IntervalSample(cycle=cycle,
+                                cycles=cycle - self._last_cycle)
+        for name in _DELTA_COUNTERS:
+            current = getattr(stats, name)
+            setattr(sample, name, current - self._last_counts[name])
+            self._last_counts[name] = current
+        sample.rob_occupancy = model.rob.occupancy
+        sample.iq_occupancy = len(model.iq)
+        lq_occupancy, sq_occupancy = model.lsq.occupancy()
+        sample.lq_occupancy = lq_occupancy
+        sample.sq_occupancy = sq_occupancy
+        sample.ras_depth = model.ras.live_entries
+        sample.btb_fill = model.btb.fill
+        self._last_cycle = cycle
+        self.samples.append(sample)

@@ -1,0 +1,262 @@
+"""Per-µop lifecycle tracing for the cycle model.
+
+Two tracer classes share one interface:
+
+* :class:`Tracer` — the **null object**.  Every hook is a no-op and
+  ``enabled`` is False; the pipeline hoists that flag once per stage, so
+  the disabled path costs one attribute read + branch per stage per cycle
+  and the simulated statistics stay bit-identical to an uninstrumented
+  run.
+* :class:`PipelineTracer` — records a cycle-stamped
+  :class:`UopLifetime` per fetched µop *incarnation* (a µop refetched
+  after a squash opens a fresh lifetime), a typed event stream for the
+  VP/SpSR/flush machinery, and (optionally) a per-interval metrics time
+  series (:mod:`repro.observability.interval`).
+
+Tracing is observational only: no hook mutates the model or its stats, so
+enabling it never changes a single counter — a property the
+``tests/observability`` suite pins.
+"""
+
+from repro.observability.config import TraceConfig
+from repro.observability.interval import MetricsTimeSeries
+
+
+class Tracer:
+    """The null tracer: the interface, with every hook a no-op."""
+
+    enabled = False
+
+    # -- lifecycle hooks (called by the pipeline stages) ----------------------------
+    def attach(self, model):
+        """Bind to a :class:`~repro.pipeline.core.CpuModel` before the run."""
+
+    def fetch(self, uop, cycle):
+        """A µop entered the fetch queue (opens a lifetime)."""
+
+    def decode(self, uop, cycle):
+        """A µop moved from the fetch queue into the decode queue."""
+
+    def rename(self, entry, cycle):
+        """A µop was renamed (``entry`` is its ROB entry, fully filled)."""
+
+    def dispatch(self, entry, cycle):
+        """A µop entered the issue queue (also re-entry on replay)."""
+
+    def issue(self, entry, cycle):
+        """A µop was selected and sent to a functional unit."""
+
+    def writeback(self, entry, cycle):
+        """A µop completed execution (state became DONE)."""
+
+    def commit(self, entry, cycle):
+        """A µop retired (closes its lifetime)."""
+
+    def squash(self, uop, cycle, reason):
+        """A µop was squashed by a flush (closes its lifetime)."""
+
+    # -- typed events ---------------------------------------------------------------
+    def event(self, cycle, kind, **payload):
+        """Record one typed VP/SpSR/flush/branch event."""
+
+    # -- run pacing -----------------------------------------------------------------
+    def cycle_tick(self, cycle):
+        """Called once per simulated (non-skipped) cycle, after all stages."""
+
+    def finish(self, cycle):
+        """The run retired its whole trace; flush any partial sample."""
+
+
+NULL_TRACER = Tracer()
+
+
+class UopLifetime:
+    """Cycle timestamps of one µop incarnation through the pipeline.
+
+    ``None`` timestamps mean the µop never reached that stage (squashed
+    early, eliminated at rename, or a NOP).  ``dispatch``/``issue``/
+    ``writeback`` keep the *first* occurrence; replays bump the
+    ``dispatch_count``/``issue_count`` counters instead, so summing them
+    reproduces the pipeline's ``iq_dispatched``/``iq_issued`` stats.
+    """
+
+    __slots__ = (
+        "seq", "incarnation", "pc", "text", "is_branch", "is_load",
+        "is_store", "is_last", "fetch", "decode", "rename", "dispatch",
+        "issue", "writeback", "commit", "squash", "squash_reason",
+        "elim_kind", "move_width_blocked", "vp_used", "dest_name",
+        "dispatch_count", "issue_count",
+    )
+
+    def __init__(self, uop, incarnation, fetch_cycle):
+        self.seq = uop.seq
+        self.incarnation = incarnation
+        self.pc = uop.pc
+        self.text = uop.text
+        self.is_branch = uop.is_branch
+        self.is_load = uop.is_load
+        self.is_store = uop.is_store
+        self.is_last = uop.is_last_uop
+        self.fetch = fetch_cycle
+        self.decode = None
+        self.rename = None
+        self.dispatch = None
+        self.issue = None
+        self.writeback = None
+        self.commit = None
+        self.squash = None
+        self.squash_reason = None
+        self.elim_kind = None
+        self.move_width_blocked = False
+        self.vp_used = False
+        self.dest_name = None
+        self.dispatch_count = 0
+        self.issue_count = 0
+
+    @property
+    def committed(self):
+        return self.commit is not None
+
+    @property
+    def squashed(self):
+        return self.squash is not None
+
+    def stage_cycles(self):
+        """(stage, cycle) pairs in pipeline order, recorded stages only."""
+        pairs = []
+        for stage in ("fetch", "decode", "rename", "dispatch", "issue",
+                      "writeback", "commit"):
+            cycle = getattr(self, stage)
+            if cycle is not None:
+                pairs.append((stage, cycle))
+        return pairs
+
+    def __repr__(self):
+        fate = ("commit@%d" % self.commit if self.committed else
+                "squash@%d" % self.squash if self.squashed else "in-flight")
+        return (f"<lifetime #{self.seq}.{self.incarnation} "
+                f"{self.text!r} {fate}>")
+
+
+class PipelineTracer(Tracer):
+    """Recording tracer: lifetimes + typed events + interval samples."""
+
+    enabled = True
+
+    def __init__(self, config=None):
+        self.config = config or TraceConfig()
+        self.lifetimes = []          # every incarnation, fetch order
+        self.events = []             # (cycle, kind, payload-dict)
+        self.series = None           # MetricsTimeSeries when sampling
+        self._open = {}              # seq -> live UopLifetime
+        self._incarnations = {}      # seq -> incarnations opened so far
+        self._model = None
+        self._lifetimes_dropped = 0
+
+    # -- binding -------------------------------------------------------------------
+    def attach(self, model):
+        self._model = model
+        if self.config.sample_interval:
+            self.series = MetricsTimeSeries(model,
+                                            self.config.sample_interval)
+
+    # -- lifecycle hooks ------------------------------------------------------------
+    def fetch(self, uop, cycle):
+        seq = uop.seq
+        incarnation = self._incarnations.get(seq, 0)
+        self._incarnations[seq] = incarnation + 1
+        lifetime = UopLifetime(uop, incarnation, cycle)
+        limit = self.config.max_lifetimes
+        if limit is None or len(self.lifetimes) < limit:
+            self.lifetimes.append(lifetime)
+        else:
+            self._lifetimes_dropped += 1
+        self._open[seq] = lifetime
+
+    def decode(self, uop, cycle):
+        lifetime = self._open.get(uop.seq)
+        if lifetime is not None:
+            lifetime.decode = cycle
+
+    def rename(self, entry, cycle):
+        lifetime = self._open.get(entry.seq)
+        if lifetime is None:
+            return
+        lifetime.rename = cycle
+        lifetime.elim_kind = entry.elim_kind
+        lifetime.move_width_blocked = entry.move_width_blocked
+        lifetime.vp_used = entry.vp_used
+        lifetime.dest_name = entry.dest_name
+
+    def dispatch(self, entry, cycle):
+        lifetime = self._open.get(entry.seq)
+        if lifetime is not None:
+            if lifetime.dispatch is None:
+                lifetime.dispatch = cycle
+            lifetime.dispatch_count += 1
+
+    def issue(self, entry, cycle):
+        lifetime = self._open.get(entry.seq)
+        if lifetime is not None:
+            if lifetime.issue is None:
+                lifetime.issue = cycle
+            lifetime.issue_count += 1
+
+    def writeback(self, entry, cycle):
+        lifetime = self._open.get(entry.seq)
+        if lifetime is not None and lifetime.writeback is None:
+            lifetime.writeback = cycle
+
+    def commit(self, entry, cycle):
+        lifetime = self._open.pop(entry.seq, None)
+        if lifetime is None:
+            return
+        lifetime.commit = cycle
+        # Rename-time flags may have changed (width-blocked moves are
+        # detected during rename, after the hook ran).
+        lifetime.move_width_blocked = entry.move_width_blocked
+
+    def squash(self, uop, cycle, reason):
+        lifetime = self._open.pop(uop.seq, None)
+        if lifetime is not None:
+            lifetime.squash = cycle
+            lifetime.squash_reason = reason
+
+    # -- typed events ---------------------------------------------------------------
+    def event(self, cycle, kind, **payload):
+        self.events.append((cycle, kind, payload))
+
+    def events_of(self, kind):
+        """All recorded events of one kind, in time order."""
+        return [item for item in self.events if item[1] == kind]
+
+    # -- run pacing -----------------------------------------------------------------
+    def cycle_tick(self, cycle):
+        if self.series is not None:
+            self.series.tick(cycle)
+
+    def finish(self, cycle):
+        if self.series is not None:
+            self.series.flush(cycle)
+        if self.config.konata_out or self.config.jsonl_out:
+            # Imported here so the tracer module stays import-light for
+            # the common in-memory case.
+            from repro.observability.export import (write_jsonl,
+                                                    write_o3_pipeview)
+            if self.config.konata_out:
+                write_o3_pipeview(self.lifetimes, self.config.konata_out)
+            if self.config.jsonl_out:
+                stats = self._model.stats if self._model else None
+                write_jsonl(self, self.config.jsonl_out, stats=stats)
+
+    # -- inspection -----------------------------------------------------------------
+    @property
+    def lifetimes_dropped(self):
+        """Lifetimes not recorded because ``max_lifetimes`` was reached."""
+        return self._lifetimes_dropped
+
+    def committed_lifetimes(self):
+        return [l for l in self.lifetimes if l.committed]
+
+    def squashed_lifetimes(self):
+        return [l for l in self.lifetimes if l.squashed]

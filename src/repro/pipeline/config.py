@@ -11,6 +11,7 @@ from typing import Optional
 
 from repro.core.modes import VPFlavor
 from repro.core.vtage import VtageConfig
+from repro.observability.config import TraceConfig
 
 
 @dataclass
@@ -122,6 +123,13 @@ class MachineConfig:
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     # Simulation.
     seed: int = 0x5EED_0001
+    # Observability (per-µop lifecycle tracing + interval metrics).
+    # Tracing is purely observational — stats are bit-identical with it on
+    # or off — so the field is excluded from the cache fingerprint
+    # (``metadata={"fingerprint": False}``): traced and untraced runs
+    # share harness cache entries.
+    trace: Optional[TraceConfig] = field(
+        default=None, metadata={"fingerprint": False})
 
     # -- derived -----------------------------------------------------------------
     @property

@@ -46,6 +46,7 @@ from repro.frontend.ras import ReturnAddressStack
 from repro.frontend.tage import Tage, TageConfig
 from repro.isa.opcodes import ExecClass
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.observability.tracer import NULL_TRACER, PipelineTracer
 from repro.pipeline.config import MachineConfig
 from repro.pipeline.stats import PipelineStats
 from repro.rename.renamer import Renamer, vp_eligible
@@ -78,7 +79,7 @@ class SimulationResult:
 class CpuModel:
     """One core instance bound to one trace."""
 
-    def __init__(self, trace, config=None, elim_audit=None):
+    def __init__(self, trace, config=None, elim_audit=None, tracer=None):
         self.trace = trace
         self.config = config or MachineConfig()
         cfg = self.config
@@ -87,6 +88,16 @@ class CpuModel:
         # on every rename-time elimination, raises on any elimination at a
         # site the static opportunity analysis did not classify eligible.
         self.elim_audit = elim_audit
+        # Observability: every stage hook is guarded by ``tracer.enabled``
+        # (hoisted per stage), so with the null tracer the instrumented
+        # paths cost one attribute read + branch and the stats stay
+        # bit-identical to an untraced run.  A tracer is built from
+        # ``config.trace`` unless one is injected directly.
+        if tracer is None:
+            tracer = (PipelineTracer(cfg.trace)
+                      if cfg.trace is not None and cfg.trace.enabled
+                      else NULL_TRACER)
+        self.tracer = tracer
 
         # Register files and rename state.
         self.int_prf = PhysicalRegisterFile(cfg.int_phys_regs, name_base=0)
@@ -175,6 +186,9 @@ class CpuModel:
         # Fig. 6 PRF read/write accounting; a name's class never changes.
         self._name_kind = {}
 
+        # Attach last: the tracer may sample any structure built above.
+        self.tracer.attach(self)
+
     def _build_value_predictor(self, cfg):
         """The value predictor backing the configured flavor (or None)."""
         if cfg.vp_flavor is VPFlavor.NONE:
@@ -230,6 +244,8 @@ class CpuModel:
         rename_dispatch = self._rename_dispatch
         decode = self._decode
         fetch = self._fetch
+        tracer = self.tracer
+        trace_on = tracer.enabled
         while stats.retired_uops < target:
             self.cycle += 1
             self._activity = 0
@@ -239,6 +255,8 @@ class CpuModel:
             rename_dispatch()
             decode()
             fetch()
+            if trace_on:
+                tracer.cycle_tick(self.cycle)
             if self._activity == 0:
                 # Fully idle cycle: jump to the next scheduled event
                 # (identical architectural behaviour, much faster on
@@ -255,6 +273,8 @@ class CpuModel:
                 break
         self.stats.cycles = self.cycle
         self.stats.memory = self.memory.stats()
+        if trace_on:
+            tracer.finish(self.cycle)
         return SimulationResult(self.stats, self.config, len(self.trace))
 
     def _skip_to_next_event(self):
@@ -318,6 +338,8 @@ class CpuModel:
         entries_by_seq = self.entries_by_seq
         rat = self.rat
         vp_queue = self.vp_queue
+        tracer = self.tracer
+        trace_on = tracer.enabled
         for _ in range(self.config.commit_width):
             if not rob_entries:
                 return
@@ -331,6 +353,8 @@ class CpuModel:
             rob_entries.popleft()
             self._activity += 1
             entries_by_seq.pop(entry.seq, None)
+            if trace_on:
+                tracer.commit(entry, cycle)
             uop = entry.uop
             stats.retired_uops += 1
             if uop.is_last_uop:
@@ -392,11 +416,17 @@ class CpuModel:
             # A used-and-wrong prediction can never reach commit: it
             # flushes at validation.  So this one was correct.
             self.stats.vp_correct_used += 1
+            if self.tracer.enabled:
+                self.tracer.event(self.cycle, "vp_commit_correct",
+                                  seq=uop.seq, pc=uop.pc,
+                                  predicted=vp_entry.predicted)
         self.vtage.train(uop.pc, uop.result, vp_entry.info)
 
     # ================================================================ complete
     def _complete(self):
         cycle = self.cycle
+        tracer = self.tracer
+        trace_on = tracer.enabled
         while self.completions and self.completions[0][0] <= cycle:
             _, _tiebreak, entry, token = heapq.heappop(self.completions)
             self._activity += 1
@@ -404,6 +434,8 @@ class CpuModel:
                     or entry.issue_token != token:
                 continue  # squashed or replayed while in flight
             entry.state = UopState.DONE
+            if trace_on:
+                tracer.writeback(entry, cycle)
             uop = entry.uop
             # PRF write accounting (Fig. 6): one write per real dest; wide
             # GVP predictions were additionally written at rename.
@@ -446,6 +478,11 @@ class CpuModel:
         """
         stats = self.stats
         stats.vp_incorrect_used += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.event(self.cycle, "vp_mispredict", seq=entry.seq,
+                         pc=entry.uop.pc, predicted=vp_entry.predicted,
+                         actual=entry.uop.result)
         # Train immediately so the refetched/replayed instance sees the
         # truth, then silence so it is not value predicted again.
         self.vtage.train(entry.uop.pc, entry.uop.result, vp_entry.info)
@@ -457,7 +494,11 @@ class CpuModel:
             self.vp_queue.silence(self.cycle)
             return
         stats.vp_flushes += 1
-        self._flush_from(entry.seq, entry.complete_cycle)
+        if tracer.enabled:
+            tracer.event(self.cycle, "vp_flush", seq=entry.seq,
+                         pc=entry.uop.pc)
+        self._flush_from(entry.seq, entry.complete_cycle,
+                         reason="vp_mispredict")
         self.vp_queue.silence(self.cycle)
 
     def _selective_replay(self, offender):
@@ -468,6 +509,8 @@ class CpuModel:
         wrong value and replay cannot re-rename.
         """
         correction_cycle = self.cycle + 2  # broadcast the corrected value
+        tracer = self.tracer
+        trace_on = tracer.enabled
         tainted_names = {offender.dest_name}
         to_replay = []
         for candidate in self.rob.entries:
@@ -528,22 +571,35 @@ class CpuModel:
                 candidate.in_iq = True
                 self.iq.append(candidate)
                 self.stats.iq_dispatched += 1   # replay re-dispatch
+                if trace_on:
+                    tracer.dispatch(candidate, self.cycle)
         if to_replay:
             self.iq.sort(key=_seq_of)           # keep oldest-first select
         self.stats.vp_replays += 1
         self.stats.replayed_uops += len(to_replay)
+        if trace_on:
+            tracer.event(self.cycle, "vp_replay", seq=offender.seq,
+                         pc=offender.uop.pc, replayed=len(to_replay))
         return True
 
     def _memory_order_violation(self, store_entry, load_entry):
         stats = self.stats
         stats.store_set_violations += 1
         stats.memory_order_flushes += 1
+        if self.tracer.enabled:
+            self.tracer.event(self.cycle, "mem_order_flush",
+                              store_seq=store_entry.seq,
+                              load_seq=load_entry.seq,
+                              store_pc=store_entry.rob_entry.uop.pc,
+                              load_pc=load_entry.rob_entry.uop.pc)
         self.store_sets.train_violation(store_entry.rob_entry.uop.pc,
                                         load_entry.rob_entry.uop.pc)
-        self._flush_from(load_entry.seq, self.cycle)
+        self._flush_from(load_entry.seq, self.cycle, reason="memory_order")
 
-    def _flush_from(self, flush_seq, resolve_cycle):
+    def _flush_from(self, flush_seq, resolve_cycle, reason="flush"):
         """Squash every µop with seq >= flush_seq and refetch it."""
+        tracer = self.tracer
+        trace_on = tracer.enabled
         squashed = self.rob.squash_from(flush_seq, self.rat)
         for entry in squashed:
             self.entries_by_seq.pop(entry.seq, None)
@@ -552,6 +608,16 @@ class CpuModel:
             # Resetting the state marks any in-flight completion stale.
             entry.state = UopState.WAITING
             entry.in_iq = False
+            if trace_on:
+                tracer.squash(entry.uop, self.cycle, reason)
+        if trace_on:
+            # µops still in the frontend queues die in the flush too.
+            for _ready, uop in self.fetch_queue:
+                if uop.seq >= flush_seq:
+                    tracer.squash(uop, self.cycle, reason)
+            for _ready, uop in self.decode_queue:
+                if uop.seq >= flush_seq:
+                    tracer.squash(uop, self.cycle, reason)
         self.iq = [e for e in self.iq if e.seq < flush_seq]
         self.lsq.squash_from(flush_seq)
         if self.vp_queue is not None:
@@ -716,6 +782,8 @@ class CpuModel:
         stats = self.stats
         stats.iq_issued += 1
         self._activity += 1
+        if self.tracer.enabled:
+            self.tracer.issue(entry, cycle)
         entry.state = UopState.ISSUED
         entry.in_iq = False
         name_kind = self._name_kind
@@ -818,6 +886,8 @@ class CpuModel:
         iq = self.iq
         iq_entries = cfg.iq_entries
         entries_by_seq = self.entries_by_seq
+        tracer = self.tracer
+        trace_on = tracer.enabled
         dispatch_ready = cycle + cfg.rename_to_dispatch + 1
         pushed_event = False
         for _ in range(cfg.rename_width):
@@ -847,23 +917,43 @@ class CpuModel:
             outcome = renamer.rename(entry, cycle)
             rob_entries.append(entry)   # capacity checked above (rob.push)
             entries_by_seq[uop.seq] = entry
+            if trace_on:
+                tracer.rename(entry, cycle)
             if outcome.eliminated:
+                if trace_on:
+                    tracer.event(cycle, "elim", seq=uop.seq, pc=uop.pc,
+                                 elim_kind=entry.elim_kind,
+                                 dest_name=entry.dest_name)
                 if self.elim_audit is not None:
                     self.elim_audit.check(uop, entry.elim_kind)
                 if outcome.resolved_branch_taken is not None:
                     stats.spsr_resolved_branches += 1
+                    if trace_on:
+                        tracer.event(cycle, "spsr_branch_resolved",
+                                     seq=uop.seq, pc=uop.pc,
+                                     taken=outcome.resolved_branch_taken)
                     if self.waiting_branch_seq == uop.seq:
                         self._resume_fetch_after(cycle)
                 continue
+            if entry.vp_used:
+                stats.vp_predicted_used += 1
+                if trace_on:
+                    tracer.event(cycle, "vp_used", seq=uop.seq, pc=uop.pc,
+                                 predicted=entry.vp_predicted,
+                                 dest_name=entry.dest_name)
             if uop.cls is ExecClass.NOP:
                 entry.state = UopState.DONE
                 entry.complete_cycle = cycle
+                if trace_on:
+                    tracer.writeback(entry, cycle)
                 continue
             entry.issue_ready_cycle = dispatch_ready
             entry.select_gate = dispatch_ready
             entry.in_iq = True
             iq.append(entry)
             stats.iq_dispatched += 1
+            if trace_on:
+                tracer.dispatch(entry, cycle)
             if not pushed_event:
                 # Every µop dispatched this cycle shares one ready-time.
                 heapq.heappush(self._event_heap, dispatch_ready)
@@ -897,6 +987,8 @@ class CpuModel:
         cap = self.decode_queue_cap
         moved = 0
         width = self.config.decode_width
+        tracer = self.tracer
+        trace_on = tracer.enabled
         while fetch_queue and moved < width and len(decode_queue) < cap:
             ready_cycle, uop = fetch_queue[0]
             if ready_cycle > cycle:
@@ -904,6 +996,8 @@ class CpuModel:
             fetch_queue.popleft()
             self._activity += 1
             decode_queue.append((rename_ready, uop))
+            if trace_on:
+                tracer.decode(uop, cycle)
             moved += 1
 
     # =================================================================== fetch
@@ -921,6 +1015,8 @@ class CpuModel:
         stats = self.stats
         vtage = self.vtage
         pending_predictions = self.pending_predictions
+        tracer = self.tracer
+        trace_on = tracer.enabled
         while budget > 0 and self.fetch_index < trace_len \
                 and len(fetch_queue) < queue_cap:
             uop = trace[self.fetch_index]
@@ -936,8 +1032,16 @@ class CpuModel:
             stats.fetched_uops += 1
             self._activity += 1
             budget -= 1
+            if trace_on:
+                tracer.fetch(uop, cycle)
             if vtage is not None and uop.vp_elig:
-                pending_predictions[uop.seq] = vtage.predict(uop.pc)
+                prediction = vtage.predict(uop.pc)
+                pending_predictions[uop.seq] = prediction
+                if trace_on:
+                    tracer.event(cycle, "vp_predict", seq=uop.seq,
+                                 pc=uop.pc, hit=prediction.hit,
+                                 confident=prediction.confident,
+                                 predicted=prediction.value)
             if uop.is_branch:
                 if not self._fetch_branch(uop, cycle):
                     return
@@ -953,10 +1057,16 @@ class CpuModel:
             kind = "taken" if uop.taken else "fall"
         if kind == "mispredict":
             self.stats.branch_mispredicts += 1
+            if self.tracer.enabled:
+                self.tracer.event(cycle, "branch_mispredict", seq=uop.seq,
+                                  pc=uop.pc, taken=uop.taken)
             self.waiting_branch_seq = uop.seq
             return False
         if kind == "mistarget":
             self.stats.btb_mistargets += 1
+            if self.tracer.enabled:
+                self.tracer.event(cycle, "btb_mistarget", seq=uop.seq,
+                                  pc=uop.pc)
             self.fetch_stall_until = cycle + 1 + cfg.mistarget_penalty
             return False
         if kind == "taken":

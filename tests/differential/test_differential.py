@@ -1,0 +1,149 @@
+"""Differential fuzzing: the cycle model must agree with the emulator.
+
+The emulator (``repro.emulator.machine``) is the golden functional model;
+the pipeline replays its µop trace.  For every random program we assert
+the pipeline's *committed* stream is exactly the emulated one — each µop
+retired once, in program order, stores included — and that the final
+architectural register state reconstructed from committed results matches
+the machine.  This is what catches squash/replay bugs: a double-commit
+after a value-misprediction flush, a dropped µop after selective replay,
+a store retired out of order.
+
+Scale knobs (all environment variables, so CI can turn them up):
+
+* ``REPRO_FUZZ_PROGRAMS`` — programs in the sweep (default 200).  Each
+  program runs under one of the four configurations, round-robin, so the
+  sweep covers all VP flavors without a 4x cost multiplier; a smaller
+  cross-product smoke runs the first few programs under *every* config.
+* ``REPRO_FUZZ_BUDGET`` — soft wall-clock budget in seconds (default 60).
+  The sweep stops early once exceeded (minimum 20 programs always run);
+  program *i* is identical regardless of where the budget cuts off.
+* ``REPRO_FUZZ_SEED`` — stream seed (default fixed).  A failure message
+  prints (seed, index, config, assembly), which reproduces the program
+  exactly via :func:`tests.differential.progen.generate_source`.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.emulator.machine import Machine
+from repro.emulator.trace import trace_program
+from repro.isa.assembler import assemble
+from repro.observability.config import TraceConfig
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.core import CpuModel
+
+from tests.differential.progen import generate_source
+
+_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "0xD1FF5EED"), 0)
+_PROGRAMS = int(os.environ.get("REPRO_FUZZ_PROGRAMS", "200"))
+_BUDGET_SECONDS = float(os.environ.get("REPRO_FUZZ_BUDGET", "60"))
+_MIN_PROGRAMS = 20
+_MAX_UOPS = 12_000
+
+CONFIGS = (
+    ("baseline", lambda: MachineConfig.baseline()),
+    ("mvp", lambda: MachineConfig.mvp()),
+    ("tvp+spsr", lambda: MachineConfig.tvp(spsr=True)),
+    ("gvp+spsr+replay",
+     lambda: MachineConfig.gvp(spsr=True, vp_recovery="replay")),
+)
+
+
+def _check_one(source, config):
+    """Run one program through emulator and pipeline; return error strings."""
+    program = assemble(source)            # runs Program.validate()
+    machine = Machine(program)
+    trace, trace_stats = trace_program(program, max_instructions=_MAX_UOPS,
+                                       machine=machine)
+    if len(trace) >= _MAX_UOPS:
+        return ["emulation hit the µop budget (generator bug, not a "
+                "model divergence)"]
+    model = CpuModel(trace, config.with_(trace=TraceConfig()))
+    stats = model.run().stats
+    tracer = model.tracer
+    errors = []
+
+    committed = sorted(tracer.committed_lifetimes(), key=lambda lt: lt.seq)
+    seqs = [lt.seq for lt in committed]
+    if seqs != list(range(len(trace))):
+        missing = sorted(set(range(len(trace))) - set(seqs))[:5]
+        dupes = sorted({s for s in seqs if seqs.count(s) > 1})[:5]
+        errors.append(f"commit stream != emulated stream: "
+                      f"{len(seqs)} committed of {len(trace)} emulated, "
+                      f"missing seqs {missing}, duplicated {dupes}")
+
+    commit_cycles = [lt.commit for lt in committed]
+    out_of_order = [lt.seq for before, after, lt
+                    in zip(commit_cycles, commit_cycles[1:], committed[1:])
+                    if after < before]
+    if out_of_order:
+        errors.append(f"out-of-order commit at seqs {out_of_order[:5]}")
+
+    if stats.retired_uops != len(trace):
+        errors.append(f"retired_uops {stats.retired_uops} != "
+                      f"emulated µops {len(trace)}")
+    if stats.retired_arch_insts != trace_stats.arch_instructions:
+        errors.append(f"retired_arch_insts {stats.retired_arch_insts} != "
+                      f"emulated instructions {trace_stats.arch_instructions}")
+
+    committed_stores = [lt.seq for lt in committed if lt.is_store]
+    emulated_stores = [uop.seq for uop in trace if uop.is_store]
+    if committed_stores != emulated_stores:
+        errors.append(f"store streams diverge: pipeline committed "
+                      f"{len(committed_stores)} stores, emulator produced "
+                      f"{len(emulated_stores)}")
+
+    # Final architectural register state, reconstructed from the committed
+    # µops' results (trace order == commit order, verified above).
+    final = {}
+    for uop in trace:
+        if uop.dst is not None and uop.result is not None:
+            final[uop.dst] = uop.result
+    for reg, value in sorted(final.items()):
+        if machine.regs[reg] != value:
+            errors.append(f"final reg x{reg}: committed last-writer value "
+                          f"{value:#x} != machine state "
+                          f"{machine.regs[reg]:#x}")
+    return errors
+
+
+def _fail(errors, seed, index, config_name, source):
+    lines = [f"differential mismatch (seed={seed:#x}, program={index}, "
+             f"config={config_name}):"]
+    lines += [f"  - {error}" for error in errors]
+    lines.append("reproduce with "
+                 f"tests.differential.progen.generate_source({seed:#x}, "
+                 f"{index}); program follows:")
+    lines.append(source)
+    pytest.fail("\n".join(lines), pytrace=False)
+
+
+def test_fuzz_sweep_round_robin():
+    """The main sweep: N random programs, configs assigned round-robin."""
+    deadline = time.monotonic() + _BUDGET_SECONDS
+    ran = 0
+    for index in range(_PROGRAMS):
+        if index >= _MIN_PROGRAMS and time.monotonic() > deadline:
+            break
+        config_name, make_config = CONFIGS[index % len(CONFIGS)]
+        source = generate_source(_SEED, index)
+        errors = _check_one(source, make_config())
+        if errors:
+            _fail(errors, _SEED, index, config_name, source)
+        ran += 1
+    assert ran >= _MIN_PROGRAMS
+
+
+@pytest.mark.parametrize("config_name,make_config", CONFIGS,
+                         ids=[name for name, _ in CONFIGS])
+def test_fuzz_cross_product_smoke(config_name, make_config):
+    """First few programs under *every* config (catches config-specific
+    divergence the round-robin assignment might rotate past)."""
+    for index in range(4):
+        source = generate_source(_SEED, index)
+        errors = _check_one(source, make_config())
+        if errors:
+            _fail(errors, _SEED, index, config_name, source)

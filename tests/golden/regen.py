@@ -1,0 +1,62 @@
+"""Golden-stats snapshot definition and regeneration.
+
+The snapshot pins the **full** ``PipelineStats`` counter vector for a
+small matrix of kernels and configurations.  Any model change that moves
+any counter anywhere in the matrix fails the golden test with a
+counter-level diff — the reviewer then either fixes the regression or
+deliberately re-pins:
+
+    PYTHONPATH=src python -m tests.golden.regen
+
+Keep the matrix small (3 kernels x 4 configs at a 2000-instruction
+budget) so a full regeneration stays under half a minute.
+"""
+
+import json
+import os
+
+from repro.emulator.trace import trace_program
+from repro.harness.runner import ExperimentRunner
+from repro.pipeline.core import CpuModel
+from repro.pipeline.stats import PipelineStats
+from repro.workloads import get_workload
+
+KERNELS = ("hash_loop", "stream_triad", "xml_tree")
+CONFIGS = ("baseline", "mvp", "tvp", "gvp")
+BUDGET = 2000
+
+SNAPSHOT_PATH = os.path.join(os.path.dirname(__file__), "snapshots.json")
+
+
+def counter_vector(workload_name, config_name):
+    """The pinned counters for one (kernel, config) simulation point."""
+    workload = get_workload(workload_name)
+    trace, _ = trace_program(workload.program, max_instructions=BUDGET)
+    stats = CpuModel(trace, ExperimentRunner.config(config_name)).run().stats
+    return {name: getattr(stats, name)
+            for name in PipelineStats.counter_names()}
+
+
+def current_matrix():
+    return {workload: {config: counter_vector(workload, config)
+                       for config in CONFIGS}
+            for workload in KERNELS}
+
+
+def load_snapshot():
+    with open(SNAPSHOT_PATH) as handle:
+        return json.load(handle)
+
+
+def regenerate():
+    matrix = {"budget": BUDGET, "stats": current_matrix()}
+    with open(SNAPSHOT_PATH, "w") as handle:
+        json.dump(matrix, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return matrix
+
+
+if __name__ == "__main__":
+    regenerated = regenerate()
+    points = sum(len(configs) for configs in regenerated["stats"].values())
+    print(f"pinned {points} (kernel, config) points to {SNAPSHOT_PATH}")

@@ -1,0 +1,45 @@
+"""Golden stats: every counter, three kernels, four configurations.
+
+A failure means the simulator's behavior moved.  If the movement is
+intentional, re-pin with ``PYTHONPATH=src python -m tests.golden.regen``
+and commit the updated ``snapshots.json`` alongside the model change.
+"""
+
+import pytest
+
+from repro.pipeline.stats import PipelineStats
+
+from tests.golden.regen import (BUDGET, CONFIGS, KERNELS, counter_vector,
+                                load_snapshot)
+
+_SNAPSHOT = load_snapshot()
+
+_POINTS = [(kernel, config) for kernel in KERNELS for config in CONFIGS]
+
+
+def test_snapshot_matches_current_schema_and_matrix():
+    assert _SNAPSHOT["budget"] == BUDGET
+    assert set(_SNAPSHOT["stats"]) == set(KERNELS)
+    names = set(PipelineStats.counter_names())
+    for kernel, configs in _SNAPSHOT["stats"].items():
+        assert set(configs) == set(CONFIGS), kernel
+        for config, counters in configs.items():
+            assert set(counters) == names, (kernel, config)
+
+
+@pytest.mark.parametrize("kernel,config", _POINTS,
+                         ids=[f"{k}-{c}" for k, c in _POINTS])
+def test_counters_match_snapshot(kernel, config):
+    pinned = _SNAPSHOT["stats"][kernel][config]
+    current = counter_vector(kernel, config)
+    if current == pinned:
+        return
+    diff_lines = [f"{name}: pinned {pinned[name]} != current {value:}"
+                  for name, value in current.items()
+                  if value != pinned.get(name)]
+    pytest.fail(
+        f"golden stats moved for {kernel} / {config} "
+        f"({len(diff_lines)} counter(s)):\n  "
+        + "\n  ".join(diff_lines)
+        + "\nif intentional: PYTHONPATH=src python -m tests.golden.regen",
+        pytrace=False)

@@ -68,6 +68,29 @@ def test_simulation_key_dimensions():
     assert code_version_hash() == code_version_hash()
 
 
+def test_trace_config_does_not_fragment_cache_keys(tmp_path):
+    # Regression: the observability knobs describe how a run is *watched*,
+    # not what the machine computes, so enabling tracing must neither
+    # change the fingerprint nor miss cache entries written untraced.
+    from repro.observability.config import TraceConfig
+
+    untraced = MachineConfig.tvp(spsr=True)
+    traced = untraced.with_(trace=TraceConfig(sample_interval=100))
+    assert config_fingerprint(traced) == config_fingerprint(untraced)
+
+    cache = SimulationCache(tmp_path)
+    runner = _runner(cache)
+    cold = runner.run(runner.workloads[0], "tvp+spsr", config=untraced)
+    assert cache.stores == 1
+
+    warm_cache = SimulationCache(tmp_path)
+    warm_runner = _runner(warm_cache)
+    warm = warm_runner.run(warm_runner.workloads[0], "tvp+spsr",
+                           config=traced)
+    assert warm_cache.hits == 1 and warm_cache.stores == 0
+    assert asdict(warm.stats) == asdict(cold.stats)
+
+
 def test_corrupt_entry_is_a_miss(tmp_path):
     cache = SimulationCache(tmp_path)
     runner = _runner(cache)

@@ -1,0 +1,65 @@
+"""The ``harness trace`` subcommand: files written, errors reported."""
+
+import json
+import os
+
+from repro.harness.cli import main as harness_main
+from repro.observability.cli import main as trace_main
+
+
+def test_trace_writes_both_exports(tmp_path, capsys):
+    code = trace_main(["hash_loop", "--instructions", "800",
+                       "--sample-interval", "100",
+                       "--out-dir", str(tmp_path)])
+    assert code == 0
+    pipeview = tmp_path / "hash_loop.tvp+spsr.pipeview"
+    jsonl = tmp_path / "hash_loop.tvp+spsr.trace.jsonl"
+    assert pipeview.read_text().startswith("O3PipeView:fetch:")
+    rows = [json.loads(line) for line in jsonl.read_text().splitlines()]
+    assert rows[0]["type"] == "meta" and rows[-1]["type"] == "summary"
+    out = capsys.readouterr().out
+    assert "traced hash_loop / tvp+spsr" in out
+    assert "interval samples" in out
+
+
+def test_trace_dispatches_through_harness_cli(tmp_path, capsys):
+    code = harness_main(["trace", "hash_loop", "--instructions", "500",
+                         "--config", "gvp", "--format", "jsonl",
+                         "--out-dir", str(tmp_path)])
+    assert code == 0
+    assert (tmp_path / "hash_loop.gvp.trace.jsonl").exists()
+    assert not (tmp_path / "hash_loop.gvp.pipeview").exists()
+
+
+def test_trace_format_konata_only(tmp_path):
+    code = trace_main(["hash_loop", "--instructions", "500",
+                       "--format", "konata", "--out-dir", str(tmp_path)])
+    assert code == 0
+    assert (tmp_path / "hash_loop.tvp+spsr.pipeview").exists()
+    assert not (tmp_path / "hash_loop.tvp+spsr.trace.jsonl").exists()
+
+
+def test_trace_max_lifetimes_cap(tmp_path, capsys):
+    code = trace_main(["hash_loop", "--instructions", "1000",
+                       "--max-lifetimes", "50", "--format", "jsonl",
+                       "--out-dir", str(tmp_path)])
+    assert code == 0
+    rows = [json.loads(line) for line in
+            (tmp_path / "hash_loop.tvp+spsr.trace.jsonl")
+            .read_text().splitlines()]
+    meta = rows[0]
+    assert meta["lifetimes"] == 50
+    assert meta["lifetimes_dropped"] > 0
+    assert "dropped by --max-lifetimes" in capsys.readouterr().out
+
+
+def test_trace_rejects_unknown_workload(tmp_path, capsys):
+    code = trace_main(["no_such_kernel", "--out-dir", str(tmp_path)])
+    assert code == 2
+    assert "unknown workload" in capsys.readouterr().err
+    assert os.listdir(tmp_path) == []
+
+
+def test_trace_rejects_bad_budgets(capsys):
+    assert trace_main(["hash_loop", "--instructions", "0"]) == 2
+    assert trace_main(["hash_loop", "--sample-interval", "-5"]) == 2

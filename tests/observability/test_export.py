@@ -1,0 +1,127 @@
+"""Exporters: gem5 O3PipeView text format and the JSONL event stream."""
+
+import json
+
+from repro.emulator.trace import trace_program
+from repro.observability.config import TraceConfig
+from repro.observability.export import (JSONL_SCHEMA_VERSION, write_jsonl,
+                                        write_o3_pipeview)
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.core import CpuModel
+from repro.workloads import get_workload
+
+_BUDGET = 1500
+
+
+def _traced_run(workload_name="hash_loop", sample_interval=300,
+                config=None, trace_config=None):
+    workload = get_workload(workload_name)
+    trace, _ = trace_program(workload.program, max_instructions=_BUDGET)
+    config = config or MachineConfig.tvp(spsr=True)
+    trace_config = trace_config or TraceConfig(
+        sample_interval=sample_interval)
+    model = CpuModel(trace, config.with_(trace=trace_config))
+    result = model.run()
+    return model, result
+
+
+def test_o3_pipeview_format(tmp_path):
+    model, _ = _traced_run()
+    out = tmp_path / "trace.pipeview"
+    records = write_o3_pipeview(model.tracer.lifetimes, out)
+    assert records == len(model.tracer.lifetimes) > 0
+
+    lines = out.read_text().splitlines()
+    # 7 lines per record: fetch/decode/rename/dispatch/issue/complete/retire.
+    assert len(lines) == 7 * records
+    stages = ("fetch", "decode", "rename", "dispatch", "issue",
+              "complete", "retire")
+    for index, line in enumerate(lines):
+        fields = line.split(":")
+        assert fields[0] == "O3PipeView"
+        assert fields[1] == stages[index % 7]
+        assert fields[2].isdigit()          # tick (0 = never reached)
+    # The fetch line carries pc / seq / disassembly.
+    first = lines[0].split(":")
+    assert first[3].startswith("0x") and int(first[3], 16) > 0
+    assert first[5].isdigit()
+    assert first[6].strip()                 # non-empty disassembly
+    # Retire lines carry the store tick field.
+    assert lines[6].split(":")[3] == "store"
+
+
+def test_o3_pipeview_squashed_stages_are_zero_ticks(tmp_path):
+    model, _ = _traced_run("event_queue", sample_interval=0)
+    squashed = model.tracer.squashed_lifetimes()
+    assert squashed, "event_queue should squash some uops"
+    out = tmp_path / "sq.pipeview"
+    write_o3_pipeview(squashed, out)
+    for line in out.read_text().splitlines():
+        fields = line.split(":")
+        if fields[1] == "retire":
+            assert fields[2] == "0"         # squashed: never retired
+
+
+def test_jsonl_stream_schema(tmp_path):
+    model, result = _traced_run()
+    out = tmp_path / "trace.jsonl"
+    lines = write_jsonl(model.tracer, out, stats=result.stats,
+                        workload="hash_loop", config_name="tvp+spsr")
+    rows = [json.loads(line) for line in out.read_text().splitlines()]
+    assert len(rows) == lines
+
+    meta = rows[0]
+    assert meta["type"] == "meta"
+    assert meta["version"] == JSONL_SCHEMA_VERSION
+    assert meta["workload"] == "hash_loop"
+    assert meta["config"] == "tvp+spsr"
+    assert meta["lifetimes"] == len(model.tracer.lifetimes)
+
+    by_type = {}
+    for row in rows:
+        by_type.setdefault(row["type"], []).append(row)
+    assert len(by_type["uop"]) == len(model.tracer.lifetimes)
+    assert len(by_type["event"]) == len(model.tracer.events)
+    assert len(by_type["sample"]) == len(model.tracer.series.samples)
+    assert len(by_type["summary"]) == 1
+
+    uop = by_type["uop"][0]
+    for key in ("seq", "inc", "pc", "text", "fetch", "commit", "squash",
+                "elim_kind", "vp_used", "dispatch_count"):
+        assert key in uop
+
+    sample = by_type["sample"][0]
+    for key in ("cycle", "cycles", "ipc", "rob_occupancy", "vp_accuracy",
+                "elim_per_kilocycle"):
+        assert key in sample
+
+    summary = by_type["summary"][0]
+    assert summary["cycles"] == result.stats.cycles
+    assert summary["counters"]["retired_uops"] == result.stats.retired_uops
+    # Every declared counter is present in the summary.
+    assert set(summary["counters"]) == set(
+        type(result.stats).counter_names())
+
+
+def test_jsonl_accepts_open_file_and_no_series(tmp_path):
+    import io
+
+    model, _ = _traced_run(sample_interval=0)
+    buffer = io.StringIO()
+    lines = write_jsonl(model.tracer, buffer)
+    rows = [json.loads(line) for line in
+            buffer.getvalue().splitlines()]
+    assert len(rows) == lines
+    assert all(row["type"] != "sample" for row in rows)
+    assert all(row["type"] != "summary" for row in rows)
+
+
+def test_trace_config_output_paths_write_on_finish(tmp_path):
+    konata = tmp_path / "auto.pipeview"
+    jsonl = tmp_path / "auto.jsonl"
+    _traced_run(trace_config=TraceConfig(konata_out=str(konata),
+                                         jsonl_out=str(jsonl)))
+    assert konata.read_text().startswith("O3PipeView:fetch:")
+    rows = [json.loads(line) for line in jsonl.read_text().splitlines()]
+    assert rows[0]["type"] == "meta"
+    assert rows[-1]["type"] == "summary"

@@ -1,0 +1,90 @@
+"""Interval metrics time series: coverage, conservation, derived rates."""
+
+import pytest
+
+from repro.emulator.trace import trace_program
+from repro.observability.config import TraceConfig
+from repro.observability.interval import (IntervalSample, MetricsTimeSeries,
+                                          _DELTA_COUNTERS)
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.core import CpuModel
+from repro.pipeline.stats import PipelineStats
+from repro.workloads import get_workload
+
+
+def _sampled_run(workload_name="hash_loop", interval=250, budget=2500,
+                 config=None):
+    workload = get_workload(workload_name)
+    trace, _ = trace_program(workload.program, max_instructions=budget)
+    config = config or MachineConfig.tvp(spsr=True)
+    model = CpuModel(
+        trace, config.with_(trace=TraceConfig(sample_interval=interval)))
+    result = model.run()
+    return model, result
+
+
+def test_delta_counters_are_declared_stats():
+    declared = set(PipelineStats.counter_names())
+    assert set(_DELTA_COUNTERS) <= declared
+
+
+def test_interval_deltas_sum_to_final_totals():
+    model, result = _sampled_run()
+    samples = model.tracer.series.samples
+    assert len(samples) >= 2
+    for name in _DELTA_COUNTERS:
+        total = sum(getattr(sample, name) for sample in samples)
+        assert total == getattr(result.stats, name), name
+
+
+def test_interval_widths_tile_the_run():
+    model, result = _sampled_run()
+    samples = model.tracer.series.samples
+    assert sum(sample.cycles for sample in samples) == samples[-1].cycle
+    assert samples[-1].cycle == result.stats.cycles
+    cycles = [sample.cycle for sample in samples]
+    assert cycles == sorted(cycles) and len(set(cycles)) == len(cycles)
+    for previous, sample in zip(samples, samples[1:]):
+        assert sample.cycles == sample.cycle - previous.cycle
+
+
+def test_derived_rates():
+    sample = IntervalSample(cycle=1000, cycles=500, retired_arch_insts=1000,
+                            retired_uops=1500, vp_correct_used=30,
+                            vp_incorrect_used=10, elim_move=5,
+                            elim_zero_idiom=5)
+    assert sample.ipc == pytest.approx(2.0)
+    assert sample.upc == pytest.approx(3.0)
+    assert sample.vp_accuracy == pytest.approx(0.75)
+    assert sample.eliminations == 10
+    assert sample.elim_per_kilocycle == pytest.approx(20.0)
+    empty = IntervalSample(cycle=0, cycles=0)
+    assert empty.ipc == 0.0 and empty.vp_accuracy == 0.0
+    row = sample.as_dict()
+    assert row["ipc"] == pytest.approx(2.0)
+    assert row["rob_occupancy"] == 0
+
+
+def test_occupancies_are_bounded_by_structure_sizes():
+    model, _ = _sampled_run("event_queue")
+    config = model.config
+    for sample in model.tracer.series.samples:
+        assert 0 <= sample.rob_occupancy <= config.rob_entries
+        assert 0 <= sample.iq_occupancy <= config.iq_entries
+        assert 0 <= sample.lq_occupancy <= config.lq_entries
+        assert 0 <= sample.sq_occupancy <= config.sq_entries
+        assert 0 <= sample.ras_depth <= config.ras_entries
+        assert 0 <= sample.btb_fill <= config.btb_entries
+
+
+def test_flush_records_partial_tail_once():
+    model, result = _sampled_run(interval=10_000)   # > total cycles
+    samples = model.tracer.series.samples
+    assert len(samples) == 1                        # only the finish() flush
+    assert samples[0].cycle == result.stats.cycles
+    assert samples[0].retired_uops == result.stats.retired_uops
+
+
+def test_invalid_interval_rejected():
+    with pytest.raises(ValueError):
+        MetricsTimeSeries(model=None, interval=0)

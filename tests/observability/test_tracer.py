@@ -1,0 +1,203 @@
+"""Tracer invariants: observational purity, lifecycle order, event sums.
+
+Three properties pin the tracing subsystem:
+
+1. **Purity** — enabling tracing changes no statistic: traced and
+   untraced runs produce byte-identical ``PipelineStats``.
+2. **Lifecycle order** — every recorded lifetime's stage timestamps are
+   monotone (fetch <= decode <= rename <= dispatch <= issue <= writeback
+   <= commit) and a lifetime is committed XOR squashed XOR in-flight.
+3. **Event sums** — aggregating lifetimes/events reproduces the
+   pipeline's own counters exactly, so the trace is a lossless
+   decomposition of the aggregate stats.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.emulator.trace import trace_program
+from repro.observability.config import TraceConfig
+from repro.observability.tracer import NULL_TRACER, PipelineTracer
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.core import CpuModel
+from repro.workloads import get_workload
+
+_BUDGET = 2500
+
+_CONFIGS = {
+    "baseline": lambda: MachineConfig.baseline(),
+    "mvp": lambda: MachineConfig.mvp(),
+    "tvp+spsr": lambda: MachineConfig.tvp(spsr=True),
+    "gvp+spsr": lambda: MachineConfig.gvp(spsr=True),
+    "gvp+replay": lambda: MachineConfig.gvp(vp_recovery="replay"),
+}
+_WORKLOADS = ("hash_loop", "xml_tree")
+
+_STAGE_ORDER = ("fetch", "decode", "rename", "dispatch", "issue",
+                "writeback", "commit")
+
+
+def _trace_of(workload_name):
+    workload = get_workload(workload_name)
+    trace, _ = trace_program(workload.program, max_instructions=_BUDGET)
+    return trace
+
+
+def _traced_model(trace, config):
+    model = CpuModel(trace, config.with_(trace=TraceConfig()))
+    model.run()
+    return model
+
+
+@pytest.mark.parametrize("config_name", sorted(_CONFIGS))
+@pytest.mark.parametrize("workload_name", _WORKLOADS)
+def test_tracing_never_changes_stats(workload_name, config_name):
+    trace = _trace_of(workload_name)
+    config = _CONFIGS[config_name]()
+    untraced = CpuModel(trace, config).run().stats
+    traced = CpuModel(
+        trace, config.with_(trace=TraceConfig(sample_interval=500))
+    ).run().stats
+    assert asdict(traced) == asdict(untraced)
+
+
+def test_null_tracer_is_the_default():
+    trace = _trace_of("hash_loop")
+    assert CpuModel(trace, MachineConfig.baseline()).tracer is NULL_TRACER
+    disabled = MachineConfig.baseline().with_(
+        trace=TraceConfig(enabled=False))
+    assert CpuModel(trace, disabled).tracer is NULL_TRACER
+
+
+@pytest.mark.parametrize("config_name", sorted(_CONFIGS))
+def test_stage_timestamps_are_monotone(config_name):
+    model = _traced_model(_trace_of("hash_loop"), _CONFIGS[config_name]())
+    checked = 0
+    for lifetime in model.tracer.lifetimes:
+        stamps = [getattr(lifetime, stage) for stage in _STAGE_ORDER]
+        present = [stamp for stamp in stamps if stamp is not None]
+        assert present == sorted(present), \
+            f"stage cycles regress for {lifetime!r}: {lifetime.stage_cycles()}"
+        checked += 1
+    assert checked > 0
+
+
+@pytest.mark.parametrize("config_name", sorted(_CONFIGS))
+def test_squashed_uops_never_commit(config_name):
+    model = _traced_model(_trace_of("event_queue"), _CONFIGS[config_name]())
+    for lifetime in model.tracer.lifetimes:
+        assert not (lifetime.committed and lifetime.squashed), repr(lifetime)
+        if lifetime.squashed:
+            assert lifetime.squash_reason in (
+                "branch_mispredict", "vp_mispredict", "memory_order")
+    # The run retired the whole trace, so nothing may still be in flight.
+    open_lifetimes = [lt for lt in model.tracer.lifetimes
+                      if not lt.committed and not lt.squashed]
+    assert open_lifetimes == []
+
+
+def test_refetched_uops_get_fresh_incarnations():
+    model = _traced_model(_trace_of("event_queue"),
+                          MachineConfig.tvp(spsr=True))
+    lifetimes = model.tracer.lifetimes
+    assert any(lt.incarnation > 0 for lt in lifetimes), \
+        "expected at least one refetch in a flush-heavy workload"
+    by_seq = {}
+    for lifetime in lifetimes:
+        by_seq.setdefault(lifetime.seq, []).append(lifetime)
+    for seq, incarnations in by_seq.items():
+        assert [lt.incarnation for lt in incarnations] == \
+            list(range(len(incarnations)))
+        committed = [lt for lt in incarnations if lt.committed]
+        assert len(committed) == 1, f"seq {seq} committed {len(committed)}x"
+        assert committed[0] is incarnations[-1]
+
+
+@pytest.mark.parametrize("config_name", sorted(_CONFIGS))
+@pytest.mark.parametrize("workload_name", _WORKLOADS)
+def test_event_sums_reproduce_stats(workload_name, config_name):
+    model = _traced_model(_trace_of(workload_name), _CONFIGS[config_name]())
+    stats = model.stats
+    tracer = model.tracer
+    lifetimes = tracer.lifetimes
+    committed = tracer.committed_lifetimes()
+
+    def events(kind):
+        return len(tracer.events_of(kind))
+
+    def committed_with(predicate):
+        return sum(1 for lt in committed if predicate(lt))
+
+    expected = {
+        "fetched_uops": len(lifetimes),
+        "retired_uops": len(committed),
+        "retired_arch_insts": committed_with(lambda lt: lt.is_last),
+        "branches": committed_with(lambda lt: lt.is_branch),
+        "iq_dispatched": sum(lt.dispatch_count for lt in lifetimes),
+        "iq_issued": sum(lt.issue_count for lt in lifetimes),
+        "branch_mispredicts": events("branch_mispredict"),
+        "btb_mistargets": events("btb_mistarget"),
+        "spsr_resolved_branches": events("spsr_branch_resolved"),
+        "vp_correct_used": events("vp_commit_correct"),
+        "vp_incorrect_used": events("vp_mispredict"),
+        "vp_flushes": events("vp_flush"),
+        "vp_replays": events("vp_replay"),
+        "memory_order_flushes": events("mem_order_flush"),
+        "elim_zero_idiom":
+            committed_with(lambda lt: lt.elim_kind == "zero_idiom"),
+        "elim_one_idiom":
+            committed_with(lambda lt: lt.elim_kind == "one_idiom"),
+        "elim_move": committed_with(lambda lt: lt.elim_kind == "move"),
+        "elim_nine_bit_idiom":
+            committed_with(lambda lt: lt.elim_kind == "nine_bit_idiom"),
+        "elim_spsr": committed_with(lambda lt: lt.elim_kind == "spsr"),
+        "elim_move_width_blocked":
+            committed_with(lambda lt: lt.move_width_blocked),
+    }
+    actual = {name: getattr(stats, name) for name in expected}
+    assert actual == expected
+
+
+def test_vp_used_predictions_appear_as_events():
+    model = _traced_model(_trace_of("hash_loop"),
+                          MachineConfig.tvp(spsr=True))
+    stats = model.stats
+    tracer = model.tracer
+    assert stats.vp_predicted_used == len(tracer.events_of("vp_used"))
+    assert stats.vp_predicted_used > 0, \
+        "hash_loop under TVP should use some predictions"
+    # Correct + incorrect outcomes partition the *used* predictions that
+    # reached commit (some may still be in flight at trace end — here the
+    # run drains fully, so the partition is exact).
+    assert (stats.vp_correct_used + stats.vp_incorrect_used
+            <= stats.vp_predicted_used)
+
+
+def test_max_lifetimes_caps_recording_without_changing_stats():
+    trace = _trace_of("hash_loop")
+    config = MachineConfig.tvp(spsr=True)
+    full = CpuModel(trace, config.with_(trace=TraceConfig())).run().stats
+    capped_model = CpuModel(
+        trace, config.with_(trace=TraceConfig(max_lifetimes=100)))
+    capped = capped_model.run().stats
+    tracer = capped_model.tracer
+    assert asdict(capped) == asdict(full)
+    assert len(tracer.lifetimes) == 100
+    assert tracer.lifetimes_dropped == full.fetched_uops - 100
+
+
+def test_trace_config_validation():
+    with pytest.raises(ValueError):
+        TraceConfig(sample_interval=-1)
+    with pytest.raises(ValueError):
+        TraceConfig(max_lifetimes=-1)
+
+
+def test_explicit_tracer_overrides_config():
+    trace = _trace_of("hash_loop")
+    tracer = PipelineTracer()
+    model = CpuModel(trace, MachineConfig.baseline(), tracer=tracer)
+    model.run()
+    assert model.tracer is tracer
+    assert len(tracer.committed_lifetimes()) == model.stats.retired_uops
