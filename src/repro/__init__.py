@@ -9,6 +9,10 @@ Top-level convenience API::
     result = simulate(program, MachineConfig.tvp(spsr=True))
     print(result.stats.ipc)
 
+For workload-level simulation and sweeps, use the stable facade in
+:mod:`repro.api` (``api.simulate`` / ``api.sweep``) instead of driving
+harness runners directly.
+
 The subpackages follow the paper's system decomposition — see DESIGN.md:
 
 * :mod:`repro.isa` / :mod:`repro.emulator` — the architectural substrate

@@ -1,0 +1,180 @@
+"""The stable, user-facing simulation API.
+
+Notebooks, tests and downstream tooling should not reach into
+:class:`~repro.harness.runner.ExperimentRunner` internals; this facade
+is the supported surface::
+
+    from repro import api
+
+    r = api.simulate("hash_loop", config="tvp+spsr", instructions=20_000)
+    print(r.ipc, r.stats["vp_correct_used"])
+
+    s = api.sweep(["hash_loop", "permute"], configs=("baseline", "tvp"))
+    print(s.get("tvp", "hash_loop").speedup_over(s.get("baseline",
+                                                       "hash_loop")))
+
+Results are frozen dataclasses with documented ``to_dict()`` /
+``from_dict()`` JSON round-trips, built on the exact same runner the
+experiment harness uses — facade numbers are byte-identical to a direct
+:meth:`ExperimentRunner.run`.
+"""
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+from repro.harness.orchestrator import OrchestratedRunner
+from repro.harness.runner import ExperimentRunner
+from repro.pipeline.config import MachineConfig
+
+__all__ = ["SimResult", "SweepResult", "simulate", "sweep"]
+
+_CUSTOM_CONFIG_NAME = "custom"
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """One (workload, config) simulation, in stable plain-data form."""
+
+    workload: str
+    config: str                     # config name ("tvp+spsr", "custom", ...)
+    fingerprint: str                # hash of every MachineConfig knob
+    instructions: int               # dynamic instruction budget
+    ipc: float
+    stats: Mapping[str, object]     # every PipelineStats counter, by name
+
+    def speedup_over(self, baseline):
+        """Speedup in percent over a baseline :class:`SimResult`."""
+        return 100.0 * (self.ipc / baseline.ipc - 1.0)
+
+    def to_dict(self):
+        """JSON-ready payload; inverse of :meth:`from_dict`."""
+        return {
+            "workload": self.workload,
+            "config": self.config,
+            "fingerprint": self.fingerprint,
+            "instructions": self.instructions,
+            "ipc": self.ipc,
+            "stats": dict(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(workload=payload["workload"], config=payload["config"],
+                   fingerprint=payload["fingerprint"],
+                   instructions=payload["instructions"],
+                   ipc=payload["ipc"], stats=dict(payload["stats"]))
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full (workload × config) sweep plus its fault report."""
+
+    results: Mapping[str, Mapping[str, SimResult]]   # config -> workload
+    configs: Tuple[str, ...]
+    workloads: Tuple[str, ...]
+    instructions: Optional[int]
+    fault_report: Optional[dict] = field(default=None)
+
+    def get(self, config, workload):
+        """The :class:`SimResult` for one (config, workload) point."""
+        return self.results[config][workload]
+
+    def to_dict(self):
+        """JSON-ready payload; inverse of :meth:`from_dict`."""
+        return {
+            "configs": list(self.configs),
+            "workloads": list(self.workloads),
+            "instructions": self.instructions,
+            "results": {config: {workload: result.to_dict()
+                                 for workload, result in by_workload.items()}
+                        for config, by_workload in self.results.items()},
+            "fault_report": self.fault_report,
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        results = {config: {workload: SimResult.from_dict(item)
+                            for workload, item in by_workload.items()}
+                   for config, by_workload in payload["results"].items()}
+        return cls(results=results, configs=tuple(payload["configs"]),
+                   workloads=tuple(payload["workloads"]),
+                   instructions=payload["instructions"],
+                   fault_report=payload.get("fault_report"))
+
+
+def _resolve_workloads(workloads):
+    """Workload objects from names, objects, or None (the full suite)."""
+    from repro.workloads import get_workload, suite
+
+    if workloads is None:
+        return suite()
+    resolved = []
+    for workload in workloads:
+        resolved.append(get_workload(workload)
+                        if isinstance(workload, str) else workload)
+    return resolved
+
+
+def _config_name_of(config):
+    if isinstance(config, MachineConfig):
+        return _CUSTOM_CONFIG_NAME, config
+    return str(config), None
+
+
+def _to_sim_result(runner, record, config_name, config=None):
+    workload = next(w for w in runner.workloads
+                    if w.name == record.workload)
+    return SimResult(workload=record.workload, config=config_name,
+                     fingerprint=runner.fingerprint_of(config_name, config),
+                     instructions=runner.budget_for(workload),
+                     ipc=record.ipc, stats=record.to_dict()["stats"])
+
+
+def simulate(workload, config="baseline", *, instructions=None,
+             cache=None) -> SimResult:
+    """Simulate one workload under one configuration.
+
+    ``workload`` is a workload name or object; ``config`` is a named
+    configuration (``"baseline"``, ``"tvp+spsr"``, ...) or a
+    :class:`MachineConfig` instance.
+    """
+    workloads = _resolve_workloads([workload])
+    config_name, machine_config = _config_name_of(config)
+    runner = ExperimentRunner(workloads=workloads,
+                              instructions=instructions, cache=cache)
+    record = runner.run(workloads[0], config_name, config=machine_config)
+    return _to_sim_result(runner, record, config_name, machine_config)
+
+
+def sweep(workloads=None, configs=("baseline", "mvp", "tvp", "gvp"), *,
+          instructions=None, jobs=None, cache=None, journal=None,
+          resume=True, tracer=None, orchestration=None) -> SweepResult:
+    """Run a fault-tolerant (workload × config) sweep.
+
+    ``configs`` are named configurations; ``jobs`` defaults to all
+    cores (the orchestrated pool with per-point timeouts, retry and
+    journaled resume — pass ``journal=`` a path to make the sweep
+    resumable across interruptions).
+    """
+    workload_objects = _resolve_workloads(workloads)
+    config_names = [str(name) for name in configs]
+    # Always the orchestrated engine (even jobs=1): facade sweeps carry
+    # a fault report and journal/resume support unconditionally.
+    runner = OrchestratedRunner(workloads=workload_objects,
+                                instructions=instructions, cache=cache,
+                                jobs=jobs, journal=journal, resume=resume,
+                                tracer=tracer, orchestration=orchestration)
+    raw = runner.run_all(config_names)
+    results = {
+        config_name: {
+            workload_name: _to_sim_result(runner, record, config_name)
+            for workload_name, record in by_workload.items()
+        }
+        for config_name, by_workload in raw.items()
+    }
+    report = getattr(runner, "last_fault_report", None)
+    return SweepResult(
+        results=results, configs=tuple(config_names),
+        workloads=tuple(w.name for w in workload_objects),
+        instructions=instructions,
+        fault_report=report.to_dict() if report is not None else None)

@@ -1,5 +1,19 @@
-"""Experiment harness: regenerates every table and figure of the paper."""
+"""Experiment harness: regenerates every table and figure of the paper.
 
+Sweeps run on the fault-tolerant orchestrated engine
+(:mod:`repro.harness.orchestrator`): journaled for crash-resume,
+per-point timeouts with retry/backoff, worker respawn and quarantine.
+Prefer the stable :mod:`repro.api` facade over driving runners directly.
+"""
+
+from repro.harness.orchestrator import (
+    FaultReport,
+    OrchestratedRunner,
+    OrchestratorConfig,
+    SweepJournal,
+    default_journal_path,
+)
+from repro.harness.parallel import ParallelRunner, default_jobs, make_runner
 from repro.harness.runner import ExperimentRunner, RunRecord
 from repro.harness.experiments import (
     run_fig1,
@@ -16,7 +30,15 @@ from repro.harness.experiments import (
 
 __all__ = [
     "ExperimentRunner",
+    "FaultReport",
+    "OrchestratedRunner",
+    "OrchestratorConfig",
+    "ParallelRunner",
     "RunRecord",
+    "SweepJournal",
+    "default_jobs",
+    "default_journal_path",
+    "make_runner",
     "run_fig1",
     "run_fig2",
     "run_fig3",

@@ -30,6 +30,7 @@ environment variable or the ``--cache-dir`` CLI flag.
 
 import hashlib
 import json
+import math
 import os
 import tempfile
 from dataclasses import fields, is_dataclass
@@ -109,6 +110,32 @@ def simulation_key(workload_name, instructions, fingerprint):
     return hashlib.sha256(blob.encode()).hexdigest()[:32]
 
 
+def stats_from_payload(payload):
+    """A validated :class:`PipelineStats` from an untrusted dict, or None.
+
+    Shared by the disk cache, the sweep journal and the orchestrator's
+    worker-result admission: every key must be a declared stats field,
+    counters must be finite numbers, and the ``memory`` snapshot must be a
+    dict.  Anything else (an entry written by an incompatible version, a
+    torn journal line, a corrupted worker payload) is rejected rather than
+    admitted into merged results.
+    """
+    if not isinstance(payload, dict) or not payload:
+        return None
+    known = {f.name for f in fields(PipelineStats)}
+    if not set(payload) <= known:
+        return None
+    for name, value in payload.items():
+        if name == "memory":
+            if not isinstance(value, dict):
+                return None
+        elif isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None
+        elif not math.isfinite(value):
+            return None
+    return PipelineStats(**payload)
+
+
 # -- the cache itself ----------------------------------------------------------------
 class SimulationCache:
     """Disk-backed (workload × config) result store with hit statistics."""
@@ -133,13 +160,16 @@ class SimulationCache:
         except (OSError, ValueError):
             self.misses += 1
             return None
-        stats_dict = payload.get("stats")
-        known = {f.name for f in fields(PipelineStats)}
-        if stats_dict is None or not set(stats_dict) <= known:
+        stats = stats_from_payload(payload.get("stats"))
+        if stats is None:
             self.misses += 1   # written by an incompatible version
             return None
         self.hits += 1
-        return PipelineStats(**stats_dict)
+        return stats
+
+    def has(self, key):
+        """Whether an entry file exists for *key* (no validation)."""
+        return os.path.exists(self._path_of(key))
 
     def store(self, key, workload_name, config_name, instructions, stats):
         """Atomically persist one simulation result.

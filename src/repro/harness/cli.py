@@ -1,11 +1,29 @@
-"""Command-line entry point: ``python -m repro.harness <experiment...>``.
+"""Command-line entry point: ``python -m repro.harness <subcommand>``.
+
+Subcommands::
+
+    harness run <experiment...>    regenerate tables/figures
+    harness sweep                  raw (workload x config) sweep
+    harness trace <workload>       one traced simulation (observability)
+    harness audit                  kernel verifier + elimination cross-check
+    harness lint                   simulator determinism lint
+
+Every simulation-running subcommand shares one common flag set
+(``--jobs/--cache-dir/--no-cache/--instructions/--workloads/--save`` plus
+the journal controls ``--journal/--no-journal/--resume/--no-resume``).
+Sweeps are journaled by default: an interrupted run re-invoked with the
+same command resumes from ``<cache-dir>/journals/`` with zero
+recomputation (see EXPERIMENTS.md).
+
+The historical bare spelling ``harness fig3`` keeps working through a
+deprecation shim that prints a single warning line.
 
 Examples::
 
-    python -m repro.harness fig3
-    python -m repro.harness fig3 fig5 --instructions 20000
-    python -m repro.harness all --workloads xml_tree,hash_loop
-    repro-harness table2
+    python -m repro.harness run fig3 fig5 --instructions 20000
+    python -m repro.harness sweep --configs baseline,tvp --jobs 8
+    python -m repro.harness run all --workloads xml_tree,hash_loop
+    repro-harness run table2
 """
 
 import argparse
@@ -14,12 +32,21 @@ import sys
 import time
 
 from repro.harness.cache import SimulationCache
-from repro.harness.experiments import EXPERIMENTS
+from repro.harness.experiments import EXPERIMENTS, STANDARD_CONFIGS
+from repro.harness.orchestrator import FaultReport, default_journal_path
 from repro.harness.parallel import default_jobs, make_runner
+from repro.harness.report import format_table
 
 
 def _jsonable(value):
-    """Best-effort conversion of raw experiment payloads to JSON."""
+    """JSON conversion of experiment payloads.
+
+    Anything with a documented ``to_dict()`` (RunRecord, FaultReport,
+    the api result types) is converted through it; remaining exotic
+    values (ad-hoc dataclasses in ``raw``) fall back to ``str``.
+    """
+    if hasattr(value, "to_dict"):
+        return _jsonable(value.to_dict())
     if isinstance(value, dict):
         return {str(k): _jsonable(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
@@ -29,33 +56,186 @@ def _jsonable(value):
     return str(value)
 
 
-def build_parser():
-    parser = argparse.ArgumentParser(
-        prog="repro-harness",
-        description="Regenerate the paper's tables and figures.")
-    parser.add_argument("experiments", nargs="+",
-                        help="experiment ids (%s) or 'all'"
-                             % ", ".join(sorted(EXPERIMENTS)))
-    parser.add_argument("--instructions", type=int, default=None,
+# -- shared flags --------------------------------------------------------------------
+def _common_flags():
+    """The one flag parser every simulation subcommand inherits."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--instructions", type=int, default=None,
                         help="dynamic instruction budget per workload "
                              "(default: each workload's own default)")
-    parser.add_argument("--workloads", type=str, default=None,
+    common.add_argument("--workloads", type=str, default=None,
                         help="comma-separated subset of workload names")
-    parser.add_argument("--verbose", action="store_true",
+    common.add_argument("--verbose", action="store_true",
                         help="print each simulation as it finishes")
-    parser.add_argument("--save", type=str, default=None, metavar="FILE",
+    common.add_argument("--save", type=str, default=None, metavar="FILE",
                         help="also write machine-readable results as JSON")
-    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+    common.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes for (workload x config) "
                              "sweeps (default: all cores, %d here)"
                              % default_jobs())
-    parser.add_argument("--no-cache", action="store_true",
+    common.add_argument("--no-cache", action="store_true",
                         help="ignore and do not write the on-disk "
                              "simulation result cache")
-    parser.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
+    common.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
                         help="simulation cache location (default: "
                              ".repro-cache, or $REPRO_CACHE_DIR)")
+    common.add_argument("--journal", type=str, default=None, metavar="FILE",
+                        help="sweep journal location (default: derived "
+                             "from the sweep spec under "
+                             "<cache-dir>/journals/)")
+    common.add_argument("--no-journal", action="store_true",
+                        help="disable the durable sweep journal")
+    common.add_argument("--resume", default=True,
+                        action=argparse.BooleanOptionalAction,
+                        help="replay completed points from the journal "
+                             "(--no-resume discards it and starts fresh)")
+    return common
+
+
+def build_parser():
+    """The `run` subcommand parser (also serves the deprecated bare
+    ``harness <experiment>`` spelling)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-harness",
+        description="Regenerate the paper's tables and figures.",
+        parents=[_common_flags()])
+    parser.add_argument("experiments", nargs="+",
+                        help="experiment ids (%s) or 'all'"
+                             % ", ".join(sorted(EXPERIMENTS)))
     return parser
+
+
+def build_sweep_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-harness sweep",
+        description="Run a raw fault-tolerant (workload x config) sweep.",
+        parents=[_common_flags()])
+    parser.add_argument("--configs", type=str,
+                        default=",".join(STANDARD_CONFIGS),
+                        help="comma-separated named configs "
+                             "(default: %(default)s)")
+    return parser
+
+
+def _runner_from_args(args, parser, label):
+    """Build the (orchestrated) runner every subcommand shares."""
+    if args.jobs is not None and args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    workloads = None
+    if args.workloads:
+        from repro.workloads import suite
+
+        workloads = suite(args.workloads.split(","))
+    cache = None if args.no_cache else SimulationCache(args.cache_dir)
+    journal = None
+    if not args.no_journal:
+        journal = args.journal
+        if journal is None:
+            from repro.workloads import suite
+
+            names = [w.name for w in (workloads if workloads is not None
+                                      else suite())]
+            journal = default_journal_path(args.cache_dir, names,
+                                           args.instructions, label)
+    return make_runner(workloads=workloads,
+                       instructions=args.instructions,
+                       verbose=args.verbose,
+                       cache=cache,
+                       jobs=args.jobs,
+                       journal=journal,
+                       resume=args.resume)
+
+
+def _fault_report_of(runner):
+    """The invocation-wide FaultReport, or None for plain serial runners."""
+    reports = getattr(runner, "fault_reports", None)
+    if not reports:
+        return None
+    return FaultReport.merged(reports)
+
+
+def _epilogue(runner, saved, args):
+    """Shared tail: fault report, --save, cache summary."""
+    report = _fault_report_of(runner)
+    if report is not None:
+        print(f"[{report.summary()}]")
+        saved["_fault_report"] = report.to_dict()
+    if args.save:
+        with open(args.save, "w") as handle:
+            json.dump(saved, handle, indent=2)
+        print(f"[results saved to {args.save}]")
+    if runner.cache is not None:
+        print(f"[{runner.cache.summary()}]")
+
+
+# -- subcommands ---------------------------------------------------------------------
+def _run_main(argv):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    names = list(args.experiments)
+    if "all" in names:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        return 2
+    runner = _runner_from_args(args, parser,
+                               label="run:" + ",".join(sorted(names)))
+    saved = {}
+    for name in names:
+        started = time.time()
+        result = EXPERIMENTS[name](runner)
+        result.print()
+        print(f"[{name} completed in {time.time() - started:.1f}s]\n")
+        saved[name] = {
+            "title": result.title,
+            "headers": result.headers,
+            "rows": _jsonable(result.rows),
+            "notes": result.notes,
+            "raw": _jsonable(result.raw),
+        }
+    _epilogue(runner, saved, args)
+    return 0
+
+
+def _sweep_main(argv):
+    parser = build_sweep_parser()
+    args = parser.parse_args(argv)
+    configs = [name.strip() for name in args.configs.split(",")
+               if name.strip()]
+    if not configs:
+        parser.error("--configs must name at least one configuration")
+    from repro.harness.runner import ExperimentRunner
+
+    for name in configs:
+        try:
+            ExperimentRunner.config(name)
+        except KeyError as exc:
+            parser.error(str(exc))
+    runner = _runner_from_args(args, parser,
+                               label="sweep:" + ",".join(configs))
+    started = time.time()
+    results = runner.run_all(configs)
+    rows = []
+    for workload in runner.workloads:
+        rows.append([workload.name] +
+                    [f"{results[name][workload.name].ipc:.3f}"
+                     for name in configs])
+    print(format_table("Sweep — IPC per (workload, config)",
+                       ["workload"] + configs, rows))
+    print(f"[sweep completed in {time.time() - started:.1f}s]\n")
+    saved = {
+        "meta": {
+            "configs": configs,
+            "workloads": [w.name for w in runner.workloads],
+            "instructions": args.instructions,
+        },
+        "results": {name: {workload: record.to_dict()
+                           for workload, record in by_workload.items()}
+                    for name, by_workload in results.items()},
+    }
+    _epilogue(runner, saved, args)
+    return 0
 
 
 def main(argv=None):
@@ -73,48 +253,20 @@ def main(argv=None):
         from repro.observability.cli import main as trace_main
 
         return trace_main(argv)
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    if args.jobs is not None and args.jobs < 1:
-        parser.error(f"--jobs must be >= 1, got {args.jobs}")
-    names = list(args.experiments)
-    if "all" in names:
-        names = list(EXPERIMENTS)
-    unknown = [n for n in names if n not in EXPERIMENTS]
-    if unknown:
-        print(f"unknown experiments: {unknown}", file=sys.stderr)
-        return 2
-    workloads = None
-    if args.workloads:
-        from repro.workloads import suite
-
-        workloads = suite(args.workloads.split(","))
-    cache = None if args.no_cache else SimulationCache(args.cache_dir)
-    runner = make_runner(workloads=workloads,
-                         instructions=args.instructions,
-                         verbose=args.verbose,
-                         cache=cache,
-                         jobs=args.jobs)
-    saved = {}
-    for name in names:
-        started = time.time()
-        result = EXPERIMENTS[name](runner)
-        result.print()
-        print(f"[{name} completed in {time.time() - started:.1f}s]\n")
-        saved[name] = {
-            "title": result.title,
-            "headers": result.headers,
-            "rows": _jsonable(result.rows),
-            "notes": result.notes,
-            "raw": _jsonable(result.raw),
-        }
-    if args.save:
-        with open(args.save, "w") as handle:
-            json.dump(saved, handle, indent=2)
-        print(f"[results saved to {args.save}]")
-    if cache is not None:
-        print(f"[{cache.summary()}]")
-    return 0
+    if argv and argv[0] == "sweep":
+        return _sweep_main(argv[1:])
+    if argv and argv[0] == "run":
+        return _run_main(argv[1:])
+    if argv and not argv[0].startswith("-"):
+        # Deprecated bare spelling `harness fig3` — keep it working, but
+        # say so exactly once per invocation.
+        if argv[0] in EXPERIMENTS or argv[0] == "all":
+            print("warning: bare `harness <experiment>` is deprecated; "
+                  "use `harness run <experiment>`", file=sys.stderr)
+        return _run_main(argv)
+    # No subcommand (or just -h/--help): the run parser carries the help.
+    build_parser().parse_args(argv)
+    return 2
 
 
 if __name__ == "__main__":

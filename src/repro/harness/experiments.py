@@ -15,6 +15,11 @@ from repro.util.stats import amean, geomean, hmean, percent
 
 _FLAVORS = ("mvp", "tvp", "gvp")
 
+# Every named configuration point the paper evaluates — the default
+# column set of `harness sweep` and the `repro.api.sweep` facade.
+STANDARD_CONFIGS = ("baseline", "mvp", "tvp", "gvp",
+                    "mvp+spsr", "tvp+spsr", "gvp+spsr")
+
 
 def _speedups(runner, config_names):
     """{config: {workload: speedup%}} over the shared baseline."""

@@ -1,0 +1,152 @@
+"""Env-gated fault injection for the sweep orchestrator.
+
+The orchestrator's recovery paths (worker crash, hang, corrupted result
+payload, poisoned point) are impossible to exercise with healthy
+simulations, so this module lets the test suite and CI *inject* each
+fault class deterministically, from the environment:
+
+``REPRO_FAULT_KILL``
+    Worker suicide via ``SIGKILL`` right before simulating the point.
+``REPRO_FAULT_HANG``
+    An artificial hang (``sleep``) that the per-point timeout must catch.
+``REPRO_FAULT_CORRUPT``
+    The worker completes but returns a corrupted stats payload that must
+    fail admission validation.
+``REPRO_FAULT_ERROR``
+    A raised :class:`FaultInjected` exception (an in-worker crash that
+    leaves the process alive).
+
+Each knob holds comma-separated specs ``workload/config[:count]`` where
+the ``workload/config`` part is an :mod:`fnmatch` pattern matched against
+``"<workload>/<config_name>"`` and *count* (default 1) is the number of
+*attempts* the fault fires on: a spec ``hash_loop/tvp:2`` kills attempts
+1 and 2 of that point and lets attempt 3 succeed.  Because the attempt
+number is carried in the task itself, injection is fully deterministic —
+no shared state, no randomness, identical behaviour under any seed.
+
+Additional knobs:
+
+``REPRO_FAULT_HANG_SECONDS``
+    How long an injected hang sleeps (default 3600 — far beyond any
+    sane per-point timeout).
+``REPRO_FAULT_SCOPE``
+    ``"worker"`` (default): faults only fire inside pool worker
+    processes (marked via :func:`mark_worker`), so the orchestrator's
+    serial in-parent fallback is a genuine recovery path.  ``"all"``:
+    faults also arm in the parent — the serial path injects the *error*
+    fault (never kill/hang/corrupt, which are worker-loop injection
+    points) — used to prove that a truly poisoned point fails the sweep
+    instead of silently succeeding through the fallback.
+"""
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+
+_IN_WORKER = False
+
+_KNOBS = {
+    "kill": "REPRO_FAULT_KILL",
+    "hang": "REPRO_FAULT_HANG",
+    "corrupt": "REPRO_FAULT_CORRUPT",
+    "error": "REPRO_FAULT_ERROR",
+}
+
+
+class FaultInjected(RuntimeError):
+    """Raised by an injected ``error`` fault (and by nothing else)."""
+
+
+def mark_worker():
+    """Flag this process as a pool worker (arms worker-scoped faults)."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def in_worker():
+    return _IN_WORKER
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed ``pattern[:count]`` injection rule."""
+
+    pattern: str   # fnmatch pattern over "<workload>/<config_name>"
+    count: int     # fires on attempts 1..count
+
+    def matches(self, workload, config_name, attempt):
+        return (attempt <= self.count
+                and fnmatchcase(f"{workload}/{config_name}", self.pattern))
+
+
+def _parse_specs(raw):
+    specs = []
+    for chunk in (raw or "").split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        pattern, colon, count = chunk.rpartition(":")
+        if colon and count.isdigit():
+            specs.append(FaultSpec(pattern, int(count)))
+        else:
+            specs.append(FaultSpec(chunk, 1))
+    return tuple(specs)
+
+
+class FaultPlan:
+    """The parsed injection plan for one process."""
+
+    def __init__(self, specs=None, hang_seconds=3600.0, scope="worker"):
+        self.specs = {kind: tuple(specs.get(kind, ())) if specs else ()
+                      for kind in _KNOBS}
+        self.hang_seconds = hang_seconds
+        self.scope = scope
+
+    @classmethod
+    def from_env(cls, env=None):
+        env = os.environ if env is None else env
+        specs = {kind: _parse_specs(env.get(var))
+                 for kind, var in _KNOBS.items()}
+        return cls(specs=specs,
+                   hang_seconds=float(env.get("REPRO_FAULT_HANG_SECONDS",
+                                              "3600")),
+                   scope=env.get("REPRO_FAULT_SCOPE", "worker"))
+
+    @property
+    def active(self):
+        return any(self.specs.values())
+
+    def _armed(self):
+        return self.scope == "all" or _IN_WORKER
+
+    def should(self, kind, workload, config_name, attempt):
+        """Whether fault *kind* fires for this (point, attempt)."""
+        if not self._armed():
+            return False
+        return any(spec.matches(workload, config_name, attempt)
+                   for spec in self.specs[kind])
+
+    # -- injection points (called by the worker main loop) -------------------------
+    def maybe_error(self, workload, config_name, attempt):
+        if self.should("error", workload, config_name, attempt):
+            raise FaultInjected(
+                f"injected error for {workload}/{config_name} "
+                f"attempt {attempt}")
+
+    def maybe_hang(self, workload, config_name, attempt):
+        if self.should("hang", workload, config_name, attempt):
+            time.sleep(self.hang_seconds)
+
+    def maybe_kill(self, workload, config_name, attempt):
+        if self.should("kill", workload, config_name, attempt):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def maybe_corrupt(self, payload, workload, config_name, attempt):
+        """Return *payload*, corrupted if the corrupt fault fires."""
+        if not self.should("corrupt", workload, config_name, attempt):
+            return payload
+        corrupted = dict(payload)
+        corrupted["cycles"] = "corrupted-by-fault-injection"
+        return corrupted

@@ -1,0 +1,698 @@
+"""Fault-tolerant, resumable (workload × config) sweep orchestration.
+
+The paper's headline numbers come from large sweeps, and a production
+harness cannot afford to lose an hour of simulation to one wedged worker
+or a ``kill -9``.  :class:`OrchestratedRunner` replaces the
+fire-and-forget ``ProcessPoolExecutor`` fan-out with a work-stealing
+engine built from three pieces:
+
+**Sweep journal** (:class:`SweepJournal`)
+    A durable on-disk log — one JSON record per completed (workload,
+    config-fingerprint) point, appended and ``fsync``'d the moment the
+    point finishes.  Layered on :mod:`repro.harness.cache`: records carry
+    the same config fingerprint / instruction budget / code-version hash
+    the disk cache keys on, and replaying a journal write-throughs into
+    the cache.  An interrupted sweep resumed against its journal
+    recomputes **zero** completed points and merges byte-identical
+    payloads, even with the disk cache disabled.
+
+**Fault-tolerant pool**
+    Idle workers pull points dynamically (fast workers take more), every
+    point runs under a deadline, and the parent detects and repairs each
+    failure class: a crashed worker is reaped and respawned, a hung
+    worker is killed at its deadline, a corrupted result payload is
+    rejected at admission.  Failed points retry with exponential backoff;
+    a point that keeps failing is quarantined after
+    ``max_attempts`` and falls back to serial in-parent execution.  If
+    the pool itself is unhealthy (respawn budget exhausted) the whole
+    sweep degrades gracefully to serial execution instead of spinning.
+
+**Observability**
+    Heartbeats, per-point lifecycle events and every recovery action are
+    routed through the session's :class:`repro.observability.Tracer`
+    (see :class:`repro.observability.SweepEventLog`), and the sweep ends
+    with a structured :class:`FaultReport` the CLI prints and embeds in
+    ``--save`` JSON.
+
+Fault injection for tests/CI lives in :mod:`repro.harness.faults`
+(``REPRO_FAULT_*`` knobs); ``tests/orchestrator`` drives every recovery
+path through it.
+"""
+
+import hashlib
+import json
+import multiprocessing
+import os
+import queue
+import tempfile
+from collections import deque
+from dataclasses import asdict, dataclass, field, fields
+from heapq import heappop, heappush
+from time import monotonic, sleep
+from typing import Optional
+
+from repro.harness import faults
+from repro.harness.cache import (code_version_hash, simulation_key,
+                                 stats_from_payload)
+from repro.harness.runner import ExperimentRunner, RunRecord
+from repro.observability.tracer import NULL_TRACER
+
+
+def default_jobs():
+    """Worker count when ``--jobs`` is not given."""
+    return max(1, os.cpu_count() or 1)
+
+
+def default_journal_path(cache_dir=None, workload_names=(),
+                         instructions=None, label=""):
+    """The canonical journal location for one sweep specification.
+
+    Journals live next to the simulation cache (``<cache-dir>/journals``)
+    and are named by a hash of the sweep's identity — workload set,
+    instruction budget and a free-form label (the CLI uses the experiment
+    or config list) — so re-running the same command finds and resumes
+    its own journal while a different sweep gets a fresh one.
+    """
+    base = cache_dir or os.environ.get("REPRO_CACHE_DIR") or ".repro-cache"
+    blob = json.dumps([sorted(workload_names), instructions, label],
+                      separators=(",", ":"))
+    sweep_id = hashlib.sha256(blob.encode()).hexdigest()[:16]
+    return os.path.join(str(base), "journals", f"{sweep_id}.jsonl")
+
+
+# -- configuration -------------------------------------------------------------------
+@dataclass
+class OrchestratorConfig:
+    """Fault-tolerance knobs of the sweep engine."""
+
+    # Per-point wall-clock deadline in seconds.  None resolves from
+    # $REPRO_POINT_TIMEOUT (default 600); zero or negative disables.
+    point_timeout: Optional[float] = None
+    max_attempts: int = 3          # failures before a point is quarantined
+    backoff_base: float = 0.25     # retry delay: base * 2**(attempt-1) ...
+    backoff_cap: float = 8.0       # ... capped here (seconds)
+    heartbeat_interval: float = 5.0
+    max_respawns: int = 8          # worker respawns before serial fallback
+    poll_interval: float = 0.05    # result-queue poll granularity
+    start_method: Optional[str] = None   # None -> fork when available
+
+    def resolved_timeout(self):
+        timeout = self.point_timeout
+        if timeout is None:
+            timeout = float(os.environ.get("REPRO_POINT_TIMEOUT", "600"))
+        return None if timeout <= 0 else timeout
+
+
+# -- the fault report ----------------------------------------------------------------
+@dataclass
+class FaultReport:
+    """Structured end-of-sweep account of where results came from and
+    every fault the engine survived (or didn't)."""
+
+    points_total: int = 0
+    from_memo: int = 0             # already in this runner's memory
+    from_journal: int = 0          # replayed from the sweep journal
+    from_cache: int = 0            # loaded from the disk cache
+    completed_pool: int = 0        # simulated by pool workers
+    completed_serial: int = 0      # simulated serially in the parent
+    retries: int = 0
+    timeouts: int = 0
+    worker_crashes: int = 0
+    worker_respawns: int = 0
+    worker_errors: int = 0
+    corrupt_payloads: int = 0
+    quarantined: list = field(default_factory=list)
+    degraded_to_serial: bool = False
+    wall_seconds: float = 0.0
+
+    @property
+    def faults_seen(self):
+        return bool(self.timeouts or self.worker_crashes
+                    or self.worker_errors or self.corrupt_payloads
+                    or self.retries or self.quarantined
+                    or self.degraded_to_serial)
+
+    @classmethod
+    def merged(cls, reports):
+        """One aggregate report over several sweeps (a CLI invocation
+        running multiple experiments calls ``run_all`` repeatedly)."""
+        total = cls()
+        for report in reports:
+            for name in (f.name for f in fields(cls)):
+                value = getattr(report, name)
+                if isinstance(value, bool):
+                    setattr(total, name, getattr(total, name) or value)
+                elif isinstance(value, (int, float)):
+                    setattr(total, name, getattr(total, name) + value)
+                elif isinstance(value, list):
+                    getattr(total, name).extend(value)
+        return total
+
+    def to_dict(self):
+        """JSON-ready payload (the CLI embeds this under ``--save``)."""
+        payload = asdict(self)
+        payload["healthy"] = not self.faults_seen
+        return payload
+
+    def summary(self):
+        """One human-readable line for the CLI."""
+        sources = (f"{self.from_journal} journal, {self.from_cache} cache, "
+                   f"{self.from_memo} memo, {self.completed_pool} pool, "
+                   f"{self.completed_serial} serial")
+        head = f"sweep {self.points_total} points ({sources})"
+        if not self.faults_seen:
+            return f"{head}; no faults"
+        parts = [f"{self.worker_crashes} worker crashes",
+                 f"{self.timeouts} timeouts",
+                 f"{self.worker_errors} worker errors",
+                 f"{self.corrupt_payloads} corrupt payloads",
+                 f"{self.retries} retries",
+                 f"{len(self.quarantined)} quarantined"]
+        if self.degraded_to_serial:
+            parts.append("degraded to serial")
+        return f"{head}; faults: " + ", ".join(parts)
+
+
+# -- the journal ---------------------------------------------------------------------
+class SweepJournal:
+    """Append-only, fsync'd JSONL log of completed sweep points.
+
+    Each line records one completed point with exactly the identity the
+    disk cache keys on — workload, config name, config fingerprint,
+    instruction budget and code-version hash — plus the full stats
+    payload, so a resume needs nothing but the journal file.  Torn final
+    lines (the ``kill -9`` case) and records from other code versions are
+    skipped on replay; when stale records dominate, the file is
+    compacted in place (atomic temp-file + ``os.replace``, the cache's
+    own idiom).
+    """
+
+    FORMAT = 1
+    _COMPACT_MIN_STALE = 32
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._handle = None
+
+    # -- writing -------------------------------------------------------------------
+    def record(self, workload_name, config_name, fingerprint, instructions,
+               stats):
+        """Durably append one completed point (flush + fsync)."""
+        if self._handle is None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._handle = open(self.path, "a")
+        line = json.dumps({
+            "format": self.FORMAT,
+            "workload": workload_name,
+            "config_name": config_name,
+            "fingerprint": fingerprint,
+            "instructions": instructions,
+            "code_version": code_version_hash(),
+            "stats": asdict(stats),
+        }, sort_keys=True)
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def reset(self):
+        """Discard the journal (``--no-resume``)."""
+        self.close()
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    # -- reading -------------------------------------------------------------------
+    def replay(self):
+        """[(record, PipelineStats)] for every valid current-code record.
+
+        Invalid lines — torn tails, other code versions, unknown stats
+        fields — are skipped, and the file is compacted when they
+        dominate.
+        """
+        try:
+            with open(self.path) as handle:
+                lines = handle.readlines()
+        except OSError:
+            return []
+        valid, stale = [], 0
+        for line in lines:
+            try:
+                record = json.loads(line)
+            except ValueError:
+                stale += 1
+                continue
+            if (not isinstance(record, dict)
+                    or record.get("format") != self.FORMAT
+                    or record.get("code_version") != code_version_hash()
+                    or not isinstance(record.get("workload"), str)
+                    or not isinstance(record.get("config_name"), str)
+                    or not isinstance(record.get("fingerprint"), str)
+                    or not isinstance(record.get("instructions"), int)):
+                stale += 1
+                continue
+            stats = stats_from_payload(record.get("stats"))
+            if stats is None:
+                stale += 1
+                continue
+            valid.append((record, stats))
+        if stale > self._COMPACT_MIN_STALE and stale > len(valid):
+            self._compact(valid)
+        return valid
+
+    def _compact(self, valid):
+        """Atomically rewrite the journal with only the valid records."""
+        self.close()
+        directory = os.path.dirname(self.path) or "."
+        try:
+            handle, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            with os.fdopen(handle, "w") as tmp:
+                for record, _stats in valid:
+                    tmp.write(json.dumps(record, sort_keys=True) + "\n")
+                tmp.flush()
+                os.fsync(tmp.fileno())
+            os.replace(tmp_path, self.path)
+        except OSError:
+            pass
+
+
+# -- pool plumbing -------------------------------------------------------------------
+def _mp_context(start_method=None):
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:          # platforms without fork
+        return multiprocessing.get_context("spawn")
+
+
+def _worker_main(worker_id, task_q, result_q, workload_names, instructions):
+    """Pool worker: pull (point, attempt) tasks until told to stop.
+
+    Workers memoize traces per process via their private runner, report
+    results (or exceptions) over ``result_q``, and apply any env-gated
+    injection plan — the parent stays in control of retries because the
+    attempt number travels with the task.
+    """
+    faults.mark_worker()
+    plan = faults.FaultPlan.from_env()
+    from repro.workloads import get_workload, suite
+
+    runner = ExperimentRunner(workloads=suite(workload_names),
+                              instructions=instructions)
+    while True:
+        message = task_q.get()
+        if not message or message[0] == "stop":
+            break
+        _, index, workload_name, config_name, attempt = message
+        try:
+            plan.maybe_error(workload_name, config_name, attempt)
+            plan.maybe_hang(workload_name, config_name, attempt)
+            plan.maybe_kill(workload_name, config_name, attempt)
+            record = runner.run(get_workload(workload_name), config_name)
+            payload = plan.maybe_corrupt(asdict(record.stats),
+                                         workload_name, config_name, attempt)
+            result_q.put(("done", worker_id, index, payload))
+        except Exception as exc:
+            result_q.put(("error", worker_id, index, repr(exc)))
+
+
+@dataclass
+class _Point:
+    """Parent-side state of one sweep point."""
+
+    index: int
+    workload: object
+    config_name: str
+    fingerprint: str
+    budget: int
+    attempts: int = 0
+    status: str = "pending"        # pending | running | done | quarantined
+
+    @property
+    def label(self):
+        return f"{self.workload.name}/{self.config_name}"
+
+
+class _Worker:
+    """One pool worker process plus its private task queue."""
+
+    def __init__(self, wid, ctx, result_q, workload_names, instructions):
+        self.wid = wid
+        self.task_q = ctx.SimpleQueue()
+        self.point = None
+        self.deadline = None
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(wid, self.task_q, result_q, workload_names, instructions),
+            daemon=True)
+        self.process.start()
+
+    def assign(self, point, timeout):
+        point.status = "running"
+        self.point = point
+        self.deadline = monotonic() + timeout if timeout else None
+        self.task_q.put(("run", point.index, point.workload.name,
+                         point.config_name, point.attempts))
+
+    def release(self):
+        self.point = None
+        self.deadline = None
+
+    def kill(self):
+        self.process.kill()
+        self.process.join(1.0)
+
+    def stop(self):
+        if self.process.is_alive():
+            try:
+                self.task_q.put(("stop",))
+            except (OSError, ValueError):
+                pass
+            self.process.join(0.5)
+            if self.process.is_alive():
+                self.kill()
+
+
+# -- the runner ----------------------------------------------------------------------
+class OrchestratedRunner(ExperimentRunner):
+    """A fault-tolerant, journaled :class:`ExperimentRunner`.
+
+    Single-point :meth:`run` calls (and ``jobs=1``) stay serial in the
+    parent — custom non-picklable configs keep working, and every fresh
+    result is still journaled; only :meth:`run_all` sweeps fan out to
+    the worker pool.
+    """
+
+    def __init__(self, workloads=None, instructions=None, verbose=False,
+                 cache=None, jobs=None, journal=None, resume=True,
+                 tracer=None, orchestration=None):
+        super().__init__(workloads=workloads, instructions=instructions,
+                         verbose=verbose, cache=cache)
+        self.jobs = jobs if jobs is not None else default_jobs()
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.orchestration = orchestration or OrchestratorConfig()
+        self.resume = resume
+        self.last_fault_report = None
+        self.fault_reports = []      # one per run_all, in call order
+        if journal is not None and not isinstance(journal, SweepJournal):
+            journal = SweepJournal(journal)
+        self.journal = journal
+        self._journal_opened = False
+        self._journaled = set()          # keys already recorded on disk
+        self._journal_admitted = set()   # keys admitted from replay
+        self._active_report = None
+        self._fault_plan = None          # parsed lazily from the env
+
+    # -- journaling ----------------------------------------------------------------
+    def _ensure_journal(self):
+        """Open (and on resume, replay) the journal exactly once."""
+        if self.journal is None or self._journal_opened:
+            return
+        self._journal_opened = True
+        if not self.resume:
+            self.journal.reset()
+            return
+        by_name = {workload.name: workload for workload in self.workloads}
+        for record, stats in self.journal.replay():
+            workload = by_name.get(record["workload"])
+            if (workload is None
+                    or record["instructions"] != self.budget_for(workload)):
+                continue       # journaled under a different sweep spec
+            key = (record["workload"], record["config_name"],
+                   record["fingerprint"])
+            self._journaled.add(key)
+            if key in self._results:
+                continue
+            self.admit(RunRecord(record["workload"], record["config_name"],
+                                 stats),
+                       record["config_name"], record["fingerprint"])
+            self._journal_admitted.add(key)
+            if self.cache is not None:
+                disk_key = simulation_key(record["workload"],
+                                          record["instructions"],
+                                          record["fingerprint"])
+                if not self.cache.has(disk_key):
+                    self.cache.store(disk_key, record["workload"],
+                                     record["config_name"],
+                                     record["instructions"], stats)
+
+    def _journal_point(self, workload_name, config_name, fingerprint,
+                       budget, stats):
+        if self.journal is None:
+            return
+        self._ensure_journal()
+        key = (workload_name, config_name, fingerprint)
+        if key in self._journaled:
+            return
+        self.journal.record(workload_name, config_name, fingerprint,
+                            budget, stats)
+        self._journaled.add(key)
+
+    # -- serial path ---------------------------------------------------------------
+    def run(self, workload, config_name, config=None):
+        self._ensure_journal()
+        fingerprint = self.fingerprint_of(config_name, config)
+        fresh = (workload.name, config_name, fingerprint) not in self._results
+        if fresh:
+            # With REPRO_FAULT_SCOPE=all, the error fault also fires on
+            # the parent's serial path: a genuinely poisoned point must
+            # fail the sweep loudly, not hide behind the fallback.
+            if self._fault_plan is None:
+                self._fault_plan = faults.FaultPlan.from_env()
+            if self._fault_plan.active:
+                self._fault_plan.maybe_error(workload.name, config_name, 1)
+        record = super().run(workload, config_name, config)
+        if fresh:
+            self._journal_point(workload.name, config_name, fingerprint,
+                                self.budget_for(workload), record.stats)
+            if self._active_report is not None:
+                self._active_report.completed_serial += 1
+        return record
+
+    # -- the sweep -----------------------------------------------------------------
+    def run_all(self, config_names):
+        """Run every workload under every named config; returns
+        {config_name: {workload_name: RunRecord}} exactly as the serial
+        runner would, surviving worker crashes, hangs and corruption."""
+        self._ensure_journal()
+        config_names = list(config_names)
+        report = FaultReport()
+        self.last_fault_report = report
+        self.fault_reports.append(report)
+        self._active_report = report
+        started = monotonic()
+        try:
+            pending = []
+            for workload in self.workloads:
+                for name in config_names:
+                    fingerprint = self.fingerprint_of(name)
+                    key = (workload.name, name, fingerprint)
+                    report.points_total += 1
+                    if key in self._results:
+                        if key in self._journal_admitted:
+                            report.from_journal += 1
+                        else:
+                            report.from_memo += 1
+                        continue
+                    budget = self.budget_for(workload)
+                    if self.cache is not None:
+                        disk_key = simulation_key(workload.name, budget,
+                                                  fingerprint)
+                        stats = self.cache.load(disk_key)
+                        if stats is not None:
+                            self.admit(RunRecord(workload.name, name, stats),
+                                       name, fingerprint)
+                            self._journal_point(workload.name, name,
+                                                fingerprint, budget, stats)
+                            report.from_cache += 1
+                            continue
+                    pending.append((workload, name, fingerprint))
+            if pending and self.jobs > 1:
+                self._fan_out(pending, report)
+            # Anything the pool could not finish (quarantined points, a
+            # degraded pool, jobs=1) is computed serially right here.
+            out = {name: {} for name in config_names}
+            for workload in self.workloads:
+                for name in config_names:
+                    out[name][workload.name] = self.run(workload, name)
+            return out
+        finally:
+            report.wall_seconds = monotonic() - started
+            self._active_report = None
+
+    # -- the fault-tolerant pool ---------------------------------------------------
+    def _fan_out(self, pending, report):
+        cfg = self.orchestration
+        timeout = cfg.resolved_timeout()
+        points = [_Point(index, workload, name, fingerprint,
+                         self.budget_for(workload))
+                  for index, (workload, name, fingerprint)
+                  in enumerate(pending)]
+        ready = deque(points)
+        waiting = []                       # heap of (due, index, point)
+        ctx = _mp_context(cfg.start_method)
+        result_q = ctx.Queue()
+        workload_names = [workload.name for workload in self.workloads]
+        workers = {}
+        state = {"next_wid": 0, "respawns": 0, "active": len(points),
+                 "degraded": False}
+        started = monotonic()
+        next_beat = started + cfg.heartbeat_interval
+
+        def emit(kind, **payload):
+            self.tracer.event(round(monotonic() - started, 3), kind,
+                              **payload)
+
+        def spawn():
+            worker = _Worker(state["next_wid"], ctx, result_q,
+                             workload_names, self.instructions)
+            workers[worker.wid] = worker
+            state["next_wid"] += 1
+            emit("worker_spawn", worker=worker.wid)
+
+        def complete(point, stats):
+            if point.status not in ("pending", "running"):
+                return       # stale duplicate after a kill race/quarantine
+            point.status = "done"
+            state["active"] -= 1
+            record = RunRecord(point.workload.name, point.config_name, stats)
+            self.admit(record, point.config_name, point.fingerprint)
+            if self.cache is not None:
+                disk_key = simulation_key(point.workload.name, point.budget,
+                                          point.fingerprint)
+                self.cache.store(disk_key, point.workload.name,
+                                 point.config_name, point.budget, stats)
+            self._journal_point(point.workload.name, point.config_name,
+                                point.fingerprint, point.budget, stats)
+            report.completed_pool += 1
+            emit("point_done", point=point.label, attempts=point.attempts)
+            if self.verbose:
+                print(f"    ran {point.workload.name} / {point.config_name}: "
+                      f"IPC={record.ipc:.3f}  [worker]")
+
+        def fail(point, reason):
+            if point.status in ("done", "quarantined"):
+                return
+            if point.attempts >= cfg.max_attempts:
+                point.status = "quarantined"
+                state["active"] -= 1
+                report.quarantined.append({
+                    "workload": point.workload.name,
+                    "config": point.config_name,
+                    "attempts": point.attempts,
+                    "last_failure": reason,
+                })
+                emit("point_quarantined", point=point.label,
+                     attempts=point.attempts, reason=reason)
+            else:
+                point.status = "pending"
+                report.retries += 1
+                delay = min(cfg.backoff_cap,
+                            cfg.backoff_base * (2 ** (point.attempts - 1)))
+                heappush(waiting, (monotonic() + delay, point.index, point))
+                emit("point_retry", point=point.label,
+                     attempt=point.attempts, reason=reason,
+                     backoff=round(delay, 3))
+
+        def worker_lost(worker, reason):
+            point = worker.point
+            worker.release()
+            workers.pop(worker.wid, None)
+            worker.process.join(0.2)
+            if reason == "hang":
+                report.timeouts += 1
+            else:
+                report.worker_crashes += 1
+            emit("worker_crash", worker=worker.wid, reason=reason,
+                 point=point.label if point else None)
+            if point is not None:
+                fail(point, reason)
+            state["respawns"] += 1
+            if state["respawns"] > cfg.max_respawns:
+                state["degraded"] = True
+            else:
+                report.worker_respawns += 1
+                spawn()
+
+        emit("sweep_begin", points=len(points),
+             workers=min(self.jobs, len(points)))
+        for _ in range(min(self.jobs, len(points))):
+            spawn()
+        try:
+            while state["active"] > 0 and not state["degraded"]:
+                now = monotonic()
+                while waiting and waiting[0][0] <= now:
+                    _, _, point = heappop(waiting)
+                    if point.status == "pending":
+                        ready.append(point)
+                for worker in workers.values():
+                    if worker.point is not None or not ready:
+                        continue
+                    point = ready.popleft()
+                    if point.status != "pending":
+                        continue
+                    point.attempts += 1
+                    worker.assign(point, timeout)
+                    emit("point_start", point=point.label,
+                         attempt=point.attempts, worker=worker.wid)
+                message = None
+                try:
+                    message = result_q.get(timeout=cfg.poll_interval)
+                except queue.Empty:
+                    pass
+                except (EOFError, OSError):
+                    report.corrupt_payloads += 1
+                if message is not None:
+                    kind, wid, index = message[0], message[1], message[2]
+                    point = points[index]
+                    worker = workers.get(wid)
+                    if worker is not None and worker.point is point:
+                        worker.release()
+                    if kind == "done":
+                        stats = stats_from_payload(message[3])
+                        if stats is None:
+                            report.corrupt_payloads += 1
+                            emit("payload_corrupt", point=point.label)
+                            fail(point, "corrupt payload")
+                        else:
+                            complete(point, stats)
+                    elif kind == "error":
+                        report.worker_errors += 1
+                        fail(point, message[3])
+                now = monotonic()
+                for worker in list(workers.values()):
+                    if not worker.process.is_alive():
+                        worker_lost(worker, "crash")
+                    elif (worker.deadline is not None
+                          and now > worker.deadline):
+                        worker.kill()
+                        worker_lost(worker, "hang")
+                if now >= next_beat:
+                    in_flight = sum(1 for worker in workers.values()
+                                    if worker.point is not None)
+                    emit("heartbeat", done=len(points) - state["active"],
+                         active=state["active"], in_flight=in_flight,
+                         retries=report.retries)
+                    next_beat = now + cfg.heartbeat_interval
+                if not ready and message is None and waiting:
+                    sleep(min(cfg.poll_interval,
+                              max(0.0, waiting[0][0] - monotonic())))
+        finally:
+            for worker in list(workers.values()):
+                worker.stop()
+        if state["degraded"]:
+            report.degraded_to_serial = True
+            emit("sweep_degraded", remaining=state["active"])
+        emit("sweep_end", completed=report.completed_pool,
+             quarantined=len(report.quarantined),
+             degraded=report.degraded_to_serial)

@@ -1,52 +1,28 @@
 """Parallel (workload × config) fan-out for experiment sweeps.
 
-Every simulation point in a sweep is independent — the timing model is a
-pure function of (trace, config) — so :class:`ParallelRunner` dispatches
-them across a ``ProcessPoolExecutor`` and merges the results in the same
-deterministic order the serial runner would have produced them.  The
-merged payload is bit-identical to a serial run: workers return the exact
-:class:`~repro.harness.runner.RunRecord` a serial run would compute, and
-the parent admits them in the fixed (workload-major, config-minor) point
-order.
+The original fire-and-forget ``ProcessPoolExecutor`` pool that lived
+here is gone: sweep fan-out is now the fault-tolerant, journaled engine
+in :mod:`repro.harness.orchestrator` (per-point timeouts, retry with
+backoff, worker respawn, quarantine, durable resume).
+:class:`ParallelRunner` remains as the established name — it *is* an
+:class:`~repro.harness.orchestrator.OrchestratedRunner` — and
+:func:`make_runner` keeps picking the right runner for a job count.
 
-Workers are seeded with (workload names, instruction budget) — both
-trivially picklable — and rebuild their own runner, memoizing traces per
-process so a workload traced once serves every config that lands on the
-same worker.
+Determinism is unchanged: workers return the exact
+:class:`~repro.harness.runner.RunRecord` a serial run would compute and
+the parent admits them in the fixed (workload-major, config-minor)
+point order, so merged payloads stay bit-identical to a serial run.
 """
 
-import os
-from concurrent.futures import ProcessPoolExecutor
+from repro.harness.orchestrator import (OrchestratedRunner, default_jobs,
+                                        default_journal_path)
+from repro.harness.runner import ExperimentRunner
 
-from repro.harness.cache import simulation_key
-from repro.harness.runner import ExperimentRunner, RunRecord
-
-_WORKER_RUNNER = None
-
-
-def _init_worker(workload_names, instructions):
-    """Build this worker's private runner (traces memoized per process)."""
-    global _WORKER_RUNNER
-    from repro.workloads import suite
-
-    _WORKER_RUNNER = ExperimentRunner(workloads=suite(workload_names),
-                                      instructions=instructions)
+__all__ = ["ParallelRunner", "default_jobs", "default_journal_path",
+           "make_runner"]
 
 
-def _simulate_point(point):
-    """Run one (workload name, config name) point in a worker."""
-    workload_name, config_name = point
-    from repro.workloads import get_workload
-
-    return _WORKER_RUNNER.run(get_workload(workload_name), config_name)
-
-
-def default_jobs():
-    """Worker count when ``--jobs`` is not given."""
-    return max(1, os.cpu_count() or 1)
-
-
-class ParallelRunner(ExperimentRunner):
+class ParallelRunner(OrchestratedRunner):
     """An :class:`ExperimentRunner` whose sweeps fan out across processes.
 
     Single-point :meth:`run` calls (and ``jobs=1``) stay serial in the
@@ -54,77 +30,26 @@ class ParallelRunner(ExperimentRunner):
     :meth:`run_all` sweeps are dispatched to the pool.
     """
 
-    def __init__(self, workloads=None, instructions=None, verbose=False,
-                 cache=None, jobs=None):
-        super().__init__(workloads=workloads, instructions=instructions,
-                         verbose=verbose, cache=cache)
-        self.jobs = jobs if jobs is not None else default_jobs()
-        if self.jobs < 1:
-            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
-
-    def run_all(self, config_names):
-        """Run every workload under every named config; returns
-        {config_name: {workload_name: RunRecord}} exactly as the serial
-        runner would."""
-        config_names = list(config_names)
-        pending = []
-        for workload in self.workloads:
-            for name in config_names:
-                fingerprint = self.fingerprint_of(name)
-                key = (workload.name, name, fingerprint)
-                if key in self._results:
-                    continue
-                if self.cache is not None:
-                    disk_key = simulation_key(workload.name,
-                                              self.budget_for(workload),
-                                              fingerprint)
-                    stats = self.cache.load(disk_key)
-                    if stats is not None:
-                        self.admit(RunRecord(workload.name, name, stats),
-                                   name, fingerprint)
-                        continue
-                pending.append((workload, name, fingerprint))
-
-        if pending and self.jobs > 1:
-            self._fan_out(pending)
-        # Serial fallback (jobs=1 or nothing pending) falls through to
-        # the memoized per-point path below.
-        out = {name: {} for name in config_names}
-        for workload in self.workloads:
-            for name in config_names:
-                out[name][workload.name] = self.run(workload, name)
-        return out
-
-    def _fan_out(self, pending):
-        """Simulate *pending* points in a worker pool; admit in order."""
-        workload_names = [workload.name for workload in self.workloads]
-        points = [(workload.name, name) for workload, name, _ in pending]
-        workers = min(self.jobs, len(points))
-        with ProcessPoolExecutor(
-                max_workers=workers, initializer=_init_worker,
-                initargs=(workload_names, self.instructions)) as pool:
-            records = list(pool.map(_simulate_point, points, chunksize=1))
-        for (workload, name, fingerprint), record in zip(pending, records):
-            self.admit(record, name, fingerprint)
-            if self.cache is not None:
-                disk_key = simulation_key(workload.name,
-                                          self.budget_for(workload),
-                                          fingerprint)
-                self.cache.store(disk_key, workload.name, name,
-                                 self.budget_for(workload), record.stats)
-            if self.verbose:
-                print(f"    ran {workload.name} / {name}: "
-                      f"IPC={record.ipc:.3f}  [worker]")
-
 
 def make_runner(workloads=None, instructions=None, verbose=False,
-                cache=None, jobs=None):
-    """The right runner for a job count: parallel when jobs > 1."""
+                cache=None, jobs=None, journal=None, resume=True,
+                tracer=None, orchestration=None):
+    """The right runner for a job count: parallel when jobs > 1, and an
+    orchestrated (journaling) serial runner when a journal or tracer is
+    requested with jobs = 1."""
     jobs = jobs if jobs is not None else default_jobs()
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if jobs > 1:
         return ParallelRunner(workloads=workloads, instructions=instructions,
-                              verbose=verbose, cache=cache, jobs=jobs)
+                              verbose=verbose, cache=cache, jobs=jobs,
+                              journal=journal, resume=resume, tracer=tracer,
+                              orchestration=orchestration)
+    if journal is not None or tracer is not None:
+        return OrchestratedRunner(workloads=workloads,
+                                  instructions=instructions, verbose=verbose,
+                                  cache=cache, jobs=1, journal=journal,
+                                  resume=resume, tracer=tracer,
+                                  orchestration=orchestration)
     return ExperimentRunner(workloads=workloads, instructions=instructions,
                             verbose=verbose, cache=cache)

@@ -7,7 +7,7 @@ sessions do not re-simulate.  With a :class:`SimulationCache` attached,
 results also persist across processes and sessions.
 """
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, fields
 from typing import Dict, Tuple
 
 from repro.emulator.trace import trace_program
@@ -33,6 +33,26 @@ class RunRecord:
         """Speedup in percent over a baseline RunRecord."""
         return 100.0 * (self.ipc / baseline.ipc - 1.0)
 
+    def to_dict(self):
+        """The documented JSON shape of one simulation result.
+
+        Used verbatim by the :mod:`repro.api` facade and the CLI
+        ``--save`` path::
+
+            {"workload": str, "config": str, "ipc": float,
+             "stats": {<every PipelineStats counter>: number, ...}}
+
+        ``stats`` is ``dataclasses.asdict`` of the full counter bag, so
+        two records are byte-identical in JSON iff their simulations
+        were.
+        """
+        return {
+            "workload": self.workload,
+            "config": self.config_name,
+            "ipc": self.ipc,
+            "stats": asdict(self.stats),
+        }
+
 
 class ExperimentRunner:
     """Trace/result cache plus the standard config set."""
@@ -52,7 +72,14 @@ class ExperimentRunner:
     # -- configuration points the paper evaluates ----------------------------------
     @staticmethod
     def config(name, **overrides):
-        """Named configuration factory covering every evaluated point."""
+        """Named configuration factory covering every evaluated point.
+
+        Override keys are validated against :class:`MachineConfig`
+        fields (plus the builders' ``spsr`` flag): a typo like
+        ``vp_silence_cycle=15`` used to silently build a config whose
+        bogus field never reached the fingerprint; now it raises with
+        the list of valid names.
+        """
         builders = {
             "baseline": MachineConfig.baseline,
             "mvp": MachineConfig.mvp,
@@ -62,6 +89,15 @@ class ExperimentRunner:
             "tvp+spsr": lambda **kw: MachineConfig.tvp(spsr=True, **kw),
             "gvp+spsr": lambda **kw: MachineConfig.gvp(spsr=True, **kw),
         }
+        if name not in builders:
+            raise KeyError(f"unknown config name {name!r}; valid names: "
+                           f"{sorted(builders)}")
+        valid = {f.name for f in fields(MachineConfig)} | {"spsr"}
+        unknown = sorted(set(overrides) - valid)
+        if unknown:
+            raise TypeError(
+                f"unknown MachineConfig override(s) {unknown}; "
+                f"valid names: {sorted(valid)}")
         return builders[name](**overrides)
 
     def fingerprint_of(self, config_name, config=None):

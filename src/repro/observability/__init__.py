@@ -9,6 +9,7 @@ untraced path zero-overhead and bit-identical.
 from repro.observability.config import TraceConfig
 from repro.observability.export import write_jsonl, write_o3_pipeview
 from repro.observability.interval import IntervalSample, MetricsTimeSeries
+from repro.observability.sweep import SweepEventLog
 from repro.observability.tracer import (
     NULL_TRACER,
     PipelineTracer,
@@ -18,6 +19,6 @@ from repro.observability.tracer import (
 
 __all__ = [
     "TraceConfig", "Tracer", "NULL_TRACER", "PipelineTracer", "UopLifetime",
-    "MetricsTimeSeries", "IntervalSample", "write_o3_pipeview",
-    "write_jsonl",
+    "MetricsTimeSeries", "IntervalSample", "SweepEventLog",
+    "write_o3_pipeview", "write_jsonl",
 ]

@@ -1,0 +1,48 @@
+"""Sweep orchestration events, recorded through the tracer interface.
+
+The sweep engine (:mod:`repro.harness.orchestrator`) narrates itself —
+heartbeats, per-point lifecycle, retries, worker crashes, degradation —
+through the same :class:`~repro.observability.tracer.Tracer` protocol
+the cycle model uses, so one observer type serves both worlds.
+:class:`SweepEventLog` is the minimal recording sink: it keeps every
+typed event, in order, and stays **passive** — all wall-clock stamping
+happens in the harness (this package must stay time-free for the
+determinism lint), with the elapsed-seconds stamp arriving in the
+``cycle`` slot of :meth:`event`.
+
+Event kinds emitted by the orchestrator::
+
+    sweep_begin, worker_spawn, point_start, point_done, point_retry,
+    point_quarantined, payload_corrupt, worker_crash, heartbeat,
+    sweep_degraded, sweep_end
+"""
+
+from repro.observability.tracer import Tracer
+
+
+class SweepEventLog(Tracer):
+    """Record every sweep event; the pipeline lifecycle hooks stay no-ops.
+
+    The ``cycle`` field of each stored ``(cycle, kind, payload)`` triple
+    holds the orchestrator's elapsed-seconds stamp (a float), not a
+    simulated cycle — sweeps run in wall-clock time.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self.events = []
+
+    def event(self, cycle, kind, **payload):
+        self.events.append((cycle, kind, payload))
+
+    def events_of(self, kind):
+        """All recorded events of one kind, in arrival order."""
+        return [item for item in self.events if item[1] == kind]
+
+    def kinds(self):
+        """The set of event kinds seen so far."""
+        return {kind for _, kind, _ in self.events}
+
+    def __len__(self):
+        return len(self.events)

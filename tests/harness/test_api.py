@@ -1,0 +1,104 @@
+"""Tests for the stable ``repro.api`` facade."""
+
+import json
+from dataclasses import asdict
+
+from repro import api
+from repro.harness.runner import ExperimentRunner
+from repro.pipeline.config import MachineConfig
+from repro.workloads import get_workload, suite
+
+_BUDGET = 1200
+
+
+def test_simulate_matches_direct_runner():
+    result = api.simulate("hash_loop", "tvp", instructions=_BUDGET)
+    runner = ExperimentRunner(workloads=suite(["hash_loop"]),
+                              instructions=_BUDGET)
+    record = runner.run(get_workload("hash_loop"), "tvp")
+    assert result.workload == "hash_loop"
+    assert result.config == "tvp"
+    assert result.instructions == _BUDGET
+    assert result.ipc == record.ipc
+    assert result.stats == asdict(record.stats)
+    assert result.fingerprint == runner.fingerprint_of("tvp")
+
+
+def test_simulate_accepts_workload_object_and_machine_config():
+    config = MachineConfig.tvp(spsr=True)
+    result = api.simulate(get_workload("permute"), config,
+                          instructions=_BUDGET)
+    assert result.config == "custom"
+    runner = ExperimentRunner(workloads=suite(["permute"]),
+                              instructions=_BUDGET)
+    record = runner.run(get_workload("permute"), "custom", config=config)
+    assert result.ipc == record.ipc
+    assert result.stats == asdict(record.stats)
+
+
+def test_sim_result_json_round_trip():
+    result = api.simulate("hash_loop", "baseline", instructions=_BUDGET)
+    payload = json.loads(json.dumps(result.to_dict()))
+    assert api.SimResult.from_dict(payload) == result
+
+
+def test_speedup_over_matches_run_record():
+    base = api.simulate("hash_loop", "baseline", instructions=_BUDGET)
+    tvp = api.simulate("hash_loop", "tvp", instructions=_BUDGET)
+    runner = ExperimentRunner(workloads=suite(["hash_loop"]),
+                              instructions=_BUDGET)
+    base_record = runner.run(get_workload("hash_loop"), "baseline")
+    tvp_record = runner.run(get_workload("hash_loop"), "tvp")
+    assert (tvp.speedup_over(base)
+            == tvp_record.speedup_over(base_record))
+
+
+def test_sweep_matches_direct_run_all():
+    swept = api.sweep(["hash_loop", "permute"], configs=("baseline", "tvp"),
+                      instructions=_BUDGET, jobs=2)
+    runner = ExperimentRunner(workloads=suite(["hash_loop", "permute"]),
+                              instructions=_BUDGET)
+    direct = runner.run_all(("baseline", "tvp"))
+    assert swept.configs == ("baseline", "tvp")
+    assert swept.workloads == ("hash_loop", "permute")
+    for config in ("baseline", "tvp"):
+        for workload in ("hash_loop", "permute"):
+            point = swept.get(config, workload)
+            record = direct[config][workload]
+            assert point.ipc == record.ipc
+            assert point.stats == asdict(record.stats)
+    assert swept.fault_report is not None
+    assert swept.fault_report["healthy"] is True
+    assert swept.fault_report["points_total"] == 4
+
+
+def test_sweep_result_json_round_trip():
+    swept = api.sweep(["hash_loop"], configs=("baseline",),
+                      instructions=_BUDGET, jobs=1)
+    payload = json.loads(json.dumps(swept.to_dict()))
+    rebuilt = api.SweepResult.from_dict(payload)
+    assert rebuilt.configs == swept.configs
+    assert rebuilt.workloads == swept.workloads
+    assert rebuilt.instructions == swept.instructions
+    assert rebuilt.get("baseline", "hash_loop") == swept.get("baseline",
+                                                             "hash_loop")
+    assert rebuilt.fault_report == swept.fault_report
+
+
+def test_sweep_serial_path_has_fault_report():
+    swept = api.sweep(["hash_loop"], configs=("baseline", "tvp"),
+                      instructions=_BUDGET, jobs=1)
+    assert swept.fault_report is not None
+    assert swept.fault_report["completed_serial"] == 2
+
+
+def test_run_record_to_dict_is_json_ready():
+    runner = ExperimentRunner(workloads=suite(["hash_loop"]),
+                              instructions=_BUDGET)
+    record = runner.run(get_workload("hash_loop"), "baseline")
+    payload = record.to_dict()
+    assert json.loads(json.dumps(payload)) == payload
+    assert payload["workload"] == "hash_loop"
+    assert payload["config"] == "baseline"
+    assert payload["ipc"] == record.ipc
+    assert payload["stats"] == asdict(record.stats)

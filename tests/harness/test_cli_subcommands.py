@@ -1,0 +1,97 @@
+"""The restructured CLI: `run` / `sweep` subcommands plus the
+deprecation shim for the historical bare spelling."""
+
+import json
+import os
+
+import pytest
+
+from repro.harness.cli import build_sweep_parser, main
+
+
+def test_run_subcommand(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["run", "fig2", "--workloads", "hash_loop",
+                 "--instructions", "1200", "--jobs", "1"])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "hash_loop" in captured.out
+    assert "deprecated" not in captured.err
+
+
+def test_bare_spelling_warns_exactly_once(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["fig2", "--workloads", "hash_loop",
+                 "--instructions", "1200", "--jobs", "1"])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "hash_loop" in captured.out
+    assert captured.err.count("deprecated") == 1
+    assert "harness run" in captured.err
+
+
+def test_run_subcommand_rejects_unknown_experiment(capsys, tmp_path,
+                                                   monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["run", "not_an_experiment"]) == 2
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_sweep_subcommand_saves_structured_results(capsys, tmp_path,
+                                                   monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    save = tmp_path / "sweep.json"
+    code = main(["sweep", "--workloads", "hash_loop,permute",
+                 "--configs", "baseline,tvp", "--instructions", "1200",
+                 "--jobs", "2", "--save", str(save)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "hash_loop" in out and "permute" in out
+    payload = json.loads(save.read_text())
+    assert set(payload) == {"meta", "results", "_fault_report"}
+    assert payload["meta"]["configs"] == ["baseline", "tvp"]
+    assert payload["meta"]["workloads"] == ["hash_loop", "permute"]
+    point = payload["results"]["tvp"]["hash_loop"]
+    # RunRecord.to_dict() shape, not ad-hoc stringification.
+    assert set(point) == {"workload", "config", "ipc", "stats"}
+    assert isinstance(point["ipc"], float)
+    assert isinstance(point["stats"]["cycles"], int)
+    assert payload["_fault_report"]["points_total"] == 4
+
+
+def test_sweep_rejects_unknown_config(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    with pytest.raises(SystemExit):
+        main(["sweep", "--configs", "not_a_config"])
+
+
+def test_sweep_journal_created_by_default(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["sweep", "--workloads", "hash_loop",
+                 "--configs", "baseline", "--instructions", "1200",
+                 "--jobs", "1"])
+    assert code == 0
+    journals = os.listdir(tmp_path / ".repro-cache" / "journals")
+    assert len(journals) == 1 and journals[0].endswith(".jsonl")
+
+
+def test_sweep_no_journal_flag(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["sweep", "--workloads", "hash_loop",
+                 "--configs", "baseline", "--instructions", "1200",
+                 "--jobs", "1", "--no-journal", "--no-cache"])
+    assert code == 0
+    assert not (tmp_path / ".repro-cache").exists()
+
+
+def test_sweep_parser_defaults():
+    args = build_sweep_parser().parse_args([])
+    assert args.resume is True
+    assert args.jobs is None
+    assert "baseline" in args.configs
+
+
+def test_jobs_must_be_positive(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    with pytest.raises(SystemExit):
+        main(["sweep", "--configs", "baseline", "--jobs", "0"])

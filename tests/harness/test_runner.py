@@ -1,5 +1,7 @@
 """Experiment runner: caching and config dispatch."""
 
+import pytest
+
 from repro.harness.runner import ExperimentRunner
 from repro.pipeline.config import MachineConfig
 from repro.workloads import suite
@@ -54,3 +56,22 @@ def test_budget_for_prefers_explicit():
     default_runner = ExperimentRunner(workloads=suite(["hash_loop"]))
     assert default_runner.budget_for(default_runner.workloads[0]) == \
         default_runner.workloads[0].default_instructions
+
+
+def test_config_unknown_name_raises_with_valid_names():
+    with pytest.raises(KeyError) as excinfo:
+        ExperimentRunner.config("tvpp")
+    message = str(excinfo.value)
+    assert "tvpp" in message
+    assert "baseline" in message and "tvp+spsr" in message
+
+
+def test_config_unknown_override_raises_with_valid_fields():
+    with pytest.raises(TypeError) as excinfo:
+        ExperimentRunner.config("tvp", not_a_knob=3)
+    assert "not_a_knob" in str(excinfo.value)
+
+
+def test_config_valid_override_applies():
+    config = ExperimentRunner.config("tvp", rob_entries=96)
+    assert config.rob_entries == 96

@@ -1,0 +1,90 @@
+"""Unit tests for the env-gated fault-injection plan."""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.harness import faults
+from repro.harness.cache import stats_from_payload
+from repro.pipeline.stats import PipelineStats
+
+
+def _plan(env):
+    return faults.FaultPlan.from_env(env)
+
+
+def test_spec_parsing_defaults_and_counts():
+    specs = faults._parse_specs("hash_loop/tvp, */baseline:3 ,,permute/*")
+    assert specs == (
+        faults.FaultSpec("hash_loop/tvp", 1),
+        faults.FaultSpec("*/baseline", 3),
+        faults.FaultSpec("permute/*", 1),
+    )
+
+
+def test_spec_matches_attempt_window():
+    spec = faults.FaultSpec("hash_loop/tvp", 2)
+    assert spec.matches("hash_loop", "tvp", 1)
+    assert spec.matches("hash_loop", "tvp", 2)
+    assert not spec.matches("hash_loop", "tvp", 3)
+    assert not spec.matches("permute", "tvp", 1)
+
+
+def test_glob_patterns_match_point_labels():
+    spec = faults.FaultSpec("*/tvp*", 1)
+    assert spec.matches("hash_loop", "tvp", 1)
+    assert spec.matches("permute", "tvp+spsr", 1)
+    assert not spec.matches("permute", "baseline", 1)
+
+
+def test_plan_inactive_without_knobs():
+    plan = _plan({})
+    assert not plan.active
+    # A no-op even when asked directly.
+    plan.maybe_error("hash_loop", "tvp", 1)
+
+
+def test_worker_scope_gates_injection(monkeypatch):
+    plan = _plan({"REPRO_FAULT_ERROR": "hash_loop/tvp"})
+    assert plan.active
+    # Not in a worker, scope=worker: disarmed.
+    monkeypatch.setattr(faults, "_IN_WORKER", False)
+    plan.maybe_error("hash_loop", "tvp", 1)
+    # Marked as a worker: armed.
+    monkeypatch.setattr(faults, "_IN_WORKER", True)
+    with pytest.raises(faults.FaultInjected):
+        plan.maybe_error("hash_loop", "tvp", 1)
+
+
+def test_scope_all_arms_parent(monkeypatch):
+    monkeypatch.setattr(faults, "_IN_WORKER", False)
+    plan = _plan({"REPRO_FAULT_ERROR": "hash_loop/tvp",
+                  "REPRO_FAULT_SCOPE": "all"})
+    with pytest.raises(faults.FaultInjected):
+        plan.maybe_error("hash_loop", "tvp", 1)
+
+
+def test_corrupt_payload_fails_admission(monkeypatch):
+    monkeypatch.setattr(faults, "_IN_WORKER", True)
+    plan = _plan({"REPRO_FAULT_CORRUPT": "hash_loop/tvp"})
+    payload = asdict(PipelineStats())
+    assert stats_from_payload(payload) is not None
+    corrupted = plan.maybe_corrupt(payload, "hash_loop", "tvp", 1)
+    assert corrupted is not payload
+    assert stats_from_payload(corrupted) is None
+    # Non-matching points pass through untouched.
+    same = plan.maybe_corrupt(payload, "permute", "tvp", 1)
+    assert same is payload
+
+
+def test_stats_payload_validation_rejects_garbage():
+    good = asdict(PipelineStats())
+    assert stats_from_payload(good) is not None
+    assert stats_from_payload(None) is None
+    assert stats_from_payload({}) is None
+    assert stats_from_payload("nope") is None
+    assert stats_from_payload({**good, "not_a_field": 1}) is None
+    assert stats_from_payload({**good, "cycles": "12"}) is None
+    assert stats_from_payload({**good, "cycles": True}) is None
+    assert stats_from_payload({**good, "cycles": float("nan")}) is None
+    assert stats_from_payload({**good, "memory": "oops"}) is None

@@ -1,0 +1,180 @@
+"""Durability tests for the on-disk sweep journal."""
+
+from dataclasses import asdict
+
+from repro.harness.cache import SimulationCache, simulation_key
+from repro.harness.orchestrator import (OrchestratedRunner, SweepJournal,
+                                        default_journal_path)
+from repro.pipeline.stats import PipelineStats
+from repro.workloads import suite
+
+_BUDGET = 900
+
+
+def _stats(cycles=100):
+    return PipelineStats(cycles=cycles)
+
+
+def test_record_replay_round_trip(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = SweepJournal(path)
+    journal.record("hash_loop", "tvp", "f" * 16, _BUDGET, _stats(123))
+    journal.record("permute", "baseline", "a" * 16, _BUDGET, _stats(456))
+    journal.close()
+
+    replayed = SweepJournal(path).replay()
+    assert [(r["workload"], r["config_name"], r["fingerprint"],
+             r["instructions"]) for r, _ in replayed] == [
+        ("hash_loop", "tvp", "f" * 16, _BUDGET),
+        ("permute", "baseline", "a" * 16, _BUDGET),
+    ]
+    assert asdict(replayed[0][1]) == asdict(_stats(123))
+    assert asdict(replayed[1][1]) == asdict(_stats(456))
+
+
+def test_torn_tail_and_garbage_lines_are_skipped(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = SweepJournal(path)
+    journal.record("hash_loop", "tvp", "f" * 16, _BUDGET, _stats())
+    journal.close()
+    with open(path, "a") as handle:
+        handle.write("not json at all\n")
+        handle.write('{"format": 1, "workload": "perm')   # torn by kill -9
+
+    replayed = SweepJournal(path).replay()
+    assert len(replayed) == 1
+    assert replayed[0][0]["workload"] == "hash_loop"
+
+
+def test_other_code_version_records_are_stale(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = SweepJournal(path)
+    journal.record("hash_loop", "tvp", "f" * 16, _BUDGET, _stats())
+    journal.close()
+    text = path.read_text()
+    with open(path, "a") as handle:
+        handle.write(text.replace('"workload": "hash_loop"',
+                                  '"workload": "permute"')
+                     .replace('"code_version": "',
+                              '"code_version": "stale'))
+    replayed = SweepJournal(path).replay()
+    assert [r["workload"] for r, _ in replayed] == ["hash_loop"]
+
+
+def test_compaction_rewrites_dominated_journal(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = SweepJournal(path)
+    journal.record("hash_loop", "tvp", "f" * 16, _BUDGET, _stats())
+    journal.close()
+    with open(path, "a") as handle:
+        for index in range(40):
+            handle.write(f"garbage line {index}\n")
+    assert len(path.read_text().splitlines()) == 41
+
+    replayed = SweepJournal(path).replay()
+    assert len(replayed) == 1
+    # Stale lines dominated, so the file was compacted in place.
+    lines = path.read_text().splitlines()
+    assert len(lines) == 1
+    assert SweepJournal(path).replay()[0][0]["workload"] == "hash_loop"
+
+
+def test_reset_discards_the_journal(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = SweepJournal(path)
+    journal.record("hash_loop", "tvp", "f" * 16, _BUDGET, _stats())
+    journal.reset()
+    assert not path.exists()
+    journal.reset()     # idempotent on a missing file
+
+
+def test_default_journal_path_is_stable_and_spec_keyed(tmp_path):
+    one = default_journal_path(tmp_path, ["a", "b"], 1000, "sweep:x")
+    same = default_journal_path(tmp_path, ["b", "a"], 1000, "sweep:x")
+    other = default_journal_path(tmp_path, ["a", "b"], 2000, "sweep:x")
+    assert one == same                    # order-insensitive
+    assert one != other                   # budget-keyed
+    assert str(tmp_path) in one and one.endswith(".jsonl")
+    assert "journals" in one
+
+
+def test_runner_journals_and_resumes_without_recompute(tmp_path, monkeypatch):
+    path = tmp_path / "journal.jsonl"
+    first = OrchestratedRunner(workloads=suite(["hash_loop", "permute"]),
+                               instructions=_BUDGET, jobs=1, journal=str(path))
+    results = first.run_all(("baseline", "tvp"))
+    first.journal.close()
+    assert len(path.read_text().splitlines()) == 4
+
+    # A fresh runner must answer entirely from the journal: break the
+    # simulator to prove nothing is recomputed.
+    import repro.harness.runner as runner_mod
+
+    class _Exploding:
+        def __init__(self, *args, **kwargs):
+            raise AssertionError("resume must not re-simulate")
+
+    monkeypatch.setattr(runner_mod, "CpuModel", _Exploding)
+    second = OrchestratedRunner(workloads=suite(["hash_loop", "permute"]),
+                                instructions=_BUDGET, jobs=1,
+                                journal=str(path))
+    resumed = second.run_all(("baseline", "tvp"))
+    for config in ("baseline", "tvp"):
+        for workload in ("hash_loop", "permute"):
+            assert (asdict(resumed[config][workload].stats)
+                    == asdict(results[config][workload].stats))
+    report = second.last_fault_report
+    assert report.from_journal == 4
+    assert report.completed_pool == 0 and report.completed_serial == 0
+    # Replaying must not duplicate journal records.
+    second.journal.close()
+    assert len(path.read_text().splitlines()) == 4
+
+
+def test_resume_ignores_other_budget_records(tmp_path, monkeypatch):
+    path = tmp_path / "journal.jsonl"
+    first = OrchestratedRunner(workloads=suite(["hash_loop"]),
+                               instructions=_BUDGET, jobs=1, journal=str(path))
+    first.run_all(("baseline",))
+    first.journal.close()
+
+    second = OrchestratedRunner(workloads=suite(["hash_loop"]),
+                                instructions=_BUDGET * 2, jobs=1,
+                                journal=str(path))
+    second._ensure_journal()
+    assert second._journal_admitted == set()
+
+
+def test_no_resume_starts_fresh(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    first = OrchestratedRunner(workloads=suite(["hash_loop"]),
+                               instructions=_BUDGET, jobs=1, journal=str(path))
+    first.run_all(("baseline", "tvp"))
+    first.journal.close()
+    assert len(path.read_text().splitlines()) == 2
+
+    second = OrchestratedRunner(workloads=suite(["hash_loop"]),
+                                instructions=_BUDGET, jobs=1,
+                                journal=str(path), resume=False)
+    second.run_all(("baseline",))
+    second.journal.close()
+    # Old journal discarded; only the fresh run's single point remains.
+    assert len(path.read_text().splitlines()) == 1
+    assert second.last_fault_report.from_journal == 0
+
+
+def test_journal_replay_write_throughs_into_cache(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    first = OrchestratedRunner(workloads=suite(["hash_loop"]),
+                               instructions=_BUDGET, jobs=1, journal=str(path))
+    first.run_all(("baseline",))
+    first.journal.close()
+
+    cache = SimulationCache(tmp_path / "cache")
+    second = OrchestratedRunner(workloads=suite(["hash_loop"]),
+                                instructions=_BUDGET, jobs=1,
+                                journal=str(path), cache=cache)
+    second._ensure_journal()
+    fingerprint = second.fingerprint_of("baseline")
+    key = simulation_key("hash_loop", _BUDGET, fingerprint)
+    assert cache.load(key) is not None

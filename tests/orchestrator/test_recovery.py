@@ -1,0 +1,170 @@
+"""End-to-end recovery tests: every fault class the engine must survive.
+
+Faults are injected deterministically through the ``REPRO_FAULT_*`` env
+knobs (inherited by forked workers); each test then checks both the
+recovery behaviour (fault report, tracer events) and that the merged
+results are identical to an untouched serial run.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.harness import faults
+from repro.harness.orchestrator import OrchestratedRunner, OrchestratorConfig
+from repro.harness.runner import ExperimentRunner
+from repro.observability import SweepEventLog
+from repro.workloads import suite
+
+_WORKLOADS = ["hash_loop", "permute"]
+_BUDGET = 900
+
+
+def _stats_of(results):
+    return {(config, workload): asdict(record.stats)
+            for config, by_workload in results.items()
+            for workload, record in by_workload.items()}
+
+
+def _reference(configs):
+    runner = ExperimentRunner(workloads=suite(_WORKLOADS),
+                              instructions=_BUDGET)
+    return _stats_of(runner.run_all(configs))
+
+
+def _runner(tracer=None, **overrides):
+    knobs = dict(backoff_base=0.02, backoff_cap=0.2,
+                 heartbeat_interval=0.05, poll_interval=0.02)
+    knobs.update(overrides)
+    return OrchestratedRunner(workloads=suite(_WORKLOADS),
+                              instructions=_BUDGET, jobs=2, tracer=tracer,
+                              orchestration=OrchestratorConfig(**knobs))
+
+
+def test_healthy_sweep_matches_serial_and_heartbeats():
+    log = SweepEventLog()
+    runner = _runner(tracer=log, heartbeat_interval=0.01)
+    results = runner.run_all(("baseline", "tvp"))
+    assert _stats_of(results) == _reference(("baseline", "tvp"))
+    report = runner.last_fault_report
+    assert not report.faults_seen
+    assert report.completed_pool == 4 and report.points_total == 4
+    assert report.wall_seconds > 0
+    kinds = log.kinds()
+    assert {"sweep_begin", "worker_spawn", "point_start", "point_done",
+            "sweep_end"} <= kinds
+    assert "heartbeat" in kinds
+
+
+def test_worker_kill_is_detected_and_respawned(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT_KILL", "hash_loop/tvp:1")
+    log = SweepEventLog()
+    runner = _runner(tracer=log)
+    results = runner.run_all(("baseline", "tvp"))
+    assert _stats_of(results) == _reference(("baseline", "tvp"))
+    report = runner.last_fault_report
+    assert report.worker_crashes >= 1
+    assert report.worker_respawns >= 1
+    assert report.retries >= 1
+    assert not report.quarantined and not report.degraded_to_serial
+    assert {"worker_crash", "point_retry"} <= log.kinds()
+
+
+def test_hang_hits_point_timeout(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT_HANG", "permute/baseline:1")
+    monkeypatch.setenv("REPRO_FAULT_HANG_SECONDS", "120")
+    runner = _runner(point_timeout=1.0)
+    results = runner.run_all(("baseline", "tvp"))
+    assert _stats_of(results) == _reference(("baseline", "tvp"))
+    report = runner.last_fault_report
+    assert report.timeouts >= 1
+    assert report.retries >= 1
+    assert not report.quarantined
+
+
+def test_corrupt_payloads_are_rejected_and_retried(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT_CORRUPT", "*/tvp:1")
+    log = SweepEventLog()
+    runner = _runner(tracer=log)
+    results = runner.run_all(("baseline", "tvp"))
+    assert _stats_of(results) == _reference(("baseline", "tvp"))
+    report = runner.last_fault_report
+    assert report.corrupt_payloads == 2      # both workloads under tvp
+    assert report.retries >= 2
+    assert "payload_corrupt" in log.kinds()
+
+
+def test_in_worker_errors_back_off_exponentially(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT_ERROR", "hash_loop/baseline:2")
+    log = SweepEventLog()
+    runner = _runner(tracer=log, max_attempts=4)
+    results = runner.run_all(("baseline", "tvp"))
+    assert _stats_of(results) == _reference(("baseline", "tvp"))
+    report = runner.last_fault_report
+    assert report.worker_errors == 2
+    assert report.retries == 2
+    backoffs = [payload["backoff"]
+                for _, _, payload in log.events_of("point_retry")]
+    assert backoffs == sorted(backoffs)
+    assert len(backoffs) == 2 and backoffs[1] == backoffs[0] * 2
+
+
+def test_quarantined_point_falls_back_to_serial(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT_ERROR", "hash_loop/tvp:99")
+    log = SweepEventLog()
+    runner = _runner(tracer=log, max_attempts=2)
+    results = runner.run_all(("baseline", "tvp"))
+    # Worker-scoped injection: the serial in-parent fallback still
+    # completes the point, so the merged results stay correct.
+    assert _stats_of(results) == _reference(("baseline", "tvp"))
+    report = runner.last_fault_report
+    assert len(report.quarantined) == 1
+    assert report.quarantined[0]["workload"] == "hash_loop"
+    assert report.quarantined[0]["config"] == "tvp"
+    assert report.quarantined[0]["attempts"] == 2
+    assert report.completed_serial == 1
+    assert "point_quarantined" in log.kinds()
+
+
+def test_unhealthy_pool_degrades_to_serial(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT_KILL", "*/*:99")
+    log = SweepEventLog()
+    runner = _runner(tracer=log, max_respawns=1)
+    results = runner.run_all(("baseline", "tvp"))
+    assert _stats_of(results) == _reference(("baseline", "tvp"))
+    report = runner.last_fault_report
+    assert report.degraded_to_serial
+    assert report.worker_crashes >= 2
+    assert report.completed_serial == 4
+    assert report.completed_pool == 0
+    assert "sweep_degraded" in log.kinds()
+
+
+def test_truly_poisoned_point_fails_the_sweep(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT_ERROR", "hash_loop/baseline:99")
+    monkeypatch.setenv("REPRO_FAULT_SCOPE", "all")
+    runner = _runner(max_attempts=2)
+    with pytest.raises(faults.FaultInjected):
+        runner.run_all(("baseline",))
+    report = runner.last_fault_report
+    assert report.quarantined or report.worker_errors
+
+
+def test_fault_report_merge_and_round_trip():
+    from repro.harness.orchestrator import FaultReport
+
+    one = FaultReport(points_total=4, completed_pool=4, retries=1,
+                      wall_seconds=1.5)
+    two = FaultReport(points_total=2, completed_serial=2,
+                      degraded_to_serial=True, wall_seconds=0.5,
+                      quarantined=[{"workload": "w", "config": "c"}])
+    merged = FaultReport.merged([one, two])
+    assert merged.points_total == 6
+    assert merged.completed_pool == 4 and merged.completed_serial == 2
+    assert merged.degraded_to_serial
+    assert merged.wall_seconds == 2.0
+    assert len(merged.quarantined) == 1
+    payload = merged.to_dict()
+    assert payload["healthy"] is False
+    assert FaultReport(**{k: v for k, v in payload.items()
+                          if k != "healthy"}).faults_seen

@@ -1,0 +1,92 @@
+"""Crash-resume acceptance test: ``kill -9`` a sweep mid-flight, resume
+it against its journal, and require zero recomputation plus
+byte-identical merged results versus an uninterrupted run."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+
+_SRC = os.path.dirname(os.path.dirname(repro.__file__))
+_POINTS = 6      # 2 workloads x 3 configs
+
+
+def _cmd(save, journal):
+    return [sys.executable, "-m", "repro.harness", "sweep",
+            "--workloads", "hash_loop,permute",
+            "--configs", "baseline,tvp,mvp",
+            "--instructions", "20000", "--jobs", "2", "--no-cache",
+            "--journal", str(journal), "--save", str(save)]
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    # Keep the subprocess sweeps hermetic.
+    for knob in list(env):
+        if knob.startswith("REPRO_FAULT"):
+            del env[knob]
+    return env
+
+
+def _journal_lines(path):
+    try:
+        with open(path) as handle:
+            return [line for line in handle if line.endswith("\n")]
+    except OSError:
+        return []
+
+
+@pytest.mark.slow
+def test_kill9_then_resume_is_byte_identical(tmp_path):
+    env = _env()
+    clean_save = tmp_path / "clean.json"
+    resumed_save = tmp_path / "resumed.json"
+    journal = tmp_path / "journal.jsonl"
+
+    # Reference: the same sweep, uninterrupted.
+    subprocess.run(_cmd(clean_save, tmp_path / "clean.jsonl"), env=env,
+                   cwd=tmp_path, check=True, capture_output=True, timeout=600)
+
+    # Start the sweep, then kill -9 the whole process as soon as the
+    # journal shows at least one durably completed point.
+    victim = subprocess.Popen(_cmd(tmp_path / "unused.json", journal),
+                              env=env, cwd=tmp_path,
+                              stdout=subprocess.DEVNULL,
+                              stderr=subprocess.DEVNULL)
+    try:
+        deadline = time.time() + 300
+        while time.time() < deadline:
+            if victim.poll() is not None or _journal_lines(journal):
+                break
+            time.sleep(0.02)
+        assert victim.poll() is None, "sweep finished before it was killed"
+        os.kill(victim.pid, signal.SIGKILL)
+    finally:
+        victim.wait(timeout=60)
+    completed_before = len(_journal_lines(journal))
+    assert 1 <= completed_before < _POINTS
+
+    # Resume against the journal (default --resume).
+    done = subprocess.run(_cmd(resumed_save, journal), env=env, cwd=tmp_path,
+                          check=True, capture_output=True, text=True,
+                          timeout=600)
+    assert f"{completed_before} journal" in done.stdout
+
+    clean = json.loads(clean_save.read_text())
+    resumed = json.loads(resumed_save.read_text())
+    # Byte-identical merged payloads.
+    assert (json.dumps(clean["results"], sort_keys=True)
+            == json.dumps(resumed["results"], sort_keys=True))
+    # Zero recomputation of journaled points.
+    report = resumed["_fault_report"]
+    assert report["from_journal"] == completed_before
+    assert (report["completed_pool"] + report["completed_serial"]
+            == _POINTS - completed_before)
+    assert report["points_total"] == _POINTS
