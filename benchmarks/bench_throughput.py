@@ -1,18 +1,34 @@
-"""Simulator throughput — raw timing-model speed in kuops/s.
+"""Simulator throughput — capture and replay speed, in kuops/s.
 
 Unlike the ``bench_fig*`` files, which reproduce paper figures, this
-benchmark tracks the *simulator itself*: how many µops per second the
-cycle model retires.  It is the acceptance gauge for hot-path
-optimization work — compare ``kuops_per_s`` in ``--benchmark-json``
-output (or the ``__main__`` quick mode) across commits.
+benchmark tracks the *simulator itself*, split along the trace-cache
+boundary into the two phases a sweep actually pays:
 
-Quick mode for CI (no pytest-benchmark machinery)::
+* **capture** — functional emulation plus columnar packing.  Paid once
+  per (workload, budget, code-version): with a warm trace cache this
+  phase disappears entirely from sweeps.
+* **replay** — the cycle model consuming an already-packed
+  :class:`~repro.emulator.trace.ColumnarTrace`.  Paid per (workload,
+  config) point on every sweep; this is the acceptance gauge for
+  hot-path optimization work.
+
+Compare ``kuops_per_s`` per phase across commits via
+``--benchmark-json`` output, or run the quick mode (no pytest-benchmark
+machinery), which writes a machine-readable ``BENCH_throughput.json``::
 
     PYTHONPATH=src python benchmarks/bench_throughput.py --quick
+    PYTHONPATH=src python benchmarks/bench_throughput.py \
+        --json BENCH_throughput.json --min-replay-kuops 30
+
+``--min-replay-kuops`` turns the gauge into a smoke check: exit status
+1 when replay throughput lands below the floor (used by the CI
+``perf-smoke`` job with a deliberately conservative bar).
 """
 
+import json
 import time
 
+from repro.emulator.trace import ColumnarTrace, trace_program
 from repro.harness.runner import ExperimentRunner
 from repro.pipeline.core import CpuModel
 
@@ -22,18 +38,34 @@ _CONFIGS = ("baseline", "tvp", "gvp+spsr")
 _WORKLOADS = ("hash_loop", "sparse_graph", "xml_tree")
 
 
-def _simulate_suite(instructions):
-    """Simulate the mix serially; returns (uops retired, wall seconds).
+def _capture_suite(instructions, workloads=_WORKLOADS):
+    """Phase 1: emulate and pack each workload once.
 
-    Traces are built *before* the clock starts — this measures the
-    timing model only, not the functional emulator.
+    Returns ``(traces, uops, wall_seconds)`` — the per-workload cost a
+    cold trace cache pays before any replay can start.
     """
     from repro.workloads import suite
 
-    runner = ExperimentRunner(workloads=suite(_WORKLOADS),
-                              instructions=instructions)
-    points = [(runner.trace_of(workload), runner.config(name))
-              for workload in runner.workloads for name in _CONFIGS]
+    traces = []
+    uops = 0
+    started = time.perf_counter()
+    for workload in suite(list(workloads)):
+        raw, _stats = trace_program(workload.program,
+                                    max_instructions=instructions)
+        traces.append(ColumnarTrace.from_uops(raw, keep_views=True))
+        uops += len(raw)
+    wall = time.perf_counter() - started
+    return traces, uops, wall
+
+
+def _replay_suite(traces):
+    """Phase 2: cycle-model replay only; returns (uops retired, wall).
+
+    Traces arrive already packed — this is the per-point cost every
+    sweep pays, warm or cold.
+    """
+    points = [(trace, ExperimentRunner.config(name))
+              for trace in traces for name in _CONFIGS]
     uops = 0
     started = time.perf_counter()
     for trace, config in points:
@@ -43,19 +75,65 @@ def _simulate_suite(instructions):
     return uops, wall
 
 
-def test_simulator_throughput(benchmark):
+def gauge(instructions, workloads=_WORKLOADS):
+    """Both phases, as the documented ``BENCH_throughput.json`` payload."""
+    traces, capture_uops, capture_wall = _capture_suite(instructions,
+                                                        workloads)
+    replay_uops, replay_wall = _replay_suite(traces)
+    return {
+        "schema": "bench_throughput/1",
+        "instructions": instructions,
+        "workloads": list(workloads),
+        "configs": list(_CONFIGS),
+        "capture": {
+            "uops": capture_uops,
+            "seconds": round(capture_wall, 3),
+            "kuops_per_s": round(capture_uops / capture_wall / 1000.0, 1),
+        },
+        "replay": {
+            "uops": replay_uops,
+            "seconds": round(replay_wall, 3),
+            "kuops_per_s": round(replay_uops / replay_wall / 1000.0, 1),
+        },
+    }
+
+
+def test_capture_throughput(benchmark):
     from conftest import DEFAULT_INSTRUCTIONS, run_once
 
-    uops, wall = run_once(benchmark, _simulate_suite, DEFAULT_INSTRUCTIONS)
+    _traces, uops, wall = run_once(benchmark, _capture_suite,
+                                   DEFAULT_INSTRUCTIONS)
     benchmark.extra_info["kuops_per_s"] = round(uops / wall / 1000.0, 1)
     benchmark.extra_info["uops"] = uops
     assert uops > 0
 
 
-def main(instructions=3000):
-    uops, wall = _simulate_suite(instructions)
-    print(f"simulated {uops} uops in {wall:.2f}s "
-          f"= {uops / wall / 1000.0:.1f} kuops/s")
+def test_replay_throughput(benchmark):
+    from conftest import DEFAULT_INSTRUCTIONS, run_once
+
+    traces, _uops, _wall = _capture_suite(DEFAULT_INSTRUCTIONS)
+    uops, wall = run_once(benchmark, _replay_suite, traces)
+    benchmark.extra_info["kuops_per_s"] = round(uops / wall / 1000.0, 1)
+    benchmark.extra_info["uops"] = uops
+    assert uops > 0
+
+
+def main(instructions, json_path=None, min_replay_kuops=None,
+         workloads=_WORKLOADS):
+    payload = gauge(instructions, workloads)
+    for phase in ("capture", "replay"):
+        print(f"{phase}: {payload[phase]['uops']} uops in "
+              f"{payload[phase]['seconds']:.2f}s "
+              f"= {payload[phase]['kuops_per_s']:.1f} kuops/s")
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"[written to {json_path}]")
+    if min_replay_kuops is not None \
+            and payload["replay"]["kuops_per_s"] < min_replay_kuops:
+        print(f"FAIL: replay {payload['replay']['kuops_per_s']:.1f} "
+              f"kuops/s below the {min_replay_kuops:.1f} floor")
+        return 1
     return 0
 
 
@@ -66,6 +144,18 @@ if __name__ == "__main__":
     parser.add_argument("--quick", action="store_true",
                         help="small budget suitable for CI smoke runs")
     parser.add_argument("--instructions", type=int, default=None)
+    parser.add_argument("--json", type=str, default=None, metavar="FILE",
+                        help="write the machine-readable payload here")
+    parser.add_argument("--min-replay-kuops", type=float, default=None,
+                        metavar="K", help="exit 1 if replay throughput "
+                        "lands below this floor (CI smoke check)")
+    parser.add_argument("--workloads", type=str, default=None,
+                        help="comma-separated workload subset "
+                             "(default: %s)" % ",".join(_WORKLOADS))
     cli_args = parser.parse_args()
     budget = cli_args.instructions or (2000 if cli_args.quick else 10000)
-    raise SystemExit(main(budget))
+    chosen = (tuple(cli_args.workloads.split(","))
+              if cli_args.workloads else _WORKLOADS)
+    raise SystemExit(main(budget, json_path=cli_args.json,
+                          min_replay_kuops=cli_args.min_replay_kuops,
+                          workloads=chosen))

@@ -1,6 +1,8 @@
 """Functional (architectural) emulation and dynamic µop traces."""
 
 from repro.emulator.machine import EmulationError, Machine
-from repro.emulator.trace import DynUop, trace_program
+from repro.emulator.trace import (ColumnarTrace, DynUop, TraceFormatError,
+                                  trace_program)
 
-__all__ = ["DynUop", "EmulationError", "Machine", "trace_program"]
+__all__ = ["ColumnarTrace", "DynUop", "EmulationError", "Machine",
+           "TraceFormatError", "trace_program"]

@@ -1,15 +1,34 @@
-"""Dynamic micro-op trace records.
+"""Dynamic micro-op trace records and the columnar trace engine.
 
 The timing model is trace-driven: the functional emulator executes the
 program architecturally and emits one :class:`DynUop` per retired µop,
 carrying the concrete result value, memory address and branch outcome.  The
 timing model replays this correct-path stream and decides predictor
 hits/misses by comparing predictions against the recorded truth.
+
+Two trace representations coexist:
+
+* a plain ``list[DynUop]`` — what :func:`trace_program` returns and what
+  ad-hoc tests construct by hand; and
+* :class:`ColumnarTrace` — the same stream packed struct-of-arrays into
+  typed :mod:`array` columns, with a versioned binary serialization
+  (``.rtrc`` files) so a trace is emulated once per (workload, budget,
+  code-version) ever and then loaded from disk / shared memory.
+
+``ColumnarTrace`` is a drop-in sequence of :class:`DynUop`: indexing
+materializes (and caches) an object view that is field-for-field equal to
+the emulator's original record, so observability/analysis consumers keep
+working unchanged while the pipeline's hot loops read columns directly.
 """
 
+import json
+import struct
+import zlib
 from dataclasses import dataclass, field
+from hashlib import sha256
 from typing import Optional, Tuple
 
+from repro.isa.condition import Cond
 from repro.isa.opcodes import ExecClass, Op
 
 # The paper's value-prediction eligibility classes (a tuple so membership
@@ -28,7 +47,7 @@ class DynUop:
         "cond", "imm", "imm2", "result", "flags_out", "is_branch",
         "is_cond_branch", "is_indirect", "is_call", "is_return", "taken",
         "target_pc", "next_pc", "is_load", "is_store", "addr", "size",
-        "store_value", "src_values", "text", "vp_elig",
+        "store_value", "src_values", "text", "vp_elig", "is_last_uop",
     )
 
     seq: int                 # global µop sequence number
@@ -69,14 +88,12 @@ class DynUop:
         # Value-prediction eligibility (the paper's rule: arithmetic and
         # load µops producing a general-purpose register), precomputed
         # once because the pipeline consults it at fetch, rename and
-        # commit for every µop.
+        # commit for every µop.  ``is_last_uop`` (final µop of its
+        # architectural instruction) is likewise a stored slot: commit
+        # and the stats loops test it per µop.
         self.vp_elig = (self.dst is not None and not self.dst_is_fp
                         and not self.is_branch and self.cls in _VP_CLASSES)
-
-    @property
-    def is_last_uop(self):
-        """True for the final µop of its architectural instruction."""
-        return self.uop_index == self.uop_count - 1
+        self.is_last_uop = self.uop_index == self.uop_count - 1
 
     def __repr__(self):
         return f"<uop #{self.seq} pc={self.pc:#x} {self.text}>"
@@ -101,6 +118,447 @@ class TraceStats:
         if self.arch_instructions == 0:
             return 0.0
         return self.uops / self.arch_instructions
+
+
+# -- columnar trace engine -----------------------------------------------------------
+#
+# Enum values are encoded by their positional index in the declaration
+# order below; the schema hash embedded in every serialized trace covers
+# those orders (plus the column layout), so a trace written by a
+# different enum/layout revision is rejected at load instead of decoding
+# garbage.
+
+_OPS = tuple(Op)
+_CLASSES = tuple(ExecClass)
+_CONDS = tuple(Cond)
+_OP_INDEX = {op: i for i, op in enumerate(_OPS)}
+_CLASS_INDEX = {cls: i for i, cls in enumerate(_CLASSES)}
+_COND_INDEX = {cond: i for i, cond in enumerate(_CONDS)}
+
+# Per-µop boolean/presence bits packed into the 'flags' column.
+_F_DST_IS_FP = 1 << 0
+_F_WRITES_FLAGS = 1 << 1
+_F_IS_BRANCH = 1 << 2
+_F_IS_COND_BRANCH = 1 << 3
+_F_IS_INDIRECT = 1 << 4
+_F_IS_CALL = 1 << 5
+_F_IS_RETURN = 1 << 6
+_F_TAKEN = 1 << 7
+_F_IS_LOAD = 1 << 8
+_F_IS_STORE = 1 << 9
+_F_VP_ELIG = 1 << 10
+_F_IS_LAST_UOP = 1 << 11
+_F_HAS_IMM = 1 << 12
+_F_IMM_NEG = 1 << 13
+_F_HAS_IMM2 = 1 << 14
+_F_IMM2_NEG = 1 << 15
+_F_HAS_RESULT = 1 << 16
+_F_HAS_TARGET = 1 << 17
+_F_HAS_ADDR = 1 << 18
+_F_HAS_STORE_VALUE = 1 << 19
+
+# (name, array typecode) per column, in serialization order.  'S' marks
+# the interned-text string table (a UTF-8 JSON blob, not an array).
+# ``imm``/``imm2`` store magnitudes with sign/presence bits in 'flags'
+# because immediates span negative offsets *and* raw float64 bit
+# patterns (FMOV) that exceed the signed 64-bit range.
+_COLUMN_SPEC = (
+    ("seq", "q"), ("arch_seq", "q"), ("pc", "Q"), ("next_pc", "Q"),
+    ("uop_index", "B"), ("uop_count", "B"), ("op", "H"), ("cls", "B"),
+    ("width", "B"), ("dst", "h"), ("cond", "b"), ("flags_out", "b"),
+    ("size", "B"), ("flags", "I"), ("imm", "Q"), ("imm2", "Q"),
+    ("result", "Q"), ("target_pc", "Q"), ("addr", "Q"),
+    ("store_value", "Q"), ("dep_off", "I"), ("dep_flat", "B"),
+    ("src_off", "I"), ("src_reg_flat", "B"), ("src_val_flat", "Q"),
+    ("text_idx", "I"), ("text_tab", "S"),
+)
+
+_MAGIC = b"RTRC"
+_RTRC_VERSION = 1
+# magic, version, reserved, schema-hash prefix, n_uops, n_cols,
+# body length, body crc32, pad — 40 bytes, 8-aligned.
+_HEADER = struct.Struct("<4sHH8sIIQI4x")
+# column name (16 bytes, NUL-padded), typecode, pad, offset, length.
+_DIRENT = struct.Struct("<16sc7xQQ")
+
+
+def _schema_hash():
+    spec = json.dumps({
+        "version": _RTRC_VERSION,
+        "columns": _COLUMN_SPEC,
+        "ops": [op.name for op in _OPS],
+        "classes": [cls.name for cls in _CLASSES],
+        "conds": [cond.name for cond in _CONDS],
+    }, sort_keys=True)
+    return sha256(spec.encode()).digest()[:8]
+
+
+_SCHEMA_HASH = _schema_hash()
+
+
+class TraceFormatError(ValueError):
+    """A serialized trace is torn, truncated or from another revision."""
+
+
+class ColumnarTrace:
+    """A µop trace packed struct-of-arrays into typed columns.
+
+    Behaves as an immutable sequence of :class:`DynUop` — indexing
+    materializes an object view lazily and caches it, so downstream
+    consumers that hold µop references (ROB entries, observability)
+    see one identity-stable object per slot, exactly like a plain
+    list trace.  The pipeline's hot loops bypass the views and read
+    the columns directly via :attr:`columns`.
+    """
+
+    __slots__ = ("_n", "_cols", "_texts", "_views", "_buffer", "derived")
+
+    def __init__(self, n, cols, texts, buffer=None):
+        self._n = n
+        self._cols = cols
+        self._texts = texts
+        self._views = [None] * n
+        # Keeps the backing mmap / SharedMemory.buf alive for zero-copy
+        # column views.
+        self._buffer = buffer
+        # Memoized per-trace derived data (cache-line column, precomputed
+        # branch outcomes keyed by frontend fingerprint, ...), shared by
+        # every CpuModel replaying this trace in-process.
+        self.derived = {}
+
+    # -- construction ----------------------------------------------------------------
+    @classmethod
+    def from_uops(cls, uops, keep_views=False):
+        """Pack a ``list[DynUop]`` (lossless round-trip guaranteed).
+
+        With ``keep_views=True`` the input objects are adopted as the
+        materialized views — zero rebuild cost when the packer already
+        holds the emulator's records.
+        """
+        from array import array
+
+        n = len(uops)
+        cols = {name: array(tc) for name, tc in _COLUMN_SPEC if tc != "S"}
+        seq_c = cols["seq"]; arch_c = cols["arch_seq"]; pc_c = cols["pc"]
+        next_c = cols["next_pc"]; ui_c = cols["uop_index"]
+        uc_c = cols["uop_count"]; op_c = cols["op"]; cls_c = cols["cls"]
+        width_c = cols["width"]; dst_c = cols["dst"]; cond_c = cols["cond"]
+        fo_c = cols["flags_out"]; size_c = cols["size"]; fl_c = cols["flags"]
+        imm_c = cols["imm"]; imm2_c = cols["imm2"]; res_c = cols["result"]
+        tgt_c = cols["target_pc"]; addr_c = cols["addr"]
+        sv_c = cols["store_value"]; dep_off = cols["dep_off"]
+        dep_flat = cols["dep_flat"]; src_off = cols["src_off"]
+        src_reg_flat = cols["src_reg_flat"]; src_val_flat = cols["src_val_flat"]
+        text_idx = cols["text_idx"]
+        texts = []
+        text_table = {}
+        dep_off.append(0)
+        src_off.append(0)
+        for u in uops:
+            fl = 0
+            if u.dst_is_fp: fl |= _F_DST_IS_FP
+            if u.writes_flags: fl |= _F_WRITES_FLAGS
+            if u.is_branch: fl |= _F_IS_BRANCH
+            if u.is_cond_branch: fl |= _F_IS_COND_BRANCH
+            if u.is_indirect: fl |= _F_IS_INDIRECT
+            if u.is_call: fl |= _F_IS_CALL
+            if u.is_return: fl |= _F_IS_RETURN
+            if u.taken: fl |= _F_TAKEN
+            if u.is_load: fl |= _F_IS_LOAD
+            if u.is_store: fl |= _F_IS_STORE
+            if u.vp_elig: fl |= _F_VP_ELIG
+            if u.is_last_uop: fl |= _F_IS_LAST_UOP
+            seq_c.append(u.seq)
+            arch_c.append(u.arch_seq)
+            pc_c.append(u.pc)
+            next_c.append(u.next_pc)
+            ui_c.append(u.uop_index)
+            uc_c.append(u.uop_count)
+            op_c.append(_OP_INDEX[u.op])
+            cls_c.append(_CLASS_INDEX[u.cls])
+            width_c.append(u.width)
+            dst_c.append(-1 if u.dst is None else u.dst)
+            cond_c.append(-1 if u.cond is None else _COND_INDEX[u.cond])
+            fo_c.append(-1 if u.flags_out is None else u.flags_out)
+            size_c.append(u.size)
+            if u.imm is None:
+                imm_c.append(0)
+            else:
+                fl |= _F_HAS_IMM
+                v = u.imm
+                if v < 0:
+                    fl |= _F_IMM_NEG
+                    v = -v
+                imm_c.append(v)
+            if u.imm2 is None:
+                imm2_c.append(0)
+            else:
+                fl |= _F_HAS_IMM2
+                v = u.imm2
+                if v < 0:
+                    fl |= _F_IMM2_NEG
+                    v = -v
+                imm2_c.append(v)
+            if u.result is None:
+                res_c.append(0)
+            else:
+                fl |= _F_HAS_RESULT
+                res_c.append(u.result)
+            if u.target_pc is None:
+                tgt_c.append(0)
+            else:
+                fl |= _F_HAS_TARGET
+                tgt_c.append(u.target_pc)
+            if u.addr is None:
+                addr_c.append(0)
+            else:
+                fl |= _F_HAS_ADDR
+                addr_c.append(u.addr)
+            if u.store_value is None:
+                sv_c.append(0)
+            else:
+                fl |= _F_HAS_STORE_VALUE
+                sv_c.append(u.store_value)
+            fl_c.append(fl)
+            dep_flat.extend(u.deps)
+            dep_off.append(len(dep_flat))
+            src_reg_flat.extend(u.src_regs)
+            src_val_flat.extend(u.src_values)
+            src_off.append(len(src_reg_flat))
+            idx = text_table.get(u.text)
+            if idx is None:
+                idx = text_table[u.text] = len(texts)
+                texts.append(u.text)
+            text_idx.append(idx)
+        trace = cls(n, cols, texts)
+        if keep_views:
+            trace._views[:] = list(uops)
+        return trace
+
+    # -- serialization ---------------------------------------------------------------
+    def to_bytes(self):
+        """The versioned ``.rtrc`` byte image (header + directory + columns)."""
+        blobs = []
+        for name, tc in _COLUMN_SPEC:
+            if tc == "S":
+                blobs.append(json.dumps(self._texts,
+                                        ensure_ascii=False).encode("utf-8"))
+            else:
+                blobs.append(self._cols[name].tobytes())
+        dir_size = _DIRENT.size * len(_COLUMN_SPEC)
+        parts = []
+        entries = []
+        offset = dir_size
+        for (name, tc), blob in zip(_COLUMN_SPEC, blobs):
+            entries.append(_DIRENT.pack(name.encode("ascii"),
+                                        tc.encode("ascii"), offset, len(blob)))
+            parts.append(blob)
+            pad = (-len(blob)) % 8
+            if pad:
+                parts.append(b"\0" * pad)
+            offset += len(blob) + pad
+        body = b"".join(entries) + b"".join(parts)
+        header = _HEADER.pack(_MAGIC, _RTRC_VERSION, 0, _SCHEMA_HASH,
+                              self._n, len(_COLUMN_SPEC), len(body),
+                              zlib.crc32(body))
+        return header + body
+
+    @classmethod
+    def from_buffer(cls, buffer):
+        """Zero-copy load from any buffer (bytes, mmap, SharedMemory.buf).
+
+        Columns are :class:`memoryview` casts into *buffer*; the trace
+        keeps a reference so the backing storage outlives the views.
+        Raises :class:`TraceFormatError` on a torn, truncated or
+        schema-mismatched image.
+        """
+        mv = memoryview(buffer)
+        if len(mv) < _HEADER.size:
+            raise TraceFormatError("truncated trace: missing header")
+        (magic, version, _reserved, schema, n_uops, n_cols, body_len,
+         crc) = _HEADER.unpack_from(mv, 0)
+        if magic != _MAGIC:
+            raise TraceFormatError(f"bad magic {magic!r}")
+        if version != _RTRC_VERSION:
+            raise TraceFormatError(f"unsupported trace version {version}")
+        if schema != _SCHEMA_HASH:
+            raise TraceFormatError("trace written by another code revision")
+        if n_cols != len(_COLUMN_SPEC):
+            raise TraceFormatError(f"expected {len(_COLUMN_SPEC)} columns, "
+                                   f"found {n_cols}")
+        body = mv[_HEADER.size:_HEADER.size + body_len]
+        if len(body) != body_len:
+            raise TraceFormatError("truncated trace body")
+        if zlib.crc32(body) != crc:
+            raise TraceFormatError("trace checksum mismatch (torn write?)")
+        cols = {}
+        texts = None
+        for i, (name, tc) in enumerate(_COLUMN_SPEC):
+            ent_name, ent_tc, offset, length = _DIRENT.unpack_from(
+                body, i * _DIRENT.size)
+            if (ent_name.rstrip(b"\0").decode("ascii") != name
+                    or ent_tc.decode("ascii") != tc):
+                raise TraceFormatError(f"column {i} mismatch: "
+                                       f"expected {name}/{tc}")
+            if offset + length > body_len:
+                raise TraceFormatError(f"column {name} overruns the body")
+            blob = body[offset:offset + length]
+            if tc == "S":
+                texts = json.loads(bytes(blob).decode("utf-8"))
+            else:
+                cols[name] = blob.cast(tc)
+        if len(cols["seq"]) != n_uops:
+            raise TraceFormatError("column length disagrees with header")
+        return cls(n_uops, cols, texts, buffer=buffer)
+
+    def to_file(self, path):
+        """Atomic write (tmp + rename) of the ``.rtrc`` image."""
+        import os
+
+        blob = self.to_bytes()
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp, path)
+        return len(blob)
+
+    @classmethod
+    def from_file(cls, path, use_mmap=True):
+        """Load an ``.rtrc`` file, zero-copy through mmap by default."""
+        if use_mmap:
+            import mmap
+
+            with open(path, "rb") as handle:
+                try:
+                    buf = mmap.mmap(handle.fileno(), 0,
+                                    access=mmap.ACCESS_READ)
+                except ValueError:  # empty file
+                    raise TraceFormatError("empty trace file") from None
+            return cls.from_buffer(buf)
+        with open(path, "rb") as handle:
+            return cls.from_buffer(handle.read())
+
+    # -- sequence protocol -----------------------------------------------------------
+    def __len__(self):
+        return self._n
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self._n))]
+        if index < 0:
+            index += self._n
+        view = self._views[index]
+        if view is None:
+            view = self._views[index] = self._materialize(index)
+        return view
+
+    def __iter__(self):
+        views = self._views
+        for i in range(self._n):
+            view = views[i]
+            if view is None:
+                view = views[i] = self._materialize(i)
+            yield view
+
+    def __repr__(self):
+        return f"<ColumnarTrace {self._n} uops>"
+
+    @property
+    def columns(self):
+        """The raw column mapping for hot-loop indexed access."""
+        return self._cols
+
+    @property
+    def views(self):
+        """The materialized-view cache (``None`` per unmaterialized slot).
+
+        Hot loops index this list directly (C-speed) and fall back to
+        ``trace[i]`` only on a ``None`` slot; the slot is then filled,
+        so every later pass over the same trace runs at list speed.
+        """
+        return self._views
+
+    def release(self):
+        """Release every memoryview into the backing buffer.
+
+        Required before closing a ``SharedMemory`` segment (or mmap)
+        this trace was attached to: exported buffer pointers keep the
+        mapping open otherwise.  The trace is unusable afterwards except
+        for already-materialized views.
+        """
+        for col in list(self._cols.values()):
+            if isinstance(col, memoryview):
+                col.release()
+        self._cols = {}
+        self.derived.clear()
+        self._buffer = None
+
+    @property
+    def texts(self):
+        return self._texts
+
+    def line_column(self, shift):
+        """Memoized per-µop cache-line index column (``pc >> shift``)."""
+        key = ("line", shift)
+        col = self.derived.get(key)
+        if col is None:
+            from array import array
+
+            col = array("Q", (pc >> shift for pc in self._cols["pc"]))
+            self.derived[key] = col
+        return col
+
+    def _materialize(self, i):
+        cols = self._cols
+        fl = cols["flags"][i]
+        dst = cols["dst"][i]
+        cond = cols["cond"][i]
+        flags_out = cols["flags_out"][i]
+        d0, d1 = cols["dep_off"][i], cols["dep_off"][i + 1]
+        s0, s1 = cols["src_off"][i], cols["src_off"][i + 1]
+        u = DynUop.__new__(DynUop)
+        u.seq = cols["seq"][i]
+        u.arch_seq = cols["arch_seq"][i]
+        u.pc = cols["pc"][i]
+        u.uop_index = cols["uop_index"][i]
+        u.uop_count = cols["uop_count"][i]
+        u.op = _OPS[cols["op"][i]]
+        u.cls = _CLASSES[cols["cls"][i]]
+        u.width = cols["width"][i]
+        u.dst = None if dst < 0 else dst
+        u.dst_is_fp = bool(fl & _F_DST_IS_FP)
+        u.writes_flags = bool(fl & _F_WRITES_FLAGS)
+        u.deps = tuple(cols["dep_flat"][d0:d1])
+        u.src_regs = tuple(cols["src_reg_flat"][s0:s1])
+        u.cond = None if cond < 0 else _CONDS[cond]
+        if fl & _F_HAS_IMM:
+            u.imm = -cols["imm"][i] if fl & _F_IMM_NEG else cols["imm"][i]
+        else:
+            u.imm = None
+        if fl & _F_HAS_IMM2:
+            u.imm2 = -cols["imm2"][i] if fl & _F_IMM2_NEG else cols["imm2"][i]
+        else:
+            u.imm2 = None
+        u.result = cols["result"][i] if fl & _F_HAS_RESULT else None
+        u.flags_out = None if flags_out < 0 else flags_out
+        u.is_branch = bool(fl & _F_IS_BRANCH)
+        u.is_cond_branch = bool(fl & _F_IS_COND_BRANCH)
+        u.is_indirect = bool(fl & _F_IS_INDIRECT)
+        u.is_call = bool(fl & _F_IS_CALL)
+        u.is_return = bool(fl & _F_IS_RETURN)
+        u.taken = bool(fl & _F_TAKEN)
+        u.target_pc = cols["target_pc"][i] if fl & _F_HAS_TARGET else None
+        u.next_pc = cols["next_pc"][i]
+        u.is_load = bool(fl & _F_IS_LOAD)
+        u.is_store = bool(fl & _F_IS_STORE)
+        u.addr = cols["addr"][i] if fl & _F_HAS_ADDR else None
+        u.size = cols["size"][i]
+        u.store_value = cols["store_value"][i] if fl & _F_HAS_STORE_VALUE else None
+        u.src_values = tuple(cols["src_val_flat"][s0:s1])
+        u.text = self._texts[cols["text_idx"][i]]
+        u.vp_elig = bool(fl & _F_VP_ELIG)
+        u.is_last_uop = bool(fl & _F_IS_LAST_UOP)
+        return u
 
 
 def trace_program(program, max_instructions=100_000, machine=None,

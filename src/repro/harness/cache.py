@@ -74,6 +74,34 @@ def config_fingerprint(config):
 
 
 _code_version_memo = None
+_trace_code_version_memo = None
+
+# Emulated traces are a function of the *functional* simulator only: the
+# emulator itself, the ISA it interprets, the workload programs, and the
+# shared utilities they import.  Timing-side edits (pipeline, predictors,
+# harness) must not orphan cached traces — that is the whole point of
+# caching them separately from results.
+_TRACE_CODE_SUBPACKAGES = ("emulator", "isa", "workloads", "util")
+
+
+def _hash_source_tree(package_root, subpackages=None):
+    digest = hashlib.sha256()
+    for directory, subdirs, filenames in sorted(os.walk(package_root)):
+        subdirs.sort()
+        if subpackages is not None and directory != package_root:
+            relative = os.path.relpath(directory, package_root)
+            if relative.split(os.sep)[0] not in subpackages:
+                continue
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            if subpackages is not None and directory == package_root:
+                continue   # top-level modules are timing/facade code
+            path = os.path.join(directory, filename)
+            digest.update(os.path.relpath(path, package_root).encode())
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+    return digest.hexdigest()[:16]
 
 
 def code_version_hash():
@@ -88,18 +116,24 @@ def code_version_hash():
     import repro
 
     package_root = os.path.dirname(os.path.abspath(repro.__file__))
-    digest = hashlib.sha256()
-    for directory, subdirs, filenames in sorted(os.walk(package_root)):
-        subdirs.sort()
-        for filename in sorted(filenames):
-            if not filename.endswith(".py"):
-                continue
-            path = os.path.join(directory, filename)
-            digest.update(os.path.relpath(path, package_root).encode())
-            with open(path, "rb") as handle:
-                digest.update(handle.read())
-    _code_version_memo = digest.hexdigest()[:16]
+    _code_version_memo = _hash_source_tree(package_root)
     return _code_version_memo
+
+
+def trace_code_version_hash():
+    """Hash of only the sources that determine emulated traces.
+
+    Memoized per process, like :func:`code_version_hash`.
+    """
+    global _trace_code_version_memo
+    if _trace_code_version_memo is not None:
+        return _trace_code_version_memo
+    import repro
+
+    package_root = os.path.dirname(os.path.abspath(repro.__file__))
+    _trace_code_version_memo = _hash_source_tree(
+        package_root, _TRACE_CODE_SUBPACKAGES)
+    return _trace_code_version_memo
 
 
 def simulation_key(workload_name, instructions, fingerprint):
@@ -107,6 +141,20 @@ def simulation_key(workload_name, instructions, fingerprint):
     blob = json.dumps([_CACHE_FORMAT, workload_name, instructions,
                        fingerprint, code_version_hash()],
                       separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:32]
+
+
+def trace_key(workload_name, instructions):
+    """The cache key for one emulated trace.
+
+    Traces are config-independent — the functional emulator sees only
+    (workload, instruction budget) — so a single entry serves every
+    machine configuration; the trace code-version hash orphans entries
+    when an emulator-side source (emulator/isa/workloads/util) changes,
+    while timing-model and harness edits leave cached traces valid.
+    """
+    blob = json.dumps([_CACHE_FORMAT, "trace", workload_name, instructions,
+                       trace_code_version_hash()], separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()[:32]
 
 
@@ -220,3 +268,247 @@ class SimulationCache:
         if self.errors:
             line += f", {self.errors} write failures"
         return line
+
+
+# -- the trace cache -----------------------------------------------------------------
+class TraceCache:
+    """Disk store of packed ``.rtrc`` traces under ``<cache-dir>/traces/``.
+
+    Keyed by :func:`trace_key` (workload, budget, code-version): the
+    functional emulator runs once per key ever; every later run — any
+    config, any process — loads the packed trace zero-copy through mmap.
+    Loads touch the file mtime so the optional size cap can evict
+    least-recently-used entries.
+    """
+
+    def __init__(self, directory=None, max_bytes=None):
+        if directory is None:
+            directory = os.environ.get("REPRO_CACHE_DIR") or _DEFAULT_DIR
+        self.directory = os.path.join(str(directory), "traces")
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.errors = 0
+        self.evictions = 0
+
+    def _path_of(self, key):
+        return os.path.join(self.directory, f"{key}.rtrc")
+
+    def _touch(self, path):
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+    def load(self, key):
+        """The cached :class:`~repro.emulator.trace.ColumnarTrace` for
+        *key* (mmap-backed, zero-copy), or None.
+
+        A torn or stale-format file counts as a miss and is deleted so
+        the slot is rewritten cleanly.
+        """
+        from repro.emulator.trace import ColumnarTrace, TraceFormatError
+
+        path = self._path_of(key)
+        try:
+            trace = ColumnarTrace.from_file(path)
+        except OSError:
+            self.misses += 1
+            return None
+        except TraceFormatError:
+            self.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        self._touch(path)
+        return trace
+
+    def load_bytes(self, key):
+        """The validated raw ``.rtrc`` image for *key*, or None.
+
+        Used by the orchestrator, which copies the image into shared
+        memory without materializing a trace in the parent.
+        """
+        from repro.emulator.trace import ColumnarTrace, TraceFormatError
+
+        path = self._path_of(key)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+            ColumnarTrace.from_buffer(blob)   # header + checksum validation
+        except OSError:
+            self.misses += 1
+            return None
+        except TraceFormatError:
+            self.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        self._touch(path)
+        return blob
+
+    def store(self, key, trace):
+        """Atomically persist one packed trace (no-op on write failure)."""
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            trace.to_file(self._path_of(key))
+        except OSError:
+            self.errors += 1
+            return
+        self.stores += 1
+        if self.max_bytes is not None:
+            self.evictions += self.prune(self.max_bytes)
+
+    def store_bytes(self, key, blob):
+        """Atomically persist a pre-packed ``.rtrc`` image."""
+        path = self._path_of(key)
+        tmp_path = None
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            handle, tmp_path = tempfile.mkstemp(dir=self.directory,
+                                                suffix=".tmp")
+            with os.fdopen(handle, "wb") as tmp:
+                tmp.write(blob)
+            os.replace(tmp_path, path)
+        except OSError:
+            if tmp_path is not None:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+            self.errors += 1
+            return
+        self.stores += 1
+        if self.max_bytes is not None:
+            self.evictions += self.prune(self.max_bytes)
+
+    # -- housekeeping ----------------------------------------------------------------
+    def entries(self):
+        """[(path, size, mtime)] for every trace file, oldest first."""
+        out = []
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return out
+        for name in names:
+            if not name.endswith(".rtrc"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                info = os.stat(path)
+            except OSError:
+                continue
+            out.append((path, info.st_size, info.st_mtime))
+        out.sort(key=lambda item: item[2])
+        return out
+
+    def usage(self):
+        """(file_count, total_bytes) currently on disk."""
+        entries = self.entries()
+        return len(entries), sum(size for _path, size, _mtime in entries)
+
+    def prune(self, max_bytes):
+        """Evict least-recently-used traces until under *max_bytes*.
+
+        Returns the number of files removed.
+        """
+        entries = self.entries()
+        total = sum(size for _path, size, _mtime in entries)
+        removed = 0
+        for path, size, _mtime in entries:
+            if total <= max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        return removed
+
+    def summary(self):
+        """One human-readable line for reports/CLI output."""
+        lookups = self.hits + self.misses
+        if not lookups and not self.stores:
+            return f"trace cache {self.directory}: unused"
+        line = (f"trace cache {self.directory}: {self.hits}/{lookups} hits, "
+                f"{self.stores} new traces")
+        if self.evictions:
+            line += f", {self.evictions} evicted"
+        if self.errors:
+            line += f", {self.errors} write failures"
+        return line
+
+
+# -- cache directory reporting (the `harness cache` subcommand) ----------------------
+def cache_usage(directory=None):
+    """On-disk usage per category of a cache directory.
+
+    Returns ``{category: {"files": int, "bytes": int}}`` for the three
+    stores a cache directory holds: simulation ``results`` (top-level
+    ``*.json``), packed ``traces`` (``traces/*.rtrc``) and sweep
+    ``journals`` (``journals/*.jsonl``).
+    """
+    if directory is None:
+        directory = os.environ.get("REPRO_CACHE_DIR") or _DEFAULT_DIR
+    directory = str(directory)
+
+    def tally(path, suffix):
+        files = 0
+        total = 0
+        try:
+            names = os.listdir(path)
+        except OSError:
+            return {"files": 0, "bytes": 0}
+        for name in names:
+            if not name.endswith(suffix):
+                continue
+            try:
+                total += os.stat(os.path.join(path, name)).st_size
+            except OSError:
+                continue
+            files += 1
+        return {"files": files, "bytes": total}
+
+    return {
+        "results": tally(directory, ".json"),
+        "traces": tally(os.path.join(directory, "traces"), ".rtrc"),
+        "journals": tally(os.path.join(directory, "journals"), ".jsonl"),
+    }
+
+
+def clear_cache(directory=None, categories=("results", "traces", "journals")):
+    """Delete cache entries by category; returns {category: removed_count}."""
+    if directory is None:
+        directory = os.environ.get("REPRO_CACHE_DIR") or _DEFAULT_DIR
+    directory = str(directory)
+    layout = {
+        "results": (directory, ".json"),
+        "traces": (os.path.join(directory, "traces"), ".rtrc"),
+        "journals": (os.path.join(directory, "journals"), ".jsonl"),
+    }
+    removed = {}
+    for category in categories:
+        path, suffix = layout[category]
+        count = 0
+        try:
+            names = os.listdir(path)
+        except OSError:
+            names = []
+        for name in names:
+            if not name.endswith(suffix):
+                continue
+            try:
+                os.unlink(os.path.join(path, name))
+            except OSError:
+                continue
+            count += 1
+        removed[category] = count
+    return removed

@@ -7,6 +7,8 @@ Subcommands::
     harness trace <workload>       one traced simulation (observability)
     harness audit                  kernel verifier + elimination cross-check
     harness lint                   simulator determinism lint
+    harness cache info|clear|prune inspect / clear / LRU-cap the on-disk
+                                   result + trace + journal stores
 
 Every simulation-running subcommand shares one common flag set
 (``--jobs/--cache-dir/--no-cache/--instructions/--workloads/--save`` plus
@@ -168,6 +170,79 @@ def _epilogue(runner, saved, args):
         print(f"[{runner.cache.summary()}]")
 
 
+# -- cache management ----------------------------------------------------------------
+def _format_bytes(count):
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if count < 1024 or unit == "GiB":
+            return (f"{count} {unit}" if unit == "B"
+                    else f"{count:.1f} {unit}")
+        count /= 1024
+
+
+def _cache_main(argv):
+    from repro.harness.cache import TraceCache, cache_usage, clear_cache
+
+    parser = argparse.ArgumentParser(
+        prog="repro-harness cache",
+        description="Inspect and manage the on-disk cache: simulation "
+                    "results (*.json), packed traces (traces/*.rtrc) and "
+                    "sweep journals (journals/*.jsonl).")
+    sub = parser.add_subparsers(dest="action", required=True)
+    location = argparse.ArgumentParser(add_help=False)
+    location.add_argument("--cache-dir", type=str, default=None,
+                          metavar="DIR",
+                          help="cache location (default: .repro-cache, "
+                               "or $REPRO_CACHE_DIR)")
+    info = sub.add_parser("info", parents=[location],
+                          help="per-category file count and size report")
+    info.add_argument("--json", action="store_true",
+                      help="machine-readable output")
+    clear = sub.add_parser(
+        "clear", parents=[location],
+        help="delete cache entries (all categories unless narrowed)")
+    clear.add_argument("--results", action="store_true",
+                       help="only the simulation result entries")
+    clear.add_argument("--traces", action="store_true",
+                       help="only the packed .rtrc traces")
+    clear.add_argument("--journals", action="store_true",
+                       help="only the sweep journals")
+    prune = sub.add_parser(
+        "prune", parents=[location],
+        help="evict least-recently-used traces down to a size cap")
+    prune.add_argument("--max-trace-mb", type=float, required=True,
+                       metavar="MB",
+                       help="keep at most this many MiB of packed traces")
+    args = parser.parse_args(argv)
+
+    if args.action == "info":
+        usage = cache_usage(args.cache_dir)
+        if args.json:
+            print(json.dumps(usage, indent=2, sort_keys=True))
+            return 0
+        for category in ("results", "traces", "journals"):
+            entry = usage[category]
+            print(f"{category:9s} {entry['files']:5d} files  "
+                  f"{_format_bytes(entry['bytes'])}")
+        return 0
+    if args.action == "clear":
+        chosen = [name for name in ("results", "traces", "journals")
+                  if getattr(args, name)]
+        removed = clear_cache(args.cache_dir,
+                              categories=chosen or ("results", "traces",
+                                                    "journals"))
+        for category, count in removed.items():
+            print(f"cleared {count} {category} entries")
+        return 0
+    # prune: LRU eviction of the trace store only — results and journals
+    # are small JSON files, traces are where the bytes live.
+    cap = int(args.max_trace_mb * 1024 * 1024)
+    removed = TraceCache(args.cache_dir).prune(cap)
+    files, total = TraceCache(args.cache_dir).usage()
+    print(f"evicted {removed} traces; {files} remain "
+          f"({_format_bytes(total)})")
+    return 0
+
+
 # -- subcommands ---------------------------------------------------------------------
 def _run_main(argv):
     parser = build_parser()
@@ -253,6 +328,8 @@ def main(argv=None):
         from repro.observability.cli import main as trace_main
 
         return trace_main(argv)
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
     if argv and argv[0] == "sweep":
         return _sweep_main(argv[1:])
     if argv and argv[0] == "run":

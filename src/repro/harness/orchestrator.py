@@ -51,9 +51,11 @@ from heapq import heappop, heappush
 from time import monotonic, sleep
 from typing import Optional
 
+from repro.emulator.trace import ColumnarTrace, TraceFormatError
 from repro.harness import faults
-from repro.harness.cache import (code_version_hash, simulation_key,
-                                 stats_from_payload)
+from repro.harness.cache import (TraceCache, code_version_hash,
+                                 simulation_key, stats_from_payload,
+                                 trace_key)
 from repro.harness.runner import ExperimentRunner, RunRecord
 from repro.observability.tracer import NULL_TRACER
 
@@ -95,6 +97,12 @@ class OrchestratorConfig:
     max_respawns: int = 8          # worker respawns before serial fallback
     poll_interval: float = 0.05    # result-queue poll granularity
     start_method: Optional[str] = None   # None -> fork when available
+    # The workers are pure-CPU: running more of them than cores only adds
+    # scheduler thrash and IPC (measured ~1.5x slower at jobs=4 on one
+    # core), so ``jobs`` is clamped to the CPU count.  The fault-injection
+    # tests exercise multi-worker races regardless of the host, so they
+    # opt out of the clamp.
+    oversubscribe: bool = False
 
     def resolved_timeout(self):
         timeout = self.point_timeout
@@ -124,6 +132,9 @@ class FaultReport:
     quarantined: list = field(default_factory=list)
     degraded_to_serial: bool = False
     wall_seconds: float = 0.0
+    trace_cache_hits: int = 0      # traces loaded from the disk trace cache
+    trace_emulations: int = 0      # emulator runs (at most one per workload)
+    traces_shared: int = 0         # traces distributed via shared memory
 
     @property
     def faults_seen(self):
@@ -160,6 +171,10 @@ class FaultReport:
                    f"{self.from_memo} memo, {self.completed_pool} pool, "
                    f"{self.completed_serial} serial")
         head = f"sweep {self.points_total} points ({sources})"
+        if self.trace_cache_hits or self.trace_emulations or self.traces_shared:
+            head += (f"; traces: {self.trace_cache_hits} cached, "
+                     f"{self.trace_emulations} emulated, "
+                     f"{self.traces_shared} shared")
         if not self.faults_seen:
             return f"{head}; no faults"
         parts = [f"{self.worker_crashes} worker crashes",
@@ -293,35 +308,93 @@ def _mp_context(start_method=None):
         return multiprocessing.get_context("spawn")
 
 
-def _worker_main(worker_id, task_q, result_q, workload_names, instructions):
+def _attach_shared_traces(descriptors):
+    """Zero-copy attach to the parent's shared-memory trace segments.
+
+    Returns ``({(workload, budget): ColumnarTrace}, [SharedMemory])`` —
+    the segments ride along so the buffers outlive the column views.  A
+    segment that cannot be attached or validated is simply skipped: the
+    worker falls back to the disk cache / emulator for that workload.
+    """
+    traces = {}
+    segments = []
+    if not descriptors:
+        return traces, segments
+    try:
+        from multiprocessing import shared_memory
+    except ImportError:
+        return traces, segments
+    for workload_name, (shm_name, nbytes, budget) in descriptors.items():
+        try:
+            segment = shared_memory.SharedMemory(name=shm_name)
+        except (OSError, ValueError):
+            continue
+        try:
+            trace = ColumnarTrace.from_buffer(segment.buf)
+        except (TraceFormatError, ValueError):
+            segment.close()
+            continue
+        # Workers share the parent's resource tracker (its fd travels
+        # through both fork and spawn), so the attach-time re-register
+        # is idempotent; ownership and unlinking stay with the parent.
+        traces[(workload_name, budget)] = trace
+        segments.append(segment)
+    return traces, segments
+
+
+def _worker_main(worker_id, task_q, result_q, workload_names, instructions,
+                 trace_descriptors=None, cache_dir=None):
     """Pool worker: pull (point, attempt) tasks until told to stop.
 
-    Workers memoize traces per process via their private runner, report
-    results (or exceptions) over ``result_q``, and apply any env-gated
-    injection plan — the parent stays in control of retries because the
-    attempt number travels with the task.
+    Workers attach the parent's shared-memory traces zero-copy (falling
+    back to the disk trace cache, then the emulator), report results (or
+    exceptions) over ``result_q``, and apply any env-gated injection
+    plan — the parent stays in control of retries because the attempt
+    number travels with the task.
     """
     faults.mark_worker()
     plan = faults.FaultPlan.from_env()
     from repro.workloads import get_workload, suite
 
+    traces, _segments = _attach_shared_traces(trace_descriptors)
+    if traces:
+        # The shared trace pages are immutable for the worker's whole
+        # life: freeze them (and everything else already allocated) out
+        # of the collector so GC passes never scan or CoW-dirty them.
+        import gc
+
+        gc.freeze()
+    trace_cache = TraceCache(cache_dir) if cache_dir is not None else None
     runner = ExperimentRunner(workloads=suite(workload_names),
-                              instructions=instructions)
-    while True:
-        message = task_q.get()
-        if not message or message[0] == "stop":
-            break
-        _, index, workload_name, config_name, attempt = message
-        try:
-            plan.maybe_error(workload_name, config_name, attempt)
-            plan.maybe_hang(workload_name, config_name, attempt)
-            plan.maybe_kill(workload_name, config_name, attempt)
-            record = runner.run(get_workload(workload_name), config_name)
-            payload = plan.maybe_corrupt(asdict(record.stats),
-                                         workload_name, config_name, attempt)
-            result_q.put(("done", worker_id, index, payload))
-        except Exception as exc:
-            result_q.put(("error", worker_id, index, repr(exc)))
+                              instructions=instructions,
+                              trace_cache=trace_cache, traces=traces)
+    try:
+        while True:
+            message = task_q.get()
+            if not message or message[0] == "stop":
+                break
+            _, index, workload_name, config_name, attempt = message
+            try:
+                plan.maybe_error(workload_name, config_name, attempt)
+                plan.maybe_hang(workload_name, config_name, attempt)
+                plan.maybe_kill(workload_name, config_name, attempt)
+                record = runner.run(get_workload(workload_name), config_name)
+                payload = plan.maybe_corrupt(asdict(record.stats),
+                                             workload_name, config_name,
+                                             attempt)
+                result_q.put(("done", worker_id, index, payload))
+            except Exception as exc:
+                result_q.put(("error", worker_id, index, repr(exc)))
+    finally:
+        # Release every exported buffer pointer before detaching, so the
+        # segments close cleanly instead of erroring in __del__.
+        for trace in traces.values():
+            trace.release()
+        for segment in _segments:
+            try:
+                segment.close()
+            except (OSError, BufferError):
+                pass
 
 
 @dataclass
@@ -344,14 +417,16 @@ class _Point:
 class _Worker:
     """One pool worker process plus its private task queue."""
 
-    def __init__(self, wid, ctx, result_q, workload_names, instructions):
+    def __init__(self, wid, ctx, result_q, workload_names, instructions,
+                 trace_descriptors=None, cache_dir=None):
         self.wid = wid
         self.task_q = ctx.SimpleQueue()
         self.point = None
         self.deadline = None
         self.process = ctx.Process(
             target=_worker_main,
-            args=(wid, self.task_q, result_q, workload_names, instructions),
+            args=(wid, self.task_q, result_q, workload_names, instructions,
+                  trace_descriptors, cache_dir),
             daemon=True)
         self.process.start()
 
@@ -479,6 +554,80 @@ class OrchestratedRunner(ExperimentRunner):
                 self._active_report.completed_serial += 1
         return record
 
+    # -- trace distribution --------------------------------------------------------
+    def _trace_blob_of(self, workload):
+        """The packed ``.rtrc`` image for *workload*, materialized once.
+
+        Resolution order mirrors :meth:`trace_of`: in-process memo →
+        disk trace cache → one emulator run (packed and persisted).
+        Trace-source accounting happens in :meth:`run_all` by deltaing
+        the runner/cache counters, so serial and pool paths report
+        through one mechanism.
+        """
+        budget = self.budget_for(workload)
+        memo = self._traces.get((workload.name, budget))
+        if isinstance(memo, ColumnarTrace):
+            return memo.to_bytes()
+        if self.trace_cache is not None:
+            blob = self.trace_cache.load_bytes(trace_key(workload.name,
+                                                         budget))
+            if blob is not None:
+                return blob
+        from repro.emulator.trace import trace_program
+
+        uops, _stats = trace_program(workload.program,
+                                     max_instructions=budget)
+        self.trace_emulations += 1
+        trace = ColumnarTrace.from_uops(uops, keep_views=True)
+        self._traces[(workload.name, budget)] = trace
+        blob = trace.to_bytes()
+        if self.trace_cache is not None:
+            self.trace_cache.store_bytes(trace_key(workload.name, budget),
+                                         blob)
+        return blob
+
+    def _share_traces(self, pending, report):
+        """Copy each pending workload's trace into shared memory once.
+
+        Returns ``({workload_name: (shm_name, nbytes, budget)},
+        [SharedMemory])``.  The parent owns the segments and unlinks
+        them when the pool drains; a failed allocation (no /dev/shm,
+        exotic platforms) leaves the remaining workloads undistributed
+        and the workers fall back to the disk cache.
+        """
+        try:
+            from multiprocessing import shared_memory
+        except ImportError:
+            return {}, []
+        descriptors = {}
+        segments = []
+        seen = set()
+        for workload, _name, _fingerprint in pending:
+            if workload.name in seen:
+                continue
+            seen.add(workload.name)
+            blob = self._trace_blob_of(workload)
+            try:
+                segment = shared_memory.SharedMemory(create=True,
+                                                     size=len(blob))
+            except OSError:
+                break
+            segment.buf[:len(blob)] = blob
+            segments.append(segment)
+            descriptors[workload.name] = (segment.name, len(blob),
+                                          self.budget_for(workload))
+            report.traces_shared += 1
+        return descriptors, segments
+
+    @staticmethod
+    def _release_segments(segments):
+        for segment in segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except (OSError, BufferError):
+                pass
+
     # -- the sweep -----------------------------------------------------------------
     def run_all(self, config_names):
         """Run every workload under every named config; returns
@@ -491,6 +640,9 @@ class OrchestratedRunner(ExperimentRunner):
         self.fault_reports.append(report)
         self._active_report = report
         started = monotonic()
+        trace_hits_base = (self.trace_cache.hits
+                           if self.trace_cache is not None else 0)
+        trace_emu_base = self.trace_emulations
         try:
             pending = []
             for workload in self.workloads:
@@ -517,7 +669,7 @@ class OrchestratedRunner(ExperimentRunner):
                             report.from_cache += 1
                             continue
                     pending.append((workload, name, fingerprint))
-            if pending and self.jobs > 1:
+            if pending and self._worker_target(len(pending)) > 1:
                 self._fan_out(pending, report)
             # Anything the pool could not finish (quarantined points, a
             # degraded pool, jobs=1) is computed serially right here.
@@ -528,7 +680,25 @@ class OrchestratedRunner(ExperimentRunner):
             return out
         finally:
             report.wall_seconds = monotonic() - started
+            if self.trace_cache is not None:
+                report.trace_cache_hits = (self.trace_cache.hits
+                                           - trace_hits_base)
+            report.trace_emulations = self.trace_emulations - trace_emu_base
             self._active_report = None
+
+    def _worker_target(self, n_points):
+        """Workers to actually spawn: ``jobs`` is an upper bound.
+
+        There is never a reason to run more CPU-bound workers than
+        points, and (unless ``oversubscribe``) than cores — on a one-core
+        host a ``--jobs 4`` sweep degrades ~1.5x from pure scheduler
+        thrash, so the clamp IS the fast path there (serial in-parent,
+        no fork/IPC at all).
+        """
+        target = min(self.jobs, n_points)
+        if not self.orchestration.oversubscribe:
+            target = min(target, default_jobs())
+        return max(1, target)
 
     # -- the fault-tolerant pool ---------------------------------------------------
     def _fan_out(self, pending, report):
@@ -543,6 +713,9 @@ class OrchestratedRunner(ExperimentRunner):
         ctx = _mp_context(cfg.start_method)
         result_q = ctx.Queue()
         workload_names = [workload.name for workload in self.workloads]
+        trace_descriptors, trace_segments = self._share_traces(pending,
+                                                               report)
+        cache_dir = self.cache.directory if self.cache is not None else None
         workers = {}
         state = {"next_wid": 0, "respawns": 0, "active": len(points),
                  "degraded": False}
@@ -555,7 +728,8 @@ class OrchestratedRunner(ExperimentRunner):
 
         def spawn():
             worker = _Worker(state["next_wid"], ctx, result_q,
-                             workload_names, self.instructions)
+                             workload_names, self.instructions,
+                             trace_descriptors, cache_dir)
             workers[worker.wid] = worker
             state["next_wid"] += 1
             emit("worker_spawn", worker=worker.wid)
@@ -624,9 +798,9 @@ class OrchestratedRunner(ExperimentRunner):
                 report.worker_respawns += 1
                 spawn()
 
-        emit("sweep_begin", points=len(points),
-             workers=min(self.jobs, len(points)))
-        for _ in range(min(self.jobs, len(points))):
+        worker_target = self._worker_target(len(points))
+        emit("sweep_begin", points=len(points), workers=worker_target)
+        for _ in range(worker_target):
             spawn()
         try:
             while state["active"] > 0 and not state["degraded"]:
@@ -690,6 +864,7 @@ class OrchestratedRunner(ExperimentRunner):
         finally:
             for worker in list(workers.values()):
                 worker.stop()
+            self._release_segments(trace_segments)
         if state["degraded"]:
             report.degraded_to_serial = True
             emit("sweep_degraded", remaining=state["active"])

@@ -12,6 +12,14 @@ Determinism is unchanged: workers return the exact
 :class:`~repro.harness.runner.RunRecord` a serial run would compute and
 the parent admits them in the fixed (workload-major, config-minor)
 point order, so merged payloads stay bit-identical to a serial run.
+
+Traces are distributed zero-copy: the parent packs (or disk-cache
+loads) each workload's columnar ``.rtrc`` image once, places it in a
+``multiprocessing.shared_memory`` segment, and workers attach
+read-only views — no per-worker emulation, no per-worker deserialize,
+one physical copy of every trace regardless of pool width.  Sweeps
+that stay serial (``jobs=1``, or ``jobs`` clamped to a small CPU
+count) read the same images straight from the mmap'd disk cache.
 """
 
 from repro.harness.orchestrator import (OrchestratedRunner, default_jobs,

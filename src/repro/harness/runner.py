@@ -10,8 +10,9 @@ results also persist across processes and sessions.
 from dataclasses import asdict, dataclass, fields
 from typing import Dict, Tuple
 
-from repro.emulator.trace import trace_program
-from repro.harness.cache import config_fingerprint, simulation_key
+from repro.emulator.trace import ColumnarTrace, trace_program
+from repro.harness.cache import (TraceCache, config_fingerprint,
+                                 simulation_key, trace_key)
 from repro.pipeline.config import MachineConfig
 from repro.pipeline.core import CpuModel
 from repro.pipeline.stats import PipelineStats
@@ -58,14 +59,22 @@ class ExperimentRunner:
     """Trace/result cache plus the standard config set."""
 
     def __init__(self, workloads=None, instructions=None, verbose=False,
-                 cache=None):
+                 cache=None, trace_cache=None, traces=None):
         from repro.workloads import suite
 
         self.workloads = workloads if workloads is not None else suite()
         self.instructions = instructions
         self.verbose = verbose
         self.cache = cache
-        self._traces: Dict[Tuple[str, int], list] = {}
+        if trace_cache is None and cache is not None:
+            # The trace store rides along in the same cache directory.
+            trace_cache = TraceCache(cache.directory)
+        self.trace_cache = trace_cache
+        self.trace_emulations = 0
+        # Preloaded traces keyed (workload_name, budget) — the sweep
+        # workers seed this with shared-memory attached traces so they
+        # never touch the emulator or the disk cache.
+        self._traces: Dict[Tuple[str, int], object] = dict(traces or {})
         self._results: Dict[Tuple[str, str, str], RunRecord] = {}
         self._named_fingerprints: Dict[str, str] = {}
 
@@ -119,12 +128,36 @@ class ExperimentRunner:
         return self.instructions or workload.default_instructions
 
     def trace_of(self, workload):
+        """The (columnar) µop trace for *workload* at the current budget.
+
+        Resolution order: in-process memo → disk trace cache (mmap
+        zero-copy) → run the emulator once, pack, and persist.  The
+        emulator therefore runs at most once per (workload, budget,
+        code-version) across every process that shares the cache
+        directory.
+        """
         key = (workload.name, self.budget_for(workload))
-        if key not in self._traces:
-            trace, _stats = trace_program(workload.program,
-                                          max_instructions=key[1])
+        trace = self._traces.get(key)
+        if trace is None:
+            trace = self._load_or_emulate(workload, key[1])
             self._traces[key] = trace
-        return self._traces[key]
+        return trace
+
+    def _load_or_emulate(self, workload, budget):
+        if self.trace_cache is not None:
+            trace = self.trace_cache.load(trace_key(workload.name, budget))
+            if trace is not None:
+                return trace
+        uops, _stats = trace_program(workload.program,
+                                     max_instructions=budget)
+        self.trace_emulations += 1
+        # Pack even without a disk cache: the columnar form carries the
+        # per-trace derived-data memo (cache-line column, precomputed
+        # branch outcomes) that every config replaying this trace shares.
+        trace = ColumnarTrace.from_uops(uops, keep_views=True)
+        if self.trace_cache is not None:
+            self.trace_cache.store(trace_key(workload.name, budget), trace)
+        return trace
 
     def run(self, workload, config_name, config=None) -> RunRecord:
         """Simulate one point (memoized by workload + config contents)."""

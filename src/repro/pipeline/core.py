@@ -39,6 +39,10 @@ from repro.core.inflight import VPQueue
 from repro.core.modes import VPFlavor
 from repro.core.spsr import SpSREngine
 from repro.core.vtage import Vtage
+from repro.emulator.trace import (_F_IS_BRANCH, _F_IS_CALL,
+                                  _F_IS_COND_BRANCH, _F_IS_INDIRECT,
+                                  _F_IS_RETURN, _F_HAS_TARGET, _F_TAKEN,
+                                  _F_VP_ELIG, ColumnarTrace)
 from repro.frontend.btb import BranchTargetBuffer
 from repro.frontend.history import GlobalHistory
 from repro.frontend.indirect import IndirectTargetCache
@@ -52,6 +56,92 @@ from repro.pipeline.stats import PipelineStats
 from repro.rename.renamer import Renamer, vp_eligible
 
 _LINE_SHIFT = 6  # 64B fetch lines
+
+# Branch outcome classification at fetch, encoded small so the
+# config-invariant precompute (below) can store one byte per µop.
+_KIND_FALL = 0
+_KIND_TAKEN = 1
+_KIND_MISPREDICT = 2
+_KIND_MISTARGET = 3
+
+
+def _predict_and_train(pc, taken, target_pc, is_cond, is_call, is_return,
+                       is_indirect, tage, btb, ras, indirect):
+    """First-encounter prediction + training against one branch record.
+
+    The single source of truth for frontend behavior: the live
+    per-fetch path and the per-trace precompute both call this, so they
+    cannot diverge.  Returns a ``_KIND_*`` code.
+    """
+    if is_cond:
+        predicted_taken, info = tage.predict(pc)
+        tage.update(pc, taken, info)
+        if predicted_taken != taken:
+            return _KIND_MISPREDICT
+        if not taken:
+            return _KIND_FALL
+        target = btb.lookup(pc)
+        btb.install(pc, target_pc)
+        return _KIND_TAKEN if target == target_pc else _KIND_MISTARGET
+    if is_call:
+        ras.push(pc + 4)
+    if is_return:
+        predicted = ras.pop()
+        return _KIND_TAKEN if predicted == target_pc else _KIND_MISPREDICT
+    if is_indirect:
+        predicted = indirect.lookup(pc)
+        indirect.install(pc, target_pc)
+        indirect.push_path(target_pc)
+        return _KIND_TAKEN if predicted == target_pc else _KIND_MISPREDICT
+    # Unconditional direct branch (b / bl).
+    target = btb.lookup(pc)
+    btb.install(pc, target_pc)
+    return _KIND_TAKEN if target == target_pc else _KIND_MISTARGET
+
+
+def _frontend_fingerprint(cfg):
+    """The config knobs the branch-outcome precompute depends on.
+
+    Every evaluated configuration shares one frontend, so the kinds
+    column is computed once per (trace, fingerprint) and memoized on the
+    trace for all configs replaying it.
+    """
+    return ("branch_kinds", cfg.tage_tables, cfg.tage_min_history,
+            cfg.tage_max_history, cfg.btb_entries, cfg.ras_entries,
+            cfg.indirect_entries, cfg.seed)
+
+
+def _precompute_branch_kinds(trace, cfg):
+    """One ``_KIND_*`` byte per µop of a columnar trace.
+
+    Replays exactly the first-encounter prediction/training sequence the
+    live frontend performs: the fetch frontier reaches trace positions
+    in strictly increasing order (flush refetches only revisit already
+    seen µops, which touch no predictor state), so walking the trace
+    once in order trains the predictors identically.
+    """
+    history = GlobalHistory()
+    tage = Tage(TageConfig(n_tables=cfg.tage_tables,
+                           min_history=cfg.tage_min_history,
+                           max_history=cfg.tage_max_history),
+                history=history, seed=cfg.seed)
+    btb = BranchTargetBuffer(cfg.btb_entries)
+    ras = ReturnAddressStack(cfg.ras_entries)
+    indirect = IndirectTargetCache(cfg.indirect_entries)
+    cols = trace.columns
+    pcs = cols["pc"]
+    targets = cols["target_pc"]
+    kinds = bytearray(len(pcs))
+    for i, flags in enumerate(cols["flags"]):
+        if not flags & _F_IS_BRANCH:
+            continue
+        target = targets[i] if flags & _F_HAS_TARGET else None
+        kinds[i] = _predict_and_train(
+            pcs[i], bool(flags & _F_TAKEN), target,
+            bool(flags & _F_IS_COND_BRANCH), bool(flags & _F_IS_CALL),
+            bool(flags & _F_IS_RETURN), bool(flags & _F_IS_INDIRECT),
+            tage, btb, ras, indirect)
+    return kinds
 
 
 def _seq_of(entry):
@@ -107,12 +197,45 @@ class CpuModel:
         self.rat = RegisterAliasTable(self.int_prf, self.fp_prf,
                                       self.flags_prf)
 
+        # Columnar hot-path accessors: on a struct-of-arrays trace the
+        # fetch loop reads the cache-line and flag columns by index
+        # instead of dereferencing µop attributes.
+        self._flags_col = None
+        self._line_col = None
+        # C-speed µop lookup: the columnar view cache (or the list trace
+        # itself) is indexed directly in _fetch; only a None slot routes
+        # through ColumnarTrace.__getitem__ to materialize.
+        self._trace_views = trace
+        if isinstance(trace, ColumnarTrace):
+            self._flags_col = trace.columns["flags"]
+            self._line_col = trace.line_column(_LINE_SHIFT)
+            self._trace_views = trace.views
+
         # Prediction structures.
         self.history = GlobalHistory()
-        self.tage = Tage(TageConfig(n_tables=cfg.tage_tables,
-                                    min_history=cfg.tage_min_history,
-                                    max_history=cfg.tage_max_history),
-                         history=self.history, seed=cfg.seed)
+        # Config-invariant frontend precompute: first-encounter branch
+        # outcomes depend only on the trace and the frontend knobs (every
+        # evaluated config shares them), so on a columnar trace they are
+        # computed once, memoized on the trace, and replayed here — and
+        # the TAGE machinery is not built at all.  The global branch
+        # history the value predictor folds over is still pushed
+        # verbatim at the same fetch points (see _fetch_branch), so
+        # value predictions stay bit-identical.  Traced runs keep the
+        # live path: the tracer samples frontend occupancy.
+        self._branch_kinds = None
+        if self._flags_col is not None and not tracer.enabled:
+            key = _frontend_fingerprint(cfg)
+            kinds = trace.derived.get(key)
+            if kinds is None:
+                kinds = _precompute_branch_kinds(trace, cfg)
+                trace.derived[key] = kinds
+            self._branch_kinds = kinds
+            self.tage = None
+        else:
+            self.tage = Tage(TageConfig(n_tables=cfg.tage_tables,
+                                        min_history=cfg.tage_min_history,
+                                        max_history=cfg.tage_max_history),
+                             history=self.history, seed=cfg.seed)
         self.btb = BranchTargetBuffer(cfg.btb_entries)
         self.ras = ReturnAddressStack(cfg.ras_entries)
         self.indirect = IndirectTargetCache(cfg.indirect_entries)
@@ -181,10 +304,14 @@ class CpuModel:
         self._waiters = {}
         # name -> (readiness buffer, index) resolved once per physical
         # name, replacing the per-lookup INT/FP/flags range dispatch.
-        self._ready_slots = {}
+        # Physical names are dense small integers (flags names are the
+        # topmost range), so both memos are flat lists: indexing them is
+        # measurably cheaper than dict lookups in the issue loop.
+        n_names = FLAGS_NAME_BASE + self.flags_prf.n_regs
+        self._ready_slots = [None] * n_names
         # name -> 0 (not a PRF register) / 1 (INT) / 2 (FP), for the
         # Fig. 6 PRF read/write accounting; a name's class never changes.
-        self._name_kind = {}
+        self._name_kind = [None] * n_names
 
         # Attach last: the tracer may sample any structure built above.
         self.tracer.attach(self)
@@ -246,15 +373,38 @@ class CpuModel:
         fetch = self._fetch
         tracer = self.tracer
         trace_on = tracer.enabled
+        # Stage guards: each mirrors its stage's side-effect-free early
+        #-out, so a skipped call is exactly a call that would have
+        # returned at the top.  ``rob.entries`` and ``completions`` never
+        # change identity; the frontend queues and the IQ do (flushes
+        # rebuild them), so those are re-read every cycle.
+        rob_entries = self.rob.entries
+        completions = self.completions
+        done = UopState.DONE
+        eliminated = UopState.ELIMINATED
         while stats.retired_uops < target:
-            self.cycle += 1
+            cycle = self.cycle + 1
+            self.cycle = cycle
             self._activity = 0
-            commit()
-            complete()
-            issue()
-            rename_dispatch()
-            decode()
-            fetch()
+            if rob_entries:
+                head = rob_entries[0]
+                state = head.state
+                if state is eliminated or (state is done
+                                           and head.complete_cycle < cycle):
+                    commit()
+            if completions and completions[0][0] <= cycle:
+                complete()
+            if self.iq and self._iq_min_gate <= cycle:
+                issue()
+            queue = self.decode_queue
+            if queue and queue[0][0] <= cycle:
+                rename_dispatch()
+            queue = self.fetch_queue
+            if queue and queue[0][0] <= cycle:
+                decode()
+            if self.waiting_branch_seq is None \
+                    and cycle >= self.fetch_stall_until:
+                fetch()
             if trace_on:
                 tracer.cycle_tick(self.cycle)
             if self._activity == 0:
@@ -441,7 +591,7 @@ class CpuModel:
             # GVP predictions were additionally written at rename.
             dest_name = entry.dest_name
             if dest_name is not None:
-                kind = self._name_kind.get(dest_name)
+                kind = self._name_kind[dest_name]
                 if kind is None:
                     kind = self._classify_name(dest_name)
                 if uop.dst_is_fp:
@@ -716,7 +866,7 @@ class CpuModel:
             slots = self._ready_slots
             unscheduled = self._UNSCHEDULED
             for name in entry.src_names:
-                slot = slots.get(name)
+                slot = slots[name]
                 if slot is None:
                     slot = self._resolve_ready_slot(name)
                 ready = slot[0][slot[1]]
@@ -772,7 +922,7 @@ class CpuModel:
         return kind
 
     def _ready_of(self, name):
-        slot = self._ready_slots.get(name)
+        slot = self._ready_slots[name]
         if slot is None:
             slot = self._resolve_ready_slot(name)
         return slot[0][slot[1]]
@@ -788,7 +938,7 @@ class CpuModel:
         entry.in_iq = False
         name_kind = self._name_kind
         for name in entry.src_names:
-            kind = name_kind.get(name)
+            kind = name_kind[name]
             if kind is None:
                 kind = self._classify_name(name)
             if kind == 1:
@@ -1017,10 +1167,24 @@ class CpuModel:
         pending_predictions = self.pending_predictions
         tracer = self.tracer
         trace_on = tracer.enabled
+        line_col = self._line_col
+        flags_col = self._flags_col
+        views = self._trace_views
         while budget > 0 and self.fetch_index < trace_len \
                 and len(fetch_queue) < queue_cap:
-            uop = trace[self.fetch_index]
-            line = uop.pc >> _LINE_SHIFT
+            index = self.fetch_index
+            uop = views[index]
+            if uop is None:
+                uop = trace[index]
+            if line_col is not None:
+                line = line_col[index]
+                flags = flags_col[index]
+                vp_elig = flags & _F_VP_ELIG
+                is_branch = flags & _F_IS_BRANCH
+            else:
+                line = uop.pc >> _LINE_SHIFT
+                vp_elig = uop.vp_elig
+                is_branch = uop.is_branch
             if line != self.current_fetch_line:
                 self.current_fetch_line = line
                 ready = self.memory.ifetch(uop.pc, cycle)
@@ -1028,13 +1192,13 @@ class CpuModel:
                     self.fetch_stall_until = ready
                     return
             fetch_queue.append((decode_ready, uop))
-            self.fetch_index += 1
+            self.fetch_index = index + 1
             stats.fetched_uops += 1
             self._activity += 1
             budget -= 1
             if trace_on:
                 tracer.fetch(uop, cycle)
-            if vtage is not None and uop.vp_elig:
+            if vtage is not None and vp_elig:
                 prediction = vtage.predict(uop.pc)
                 pending_predictions[uop.seq] = prediction
                 if trace_on:
@@ -1042,65 +1206,53 @@ class CpuModel:
                                  pc=uop.pc, hit=prediction.hit,
                                  confident=prediction.confident,
                                  predicted=prediction.value)
-            if uop.is_branch:
-                if not self._fetch_branch(uop, cycle):
+            if is_branch:
+                if not self._fetch_branch(uop, cycle, index):
                     return
 
-    def _fetch_branch(self, uop, cycle):
+    def _fetch_branch(self, uop, cycle, index):
         """Returns False when fetch must stop after this branch."""
         cfg = self.config
-        first_encounter = uop.seq not in self.branch_seen
-        if first_encounter:
+        if uop.seq not in self.branch_seen:
             self.branch_seen[uop.seq] = True
-            kind = self._predict_branch(uop)
+            kinds = self._branch_kinds
+            if kinds is not None:
+                kind = kinds[index]
+                if uop.is_cond_branch:
+                    # TAGE itself is precomputed away; the global history
+                    # the value predictor folds over is replayed verbatim
+                    # at the same fetch point the live path pushes it.
+                    self.history.push(uop.taken)
+            else:
+                kind = self._predict_branch(uop)
         else:
-            kind = "taken" if uop.taken else "fall"
-        if kind == "mispredict":
+            kind = _KIND_TAKEN if uop.taken else _KIND_FALL
+        if kind == _KIND_MISPREDICT:
             self.stats.branch_mispredicts += 1
             if self.tracer.enabled:
                 self.tracer.event(cycle, "branch_mispredict", seq=uop.seq,
                                   pc=uop.pc, taken=uop.taken)
             self.waiting_branch_seq = uop.seq
             return False
-        if kind == "mistarget":
+        if kind == _KIND_MISTARGET:
             self.stats.btb_mistargets += 1
             if self.tracer.enabled:
                 self.tracer.event(cycle, "btb_mistarget", seq=uop.seq,
                                   pc=uop.pc)
             self.fetch_stall_until = cycle + 1 + cfg.mistarget_penalty
             return False
-        if kind == "taken":
+        if kind == _KIND_TAKEN:
             self.fetch_stall_until = cycle + 1 + cfg.taken_branch_penalty
             return False
         return True
 
     def _predict_branch(self, uop):
         """First-encounter prediction + training of the frontend structures."""
-        pc = uop.pc
-        if uop.is_cond_branch:
-            predicted_taken, info = self.tage.predict(pc)
-            self.tage.update(pc, uop.taken, info)
-            if predicted_taken != uop.taken:
-                return "mispredict"
-            if not uop.taken:
-                return "fall"
-            target = self.btb.lookup(pc)
-            self.btb.install(pc, uop.target_pc)
-            return "taken" if target == uop.target_pc else "mistarget"
-        if uop.is_call:
-            self.ras.push(pc + 4)
-        if uop.is_return:
-            predicted = self.ras.pop()
-            return "taken" if predicted == uop.target_pc else "mispredict"
-        if uop.is_indirect:
-            predicted = self.indirect.lookup(pc)
-            self.indirect.install(pc, uop.target_pc)
-            self.indirect.push_path(uop.target_pc)
-            return "taken" if predicted == uop.target_pc else "mispredict"
-        # Unconditional direct branch (b / bl).
-        target = self.btb.lookup(pc)
-        self.btb.install(pc, uop.target_pc)
-        return "taken" if target == uop.target_pc else "mistarget"
+        return _predict_and_train(uop.pc, uop.taken, uop.target_pc,
+                                  uop.is_cond_branch, uop.is_call,
+                                  uop.is_return, uop.is_indirect,
+                                  self.tage, self.btb, self.ras,
+                                  self.indirect)
 
 
 def simulate(program_or_trace, config=None, max_instructions=50_000):

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.backend.naming import (
+    FLAGS_NAME_BASE,
     HARDWIRED_ONE,
     HARDWIRED_ZERO,
     encode_flag_inline,
@@ -34,7 +35,7 @@ from repro.backend.naming import (
 from repro.backend.prf import FreeListEmpty
 from repro.backend.rob import UopState
 from repro.core.modes import VPFlavor
-from repro.core.spsr import ReductionKind
+from repro.core.spsr import ReductionKind, statically_reducible
 from repro.isa.bits import fits_signed
 from repro.isa.opcodes import ExecClass, Op
 from repro.isa.registers import FLAGS, XZR
@@ -87,6 +88,25 @@ class Renamer:
         self._en_zero_one = config.enable_zero_one_idiom
         self._en_nine_bit = config.enable_nine_bit_idiom
         self._en_move_elim = config.enable_move_elimination
+        # name -> rename-time-known value (or None), precomputed over the
+        # whole dense name space: the SpSR probe runs for every µop, and a
+        # flat list index beats three range tests per source.
+        self._known = [known_value(name) for name
+                       in range(FLAGS_NAME_BASE + flags_prf.n_regs)]
+        # Static SpSR eligibility by opcode (``statically_reducible`` is a
+        # sound upper bound on ``SpSREngine.reduce``, cross-checked by the
+        # elimination audit): µops outside these sets skip the known-value
+        # gather and the Table 1 probe entirely.
+        if spsr_engine is not None:
+            fold = spsr_engine.constant_folding
+            self._spsr_ops_dst = frozenset(
+                op for op in Op
+                if statically_reducible(op, has_dst=True,
+                                        constant_folding=fold))
+            self._spsr_ops_nodst = frozenset(
+                op for op in Op
+                if statically_reducible(op, has_dst=False,
+                                        constant_folding=fold))
         # Filled by the pipeline with fetch-time predictions (seq -> Prediction).
         self.pending_predictions = {}
 
@@ -135,8 +155,12 @@ class Renamer:
             return dsr
         if self.spsr is None:
             return None
+        if uop.op not in (self._spsr_ops_dst if uop.dst is not None
+                          else self._spsr_ops_nodst):
+            return None
         spec = self.rat.spec
-        known = tuple(known_value(spec[reg]) for reg in uop.src_regs)
+        table = self._known
+        known = [table[spec[reg]] for reg in uop.src_regs]
         flags_known = None
         if uop.cond is not None or uop.op is Op.B_COND:
             flags_known = known_flags(spec[FLAGS])

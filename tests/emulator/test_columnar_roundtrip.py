@@ -1,0 +1,107 @@
+"""Columnar trace engine: lossless round-trips and torn-image rejection.
+
+The ``.rtrc`` serialization must be *exactly* lossless — the cycle model
+consumes materialized :class:`DynUop` views, so any drift between the
+packed columns and the original objects silently changes simulations.
+Round-trip equality is asserted over the differential-fuzz program
+generator (the most adversarial µop mix the repo can produce: every op
+family, negative immediates, FP moves, multi-µop expansions).
+"""
+
+from dataclasses import fields
+
+import pytest
+
+from repro.emulator.trace import (ColumnarTrace, TraceFormatError,
+                                  trace_program)
+from repro.isa.assembler import assemble
+
+from tests.differential.progen import generate_source
+
+_SEED = 0xC01A4
+_PROGRAMS = 8
+_MAX_UOPS = 4000
+
+
+def _fuzz_uops(index):
+    program = assemble(generate_source(_SEED, index))
+    uops, _stats = trace_program(program, max_instructions=_MAX_UOPS)
+    return uops
+
+
+def _assert_uops_equal(original, loaded):
+    assert len(original) == len(loaded)
+    for orig, got in zip(original, loaded):
+        # Dataclass equality covers every declared field; the derived
+        # slots are set outside __init__, so check them explicitly.
+        for f in fields(orig):
+            assert getattr(got, f.name) == getattr(orig, f.name), \
+                f"uop #{orig.seq} field {f.name!r} drifted: " \
+                f"{getattr(orig, f.name)!r} != {getattr(got, f.name)!r}"
+        assert got.vp_elig == orig.vp_elig
+        assert got.is_last_uop == orig.is_last_uop
+
+
+@pytest.mark.parametrize("index", range(_PROGRAMS))
+def test_rtrc_round_trip_over_fuzz_programs(index):
+    uops = _fuzz_uops(index)
+    packed = ColumnarTrace.from_uops(uops)
+    loaded = ColumnarTrace.from_buffer(packed.to_bytes())
+    _assert_uops_equal(uops, list(loaded))
+
+
+def test_round_trip_through_file(tmp_path):
+    uops = _fuzz_uops(0)
+    packed = ColumnarTrace.from_uops(uops)
+    path = tmp_path / "trace.rtrc"
+    packed.to_file(path)
+    for use_mmap in (True, False):
+        loaded = ColumnarTrace.from_file(path, use_mmap=use_mmap)
+        _assert_uops_equal(uops, list(loaded))
+
+
+def test_kept_views_are_the_original_objects():
+    uops = _fuzz_uops(1)
+    packed = ColumnarTrace.from_uops(uops, keep_views=True)
+    assert all(view is uop for view, uop in zip(packed.views, uops))
+
+
+# -- torn / truncated / corrupted images --------------------------------------------
+def _good_blob():
+    return ColumnarTrace.from_uops(_fuzz_uops(2)).to_bytes()
+
+
+def test_truncated_header_is_rejected():
+    blob = _good_blob()
+    with pytest.raises(TraceFormatError):
+        ColumnarTrace.from_buffer(blob[:16])
+    with pytest.raises(TraceFormatError):
+        ColumnarTrace.from_buffer(b"")
+
+
+def test_truncated_body_is_rejected():
+    blob = _good_blob()
+    for cut in (len(blob) - 1, len(blob) // 2, 48):
+        with pytest.raises(TraceFormatError):
+            ColumnarTrace.from_buffer(blob[:cut])
+
+
+def test_corrupted_body_fails_the_checksum():
+    blob = bytearray(_good_blob())
+    blob[len(blob) // 2] ^= 0xFF
+    with pytest.raises(TraceFormatError, match="checksum"):
+        ColumnarTrace.from_buffer(bytes(blob))
+
+
+def test_bad_magic_is_rejected():
+    blob = bytearray(_good_blob())
+    blob[:4] = b"NOPE"
+    with pytest.raises(TraceFormatError, match="magic"):
+        ColumnarTrace.from_buffer(bytes(blob))
+
+
+def test_wrong_version_is_rejected():
+    blob = bytearray(_good_blob())
+    blob[4] ^= 0x7F   # version field follows the 4-byte magic
+    with pytest.raises(TraceFormatError):
+        ColumnarTrace.from_buffer(bytes(blob))

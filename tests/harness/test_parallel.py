@@ -2,6 +2,7 @@
 
 from dataclasses import asdict
 
+from repro.harness.orchestrator import OrchestratorConfig
 from repro.harness.parallel import ParallelRunner, make_runner
 from repro.harness.runner import ExperimentRunner
 from repro.workloads import suite
@@ -21,8 +22,9 @@ def _stats_of(results):
 def test_parallel_matches_serial_for_every_config():
     serial = ExperimentRunner(workloads=suite(_WORKLOADS),
                               instructions=_BUDGET)
-    parallel = ParallelRunner(workloads=suite(_WORKLOADS),
-                              instructions=_BUDGET, jobs=2)
+    parallel = ParallelRunner(
+        workloads=suite(_WORKLOADS), instructions=_BUDGET, jobs=2,
+        orchestration=OrchestratorConfig(oversubscribe=True))
     serial_results = serial.run_all(_CONFIGS)
     parallel_results = parallel.run_all(_CONFIGS)
     assert _stats_of(parallel_results) == _stats_of(serial_results)
@@ -38,8 +40,9 @@ def test_jobs_one_is_pure_serial():
 
 
 def test_parallel_results_are_memoized():
-    runner = ParallelRunner(workloads=suite(_WORKLOADS),
-                            instructions=_BUDGET, jobs=2)
+    runner = ParallelRunner(
+        workloads=suite(_WORKLOADS), instructions=_BUDGET, jobs=2,
+        orchestration=OrchestratorConfig(oversubscribe=True))
     first = runner.run_all(("baseline",))
     record = first["baseline"]["hash_loop"]
     again = runner.run(runner.workloads[0], "baseline")

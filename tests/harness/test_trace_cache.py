@@ -1,0 +1,133 @@
+"""The persistent trace cache: keying, invalidation and torn files.
+
+The contract under test: the functional emulator runs at most once per
+(workload, budget, trace-code-version) across every process sharing a
+cache directory — and *must* re-run when an emulator-side source
+changes, while timing-model edits leave cached traces valid.
+"""
+
+import json
+import os
+
+from repro.harness import cache as cache_mod
+from repro.harness.cache import TraceCache, trace_key
+from repro.harness.runner import ExperimentRunner
+from repro.workloads import suite
+
+_BUDGET = 300
+
+
+def _runner(tmp_path):
+    return ExperimentRunner(workloads=suite(["hash_loop"]),
+                            instructions=_BUDGET,
+                            trace_cache=TraceCache(tmp_path))
+
+
+def test_emulator_runs_once_per_key_across_runners(tmp_path):
+    first = _runner(tmp_path)
+    first.trace_of(first.workloads[0])
+    assert first.trace_emulations == 1
+
+    second = _runner(tmp_path)
+    trace = second.trace_of(second.workloads[0])
+    assert second.trace_emulations == 0       # served from disk
+    assert second.trace_cache.hits == 1
+    assert len(trace) == len(first.trace_of(first.workloads[0]))
+
+
+def test_cached_trace_replays_identically(tmp_path):
+    from dataclasses import asdict
+
+    fresh = ExperimentRunner(workloads=suite(["hash_loop"]),
+                             instructions=_BUDGET)
+    warm = _runner(tmp_path)
+    warm.trace_of(warm.workloads[0])          # populate the disk cache
+    reload = _runner(tmp_path)
+    for config in ("baseline", "tvp+spsr"):
+        assert (asdict(reload.run(reload.workloads[0], config).stats)
+                == asdict(fresh.run(fresh.workloads[0], config).stats))
+    assert reload.trace_emulations == 0
+
+
+def test_trace_code_version_change_orphans_the_entry(tmp_path,
+                                                     monkeypatch):
+    warm = _runner(tmp_path)
+    warm.trace_of(warm.workloads[0])
+    old_key = trace_key("hash_loop", _BUDGET)
+
+    # An emulator-side source edit shows up as a new trace-code hash
+    # (the memo is per-process, so patching it is equivalent).
+    monkeypatch.setattr(cache_mod, "_trace_code_version_memo",
+                        "f00dfeedf00dfeed")
+    assert trace_key("hash_loop", _BUDGET) != old_key
+    stale = _runner(tmp_path)
+    stale.trace_of(stale.workloads[0])
+    assert stale.trace_emulations == 1        # cache miss -> re-emulated
+
+
+def test_timing_model_edits_leave_traces_valid(monkeypatch):
+    # trace_key hashes only the emulator-side sources: faking a change
+    # to the *full* code-version hash (what a pipeline/harness edit
+    # does) must not move the key.
+    old_key = trace_key("hash_loop", _BUDGET)
+    monkeypatch.setattr(cache_mod, "_code_version_memo",
+                        "f00dfeedf00dfeed")
+    assert trace_key("hash_loop", _BUDGET) == old_key
+
+
+def test_torn_trace_file_is_rejected_and_cleaned(tmp_path):
+    warm = _runner(tmp_path)
+    warm.trace_of(warm.workloads[0])
+    key = trace_key("hash_loop", _BUDGET)
+    path = warm.trace_cache._path_of(key)
+
+    blob = open(path, "rb").read()
+    with open(path, "wb") as handle:
+        handle.write(blob[:len(blob) // 2])   # torn write
+
+    fresh_cache = TraceCache(tmp_path)
+    assert fresh_cache.load(key) is None
+    assert fresh_cache.misses == 1
+    assert not os.path.exists(path)           # torn file deleted
+
+    # The slot rewrites cleanly on the next emulation.
+    again = _runner(tmp_path)
+    again.trace_of(again.workloads[0])
+    assert again.trace_emulations == 1
+    assert TraceCache(tmp_path).load(key) is not None
+
+
+def test_load_bytes_rejects_torn_images(tmp_path):
+    warm = _runner(tmp_path)
+    warm.trace_of(warm.workloads[0])
+    key = trace_key("hash_loop", _BUDGET)
+    path = warm.trace_cache._path_of(key)
+    blob = bytearray(open(path, "rb").read())
+    blob[len(blob) // 2] ^= 0xFF              # flipped bit -> bad crc
+    with open(path, "wb") as handle:
+        handle.write(bytes(blob))
+    cache = TraceCache(tmp_path)
+    assert cache.load_bytes(key) is None      # validated before sharing
+
+
+def test_prune_evicts_least_recently_used(tmp_path):
+    cache = TraceCache(tmp_path)
+    runner = ExperimentRunner(workloads=suite(["hash_loop", "permute"]),
+                              instructions=_BUDGET, trace_cache=cache)
+    for workload in runner.workloads:
+        runner.trace_of(workload)
+    files, total = cache.usage()
+    assert files == 2 and total > 0
+    removed = cache.prune(0)
+    assert removed == 2
+    assert cache.usage() == (0, 0)
+
+
+def test_cache_usage_reports_traces(tmp_path):
+    runner = _runner(tmp_path)
+    runner.trace_of(runner.workloads[0])
+    usage = cache_mod.cache_usage(tmp_path)
+    assert usage["traces"]["files"] == 1
+    assert usage["traces"]["bytes"] > 0
+    payload = json.dumps(usage)               # documented JSON shape
+    assert json.loads(payload) == usage

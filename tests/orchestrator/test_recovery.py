@@ -34,7 +34,8 @@ def _reference(configs):
 
 def _runner(tracer=None, **overrides):
     knobs = dict(backoff_base=0.02, backoff_cap=0.2,
-                 heartbeat_interval=0.05, poll_interval=0.02)
+                 heartbeat_interval=0.05, poll_interval=0.02,
+                 oversubscribe=True)   # the pool itself is under test
     knobs.update(overrides)
     return OrchestratedRunner(workloads=suite(_WORKLOADS),
                               instructions=_BUDGET, jobs=2, tracer=tracer,

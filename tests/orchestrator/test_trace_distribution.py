@@ -1,0 +1,75 @@
+"""Zero-copy trace distribution: shared-memory and per-worker parity.
+
+Workers attach the parent's packed traces through
+``multiprocessing.shared_memory`` instead of re-emulating (or even
+re-reading the disk cache) per process.  Whatever the distribution path
+— shm-attached, disk-cache loaded, or emulated in-process — the merged
+sweep payload must be byte-identical.
+"""
+
+import json
+from dataclasses import asdict
+
+from repro.harness.orchestrator import OrchestratedRunner, OrchestratorConfig
+from repro.harness.runner import ExperimentRunner
+from repro.workloads import suite
+
+_WORKLOADS = ["hash_loop", "permute"]
+_CONFIGS = ("baseline", "tvp+spsr")
+_BUDGET = 900
+
+
+def _payload_of(results):
+    """The canonical JSON bytes of a sweep result (stable ordering)."""
+    return json.dumps(
+        {f"{config}/{workload}": asdict(record.stats)
+         for config, by_workload in sorted(results.items())
+         for workload, record in sorted(by_workload.items())},
+        sort_keys=True).encode()
+
+
+def _orchestrated(**kwargs):
+    return OrchestratedRunner(
+        workloads=suite(_WORKLOADS), instructions=_BUDGET, jobs=2,
+        orchestration=OrchestratorConfig(heartbeat_interval=0.05,
+                                         poll_interval=0.02,
+                                         oversubscribe=True),
+        **kwargs)
+
+
+def test_shared_traces_match_per_worker_emulation():
+    # Pool run with shm distribution enabled (the default path).
+    shared = _orchestrated()
+    shared_payload = _payload_of(shared.run_all(_CONFIGS))
+    report = shared.last_fault_report
+    assert report.completed_pool == len(_WORKLOADS) * len(_CONFIGS)
+    assert report.traces_shared == len(_WORKLOADS)
+
+    # Reference: plain serial runner, emulating in-process.
+    serial = ExperimentRunner(workloads=suite(_WORKLOADS),
+                              instructions=_BUDGET)
+    assert shared_payload == _payload_of(serial.run_all(_CONFIGS))
+
+
+def test_shared_traces_match_disk_cache_path(tmp_path):
+    from repro.harness.cache import SimulationCache, clear_cache
+
+    # First sweep emulates and persists the packed traces...
+    first = _orchestrated(cache=SimulationCache(tmp_path))
+    first.run_all(_CONFIGS)
+    assert first.last_fault_report.trace_emulations == len(_WORKLOADS)
+
+    # ...then a fresh process-equivalent sweep replays purely from the
+    # disk trace cache (results cleared so every point recomputes); the
+    # shm segments are filled from validated cached bytes.
+    clear_cache(tmp_path, categories=("results",))
+    warm = _orchestrated(cache=SimulationCache(tmp_path))
+    warm_payload = _payload_of(warm.run_all(_CONFIGS))
+    report = warm.last_fault_report
+    assert report.trace_cache_hits == len(_WORKLOADS)
+    assert report.trace_emulations == 0
+    assert report.traces_shared == len(_WORKLOADS)
+
+    cold = ExperimentRunner(workloads=suite(_WORKLOADS),
+                            instructions=_BUDGET)
+    assert warm_payload == _payload_of(cold.run_all(_CONFIGS))
