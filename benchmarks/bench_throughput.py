@@ -21,8 +21,13 @@ machinery), which writes a machine-readable ``BENCH_throughput.json``::
         --json BENCH_throughput.json --min-replay-kuops 30
 
 ``--min-replay-kuops`` turns the gauge into a smoke check: exit status
-1 when replay throughput lands below the floor (used by the CI
-``perf-smoke`` job with a deliberately conservative bar).
+1 when replay throughput lands below the floor.  ``--baseline FILE``
+is the relative form the CI ``perf-smoke`` job uses: it compares this
+run's replay kuops/s against the committed ``BENCH_throughput.json``
+and fails below ``--min-ratio`` (default 0.8x) — absolute floors rot
+as CI hardware changes; a ratio against a same-machine artifact does
+not.  ``--engine`` picks the timing-core backend being gauged
+(backends are counter-identical, so ``uops`` must match across them).
 """
 
 import json
@@ -31,6 +36,7 @@ import time
 from repro.emulator.trace import ColumnarTrace, trace_program
 from repro.harness.runner import ExperimentRunner
 from repro.pipeline.core import CpuModel
+from repro.pipeline.engine import resolve_engine
 
 # A config mix covering the three major simulator modes: plain OoO,
 # value prediction with selective replay, and VP + SpSR folding.
@@ -58,13 +64,13 @@ def _capture_suite(instructions, workloads=_WORKLOADS):
     return traces, uops, wall
 
 
-def _replay_suite(traces):
+def _replay_suite(traces, engine=None):
     """Phase 2: cycle-model replay only; returns (uops retired, wall).
 
     Traces arrive already packed — this is the per-point cost every
     sweep pays, warm or cold.
     """
-    points = [(trace, ExperimentRunner.config(name))
+    points = [(trace, ExperimentRunner.config(name, engine=engine))
               for trace in traces for name in _CONFIGS]
     uops = 0
     started = time.perf_counter()
@@ -75,14 +81,15 @@ def _replay_suite(traces):
     return uops, wall
 
 
-def gauge(instructions, workloads=_WORKLOADS):
+def gauge(instructions, workloads=_WORKLOADS, engine=None):
     """Both phases, as the documented ``BENCH_throughput.json`` payload."""
     traces, capture_uops, capture_wall = _capture_suite(instructions,
                                                         workloads)
-    replay_uops, replay_wall = _replay_suite(traces)
+    replay_uops, replay_wall = _replay_suite(traces, engine=engine)
     return {
-        "schema": "bench_throughput/1",
+        "schema": "bench_throughput/2",
         "instructions": instructions,
+        "engine": resolve_engine(engine).name,
         "workloads": list(workloads),
         "configs": list(_CONFIGS),
         "capture": {
@@ -118,9 +125,31 @@ def test_replay_throughput(benchmark):
     assert uops > 0
 
 
+def check_against_baseline(payload, baseline_path, min_ratio):
+    """Relative perf-smoke: replay kuops/s vs a committed artifact.
+
+    Returns (ratio, failed).  A baseline gauged at a different budget
+    or suite still compares — the metric is a rate — but the printed
+    line flags the mismatch so a surprising ratio is explainable.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    base = baseline["replay"]["kuops_per_s"]
+    now = payload["replay"]["kuops_per_s"]
+    ratio = now / base if base else float("inf")
+    note = ""
+    if (baseline.get("instructions") != payload["instructions"]
+            or baseline.get("workloads") != payload["workloads"]):
+        note = " [baseline gauged on a different budget/suite]"
+    print(f"replay vs baseline {baseline_path}: {now:.1f} / {base:.1f} "
+          f"kuops/s = {ratio:.2f}x (floor {min_ratio:.2f}x){note}")
+    return ratio, ratio < min_ratio
+
+
 def main(instructions, json_path=None, min_replay_kuops=None,
-         workloads=_WORKLOADS):
-    payload = gauge(instructions, workloads)
+         workloads=_WORKLOADS, engine=None, baseline=None, min_ratio=0.8):
+    payload = gauge(instructions, workloads, engine=engine)
+    print(f"engine: {payload['engine']}")
     for phase in ("capture", "replay"):
         print(f"{phase}: {payload[phase]['uops']} uops in "
               f"{payload[phase]['seconds']:.2f}s "
@@ -128,13 +157,20 @@ def main(instructions, json_path=None, min_replay_kuops=None,
     if json_path:
         with open(json_path, "w") as handle:
             json.dump(payload, handle, indent=2)
+            handle.write("\n")
         print(f"[written to {json_path}]")
+    failed = False
     if min_replay_kuops is not None \
             and payload["replay"]["kuops_per_s"] < min_replay_kuops:
         print(f"FAIL: replay {payload['replay']['kuops_per_s']:.1f} "
               f"kuops/s below the {min_replay_kuops:.1f} floor")
-        return 1
-    return 0
+        failed = True
+    if baseline is not None:
+        _ratio, below = check_against_baseline(payload, baseline, min_ratio)
+        if below:
+            print("FAIL: replay throughput regressed past the ratio floor")
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
@@ -152,10 +188,22 @@ if __name__ == "__main__":
     parser.add_argument("--workloads", type=str, default=None,
                         help="comma-separated workload subset "
                              "(default: %s)" % ",".join(_WORKLOADS))
+    parser.add_argument("--engine", type=str, default=None,
+                        help="timing-core backend to gauge "
+                             "(default: $REPRO_ENGINE, then interp)")
+    parser.add_argument("--baseline", type=str, default=None,
+                        metavar="FILE",
+                        help="committed BENCH_throughput.json to compare "
+                             "replay kuops/s against")
+    parser.add_argument("--min-ratio", type=float, default=0.8,
+                        metavar="R", help="exit 1 if replay throughput "
+                        "falls below R x the --baseline (default 0.8)")
     cli_args = parser.parse_args()
     budget = cli_args.instructions or (2000 if cli_args.quick else 10000)
     chosen = (tuple(cli_args.workloads.split(","))
               if cli_args.workloads else _WORKLOADS)
     raise SystemExit(main(budget, json_path=cli_args.json,
                           min_replay_kuops=cli_args.min_replay_kuops,
-                          workloads=chosen))
+                          workloads=chosen, engine=cli_args.engine,
+                          baseline=cli_args.baseline,
+                          min_ratio=cli_args.min_ratio))

@@ -25,7 +25,7 @@ class RobEntry:
         "complete_cycle", "vp_used", "vp_predicted", "elim_kind",
         "move_width_blocked", "wait_store_seq", "src_names",
         "issue_ready_cycle", "in_iq", "wakeup_cycle", "wakeup_known",
-        "issue_token", "select_gate",
+        "issue_token", "select_gate", "iq_active",
     )
 
     def __init__(self, seq, uop):
@@ -53,6 +53,8 @@ class RobEntry:
                                        # (dispatch floor, then cached wakeup
                                        # time; ~infinity while parked on an
                                        # unissued producer in the wakeup CAM)
+        self.iq_active = False         # on the batch engine's active scan
+                                       # list (vs parked in a gate bucket)
 
     def __repr__(self):
         return f"<rob #{self.seq} {self.uop.text!r} {self.state.value}>"

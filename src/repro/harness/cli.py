@@ -75,6 +75,19 @@ def _common_flags():
                         help="worker processes for (workload x config) "
                              "sweeps (default: all cores, %d here)"
                              % default_jobs())
+    common.add_argument("--engine", type=str, default=None,
+                        metavar="NAME",
+                        help="timing-core backend (interp or batch; "
+                             "default: $REPRO_ENGINE, then interp). "
+                             "Backends are counter-identical, so cached "
+                             "results are shared across engines.")
+    common.add_argument("--profile-stages", action="store_true",
+                        help="report wall-time share per pipeline stage "
+                             "(fetch/decode/rename/issue/complete/commit) "
+                             "over the simulations this invocation "
+                             "actually ran (forces --jobs 1; cache hits "
+                             "are not profiled — combine with --no-cache "
+                             "to profile every point)")
     common.add_argument("--no-cache", action="store_true",
                         help="ignore and do not write the on-disk "
                              "simulation result cache")
@@ -123,6 +136,17 @@ def _runner_from_args(args, parser, label):
     """Build the (orchestrated) runner every subcommand shares."""
     if args.jobs is not None and args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.engine is not None:
+        import os
+
+        from repro.pipeline.engine import engine_names
+
+        if args.engine not in engine_names():
+            parser.error(f"--engine must be one of {engine_names()}, "
+                         f"got {args.engine!r}")
+        # The models resolve REPRO_ENGINE themselves, so exporting the
+        # choice covers serial runs and sweep worker processes alike.
+        os.environ["REPRO_ENGINE"] = args.engine
     workloads = None
     if args.workloads:
         from repro.workloads import suite
@@ -145,7 +169,8 @@ def _runner_from_args(args, parser, label):
                        cache=cache,
                        jobs=args.jobs,
                        journal=journal,
-                       resume=args.resume)
+                       resume=args.resume,
+                       profile_stages=args.profile_stages)
 
 
 def _fault_report_of(runner):
@@ -156,8 +181,31 @@ def _fault_report_of(runner):
     return FaultReport.merged(reports)
 
 
+def _print_stage_profile(runner, saved):
+    """--profile-stages epilogue: per-stage wall-time share table."""
+    profile = getattr(runner, "stage_profile", None)
+    if not getattr(runner, "profile_stages", False):
+        return
+    if not runner.profiled_runs or not profile:
+        print("[--profile-stages: every point came from the cache; "
+              "re-run with --no-cache to profile]")
+        return
+    total = sum(profile.values()) or 1.0
+    rows = [[stage, f"{seconds:.3f}", f"{100.0 * seconds / total:.1f}%"]
+            for stage, seconds in sorted(profile.items(),
+                                         key=lambda kv: -kv[1])]
+    print(format_table(
+        f"Stage wall time — {runner.profiled_runs} simulated point(s)",
+        ["stage", "seconds", "share"], rows))
+    saved["_stage_profile"] = {
+        "runs": runner.profiled_runs,
+        "seconds": {k: round(v, 6) for k, v in profile.items()},
+    }
+
+
 def _epilogue(runner, saved, args):
     """Shared tail: fault report, --save, cache summary."""
+    _print_stage_profile(runner, saved)
     report = _fault_report_of(runner)
     if report is not None:
         print(f"[{report.summary()}]")

@@ -468,9 +468,10 @@ class OrchestratedRunner(ExperimentRunner):
 
     def __init__(self, workloads=None, instructions=None, verbose=False,
                  cache=None, jobs=None, journal=None, resume=True,
-                 tracer=None, orchestration=None):
+                 tracer=None, orchestration=None, profile_stages=False):
         super().__init__(workloads=workloads, instructions=instructions,
-                         verbose=verbose, cache=cache)
+                         verbose=verbose, cache=cache,
+                         profile_stages=profile_stages)
         self.jobs = jobs if jobs is not None else default_jobs()
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")

@@ -41,13 +41,16 @@ class ParallelRunner(OrchestratedRunner):
 
 def make_runner(workloads=None, instructions=None, verbose=False,
                 cache=None, jobs=None, journal=None, resume=True,
-                tracer=None, orchestration=None):
+                tracer=None, orchestration=None, profile_stages=False):
     """The right runner for a job count: parallel when jobs > 1, and an
     orchestrated (journaling) serial runner when a journal or tracer is
-    requested with jobs = 1."""
+    requested with jobs = 1.  ``profile_stages`` forces the serial path:
+    per-stage wall times accumulate in the parent process only."""
     jobs = jobs if jobs is not None else default_jobs()
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if profile_stages:
+        jobs = 1
     if jobs > 1:
         return ParallelRunner(workloads=workloads, instructions=instructions,
                               verbose=verbose, cache=cache, jobs=jobs,
@@ -58,6 +61,8 @@ def make_runner(workloads=None, instructions=None, verbose=False,
                                   instructions=instructions, verbose=verbose,
                                   cache=cache, jobs=1, journal=journal,
                                   resume=resume, tracer=tracer,
-                                  orchestration=orchestration)
+                                  orchestration=orchestration,
+                                  profile_stages=profile_stages)
     return ExperimentRunner(workloads=workloads, instructions=instructions,
-                            verbose=verbose, cache=cache)
+                            verbose=verbose, cache=cache,
+                            profile_stages=profile_stages)

@@ -7,6 +7,7 @@ sessions do not re-simulate.  With a :class:`SimulationCache` attached,
 results also persist across processes and sessions.
 """
 
+import time
 from dataclasses import asdict, dataclass, fields
 from typing import Dict, Tuple
 
@@ -59,13 +60,20 @@ class ExperimentRunner:
     """Trace/result cache plus the standard config set."""
 
     def __init__(self, workloads=None, instructions=None, verbose=False,
-                 cache=None, trace_cache=None, traces=None):
+                 cache=None, trace_cache=None, traces=None,
+                 profile_stages=False):
         from repro.workloads import suite
 
         self.workloads = workloads if workloads is not None else suite()
         self.instructions = instructions
         self.verbose = verbose
         self.cache = cache
+        # --profile-stages: accumulated per-stage wall time across every
+        # simulation this runner actually executed (cache hits carry no
+        # timing, so they are not counted).
+        self.profile_stages = profile_stages
+        self.stage_profile = {}
+        self.profiled_runs = 0
         if trace_cache is None and cache is not None:
             # The trace store rides along in the same cache directory.
             trace_cache = TraceCache(cache.directory)
@@ -175,7 +183,14 @@ class ExperimentRunner:
             machine_config = (config if config is not None
                               else self.config(config_name))
             model = CpuModel(self.trace_of(workload), machine_config)
+            if self.profile_stages:
+                model.enable_stage_profile(time.perf_counter)
             stats = model.run().stats
+            if self.profile_stages:
+                for stage, seconds in model.stage_profile.items():
+                    self.stage_profile[stage] = \
+                        self.stage_profile.get(stage, 0.0) + seconds
+                self.profiled_runs += 1
             if self.cache is not None:
                 self.cache.store(disk_key, workload.name, config_name,
                                  budget, stats)

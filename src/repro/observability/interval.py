@@ -7,7 +7,7 @@ depth, BTB fill).  This is what localizes a VP-misprediction flush storm
 to the 2k cycles where it happened instead of diluting it into an
 end-of-run aggregate.
 
-The pipeline's idle-cycle fast-forward (``_skip_to_next_event``) means
+The pipeline's idle-cycle fast-forward (``_advance_clock``) means
 ``tick`` is only called on *active* cycles; a boundary crossed during an
 idle stretch yields one sample whose ``cycles`` span covers the whole
 stretch — sample records carry their actual ``cycle`` stamp and width, so

@@ -130,6 +130,13 @@ class MachineConfig:
     # share harness cache entries.
     trace: Optional[TraceConfig] = field(
         default=None, metadata={"fingerprint": False})
+    # Timing-core backend ("interp" or "batch"; None defers to the
+    # REPRO_ENGINE environment variable, then "interp").  Backends are
+    # required to produce byte-identical counters (golden + differential
+    # gates), so like ``trace`` the choice is excluded from the cache
+    # fingerprint: a batch run hits interp-produced cache entries.
+    engine: Optional[str] = field(
+        default=None, metadata={"fingerprint": False})
 
     # -- derived -----------------------------------------------------------------
     @property

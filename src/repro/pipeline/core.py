@@ -25,6 +25,8 @@ Speculation model:
 
 import gc
 import heapq
+import os
+from array import array
 from collections import deque
 from dataclasses import dataclass
 
@@ -41,8 +43,9 @@ from repro.core.spsr import SpSREngine
 from repro.core.vtage import Vtage
 from repro.emulator.trace import (_F_IS_BRANCH, _F_IS_CALL,
                                   _F_IS_COND_BRANCH, _F_IS_INDIRECT,
-                                  _F_IS_RETURN, _F_HAS_TARGET, _F_TAKEN,
-                                  _F_VP_ELIG, ColumnarTrace)
+                                  _F_IS_LOAD, _F_IS_RETURN, _F_IS_STORE,
+                                  _F_HAS_TARGET, _F_TAKEN, _F_VP_ELIG,
+                                  ColumnarTrace)
 from repro.frontend.btb import BranchTargetBuffer
 from repro.frontend.history import GlobalHistory
 from repro.frontend.indirect import IndirectTargetCache
@@ -286,16 +289,17 @@ class CpuModel:
 
         # Scheduler acceleration (architecturally invisible).
         #
-        # _event_heap is a lazy min-heap of future cycles at which an IQ
-        # entry may become selectable (dispatch ready-times and computed
-        # wakeup times).  _skip_to_next_event consults it instead of
-        # scanning every IQ entry; stale entries (already past, or whose
-        # µop issued/squashed meanwhile) merely cause a shorter jump,
-        # never a longer one, so timing is unchanged.
-        self._event_heap = []
         # Lower bound over every IQ entry's select_gate; _issue skips the
         # scan entirely while the bound is in the future (see _issue).
+        # It also feeds the event clock: _next_event_bound uses it as the
+        # issue stage's earliest-possible-action cycle.
         self._iq_min_gate = 0
+        # Event clock: idle stretches are jumped over in one step (see
+        # _advance_clock).  REPRO_NO_EVENT_SKIP=1 caps every jump at one
+        # cycle, turning the loop into the plain per-cycle reference the
+        # identity property tests compare against.
+        self._event_skip = os.environ.get(
+            "REPRO_NO_EVENT_SKIP", "0") in ("", "0")
         # Wakeup CAM: physical name -> IQ entries blocked because that
         # producer has not issued yet (its completion cycle is unknown).
         # The producer's set_ready pops exactly these waiters, so blocked
@@ -313,8 +317,68 @@ class CpuModel:
         # Fig. 6 PRF read/write accounting; a name's class never changes.
         self._name_kind = [None] * n_names
 
+        # Engine indirection (repro.pipeline.engine): the batch backend
+        # swaps the frontend stages for span-batched variants working
+        # directly off the trace columns; the defaults are the reference
+        # per-µop implementations.
+        self._fetch_impl = self._fetch
+        self._decode_impl = self._decode
+        self._rename_impl = self._rename_dispatch
+        self._issue_impl = self._issue
+        self.stage_profile = None
+        self._stage_profile = None
+        self._stage_clock = None
+        # Batch-engine scheduler state; _iq_wakeups is None on the
+        # reference engine (the shared wakeup sites check it).
+        self._iq_wakeups = None
+        self._iq_active = None
+        self._iq_parked = None
+        self._iq_park_heap = None
+        self._iq_len = 0
+        self._span_queues = False
+        self._fetch_q_uops = 0
+        self._decode_q_uops = 0
+        self._fetch_chunk_end = None
+        self._vp_next = None
+        self._rename_gates = None
+        self._pc_col = None
+        self._seq_col = None
+
         # Attach last: the tracer may sample any structure built above.
         self.tracer.attach(self)
+
+    def _use_span_queues(self):
+        """Switch the frontend queues to ``[ready, start, end)`` index spans.
+
+        Installed by the batch engine on columnar traces.  Observability
+        runs (tracer enabled) keep the reference per-µop frontend: the
+        per-µop tracer hooks are the point of those runs.  Requires the
+        seq == trace-index invariant (flush truncates spans by seq).
+        """
+        trace = self.trace
+        if self.tracer.enabled or self._flags_col is None:
+            return
+        key = ("batch", "seq_is_index")
+        seq_is_index = trace.derived.get(key)
+        if seq_is_index is None:
+            seq_col = trace.columns["seq"]
+            seq_is_index = (bytes(seq_col) ==
+                            array("q", range(len(seq_col))).tobytes())
+            trace.derived[key] = seq_is_index
+        if not seq_is_index:
+            return
+        self._span_queues = True
+        self._pc_col = trace.columns["pc"]
+        self._seq_col = trace.columns["seq"]
+        self._fetch_impl = self._fetch_spans
+        self._decode_impl = self._decode_spans
+        self._rename_impl = self._rename_spans
+        self._issue_impl = self._issue_spans
+        self._iq_wakeups = []
+        self._iq_active = []
+        self._iq_parked = {}
+        self._iq_park_heap = []
+        self._iq_len = 0
 
     def _build_value_predictor(self, cfg):
         """The value predictor backing the configured flavor (or None)."""
@@ -348,6 +412,14 @@ class CpuModel:
     # ==================================================================== run
     def run(self, max_cycles=None, progress_window=20_000):
         """Simulate until the whole trace has retired."""
+        # Late import: engine.py reaches back into pipeline internals.
+        from repro.pipeline.engine import resolve_engine
+
+        engine = resolve_engine(self.config.engine)
+        engine.prepare(self)
+        if self._stage_profile is not None:
+            # After prepare: the engine may have swapped stage impls.
+            self._install_stage_profilers()
         # The pipeline allocates heavily (ROB entries, undo tuples, heap
         # items) but never creates reference cycles, so the cyclic GC only
         # costs time here.  Pause it for the simulation.
@@ -355,22 +427,58 @@ class CpuModel:
         if gc_was_enabled:
             gc.disable()
         try:
-            return self._run(max_cycles, progress_window)
+            return engine.run(self, max_cycles, progress_window)
         finally:
             if gc_was_enabled:
                 gc.enable()
 
+    def enable_stage_profile(self, clock):
+        """Collect per-stage wall time during :meth:`run`.
+
+        Purely observational (the wrappers only time the calls — counters
+        are unchanged); read the accumulated seconds from
+        ``stage_profile`` after the run.  Backs ``harness run
+        --profile-stages``.
+
+        ``clock`` is the wall-time source — the harness passes
+        ``time.perf_counter``.  Injected rather than imported because
+        the model itself must stay free of nondeterministic modules
+        (the DET001 lint); the clock only ever times stage calls, it
+        never feeds simulated state.
+        """
+        self.stage_profile = {name: 0.0 for name in (
+            "fetch", "decode", "rename", "issue", "complete", "commit")}
+        self._stage_profile = self.stage_profile
+        self._stage_clock = clock
+
+    def _install_stage_profilers(self):
+        profile = self._stage_profile
+        perf = self._stage_clock
+
+        def timed(name, impl):
+            def wrapper():
+                start = perf()
+                impl()
+                profile[name] += perf() - start
+            return wrapper
+
+        self._commit = timed("commit", self._commit)
+        self._complete = timed("complete", self._complete)
+        self._issue_impl = timed("issue", self._issue_impl)
+        self._rename_impl = timed("rename", self._rename_impl)
+        self._decode_impl = timed("decode", self._decode_impl)
+        self._fetch_impl = timed("fetch", self._fetch_impl)
+
     def _run(self, max_cycles, progress_window):
         target = len(self.trace)
-        last_retired = -1
-        idle_events = 0
+        last_retire_cycle = 0
         stats = self.stats
         commit = self._commit
         complete = self._complete
-        issue = self._issue
-        rename_dispatch = self._rename_dispatch
-        decode = self._decode
-        fetch = self._fetch
+        issue = self._issue_impl
+        rename_dispatch = self._rename_impl
+        decode = self._decode_impl
+        fetch = self._fetch_impl
         tracer = self.tracer
         trace_on = tracer.enabled
         # Stage guards: each mirrors its stage's side-effect-free early
@@ -382,10 +490,13 @@ class CpuModel:
         completions = self.completions
         done = UopState.DONE
         eliminated = UopState.ELIMINATED
+        advance = self._advance_clock
+        event_skip = self._event_skip
         while stats.retired_uops < target:
             cycle = self.cycle + 1
             self.cycle = cycle
             self._activity = 0
+            retired_before = stats.retired_uops
             if rob_entries:
                 head = rob_entries[0]
                 state = head.state
@@ -407,18 +518,21 @@ class CpuModel:
                 fetch()
             if trace_on:
                 tracer.cycle_tick(self.cycle)
-            if self._activity == 0:
-                # Fully idle cycle: jump to the next scheduled event
-                # (identical architectural behaviour, much faster on
-                # memory-latency-bound phases).
-                self._skip_to_next_event()
-            if self.stats.retired_uops == last_retired:
-                idle_events += 1
-                if idle_events > progress_window:
-                    raise SimulationDeadlock(self._deadlock_report())
-            else:
-                idle_events = 0
-                last_retired = self.stats.retired_uops
+            if stats.retired_uops != retired_before:
+                last_retire_cycle = cycle
+            elif cycle - last_retire_cycle > progress_window:
+                # Watchdog on simulated-cycle distance, not iterations:
+                # the event clock compresses long legitimate stalls into
+                # few iterations, so iteration counting both misses real
+                # deadlocks (few spins before a bogus far-future event)
+                # and cannot distinguish a skipped stall from a hang.
+                raise SimulationDeadlock(
+                    self._deadlock_report(last_retire_cycle))
+            if self._activity == 0 and event_skip:
+                # No stage did work: jump straight to the next cycle at
+                # which any stage can act (identical architectural
+                # behaviour, much faster on memory-bound phases).
+                advance()
             if max_cycles is not None and self.cycle > max_cycles:
                 break
         self.stats.cycles = self.cycle
@@ -427,40 +541,134 @@ class CpuModel:
             tracer.finish(self.cycle)
         return SimulationResult(self.stats, self.config, len(self.trace))
 
-    def _skip_to_next_event(self):
-        """Advance the clock to just before the next possible event.
+    # Any candidate at or beyond the parked-entry sentinel means "no
+    # scheduled event" (see _UNSCHEDULED): never jump to it.
+    _NO_EVENT = 1 << 60
 
-        Scheduler wake-ups (dispatch ready-times, computed wakeup times)
-        are maintained incrementally in ``_event_heap`` rather than by
-        scanning the IQ.  Unpipelined-port busy windows need no candidate
-        of their own: a port's ``busy_until`` equals its occupying µop's
-        completion cycle, which is already in ``completions`` (squashes
-        leave the stale event in place, so the bound survives flushes).
+    def _advance_clock(self):
+        """Jump the clock to just before the next possible event.
+
+        Byte-identical to executing the skipped cycles one by one: during
+        an eventless window no structure changes, so the only observable
+        work a skipped cycle would have done is the rename stage's
+        per-blocked-cycle stall accounting — and the *same* structural
+        check keeps failing for the whole window, so its counter is
+        batch-incremented by the window length instead.
         """
         cycle = self.cycle
-        heap = self._event_heap
-        while heap and heap[0] <= cycle:
-            heapq.heappop(heap)
-        candidates = []
-        if self.completions:
-            candidates.append(self.completions[0][0])
-        if self.fetch_queue:
-            candidates.append(self.fetch_queue[0][0])
-        if self.decode_queue:
-            candidates.append(self.decode_queue[0][0])
-        if self.fetch_index < len(self.trace) \
-                and self.waiting_branch_seq is None:
-            candidates.append(self.fetch_stall_until)
-        if heap:
-            candidates.append(heap[0])
-        future = [c for c in candidates if c > cycle]
-        if not future:
-            return  # something is imminent (or deadlocked: the watchdog sees it)
-        self.cycle = min(future) - 1  # the loop header increments
+        bound = self._next_event_bound(cycle)
+        if bound <= cycle + 1:
+            return
+        counter = self._rename_stall_counter
+        if counter is not None:
+            # The decode head was renameable-but-blocked on every skipped
+            # cycle; each would have counted one stall.
+            stats = self.stats
+            setattr(stats, counter,
+                    getattr(stats, counter) + bound - cycle - 1)
+        self.cycle = bound - 1  # the loop header increments
 
-    def _deadlock_report(self):
+    def _next_event_bound(self, cycle):
+        """The earliest cycle > *cycle* at which any stage might act.
+
+        The bound may be conservative (too small merely costs an idle
+        iteration) but never optimistic: every state change originates
+        from one of the candidates below, and any event re-derives the
+        bound on the following iteration.  Unpipelined-port busy windows
+        need no candidate of their own: a port's ``busy_until`` equals
+        its occupying µop's completion cycle, already in ``completions``.
+        Side effect: records which rename stall counter (if any) fires on
+        every skipped cycle, for _advance_clock's batch accounting.
+        """
+        self._rename_stall_counter = None
+        imminent = cycle + 1
+        bound = self._NO_EVENT
+        completions = self.completions
+        if completions:
+            bound = completions[0][0]   # heap head is always > cycle here
+        rob_entries = self.rob.entries
+        if rob_entries:
+            head = rob_entries[0]
+            state = head.state
+            if state is UopState.ELIMINATED:
+                return imminent
+            if state is UopState.DONE:
+                ready = head.complete_cycle + 1
+                if ready <= imminent:
+                    return imminent
+                if ready < bound:
+                    bound = ready
+        if self.iq:
+            gate = self._iq_min_gate
+            if gate <= imminent:
+                return imminent
+            if gate < bound:
+                bound = gate
+        span_queues = self._span_queues
+        decode_queue = self.decode_queue
+        if decode_queue:
+            head = decode_queue[0]
+            ready = head[0]
+            if ready > cycle:
+                if ready < bound:
+                    bound = ready
+            else:
+                uop = self._uop_at(head[1]) if span_queues else head[1]
+                counter = self._rename_block_probe(uop)
+                if counter is None:
+                    return imminent     # rename has work it can do
+                # Structurally blocked: only a commit or issue event can
+                # clear it, and those are already candidates above.
+                self._rename_stall_counter = counter
+        fetch_queue = self.fetch_queue
+        if span_queues:
+            decode_uops = self._decode_q_uops
+            fetch_uops = self._fetch_q_uops
+        else:
+            decode_uops = len(decode_queue)
+            fetch_uops = len(fetch_queue)
+        if fetch_queue and decode_uops < self.decode_queue_cap:
+            ready = fetch_queue[0][0]
+            if ready <= imminent:
+                return imminent
+            if ready < bound:
+                bound = ready
+        if self.waiting_branch_seq is None \
+                and self.fetch_index < len(self.trace) \
+                and fetch_uops < self.config.fetch_queue:
+            ready = self.fetch_stall_until
+            if ready <= imminent:
+                return imminent
+            if ready < bound:
+                bound = ready
+        if bound >= self._NO_EVENT:
+            return imminent  # nothing scheduled: deadlocked (watchdog sees it)
+        return bound
+
+    def _rename_block_probe(self, uop):
+        """The stall counter a rename of *uop* would hit right now (or None).
+
+        Must mirror _rename_dispatch's structural checks exactly, in
+        order — it is the side-effect-free replica the event clock uses
+        to account for skipped blocked cycles.
+        """
+        if len(self.rob.entries) >= self.rob.capacity:
+            return "stall_rob_full"
+        if uop.is_load and self.lsq.lq_full:
+            return "stall_lq_full"
+        if uop.is_store and self.lsq.sq_full:
+            return "stall_sq_full"
+        if len(self.iq) >= self.config.iq_entries:
+            return "stall_iq_full"
+        if not self.renamer.can_rename(uop):
+            return "stall_no_phys_reg"
+        return None
+
+    def _deadlock_report(self, last_retire_cycle):
         head = self.rob.head()
-        return (f"no commit for too long at cycle {self.cycle}: "
+        return (f"no commit for {self.cycle - last_retire_cycle} cycles "
+                f"(last retire at cycle {last_retire_cycle}, "
+                f"now {self.cycle}): "
                 f"retired={self.stats.retired_uops}/{len(self.trace)} "
                 f"head={head!r} state={head.state if head else None} "
                 f"fetch_index={self.fetch_index} "
@@ -686,6 +894,8 @@ class CpuModel:
                 waiter.select_gate = gate
                 if gate < self._iq_min_gate:
                     self._iq_min_gate = gate
+            if self._iq_wakeups is not None:
+                self._iq_wakeups.extend(waiters)
         self.stats.int_prf_writes += 1   # the correction write
         offender.complete_cycle = max(offender.complete_cycle,
                                       correction_cycle)
@@ -720,11 +930,17 @@ class CpuModel:
             if not candidate.in_iq:
                 candidate.in_iq = True
                 self.iq.append(candidate)
+                self._iq_len += 1
                 self.stats.iq_dispatched += 1   # replay re-dispatch
                 if trace_on:
                     tracer.dispatch(candidate, self.cycle)
         if to_replay:
             self.iq.sort(key=_seq_of)           # keep oldest-first select
+            if self._iq_wakeups is not None:
+                # Replayed entries may sit in stale-gate park buckets:
+                # hand them to the batch scheduler's wakeup list so they
+                # rejoin the active scan immediately.
+                self._iq_wakeups.extend(to_replay)
         self.stats.vp_replays += 1
         self.stats.replayed_uops += len(to_replay)
         if trace_on:
@@ -769,16 +985,26 @@ class CpuModel:
                 if uop.seq >= flush_seq:
                     tracer.squash(uop, self.cycle, reason)
         self.iq = [e for e in self.iq if e.seq < flush_seq]
+        if self._iq_wakeups is not None:
+            self._iq_rebuild()
         self.lsq.squash_from(flush_seq)
         if self.vp_queue is not None:
             dropped = self.vp_queue.squash_younger(flush_seq)
             if dropped and hasattr(self.vtage, "abandon"):
                 for vp_entry in dropped:
                     self.vtage.abandon(vp_entry.pc, vp_entry.info)
-        self.fetch_queue = deque(
-            item for item in self.fetch_queue if item[1].seq < flush_seq)
-        self.decode_queue = deque(
-            item for item in self.decode_queue if item[1].seq < flush_seq)
+        if self._span_queues:
+            # Spans cover [start, end) trace indices == seqs: truncate at
+            # the flush point instead of filtering µop by µop.
+            self.fetch_queue, self._fetch_q_uops = \
+                _truncate_spans(self.fetch_queue, flush_seq)
+            self.decode_queue, self._decode_q_uops = \
+                _truncate_spans(self.decode_queue, flush_seq)
+        else:
+            self.fetch_queue = deque(
+                item for item in self.fetch_queue if item[1].seq < flush_seq)
+            self.decode_queue = deque(
+                item for item in self.decode_queue if item[1].seq < flush_seq)
         self.fetch_index = min(self.fetch_index, flush_seq)
         if self.waiting_branch_seq is not None \
                 and self.waiting_branch_seq >= flush_seq:
@@ -856,6 +1082,186 @@ class CpuModel:
 
     _UNSCHEDULED = 1 << 60  # producers not yet issued report ~infinity
 
+    def _issue_spans(self):
+        """The batch engine's event-driven issue stage.
+
+        Same selection semantics as :meth:`_issue`, but instead of
+        scanning every IQ entry each productive cycle, entries whose
+        ``select_gate`` is in the future are parked in per-cycle buckets
+        (``_iq_parked`` + ``_iq_park_heap``) and entries parked on
+        unissued producers leave the scan entirely until the wakeup CAM
+        pops them back via ``_iq_wakeups``.  Only the *active* subset —
+        entries that could be selected now — is walked, in age order, so
+        memory-bound phases stop paying O(IQ) per cycle.
+        """
+        if not self.iq:
+            return
+        cycle = self.cycle
+        if self._iq_min_gate > cycle:
+            return
+        active = self._iq_active
+        heap = self._iq_park_heap
+        parked = self._iq_parked
+        wakeups = self._iq_wakeups
+        waiting = UopState.WAITING
+        dirty = False
+        # Un-park buckets that have come due, and merge external wakeups.
+        # The iq_active flag dedups entries reachable both ways (a stale
+        # bucket registration plus a CAM wakeup); dead entries (issued or
+        # squashed since parking) are dropped here, exactly the entries
+        # the reference scan's compaction would already have removed.
+        if heap and heap[0] <= cycle:
+            dirty = True
+            while heap and heap[0] <= cycle:
+                for entry in parked.pop(heapq.heappop(heap)):
+                    if not entry.iq_active and entry.in_iq \
+                            and entry.state is waiting:
+                        entry.iq_active = True
+                        active.append(entry)
+        if wakeups:
+            dirty = True
+            for entry in wakeups:
+                if not entry.iq_active and entry.in_iq \
+                        and entry.state is waiting:
+                    entry.iq_active = True
+                    active.append(entry)
+            del wakeups[:]
+        if dirty and len(active) > 1:
+            active.sort(key=_seq_of)   # keep oldest-first selection
+        if not active:
+            # Nothing selectable; the park-heap head is a sound lower
+            # bound over every parked entry (CAM-parked entries are
+            # woken explicitly, the shared sites lower the bound then).
+            self._iq_min_gate = heap[0] if heap else (self._UNSCHEDULED << 2)
+            return
+        issue_budget = self.config.issue_width
+        issued = 0
+        fus_started = False
+        next_min = self._UNSCHEDULED << 2
+        unscheduled = self._UNSCHEDULED
+        sources_ready = self._sources_ready
+        try_issue = self.fus.try_issue
+        # The scan rebuilds the active list as it goes: entries that stay
+        # selectable are appended to ``keep``; future-gated entries are
+        # parked in their gate's bucket as they are visited.  A mid-scan
+        # memory-order flush (inside _execute) rebuilds the scheduler
+        # structures; the ``self._iq_active is active`` identity checks
+        # make parking and the final install void on the stale snapshot,
+        # while the visit semantics over it stay those of the reference.
+        keep = []
+        keep_append = keep.append
+        pos = 0
+        for pos, entry in enumerate(active):
+            gate = entry.select_gate
+            if gate > cycle:
+                if gate < next_min:
+                    next_min = gate
+                if self._iq_active is active:
+                    entry.iq_active = False
+                    if gate < unscheduled:
+                        bucket = parked.get(gate)
+                        if bucket is None:
+                            parked[gate] = [entry]
+                            heapq.heappush(heap, gate)
+                        else:
+                            bucket.append(entry)
+                    # CAM-parked (gate == _UNSCHEDULED): leave the scan
+                    # with no bucket; the producer's wakeup re-adds it.
+                continue
+            if entry.wakeup_known:
+                if entry.wait_store_seq is not None \
+                        and not sources_ready(entry, cycle):
+                    if gate < next_min:
+                        next_min = gate   # store pending: rescan each cycle
+                    keep_append(entry)
+                    continue
+            elif not sources_ready(entry, cycle):
+                gate = entry.select_gate  # updated: wakeup time or parked
+                if gate < next_min:
+                    next_min = gate
+                if gate > cycle:
+                    if self._iq_active is active:
+                        entry.iq_active = False
+                        if gate < unscheduled:
+                            bucket = parked.get(gate)
+                            if bucket is None:
+                                parked[gate] = [entry]
+                                heapq.heappush(heap, gate)
+                            else:
+                                bucket.append(entry)
+                else:
+                    keep_append(entry)
+                continue
+            if not fus_started:
+                # Port state is only reset on cycles with a candidate.
+                fus_started = True
+                self.fus.new_cycle(cycle)
+            if not try_issue(entry.uop.cls, cycle):
+                if gate < next_min:
+                    next_min = gate       # port conflict: retry next cycle
+                keep_append(entry)
+                continue
+            entry.iq_active = False
+            if entry.in_iq:
+                self._iq_len -= 1
+            self._execute(entry, cycle)
+            issued += 1
+            if issued >= issue_budget:
+                break
+        if self._iq_active is active:
+            if issued >= issue_budget:
+                keep.extend(active[pos + 1:])   # unvisited suffix stays
+            self._iq_active = keep
+        elif issued:
+            # A mid-scan flush rebuilt the active list while this scan
+            # kept issuing from its stale snapshot (reference semantics);
+            # filter the rebuilt list so those entries aren't re-issued.
+            rebuilt = self._iq_active
+            write = 0
+            for entry in rebuilt:
+                if entry.iq_active and entry.in_iq \
+                        and entry.state is waiting:
+                    rebuilt[write] = entry
+                    write += 1
+                else:
+                    entry.iq_active = False
+            del rebuilt[write:]
+        if issued:
+            # ``self.iq`` is compacted lazily: ``_iq_len`` tracks the
+            # live population (the dispatch stall check reads it), so the
+            # full filter only runs once the dead slack builds up.
+            iq = self.iq   # re-read: a flush may have replaced it
+            if len(iq) - self._iq_len >= 24:
+                write = 0
+                for entry in iq:
+                    if entry.state is waiting and entry.in_iq:
+                        iq[write] = entry
+                        write += 1
+                del iq[write:]
+        else:
+            # Complete fruitless scan over the active set; parked entries
+            # are bounded below by the park-heap head.
+            if heap and heap[0] < next_min:
+                next_min = heap[0]
+            self._iq_min_gate = next_min
+
+    def _iq_rebuild(self):
+        """Reset the batch scheduler's index after a flush rebuilt the IQ.
+
+        The lazily-compacted ``self.iq`` may still hold dead entries
+        (issued before the flush), so the rebuilt active list filters by
+        liveness — which also refreshes the exact ``_iq_len``.
+        """
+        waiting = UopState.WAITING
+        active = self._iq_active = [
+            e for e in self.iq if e.in_iq and e.state is waiting]
+        for entry in active:
+            entry.iq_active = True
+        self._iq_len = len(active)
+        self._iq_parked.clear()
+        del self._iq_park_heap[:]
+        del self._iq_wakeups[:]
+
     def _sources_ready(self, entry, cycle):
         # Readiness times become known when producers *issue* (their
         # completion cycle is fixed then), so the max over sources can be
@@ -885,8 +1291,6 @@ class CpuModel:
             entry.wakeup_cycle = latest
             entry.wakeup_known = True
             entry.select_gate = latest
-            if latest > cycle:
-                heapq.heappush(self._event_heap, latest)
         if entry.wakeup_cycle > cycle:
             return False
         if entry.wait_store_seq is not None:
@@ -961,6 +1365,7 @@ class CpuModel:
         # Schedule readiness now that the completion cycle is known
         # (consumers may issue back-to-back via the bypass network).
         waiters_map = self._waiters
+        wakeups = self._iq_wakeups
         if entry.dest_name is not None and not entry.vp_used:
             prf = self.fp_prf if uop.dst_is_fp else self.int_prf
             prf.set_ready(entry.dest_name, complete)
@@ -971,6 +1376,8 @@ class CpuModel:
                     waiter.select_gate = gate
                     if gate < self._iq_min_gate:
                         self._iq_min_gate = gate
+                if wakeups is not None:
+                    wakeups.extend(waiters)
         if entry.flags_name is not None:
             self.flags_prf.set_ready(entry.flags_name, complete)
             waiters = waiters_map.pop(entry.flags_name, None)
@@ -980,6 +1387,8 @@ class CpuModel:
                     waiter.select_gate = gate
                     if gate < self._iq_min_gate:
                         self._iq_min_gate = gate
+                if wakeups is not None:
+                    wakeups.extend(waiters)
         self._completion_counter += 1
         entry.issue_token += 1
         heapq.heappush(self.completions,
@@ -1039,7 +1448,6 @@ class CpuModel:
         tracer = self.tracer
         trace_on = tracer.enabled
         dispatch_ready = cycle + cfg.rename_to_dispatch + 1
-        pushed_event = False
         for _ in range(cfg.rename_width):
             if not decode_queue:
                 return
@@ -1104,12 +1512,8 @@ class CpuModel:
             stats.iq_dispatched += 1
             if trace_on:
                 tracer.dispatch(entry, cycle)
-            if not pushed_event:
-                # Every µop dispatched this cycle shares one ready-time.
-                heapq.heappush(self._event_heap, dispatch_ready)
-                pushed_event = True
-                if dispatch_ready < self._iq_min_gate:
-                    self._iq_min_gate = dispatch_ready
+            if dispatch_ready < self._iq_min_gate:
+                self._iq_min_gate = dispatch_ready
             if uop.is_load:
                 lq_entry = LsqEntry(uop.seq, uop.addr, uop.size, entry)
                 lsq.add_load(lq_entry)
@@ -1253,6 +1657,249 @@ class CpuModel:
                                   uop.is_return, uop.is_indirect,
                                   self.tage, self.btb, self.ras,
                                   self.indirect)
+
+    # ================================================== span-batched frontend
+    #
+    # Batch-engine variants of fetch/decode/rename (installed by
+    # _use_span_queues).  The frontend queues hold ``[ready, start, end)``
+    # trace-index spans instead of per-µop tuples: fetch enqueues whole
+    # same-line chunks in one append, decode moves µop *counts* by span
+    # arithmetic, and rename walks the head span against the flag columns
+    # and the precomputed eligibility gates.  µops are only materialized
+    # at rename (and for branches at fetch) — byte-identical to the
+    # reference stages, just batched.
+
+    def _uop_at(self, index):
+        uop = self._trace_views[index]
+        if uop is None:
+            uop = self.trace[index]
+        return uop
+
+    def _fetch_spans(self):
+        cycle = self.cycle
+        cfg = self.config
+        if cycle < self.fetch_stall_until \
+                or self.waiting_branch_seq is not None:
+            return
+        trace_len = len(self.trace)
+        index = self.fetch_index
+        budget = cfg.fetch_width
+        room = cfg.fetch_queue - self._fetch_q_uops
+        fetch_queue = self.fetch_queue
+        decode_ready = cycle + cfg.fetch_to_decode
+        line_col = self._line_col
+        pc_col = self._pc_col
+        flags_col = self._flags_col
+        chunk_end = self._fetch_chunk_end
+        vtage = self.vtage
+        vp_next = self._vp_next
+        pending_predictions = self.pending_predictions
+        fetched = 0
+        while budget > 0 and room > 0 and index < trace_len:
+            line = line_col[index]
+            if line != self.current_fetch_line:
+                # Same line-buffer protocol as the reference stage: the
+                # line is installed even on a miss, so the retry after
+                # the stall does not probe the I-cache again.
+                self.current_fetch_line = line
+                ready = self.memory.ifetch(pc_col[index], cycle)
+                if ready > cycle + cfg.memory.l1i_latency:
+                    self.fetch_stall_until = ready
+                    break
+            end = chunk_end[index]
+            special = end == index
+            if special:
+                end = index + 1
+            else:
+                end = index + min(end - index, budget, room)
+            tail = fetch_queue[-1] if fetch_queue else None
+            if tail is not None and tail[2] == index \
+                    and tail[0] == decode_ready:
+                tail[2] = end
+            else:
+                fetch_queue.append([decode_ready, index, end])
+            take = end - index
+            fetched += take
+            budget -= take
+            room -= take
+            start = index
+            index = end
+            if special:
+                fl = flags_col[start]
+                if vtage is not None and fl & _F_VP_ELIG:
+                    # seq == start (checked in _use_span_queues).
+                    prediction = vtage.predict(pc_col[start])
+                    pending_predictions[start] = prediction
+                if fl & _F_IS_BRANCH and not self._fetch_branch(
+                        self._uop_at(start), cycle, start):
+                    break
+            elif vtage is not None:
+                # Predict the chunk's VP-eligible µops in fetch order via
+                # the skip-index; no branches inside a chunk, so the
+                # predictor sees the same history the reference would.
+                j = vp_next[start]
+                while j < end:
+                    pending_predictions[j] = vtage.predict(pc_col[j])
+                    j = vp_next[j + 1]
+        if fetched:
+            self.fetch_index = index
+            self._fetch_q_uops += fetched
+            self.stats.fetched_uops += fetched
+            self._activity += fetched
+
+    def _decode_spans(self):
+        fetch_queue = self.fetch_queue
+        if not fetch_queue:
+            return
+        cycle = self.cycle
+        if fetch_queue[0][0] > cycle:
+            return
+        decode_queue = self.decode_queue
+        rename_ready = cycle + self.config.decode_to_rename
+        budget = self.config.decode_width
+        room = self.decode_queue_cap - self._decode_q_uops
+        moved = 0
+        while fetch_queue and budget > 0 and room > 0:
+            head = fetch_queue[0]
+            if head[0] > cycle:
+                break
+            start = head[1]
+            end = start + min(head[2] - start, budget, room)
+            if end == head[2]:
+                fetch_queue.popleft()
+            else:
+                head[1] = end
+            tail = decode_queue[-1] if decode_queue else None
+            if tail is not None and tail[2] == start \
+                    and tail[0] == rename_ready:
+                tail[2] = end
+            else:
+                decode_queue.append([rename_ready, start, end])
+            take = end - start
+            moved += take
+            budget -= take
+            room -= take
+        if moved:
+            self._fetch_q_uops -= moved
+            self._decode_q_uops += moved
+            self._activity += moved
+
+    def _rename_spans(self):
+        decode_queue = self.decode_queue
+        if not decode_queue:
+            return
+        cycle = self.cycle
+        if decode_queue[0][0] > cycle:
+            return
+        cfg = self.config
+        stats = self.stats
+        rob = self.rob
+        rob_entries = rob.entries
+        rob_capacity = rob.capacity
+        lsq = self.lsq
+        renamer = self.renamer
+        iq = self.iq
+        iq_entries = cfg.iq_entries
+        entries_by_seq = self.entries_by_seq
+        flags_col = self._flags_col
+        gates = self._rename_gates
+        views = self._trace_views
+        trace = self.trace
+        dispatch_ready = cycle + cfg.rename_to_dispatch + 1
+        nop = ExecClass.NOP
+        dispatch_bucket = None
+        for _ in range(cfg.rename_width):
+            if not decode_queue:
+                return
+            head = decode_queue[0]
+            if head[0] > cycle:
+                return
+            index = head[1]
+            fl = flags_col[index]
+            if len(rob_entries) >= rob_capacity:
+                stats.stall_rob_full += 1
+                return
+            if fl & _F_IS_LOAD and lsq.lq_full:
+                stats.stall_lq_full += 1
+                return
+            if fl & _F_IS_STORE and lsq.sq_full:
+                stats.stall_sq_full += 1
+                return
+            if self._iq_len >= iq_entries:
+                stats.stall_iq_full += 1
+                return
+            uop = views[index]
+            if uop is None:
+                uop = trace[index]
+            if not renamer.can_rename(uop):
+                stats.stall_no_phys_reg += 1
+                return
+            if index + 1 == head[2]:
+                decode_queue.popleft()
+            else:
+                head[1] = index + 1
+            self._decode_q_uops -= 1
+            self._activity += 1
+            entry = RobEntry(index, uop)   # seq == index in span mode
+            outcome = renamer.rename(entry, cycle, gates[index])
+            rob_entries.append(entry)   # capacity checked above (rob.push)
+            entries_by_seq[index] = entry
+            if outcome.eliminated:
+                if self.elim_audit is not None:
+                    self.elim_audit.check(uop, entry.elim_kind)
+                if outcome.resolved_branch_taken is not None:
+                    stats.spsr_resolved_branches += 1
+                    if self.waiting_branch_seq == index:
+                        self._resume_fetch_after(cycle)
+                continue
+            if entry.vp_used:
+                stats.vp_predicted_used += 1
+            if uop.cls is nop:
+                entry.state = UopState.DONE
+                entry.complete_cycle = cycle
+                continue
+            entry.issue_ready_cycle = dispatch_ready
+            entry.select_gate = dispatch_ready
+            entry.in_iq = True
+            iq.append(entry)
+            self._iq_len += 1
+            stats.iq_dispatched += 1
+            if dispatch_ready < self._iq_min_gate:
+                self._iq_min_gate = dispatch_ready
+            # Park straight into the dispatch-cycle gate bucket; the
+            # scheduler activates it when dispatch_ready arrives.
+            if dispatch_bucket is None:
+                parked = self._iq_parked
+                dispatch_bucket = parked.get(dispatch_ready)
+                if dispatch_bucket is None:
+                    dispatch_bucket = parked[dispatch_ready] = []
+                    heapq.heappush(self._iq_park_heap, dispatch_ready)
+            dispatch_bucket.append(entry)
+            if fl & _F_IS_LOAD:
+                lq_entry = LsqEntry(index, uop.addr, uop.size, entry)
+                lsq.add_load(lq_entry)
+                dep = self.store_sets.load_dependence(uop.pc)
+                if dep is not None and dep in self.store_entries:
+                    entry.wait_store_seq = dep
+            elif fl & _F_IS_STORE:
+                sq_entry = LsqEntry(index, uop.addr, uop.size, entry)
+                lsq.add_store(sq_entry)
+                self.store_entries[index] = sq_entry
+                self.store_sets.store_renamed(uop.pc, index)
+
+
+def _truncate_spans(queue, flush_seq):
+    """Drop/trim spans at a flush point; returns (queue, surviving µops)."""
+    kept = deque()
+    uops = 0
+    for span in queue:
+        if span[1] >= flush_seq:
+            continue
+        if span[2] > flush_seq:
+            span[2] = flush_seq
+        kept.append(span)
+        uops += span[2] - span[1]
+    return kept, uops
 
 
 def simulate(program_or_trace, config=None, max_instructions=50_000):

@@ -1,0 +1,327 @@
+"""Selectable timing-core backends (the inner-kernel ``Engine`` interface).
+
+The cycle loop in :mod:`repro.pipeline.core` is the *reference
+interpreter*: one µop at a time, plain Python, easy to audit.  This
+module factors the loop's stage implementations behind an :class:`Engine`
+so a faster backend can be swapped in at runtime without touching the
+model's architecture:
+
+* ``interp`` — the default.  Exactly the reference stage methods.
+* ``batch`` — the vectorized backend.  Per-trace packed arrays (rename
+  eligibility gates, fetch chunk boundaries) are precomputed over the
+  :class:`~repro.emulator.trace.ColumnarTrace` columns — with NumPy when
+  available, with equivalent pure-Python loops otherwise — and the
+  frontend processes whole fetch/decode groups as index spans against
+  those arrays instead of walking µop attributes one at a time.
+
+Every backend must reproduce the reference counters **byte-identically**;
+the golden counter vectors, the differential fuzzer and the sweep
+byte-identity check are the gate.  Because results are identical, the
+engine choice is excluded from result-cache fingerprints (see
+``MachineConfig.engine``): a batch run hits cache entries produced by an
+interp run and vice versa.
+
+Selection order: ``MachineConfig.engine`` > ``REPRO_ENGINE`` environment
+variable > ``"interp"``.
+"""
+
+import os
+from array import array
+
+from repro.emulator.trace import (_F_HAS_IMM, _F_HAS_IMM2, _F_IMM_NEG,
+                                  _F_IS_BRANCH, _F_VP_ELIG, ColumnarTrace)
+from repro.isa.bits import fits_signed
+from repro.isa.opcodes import Op
+from repro.isa.registers import XZR
+
+try:                                    # optional: the container may lack it
+    import numpy as _np
+except ImportError:                     # pragma: no cover - environment
+    _np = None
+
+# Rename-gate bits: a CLEAR bit is a proof the corresponding rename path
+# returns None/False for this µop, so the renamer may skip it entirely.
+GATE_DSR = 1        # _dsr could eliminate (static candidacy under config)
+GATE_SPSR = 2       # SpSR enabled and op statically reducible
+GATE_VP = 4         # value prediction enabled and µop is VP-eligible
+
+_MOVE_IDIOM = (Op.ADD, Op.ORR, Op.EOR)
+
+
+class Engine:
+    """One timing-core backend; stateless, shared across models."""
+
+    name = None
+
+    def prepare(self, model):
+        """Install backend state on *model* before the run."""
+
+    def run(self, model, max_cycles, progress_window):
+        return model._run(max_cycles, progress_window)
+
+
+class InterpEngine(Engine):
+    """The reference backend: the per-µop pure-Python stage methods."""
+
+    name = "interp"
+
+
+class BatchEngine(Engine):
+    """Span-batched frontend over precomputed per-trace packed arrays."""
+
+    name = "batch"
+
+    def prepare(self, model):
+        trace = model.trace
+        if not isinstance(trace, ColumnarTrace):
+            # List traces have no columns to batch over; run the
+            # reference path (identical results by construction).
+            return
+        model._fetch_chunk_end = _fetch_chunk_ends(trace)
+        if model.vtage is not None:
+            model._vp_next = _vp_next(trace)
+        model._rename_gates = _rename_gates(trace, model.config,
+                                            model.renamer)
+        model._use_span_queues()
+
+
+_ENGINES = {cls.name: cls() for cls in (InterpEngine, BatchEngine)}
+
+
+def resolve_engine(name=None):
+    """The engine for *name* (or the environment/default fallback)."""
+    name = name or os.environ.get("REPRO_ENGINE") or "interp"
+    engine = _ENGINES.get(name)
+    if engine is None:
+        raise ValueError(f"unknown engine {name!r}; "
+                         f"valid engines: {sorted(_ENGINES)}")
+    return engine
+
+
+def engine_names():
+    return sorted(_ENGINES)
+
+
+# -- per-trace packed precomputes -------------------------------------------------
+#
+# Everything below is memoized in ``trace.derived`` so the arrays are
+# built once per trace (per config class where relevant) and shared by
+# every model replaying it.
+
+_LINE_SHIFT = 6
+
+
+def _fetch_chunk_ends(trace):
+    """``end[i]``: first index > i that fetch must examine individually.
+
+    A chunk ``[i, end[i])`` is a run of µops on one cache line with no
+    branch — the fetch stage may enqueue it as a single span after one
+    line-buffer check (VP-eligible µops inside the chunk are predicted
+    via the :func:`_vp_next` skip-index, so they do not break chunks).
+    ``end[i] == i`` marks µop *i* itself as a branch: handle it one µop
+    at a time.
+    """
+    special_mask = _F_IS_BRANCH
+    key = ("batch", "fetch_chunk_end", special_mask)
+    ends = trace.derived.get(key)
+    if ends is not None:
+        return ends
+    flags = trace.columns["flags"]
+    lines = trace.line_column(_LINE_SHIFT)
+    n = len(flags)
+    if _np is not None:
+        fl = _np.frombuffer(flags, dtype=_np.uint32)
+        ln = _np.frombuffer(lines, dtype=_np.uint64)
+        special = (fl & special_mask) != 0
+        # next special index at-or-after i, via a reversed running min.
+        nsp = _np.full(n + 1, n, dtype=_np.int64)
+        idx = _np.flatnonzero(special)
+        nsp[idx] = idx
+        nsp = _np.minimum.accumulate(nsp[::-1])[::-1]
+        # first index after i on a different cache line.
+        lre = _np.empty(n + 1, dtype=_np.int64)
+        lre[n] = n
+        change = _np.flatnonzero(ln[1:] != ln[:-1]) + 1
+        bounds = _np.concatenate([change, [n]])
+        lre[:n] = bounds[_np.searchsorted(change, _np.arange(n),
+                                          side="right")]
+        out = _np.minimum(nsp[:n], lre[:n])
+        out[special] = idx  # special µops mark themselves (end == i)
+        ends = array("q", out.tobytes())
+    else:
+        ends = array("q", bytes(8 * n))
+        nsp = n
+        lre = n
+        prev_line = None
+        for i in range(n - 1, -1, -1):
+            line = lines[i]
+            if prev_line is not None and line != prev_line:
+                lre = i + 1
+            prev_line = line
+            if flags[i] & special_mask:
+                nsp = i
+                ends[i] = i
+            else:
+                ends[i] = nsp if nsp < lre else lre
+    trace.derived[key] = ends
+    return ends
+
+
+def _vp_next(trace):
+    """``nxt[i]``: first index >= i that is VP-eligible (``n`` if none).
+
+    Length ``n + 1``, so fetch can hop eligible µops inside a chunk with
+    ``j = nxt[j + 1]`` without a bounds check.  Inside a chunk there are
+    no branches, hence no history pushes, so predicting the eligible
+    µops in index order is exactly the reference fetch order.
+    """
+    key = ("batch", "vp_next")
+    nxt = trace.derived.get(key)
+    if nxt is not None:
+        return nxt
+    flags = trace.columns["flags"]
+    n = len(flags)
+    if _np is not None:
+        fl = _np.frombuffer(flags, dtype=_np.uint32)
+        nxt_a = _np.full(n + 1, n, dtype=_np.int64)
+        idx = _np.flatnonzero((fl & _F_VP_ELIG) != 0)
+        nxt_a[idx] = idx
+        nxt_a = _np.minimum.accumulate(nxt_a[::-1])[::-1]
+        nxt = array("q", nxt_a.tobytes())
+    else:
+        nxt = array("q", bytes(8 * (n + 1)))
+        nv = n
+        nxt[n] = n
+        for i in range(n - 1, -1, -1):
+            if flags[i] & _F_VP_ELIG:
+                nv = i
+            nxt[i] = nv
+    trace.derived[key] = nxt
+    return nxt
+
+
+def _rename_gates(trace, config, renamer):
+    """One gate byte per µop: which rename decision paths can apply.
+
+    The gates are a *sound upper bound* mirroring the static guards in
+    :meth:`Renamer._dsr` / ``statically_reducible`` / ``vp_eligible``: a
+    clear bit means the path provably returns nothing for that µop, so
+    the batch rename loop skips the call.  Keyed by the config knobs the
+    guards read, so configs sharing knobs share the packed array.
+    """
+    en_move = config.enable_move_elimination
+    en_01 = config.enable_zero_one_idiom
+    en_9 = config.enable_nine_bit_idiom
+    spsr_on = renamer.spsr is not None
+    vp_on = renamer.vtage is not None
+    key = ("batch", "rename_gates", en_move, en_01, en_9,
+           spsr_on and config.spsr_constant_folding, spsr_on, vp_on)
+    gates = trace.derived.get(key)
+    if gates is not None:
+        return gates
+    cols = trace.columns
+    n = len(trace)
+    ops = cols["op"]
+    dst = cols["dst"]
+    flags = cols["flags"]
+    imm = cols["imm"]
+    src_off = cols["src_off"]
+    src_flat = cols["src_reg_flat"]
+    op_index = {op: i for i, op in enumerate(Op)}
+    movz = op_index[Op.MOVZ]
+    mov = op_index[Op.MOV]
+    dsr_src_ops = frozenset(op_index[op]
+                            for op in (Op.EOR, Op.AND) + _MOVE_IDIOM)
+    spsr_dst = spsr_nodst = frozenset()
+    if spsr_on:
+        spsr_dst = frozenset(op_index[op] for op in renamer._spsr_ops_dst)
+        spsr_nodst = frozenset(op_index[op]
+                               for op in renamer._spsr_ops_nodst)
+    gates = bytearray(n)
+    if _np is not None:
+        op_a = _np.frombuffer(ops, dtype=_np.uint16).astype(_np.int64)
+        dst_a = _np.frombuffer(dst, dtype=_np.int16).astype(_np.int64)
+        fl_a = _np.frombuffer(flags, dtype=_np.uint32)
+        gate_a = _np.zeros(n, dtype=_np.uint8)
+        if vp_on:
+            gate_a |= _np.where((fl_a & _F_VP_ELIG) != 0, GATE_VP, 0
+                                ).astype(_np.uint8)
+        if spsr_on:
+            has_dst = dst_a >= 0
+            hit = _np.where(has_dst,
+                            _np.isin(op_a, sorted(spsr_dst)),
+                            _np.isin(op_a, sorted(spsr_nodst)))
+            gate_a |= _np.where(hit, GATE_SPSR, 0).astype(_np.uint8)
+        # DSR candidacy: the immediate-only cases vectorize; the
+        # source-register cases are refined µop-by-µop below, over the
+        # (typically small) candidate subset only.
+        dsr = _np.zeros(n, dtype=bool)
+        has_dst = dst_a >= 0
+        if en_move:
+            dsr |= has_dst & (op_a == mov)
+        if en_01 or en_9:
+            imm_a = _np.frombuffer(imm, dtype=_np.uint64).astype(object)
+            has_imm = (fl_a & _F_HAS_IMM) != 0
+            neg = (fl_a & _F_IMM_NEG) != 0
+            is_movz = has_dst & (op_a == movz) & has_imm
+            if en_01:
+                dsr |= is_movz & ~neg & ((imm_a == 0) | (imm_a == 1))
+            if en_9:
+                small = (imm_a < 256) | (neg & (imm_a <= 256))
+                dsr |= is_movz & small
+        maybe_src = has_dst & _np.isin(op_a, sorted(dsr_src_ops))
+        gate_a |= _np.where(dsr, GATE_DSR, 0).astype(_np.uint8)
+        gates[:] = gate_a.tobytes()
+        src_candidates = _np.flatnonzero(maybe_src & ~dsr)
+    else:
+        for i in range(n):
+            gate = 0
+            if vp_on and flags[i] & _F_VP_ELIG:
+                gate = GATE_VP
+            if spsr_on and ops[i] in (spsr_dst if dst[i] >= 0
+                                      else spsr_nodst):
+                gate |= GATE_SPSR
+            if dst[i] >= 0:
+                op = ops[i]
+                if op == mov:
+                    if en_move:
+                        gate |= GATE_DSR
+                elif op == movz:
+                    if (en_01 or en_9) and flags[i] & _F_HAS_IMM:
+                        value = imm[i]
+                        if flags[i] & _F_IMM_NEG:
+                            value = -value
+                        if (en_01 and value in (0, 1)) \
+                                or (en_9 and fits_signed(value, 9)):
+                            gate |= GATE_DSR
+                elif op in dsr_src_ops and not gate & GATE_DSR:
+                    if _dsr_src_candidate(op, op_index, src_flat,
+                                          src_off[i], src_off[i + 1],
+                                          flags[i], en_move, en_01):
+                        gate |= GATE_DSR
+            gates[i] = gate
+        trace.derived[key] = gates
+        return gates
+    for i in src_candidates.tolist():
+        if _dsr_src_candidate(ops[i], op_index, src_flat, src_off[i],
+                              src_off[i + 1], flags[i], en_move, en_01):
+            gates[i] |= GATE_DSR
+    trace.derived[key] = gates
+    return gates
+
+
+def _dsr_src_candidate(op, op_index, src_flat, s0, s1, fl, en_move, en_01):
+    """The source-register DSR guards of :meth:`Renamer._dsr`, statically."""
+    n_src = s1 - s0
+    eor = op_index[Op.EOR]
+    if en_01 and op == eor and n_src == 2 \
+            and src_flat[s0] == src_flat[s0 + 1] \
+            and not fl & _F_HAS_IMM2 and src_flat[s0] != XZR:
+        return True
+    has_xzr = any(src_flat[j] == XZR for j in range(s0, s1))
+    if en_01 and op == op_index[Op.AND] and has_xzr:
+        return True
+    if en_move and n_src == 2 and has_xzr and not fl & _F_HAS_IMM2 \
+            and op in (op_index[Op.ADD], op_index[Op.ORR], eor):
+        return True
+    return False

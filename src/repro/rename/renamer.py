@@ -120,8 +120,15 @@ class Renamer:
         return not uop.writes_flags or self.flags_prf.free_count > 0
 
     # -- main entry point --------------------------------------------------------------
-    def rename(self, entry, cycle):
-        """Rename one µop into *entry*; assumes :meth:`can_rename` passed."""
+    def rename(self, entry, cycle, gate=7):
+        """Rename one µop into *entry*; assumes :meth:`can_rename` passed.
+
+        *gate* is a precomputed static-eligibility byte (bit 0: DSR may
+        apply, bit 1: SpSR may apply, bit 2: VP may apply — see
+        ``repro.pipeline.engine``): a clear bit is a proof the path
+        returns nothing for this µop, so the call is skipped outright.
+        The default enables every path — the reference behavior.
+        """
         uop = entry.uop
         rat = self.rat
         # Source names resolve against the pre-update RAT (direct map
@@ -129,14 +136,16 @@ class Renamer:
         spec = rat.spec
         entry.src_names = tuple([spec[reg] for reg in uop.deps])
 
-        reduction = self._strength_reduce(entry, uop, cycle)
-        if reduction is not None:
-            outcome = RenameOutcome()
-            kind, payload = reduction
-            self._apply_elimination(entry, uop, kind, payload, cycle, outcome)
-            return outcome
+        if gate & 3:
+            reduction = self._strength_reduce(entry, uop, cycle, gate)
+            if reduction is not None:
+                outcome = RenameOutcome()
+                kind, payload = reduction
+                self._apply_elimination(entry, uop, kind, payload, cycle,
+                                        outcome)
+                return outcome
 
-        vp_used = self._try_value_predict(entry, uop, cycle)
+        vp_used = gate & 4 and self._try_value_predict(entry, uop, cycle)
         if not vp_used and uop.dst is not None:
             self._allocate_dest(entry, uop)
         if uop.writes_flags:
@@ -144,16 +153,17 @@ class Renamer:
         return _VP_OUTCOME if vp_used else _PLAIN_OUTCOME
 
     # -- strength reduction decision -------------------------------------------------
-    def _strength_reduce(self, entry, uop, cycle):
+    def _strength_reduce(self, entry, uop, cycle, gate=3):
         """Returns ``(stat_kind, payload)`` or None.
 
         payload: ('value', value, flags|None) or ('move', src_index,
         flags|None) or ('branch', taken).
         """
-        dsr = self._dsr(entry, uop)
-        if dsr is not None:
-            return dsr
-        if self.spsr is None:
+        if gate & 1:
+            dsr = self._dsr(entry, uop)
+            if dsr is not None:
+                return dsr
+        if not gate & 2 or self.spsr is None:
             return None
         if uop.op not in (self._spsr_ops_dst if uop.dst is not None
                           else self._spsr_ops_nodst):

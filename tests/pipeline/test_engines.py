@@ -1,0 +1,190 @@
+"""The engine contract: every timing-core backend is counter-identical.
+
+The ``batch`` engine restructures hot loops (span queues, packed rename
+gates, event-driven select, branch-chunked fetch) but must reproduce the
+reference ``interp`` engine byte for byte — same counters, same final
+cycle, on every workload and configuration.  These tests pin that
+contract from four directions:
+
+* direct interp-vs-batch identity over a (workload x config) matrix;
+* the golden-stats snapshot replayed under ``engine="batch"``;
+* the ``REPRO_NO_EVENT_SKIP=1`` per-cycle reference loop against the
+  event clock, across random differential-fuzz programs;
+* the result-cache fingerprint, which must not see the engine at all
+  (a batch run must hit a cache entry an interp run produced).
+"""
+
+import time
+from dataclasses import asdict
+
+import pytest
+
+from repro.emulator.trace import ColumnarTrace, trace_program
+from repro.harness.cache import (SimulationCache, config_fingerprint,
+                                 simulation_key)
+from repro.harness.runner import ExperimentRunner
+from repro.isa.assembler import assemble
+from repro.pipeline.core import CpuModel, SimulationDeadlock
+from repro.pipeline.engine import engine_names, resolve_engine
+from repro.workloads import get_workload
+
+from tests.differential.progen import generate_source
+
+_BUDGET = 1500
+_WORKLOADS = ("hash_loop", "sparse_graph", "xml_tree")
+_CONFIGS = ("baseline", "mvp", "tvp+spsr", "gvp+spsr")
+
+
+def _columnar_trace(workload_name, budget=_BUDGET):
+    uops, _stats = trace_program(get_workload(workload_name).program,
+                                 max_instructions=budget)
+    return ColumnarTrace.from_uops(uops, keep_views=True)
+
+
+def _counters(trace, config):
+    result = CpuModel(trace, config).run()
+    payload = asdict(result.stats)
+    payload["_final_cycle"] = result.stats.cycles
+    return payload
+
+
+# -- engine selection ---------------------------------------------------------------
+def test_resolve_engine_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown engine"):
+        resolve_engine("vectorized-but-wrong")
+
+
+def test_engine_registry_names():
+    assert engine_names() == ["batch", "interp"]
+    for name in engine_names():
+        assert resolve_engine(name).name == name
+
+
+def test_engine_selection_precedence(monkeypatch):
+    # config.engine > $REPRO_ENGINE > interp
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    assert resolve_engine(None).name == "interp"
+    monkeypatch.setenv("REPRO_ENGINE", "batch")
+    assert resolve_engine(None).name == "batch"
+    assert resolve_engine("interp").name == "interp"
+
+
+# -- interp vs batch identity -------------------------------------------------------
+@pytest.mark.parametrize("workload", _WORKLOADS)
+def test_interp_batch_identity(workload, monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    trace = _columnar_trace(workload)
+    for name in _CONFIGS:
+        interp = _counters(trace, ExperimentRunner.config(
+            name, engine="interp"))
+        batch = _counters(trace, ExperimentRunner.config(
+            name, engine="batch"))
+        assert batch == interp, (workload, name)
+
+
+def test_golden_matrix_under_batch_engine(monkeypatch):
+    """The pinned golden snapshot holds verbatim on the batch engine."""
+    from tests.golden.regen import CONFIGS, KERNELS, load_snapshot
+    from repro.pipeline.stats import PipelineStats
+
+    monkeypatch.setenv("REPRO_ENGINE", "batch")
+    snapshot = load_snapshot()
+    for kernel in KERNELS:
+        trace = _columnar_trace(kernel, budget=snapshot["budget"])
+        for config in CONFIGS:
+            stats = CpuModel(trace, ExperimentRunner.config(
+                config)).run().stats
+            current = {name: getattr(stats, name)
+                       for name in PipelineStats.counter_names()}
+            assert current == snapshot["stats"][kernel][config], \
+                (kernel, config)
+
+
+# -- event clock vs per-cycle reference ---------------------------------------------
+@pytest.mark.parametrize("index", range(6))
+def test_event_skip_identity_on_random_programs(index, monkeypatch):
+    """REPRO_NO_EVENT_SKIP=1 (pure per-cycle loop) is byte-identical to
+    the event clock — stats and final cycle — on both engines."""
+    program = assemble(generate_source(0x5EED0E5C, index))
+    uops, _stats = trace_program(program, max_instructions=_BUDGET)
+    trace = ColumnarTrace.from_uops(uops, keep_views=True)
+    config = ExperimentRunner.config(
+        _CONFIGS[index % len(_CONFIGS)])
+    for engine in engine_names():
+        monkeypatch.setenv("REPRO_ENGINE", engine)
+        monkeypatch.delenv("REPRO_NO_EVENT_SKIP", raising=False)
+        skipping = _counters(trace, config)
+        monkeypatch.setenv("REPRO_NO_EVENT_SKIP", "1")
+        reference = _counters(trace, config)
+        assert skipping == reference, (index, engine)
+
+
+# -- deadlock watchdog --------------------------------------------------------------
+@pytest.mark.parametrize("engine", ("interp", "batch"))
+def test_watchdog_catches_far_future_stall(engine, monkeypatch):
+    """A bogus far-future fetch stall must trip the watchdog promptly.
+
+    The event clock compresses the whole stall window into a handful of
+    loop iterations, so an iteration-counting watchdog would sail past
+    it; the cycle-distance watchdog must still fire.
+    """
+    monkeypatch.delenv("REPRO_NO_EVENT_SKIP", raising=False)
+    trace = _columnar_trace("hash_loop", budget=200)
+    model = CpuModel(trace, ExperimentRunner.config(
+        "baseline", engine=engine))
+    model.fetch_stall_until = 10 ** 7
+    with pytest.raises(SimulationDeadlock, match="no commit for"):
+        model.run(progress_window=5_000)
+
+
+# -- cache fingerprint excludes the engine ------------------------------------------
+def test_engine_never_reaches_fingerprint():
+    prints = {config_fingerprint(ExperimentRunner.config("tvp",
+                                                         engine=engine))
+              for engine in (None, "interp", "batch")}
+    assert len(prints) == 1
+
+
+def test_batch_run_hits_interp_cache_entry(tmp_path, monkeypatch):
+    """A result simulated on interp must be served from the cache to a
+    batch-engine run of the same point (and vice versa)."""
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    cache = SimulationCache(tmp_path)
+    workload = get_workload("hash_loop")
+
+    runner = ExperimentRunner(workloads=[workload], instructions=_BUDGET,
+                              cache=cache)
+    interp_cfg = ExperimentRunner.config("tvp", engine="interp")
+    record = runner.run(workload, "tvp", interp_cfg)
+    assert cache.stores == 1
+
+    batch_cfg = ExperimentRunner.config("tvp", engine="batch")
+    key = simulation_key(workload.name, _BUDGET,
+                         config_fingerprint(batch_cfg))
+    assert cache.has(key)
+
+    rerun = ExperimentRunner(workloads=[workload], instructions=_BUDGET,
+                             cache=cache)
+    served = rerun.run(workload, "tvp", batch_cfg)
+    assert cache.hits == 1 and cache.stores == 1
+    assert asdict(served.stats) == asdict(record.stats)
+
+
+# -- stage profiling is observational -----------------------------------------------
+def test_profile_stages_changes_no_counter(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "batch")
+    trace = _columnar_trace("hash_loop")
+    config = ExperimentRunner.config("gvp+spsr")
+    plain = _counters(trace, config)
+
+    model = CpuModel(trace, config)
+    model.enable_stage_profile(time.perf_counter)
+    result = model.run()
+    profiled = asdict(result.stats)
+    profiled["_final_cycle"] = result.stats.cycles
+
+    assert profiled == plain
+    assert sorted(model.stage_profile) == [
+        "commit", "complete", "decode", "fetch", "issue", "rename"]
+    assert all(seconds >= 0.0 for seconds in model.stage_profile.values())
+    assert sum(model.stage_profile.values()) > 0.0
