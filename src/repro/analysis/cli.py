@@ -9,7 +9,16 @@ the static SpSR/TVP opportunity map, then simulate with the per-µop
 elimination audit attached and cross-check the retired elimination
 counters against the trace's static upper bounds.
 
-``lint``   — run the determinism lint (DET001-DET004) over ``src/repro``.
+``lint``   — run the determinism lint (DET001-DET004) over ``src/repro``
+plus the DET005 stats/interval schema cross-check.
+
+JSON contract (both commands): every payload carries a ``schema``
+version field (``audit/2`` / ``lint/2`` — bumped whenever the shape
+changes, like the benchmark suite's ``bench_throughput/2``) and a
+``suppressed_warnings`` count; the exit code is uniformly ``0`` iff
+``payload["ok"]`` — warnings without ``--strict`` are *suppressed* (ok
+stays true, exit 0, count recorded), exactly like an empty findings
+list.
 """
 
 import argparse
@@ -17,8 +26,14 @@ import json
 import sys
 from pathlib import Path
 
-from repro.analysis.findings import ERROR, Finding, findings_to_json, has_errors
-from repro.analysis.lint import lint_paths
+from repro.analysis.findings import (
+    ERROR,
+    WARNING,
+    Finding,
+    findings_to_json,
+    has_errors,
+)
+from repro.analysis.lint import lint_paths, lint_stats_coverage
 from repro.analysis.opportunity import (
     EliminationAudit,
     EliminationAuditError,
@@ -72,14 +87,28 @@ def audit_workload(workload, config=None, instructions=None):
     return findings, summary
 
 
-def _emit(findings, payload, as_json, ok_message):
-    if as_json:
+def _finish(findings, payload, args, ok_message):
+    """Shared payload tail + emission + exit code for both commands.
+
+    The JSON shape and the exit-code rule are identical for ``audit``
+    and ``lint``: ``ok`` is :func:`has_errors` under the strictness
+    chosen, warnings not promoted by ``--strict`` are counted in
+    ``suppressed_warnings`` (so an empty-findings exit 0 and a
+    suppressed-warnings exit 0 are distinguishable from the payload),
+    and the exit code is ``0`` iff ``ok``.
+    """
+    strict = args.strict
+    payload["ok"] = not has_errors(findings, strict=strict)
+    payload["suppressed_warnings"] = (
+        0 if strict else sum(1 for f in findings if f.severity == WARNING))
+    if args.as_json:
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         for finding in findings:
             print(finding.render())
         if not findings:
             print(ok_message)
+    return 0 if payload["ok"] else 1
 
 
 def run_audit(argv=None):
@@ -111,21 +140,21 @@ def run_audit(argv=None):
         findings.extend(kernel_findings)
         summaries[workload.name] = summary
     payload = {
+        "schema": "audit/2",
         "command": "audit",
         "config": args.config,
         "findings": findings_to_json(findings),
         "kernels": summaries,
-        "ok": not has_errors(findings, strict=args.strict),
     }
-    _emit(findings, payload, args.as_json,
-          f"audit ok: {len(workloads)} kernels verified and cross-checked")
-    return 0 if payload["ok"] else 1
+    return _finish(findings, payload, args,
+                   f"audit ok: {len(workloads)} kernels verified and "
+                   "cross-checked")
 
 
 def run_lint(argv=None):
     parser = argparse.ArgumentParser(
         prog="harness lint",
-        description="Determinism lint (DET001-DET004) over the simulator.")
+        description="Determinism lint (DET001-DET005) over the simulator.")
     parser.add_argument("paths", nargs="*",
                         help="package roots to lint (default: src/repro)")
     parser.add_argument("--json", action="store_true", dest="as_json",
@@ -142,14 +171,17 @@ def run_lint(argv=None):
     findings = []
     for root in roots:
         findings.extend(lint_paths(root))
+    # DET005 is a schema cross-check over the live PipelineStats and
+    # interval-sampler declarations — path-independent, so it runs once
+    # per invocation regardless of which roots were linted.
+    findings.extend(lint_stats_coverage())
     payload = {
+        "schema": "lint/2",
         "command": "lint",
         "findings": findings_to_json(findings),
-        "ok": not has_errors(findings, strict=args.strict),
     }
-    _emit(findings, payload, args.as_json,
-          f"lint ok: {', '.join(str(r) for r in roots)} is clean")
-    return 0 if payload["ok"] else 1
+    return _finish(findings, payload, args,
+                   f"lint ok: {', '.join(str(r) for r in roots)} is clean")
 
 
 def main(argv=None):

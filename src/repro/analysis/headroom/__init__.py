@@ -1,0 +1,32 @@
+"""Static headroom analysis: analytic lower bounds on simulated cycles.
+
+Per (workload, config) the analyzer computes, from the committed-µop
+trace alone:
+
+* a **dependence lower bound** — the longest path through the data /
+  memory dependence graph (:mod:`.graph`), evaluated with and without
+  the edges VP/SpSR/DSR can legally break under the config;
+* a **structural lower bound** — machine-limit bounds (widths, issue
+  ports, ROB/LQ/SQ/PRF windows) over the same trace (:mod:`.structural`);
+* **headroom attribution** — ``actual_cycles - max(dep_lb,
+  structural_lb)`` decomposed against the interval tracer's time series
+  into flush storms, VP-miss/silencing windows and queue pressure
+  (:mod:`.attribution`).
+
+Soundness invariant (asserted by tests and the `harness headroom` CLI):
+``max(dep_lb, structural_lb) <= actual_cycles`` for every workload,
+config and engine.  Both bounds are *optimistic* — they assume every
+statically eliminable µop is eliminated and every value prediction is
+correct — so they can only shrink, never exceed, the simulated cycle
+count.
+"""
+
+from repro.analysis.headroom.graph import DependenceBound, dependence_bound
+from repro.analysis.headroom.report import HEADROOM_SCHEMA, analyze_headroom
+from repro.analysis.headroom.structural import StructuralBound, structural_bound
+
+__all__ = [
+    "DependenceBound", "dependence_bound",
+    "StructuralBound", "structural_bound",
+    "HEADROOM_SCHEMA", "analyze_headroom",
+]

@@ -1,0 +1,116 @@
+"""Headroom attribution: where the cycles above the bound actually went.
+
+``headroom = actual_cycles - max(dep_lb, structural_lb)`` says *how many*
+cycles neither dataflow nor machine limits explain; this module says
+*where* they went.  One traced simulation (interval sampling only, no
+per-µop lifetimes — counters are bit-identical to the untraced run, so
+the measured ``actual_cycles`` is the real one) yields the
+:class:`~repro.observability.interval.MetricsTimeSeries`; each interval's
+*lost* cycles — its width minus the cycles its retired µops would need at
+full commit width — are split across three causes:
+
+* **queue_pressure** — rename-stall cycles (``stall_*`` deltas), a
+  direct cycle count;
+* **flush_storms**   — branch mispredicts + memory-order flushes, each
+  costed at the pipeline-refill estimate (redirect penalty plus the
+  frontend stage latencies);
+* **vp_miss_silencing** — VP flushes, each costed at a refill plus the
+  silencing shadow (``vp_silence_cycles``, capped at the interval width)
+  during which prediction is suppressed, plus replayed recoveries.
+
+Within an interval the three scores are proportional weights over the
+interval's lost cycles, capped at their own estimate; the remainder is
+**other** (cache misses, fetch gaps, dispatch bubbles).  The split is an
+explicitly heuristic *attribution* — the headroom total it decomposes is
+exact, and the decomposition is deterministic for a given trace/config.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.observability.config import TraceConfig
+from repro.pipeline.core import CpuModel
+
+BUCKETS = ("queue_pressure", "flush_storms", "vp_miss_silencing", "other")
+
+
+def refill_estimate(config):
+    """Estimated cycles to refill the pipeline after a squash."""
+    return (config.redirect_penalty + config.fetch_to_decode
+            + config.decode_to_rename + config.rename_to_dispatch + 2)
+
+
+@dataclass
+class Attribution:
+    """One traced run's lost-cycle decomposition."""
+
+    actual_cycles: int
+    ipc: float
+    buckets: Dict[str, float]            # lost cycles per cause
+    dominant_intervals: Dict[str, int]   # intervals where a cause led
+    samples: int
+    lost_cycles: float                   # total above ideal commit rate
+    stats: object                        # the run's PipelineStats
+
+    def to_dict(self):
+        return {
+            "buckets": {k: round(v, 1) for k, v in self.buckets.items()},
+            "dominant_intervals": dict(self.dominant_intervals),
+            "samples": self.samples,
+            "lost_cycles": round(self.lost_cycles, 1),
+        }
+
+
+def attribute(trace, config, sample_interval=500):
+    """Run one traced simulation and decompose its lost cycles.
+
+    Tracing is observational only (stats are bit-identical with it on or
+    off), so the returned ``actual_cycles`` is exactly what an untraced
+    run of the same (trace, config) produces.
+    """
+    traced = config.with_(trace=TraceConfig(
+        sample_interval=sample_interval, max_lifetimes=0))
+    model = CpuModel(trace, traced)
+    stats = model.run().stats
+    series = model.tracer.series
+    samples = series.samples if series is not None else []
+
+    refill = refill_estimate(config)
+    commit_width = config.commit_width
+    buckets = {name: 0.0 for name in BUCKETS}
+    dominant = {name: 0 for name in BUCKETS}
+    lost_total = 0.0
+    for sample in samples:
+        if not sample.cycles:
+            continue
+        lost = sample.cycles - sample.retired_uops / commit_width
+        if lost <= 0:
+            continue
+        lost_total += lost
+        scores = {
+            "queue_pressure": float(sample.stall_cycles),
+            "flush_storms": refill * (sample.branch_mispredicts
+                                      + sample.memory_order_flushes),
+            "vp_miss_silencing":
+                sample.vp_flushes * (refill + min(config.vp_silence_cycles,
+                                                  sample.cycles))
+                + 2.0 * sample.vp_replays,
+        }
+        total = sum(scores.values())
+        if total <= 0:
+            buckets["other"] += lost
+            dominant["other"] += 1
+            continue
+        explained = min(lost, total)
+        shares = {name: explained * score / total
+                  for name, score in scores.items()}
+        shares["other"] = lost - explained
+        for name, share in shares.items():
+            buckets[name] += share
+        leader = max(BUCKETS, key=lambda name: shares[name])
+        dominant[leader] += 1
+
+    return Attribution(actual_cycles=stats.cycles, ipc=stats.ipc,
+                       buckets=buckets, dominant_intervals=dominant,
+                       samples=len(samples), lost_cycles=lost_total,
+                       stats=stats)

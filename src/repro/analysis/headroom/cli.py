@@ -1,0 +1,200 @@
+"""``harness headroom`` — per-workload headroom reports from the CLI.
+
+Two modes::
+
+    harness headroom <workload> [--config tvp+spsr] [--top N] [--json]
+    harness headroom --all [--workloads a,b,c] [--configs ...] [--json]
+
+The first prints a detailed per-config report (critical-path excerpt
+with source-line provenance, ``--top N`` sites); the second a sweep-wide
+markdown table (or, with ``--json``, a single document carrying every
+report).  Reports are cache-keyed like simulation results
+(:func:`repro.harness.cache.headroom_key`), so warm invocations never
+re-simulate.  The exit code is non-zero iff any report violates the
+soundness invariant ``max(dep_lb, structural_lb) <= actual_cycles`` —
+which is what CI runs this for.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_CONFIGS = "baseline,tvp,tvp+spsr,gvp+spsr"
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-harness headroom",
+        description="Analytic cycle lower bounds (dependence + structural) "
+                    "and headroom attribution per (workload, config).")
+    parser.add_argument("workloads", nargs="*",
+                        help="workload names for detailed reports")
+    parser.add_argument("--all", action="store_true",
+                        help="sweep-wide report over the whole suite "
+                             "(narrow with --workloads)")
+    parser.add_argument("--workloads", dest="workload_subset", type=str,
+                        default=None, metavar="A,B,C",
+                        help="comma-separated subset for --all")
+    parser.add_argument("--config", type=str, default=None,
+                        help="single named config (detailed mode default: "
+                             "the standard four)")
+    parser.add_argument("--configs", type=str, default=DEFAULT_CONFIGS,
+                        help="comma-separated named configs "
+                             "(default: %(default)s)")
+    parser.add_argument("--engine", type=str, default=None, metavar="NAME",
+                        help="timing-core backend (interp or batch); "
+                             "reports are engine-independent, the flag "
+                             "only selects what executes")
+    parser.add_argument("--instructions", type=int, default=None,
+                        help="instruction budget per workload (default: "
+                             "workload default, capped at 20000)")
+    parser.add_argument("--sample-interval", type=int, default=500,
+                        metavar="N",
+                        help="attribution sampling period in cycles "
+                             "(default: 500)")
+    parser.add_argument("--top", type=int, default=5, metavar="N",
+                        help="critical-path sites to print (default: 5)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable JSON output")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write the report cache")
+    parser.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
+                        help="cache location (default: .repro-cache, or "
+                             "$REPRO_CACHE_DIR)")
+    return parser
+
+
+def _report_for(workload, config_name, args, cache):
+    """One report, through the report cache when enabled."""
+    from repro.analysis.headroom.report import (
+        HEADROOM_SCHEMA,
+        analyze_headroom,
+        budget_for,
+    )
+    from repro.harness.cache import headroom_key
+    from repro.harness.runner import ExperimentRunner
+
+    config = ExperimentRunner.config(config_name)
+    key = None
+    if cache is not None:
+        from repro.harness.cache import config_fingerprint
+
+        key = headroom_key(workload.name,
+                           budget_for(workload, args.instructions),
+                           config_fingerprint(config),
+                           args.sample_interval, HEADROOM_SCHEMA)
+        cached = cache.load(key)
+        if cached is not None and cached.get("schema") == HEADROOM_SCHEMA:
+            return cached
+    report = analyze_headroom(workload, config_name, config=config,
+                              instructions=args.instructions,
+                              sample_interval=args.sample_interval)
+    if cache is not None:
+        cache.store(key, report)
+    return report
+
+
+def _markdown_table(reports, workload_names, config_names):
+    """The --all report: one headroom row per workload."""
+    by_point = {(r["workload"], r["config"]): r for r in reports}
+    lines = []
+    lines.append("| workload | " + " | ".join(config_names) + " |")
+    lines.append("|---" * (len(config_names) + 1) + "|")
+    for name in workload_names:
+        cells = []
+        for config_name in config_names:
+            r = by_point[(name, config_name)]
+            mark = "" if r["sound"] else " **UNSOUND**"
+            cells.append(f"{r['headroom_pct']:.1f}% "
+                         f"({r['binding'][:4]}){mark}")
+        lines.append(f"| {name} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "headroom":
+        argv = argv[1:]
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not args.workloads and not args.all:
+        parser.error("name at least one workload, or pass --all")
+    if args.workloads and args.all:
+        parser.error("--all and positional workloads are mutually exclusive")
+    if args.engine is not None:
+        from repro.pipeline.engine import engine_names
+
+        if args.engine not in engine_names():
+            parser.error(f"--engine must be one of {engine_names()}, "
+                         f"got {args.engine!r}")
+        os.environ["REPRO_ENGINE"] = args.engine
+    if args.sample_interval < 1:
+        parser.error("--sample-interval must be >= 1")
+
+    from repro.harness.cache import ReportCache
+    from repro.harness.runner import ExperimentRunner
+    from repro.workloads import suite
+
+    if args.config is not None:
+        config_names = [args.config]
+    else:
+        config_names = [name.strip() for name in args.configs.split(",")
+                        if name.strip()]
+    for name in config_names:
+        try:
+            ExperimentRunner.config(name)
+        except KeyError as exc:
+            parser.error(str(exc))
+
+    if args.all:
+        subset = (args.workload_subset.split(",")
+                  if args.workload_subset else None)
+        workloads = suite(subset)
+    else:
+        workloads = suite(args.workloads)
+
+    cache = None if args.no_cache else ReportCache(args.cache_dir)
+    reports = []
+    for workload in workloads:
+        for config_name in config_names:
+            reports.append(_report_for(workload, config_name, args, cache))
+
+    ok = all(r["sound"] for r in reports)
+    if args.as_json:
+        from repro.analysis.headroom.report import HEADROOM_SCHEMA
+
+        payload = {
+            "schema": HEADROOM_SCHEMA,
+            "command": "headroom",
+            "configs": config_names,
+            "workloads": [w.name for w in workloads],
+            "reports": reports,
+            "ok": ok,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.all:
+        print("Headroom above max(dep LB, structural LB) — "
+              "lower is closer to the analytic limit\n")
+        print(_markdown_table(reports, [w.name for w in workloads],
+                              config_names))
+        unsound = [r for r in reports if not r["sound"]]
+        if unsound:
+            print(f"\n{len(unsound)} SOUNDNESS VIOLATION(S): " +
+                  ", ".join(f"{r['workload']}/{r['config']}"
+                            for r in unsound))
+    else:
+        from repro.analysis.headroom.report import render_report
+
+        for i, report in enumerate(reports):
+            if i:
+                print()
+            print(render_report(report, top=args.top))
+    if cache is not None and (cache.hits or cache.stores):
+        print(f"[{cache.summary()}]",
+              file=sys.stderr if args.as_json else sys.stdout)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

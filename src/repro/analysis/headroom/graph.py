@@ -1,0 +1,224 @@
+"""Dependence-graph lower bound: longest path through the µop dataflow.
+
+The committed-µop trace is a DAG under its data/memory dependence edges
+(:func:`repro.emulator.trace.iter_dep_edges`).  A µop cannot complete
+before every producer it waits on has completed plus its own execution
+latency, so the longest weighted path through that DAG — each node
+weighted by the *minimum possible* latency of its µop — is a sound lower
+bound on the run's cycle count, for any schedule, any machine width, any
+predictor behaviour.
+
+Config awareness (the paper's mechanisms, applied optimistically):
+
+* **DSR / idiom elimination** (``enable_zero_one_idiom``,
+  ``enable_move_elimination``, TVP/GVP's nine-bit idiom) — an eliminable
+  µop executes nowhere, so its weight drops to 0.  Value idioms
+  (zero/one/nine-bit) also *break outgoing edges*: the destination value
+  is statically known, consumers never wait.  Move elimination keeps the
+  edges (the consumer inherits the grandparent's physical register and
+  therefore its timing).
+* **SpSR** (``enable_spsr``, sites from
+  :func:`repro.core.spsr.statically_reducible` via
+  :class:`~repro.analysis.opportunity.StaticOpportunities`) — a reduced
+  µop is resolved at rename, so both its weight and its outgoing edges
+  disappear.
+* **VP** (``vp_flavor``) — a correct prediction lets consumers of a
+  VP-eligible producer dispatch against the predicted value, breaking the
+  producer's *outgoing* edges; the producer itself still executes (to
+  verify), so its own completion chain is kept.
+
+Every assumption is *optimistic* (edges only removed, weights only
+lowered), so the broken bound can only shrink: soundness — the bound
+never exceeds actual cycles — is monotone and holds for every config.
+Eligibility reuses the same :class:`~repro.analysis.opportunity.Site`
+classification that drives the runtime :class:`EliminationAudit`, which
+makes the breakable-edge census here provably dominated by the audit's
+dynamic upper bounds (asserted in tests/analysis/headroom).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.backend.fus import FunctionalUnits
+from repro.core.modes import VPFlavor
+from repro.emulator.trace import iter_dep_edges
+
+# Elimination kinds whose destination value is known (or recomputed) at
+# rename: consumers need not wait, so outgoing edges break.  "move" is
+# deliberately absent — move elimination renames the consumer onto the
+# producer's source, inheriting its timing (edges stay, weight drops).
+_VALUE_KNOWN_KINDS = frozenset(
+    {"zero_idiom", "one_idiom", "nine_bit_idiom", "spsr"})
+
+_EMPTY = frozenset()
+
+
+def enabled_elimination_kinds(config):
+    """The elimination kinds the renamer may apply under *config*."""
+    kinds = set()
+    if config.enable_zero_one_idiom:
+        kinds.update(("zero_idiom", "one_idiom"))
+    if config.enable_move_elimination:
+        kinds.add("move")
+    if config.enable_nine_bit_idiom:
+        kinds.add("nine_bit_idiom")
+    if config.enable_spsr:
+        kinds.add("spsr")
+    return frozenset(kinds)
+
+
+def min_uop_latency(uop, config, fus=None):
+    """The smallest execution latency *uop* can possibly see.
+
+    Loads take at least ``min(l1d_latency, store_forward_latency)``
+    cycles (an L1 hit or a same-cycle forward); everything else has the
+    deterministic latency the port model assigns.  Using minima keeps the
+    longest-path bound sound when the memory system is slower.
+    """
+    if uop.is_load:
+        return min(config.memory.l1d_latency, config.store_forward_latency)
+    if fus is None:
+        fus = FunctionalUnits(config)
+    return fus.latency_of(uop.cls, uop.op)
+
+
+@dataclass
+class DependenceBound:
+    """Longest-path results over one (trace, config) pair."""
+
+    bound: int               # config-aware (VP/SpSR/DSR breaks applied)
+    bound_unbroken: int      # raw graph, full latencies, no breaks
+    edges: int
+    edge_kinds: Dict[str, int]       # {"reg"/"flags"/"mem": count}
+    breakable: Dict[str, int]        # vp/spsr breakable µop + edge census
+    critical_path: List[dict]        # per-site excerpt, hottest first
+
+    def to_dict(self):
+        return {
+            "bound": self.bound,
+            "bound_unbroken": self.bound_unbroken,
+            "edges": self.edges,
+            "edge_kinds": dict(self.edge_kinds),
+            "breakable": dict(self.breakable),
+        }
+
+
+def _site_of(sites, uop):
+    if sites is None:
+        return None
+    return sites.get((uop.pc, uop.uop_index))
+
+
+def dependence_bound(trace, config, sites=None, max_path_sites=64):
+    """Compute :class:`DependenceBound` for one trace under *config*.
+
+    *sites* is the ``.sites`` map of a
+    :class:`~repro.analysis.opportunity.StaticOpportunities` (may be
+    ``None`` for ad-hoc traces: no eliminations are then assumed and VP
+    eligibility falls back to the µop's own ``vp_elig`` bit).
+    """
+    n = len(trace)
+    uops = [trace[i] for i in range(n)]
+    fus = FunctionalUnits(config)
+    enabled = enabled_elimination_kinds(config)
+    vp_on = config.vp_flavor is not VPFlavor.NONE
+
+    preds = [[] for _ in range(n)]
+    has_out = [False] * n
+    edge_kinds = {"reg": 0, "flags": 0, "mem": 0}
+    vp_site = [False] * n       # VP-eligible per the static site map
+    spsr_site = [False] * n     # SpSR-reducible per the static site map
+    breakable_vp_edges = 0
+    breakable_spsr_edges = 0
+    for i, uop in enumerate(uops):
+        site = _site_of(sites, uop)
+        if site is not None:
+            vp_site[i] = site.vp_eligible
+            spsr_site[i] = "spsr" in site.kinds
+        else:
+            vp_site[i] = uop.vp_elig
+    for producer, consumer, kind in iter_dep_edges(uops):
+        preds[consumer].append((producer, -1 if kind == "mem" else 0))
+        has_out[producer] = True
+        edge_kinds[kind] += 1
+        if vp_site[producer]:
+            breakable_vp_edges += 1
+        if spsr_site[consumer]:
+            breakable_spsr_edges += 1
+    edges = sum(edge_kinds.values())
+
+    # Per-node weights and break flags under the config.
+    full_lat = [min_uop_latency(u, config, fus) for u in uops]
+    broken_lat = list(full_lat)
+    breaks_out = [False] * n
+    for i, uop in enumerate(uops):
+        site = _site_of(sites, uop)
+        kinds = (site.kinds & enabled) if site is not None else _EMPTY
+        if kinds:
+            broken_lat[i] = 0
+            if kinds & _VALUE_KNOWN_KINDS:
+                breaks_out[i] = True
+        if vp_on and vp_site[i]:
+            breaks_out[i] = True
+
+    def longest_path(lat, apply_breaks):
+        comp = [0] * n
+        parent = [-1] * n
+        best = 0
+        best_i = -1
+        for i in range(n):
+            base = 0
+            par = -1
+            for p, offset in preds[i]:
+                if apply_breaks and breaks_out[p]:
+                    continue
+                c = comp[p] + offset
+                if c > base:
+                    base = c
+                    par = p
+            c = base + lat[i]
+            comp[i] = c
+            parent[i] = par
+            if c > best:
+                best = c
+                best_i = i
+        return best, best_i, parent
+
+    bound_unbroken, _, _ = longest_path(full_lat, apply_breaks=False)
+    bound, tail, parent = longest_path(broken_lat, apply_breaks=True)
+
+    # Critical-path excerpt aggregated per static site (source-line
+    # provenance: pc + µop slot + disassembly text), hottest first.
+    by_site = {}
+    node = tail
+    length = 0
+    while node >= 0:
+        uop = uops[node]
+        key = (uop.pc, uop.uop_index)
+        entry = by_site.get(key)
+        if entry is None:
+            entry = by_site[key] = {
+                "pc": uop.pc, "uop_index": uop.uop_index,
+                "text": uop.text.strip(), "count": 0, "cycles": 0,
+            }
+        entry["count"] += 1
+        entry["cycles"] += broken_lat[node]
+        length += 1
+        node = parent[node]
+    path = sorted(by_site.values(),
+                  key=lambda e: (-e["cycles"], -e["count"],
+                                 e["pc"], e["uop_index"]))
+    for entry in path:
+        entry["pc"] = f"{entry['pc']:#x}"
+    path = path[:max_path_sites]
+
+    breakable = {
+        "vp_uops": sum(1 for i in range(n) if vp_site[i] and has_out[i]),
+        "spsr_uops": sum(1 for i in range(n) if spsr_site[i] and preds[i]),
+        "vp_edges": breakable_vp_edges,
+        "spsr_edges": breakable_spsr_edges,
+        "path_uops": length,
+    }
+    return DependenceBound(bound=bound, bound_unbroken=bound_unbroken,
+                           edges=edges, edge_kinds=edge_kinds,
+                           breakable=breakable, critical_path=path)

@@ -1,0 +1,118 @@
+"""Assembles one (workload, config) headroom report (the JSON shape).
+
+``analyze_headroom`` ties the three passes together: static opportunity
+classification (shared with the runtime elimination audit), the
+dependence longest-path bound, the structural machine-limit bound, and
+one traced simulation for the actual cycle count plus lost-cycle
+attribution.  The result is a plain JSON-ready dict carrying
+``schema: "headroom/1"`` — the shape the CLI prints, the report cache
+stores and the golden tests pin.
+"""
+
+from repro.analysis.headroom.attribution import attribute, refill_estimate
+from repro.analysis.headroom.graph import dependence_bound
+from repro.analysis.headroom.structural import structural_bound
+from repro.analysis.opportunity import StaticOpportunities
+
+HEADROOM_SCHEMA = "headroom/1"
+
+# Workloads default to at most this many instructions: the analyzer runs
+# a traced simulation per point, and bounds converge well before the
+# full sweep budgets.
+DEFAULT_BUDGET_CAP = 20_000
+
+
+def budget_for(workload, instructions=None):
+    """The analyzer's default instruction budget for *workload*."""
+    if instructions is not None:
+        return instructions
+    return min(workload.default_instructions, DEFAULT_BUDGET_CAP)
+
+
+def analyze_headroom(workload, config_name, config=None, trace=None,
+                     instructions=None, sample_interval=500,
+                     max_path_sites=64):
+    """Full headroom analysis of one (workload, config) point.
+
+    *workload* is a workload object (``repro.workloads``); *config* an
+    optional pre-built :class:`~repro.pipeline.config.MachineConfig`
+    (else built from *config_name*); *trace* an optional pre-loaded µop
+    trace (else emulated at the default budget).  Returns the
+    ``headroom/1`` report dict.
+    """
+    from repro.emulator.trace import trace_program
+    from repro.harness.runner import ExperimentRunner
+
+    if config is None:
+        config = ExperimentRunner.config(config_name)
+    budget = budget_for(workload, instructions)
+    if trace is None:
+        trace, _ = trace_program(workload.program, max_instructions=budget)
+
+    opps = StaticOpportunities.analyze(
+        workload.program, name=workload.name,
+        constant_folding=bool(config.spsr_constant_folding))
+    dep = dependence_bound(trace, config, sites=opps.sites,
+                           max_path_sites=max_path_sites)
+    struct = structural_bound(trace, config, sites=opps.sites)
+    attr = attribute(trace, config, sample_interval=sample_interval)
+
+    bound = max(dep.bound, struct.bound)
+    binding = "dependence" if dep.bound >= struct.bound else "structural"
+    actual = attr.actual_cycles
+    headroom = actual - bound
+    return {
+        "schema": HEADROOM_SCHEMA,
+        "workload": workload.name,
+        "config": config_name,
+        "instructions": budget,
+        "uops": len(trace),
+        "actual_cycles": actual,
+        "ipc": round(attr.ipc, 4),
+        "dep_lb": dep.bound,
+        "dep_lb_unbroken": dep.bound_unbroken,
+        "structural_lb": struct.bound,
+        "bound": bound,
+        "binding": binding,
+        "headroom_cycles": headroom,
+        "headroom_pct": round(100.0 * headroom / actual, 2) if actual else 0.0,
+        "sound": bound <= actual,
+        "dep": dep.to_dict(),
+        "structural": struct.to_dict(),
+        "critical_path": dep.critical_path,
+        "attribution": attr.to_dict(),
+        "refill_estimate": refill_estimate(config),
+        "sample_interval": sample_interval,
+    }
+
+
+def render_report(report, top=5):
+    """Human-readable text block for one report dict."""
+    lines = []
+    lines.append(f"{report['workload']} / {report['config']}  "
+                 f"({report['instructions']} insts, {report['uops']} uops)")
+    lines.append(f"  actual cycles      {report['actual_cycles']:>10}   "
+                 f"IPC {report['ipc']:.3f}")
+    lines.append(f"  dependence LB      {report['dep_lb']:>10}   "
+                 f"(unbroken {report['dep_lb_unbroken']})")
+    lines.append(f"  structural LB      {report['structural_lb']:>10}   "
+                 f"(binding: {report['structural']['binding']})")
+    lines.append(f"  headroom           {report['headroom_cycles']:>10}   "
+                 f"{report['headroom_pct']:.1f}% above the "
+                 f"{report['binding']} bound")
+    if not report["sound"]:
+        lines.append("  !! SOUNDNESS VIOLATION: bound exceeds actual cycles")
+    attribution = report["attribution"]["buckets"]
+    lost = sum(attribution.values())
+    if lost > 0:
+        parts = ", ".join(f"{name} {100.0 * cycles / lost:.0f}%"
+                          for name, cycles in attribution.items() if cycles)
+        lines.append(f"  lost cycles        {lost:>10.0f}   ({parts})")
+    path = report["critical_path"][:top]
+    if path:
+        lines.append(f"  critical path (top {len(path)} sites by cycles):")
+        for entry in path:
+            lines.append(f"    {entry['cycles']:>8} cyc  x{entry['count']:<6}"
+                         f" {entry['pc']}/{entry['uop_index']}  "
+                         f"{entry['text']}")
+    return "\n".join(lines)

@@ -1,0 +1,184 @@
+"""Structural lower bound: machine limits over the committed-µop stream.
+
+Independent of dataflow, a run of N µops cannot finish faster than the
+machine's widths, issue ports and queue windows allow.  Every component
+below is a sound lower bound on cycles; the structural bound is their
+maximum:
+
+* **width bounds** — ``ceil(N / width)`` for fetch, decode, rename and
+  commit (every committed µop flows through each stage once, at most
+  ``width`` per cycle);
+* **issue-width / port bounds** — eliminated µops never issue, so the
+  issuing population is the trace minus the statically eliminable µops
+  (optimistic, hence sound).  For every class group served by a shared
+  port pool (from :func:`repro.backend.fus.port_plan`, the same plan the
+  live arbiter builds from), total occupancy — 1 cycle per pipelined µop,
+  full latency for the unpipelined dividers — divided by the pool size
+  bounds cycles from below.  Branch work folds into the simple-ALU pool,
+  exactly as ``FunctionalUnits.try_issue`` routes it;
+* **window bounds** (interval analysis) — the i-th entry of a capacity-Q
+  queue cannot be allocated before entry i−Q has left, which takes at
+  least one cycle after *its* completion.  Chaining this per-resource
+  recurrence (ROB over all µops, LQ over loads, SQ over stores, the
+  INT/FP free lists over physical-register writers) with minimum µop
+  latencies yields a DP lower bound that captures long-latency µops
+  holding a window open.  The recurrence is only sound for queues that
+  free entries in *commit order* (ROB/LQ/SQ slots and physical registers
+  all do): in-order release means the (i−Q)-th allocation is provably the
+  one whose departure gates the i-th.  The IQ frees out of order at
+  issue, so no such edge exists for it — IQ pressure is bounded here
+  only through the issue-width component.
+
+The PRF windows use the raw ``int_phys_regs``/``fp_phys_regs`` counts —
+an over-estimate of the free list (architectural mappings pin some), so
+the bound stays conservative.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.headroom.graph import (
+    enabled_elimination_kinds,
+    min_uop_latency,
+)
+from repro.backend.fus import FunctionalUnits, port_plan
+from repro.isa.opcodes import ExecClass
+
+
+def _ceil_div(a, b):
+    return -(-a // b) if b > 0 else 0
+
+
+def _port_groups(plan):
+    """Connected components of the class↔port sharing graph, plus
+    singletons: the candidate class sets for capacity bounds."""
+    adjacency = {}
+    for caps in plan:
+        for cls in caps:
+            adjacency.setdefault(cls, set()).update(caps)
+    groups = []
+    seen = set()
+    for cls in sorted(adjacency, key=lambda c: c.name):
+        if cls in seen:
+            continue
+        component = set()
+        stack = [cls]
+        while stack:
+            cur = stack.pop()
+            if cur in component:
+                continue
+            component.add(cur)
+            stack.extend(adjacency[cur] - component)
+        seen.update(component)
+        groups.append(frozenset(component))
+        if len(component) > 1:
+            groups.extend(frozenset({member}) for member in
+                          sorted(component, key=lambda c: c.name))
+    return groups
+
+
+@dataclass
+class StructuralBound:
+    """Machine-limit bound components for one (trace, config) pair."""
+
+    bound: int
+    components: Dict[str, int]
+    binding: str
+
+    def to_dict(self):
+        return {"bound": self.bound, "binding": self.binding,
+                "components": dict(self.components)}
+
+
+def structural_bound(trace, config, sites=None):
+    """Compute :class:`StructuralBound` for one trace under *config*.
+
+    *sites* as in :func:`~repro.analysis.headroom.graph.dependence_bound`
+    — used only to discount statically eliminable µops from the issue
+    and PRF pressure (they still fetch, rename and commit).
+    """
+    n = len(trace)
+    components = {}
+    if n == 0:
+        return StructuralBound(bound=0, components={}, binding="empty")
+    uops = [trace[i] for i in range(n)]
+    fus = FunctionalUnits(config)
+    enabled = enabled_elimination_kinds(config)
+
+    def eliminable(uop):
+        if sites is None:
+            return False
+        site = sites.get((uop.pc, uop.uop_index))
+        return site is not None and bool(site.kinds & enabled)
+
+    elim = [eliminable(u) for u in uops]
+    lat = [0 if elim[i] else min_uop_latency(u, config, fus)
+           for i, u in enumerate(uops)]
+    n_issued = sum(1 for e in elim if not e)
+
+    # -- width bounds ----------------------------------------------------------------
+    components["fetch_width"] = _ceil_div(n, config.fetch_width)
+    components["decode_width"] = _ceil_div(n, config.decode_width)
+    components["rename_width"] = _ceil_div(n, config.rename_width)
+    components["commit_width"] = _ceil_div(n, config.commit_width)
+    components["issue_width"] = _ceil_div(n_issued, config.issue_width)
+
+    # -- port-capacity bounds --------------------------------------------------------
+    plan = port_plan(config)
+    unpipelined = {ExecClass.INT_DIV: config.int_div_latency,
+                   ExecClass.FP_DIV: config.fp_div_latency}
+    work = {}
+    for i, uop in enumerate(uops):
+        if elim[i]:
+            continue
+        cls = ExecClass.INT_ALU if uop.cls is ExecClass.BRANCH else uop.cls
+        work[cls] = work.get(cls, 0) + unpipelined.get(cls, 1)
+    for group in _port_groups(plan):
+        total = sum(work.get(cls, 0) for cls in group)
+        if not total:
+            continue
+        n_ports = sum(1 for caps in plan if caps & group)
+        label = "+".join(sorted(cls.name for cls in group))
+        components[f"ports:{label}"] = _ceil_div(total, n_ports)
+
+    # -- window bounds (interval DP) -------------------------------------------------
+    rob = config.rob_entries
+    lq = config.lq_entries
+    sq = config.sq_entries
+    int_window = config.int_phys_regs
+    fp_window = config.fp_phys_regs
+    complete = [0] * n
+    loads, stores, int_writers, fp_writers = [], [], [], []
+    window = 0
+    for i, uop in enumerate(uops):
+        ready = 0
+        j = i - rob
+        if j >= 0:
+            ready = complete[j] + 1
+        if uop.is_load:
+            loads.append(i)
+            j = len(loads) - 1 - lq
+            if j >= 0:
+                ready = max(ready, complete[loads[j]] + 1)
+        elif uop.is_store:
+            stores.append(i)
+            j = len(stores) - 1 - sq
+            if j >= 0:
+                ready = max(ready, complete[stores[j]] + 1)
+        if not elim[i] and uop.dst is not None:
+            # Eliminated µops allocate no physical register — that is
+            # the point of DSR/SpSR — so they leave the free lists alone.
+            writers = fp_writers if uop.dst_is_fp else int_writers
+            writers.append(i)
+            j = len(writers) - 1 - (fp_window if uop.dst_is_fp
+                                    else int_window)
+            if j >= 0:
+                ready = max(ready, complete[writers[j]] + 1)
+        complete[i] = ready + lat[i]
+        if complete[i] > window:
+            window = complete[i]
+    components["window"] = window
+
+    binding, bound = max(components.items(), key=lambda kv: kv[1])
+    return StructuralBound(bound=bound, components=components,
+                           binding=binding)

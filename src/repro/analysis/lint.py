@@ -19,6 +19,15 @@ guard the ways that property has historically been lost in simulators:
   (``*.stats.name += ...`` where ``name`` is not a declared
   :class:`~repro.pipeline.stats.PipelineStats` field): silent typos here
   create counters that exist only at runtime and never reach reports.
+* **DET005** — a declared :class:`PipelineStats` counter not covered by
+  the interval event-sum invariants: every counter must appear in the
+  sampler's ``_DELTA_COUNTERS`` (whose per-interval deltas the
+  tests/observability invariants force to sum to the final totals, on
+  both engines) or in the explicit ``NON_DELTA_COUNTERS`` exemption list
+  with a recorded reason.  A counter in neither — or a stale name listed
+  but no longer declared — is schema drift between the ``interp`` and
+  ``batch`` engines waiting to happen (:func:`lint_stats_coverage`, a
+  schema check rather than an AST rule).
 
 Detection is intentionally heuristic but *sound for this codebase*: every
 rule was validated against the current sources (zero findings at HEAD)
@@ -215,4 +224,52 @@ def lint_paths(root):
     for path in sorted(root.rglob("*.py")):
         relpath = path.relative_to(root.parent).as_posix()
         findings.extend(lint_source(path.read_text(), relpath))
+    return findings
+
+
+def lint_stats_coverage(delta=None, exempt=None, declared=None):
+    """DET005: the PipelineStats ↔ interval-sampler schema cross-check.
+
+    Every declared counter must be in exactly one of the sampler's
+    ``_DELTA_COUNTERS`` (covered by the event-sum invariants in
+    tests/observability) or its ``NON_DELTA_COUNTERS`` exemption list;
+    stale entries (listed but not declared) and double listings are
+    findings too.  Import-based rather than AST-based: the check reads
+    the live schemas, so it cannot drift from them.  The keyword
+    arguments exist for the rule's own tests to seed violations.
+    """
+    from repro.observability.interval import (
+        _DELTA_COUNTERS,
+        NON_DELTA_COUNTERS,
+    )
+
+    delta = tuple(_DELTA_COUNTERS if delta is None else delta)
+    exempt = tuple(NON_DELTA_COUNTERS if exempt is None else exempt)
+    if declared is None:
+        declared = PipelineStats.counter_names()
+    declared = tuple(declared)
+    where = "repro/observability/interval.py"
+
+    def finding(message):
+        return Finding(rule="DET005", severity=ERROR, where=where,
+                       location="line 0", message=message)
+
+    findings = []
+    covered = set(delta) | set(exempt)
+    for name in declared:
+        if name not in covered:
+            findings.append(finding(
+                f"PipelineStats counter {name!r} is covered by neither "
+                "_DELTA_COUNTERS (interval event-sum invariants) nor the "
+                "NON_DELTA_COUNTERS exemption list"))
+    for name in delta:
+        if name in exempt:
+            findings.append(finding(
+                f"counter {name!r} is listed in both _DELTA_COUNTERS and "
+                "NON_DELTA_COUNTERS; pick one"))
+    for name in sorted(set(delta) | set(exempt)):
+        if name not in declared:
+            findings.append(finding(
+                f"interval schema lists {name!r}, which is not a declared "
+                "PipelineStats counter (stale entry?)"))
     return findings

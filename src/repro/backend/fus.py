@@ -17,24 +17,39 @@ class _Port:
         self.busy_until = 0  # for unpipelined units
 
 
+def port_plan(config):
+    """The issue-port capability sets for *config*, in allocation order.
+
+    One frozenset of :class:`ExecClass` per port, pure-capability ports
+    first (greedy allocation prefers them).  Branches are not listed —
+    they execute on the simple-ALU ports (see ``try_issue``); consumers
+    reasoning about port pressure should fold BRANCH work into INT_ALU.
+
+    This is the single source of truth for the issue plan: the live
+    :class:`FunctionalUnits` arbiter and the static headroom analyzer
+    (``repro.analysis.headroom.structural``) both build from it, so a
+    port-count knob change moves both in lockstep.
+    """
+    alu = ExecClass.INT_ALU
+    return tuple(
+        [frozenset({alu})] * (config.int_alu_ports - config.int_mul_ports)
+        + [frozenset({alu, ExecClass.INT_MUL})] * config.int_mul_ports
+        + [frozenset({ExecClass.INT_DIV})] * config.int_div_ports
+        + [frozenset({ExecClass.FP_ALU, ExecClass.FP_MUL})]
+        * (config.fp_alu_ports - config.fp_div_ports)
+        + [frozenset({ExecClass.FP_ALU, ExecClass.FP_MUL, ExecClass.FP_DIV})]
+        * config.fp_div_ports
+        + [frozenset({ExecClass.LOAD})] * config.load_ports
+        + [frozenset({ExecClass.STORE})] * config.store_ports
+    )
+
+
 class FunctionalUnits:
     """Per-cycle port arbitration plus operation latencies."""
 
     def __init__(self, config):
         self.config = config
-        alu = ExecClass.INT_ALU
-        # Pure-capability ports first so greedy allocation prefers them.
-        self.ports = (
-            [_Port({alu}) for _ in range(config.int_alu_ports - config.int_mul_ports)]
-            + [_Port({alu, ExecClass.INT_MUL}) for _ in range(config.int_mul_ports)]
-            + [_Port({ExecClass.INT_DIV}) for _ in range(config.int_div_ports)]
-            + [_Port({ExecClass.FP_ALU, ExecClass.FP_MUL})
-               for _ in range(config.fp_alu_ports - config.fp_div_ports)]
-            + [_Port({ExecClass.FP_ALU, ExecClass.FP_MUL, ExecClass.FP_DIV})
-               for _ in range(config.fp_div_ports)]
-            + [_Port({ExecClass.LOAD}) for _ in range(config.load_ports)]
-            + [_Port({ExecClass.STORE}) for _ in range(config.store_ports)]
-        )
+        self.ports = [_Port(caps) for caps in port_plan(config)]
         self._issued_this_cycle = 0
         self._cycle = -1
         self._issue_width = config.issue_width

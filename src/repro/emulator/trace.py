@@ -561,6 +561,65 @@ class ColumnarTrace:
         return u
 
 
+# -- dependence-edge iteration -------------------------------------------------------
+def iter_dep_edges(trace):
+    """Yield every data/memory dependence edge of a committed-µop trace.
+
+    Edges are ``(producer_index, consumer_index, kind)`` with *kind* one
+    of:
+
+    * ``"reg"``   — register def→use through the last architectural
+      writer (XZR reads never appear in ``deps``);
+    * ``"flags"`` — the NZCV chain (a ``deps`` entry equal to FLAGS,
+      produced by the youngest older flag-setting µop);
+    * ``"mem"``   — store→load through overlapping resolved addresses
+      (per-byte last-store map, so partial overlaps are edges too).
+
+    The trace is the correct path, so last-writer resolution over the
+    sequential order *is* the dataflow graph — no control speculation to
+    undo.  Edges are emitted in consumer order, deduplicated per
+    (producer, consumer) pair; register/flag edges win over memory edges
+    in the dedup only within one consumer (kinds never conflict in
+    practice: a load's address registers and its forwarding store are
+    different producers).
+
+    Works on any ``DynUop`` sequence — a plain list or a
+    :class:`ColumnarTrace` (views materialize on first touch).
+    """
+    from repro.isa.registers import FLAGS
+
+    last_writer = {}
+    last_store = {}   # byte address -> producing store index
+    for i, uop in enumerate(trace):
+        seen = set()
+        for reg in uop.deps:
+            producer = last_writer.get(reg)
+            if producer is not None and producer not in seen:
+                seen.add(producer)
+                yield producer, i, ("flags" if reg == FLAGS else "reg")
+        if uop.is_load and uop.addr is not None:
+            for byte in range(uop.addr, uop.addr + uop.size):
+                producer = last_store.get(byte)
+                if producer is not None and producer not in seen:
+                    seen.add(producer)
+                    yield producer, i, "mem"
+        if uop.is_store and uop.addr is not None:
+            for byte in range(uop.addr, uop.addr + uop.size):
+                last_store[byte] = i
+        if uop.dst is not None:
+            last_writer[uop.dst] = i
+        if uop.writes_flags:
+            last_writer[FLAGS] = i
+
+
+def dep_edge_counts(trace):
+    """``{kind: count}`` over :func:`iter_dep_edges` (reporting helper)."""
+    counts = {"reg": 0, "flags": 0, "mem": 0}
+    for _producer, _consumer, kind in iter_dep_edges(trace):
+        counts[kind] += 1
+    return counts
+
+
 def trace_program(program, max_instructions=100_000, machine=None,
                   collect_value_histogram=False):
     """Emulate *program* and return ``(list_of_DynUop, TraceStats)``.

@@ -158,6 +158,23 @@ def trace_key(workload_name, instructions):
     return hashlib.sha256(blob.encode()).hexdigest()[:32]
 
 
+def headroom_key(workload_name, instructions, fingerprint, sample_interval,
+                 schema):
+    """The cache key for one headroom analysis report.
+
+    Keyed like :func:`simulation_key` (workload, budget, config
+    fingerprint, code version) plus the analyzer inputs that change the
+    report: the attribution sampling interval and the report *schema*
+    string (so a schema bump orphans stale reports instead of serving
+    them).  The engine is deliberately absent — backends are
+    counter-identical, so reports are engine-independent.
+    """
+    blob = json.dumps([_CACHE_FORMAT, "headroom", schema, workload_name,
+                       instructions, fingerprint, sample_interval,
+                       code_version_hash()], separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:32]
+
+
 def stats_from_payload(payload):
     """A validated :class:`PipelineStats` from an untrusted dict, or None.
 
@@ -447,14 +464,84 @@ class TraceCache:
         return line
 
 
+# -- the analysis report cache -------------------------------------------------------
+class ReportCache:
+    """Disk store of JSON analysis reports under ``<cache-dir>/reports/``.
+
+    The headroom analyzer (and future analysis passes) cache their
+    finished report documents here, keyed by :func:`headroom_key`-style
+    content hashes, so warm ``harness headroom`` invocations are
+    interactive.  Entries are whole JSON documents validated only by the
+    caller (a ``schema`` field mismatch is treated as a miss there).
+    """
+
+    def __init__(self, directory=None):
+        if directory is None:
+            directory = os.environ.get("REPRO_CACHE_DIR") or _DEFAULT_DIR
+        self.directory = os.path.join(str(directory), "reports")
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.errors = 0
+
+    def _path_of(self, key):
+        return os.path.join(self.directory, f"{key}.json")
+
+    def load(self, key):
+        """The cached report dict for *key*, or None."""
+        try:
+            with open(self._path_of(key)) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, key, payload):
+        """Atomically persist one report (no-op on write failure)."""
+        tmp_path = None
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            handle, tmp_path = tempfile.mkstemp(dir=self.directory,
+                                                suffix=".tmp")
+            with os.fdopen(handle, "w") as tmp:
+                json.dump(payload, tmp, sort_keys=True)
+            os.replace(tmp_path, self._path_of(key))
+        except OSError:
+            if tmp_path is not None:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+            self.errors += 1
+            return
+        self.stores += 1
+
+    def summary(self):
+        """One human-readable line for reports/CLI output."""
+        lookups = self.hits + self.misses
+        if not lookups and not self.stores:
+            return f"report cache {self.directory}: unused"
+        line = (f"report cache {self.directory}: {self.hits}/{lookups} "
+                f"hits, {self.stores} new reports")
+        if self.errors:
+            line += f", {self.errors} write failures"
+        return line
+
+
 # -- cache directory reporting (the `harness cache` subcommand) ----------------------
 def cache_usage(directory=None):
     """On-disk usage per category of a cache directory.
 
-    Returns ``{category: {"files": int, "bytes": int}}`` for the three
+    Returns ``{category: {"files": int, "bytes": int}}`` for the four
     stores a cache directory holds: simulation ``results`` (top-level
-    ``*.json``), packed ``traces`` (``traces/*.rtrc``) and sweep
-    ``journals`` (``journals/*.jsonl``).
+    ``*.json``), packed ``traces`` (``traces/*.rtrc``), sweep
+    ``journals`` (``journals/*.jsonl``) and analysis ``reports``
+    (``reports/*.json``).
     """
     if directory is None:
         directory = os.environ.get("REPRO_CACHE_DIR") or _DEFAULT_DIR
@@ -481,10 +568,12 @@ def cache_usage(directory=None):
         "results": tally(directory, ".json"),
         "traces": tally(os.path.join(directory, "traces"), ".rtrc"),
         "journals": tally(os.path.join(directory, "journals"), ".jsonl"),
+        "reports": tally(os.path.join(directory, "reports"), ".json"),
     }
 
 
-def clear_cache(directory=None, categories=("results", "traces", "journals")):
+def clear_cache(directory=None,
+                categories=("results", "traces", "journals", "reports")):
     """Delete cache entries by category; returns {category: removed_count}."""
     if directory is None:
         directory = os.environ.get("REPRO_CACHE_DIR") or _DEFAULT_DIR
@@ -493,6 +582,7 @@ def clear_cache(directory=None, categories=("results", "traces", "journals")):
         "results": (directory, ".json"),
         "traces": (os.path.join(directory, "traces"), ".rtrc"),
         "journals": (os.path.join(directory, "journals"), ".jsonl"),
+        "reports": (os.path.join(directory, "reports"), ".json"),
     }
     removed = {}
     for category in categories:

@@ -7,6 +7,8 @@ Subcommands::
     harness trace <workload>       one traced simulation (observability)
     harness audit                  kernel verifier + elimination cross-check
     harness lint                   simulator determinism lint
+    harness headroom <workload>    analytic cycle lower bounds + headroom
+                                   attribution (also: headroom --all)
     harness cache info|clear|prune inspect / clear / LRU-cap the on-disk
                                    result + trace + journal stores
 
@@ -233,8 +235,9 @@ def _cache_main(argv):
     parser = argparse.ArgumentParser(
         prog="repro-harness cache",
         description="Inspect and manage the on-disk cache: simulation "
-                    "results (*.json), packed traces (traces/*.rtrc) and "
-                    "sweep journals (journals/*.jsonl).")
+                    "results (*.json), packed traces (traces/*.rtrc), "
+                    "sweep journals (journals/*.jsonl) and analysis "
+                    "reports (reports/*.json).")
     sub = parser.add_subparsers(dest="action", required=True)
     location = argparse.ArgumentParser(add_help=False)
     location.add_argument("--cache-dir", type=str, default=None,
@@ -254,6 +257,8 @@ def _cache_main(argv):
                        help="only the packed .rtrc traces")
     clear.add_argument("--journals", action="store_true",
                        help="only the sweep journals")
+    clear.add_argument("--reports", action="store_true",
+                       help="only the cached analysis reports")
     prune = sub.add_parser(
         "prune", parents=[location],
         help="evict least-recently-used traces down to a size cap")
@@ -267,17 +272,18 @@ def _cache_main(argv):
         if args.json:
             print(json.dumps(usage, indent=2, sort_keys=True))
             return 0
-        for category in ("results", "traces", "journals"):
+        for category in ("results", "traces", "journals", "reports"):
             entry = usage[category]
             print(f"{category:9s} {entry['files']:5d} files  "
                   f"{_format_bytes(entry['bytes'])}")
         return 0
     if args.action == "clear":
-        chosen = [name for name in ("results", "traces", "journals")
+        chosen = [name for name in ("results", "traces", "journals",
+                                    "reports")
                   if getattr(args, name)]
         removed = clear_cache(args.cache_dir,
                               categories=chosen or ("results", "traces",
-                                                    "journals"))
+                                                    "journals", "reports"))
         for category, count in removed.items():
             print(f"cleared {count} {category} entries")
         return 0
@@ -370,6 +376,12 @@ def main(argv=None):
         from repro.analysis.cli import main as analysis_main
 
         return analysis_main(argv)
+    if argv and argv[0] == "headroom":
+        # Static headroom analyzer: dependence-graph + structural lower
+        # bounds with per-workload bottleneck attribution.
+        from repro.analysis.headroom.cli import main as headroom_main
+
+        return headroom_main(argv)
     if argv and argv[0] == "trace":
         # Observability subcommand: one traced simulation, exported as a
         # Konata/gem5 O3PipeView text trace and a JSONL event stream.

@@ -17,13 +17,42 @@ consumers never need to assume uniform spacing.
 from dataclasses import dataclass, fields
 
 # Counters whose per-interval deltas are recorded (all declared
-# PipelineStats fields; checked at sampler construction).
+# PipelineStats fields; checked at sampler construction).  Every name
+# here is covered by the event-sum invariant in tests/observability/
+# (per-interval deltas sum to the final totals), which is what keeps the
+# interp and batch engines counter-identical at interval granularity.
 _DELTA_COUNTERS = (
     "retired_arch_insts", "retired_uops", "vp_correct_used",
     "vp_incorrect_used", "vp_flushes", "vp_replays",
     "memory_order_flushes", "branch_mispredicts",
     "elim_zero_idiom", "elim_one_idiom", "elim_move",
     "elim_nine_bit_idiom", "elim_spsr",
+    "stall_rob_full", "stall_iq_full", "stall_lq_full", "stall_sq_full",
+    "stall_no_phys_reg",
+)
+
+# PipelineStats counters deliberately *not* sampled per interval, each
+# with a reason.  The determinism lint's DET005 requires every declared
+# counter to appear in exactly one of _DELTA_COUNTERS (event-sum
+# invariant coverage) or this exemption list — a new counter in neither
+# is schema drift and fails `harness lint`.
+NON_DELTA_COUNTERS = (
+    "cycles",                    # the sample's own axis, not an event count
+    "fetched_uops",              # wrong-path inclusive; no retire-side sum
+    "branches",                  # static property of the trace, not a rate
+    "btb_mistargets",            # frontend detail; aggregate suffices
+    "spsr_resolved_branches",    # subset of elim_spsr, sampled via it
+    "elim_move_width_blocked",   # diagnostic subset of move sites
+    "vp_eligible",               # trace property (per-config constant)
+    "vp_predicted_used",         # = correct_used + incorrect_used
+    "vp_not_representable",      # rare; aggregate diagnostic only
+    "vp_phys_reg_predictions",   # GVP storage accounting, not a rate
+    "vp_loads_marked_acquire",   # memory-model bookkeeping
+    "replayed_uops",             # derived from vp_replays episodes
+    "store_set_violations",      # = memory_order_flushes triggers
+    "store_forwards",            # memory-system detail; aggregate suffices
+    "int_prf_reads", "int_prf_writes", "fp_prf_reads", "fp_prf_writes",
+    "iq_dispatched", "iq_issued",   # Fig. 6 activity proxies (end-of-run)
 )
 
 
@@ -47,6 +76,13 @@ class IntervalSample:
     elim_move: int = 0
     elim_nine_bit_idiom: int = 0
     elim_spsr: int = 0
+    # Rename-stall cycles inside this interval (queue-pressure signal for
+    # the headroom analyzer's bottleneck attribution).
+    stall_rob_full: int = 0
+    stall_iq_full: int = 0
+    stall_lq_full: int = 0
+    stall_sq_full: int = 0
+    stall_no_phys_reg: int = 0
     # Instantaneous occupancies (at the sample cycle).
     rob_occupancy: int = 0
     iq_occupancy: int = 0
@@ -80,6 +116,12 @@ class IntervalSample:
     def vp_accuracy(self):
         used = self.vp_correct_used + self.vp_incorrect_used
         return self.vp_correct_used / used if used else 0.0
+
+    @property
+    def stall_cycles(self):
+        """Rename-stall cycles (queue pressure) inside this interval."""
+        return (self.stall_rob_full + self.stall_iq_full + self.stall_lq_full
+                + self.stall_sq_full + self.stall_no_phys_reg)
 
     def as_dict(self):
         """Flat dict (fields + derived rates) for the JSONL exporter."""

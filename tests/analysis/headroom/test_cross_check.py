@@ -1,0 +1,39 @@
+"""Cross-check: the audit's dynamic elimination upper bounds dominate the
+headroom analyzer's breakable-edge census on every shipped workload.
+
+Both passes classify sites with the same
+:class:`~repro.analysis.opportunity.StaticOpportunities` map, so every
+µop the dependence bound counts as VP- or SpSR-breakable must be counted
+by :meth:`dynamic_bounds` too — the analyzer can never claim more
+breakable work than the runtime audit would allow the machine to
+eliminate.
+"""
+
+import pytest
+
+from repro.analysis.headroom.graph import dependence_bound
+from repro.analysis.opportunity import StaticOpportunities
+from repro.emulator.trace import trace_program
+from repro.harness.runner import ExperimentRunner
+from repro.workloads import suite
+
+_BUDGET = 1000
+
+
+@pytest.mark.parametrize("workload", suite(), ids=lambda w: w.name)
+def test_dynamic_bounds_dominate_breakable_census(workload):
+    config = ExperimentRunner.config("tvp+spsr")
+    trace, _ = trace_program(workload.program, max_instructions=_BUDGET)
+    opps = StaticOpportunities.analyze(
+        workload.program, name=workload.name,
+        constant_folding=bool(config.spsr_constant_folding))
+    dep = dependence_bound(trace, config, sites=opps.sites)
+    bounds = opps.dynamic_bounds(trace)
+    assert dep.breakable["vp_uops"] <= bounds["vp_eligible"], workload.name
+    assert dep.breakable["spsr_uops"] <= bounds["spsr"], workload.name
+    # Edge counts are per-edge, µop counts per-µop; both censuses must be
+    # internally consistent: breakable edges require breakable µops.
+    if dep.breakable["vp_edges"]:
+        assert dep.breakable["vp_uops"] > 0
+    if dep.breakable["spsr_uops"]:
+        assert bounds["spsr"] > 0

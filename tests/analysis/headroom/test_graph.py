@@ -1,0 +1,116 @@
+"""Dependence-graph lower bound: edges, break semantics, monotonicity."""
+
+from tests.helpers import emulate
+
+from repro.analysis.headroom.graph import (
+    dependence_bound,
+    enabled_elimination_kinds,
+    min_uop_latency,
+)
+from repro.analysis.opportunity import StaticOpportunities
+from repro.emulator.trace import dep_edge_counts, iter_dep_edges, trace_program
+from repro.harness.runner import ExperimentRunner
+from repro.pipeline.config import MachineConfig
+from repro.workloads import get_workload
+
+
+def test_edge_kinds_reg_flags_mem():
+    trace, _ = emulate("""
+    adr x9, buf
+    mov x1, #5
+    add x2, x1, x1
+    cmp x2, #3
+    csel x4, x1, x2, eq
+    str x4, [x9]
+    ldr x5, [x9]
+    hlt
+.data
+buf: .quad 0
+""")
+    counts = dep_edge_counts(trace)
+    assert counts["reg"] >= 3      # mov->add->cmp/csel chains
+    assert counts["flags"] >= 1    # cmp -> csel (cmp is not a reg producer)
+    assert counts["mem"] >= 1      # str -> ldr through the resolved address
+    kinds = {(p, c): k for p, c, k in iter_dep_edges(trace)}
+    store = next(i for i, u in enumerate(trace) if u.is_store)
+    load = next(i for i, u in enumerate(trace) if u.is_load)
+    assert kinds[(store, load)] == "mem"
+
+
+def test_serial_chain_longer_than_parallel():
+    serial = "mov x1, #1\nmov x2, #2\n" \
+        + "add x1, x1, x2\n" * 40 + "hlt"
+    parallel = "mov x20, #1\nmov x21, #2\n" \
+        + "".join(f"add x{i % 8}, x20, x21\n" for i in range(40)) + "hlt"
+    config = MachineConfig.baseline()
+    serial_trace, _ = emulate(serial)
+    parallel_trace, _ = emulate(parallel)
+    serial_bound = dependence_bound(serial_trace, config)
+    parallel_bound = dependence_bound(parallel_trace, config)
+    assert serial_bound.bound >= 40      # 40 chained 1-cycle adds at least
+    assert serial_bound.bound > parallel_bound.bound
+
+
+def test_broken_never_exceeds_unbroken():
+    workload = get_workload("hash_loop")
+    trace, _ = trace_program(workload.program, max_instructions=1000)
+    for name in ("baseline", "mvp", "tvp", "tvp+spsr", "gvp+spsr"):
+        config = ExperimentRunner.config(name)
+        opps = StaticOpportunities.analyze(
+            workload.program, name=workload.name,
+            constant_folding=bool(config.spsr_constant_folding))
+        result = dependence_bound(trace, config, sites=opps.sites)
+        assert result.bound <= result.bound_unbroken, name
+        assert result.bound >= 0
+
+
+def test_vp_and_spsr_breaks_shrink_the_bound():
+    """hash_loop's serial hash recurrence is VP-breakable: the config-aware
+    bound under TVP+SpSR must drop strictly below the baseline bound."""
+    workload = get_workload("hash_loop")
+    trace, _ = trace_program(workload.program, max_instructions=1000)
+
+    def bound_under(name):
+        config = ExperimentRunner.config(name)
+        opps = StaticOpportunities.analyze(
+            workload.program, name=workload.name,
+            constant_folding=bool(config.spsr_constant_folding))
+        return dependence_bound(trace, config, sites=opps.sites).bound
+
+    assert bound_under("tvp+spsr") < bound_under("baseline")
+
+
+def test_critical_path_has_source_provenance():
+    workload = get_workload("stream_triad")
+    config = ExperimentRunner.config("baseline")
+    trace, _ = trace_program(workload.program, max_instructions=800)
+    opps = StaticOpportunities.analyze(workload.program, name=workload.name)
+    result = dependence_bound(trace, config, sites=opps.sites,
+                              max_path_sites=8)
+    assert result.critical_path, "baseline run must have a critical path"
+    assert len(result.critical_path) <= 8
+    cycles = [entry["cycles"] for entry in result.critical_path]
+    assert cycles == sorted(cycles, reverse=True)
+    for entry in result.critical_path:
+        assert entry["pc"].startswith("0x")
+        assert entry["count"] >= 1
+        assert entry["text"]
+
+
+def test_enabled_kinds_follow_config():
+    # The baseline already ships classic DSR (move elim + zero/one idioms).
+    base = enabled_elimination_kinds(MachineConfig.baseline())
+    assert base == frozenset({"move", "zero_idiom", "one_idiom"})
+    bare = enabled_elimination_kinds(MachineConfig.baseline(
+        enable_move_elimination=False, enable_zero_one_idiom=False))
+    assert bare == frozenset()
+    tvp = enabled_elimination_kinds(MachineConfig.tvp(spsr=True))
+    assert {"zero_idiom", "one_idiom", "nine_bit_idiom", "spsr"} <= tvp
+
+
+def test_min_latency_uses_memory_minimum():
+    config = MachineConfig.baseline()
+    trace, _ = emulate("adr x9, buf\nldr x1, [x9]\nhlt\n.data\nbuf: .quad 7")
+    load = next(u for u in trace if u.is_load)
+    assert min_uop_latency(load, config) == min(
+        config.memory.l1d_latency, config.store_forward_latency)

@@ -1,0 +1,113 @@
+"""``harness headroom`` command-line behaviour and the report cache."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.headroom.cli import main as headroom_main
+from repro.analysis.headroom.report import HEADROOM_SCHEMA
+from repro.harness.cli import main as harness_main
+
+_FAST = ["--instructions", "600", "--sample-interval", "200"]
+
+
+def run_json(capsys, argv):
+    code = headroom_main(argv)
+    captured = capsys.readouterr()
+    return code, json.loads(captured.out), captured.err
+
+
+def test_single_workload_json_schema(capsys):
+    code, payload, _ = run_json(
+        capsys, ["hash_loop", "--config", "tvp", "--json",
+                 "--no-cache"] + _FAST)
+    assert code == 0
+    assert payload["schema"] == HEADROOM_SCHEMA
+    assert payload["command"] == "headroom"
+    assert payload["ok"] is True
+    assert payload["workloads"] == ["hash_loop"]
+    assert payload["configs"] == ["tvp"]
+    (report,) = payload["reports"]
+    assert report["schema"] == HEADROOM_SCHEMA
+    assert report["sound"] is True
+    assert report["bound"] == max(report["dep_lb"], report["structural_lb"])
+    assert report["bound"] <= report["actual_cycles"]
+    assert report["binding"] in ("dependence", "structural")
+    assert set(report["attribution"]["buckets"]) == {
+        "queue_pressure", "flush_storms", "vp_miss_silencing", "other"}
+
+
+def test_detailed_text_report(capsys):
+    code = headroom_main(["hash_loop", "--config", "baseline", "--top", "3",
+                          "--no-cache"] + _FAST)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "hash_loop / baseline" in out
+    assert "dependence LB" in out
+    assert "critical path (top 3" in out
+    assert "SOUNDNESS VIOLATION" not in out
+
+
+def test_all_markdown_table(capsys):
+    code = headroom_main(["--all", "--workloads", "hash_loop,stream_triad",
+                          "--configs", "baseline,tvp",
+                          "--no-cache"] + _FAST)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "| workload | baseline | tvp |" in out
+    assert "| hash_loop |" in out
+    assert "| stream_triad |" in out
+    assert "UNSOUND" not in out
+
+
+def test_harness_dispatches_headroom(capsys):
+    code = harness_main(["headroom", "stream_triad", "--config", "baseline",
+                         "--json", "--no-cache"] + _FAST)
+    assert code == 0
+    assert json.loads(capsys.readouterr().out)["ok"] is True
+
+
+def test_report_cache_round_trip(tmp_path, capsys):
+    argv = ["hash_loop", "--config", "tvp", "--json",
+            "--cache-dir", str(tmp_path)] + _FAST
+    assert headroom_main(argv) == 0
+    cold = capsys.readouterr()
+    stored = list((tmp_path / "reports").glob("*.json"))
+    assert len(stored) == 1
+    assert headroom_main(argv) == 0
+    warm = capsys.readouterr()
+    assert json.loads(cold.out)["reports"] == json.loads(warm.out)["reports"]
+    assert "hit" in warm.err      # cache summary goes to stderr in json mode
+
+
+def test_engine_flag_validated_and_exported(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "interp")
+    code, payload, _ = run_json(
+        capsys, ["hash_loop", "--config", "tvp", "--engine", "batch",
+                 "--json", "--no-cache"] + _FAST)
+    assert code == 0 and payload["ok"] is True
+    assert os.environ["REPRO_ENGINE"] == "batch"
+    with pytest.raises(SystemExit):
+        headroom_main(["hash_loop", "--engine", "warp-drive"])
+
+
+def test_engines_produce_identical_reports(capsys, monkeypatch):
+    payloads = {}
+    for engine in ("interp", "batch"):
+        monkeypatch.setenv("REPRO_ENGINE", engine)
+        _, payloads[engine], _ = run_json(
+            capsys, ["stream_triad", "--config", "tvp+spsr", "--json",
+                     "--no-cache"] + _FAST)
+    assert payloads["interp"]["reports"] == payloads["batch"]["reports"]
+
+
+def test_argument_validation():
+    with pytest.raises(SystemExit):
+        headroom_main([])                       # no workloads, no --all
+    with pytest.raises(SystemExit):
+        headroom_main(["hash_loop", "--all"])   # mutually exclusive
+    with pytest.raises(SystemExit):
+        headroom_main(["hash_loop", "--config", "no_such_config"])
+    with pytest.raises(SystemExit):
+        headroom_main(["hash_loop", "--sample-interval", "0"])

@@ -1,0 +1,66 @@
+"""Structural machine-limit bound: widths, ports, capacity windows."""
+
+from tests.helpers import emulate
+
+from repro.analysis.headroom.structural import _ceil_div, structural_bound
+from repro.analysis.opportunity import StaticOpportunities
+from repro.emulator.trace import trace_program
+from repro.harness.runner import ExperimentRunner
+from repro.pipeline.config import MachineConfig
+from repro.workloads import get_workload
+
+
+def test_width_bounds_exact():
+    trace, _ = emulate("mov x1, #1\n" + "add x2, x1, x1\n" * 30 + "hlt")
+    config = MachineConfig.baseline()
+    result = structural_bound(trace, config)
+    n = len(trace)
+    comps = result.components
+    assert comps["fetch_width"] == _ceil_div(n, config.fetch_width)
+    assert comps["decode_width"] == _ceil_div(n, config.decode_width)
+    assert comps["rename_width"] == _ceil_div(n, config.rename_width)
+    assert comps["commit_width"] == _ceil_div(n, config.commit_width)
+    assert comps["issue_width"] == _ceil_div(n, config.issue_width)
+    assert result.bound == max(comps.values())
+    assert comps[result.binding] == result.bound
+
+
+def test_empty_trace_is_zero():
+    result = structural_bound([], MachineConfig.baseline())
+    assert result.bound == 0
+    assert result.binding == "empty"
+
+
+def test_port_component_counts_alu_work():
+    trace, _ = emulate("mov x1, #1\n" + "add x2, x1, x1\n" * 30 + "hlt")
+    config = MachineConfig.baseline()
+    comps = structural_bound(trace, config).components
+    port_keys = [k for k in comps if k.startswith("ports:")]
+    assert port_keys, "ALU-only program must produce an ALU port bound"
+    assert any("INT_ALU" in k for k in port_keys)
+
+
+def test_smaller_rob_never_loosens_the_window():
+    workload = get_workload("stream_triad")
+    trace, _ = trace_program(workload.program, max_instructions=800)
+    config = MachineConfig.baseline()
+    wide = structural_bound(trace, config).components["window"]
+    narrow = structural_bound(
+        trace, config.with_(rob_entries=8)).components["window"]
+    assert narrow >= wide
+    assert narrow > wide, "an 8-entry ROB must visibly tighten the window"
+
+
+def test_elimination_discounts_issue_pressure():
+    """Under TVP+SpSR, statically eliminable µops never issue, so the
+    sites-aware issue bound can only be at or below the sites-blind one."""
+    workload = get_workload("hash_loop")
+    trace, _ = trace_program(workload.program, max_instructions=800)
+    config = ExperimentRunner.config("tvp+spsr")
+    opps = StaticOpportunities.analyze(
+        workload.program, name=workload.name,
+        constant_folding=bool(config.spsr_constant_folding))
+    blind = structural_bound(trace, config).components["issue_width"]
+    aware = structural_bound(
+        trace, config, sites=opps.sites).components["issue_width"]
+    assert aware <= blind

@@ -19,6 +19,8 @@ def test_audit_one_kernel_json(capsys):
         capsys, ["audit", "hash_loop", "--instructions", "500", "--json"])
     assert code == 0
     assert payload["ok"] is True
+    assert payload["schema"] == "audit/2"
+    assert payload["suppressed_warnings"] == 0
     assert payload["findings"] == []
     kernel = payload["kernels"]["hash_loop"]
     assert set(kernel) == {"static", "dynamic_bounds", "eliminated"}
@@ -36,7 +38,29 @@ def test_audit_text_output(capsys):
 def test_lint_json(capsys):
     code, payload = run_json(capsys, ["lint", "--json"])
     assert code == 0
-    assert payload == {"command": "lint", "findings": [], "ok": True}
+    assert payload == {"schema": "lint/2", "command": "lint",
+                       "findings": [], "ok": True,
+                       "suppressed_warnings": 0}
+
+
+def test_exit_codes_consistent_empty_vs_suppressed(capsys, monkeypatch):
+    """Empty findings and suppressed warnings both exit 0 (ok true);
+    --strict promotes the warning to a failure — for both commands."""
+    from repro.analysis import cli as mod
+    from repro.analysis.findings import WARNING, Finding
+
+    warning = Finding(rule="DET999", severity=WARNING, where="x",
+                      location="line 1", message="seeded warning")
+    monkeypatch.setattr(mod, "lint_paths", lambda root: [warning])
+    monkeypatch.setattr(mod, "lint_stats_coverage", lambda: [])
+
+    code, payload = run_json(capsys, ["lint", "--json"])
+    assert code == 0 and payload["ok"] is True
+    assert payload["suppressed_warnings"] == 1
+
+    code, payload = run_json(capsys, ["lint", "--json", "--strict"])
+    assert code == 1 and payload["ok"] is False
+    assert payload["suppressed_warnings"] == 0
 
 
 def test_lint_flags_seeded_violation(tmp_path, capsys):

@@ -174,3 +174,34 @@ def test_findings_sorted_by_line():
             pass
     """)
     assert [f.rule for f in findings] == ["DET001", "DET002"]
+
+
+# -- DET005: stats counter / interval schema coverage -------------------------------
+def test_det005_clean_at_head():
+    from repro.analysis.lint import lint_stats_coverage
+    assert lint_stats_coverage() == []
+
+
+def test_det005_uncovered_counter_flagged():
+    from repro.analysis.lint import lint_stats_coverage
+    findings = lint_stats_coverage(
+        delta=("cycles",), exempt=(), declared=("cycles", "new_counter"))
+    assert [f.rule for f in findings] == ["DET005"]
+    assert "new_counter" in findings[0].message
+    assert findings[0].where == "repro/observability/interval.py"
+
+
+def test_det005_double_listing_flagged():
+    from repro.analysis.lint import lint_stats_coverage
+    findings = lint_stats_coverage(
+        delta=("cycles",), exempt=("cycles",), declared=("cycles",))
+    assert [f.rule for f in findings] == ["DET005"]
+    assert "both" in findings[0].message
+
+
+def test_det005_stale_entry_flagged():
+    from repro.analysis.lint import lint_stats_coverage
+    findings = lint_stats_coverage(
+        delta=("cycles", "removed_counter"), exempt=(), declared=("cycles",))
+    assert [f.rule for f in findings] == ["DET005"]
+    assert "stale" in findings[0].message

@@ -1,0 +1,55 @@
+"""Golden headroom-report snapshot definition and regeneration.
+
+Pins the **full** ``headroom/1`` report document — bounds, binding,
+critical path, attribution — for two kernels under base and TVP, so any
+change to the analyzer (or to the simulator timing it measures) fails
+with a field-level diff.  Deliberate changes re-pin with:
+
+    PYTHONPATH=src python -m tests.golden.regen_headroom
+"""
+
+import json
+import os
+
+from repro.analysis.headroom.report import analyze_headroom
+from repro.workloads import get_workload
+
+KERNELS = ("hash_loop", "stream_triad")
+CONFIGS = ("baseline", "tvp")
+BUDGET = 2000
+SAMPLE_INTERVAL = 200
+
+SNAPSHOT_PATH = os.path.join(os.path.dirname(__file__), "headroom.json")
+
+
+def report_for(workload_name, config_name):
+    """The pinned headroom report for one (kernel, config) point."""
+    return analyze_headroom(get_workload(workload_name), config_name,
+                            instructions=BUDGET,
+                            sample_interval=SAMPLE_INTERVAL)
+
+
+def current_matrix():
+    return {workload: {config: report_for(workload, config)
+                       for config in CONFIGS}
+            for workload in KERNELS}
+
+
+def load_snapshot():
+    with open(SNAPSHOT_PATH) as handle:
+        return json.load(handle)
+
+
+def regenerate():
+    matrix = {"budget": BUDGET, "sample_interval": SAMPLE_INTERVAL,
+              "reports": current_matrix()}
+    with open(SNAPSHOT_PATH, "w") as handle:
+        json.dump(matrix, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return matrix
+
+
+if __name__ == "__main__":
+    regenerated = regenerate()
+    points = sum(len(configs) for configs in regenerated["reports"].values())
+    print(f"pinned {points} (kernel, config) reports to {SNAPSHOT_PATH}")

@@ -1,0 +1,49 @@
+"""Golden headroom reports: full report documents, two kernels, two
+configurations.  A failure means the analyzer's output moved — either
+the bounds themselves or the timing they are compared against.  If the
+movement is intentional, re-pin with
+``PYTHONPATH=src python -m tests.golden.regen_headroom``.
+"""
+
+import pytest
+
+from repro.analysis.headroom.report import HEADROOM_SCHEMA
+
+from tests.golden.regen_headroom import (BUDGET, CONFIGS, KERNELS,
+                                         SAMPLE_INTERVAL, load_snapshot,
+                                         report_for)
+
+_SNAPSHOT = load_snapshot()
+
+_POINTS = [(kernel, config) for kernel in KERNELS for config in CONFIGS]
+
+
+def test_snapshot_matches_matrix_and_schema():
+    assert _SNAPSHOT["budget"] == BUDGET
+    assert _SNAPSHOT["sample_interval"] == SAMPLE_INTERVAL
+    assert set(_SNAPSHOT["reports"]) == set(KERNELS)
+    for kernel, configs in _SNAPSHOT["reports"].items():
+        assert set(configs) == set(CONFIGS), kernel
+        for config, report in configs.items():
+            assert report["schema"] == HEADROOM_SCHEMA, (kernel, config)
+            assert report["sound"] is True, (kernel, config)
+
+
+@pytest.mark.parametrize("kernel,config", _POINTS,
+                         ids=[f"{k}-{c}" for k, c in _POINTS])
+def test_report_matches_snapshot(kernel, config):
+    pinned = _SNAPSHOT["reports"][kernel][config]
+    current = report_for(kernel, config)
+    if current == pinned:
+        return
+    diff_lines = [f"{name}: pinned {pinned.get(name)!r} != "
+                  f"current {value!r}"
+                  for name, value in current.items()
+                  if value != pinned.get(name)]
+    pytest.fail(
+        f"golden headroom report moved for {kernel} / {config} "
+        f"({len(diff_lines)} field(s)):\n  "
+        + "\n  ".join(diff_lines)
+        + "\nif intentional: "
+          "PYTHONPATH=src python -m tests.golden.regen_headroom",
+        pytrace=False)
