@@ -86,6 +86,26 @@ def analyze_headroom(workload, config_name, config=None, trace=None,
     }
 
 
+def dominant_bottleneck(report):
+    """The single bucket/bound name that most limits this point.
+
+    Returns an attribution bucket name (``"queue_pressure"``,
+    ``"flush_storms"``, ``"vp_miss_silencing"``) when one bucket
+    dominates the lost cycles, else the binding bound
+    (``"dependence"`` or ``"structural"``).  The headroom-guided search
+    strategy (:mod:`repro.dse.strategies`) uses this to decide which
+    space dimensions to mutate first.
+    """
+    buckets = dict(report["attribution"]["buckets"])
+    buckets.pop("other", None)
+    lost = sum(buckets.values())
+    if lost > 0:
+        name, cycles = max(sorted(buckets.items()), key=lambda kv: kv[1])
+        if cycles * 2 >= lost:          # one bucket holds a majority
+            return name
+    return report["binding"]
+
+
 def render_report(report, top=5):
     """Human-readable text block for one report dict."""
     lines = []

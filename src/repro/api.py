@@ -26,7 +26,7 @@ from repro.harness.orchestrator import OrchestratedRunner
 from repro.harness.runner import ExperimentRunner
 from repro.pipeline.config import MachineConfig
 
-__all__ = ["SimResult", "SweepResult", "simulate", "sweep"]
+__all__ = ["SimResult", "SweepResult", "explore", "simulate", "sweep"]
 
 _CUSTOM_CONFIG_NAME = "custom"
 
@@ -178,3 +178,30 @@ def sweep(workloads=None, configs=("baseline", "mvp", "tvp", "gvp"), *,
         workloads=tuple(w.name for w in workload_objects),
         instructions=instructions,
         fault_report=report.to_dict() if report is not None else None)
+
+
+def explore(space="smoke", strategy="grid", *, workloads=None,
+            instructions=None, seed=1, max_points=0, jobs=None, cache=None,
+            journal=None, resume=True):
+    """Run a design-space exploration; returns a frozen
+    :class:`repro.dse.result.ExploreResult`.
+
+    ``space`` is a built-in space name (see
+    :func:`repro.dse.space.space_names`) or a
+    :class:`~repro.dse.space.ParameterSpace`; ``strategy`` one of
+    :func:`repro.dse.strategy_names` (``grid``, ``random``, ``beam``,
+    ``headroom``) or a :class:`~repro.dse.strategies.Strategy`.  Same
+    knobs as :func:`sweep` otherwise — explorations share the
+    simulation cache with ordinary runs (a space point whose config
+    matches a named configuration is a cache hit in both directions)
+    and are journal-resumable (``journal=`` a path or ``True`` for the
+    canonical location).
+    """
+    from repro.dse.explore import Explorer
+
+    explorer = Explorer(space=space, strategy=strategy,
+                        workloads=_resolve_workloads(workloads),
+                        instructions=instructions, seed=seed,
+                        max_points=max_points, cache=cache, jobs=jobs or 1,
+                        journal=journal, resume=resume)
+    return explorer.run()

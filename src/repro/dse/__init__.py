@@ -1,0 +1,59 @@
+"""Design-space exploration over :func:`repro.api.sweep`-grade simulation.
+
+The paper evaluates four hand-picked configurations; this package turns
+the machinery built around them — the stable runner, the
+content-addressed result cache, the headroom analyzer — into a search
+layer that explores thousands:
+
+* :mod:`repro.dse.space` — declarative parameter spaces (VTAGE geometry,
+  FPC confidence, silencing window, SpSR, ROB/IQ/PRF sizing) compiling
+  to validated :class:`~repro.pipeline.config.MachineConfig` points
+  whose fingerprints hit the existing simulation cache;
+* :mod:`repro.dse.pareto` — the dominance/frontier/pruning core
+  (property-tested against a brute-force reference);
+* :mod:`repro.dse.strategies` — exhaustive grid, seeded random,
+  multi-start beam and headroom-guided search, all driven by one
+  deterministic :class:`~repro.util.rng.XorShift64` stream;
+* :mod:`repro.dse.journal` — the durable, fsync'd
+  :class:`ExplorationJournal` (``kill -9`` mid-search resumes with zero
+  recomputation);
+* :mod:`repro.dse.explore` — the :class:`Explorer` engine tying them
+  together into a frozen :class:`~repro.dse.result.ExploreResult`;
+* :mod:`repro.dse.report` — Pareto-frontier reports as JSON, markdown
+  and LaTeX.
+
+The CLI entry point is ``harness explore`` (see
+:mod:`repro.harness.cli`); the stable programmatic surface is
+:func:`repro.api.explore`.
+"""
+
+from repro.dse.explore import Explorer
+from repro.dse.journal import ExplorationJournal, default_explore_journal_path
+from repro.dse.pareto import dominates, pareto_frontier, prune_dominated
+from repro.dse.result import ExploreResult, PointEval
+from repro.dse.space import (SPACES, Choice, Dimension, ParameterSpace,
+                             SpacePoint, get_space, hardware_cost_kb,
+                             space_names)
+from repro.dse.strategies import STRATEGIES, make_strategy, strategy_names
+
+__all__ = [
+    "Choice",
+    "Dimension",
+    "ExplorationJournal",
+    "ExploreResult",
+    "Explorer",
+    "ParameterSpace",
+    "PointEval",
+    "SPACES",
+    "STRATEGIES",
+    "SpacePoint",
+    "default_explore_journal_path",
+    "dominates",
+    "get_space",
+    "hardware_cost_kb",
+    "make_strategy",
+    "pareto_frontier",
+    "prune_dominated",
+    "space_names",
+    "strategy_names",
+]

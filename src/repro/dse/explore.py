@@ -1,0 +1,407 @@
+"""The exploration engine: strategy loop, parallel evaluation, resume.
+
+:class:`Explorer` ties the package together.  Each round it asks the
+strategy for a batch of space-point indices, evaluates the whole batch
+(in parallel when ``jobs > 1``), journals every finished point, and
+feeds the results back before the next ``propose()`` — a barrier that
+makes the search trajectory a pure function of (space, strategy, seed),
+independent of worker count or scheduling.
+
+Every evaluated point resolves through a strict source ladder, cheapest
+first:
+
+1. the **exploration journal** (a resumed run replays completed points
+   and write-throughs their stats into the simulation cache),
+2. the **simulation cache** (space points compile to plain
+   :class:`~repro.pipeline.config.MachineConfig` objects, so any point
+   already simulated by ``harness run``/``sweep`` — or a previous
+   exploration — is a cache hit),
+3. actual **simulation**, fanned out over a process pool with serial
+   in-parent fallback.
+
+A fully warm re-run additionally short-circuits through the report
+cache (:func:`repro.harness.cache.explore_key`) without touching the
+strategy at all.  Provenance counters (``simulated``, ``from_cache``,
+``from_journal``, ...) live on the explorer — never inside
+:class:`~repro.dse.result.ExploreResult`, whose serialized form must be
+byte-identical between cold, warm and resumed runs.
+"""
+
+import math
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict
+
+from repro.dse.journal import ExplorationJournal, default_explore_journal_path
+from repro.dse.pareto import pareto_frontier
+from repro.dse.result import EXPLORE_SCHEMA, ExploreResult, PointEval
+from repro.dse.space import ParameterSpace, get_space, hardware_cost_kb
+from repro.dse.strategies import Strategy, make_strategy
+from repro.harness.cache import (ReportCache, SimulationCache, explore_key,
+                                 simulation_key, stats_from_payload)
+from repro.harness.runner import ExperimentRunner
+
+__all__ = ["Explorer"]
+
+#: config_name label under which exploration results are memoized and
+#: cached; identity is carried by the config fingerprint, the label is
+#: for observability only.
+_DSE_CONFIG_NAME = "dse"
+
+
+def _geomean(values):
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0.0 for v in values):
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _evaluate_point_worker(cache_dir, workload_name, instructions, config,
+                           tag):
+    """Pool worker: simulate one (workload, config) pair.
+
+    Top-level for picklability.  Builds its own runner against the
+    shared cache directory (simulation + trace cache), so concurrent
+    workers deduplicate work through the same content-addressed store
+    the parent uses, and returns the stats as a plain payload the
+    parent re-validates.
+    """
+    from repro.workloads import get_workload
+
+    workload = get_workload(workload_name)
+    cache = SimulationCache(cache_dir) if cache_dir else None
+    runner = ExperimentRunner(workloads=[workload], instructions=instructions,
+                              cache=cache)
+    record = runner.run(workload, _DSE_CONFIG_NAME, config=config)
+    return tag, workload_name, asdict(record.stats)
+
+
+def _pool_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:          # platforms without fork
+        return multiprocessing.get_context("spawn")
+
+
+class Explorer:
+    """One design-space exploration run.
+
+    ``space`` is a :class:`~repro.dse.space.ParameterSpace` or a
+    built-in space name; ``strategy`` a
+    :class:`~repro.dse.strategies.Strategy` or a registered name.
+    ``journal`` may be an :class:`ExplorationJournal`, a path, ``True``
+    (derive the canonical path next to the cache) or ``None`` (no
+    journal); ``resume=False`` resets an existing journal instead of
+    replaying it.
+    """
+
+    def __init__(self, space, strategy="grid", workloads=None,
+                 instructions=None, seed=1, max_points=0, cache=None,
+                 jobs=1, journal=None, resume=True, verbose=False):
+        self.space = space if isinstance(space, ParameterSpace) \
+            else get_space(space)
+        self.space_fp = self.space.fingerprint()
+        self.seed = int(seed)
+        self.max_points = (int(max_points) if max_points
+                           and max_points > 0 else self.space.size())
+        self.max_points = min(self.max_points, self.space.size())
+        if isinstance(strategy, Strategy):
+            self.strategy = strategy
+        else:
+            self.strategy = make_strategy(strategy, self.space,
+                                          seed=self.seed,
+                                          max_points=self.max_points)
+        self.workloads = self._resolve_workloads(workloads)
+        self.instructions = instructions
+        self.cache = cache
+        self.jobs = max(1, int(jobs or 1))
+        self.resume = bool(resume)
+        self.verbose = verbose
+        self.journal = self._resolve_journal(journal)
+        self._runner = ExperimentRunner(workloads=self.workloads,
+                                        instructions=instructions,
+                                        cache=cache)
+        if hasattr(self.strategy, "set_probe"):
+            self.strategy.set_probe(self._probe_bottleneck)
+        # Provenance counters — CLI-facing only, never serialized into
+        # the result (cold and warm runs must save byte-identical JSON).
+        self.simulated = 0          # (point, workload) pairs simulated
+        self.from_cache = 0         # ... loaded from the simulation cache
+        self.from_journal = 0       # points replayed from the journal
+        self.from_report_cache = False
+        self.pool_failures = 0
+        self.probes = 0             # headroom analyses the probe ran
+
+    # -- construction helpers ------------------------------------------------------
+    @staticmethod
+    def _resolve_workloads(workloads):
+        from repro.workloads import get_workload, suite
+
+        if workloads is None:
+            return list(suite())
+        return [get_workload(w) if isinstance(w, str) else w
+                for w in workloads]
+
+    def _resolve_journal(self, journal):
+        if journal is None or isinstance(journal, ExplorationJournal):
+            return journal
+        if journal is True:
+            journal = default_explore_journal_path(
+                cache_dir=getattr(self.cache, "directory", None),
+                space_fp=self.space_fp, strategy=self.strategy.name,
+                seed=self.seed,
+                workload_names=[w.name for w in self.workloads],
+                instructions=self.instructions)
+        return ExplorationJournal(journal)
+
+    def _budget_tag(self):
+        """The int the journal stores for the instruction budget (0 =
+        per-workload defaults)."""
+        return self.instructions if self.instructions is not None else 0
+
+    def _report_key(self):
+        return explore_key(self.space_fp, self.strategy.name, self.seed,
+                           self.max_points,
+                           [w.name for w in self.workloads],
+                           self.instructions)
+
+    # -- the engine ----------------------------------------------------------------
+    def run(self):
+        """Run the exploration to completion; returns
+        :class:`~repro.dse.result.ExploreResult`."""
+        cached = self._load_report()
+        if cached is not None:
+            self.from_report_cache = True
+            return cached
+        replayed = {}
+        if self.journal is not None:
+            if self.resume:
+                replayed = self.journal.replay(self.space_fp)
+            else:
+                self.journal.reset()
+        evaluated = {}
+        while True:
+            batch = self.strategy.propose(evaluated)
+            if not batch:
+                break
+            for index, point_eval in self._evaluate_batch(batch, replayed):
+                evaluated[index] = point_eval
+        if self.journal is not None:
+            self.journal.close()
+        result = self._assemble(evaluated)
+        self._store_report(result)
+        return result
+
+    def _load_report(self):
+        if self.cache is None or not self.resume:
+            return None
+        payload = ReportCache(self.cache.directory).load(self._report_key())
+        if not isinstance(payload, dict) \
+                or payload.get("schema") != EXPLORE_SCHEMA:
+            return None
+        try:
+            return ExploreResult.from_dict(payload)
+        except (KeyError, TypeError):
+            return None
+
+    def _store_report(self, result):
+        if self.cache is not None:
+            ReportCache(self.cache.directory).store(self._report_key(),
+                                                    result.to_dict())
+
+    # -- batch evaluation ----------------------------------------------------------
+    def _evaluate_batch(self, batch, replayed):
+        """Evaluate one strategy batch; yields (index, PointEval) pairs.
+
+        The batch is a barrier: every point completes (journal replay,
+        cache hit, or simulation) before control returns to the
+        strategy, and results merge keyed by index, so the outcome is
+        identical at any ``jobs``.  Each point is journaled the moment
+        its last workload finishes — not at the batch boundary — so a
+        ``kill -9`` mid-batch only loses in-flight points.
+        """
+        points = {index: self.space.point(index) for index in batch}
+        stats_map = {index: {} for index in batch}   # index -> wl -> stats
+        journaled = set()
+        pending = []                                 # (index, workload)
+        for index, point in sorted(points.items()):
+            record = replayed.get(index)
+            if record is not None and self._replay_matches(record, point):
+                stats_map[index] = dict(record[1])
+                self.from_journal += 1
+                journaled.add(index)                 # already durable
+                self._write_through(point, record[1])
+                continue
+            for workload in self.workloads:
+                stats = self._load_cached(point, workload)
+                if stats is not None:
+                    stats_map[index][workload.name] = stats
+                    self.from_cache += 1
+                else:
+                    pending.append((index, workload))
+            self._maybe_journal(points, stats_map, journaled, index)
+        for index, workload, stats in self._simulate(points, pending):
+            stats_map[index][workload.name] = stats
+            self.simulated += 1
+            self._maybe_journal(points, stats_map, journaled, index)
+        for index, point in sorted(points.items()):
+            yield index, self._to_point_eval(point, stats_map[index])
+
+    def _replay_matches(self, record_and_stats, point):
+        record, stats = record_and_stats
+        return (record["fingerprint"] == point.fingerprint
+                and record["instructions"] == self._budget_tag()
+                and set(stats) >= {w.name for w in self.workloads})
+
+    def _write_through(self, point, stats_by_workload):
+        """Persist journal-replayed stats into the simulation cache, so
+        later non-exploration runs of the same config hit it too."""
+        if self.cache is None:
+            return
+        for workload in self.workloads:
+            key = simulation_key(workload.name,
+                                 self._runner.budget_for(workload),
+                                 point.fingerprint)
+            if self.cache.load(key) is None:
+                self.cache.store(key, workload.name, _DSE_CONFIG_NAME,
+                                 self._runner.budget_for(workload),
+                                 stats_by_workload[workload.name])
+
+    def _load_cached(self, point, workload):
+        if self.cache is None:
+            return None
+        return self.cache.load(
+            simulation_key(workload.name, self._runner.budget_for(workload),
+                           point.fingerprint))
+
+    def _simulate(self, points, pending):
+        """Simulate every (index, workload) in *pending*; yields
+        (index, workload, stats) as each finishes.
+
+        Yield order is not deterministic under ``jobs > 1`` (futures
+        complete as they will) — only journaling keys off it, and the
+        journal is an unordered map on replay; the assembled result is
+        merged keyed by index either way.
+        """
+        serial = list(pending)
+        if self.jobs > 1 and len(pending) > 1:
+            serial = []
+            yield from self._simulate_pool(points, pending, serial)
+        for index, workload in serial:         # serial path / fallback
+            record = self._runner.run(workload, _DSE_CONFIG_NAME,
+                                      config=points[index].config)
+            yield index, workload, record.stats
+
+    def _simulate_pool(self, points, pending, failed):
+        """Fan *pending* out over a process pool, yielding successes;
+        tasks needing serial in-parent fallback land in *failed*."""
+        from concurrent.futures import as_completed
+
+        cache_dir = getattr(self.cache, "directory", None)
+        done = set()                           # (index, workload name)
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(pending)),
+                    mp_context=_pool_context()) as pool:
+                futures = {
+                    pool.submit(_evaluate_point_worker, cache_dir,
+                                workload.name, self.instructions,
+                                points[index].config, index):
+                    (index, workload)
+                    for index, workload in pending
+                }
+                for future in as_completed(futures):
+                    index, workload = futures[future]
+                    try:
+                        tag, name, payload = future.result()
+                        stats = stats_from_payload(payload)
+                        if stats is None:
+                            raise ValueError("corrupt worker payload")
+                    except Exception:
+                        self.pool_failures += 1
+                        failed.append((index, workload))
+                        continue
+                    done.add((tag, name))
+                    yield tag, workload, stats
+        except Exception:
+            # Pool-level failure (e.g. no usable start method): run
+            # everything not yet collected serially.
+            self.pool_failures += 1
+            failed[:] = [(i, w) for i, w in pending
+                         if (i, w.name) not in done]
+
+    def _maybe_journal(self, points, stats_map, journaled, index):
+        """Durably journal *index* once all its workloads have stats."""
+        if self.journal is None or index in journaled:
+            return
+        if not set(stats_map[index]) >= {w.name for w in self.workloads}:
+            return
+        journaled.add(index)
+        point = points[index]
+        self.journal.record(
+            self.space_fp, point.index,
+            {dim: label for dim, label in point.labels},
+            point.fingerprint, self._budget_tag(),
+            {name: asdict(stats)
+             for name, stats in sorted(stats_map[index].items())})
+
+    def _to_point_eval(self, point, stats_by_workload):
+        ipc = {w.name: round(stats_by_workload[w.name].ipc, 6)
+               for w in self.workloads}
+        return PointEval(
+            index=point.index, point_id=point.point_id,
+            assignment={dim: label for dim, label in point.labels},
+            fingerprint=point.fingerprint,
+            cost_kb=hardware_cost_kb(point.config),
+            geomean_ipc=round(_geomean(ipc.values()), 6),
+            ipc=ipc)
+
+    # -- result assembly -----------------------------------------------------------
+    def _assemble(self, evaluated):
+        points = tuple(evaluated[index] for index in sorted(evaluated))
+        vectors = [p.objectives for p in points]
+        frontier = tuple(points[i].index for i in pareto_frontier(vectors))
+        by_workload = {}
+        for workload in self.workloads:
+            wl_vectors = [(p.ipc[workload.name], -p.cost_kb) for p in points]
+            by_workload[workload.name] = tuple(
+                points[i].index for i in pareto_frontier(wl_vectors))
+        return ExploreResult(
+            schema=EXPLORE_SCHEMA, space=self.space.name,
+            space_fingerprint=self.space_fp,
+            strategy=self.strategy.name, seed=self.seed,
+            max_points=self.max_points, space_size=self.space.size(),
+            workloads=tuple(w.name for w in self.workloads),
+            instructions=self.instructions, points=points,
+            frontier=frontier, frontier_by_workload=by_workload)
+
+    # -- the headroom probe --------------------------------------------------------
+    def _probe_bottleneck(self, point_eval):
+        """Bottleneck of a point's weakest workload, for the
+        headroom-guided strategy (capped-budget traced analysis)."""
+        from repro.analysis.headroom.report import (analyze_headroom,
+                                                    dominant_bottleneck)
+
+        name = min(point_eval.ipc.items(), key=lambda kv: (kv[1], kv[0]))[0]
+        workload = next(w for w in self.workloads if w.name == name)
+        point = self.space.point(point_eval.index)
+        self.probes += 1
+        report = analyze_headroom(workload, _DSE_CONFIG_NAME,
+                                  config=point.config)
+        return dominant_bottleneck(report)
+
+    def summary(self):
+        """One human-readable provenance line for the CLI."""
+        if self.from_report_cache:
+            return ("explore: warm result from the report cache "
+                    "(0 simulations)")
+        parts = [f"{self.simulated} simulated",
+                 f"{self.from_cache} cache",
+                 f"{self.from_journal} journal"]
+        if self.probes:
+            parts.append(f"{self.probes} headroom probes")
+        if self.pool_failures:
+            parts.append(f"{self.pool_failures} pool failures")
+        return "explore: " + ", ".join(parts)

@@ -1,0 +1,164 @@
+"""Durable, resumable journaling for design-space explorations.
+
+Same discipline as :class:`repro.harness.orchestrator.SweepJournal` —
+append-only fsync'd JSONL, one record per fully evaluated space point,
+torn final lines and foreign code versions skipped on replay, atomic
+in-place compaction when stale records dominate.  A ``kill -9`` halfway
+through a 200-point search therefore costs nothing: the resumed run
+replays every completed point straight from the journal (write-through
+into the simulation cache) and only simulates the remainder.
+
+A journal line carries the full identity of one evaluated point — the
+space *content* fingerprint (not its name), the point index and
+assignment, the compiled config fingerprint, the workload set and
+instruction budget — plus per-workload stats payloads, so replay needs
+nothing but the file itself.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+
+from repro.harness.cache import code_version_hash, stats_from_payload
+
+__all__ = ["ExplorationJournal", "default_explore_journal_path"]
+
+
+def default_explore_journal_path(cache_dir=None, space_fp="", strategy="",
+                                 seed=0, workload_names=(), instructions=None):
+    """The canonical journal location for one exploration specification.
+
+    Exploration journals share the sweep journals' directory
+    (``<cache-dir>/journals``) under an ``explore-`` prefix and are named
+    by a hash of the exploration's identity — space content fingerprint,
+    strategy, seed, workload set and instruction budget — so re-running
+    the same ``harness explore`` command finds and resumes its own
+    journal while any change to the search gets a fresh one.
+    """
+    base = cache_dir or os.environ.get("REPRO_CACHE_DIR") or ".repro-cache"
+    blob = json.dumps([space_fp, strategy, seed, sorted(workload_names),
+                       instructions], separators=(",", ":"))
+    explore_id = hashlib.sha256(blob.encode()).hexdigest()[:16]
+    return os.path.join(str(base), "journals", f"explore-{explore_id}.jsonl")
+
+
+class ExplorationJournal:
+    """Append-only, fsync'd JSONL log of fully evaluated space points.
+
+    Each record holds one point's identity plus its per-workload stats;
+    a point is journaled only once **all** its workloads finished, so
+    replayed records never need partial-result reconciliation.
+    """
+
+    FORMAT = 1
+    _COMPACT_MIN_STALE = 32
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._handle = None
+
+    # -- writing -------------------------------------------------------------------
+    def record(self, space_fp, point_index, assignment, fingerprint,
+               instructions, stats_by_workload):
+        """Durably append one fully evaluated point (flush + fsync).
+
+        *stats_by_workload* maps workload name to an ``asdict``-style
+        stats payload (already plain data, ready for JSON).
+        """
+        if self._handle is None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._handle = open(self.path, "a")
+        line = json.dumps({
+            "format": self.FORMAT,
+            "space": space_fp,
+            "point": point_index,
+            "assignment": dict(assignment),
+            "fingerprint": fingerprint,
+            "instructions": instructions,
+            "code_version": code_version_hash(),
+            "stats": dict(stats_by_workload),
+        }, sort_keys=True)
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def reset(self):
+        """Discard the journal (``--no-resume``)."""
+        self.close()
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    # -- reading -------------------------------------------------------------------
+    def replay(self, space_fp):
+        """``{point_index: (record, {workload: PipelineStats})}`` for every
+        valid current-code record of *space_fp*.
+
+        Torn tails, records from other code versions or other spaces, and
+        payloads with unknown stats fields are skipped; the file is
+        compacted (atomic temp-file + ``os.replace``) when stale records
+        dominate.  Later duplicates of the same point index win, matching
+        append order.
+        """
+        try:
+            with open(self.path) as handle:
+                lines = handle.readlines()
+        except OSError:
+            return {}
+        valid, replayed, stale = [], {}, 0
+        for line in lines:
+            try:
+                record = json.loads(line)
+            except ValueError:
+                stale += 1
+                continue
+            if (not isinstance(record, dict)
+                    or record.get("format") != self.FORMAT
+                    or record.get("code_version") != code_version_hash()
+                    or record.get("space") != space_fp
+                    or not isinstance(record.get("point"), int)
+                    or not isinstance(record.get("assignment"), dict)
+                    or not isinstance(record.get("fingerprint"), str)
+                    or not isinstance(record.get("instructions"), int)
+                    or not isinstance(record.get("stats"), dict)):
+                stale += 1
+                continue
+            stats_map = {}
+            for workload, payload in sorted(record["stats"].items()):
+                stats = stats_from_payload(payload)
+                if stats is None:
+                    stats_map = None
+                    break
+                stats_map[workload] = stats
+            if not stats_map:
+                stale += 1
+                continue
+            valid.append(record)
+            replayed[record["point"]] = (record, stats_map)
+        if stale > self._COMPACT_MIN_STALE and stale > len(valid):
+            self._compact(valid)
+        return replayed
+
+    def _compact(self, valid):
+        """Atomically rewrite the journal with only the valid records."""
+        self.close()
+        directory = os.path.dirname(self.path) or "."
+        try:
+            handle, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            with os.fdopen(handle, "w") as tmp:
+                for record in valid:
+                    tmp.write(json.dumps(record, sort_keys=True) + "\n")
+                tmp.flush()
+                os.fsync(tmp.fileno())
+            os.replace(tmp_path, self.path)
+        except OSError:
+            pass

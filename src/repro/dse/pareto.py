@@ -1,0 +1,70 @@
+"""Pareto dominance, frontiers and pruning over objective vectors.
+
+Every function here works on plain sequences of equal-length numeric
+objective vectors in **maximization** convention: callers negate
+minimized objectives (the explorer encodes a point as
+``(geomean_ipc, -cost_kb)``).  The algebra is small and heavily
+property-tested (``tests/dse/test_pareto_properties.py``): the frontier
+must match an O(n²) brute-force reference on random point sets,
+dominance must be irreflexive/antisymmetric/transitive, and pruning must
+never discard a frontier member.
+"""
+
+__all__ = ["dominates", "pareto_frontier", "prune_dominated"]
+
+
+def dominates(a, b):
+    """True iff *a* Pareto-dominates *b*: no worse everywhere, strictly
+    better somewhere (maximization convention).
+
+    Equal vectors do not dominate each other (irreflexivity), so
+    duplicated points are all frontier members.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"objective arity mismatch: {len(a)} vs {len(b)}")
+    better = False
+    for x, y in zip(a, b):
+        if x < y:
+            return False
+        if x > y:
+            better = True
+    return better
+
+
+def pareto_frontier(vectors):
+    """Indices of the non-dominated vectors, in ascending index order.
+
+    Sorts lexicographically descending first: a dominator always sorts
+    before anything it dominates, so each candidate only needs checking
+    against the frontier built so far — O(n log n + n·f) with frontier
+    size f, against the O(n²) all-pairs reference the property tests
+    compare to.
+    """
+    vectors = list(vectors)
+    order = sorted(range(len(vectors)),
+                   key=lambda i: tuple(-c for c in vectors[i]))
+    front = []
+    for i in order:
+        candidate = vectors[i]
+        if not any(dominates(vectors[j], candidate) for j in front):
+            front.append(i)
+    return sorted(front)
+
+
+def prune_dominated(vectors, keep=0, key=None):
+    """Indices surviving early pruning, ascending.
+
+    Every frontier member always survives (the invariant the property
+    tests pin); additionally the best *keep* dominated vectors by *key*
+    (default: objective sum) survive as secondary search parents, ties
+    broken by index so the result is deterministic.
+    """
+    vectors = list(vectors)
+    front = pareto_frontier(vectors)
+    if keep <= 0:
+        return front
+    on_front = dict.fromkeys(front)
+    dominated = [i for i in range(len(vectors)) if i not in on_front]
+    score = key if key is not None else sum
+    dominated.sort(key=lambda i: (-score(vectors[i]), i))
+    return sorted(front + dominated[:keep])

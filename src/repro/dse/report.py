@@ -1,0 +1,110 @@
+"""Pareto-frontier reports: JSON, markdown and LaTeX renderings.
+
+All renderers are pure functions of a frozen
+:class:`~repro.dse.result.ExploreResult` — no I/O, no clocks — so the
+same result always renders byte-identically (the golden exploration
+snapshot pins exactly this).  Markdown is the CLI's human-facing
+default; LaTeX emits a paper-ready ``tabular`` matching the source
+paper's config-table style; JSON is simply the documented
+``to_dict()`` payload.
+"""
+
+import json
+
+__all__ = ["FORMATS", "frontier_rows", "render", "render_json",
+           "render_latex", "render_markdown"]
+
+
+def frontier_rows(result, workload=None):
+    """The frontier as plain row dicts, cheapest-first.
+
+    With *workload* set, rows come from that workload's own frontier
+    (its IPC as the quality axis); otherwise from the suite-wide
+    geomean frontier.
+    """
+    if workload is None:
+        indices = result.frontier
+    else:
+        indices = result.frontier_by_workload[workload]
+    rows = []
+    for index in indices:
+        point = result.point(index)
+        quality = (point.geomean_ipc if workload is None
+                   else point.ipc[workload])
+        rows.append({
+            "index": point.index,
+            "point_id": point.point_id,
+            "cost_kb": point.cost_kb,
+            "ipc": quality,
+        })
+    rows.sort(key=lambda row: (row["cost_kb"], -row["ipc"], row["index"]))
+    return rows
+
+
+def _header(result):
+    evaluated = len(result.points)
+    return (f"space `{result.space}` ({result.space_size} points, "
+            f"{evaluated} evaluated) · strategy `{result.strategy}` · "
+            f"seed {result.seed}")
+
+
+def render_markdown(result):
+    """Markdown report: suite-wide frontier plus one table per workload."""
+    lines = ["# Design-space exploration report", "", _header(result), ""]
+    lines += _markdown_table("Suite-wide Pareto frontier (geomean IPC)",
+                             "geomean IPC", frontier_rows(result))
+    for workload in result.workloads:
+        lines += _markdown_table(f"Frontier: `{workload}`", "IPC",
+                                 frontier_rows(result, workload))
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _markdown_table(title, quality_name, rows):
+    lines = [f"## {title}", "",
+             f"| point | cost (KB) | {quality_name} |",
+             "|---|---:|---:|"]
+    for row in rows:
+        lines.append(f"| `{row['point_id']}` | {row['cost_kb']:.3f} "
+                     f"| {row['ipc']:.4f} |")
+    lines.append("")
+    return lines
+
+
+def render_latex(result):
+    """A paper-ready LaTeX ``tabular`` of the suite-wide frontier."""
+    rows = frontier_rows(result)
+    lines = [
+        r"% " + _header(result).replace("`", ""),
+        r"\begin{tabular}{lrr}",
+        r"\toprule",
+        r"Configuration & Cost (KB) & Geomean IPC \\",
+        r"\midrule",
+    ]
+    for row in rows:
+        point_id = row["point_id"].replace("_", r"\_").replace("|", r" $|$ ")
+        lines.append(f"{point_id} & {row['cost_kb']:.3f} "
+                     f"& {row['ipc']:.4f} \\\\")
+    lines += [r"\bottomrule", r"\end{tabular}", ""]
+    return "\n".join(lines)
+
+
+def render_json(result):
+    """The documented JSON payload, deterministically serialized."""
+    return json.dumps(result.to_dict(), sort_keys=True, indent=2) + "\n"
+
+
+FORMATS = {
+    "markdown": render_markdown,
+    "latex": render_latex,
+    "json": render_json,
+}
+
+
+def render(result, fmt="markdown"):
+    """Render *result* in one of :data:`FORMATS`."""
+    try:
+        renderer = FORMATS[fmt]
+    except KeyError:
+        raise KeyError(f"unknown report format {fmt!r}; choose from "
+                       f"{', '.join(sorted(FORMATS))}") from None
+    return renderer(result)

@@ -1,0 +1,142 @@
+"""Frozen, JSON-round-trippable results of a design-space exploration.
+
+Same contract as :class:`repro.api.SimResult` / ``SweepResult``:
+``to_dict()`` is the documented stable payload, ``from_dict()`` its
+exact inverse, and the dict is **deterministic** — two explorations of
+the same space with the same seed serialize byte-identically (under
+``json.dumps(..., sort_keys=True)``) whether they ran cold, warm from
+the cache, across different ``--jobs``, or resumed after a ``kill -9``.
+Provenance counters (how many points were simulated vs replayed) are
+deliberately *not* part of the result; they live on the
+:class:`~repro.dse.explore.Explorer` and are printed by the CLI only.
+"""
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+__all__ = ["EXPLORE_SCHEMA", "ExploreResult", "PointEval"]
+
+EXPLORE_SCHEMA = "explore/1"
+
+
+@dataclass(frozen=True)
+class PointEval:
+    """One fully evaluated space point.
+
+    Objectives follow the explorer's maximization convention:
+    ``(geomean_ipc, -cost_kb)`` — higher is better in both coordinates.
+    """
+
+    index: int                       # row-major index within the space
+    point_id: str                    # "dim=label|dim=label", human-stable
+    assignment: Mapping[str, str]    # dimension name -> choice label
+    fingerprint: str                 # compiled MachineConfig fingerprint
+    cost_kb: float                   # modeled hardware cost, KB
+    geomean_ipc: float
+    ipc: Mapping[str, float]         # per-workload IPC
+
+    @property
+    def objectives(self):
+        return (self.geomean_ipc, -self.cost_kb)
+
+    def to_dict(self):
+        """JSON-ready payload; inverse of :meth:`from_dict`."""
+        return {
+            "index": self.index,
+            "point_id": self.point_id,
+            "assignment": dict(self.assignment),
+            "fingerprint": self.fingerprint,
+            "cost_kb": self.cost_kb,
+            "geomean_ipc": self.geomean_ipc,
+            "ipc": dict(self.ipc),
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(index=payload["index"], point_id=payload["point_id"],
+                   assignment=dict(payload["assignment"]),
+                   fingerprint=payload["fingerprint"],
+                   cost_kb=payload["cost_kb"],
+                   geomean_ipc=payload["geomean_ipc"],
+                   ipc=dict(payload["ipc"]))
+
+
+@dataclass(frozen=True)
+class ExploreResult:
+    """A finished exploration: every evaluated point plus its frontiers.
+
+    ``frontier`` and each ``frontier_by_workload`` entry hold **space
+    point indices** (``PointEval.index`` values, ascending), not
+    positions in the ``points`` list, so they stay meaningful against
+    the space definition itself.
+    """
+
+    schema: str
+    space: str                       # space name ("smoke", "paper", ...)
+    space_fingerprint: str           # content hash of the space definition
+    strategy: str
+    seed: int
+    max_points: int                  # point budget the search ran under
+    space_size: int                  # total points the space defines
+    workloads: Tuple[str, ...]
+    instructions: Optional[int]
+    points: Tuple[PointEval, ...]    # ascending by index
+    frontier: Tuple[int, ...]        # suite-wide Pareto front (indices)
+    frontier_by_workload: Mapping[str, Tuple[int, ...]] = field(
+        default_factory=dict)
+
+    def point(self, index):
+        """The :class:`PointEval` with the given space index."""
+        for point in self.points:
+            if point.index == index:
+                return point
+        raise KeyError(f"point {index} was not evaluated")
+
+    def frontier_points(self):
+        """The suite-wide frontier as :class:`PointEval` objects."""
+        return tuple(self.point(index) for index in self.frontier)
+
+    def to_dict(self):
+        """JSON-ready payload; inverse of :meth:`from_dict`.
+
+        Deterministic: key order is fixed here and nested dicts are
+        plain data, so ``json.dumps(..., sort_keys=True)`` of two
+        equal results is byte-identical.
+        """
+        return {
+            "schema": self.schema,
+            "space": self.space,
+            "space_fingerprint": self.space_fingerprint,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "max_points": self.max_points,
+            "space_size": self.space_size,
+            "workloads": list(self.workloads),
+            "instructions": self.instructions,
+            "points": [point.to_dict() for point in self.points],
+            "frontier": list(self.frontier),
+            "frontier_by_workload": {
+                workload: list(indices)
+                for workload, indices in sorted(
+                    self.frontier_by_workload.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(
+            schema=payload["schema"], space=payload["space"],
+            space_fingerprint=payload["space_fingerprint"],
+            strategy=payload["strategy"], seed=payload["seed"],
+            max_points=payload["max_points"],
+            space_size=payload["space_size"],
+            workloads=tuple(payload["workloads"]),
+            instructions=payload["instructions"],
+            points=tuple(PointEval.from_dict(item)
+                         for item in payload["points"]),
+            frontier=tuple(payload["frontier"]),
+            frontier_by_workload={
+                workload: tuple(indices)
+                for workload, indices in payload["frontier_by_workload"]
+                .items()
+            })

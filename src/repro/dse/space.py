@@ -1,0 +1,461 @@
+"""Declarative parameter spaces over :class:`MachineConfig`.
+
+A :class:`ParameterSpace` is a named cartesian product of
+:class:`Dimension`\\ s; each dimension offers labelled :class:`Choice`\\ s
+carrying plain override dicts.  ``space.point(indices)`` compiles one
+assignment into a **validated** :class:`MachineConfig` (unknown override
+keys raise, exactly like ``ExperimentRunner.config``) and stamps it with
+the same content fingerprint the simulation cache keys on — so every
+point a search evaluates hits the existing result cache, and a point
+that happens to equal a named configuration (the ``paper`` space) shares
+cache entries with ordinary sweeps.
+
+Override keys are :class:`MachineConfig` field names; the prefixed form
+``vtage.<field>`` overrides one field of the predictor geometry
+(:class:`~repro.core.vtage.VtageConfig`), merged onto the flavor's
+default geometry so independent dimensions (table sizes, confidence
+vector) compose.  Dimensions of one space must claim disjoint override
+keys — a space where two dimensions fight over one knob is a definition
+bug and raises at construction.
+
+Dimension *tags* ("vp", "confidence", "silencing", "spsr", "sizing",
+"tables") are the hook the headroom-guided strategy uses to mutate the
+parameters behind the binding bottleneck first.
+"""
+
+from dataclasses import dataclass, fields, replace
+from typing import Mapping, Tuple
+
+from repro.core.storage import vtage_storage_bits
+from repro.core.vtage import VtageConfig
+from repro.harness.cache import config_fingerprint, space_fingerprint
+from repro.pipeline.config import MachineConfig
+
+__all__ = [
+    "SPACES",
+    "Choice",
+    "Dimension",
+    "ParameterSpace",
+    "SpacePoint",
+    "get_space",
+    "hardware_cost_kb",
+    "space_names",
+]
+
+_VTAGE_PREFIX = "vtage."
+_CONFIG_FIELDS = frozenset(f.name for f in fields(MachineConfig))
+_VTAGE_FIELDS = frozenset(f.name for f in fields(VtageConfig))
+
+
+def _validate_overrides(overrides, where):
+    for key in overrides:
+        if key.startswith(_VTAGE_PREFIX):
+            if key[len(_VTAGE_PREFIX):] not in _VTAGE_FIELDS:
+                raise KeyError(f"{where}: unknown VtageConfig override "
+                               f"{key!r}; valid: "
+                               f"{sorted(_VTAGE_FIELDS)}")
+        elif key not in _CONFIG_FIELDS:
+            raise KeyError(f"{where}: unknown MachineConfig override "
+                           f"{key!r}; valid: {sorted(_CONFIG_FIELDS)}")
+
+
+@dataclass(frozen=True)
+class Choice:
+    """One labelled setting of a dimension: a bag of config overrides."""
+
+    label: str
+    overrides: Mapping[str, object]
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One axis of a space: a name, its choices, and strategy tags."""
+
+    name: str
+    choices: Tuple[Choice, ...]
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if not self.choices:
+            raise ValueError(f"dimension {self.name!r} has no choices")
+        labels = [c.label for c in self.choices]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"dimension {self.name!r} repeats a label")
+        for choice in self.choices:
+            _validate_overrides(choice.overrides,
+                                f"{self.name}/{choice.label}")
+
+    @property
+    def keys(self):
+        """Every override key any choice of this dimension touches."""
+        out = {}
+        for choice in self.choices:
+            for key in choice.overrides:
+                out[key] = True
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class SpacePoint:
+    """One compiled point: assignment, validated config, fingerprint."""
+
+    space: str
+    index: int                     # position in canonical grid order
+    assignment: Tuple[int, ...]    # choice index per dimension
+    labels: Tuple[Tuple[str, str], ...]   # (dimension, choice label) pairs
+    config: MachineConfig
+    fingerprint: str               # == config_fingerprint(config)
+
+    @property
+    def point_id(self):
+        """Stable human-readable identity, e.g. ``silence=50|rob=315``."""
+        return "|".join(f"{dim}={label}" for dim, label in self.labels)
+
+
+@dataclass(frozen=True)
+class ParameterSpace:
+    """A named cartesian product of dimensions over a base config."""
+
+    name: str
+    base: str                      # named base config ("baseline", ...)
+    dimensions: Tuple[Dimension, ...]
+    description: str = ""
+
+    def __post_init__(self):
+        claimed = {}
+        for dimension in self.dimensions:
+            for key in dimension.keys:
+                if key in claimed:
+                    raise ValueError(
+                        f"space {self.name!r}: dimensions "
+                        f"{claimed[key]!r} and {dimension.name!r} both "
+                        f"override {key!r}")
+                claimed[key] = dimension.name
+
+    def size(self):
+        total = 1
+        for dimension in self.dimensions:
+            total *= len(dimension.choices)
+        return total
+
+    def assignment_at(self, index):
+        """The choice-index tuple for grid position *index* (row-major,
+        last dimension fastest)."""
+        if not 0 <= index < self.size():
+            raise IndexError(f"point index {index} outside space of "
+                             f"{self.size()}")
+        indices = []
+        for dimension in reversed(self.dimensions):
+            indices.append(index % len(dimension.choices))
+            index //= len(dimension.choices)
+        return tuple(reversed(indices))
+
+    def index_of(self, assignment):
+        """Inverse of :meth:`assignment_at`."""
+        index = 0
+        for dimension, choice in zip(self.dimensions, assignment):
+            if not 0 <= choice < len(dimension.choices):
+                raise IndexError(f"choice {choice} outside dimension "
+                                 f"{dimension.name!r}")
+            index = index * len(dimension.choices) + choice
+        return index
+
+    def compile(self, assignment):
+        """The validated :class:`MachineConfig` for one assignment."""
+        from repro.harness.runner import ExperimentRunner
+
+        if len(assignment) != len(self.dimensions):
+            raise ValueError(f"assignment arity {len(assignment)} != "
+                             f"{len(self.dimensions)} dimensions")
+        top, sub = {}, {}
+        for dimension, choice_index in zip(self.dimensions, assignment):
+            for key, value in dimension.choices[choice_index].overrides.items():
+                if key.startswith(_VTAGE_PREFIX):
+                    sub[key[len(_VTAGE_PREFIX):]] = value
+                else:
+                    top[key] = value
+        config = ExperimentRunner.config(self.base, **top)
+        if sub:
+            geometry = config.vtage_config()
+            if geometry is None:
+                raise ValueError(
+                    f"space {self.name!r}: vtage.* overrides on a point "
+                    f"with no value predictor ({self.base!r} base, "
+                    f"assignment {assignment})")
+            config = config.with_(vtage=replace(geometry, **sub))
+        return config
+
+    def point(self, index=None, assignment=None):
+        """The :class:`SpacePoint` at a grid index or an assignment."""
+        if assignment is None:
+            assignment = self.assignment_at(index)
+        else:
+            assignment = tuple(assignment)
+            index = self.index_of(assignment)
+        config = self.compile(assignment)
+        labels = tuple(
+            (dimension.name, dimension.choices[choice].label)
+            for dimension, choice in zip(self.dimensions, assignment))
+        return SpacePoint(space=self.name, index=index,
+                          assignment=assignment, labels=labels,
+                          config=config,
+                          fingerprint=config_fingerprint(config))
+
+    def canonical(self):
+        """A plain JSON-able structure capturing the definition exactly
+        (the input to :func:`repro.harness.cache.space_fingerprint`)."""
+        return {
+            "name": self.name,
+            "base": self.base,
+            "dimensions": [
+                {"name": d.name, "tags": list(d.tags),
+                 "choices": [{"label": c.label,
+                              "overrides": dict(c.overrides)}
+                             for c in d.choices]}
+                for d in self.dimensions
+            ],
+        }
+
+    def fingerprint(self):
+        """Stable content hash of the space definition."""
+        return space_fingerprint(self.canonical())
+
+
+# -- the cost objective --------------------------------------------------------------
+def hardware_cost_kb(config):
+    """Deterministic hardware-budget estimate (KB) for the cost axis.
+
+    Predictor storage is bit-exact (:mod:`repro.core.storage`, the
+    paper's Table 2 accounting); the backend structures use documented
+    per-entry width estimates — ROB 96b, IQ 64b, physical registers 64b,
+    LQ/SQ 80b — plus a flat 2 KB for the SpSR tracking tables.  The
+    absolute scale is a modelling choice; what the Pareto frontier needs
+    is a *consistent, monotone* cost ordering over the knobs the spaces
+    move.
+    """
+    bits = 0
+    geometry = config.vtage_config()
+    if geometry is not None:
+        bits += vtage_storage_bits(geometry)
+    bits += config.rob_entries * 96
+    bits += config.iq_entries * 64
+    bits += (config.int_phys_regs + config.fp_phys_regs) * 64
+    bits += (config.lq_entries + config.sq_entries) * 80
+    if config.enable_spsr:
+        bits += 2 * 1024 * 8
+    return round(bits / 8.0 / 1024.0, 3)
+
+
+# -- built-in spaces -----------------------------------------------------------------
+def _space_smoke():
+    """Tiny 2x2 space for CI smoke runs and the golden snapshot."""
+    return ParameterSpace(
+        name="smoke", base="tvp+spsr",
+        description="2x2 smoke space: silencing window x ROB size",
+        dimensions=(
+            Dimension("silence", tags=("silencing", "vp"), choices=(
+                Choice("50", {"vp_silence_cycles": 50}),
+                Choice("250", {"vp_silence_cycles": 250}),
+            )),
+            Dimension("rob", tags=("sizing",), choices=(
+                Choice("192", {"rob_entries": 192}),
+                Choice("315", {"rob_entries": 315}),
+            )),
+        ))
+
+
+def _space_paper():
+    """The paper's four evaluated configurations as one 4-point space.
+
+    Each point compiles to exactly the named configuration (same
+    fingerprint), so exploring this space shares cache entries with
+    every ordinary ``harness run``/``sweep`` invocation.
+    """
+    from repro.core.modes import VPFlavor
+
+    return ParameterSpace(
+        name="paper", base="baseline",
+        description="baseline / MVP / TVP / GVP — the paper's Fig. 3 set",
+        dimensions=(
+            Dimension("flavor", tags=("vp",), choices=(
+                Choice("baseline", {}),
+                Choice("mvp", {"vp_flavor": VPFlavor.MVP}),
+                Choice("tvp", {"vp_flavor": VPFlavor.TVP}),
+                Choice("gvp", {"vp_flavor": VPFlavor.GVP}),
+            )),
+        ))
+
+
+def _space_vtage():
+    """VTAGE table count and geometry (the Bullseye-style table sweep)."""
+    return ParameterSpace(
+        name="vtage", base="tvp+spsr",
+        description="VTAGE tagged-table count/size x base-table size",
+        dimensions=(
+            Dimension("tables", tags=("vp", "tables"), choices=(
+                Choice("paper7", {}),
+                Choice("short4", {
+                    "vtage.tagged_log2": (9, 9, 8, 8),
+                    "vtage.tag_bits": (9, 10, 11, 12),
+                }),
+                Choice("deep10", {
+                    "vtage.tagged_log2": (9, 9, 9, 8, 8, 8, 7, 7, 7, 6),
+                    "vtage.tag_bits": (9, 9, 9, 10, 10, 11, 11, 12, 12, 13),
+                }),
+            )),
+            Dimension("base", tags=("vp", "tables"), choices=(
+                Choice("1k", {"vtage.base_log2": 10}),
+                Choice("4k", {"vtage.base_log2": 12}),
+            )),
+        ))
+
+
+def _space_confidence():
+    """FPC confidence vector: acceptance probability x counter width."""
+    return ParameterSpace(
+        name="confidence", base="tvp+spsr",
+        description="FPC acceptance 1/N x confidence counter bits",
+        dimensions=(
+            Dimension("fpc", tags=("vp", "confidence"), choices=(
+                Choice("1/4", {"vtage.fpc_one_in": 4}),
+                Choice("1/16", {"vtage.fpc_one_in": 16}),
+                Choice("1/64", {"vtage.fpc_one_in": 64}),
+            )),
+            Dimension("conf_bits", tags=("vp", "confidence"), choices=(
+                Choice("2", {"vtage.confidence_bits": 2}),
+                Choice("3", {"vtage.confidence_bits": 3}),
+            )),
+        ))
+
+
+def _space_silencing():
+    """The VP silencing window the paper fixes at 250 cycles."""
+    return ParameterSpace(
+        name="silencing", base="tvp+spsr",
+        description="misprediction silencing shadow in cycles",
+        dimensions=(
+            Dimension("silence", tags=("vp", "silencing"), choices=(
+                Choice("0", {"vp_silence_cycles": 0}),
+                Choice("50", {"vp_silence_cycles": 50}),
+                Choice("250", {"vp_silence_cycles": 250}),
+                Choice("1000", {"vp_silence_cycles": 1000}),
+            )),
+        ))
+
+
+def _space_spsr():
+    """SpSR table subsets: off / Table 1 / Table 1 + constant folding.
+
+    Based on ``baseline`` (whose builder forwards every field) so the
+    dimension can own ``enable_spsr`` without fighting the ``tvp+spsr``
+    builder's own spsr argument; the flavor choice rides in the same
+    dimension.
+    """
+    from repro.core.modes import VPFlavor
+
+    return ParameterSpace(
+        name="spsr", base="baseline",
+        description="which speculative strength-reduction idioms run "
+                    "(under TVP)",
+        dimensions=(
+            Dimension("spsr", tags=("spsr", "vp"), choices=(
+                Choice("off", {"vp_flavor": VPFlavor.TVP,
+                               "enable_spsr": False}),
+                Choice("table1", {"vp_flavor": VPFlavor.TVP,
+                                  "enable_spsr": True}),
+                Choice("table1+fold", {"vp_flavor": VPFlavor.TVP,
+                                       "enable_spsr": True,
+                                       "spsr_constant_folding": True}),
+            )),
+        ))
+
+
+def _space_sizing():
+    """ROB / IQ / PRF scaling around the paper's Table 2 backend."""
+    return ParameterSpace(
+        name="sizing", base="tvp+spsr",
+        description="ROB x IQ x physical-register-file sizing",
+        dimensions=(
+            Dimension("rob", tags=("sizing",), choices=(
+                Choice("128", {"rob_entries": 128}),
+                Choice("192", {"rob_entries": 192}),
+                Choice("315", {"rob_entries": 315}),
+            )),
+            Dimension("iq", tags=("sizing",), choices=(
+                Choice("48", {"iq_entries": 48}),
+                Choice("92", {"iq_entries": 92}),
+            )),
+            Dimension("prf", tags=("sizing",), choices=(
+                Choice("192", {"int_phys_regs": 192, "fp_phys_regs": 192}),
+                Choice("292", {"int_phys_regs": 292, "fp_phys_regs": 292}),
+            )),
+        ))
+
+
+def _space_full():
+    """The big joint space (216 points) for frontier-scale exploration."""
+    from repro.core.modes import VPFlavor
+
+    return ParameterSpace(
+        name="full", base="baseline",
+        description="flavor x SpSR x silencing x confidence x ROB x IQ "
+                    "(216 points)",
+        dimensions=(
+            Dimension("flavor", tags=("vp",), choices=(
+                Choice("mvp", {"vp_flavor": VPFlavor.MVP}),
+                Choice("tvp", {"vp_flavor": VPFlavor.TVP}),
+                Choice("gvp", {"vp_flavor": VPFlavor.GVP}),
+            )),
+            Dimension("spsr", tags=("spsr",), choices=(
+                Choice("off", {"enable_spsr": False}),
+                Choice("on", {"enable_spsr": True}),
+            )),
+            Dimension("silence", tags=("vp", "silencing"), choices=(
+                Choice("50", {"vp_silence_cycles": 50}),
+                Choice("250", {"vp_silence_cycles": 250}),
+                Choice("1000", {"vp_silence_cycles": 1000}),
+            )),
+            Dimension("fpc", tags=("vp", "confidence"), choices=(
+                Choice("1/8", {"vtage.fpc_one_in": 8}),
+                Choice("1/16", {"vtage.fpc_one_in": 16}),
+                Choice("1/32", {"vtage.fpc_one_in": 32}),
+            )),
+            Dimension("rob", tags=("sizing",), choices=(
+                Choice("192", {"rob_entries": 192}),
+                Choice("315", {"rob_entries": 315}),
+            )),
+            Dimension("iq", tags=("sizing",), choices=(
+                Choice("48", {"iq_entries": 48}),
+                Choice("92", {"iq_entries": 92}),
+            )),
+        ))
+
+
+SPACES = {
+    "smoke": _space_smoke,
+    "paper": _space_paper,
+    "vtage": _space_vtage,
+    "confidence": _space_confidence,
+    "silencing": _space_silencing,
+    "spsr": _space_spsr,
+    "sizing": _space_sizing,
+    "full": _space_full,
+}
+
+_space_memo = {}
+
+
+def space_names():
+    """Every registered space name, sorted."""
+    return sorted(SPACES)
+
+
+def get_space(name):
+    """One built-in space by name (definitions are immutable, memoized)."""
+    if isinstance(name, ParameterSpace):
+        return name
+    if name not in SPACES:
+        raise KeyError(f"unknown space {name!r}; valid: {space_names()}")
+    if name not in _space_memo:
+        _space_memo[name] = SPACES[name]()
+    return _space_memo[name]

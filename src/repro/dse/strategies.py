@@ -1,0 +1,271 @@
+"""Pluggable, deterministic search strategies over a parameter space.
+
+A strategy proposes batches of space-point indices; the
+:class:`~repro.dse.explore.Explorer` evaluates a whole batch (in
+parallel) before asking for the next one.  That barrier is what makes
+exploration results independent of ``--jobs``: the strategy only ever
+sees fully evaluated rounds, its batch sizes are fixed per strategy
+(never derived from the worker count), and all randomness flows from
+one :class:`~repro.util.rng.XorShift64` stream seeded by ``--seed``.
+
+Strategies:
+
+``grid``
+    Exhaustive row-major enumeration.  The reference: every other
+    strategy's output is a subset of what grid would find.
+``random``
+    A seeded Fisher–Yates permutation of the space, served in fixed
+    batches — unbiased coverage under a point budget.
+``beam``
+    Multi-start beam search: a random initial round, then repeated
+    single-dimension mutations of the current Pareto parents
+    (early-pruning via :func:`~repro.dse.pareto.prune_dominated`), with
+    random restarts when the neighborhood is exhausted.
+``headroom``
+    Beam search that reads the headroom analyzer's attribution for the
+    best point found so far and mutates the dimensions tagged with the
+    binding bottleneck first (``dependence`` → predictor knobs,
+    ``queue_pressure`` → sizing, ...).
+"""
+
+from repro.dse.pareto import prune_dominated
+from repro.util.rng import XorShift64
+
+__all__ = ["STRATEGIES", "BeamStrategy", "GridStrategy", "HeadroomStrategy",
+           "RandomStrategy", "Strategy", "make_strategy", "strategy_names"]
+
+#: Which space-dimension tags to mutate first for each bottleneck the
+#: headroom analyzer can report (see
+#: :func:`repro.analysis.headroom.report.dominant_bottleneck`).
+BOTTLENECK_TAGS = {
+    "dependence": ("vp", "spsr", "confidence"),
+    "queue_pressure": ("sizing",),
+    "flush_storms": ("confidence", "tables"),
+    "vp_miss_silencing": ("silencing", "confidence"),
+    "structural": ("sizing",),
+}
+
+
+class Strategy:
+    """Base class: budget accounting plus the shared RNG stream."""
+
+    name = "strategy"
+    batch_size = 8
+
+    def __init__(self, space, seed=1, max_points=0):
+        self.space = space
+        self.seed = int(seed)
+        size = space.size()
+        budget = int(max_points) if max_points and max_points > 0 else size
+        self.budget = min(budget, size)
+        self._rng = XorShift64(self.seed or 1)
+
+    # -- the protocol --------------------------------------------------------------
+    def propose(self, evaluated):
+        """The next batch of point indices to evaluate.
+
+        *evaluated* maps space-point index to
+        :class:`~repro.dse.result.PointEval` for every point finished so
+        far.  Returns a list of fresh indices (never already-evaluated,
+        never duplicated, at most ``batch_size``, and never pushing past
+        the point budget); an empty list ends the search.
+        """
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------------------
+    def _remaining(self, evaluated):
+        return max(0, self.budget - len(evaluated))
+
+    def _shuffled(self, items):
+        """Deterministic Fisher–Yates shuffle off the strategy stream."""
+        items = list(items)
+        for i in range(len(items) - 1, 0, -1):
+            j = self._rng.next() % (i + 1)
+            items[i], items[j] = items[j], items[i]
+        return items
+
+
+class GridStrategy(Strategy):
+    """Exhaustive row-major enumeration of the whole space."""
+
+    name = "grid"
+    batch_size = 16
+
+    def __init__(self, space, seed=1, max_points=0):
+        super().__init__(space, seed, max_points)
+        self._cursor = 0
+
+    def propose(self, evaluated):
+        quota = min(self._remaining(evaluated), self.batch_size)
+        batch = []
+        while len(batch) < quota and self._cursor < self.space.size():
+            if self._cursor not in evaluated:
+                batch.append(self._cursor)
+            self._cursor += 1
+        return batch
+
+
+class RandomStrategy(Strategy):
+    """A seeded permutation of the space, served in fixed batches."""
+
+    name = "random"
+    batch_size = 8
+
+    def __init__(self, space, seed=1, max_points=0):
+        super().__init__(space, seed, max_points)
+        self._order = self._shuffled(range(space.size()))
+        self._cursor = 0
+
+    def propose(self, evaluated):
+        quota = min(self._remaining(evaluated), self.batch_size)
+        batch = []
+        while len(batch) < quota and self._cursor < len(self._order):
+            index = self._order[self._cursor]
+            self._cursor += 1
+            if index not in evaluated:
+                batch.append(index)
+        return batch
+
+
+class BeamStrategy(Strategy):
+    """Multi-start beam search over single-dimension mutations.
+
+    Each round keeps the Pareto frontier of everything evaluated so far
+    (plus ``keep`` runner-up parents, pruning the rest — dominated
+    points never breed), takes the ``width`` best parents by geomean
+    IPC, and proposes their unvisited one-dimension neighbors.  When the
+    neighborhood is exhausted the search restarts from fresh random
+    points, so with a large enough budget it degenerates gracefully into
+    full coverage.
+    """
+
+    name = "beam"
+    width = 4
+    keep = 2
+    batch_size = 8
+
+    def __init__(self, space, seed=1, max_points=0):
+        super().__init__(space, seed, max_points)
+        self._restarts = self._shuffled(range(space.size()))
+
+    def propose(self, evaluated):
+        quota = min(self._remaining(evaluated), self.batch_size)
+        if quota <= 0:
+            return []
+        if not evaluated:
+            return self._restart(evaluated, quota, [])
+        fresh = self._neighbors(evaluated, quota)
+        if len(fresh) < quota:
+            fresh = self._restart(evaluated, quota, fresh)
+        return fresh
+
+    def _parents(self, evaluated):
+        """The breeding points: Pareto survivors, best-IPC first."""
+        points = [evaluated[index] for index in sorted(evaluated)]
+        vectors = [point.objectives for point in points]
+        survivors = [points[i] for i in prune_dominated(vectors,
+                                                        keep=self.keep)]
+        survivors.sort(key=lambda p: (-p.geomean_ipc, p.index))
+        return survivors[:self.width]
+
+    def _neighbors(self, evaluated, quota):
+        """Up to *quota* unvisited one-dimension mutations of the
+        parents, in deterministic shuffled order."""
+        seen = set(evaluated)
+        candidates = []
+        for parent in self._parents(evaluated):
+            assignment = list(self.space.assignment_at(parent.index))
+            for dim, dimension in enumerate(self.space.dimensions):
+                for choice in range(len(dimension.choices)):
+                    if choice == assignment[dim]:
+                        continue
+                    mutated = list(assignment)
+                    mutated[dim] = choice
+                    index = self.space.index_of(mutated)
+                    if index not in seen:
+                        seen.add(index)
+                        candidates.append((dimension, index))
+        ordered = self._order_candidates(candidates, evaluated)
+        return ordered[:quota]
+
+    def _order_candidates(self, candidates, evaluated):
+        """Hook for subclasses; the beam just shuffles uniformly."""
+        return [index for _dim, index in self._shuffled(candidates)]
+
+    def _restart(self, evaluated, quota, batch):
+        """Top *batch* up with fresh random points (multi-start)."""
+        taken = set(evaluated) | set(batch)
+        batch = list(batch)
+        for index in self._restarts:
+            if len(batch) >= quota:
+                break
+            if index not in taken:
+                batch.append(index)
+        return batch
+
+
+class HeadroomStrategy(BeamStrategy):
+    """Beam search steered by the headroom analyzer's attribution.
+
+    The explorer injects a *probe* (:meth:`set_probe`) that runs
+    :func:`repro.analysis.headroom.report.analyze_headroom` on a point
+    and returns its dominant bottleneck.  Each round the best parent is
+    probed (memoized per point) and candidates mutating a dimension
+    tagged with that bottleneck are proposed before all others — the
+    search spends its budget where the analyzer says the cycles went.
+    Without a probe it degrades to plain beam search.
+    """
+
+    name = "headroom"
+
+    def __init__(self, space, seed=1, max_points=0):
+        super().__init__(space, seed, max_points)
+        self._probe = None
+        self._bottlenecks = {}      # point index -> bottleneck name
+
+    def set_probe(self, probe):
+        """Install the bottleneck probe: ``probe(PointEval) -> str``."""
+        self._probe = probe
+
+    def _bottleneck_for(self, evaluated):
+        if self._probe is None or not evaluated:
+            return None
+        best = min(evaluated.values(),
+                   key=lambda p: (-p.geomean_ipc, p.index))
+        if best.index not in self._bottlenecks:
+            try:
+                self._bottlenecks[best.index] = self._probe(best)
+            except Exception:
+                self._bottlenecks[best.index] = None
+        return self._bottlenecks[best.index]
+
+    def _order_candidates(self, candidates, evaluated):
+        bottleneck = self._bottleneck_for(evaluated)
+        tags = set(BOTTLENECK_TAGS.get(bottleneck, ()))
+        if not tags:
+            return super()._order_candidates(candidates, evaluated)
+        hot = [(d, i) for d, i in candidates if tags & set(d.tags)]
+        cold = [(d, i) for d, i in candidates if not (tags & set(d.tags))]
+        return ([index for _dim, index in self._shuffled(hot)]
+                + [index for _dim, index in self._shuffled(cold)])
+
+
+STRATEGIES = {
+    cls.name: cls
+    for cls in (GridStrategy, RandomStrategy, BeamStrategy, HeadroomStrategy)
+}
+
+
+def strategy_names():
+    """Registered strategy names, stable order."""
+    return sorted(STRATEGIES)
+
+
+def make_strategy(name, space, seed=1, max_points=0):
+    """Instantiate a registered strategy by name."""
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        raise KeyError(f"unknown strategy {name!r}; choose from "
+                       f"{', '.join(strategy_names())}") from None
+    return cls(space, seed=seed, max_points=max_points)

@@ -175,6 +175,42 @@ def headroom_key(workload_name, instructions, fingerprint, sample_interval,
     return hashlib.sha256(blob.encode()).hexdigest()[:32]
 
 
+def space_fingerprint(canonical_space):
+    """A short stable hash of a declarative parameter-space definition.
+
+    *canonical_space* is the plain structure
+    :meth:`repro.dse.space.ParameterSpace.canonical` returns (name, base
+    config, every dimension with its choices and overrides); enums and
+    tuples inside override values canonicalise exactly like config
+    fields do, so a space hashes the same across processes and runs.
+    Exploration journals and report keys are derived from this, which is
+    what makes ``harness explore`` resumable: the same space definition
+    always finds its own journal.
+    """
+    blob = json.dumps(_canonical(canonical_space), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def explore_key(space_fp, strategy, seed, max_points, workload_names,
+                instructions):
+    """The report-cache key for one finished exploration.
+
+    Keyed by everything that determines an :class:`ExploreResult`
+    byte-for-byte: the space *content* fingerprint (not its name), the
+    strategy, the seed, the point budget, the workload set and the
+    instruction budget, plus the code version — a warm re-run of the
+    same exploration is a single report-cache read with zero
+    simulations.  Individual space points need no key of their own:
+    they compile to :class:`MachineConfig` objects whose
+    :func:`config_fingerprint` already hits :func:`simulation_key`.
+    """
+    blob = json.dumps([_CACHE_FORMAT, "explore", space_fp, strategy, seed,
+                       max_points, sorted(workload_names), instructions,
+                       code_version_hash()], separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:32]
+
+
 def stats_from_payload(payload):
     """A validated :class:`PipelineStats` from an untrusted dict, or None.
 

@@ -4,6 +4,8 @@ Subcommands::
 
     harness run <experiment...>    regenerate tables/figures
     harness sweep                  raw (workload x config) sweep
+    harness explore                design-space exploration with Pareto
+                                   reports (--space/--strategy/--seed)
     harness trace <workload>       one traced simulation (observability)
     harness audit                  kernel verifier + elimination cross-check
     harness lint                   simulator determinism lint
@@ -130,6 +132,34 @@ def build_sweep_parser():
     parser.add_argument("--configs", type=str,
                         default=",".join(STANDARD_CONFIGS),
                         help="comma-separated named configs "
+                             "(default: %(default)s)")
+    return parser
+
+
+def build_explore_parser():
+    from repro.dse.space import space_names
+    from repro.dse.strategies import strategy_names
+
+    parser = argparse.ArgumentParser(
+        prog="repro-harness explore",
+        description="Explore a declarative design space and report its "
+                    "Pareto frontier (geomean IPC vs hardware cost).",
+        parents=[_common_flags()])
+    parser.add_argument("--space", type=str, default="smoke",
+                        help="parameter space to explore (%s; default: "
+                             "%%(default)s)" % ", ".join(space_names()))
+    parser.add_argument("--strategy", type=str, default="grid",
+                        help="search strategy (%s; default: %%(default)s)"
+                             % ", ".join(strategy_names()))
+    parser.add_argument("--seed", type=int, default=1,
+                        help="seed for the deterministic search stream "
+                             "(default: %(default)s)")
+    parser.add_argument("--max-points", type=int, default=0, metavar="N",
+                        help="evaluate at most N space points "
+                             "(default: the whole space)")
+    parser.add_argument("--format", type=str, default="markdown",
+                        choices=("markdown", "latex", "json"),
+                        help="report format on stdout "
                              "(default: %(default)s)")
     return parser
 
@@ -367,6 +397,68 @@ def _sweep_main(argv):
     return 0
 
 
+def _explore_main(argv):
+    parser = build_explore_parser()
+    args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.seed == 0:
+        parser.error("--seed must be non-zero (the XorShift64 stream "
+                     "has no zero state)")
+    from repro.dse.explore import Explorer
+    from repro.dse.report import render
+    from repro.dse.space import get_space
+    from repro.dse.strategies import strategy_names
+
+    try:
+        space = get_space(args.space)
+    except KeyError as exc:
+        parser.error(str(exc))
+    if args.strategy not in strategy_names():
+        parser.error(f"--strategy must be one of {strategy_names()}, "
+                     f"got {args.strategy!r}")
+    if args.engine is not None:
+        import os
+
+        from repro.pipeline.engine import engine_names
+
+        if args.engine not in engine_names():
+            parser.error(f"--engine must be one of {engine_names()}, "
+                         f"got {args.engine!r}")
+        os.environ["REPRO_ENGINE"] = args.engine
+    workloads = None
+    if args.workloads:
+        from repro.workloads import suite
+
+        workloads = suite(args.workloads.split(","))
+    cache = None if args.no_cache else SimulationCache(args.cache_dir)
+    journal = None
+    if not args.no_journal:
+        # args.journal is an explicit path; True derives the canonical
+        # location from the exploration's identity.
+        journal = args.journal if args.journal is not None else True
+    explorer = Explorer(space=space, strategy=args.strategy,
+                        workloads=workloads,
+                        instructions=args.instructions, seed=args.seed,
+                        max_points=args.max_points, cache=cache,
+                        jobs=args.jobs or 1, journal=journal,
+                        resume=args.resume, verbose=args.verbose)
+    started = time.time()
+    result = explorer.run()
+    print(render(result, args.format), end="")
+    print(f"[{explorer.summary()}]")
+    print(f"[explore completed in {time.time() - started:.1f}s]")
+    if args.save:
+        from repro.dse.report import render_json
+
+        with open(args.save, "w") as handle:
+            handle.write(render_json(result))
+        print(f"[results saved to {args.save}]")
+    if cache is not None:
+        print(f"[{cache.summary()}]")
+    return 0
+
+
 def main(argv=None):
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] in ("audit", "lint"):
@@ -392,6 +484,8 @@ def main(argv=None):
         return _cache_main(argv[1:])
     if argv and argv[0] == "sweep":
         return _sweep_main(argv[1:])
+    if argv and argv[0] == "explore":
+        return _explore_main(argv[1:])
     if argv and argv[0] == "run":
         return _run_main(argv[1:])
     if argv and not argv[0].startswith("-"):

@@ -1,0 +1,38 @@
+"""Seeded progen kernels as first-class named workloads.
+
+Six fixed (seed, index) draws of the structured random-program
+generator (:mod:`repro.workloads.progen`), rendered in looping form so
+they satisfy the workload contract (the instruction budget is the only
+terminator).  They are *not* part of the default 14-kernel suite — the
+paper's tables stay pinned — but resolve by name everywhere
+(``--workloads progen3``, ``api.simulate("progen0")``, exploration
+workload lists), and ``tests/differential`` pins each one against the
+functional emulator so the generator cannot drift under them.
+"""
+
+from repro.workloads.base import build_workload
+from repro.workloads.progen import generate_source
+
+__all__ = ["GENERATED", "GENERATED_COUNT", "GENERATED_SEED",
+           "generated_workload"]
+
+#: The stream the named kernels draw from — the differential fuzz
+#: harness's default seed, so every named kernel is also fuzz program
+#: (GENERATED_SEED, index) and failures cross-reference directly.
+GENERATED_SEED = 0xD1FF5EED
+GENERATED_COUNT = 6
+
+
+def generated_workload(index, seed=GENERATED_SEED):
+    """Build the named workload for generator program *index*."""
+    source = generate_source(seed, index, loop_forever=True)
+    return build_workload(
+        name=f"progen{index}",
+        spec_analog="generated",
+        description=(f"structured random program {index} of stream "
+                     f"{seed:#x} (progen, looping form)"),
+        source=source,
+        default_instructions=20_000)
+
+
+GENERATED = [generated_workload(index) for index in range(GENERATED_COUNT)]

@@ -1,185 +1,13 @@
-"""Random valid-program generator for the differential fuzz harness.
+"""Historical import location for the random-program generator.
 
-Programs are *structured* random: straight-line blocks of random ALU /
-memory / conditional-select instructions inside counted loops (backward
-``b.ne``) with occasional forward skip branches.  Control flow is always
-reducible and counters always reach zero, so every generated program
-terminates.  All memory traffic stays inside a private scratch buffer.
-
-Register discipline (so random writes can never corrupt control flow):
-
-* ``x28`` — scratch-buffer base, written once in the prologue;
-* ``x9``  — the active loop counter;
-* ``x10`` — masked index register for register-offset addressing;
-* ``x0``–``x7`` (and their ``w`` views) — free-for-all data pool.
-
-Determinism: all choices come from one :class:`~repro.util.rng.XorShift64`
-stream, so ``program(seed, index)`` is a pure function — a failure report
-of ``(seed, index)`` reproduces the exact program.
+The generator moved to :mod:`repro.workloads.progen` when its fixed
+seeds became first-class named workloads
+(:mod:`repro.workloads.generated`); this module re-exports the public
+surface so existing reproduction recipes —
+``tests.differential.progen.generate_source(seed, index)`` — keep
+working verbatim.
 """
 
-from repro.util.rng import XorShift64
+from repro.workloads.progen import BUF_BYTES, generate_source
 
-BUF_BYTES = 512                 # scratch buffer; quad offsets 0..504
-
-_POOL = tuple(f"x{i}" for i in range(8))
-_WPOOL = tuple(f"w{i}" for i in range(8))
-_ALU3 = ("add", "sub", "and", "orr", "eor", "bic", "lsl", "lsr", "asr")
-_ALU3_FLAGS = ("adds", "subs", "ands")
-_CONDS = ("eq", "ne", "lt", "ge", "gt", "le", "hi", "ls")
-
-
-class _Gen:
-    def __init__(self, rng):
-        self.rng = rng
-        self.lines = []
-        self.label_counter = 0
-
-    def pick(self, seq):
-        return seq[self.rng.next() % len(seq)]
-
-    def imm(self, bound):
-        return self.rng.next() % bound
-
-    def fresh_label(self, stem):
-        self.label_counter += 1
-        return f"{stem}_{self.label_counter}"
-
-    # -- single random body instructions ------------------------------------------
-    def alu3(self):
-        wide = self.rng.next() % 4 != 0          # mostly 64-bit
-        pool = _POOL if wide else _WPOOL
-        op = self.pick(_ALU3 + _ALU3_FLAGS)
-        self.lines.append(f"    {op} {self.pick(pool)}, {self.pick(pool)}, "
-                          f"{self.pick(pool)}")
-
-    def alu_imm(self):
-        op = self.pick(("add", "sub", "and", "orr", "eor", "lsl", "lsr"))
-        shift_ops = ("lsl", "lsr")
-        bound = 64 if op in shift_ops else 4096
-        self.lines.append(f"    {op} {self.pick(_POOL)}, {self.pick(_POOL)}, "
-                          f"#{self.imm(bound)}")
-
-    def mul_div(self):
-        op = self.pick(("mul", "madd", "sdiv", "udiv"))
-        if op == "madd":
-            self.lines.append(f"    madd {self.pick(_POOL)}, "
-                              f"{self.pick(_POOL)}, {self.pick(_POOL)}, "
-                              f"{self.pick(_POOL)}")
-        else:
-            self.lines.append(f"    {op} {self.pick(_POOL)}, "
-                              f"{self.pick(_POOL)}, {self.pick(_POOL)}")
-
-    def unary(self):
-        op = self.pick(("rbit", "clz", "uxtb", "uxth", "sxtb", "sxth"))
-        self.lines.append(f"    {op} {self.pick(_POOL)}, {self.pick(_POOL)}")
-
-    def move(self):
-        kind = self.rng.next() % 3
-        if kind == 0:
-            self.lines.append(f"    mov {self.pick(_POOL)}, "
-                              f"{self.pick(_POOL)}")
-        elif kind == 1:
-            self.lines.append(f"    movz {self.pick(_POOL)}, "
-                              f"#{self.imm(1 << 16)}")
-        else:
-            self.lines.append(f"    movk {self.pick(_POOL)}, "
-                              f"#{self.imm(1 << 16)}, lsl #16")
-
-    def load(self):
-        if self.rng.next() % 3 == 0:             # register-offset quad
-            self.lines.append(f"    and x10, {self.pick(_POOL)}, #63")
-            self.lines.append(f"    ldr {self.pick(_POOL)}, "
-                              f"[x28, x10, lsl #3]")
-        else:
-            op = self.pick(("ldr", "ldr", "ldrb", "ldrh", "ldrsw"))
-            offset = (self.imm(BUF_BYTES // 8) * 8 if op == "ldr"
-                      else self.imm(BUF_BYTES - 8))
-            self.lines.append(f"    {op} {self.pick(_POOL)}, "
-                              f"[x28, #{offset}]")
-
-    def store(self):
-        if self.rng.next() % 3 == 0:
-            self.lines.append(f"    and x10, {self.pick(_POOL)}, #63")
-            self.lines.append(f"    str {self.pick(_POOL)}, "
-                              f"[x28, x10, lsl #3]")
-        else:
-            op = self.pick(("str", "str", "strb", "strh"))
-            offset = (self.imm(BUF_BYTES // 8) * 8 if op == "str"
-                      else self.imm(BUF_BYTES - 8))
-            self.lines.append(f"    {op} {self.pick(_POOL)}, "
-                              f"[x28, #{offset}]")
-
-    def select(self):
-        self.lines.append(f"    cmp {self.pick(_POOL)}, #{self.imm(64)}")
-        if self.rng.next() % 2:
-            op = self.pick(("csel", "csinc", "csneg"))
-            self.lines.append(f"    {op} {self.pick(_POOL)}, "
-                              f"{self.pick(_POOL)}, {self.pick(_POOL)}, "
-                              f"{self.pick(_CONDS)}")
-        else:
-            self.lines.append(f"    cset {self.pick(_POOL)}, "
-                              f"{self.pick(_CONDS)}")
-
-    def forward_skip(self):
-        """A short, always-joined forward branch (never loops)."""
-        label = self.fresh_label("skip")
-        if self.rng.next() % 2:
-            self.lines.append(f"    tbz {self.pick(_POOL)}, "
-                              f"#{self.imm(8)}, {label}")
-        else:
-            self.lines.append(f"    cmp {self.pick(_POOL)}, #{self.imm(32)}")
-            self.lines.append(f"    b.{self.pick(_CONDS)} {label}")
-        for _ in range(1 + self.rng.next() % 2):
-            self.alu_imm()
-        self.lines.append(f"{label}:")
-
-    def body_instruction(self):
-        roll = self.rng.next() % 100
-        if roll < 28:
-            self.alu3()
-        elif roll < 44:
-            self.alu_imm()
-        elif roll < 56:
-            self.load()
-        elif roll < 66:
-            self.store()
-        elif roll < 74:
-            self.select()
-        elif roll < 80:
-            self.mul_div()
-        elif roll < 85:
-            self.unary()
-        elif roll < 93:
-            self.move()
-        else:
-            self.forward_skip()
-
-    # -- whole-program assembly -----------------------------------------------------
-    def program(self):
-        lines = self.lines
-        lines.append("    .data")
-        lines.append(f"buf: .zero {BUF_BYTES}")
-        lines.append("    .text")
-        lines.append("    adr x28, buf")
-        for reg in _POOL:
-            lines.append(f"    movz {reg}, #{self.imm(1 << 16)}")
-        for block in range(1 + self.rng.next() % 3):
-            loop = self.fresh_label("loop")
-            iters = 4 + self.imm(12)
-            lines.append(f"    movz x9, #{iters}")
-            lines.append(f"{loop}:")
-            for _ in range(6 + self.rng.next() % 18):
-                self.body_instruction()
-            lines.append("    subs x9, x9, #1")
-            lines.append(f"    b.ne {loop}")
-        lines.append("    hlt")
-        return "\n".join(lines) + "\n"
-
-
-def generate_source(seed, index):
-    """Assembly source for fuzz program *index* of stream *seed*."""
-    # Mix the index into the seed so each program draws from an
-    # independent, reproducible stream.
-    rng = XorShift64((seed ^ (0x9E37_79B9 * (index + 1))) or 1)
-    return _Gen(rng).program()
+__all__ = ["BUF_BYTES", "generate_source"]

@@ -1,0 +1,109 @@
+"""Differential pins for the named generated (progen) workloads.
+
+Each of the six first-class generated kernels is run through the
+functional emulator and the cycle model under a budget cut (they loop
+forever by contract) and the committed stream must match the emulated
+one exactly — the same invariants as the fuzz sweep, pinned to the
+fixed seeds users can name on the command line.  A drift in the
+generator, the looping rendering, or the registry silently changes
+real workloads; these tests make it loud.
+"""
+
+import pytest
+
+from repro.emulator.machine import Machine
+from repro.emulator.trace import trace_program
+from repro.observability.config import TraceConfig
+from repro.pipeline.config import MachineConfig
+from repro.workloads import get_workload, suite
+from repro.workloads.generated import (GENERATED, GENERATED_COUNT,
+                                       GENERATED_SEED)
+from repro.workloads.progen import generate_source
+
+_BUDGET = 3_000
+
+_CONFIGS = (
+    lambda: MachineConfig.baseline(),
+    lambda: MachineConfig.mvp(),
+    lambda: MachineConfig.tvp(spsr=True),
+    lambda: MachineConfig.gvp(spsr=True, vp_recovery="replay"),
+)
+
+
+def _pin_one(workload, config):
+    """Emulator-vs-pipeline agreement under a budget cut."""
+    from repro.pipeline.core import CpuModel
+
+    program = workload.program
+    machine = Machine(program)
+    trace, trace_stats = trace_program(program, max_instructions=_BUDGET,
+                                       machine=machine)
+    assert len(trace) > 0
+    model = CpuModel(trace, config.with_(trace=TraceConfig()))
+    stats = model.run().stats
+    tracer = model.tracer
+    errors = []
+
+    committed = sorted(tracer.committed_lifetimes(), key=lambda lt: lt.seq)
+    seqs = [lt.seq for lt in committed]
+    if seqs != list(range(len(trace))):
+        errors.append(f"commit stream != emulated stream "
+                      f"({len(seqs)} committed of {len(trace)})")
+    if stats.retired_uops != len(trace):
+        errors.append(f"retired_uops {stats.retired_uops} != {len(trace)}")
+    if stats.retired_arch_insts != trace_stats.arch_instructions:
+        errors.append(f"retired_arch_insts {stats.retired_arch_insts} != "
+                      f"{trace_stats.arch_instructions}")
+
+    committed_stores = [lt.seq for lt in committed if lt.is_store]
+    emulated_stores = [uop.seq for uop in trace if uop.is_store]
+    if committed_stores != emulated_stores:
+        errors.append("store streams diverge")
+
+    final = {}
+    for uop in trace:
+        if uop.dst is not None and uop.result is not None:
+            final[uop.dst] = uop.result
+    for reg, value in sorted(final.items()):
+        if machine.regs[reg] != value:
+            errors.append(f"final reg x{reg}: {value:#x} != "
+                          f"{machine.regs[reg]:#x}")
+    return errors
+
+
+@pytest.mark.parametrize("workload", GENERATED, ids=[w.name
+                                                     for w in GENERATED])
+def test_generated_workload_matches_emulator(workload):
+    config = _CONFIGS[GENERATED.index(workload) % len(_CONFIGS)]()
+    errors = _pin_one(workload, config)
+    assert not errors, f"{workload.name}: " + "; ".join(errors)
+
+
+def test_generated_kernels_loop_forever():
+    """The budget, not the program, must terminate each kernel."""
+    for workload in GENERATED:
+        assert "hlt" not in workload.source
+        assert "b forever" in workload.source
+        trace, _ = trace_program(workload.program, max_instructions=_BUDGET)
+        assert len(trace) >= _BUDGET  # still running at the cut
+
+
+def test_looping_form_shares_body_with_fuzz_program():
+    """Same seed => same instruction body in both renderings, so a
+    fuzz-failure reproduction applies verbatim to the named kernel."""
+    for index in range(GENERATED_COUNT):
+        halting = generate_source(GENERATED_SEED, index)
+        looping = generate_source(GENERATED_SEED, index, loop_forever=True)
+        stripped = [line for line in looping.splitlines()
+                    if line not in ("forever:", "    b forever")]
+        assert stripped == [line for line in halting.splitlines()
+                            if line != "    hlt"]
+
+
+def test_generated_kernels_are_named_but_not_in_default_suite():
+    assert len(suite()) == 14
+    for index in range(GENERATED_COUNT):
+        workload = get_workload(f"progen{index}")
+        assert workload.name == f"progen{index}"
+    names = [w.name for w in suite(["progen1", "hash_loop"])]
+    assert sorted(names) == ["hash_loop", "progen1"]

@@ -1,0 +1,69 @@
+"""Exploration determinism: seed-stable, jobs-independent, byte-exact.
+
+The contract: ``ExploreResult.to_dict()`` is a pure function of
+(space, strategy, seed, workloads, instructions).  Worker count, cache
+temperature and journal state are implementation details that must not
+leak into the serialized result.
+"""
+
+import json
+
+import pytest
+
+from repro.dse.explore import Explorer
+from repro.harness.cache import SimulationCache
+
+_WORKLOADS = ["hash_loop", "permute"]
+_BUDGET = 2_000
+
+
+def _run(tmp_path, tag, **kw):
+    kw.setdefault("space", "sizing")
+    kw.setdefault("strategy", "random")
+    kw.setdefault("workloads", _WORKLOADS)
+    kw.setdefault("instructions", _BUDGET)
+    kw.setdefault("seed", 9)
+    kw.setdefault("max_points", 6)
+    kw.setdefault("cache", SimulationCache(tmp_path / tag))
+    kw.setdefault("journal", None)
+    return Explorer(**kw).run()
+
+
+def _blob(result):
+    return json.dumps(result.to_dict(), sort_keys=True, indent=2)
+
+
+@pytest.mark.parametrize("strategy", ["grid", "random", "beam"])
+def test_same_seed_is_byte_identical_across_runs(tmp_path, strategy):
+    first = _run(tmp_path, "a", strategy=strategy)
+    second = _run(tmp_path, "b", strategy=strategy)
+    assert _blob(first) == _blob(second)
+
+
+def test_jobs_1_and_jobs_4_are_byte_identical(tmp_path):
+    serial = _run(tmp_path, "serial", jobs=1)
+    pooled = _run(tmp_path, "pooled", jobs=4)
+    assert _blob(serial) == _blob(pooled)
+
+
+def test_different_seed_explores_differently(tmp_path):
+    # Share one cache: the *trajectory* differs even when points warm.
+    cache = SimulationCache(tmp_path / "shared")
+    first = _run(tmp_path, "x", cache=cache, seed=9)
+    second = _run(tmp_path, "y", cache=cache, seed=10)
+    assert [p.index for p in first.points] != \
+        [p.index for p in second.points]
+
+
+def test_warm_and_cold_serialize_identically(tmp_path):
+    cache = SimulationCache(tmp_path / "shared")
+    cold = Explorer(space="smoke", strategy="grid", workloads=_WORKLOADS,
+                    instructions=_BUDGET, seed=1, cache=cache,
+                    journal=None)
+    warm = Explorer(space="smoke", strategy="grid", workloads=_WORKLOADS,
+                    instructions=_BUDGET, seed=1, cache=cache,
+                    journal=None)
+    first, second = cold.run(), warm.run()
+    assert cold.simulated > 0
+    assert warm.simulated == 0      # everything from cache / report cache
+    assert _blob(first) == _blob(second)

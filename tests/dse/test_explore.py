@@ -1,0 +1,148 @@
+"""Explorer engine tests: frontier correctness, cache ladder, journal.
+
+Small spaces and tiny instruction budgets keep these fast; the
+correctness anchor is the acceptance property from the issue: a grid
+exploration's frontier must equal brute force over the same points,
+and warm re-runs must not simulate anything.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import api
+from repro.dse.explore import Explorer
+from repro.dse.pareto import pareto_frontier
+from repro.dse.report import render
+from repro.dse.result import ExploreResult
+from repro.harness.cache import SimulationCache, simulation_key
+
+_WORKLOADS = ["hash_loop", "permute"]
+_BUDGET = 2_000
+
+
+def _explorer(tmp_path, **kw):
+    kw.setdefault("space", "smoke")
+    kw.setdefault("strategy", "grid")
+    kw.setdefault("workloads", _WORKLOADS)
+    kw.setdefault("instructions", _BUDGET)
+    kw.setdefault("seed", 1)
+    kw.setdefault("cache", SimulationCache(tmp_path / "cache"))
+    kw.setdefault("journal", True)
+    return Explorer(**kw)
+
+
+def test_grid_frontier_matches_brute_force(tmp_path):
+    explorer = _explorer(tmp_path)
+    result = explorer.run()
+    assert len(result.points) == result.space_size == 4
+    vectors = [p.objectives for p in result.points]
+    brute = [result.points[i].index for i in pareto_frontier(vectors)]
+    assert list(result.frontier) == brute
+    for workload in _WORKLOADS:
+        wl_vectors = [(p.ipc[workload], -p.cost_kb) for p in result.points]
+        assert list(result.frontier_by_workload[workload]) == \
+            [result.points[i].index for i in pareto_frontier(wl_vectors)]
+
+
+def test_warm_rerun_simulates_nothing(tmp_path):
+    cold = _explorer(tmp_path)
+    first = cold.run()
+    assert cold.simulated == len(first.points) * len(_WORKLOADS)
+    warm = _explorer(tmp_path)
+    second = warm.run()
+    assert warm.simulated == 0
+    assert warm.from_report_cache
+    assert first.to_dict() == second.to_dict()
+
+
+def test_journal_replay_without_simulation_cache(tmp_path):
+    """A journaled run resumes even with the result cache cleared:
+    replay write-throughs stats straight from the journal."""
+    journal_path = tmp_path / "explore.jsonl"
+    first = _explorer(tmp_path, journal=str(journal_path)).run()
+    # New cache directory: only the journal carries the results.
+    resumed = _explorer(tmp_path, journal=str(journal_path),
+                        cache=SimulationCache(tmp_path / "cache2"))
+    second = resumed.run()
+    assert resumed.simulated == 0
+    assert resumed.from_journal == len(first.points)
+    assert first.to_dict() == second.to_dict()
+    # ... and the replay write-through populated the new cache.
+    workload = resumed.workloads[0]
+    key = simulation_key(workload.name, _BUDGET,
+                         first.points[0].fingerprint)
+    assert resumed.cache.load(key) is not None
+
+
+def test_exploration_shares_cache_with_named_sweeps(tmp_path):
+    """The paper space's points hit cache entries written by an
+    ordinary named-config simulation, and vice versa."""
+    cache = SimulationCache(tmp_path / "cache")
+    api.simulate("hash_loop", config="tvp", instructions=_BUDGET,
+                 cache=cache)
+    explorer = Explorer(space="paper", strategy="grid",
+                        workloads=["hash_loop"], instructions=_BUDGET,
+                        cache=cache, journal=None)
+    explorer.run()
+    assert explorer.from_cache >= 1          # the tvp point was warm
+    assert explorer.simulated == 3
+
+
+def test_no_resume_resets_the_journal(tmp_path):
+    journal_path = tmp_path / "explore.jsonl"
+    _explorer(tmp_path, journal=str(journal_path)).run()
+    assert os.path.exists(journal_path)
+    fresh = _explorer(tmp_path, journal=str(journal_path), resume=False,
+                      cache=SimulationCache(tmp_path / "cache3"))
+    fresh.run()
+    assert fresh.from_journal == 0
+    assert fresh.simulated == len(_WORKLOADS) * 4
+
+
+def test_max_points_truncates_the_search(tmp_path):
+    explorer = _explorer(tmp_path, max_points=2, journal=None)
+    result = explorer.run()
+    assert len(result.points) == 2
+    assert result.max_points == 2
+    assert result.space_size == 4
+
+
+def test_result_round_trips_through_json(tmp_path):
+    result = _explorer(tmp_path, journal=None).run()
+    payload = json.loads(json.dumps(result.to_dict()))
+    assert ExploreResult.from_dict(payload).to_dict() == result.to_dict()
+
+
+def test_pool_and_serial_agree(tmp_path):
+    serial = _explorer(tmp_path, jobs=1,
+                       cache=SimulationCache(tmp_path / "a"),
+                       journal=None).run()
+    pooled = _explorer(tmp_path, jobs=3,
+                       cache=SimulationCache(tmp_path / "b"),
+                       journal=None).run()
+    assert serial.to_dict() == pooled.to_dict()
+
+
+def test_reports_render_deterministically(tmp_path):
+    result = _explorer(tmp_path, journal=None).run()
+    for fmt in ("markdown", "latex", "json"):
+        assert render(result, fmt) == render(result, fmt)
+    markdown = render(result, "markdown")
+    assert "Suite-wide Pareto frontier" in markdown
+    for workload in _WORKLOADS:
+        assert f"Frontier: `{workload}`" in markdown
+    latex = render(result, "latex")
+    assert r"\begin{tabular}" in latex
+    with pytest.raises(KeyError):
+        render(result, "html")
+
+
+def test_api_explore_facade(tmp_path):
+    result = api.explore("smoke", "grid", workloads=_WORKLOADS,
+                         instructions=_BUDGET, seed=1,
+                         cache=SimulationCache(tmp_path / "cache"))
+    assert isinstance(result, ExploreResult)
+    assert result.schema == "explore/1"
+    assert result.workloads == tuple(_WORKLOADS)

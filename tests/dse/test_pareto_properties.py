@@ -1,0 +1,111 @@
+"""Property tests for the Pareto core (seeded fuzz, brute-force oracle).
+
+The dominance algebra is the foundation the whole exploration engine
+stands on, so it is tested the way the differential harness tests the
+pipeline: hundreds of random point sets from a fixed
+:class:`~repro.util.rng.XorShift64` stream, each checked against an
+O(n²) brute-force reference and against the algebraic laws
+(irreflexive, antisymmetric, transitive) that make "frontier" a
+well-defined notion.  A failure message carries the (seed, case)
+pair that reproduces the exact point set.
+"""
+
+import pytest
+
+from repro.dse.pareto import dominates, pareto_frontier, prune_dominated
+from repro.util.rng import XorShift64
+
+_SEED = 0xA8E70                              # fixed fuzz stream
+_CASES = 200
+
+
+def _random_vectors(rng, max_points=24, max_dims=4, max_coord=8):
+    """A random point set; small coordinate range forces ties and
+    duplicates, the hard cases for dominance."""
+    count = 1 + rng.next() % max_points
+    dims = 1 + rng.next() % max_dims
+    return [tuple(int(rng.next() % max_coord) for _ in range(dims))
+            for _ in range(count)]
+
+
+def _brute_force_frontier(vectors):
+    """O(n²) reference: a point is on the frontier iff nothing
+    dominates it."""
+    return [i for i, v in enumerate(vectors)
+            if not any(dominates(u, v) for u in vectors)]
+
+
+def _cases():
+    rng = XorShift64(_SEED)
+    return [(case, _random_vectors(rng)) for case in range(_CASES)]
+
+
+def test_frontier_matches_brute_force():
+    for case, vectors in _cases():
+        assert pareto_frontier(vectors) == _brute_force_frontier(vectors), \
+            f"case {case} (seed {_SEED:#x}): {vectors}"
+
+
+def test_dominance_is_irreflexive():
+    for case, vectors in _cases():
+        for v in vectors:
+            assert not dominates(v, v), f"case {case}: {v}"
+
+
+def test_dominance_is_antisymmetric():
+    for case, vectors in _cases():
+        for a in vectors:
+            for b in vectors:
+                if dominates(a, b):
+                    assert not dominates(b, a), f"case {case}: {a} vs {b}"
+
+
+def test_dominance_is_transitive():
+    for case, vectors in _cases():
+        for a in vectors:
+            for b in vectors:
+                if not dominates(a, b):
+                    continue
+                for c in vectors:
+                    if dominates(b, c):
+                        assert dominates(a, c), \
+                            f"case {case}: {a} > {b} > {c}"
+
+
+def test_pruning_never_discards_a_frontier_member():
+    rng = XorShift64(_SEED ^ 0x51)
+    for case in range(_CASES):
+        vectors = _random_vectors(rng)
+        frontier = set(pareto_frontier(vectors))
+        for keep in (0, 1, 3):
+            survivors = set(prune_dominated(vectors, keep=keep))
+            assert frontier <= survivors, \
+                f"case {case}, keep={keep}: dropped " \
+                f"{sorted(frontier - survivors)}"
+            assert len(survivors) <= len(frontier) + keep
+
+
+def test_prune_keep_selects_best_dominated_by_key():
+    vectors = [(5, 5), (4, 4), (1, 1), (3, 2)]
+    # Frontier is just (5,5); keep=1 must add (4,4), the best by sum.
+    assert pareto_frontier(vectors) == [0]
+    assert prune_dominated(vectors, keep=1) == [0, 1]
+    # A custom key flips the preference to the second coordinate.
+    assert prune_dominated(vectors, keep=1,
+                           key=lambda v: -v[1]) == [0, 2]
+
+
+def test_duplicate_points_are_all_frontier_members():
+    vectors = [(2, 2), (2, 2), (1, 3)]
+    assert pareto_frontier(vectors) == [0, 1, 2]
+
+
+def test_arity_mismatch_raises():
+    with pytest.raises(ValueError):
+        dominates((1, 2), (1, 2, 3))
+
+
+def test_empty_and_singleton():
+    assert pareto_frontier([]) == []
+    assert pareto_frontier([(0, 0)]) == [0]
+    assert prune_dominated([], keep=5) == []

@@ -1,0 +1,94 @@
+"""Crash-resume acceptance for ``harness explore``: ``kill -9`` the
+exploration mid-flight, resume against its journal, and require zero
+re-simulated points plus a byte-identical saved report versus an
+uninterrupted run (the orchestrator sweep test's pattern, applied to
+the exploration journal)."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+
+_SRC = os.path.dirname(os.path.dirname(repro.__file__))
+_POINTS = 4          # the smoke space
+_WORKLOADS = 2       # hash_loop, permute
+
+
+def _cmd(save, journal):
+    return [sys.executable, "-m", "repro.harness", "explore",
+            "--space", "smoke", "--strategy", "grid", "--seed", "1",
+            "--workloads", "hash_loop,permute",
+            "--instructions", "20000", "--jobs", "2", "--no-cache",
+            "--journal", str(journal), "--save", str(save)]
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    for knob in list(env):
+        if knob.startswith("REPRO_FAULT"):
+            del env[knob]
+    return env
+
+
+def _journal_lines(path):
+    try:
+        with open(path) as handle:
+            return [line for line in handle if line.endswith("\n")]
+    except OSError:
+        return []
+
+
+@pytest.mark.slow
+def test_kill9_then_resume_is_byte_identical(tmp_path):
+    env = _env()
+    clean_save = tmp_path / "clean.json"
+    resumed_save = tmp_path / "resumed.json"
+    journal = tmp_path / "explore.jsonl"
+
+    # Reference: the same exploration, uninterrupted.
+    subprocess.run(_cmd(clean_save, tmp_path / "clean.jsonl"), env=env,
+                   cwd=tmp_path, check=True, capture_output=True,
+                   timeout=600)
+
+    # Start the exploration, then kill -9 the whole process as soon as
+    # the journal shows at least one durably completed point.
+    victim = subprocess.Popen(_cmd(tmp_path / "unused.json", journal),
+                              env=env, cwd=tmp_path,
+                              stdout=subprocess.DEVNULL,
+                              stderr=subprocess.DEVNULL)
+    try:
+        deadline = time.time() + 300
+        while time.time() < deadline:
+            if victim.poll() is not None or _journal_lines(journal):
+                break
+            time.sleep(0.02)
+        assert victim.poll() is None, \
+            "exploration finished before it was killed"
+        os.kill(victim.pid, signal.SIGKILL)
+    finally:
+        victim.wait(timeout=60)
+    completed_before = len(_journal_lines(journal))
+    assert 1 <= completed_before < _POINTS
+
+    # Resume against the journal (default --resume).
+    done = subprocess.run(_cmd(resumed_save, journal), env=env,
+                          cwd=tmp_path, check=True, capture_output=True,
+                          text=True, timeout=600)
+    assert f"{completed_before} journal" in done.stdout
+    # Zero re-simulation of journaled points.
+    simulated = (_POINTS - completed_before) * _WORKLOADS
+    assert f"{simulated} simulated" in done.stdout
+
+    clean = json.loads(clean_save.read_text())
+    resumed = json.loads(resumed_save.read_text())
+    assert (json.dumps(clean, sort_keys=True)
+            == json.dumps(resumed, sort_keys=True))
+    # And the saved files themselves are byte-identical.
+    assert clean_save.read_bytes() == resumed_save.read_bytes()

@@ -1,0 +1,135 @@
+"""Parameter-space tests: compilation, validation, fingerprints.
+
+The load-bearing property is cache sharing: a space point's compiled
+config must fingerprint identically to the equivalent named
+configuration, so explorations and ordinary sweeps hit the same
+simulation-cache entries from either direction.
+"""
+
+import pytest
+
+from repro.dse.space import (Choice, Dimension, ParameterSpace, get_space,
+                             hardware_cost_kb, space_names)
+from repro.harness.cache import config_fingerprint
+from repro.harness.runner import ExperimentRunner
+from repro.pipeline.config import MachineConfig, VPFlavor
+
+
+def test_builtin_spaces_compile_every_point():
+    for name in space_names():
+        space = get_space(name)
+        assert space.size() >= 2
+        budget = min(space.size(), 24)   # full space for all but "full"
+        for index in range(budget):
+            point = space.point(index)
+            assert point.fingerprint == config_fingerprint(point.config)
+            assert point.index == index
+
+
+def test_assignment_round_trip():
+    space = get_space("sizing")
+    for index in range(space.size()):
+        assignment = space.assignment_at(index)
+        assert space.index_of(assignment) == index
+    with pytest.raises(IndexError):
+        space.assignment_at(space.size())
+
+
+def test_paper_space_fingerprints_match_named_configs():
+    """The 4-point paper space IS the paper's four configs: every point
+    hits the cache entries a plain `harness sweep` writes."""
+    space = get_space("paper")
+    assert space.size() == 4
+    by_label = {point.point_id.split("=", 1)[1]: point.fingerprint
+                for point in (space.point(i) for i in range(4))}
+    for label, named in (("baseline", "baseline"), ("mvp", "mvp"),
+                         ("tvp", "tvp"), ("gvp", "gvp")):
+        expected = config_fingerprint(ExperimentRunner.config(named))
+        assert by_label[label] == expected, label
+
+
+def test_space_fingerprint_is_content_addressed():
+    a, b = get_space("smoke"), get_space("smoke")
+    assert a.fingerprint() == b.fingerprint()
+    different = ParameterSpace(
+        name="smoke",            # same name, different content
+        base="tvp+spsr",
+        dimensions=(Dimension("silence", tags=("vp",), choices=(
+            Choice("49", {"vp_silence_cycles": 49}),
+            Choice("251", {"vp_silence_cycles": 251}),
+        )),),
+    )
+    assert different.fingerprint() != a.fingerprint()
+
+
+def test_unknown_override_key_rejected():
+    with pytest.raises(KeyError):
+        Dimension("bad", tags=(), choices=(
+            Choice("x", {"vp_silence_cycle": 15}),   # typo'd field
+        ))
+
+
+def test_duplicate_choice_labels_rejected():
+    with pytest.raises(ValueError):
+        Dimension("dup", tags=(), choices=(
+            Choice("same", {"rob_entries": 128}),
+            Choice("same", {"rob_entries": 192}),
+        ))
+
+
+def test_dimensions_claiming_same_key_rejected():
+    dim = Dimension("a", tags=(), choices=(
+        Choice("x", {"rob_entries": 128}),))
+    clash = Dimension("b", tags=(), choices=(
+        Choice("y", {"rob_entries": 192}),))
+    with pytest.raises(ValueError):
+        ParameterSpace(name="bad", base="baseline",
+                       dimensions=(dim, clash))
+
+
+def test_vtage_overrides_require_a_value_predictor():
+    space = ParameterSpace(
+        name="bad-vtage", base="baseline",
+        dimensions=(Dimension("tag", tags=("vp",), choices=(
+            Choice("t12", {"vtage.tag_bits": 12}),)),))
+    with pytest.raises(ValueError):
+        space.point(0)
+
+
+def test_vtage_suboverrides_reach_the_geometry():
+    space = get_space("vtage")
+    for index in range(space.size()):
+        config = space.point(index).config
+        assert config.vtage_config() is not None
+    # Distinct geometry choices produce distinct fingerprints.
+    prints = {space.point(i).fingerprint for i in range(space.size())}
+    assert len(prints) == space.size()
+
+
+def test_hardware_cost_is_monotone_in_sizing():
+    small = MachineConfig.baseline(rob_entries=128, iq_entries=48)
+    large = MachineConfig.baseline(rob_entries=315, iq_entries=92)
+    assert hardware_cost_kb(small) < hardware_cost_kb(large)
+    # Adding a predictor or SpSR never makes the machine cheaper.
+    assert hardware_cost_kb(MachineConfig.tvp()) > \
+        hardware_cost_kb(MachineConfig.baseline())
+    assert hardware_cost_kb(MachineConfig.tvp(spsr=True)) > \
+        hardware_cost_kb(MachineConfig.tvp())
+
+
+def test_point_id_is_stable_and_readable():
+    point = get_space("smoke").point(0)
+    assert point.point_id == "silence=50|rob=192"
+
+
+def test_spsr_space_sets_flavor_and_spsr_together():
+    space = get_space("spsr")
+    configs = [space.point(i).config for i in range(space.size())]
+    assert all(c.vp_flavor == VPFlavor.TVP for c in configs)
+    assert [c.enable_spsr for c in configs] == [False, True, True]
+    assert configs[2].spsr_constant_folding
+
+
+def test_get_space_unknown_name():
+    with pytest.raises(KeyError):
+        get_space("nope")

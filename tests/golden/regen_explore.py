@@ -1,0 +1,50 @@
+"""Golden exploration-report snapshot definition and regeneration.
+
+Pins the **full** ``explore/1`` result document — every evaluated
+point's per-workload IPC, cost, and both frontier sets — for a fixed
+(space, strategy, seed, workloads, budget) tuple, so any change to the
+search, the cost model, or the simulator timing underneath fails with a
+point-level diff.  Deliberate changes re-pin with:
+
+    PYTHONPATH=src python -m tests.golden.regen_explore
+"""
+
+import json
+import os
+
+from repro.dse.explore import Explorer
+
+SPACE = "smoke"
+STRATEGY = "grid"
+SEED = 1
+KERNELS = ("hash_loop", "stream_triad")
+BUDGET = 2000
+
+SNAPSHOT_PATH = os.path.join(os.path.dirname(__file__), "explore.json")
+
+
+def current_result():
+    """The pinned exploration, run hermetically (no cache, no journal)."""
+    explorer = Explorer(space=SPACE, strategy=STRATEGY,
+                        workloads=list(KERNELS), instructions=BUDGET,
+                        seed=SEED, cache=None, journal=None)
+    return explorer.run().to_dict()
+
+
+def load_snapshot():
+    with open(SNAPSHOT_PATH) as handle:
+        return json.load(handle)
+
+
+def regenerate():
+    result = current_result()
+    with open(SNAPSHOT_PATH, "w") as handle:
+        json.dump(result, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return result
+
+
+if __name__ == "__main__":
+    regenerated = regenerate()
+    print(f"pinned {len(regenerated['points'])}-point exploration "
+          f"({SPACE}/{STRATEGY}, seed {SEED}) to {SNAPSHOT_PATH}")

@@ -1,0 +1,57 @@
+"""Golden exploration report: one fixed small search, fully pinned.
+
+A failure means the exploration's output moved — the search trajectory
+(strategy/RNG change), the cost model, or the simulated timing under
+any evaluated point.  If the movement is intentional, re-pin with
+``PYTHONPATH=src python -m tests.golden.regen_explore``.
+"""
+
+import pytest
+
+from repro.dse.result import EXPLORE_SCHEMA
+
+from tests.golden.regen_explore import (BUDGET, KERNELS, SEED, SPACE,
+                                        STRATEGY, current_result,
+                                        load_snapshot)
+
+_SNAPSHOT = load_snapshot()
+
+
+def test_snapshot_matches_definition():
+    assert _SNAPSHOT["schema"] == EXPLORE_SCHEMA
+    assert _SNAPSHOT["space"] == SPACE
+    assert _SNAPSHOT["strategy"] == STRATEGY
+    assert _SNAPSHOT["seed"] == SEED
+    assert _SNAPSHOT["instructions"] == BUDGET
+    assert tuple(_SNAPSHOT["workloads"]) == KERNELS
+
+
+def test_exploration_matches_snapshot():
+    current = current_result()
+    if current == _SNAPSHOT:
+        return
+    diff_lines = []
+    for name, value in current.items():
+        pinned = _SNAPSHOT.get(name)
+        if name == "points":
+            by_index = {p["index"]: p for p in (pinned or [])}
+            for point in value:
+                old = by_index.get(point["index"])
+                if point == old:
+                    continue
+                for field, new in point.items():
+                    if old is None or new != old.get(field):
+                        diff_lines.append(
+                            f"point {point['index']} "
+                            f"({point['point_id']}) {field}: pinned "
+                            f"{None if old is None else old.get(field)!r}"
+                            f" != current {new!r}")
+        elif value != pinned:
+            diff_lines.append(f"{name}: pinned {pinned!r} != "
+                              f"current {value!r}")
+    pytest.fail(
+        f"golden exploration report moved "
+        f"({len(diff_lines)} field(s)):\n  " + "\n  ".join(diff_lines)
+        + "\nif intentional: "
+          "PYTHONPATH=src python -m tests.golden.regen_explore",
+        pytrace=False)
