@@ -65,34 +65,19 @@ def build_parser():
     return parser
 
 
+#: Schema of the --all --json sweep document (a collection of
+#: ``headroom/2`` reports plus the sweep-level verdict).
+SWEEP_SCHEMA = "headroom-sweep/1"
+
+
 def _report_for(workload, config_name, args, cache):
-    """One report, through the report cache when enabled."""
-    from repro.analysis.headroom.report import (
-        HEADROOM_SCHEMA,
-        analyze_headroom,
-        budget_for,
-    )
-    from repro.harness.cache import headroom_key
-    from repro.harness.runner import ExperimentRunner
+    """One report, through the shared report-cache path."""
+    from repro.analysis.headroom.report import cached_headroom_report
 
-    config = ExperimentRunner.config(config_name)
-    key = None
-    if cache is not None:
-        from repro.harness.cache import config_fingerprint
-
-        key = headroom_key(workload.name,
-                           budget_for(workload, args.instructions),
-                           config_fingerprint(config),
-                           args.sample_interval, HEADROOM_SCHEMA)
-        cached = cache.load(key)
-        if cached is not None and cached.get("schema") == HEADROOM_SCHEMA:
-            return cached
-    report = analyze_headroom(workload, config_name, config=config,
-                              instructions=args.instructions,
-                              sample_interval=args.sample_interval)
-    if cache is not None:
-        cache.store(key, report)
-    return report
+    return cached_headroom_report(workload, config_name,
+                                  instructions=args.instructions,
+                                  sample_interval=args.sample_interval,
+                                  cache=cache)
 
 
 def _markdown_table(reports, workload_names, config_names):
@@ -162,16 +147,20 @@ def main(argv=None):
 
     ok = all(r["sound"] for r in reports)
     if args.as_json:
-        from repro.analysis.headroom.report import HEADROOM_SCHEMA
+        from repro.envelope import header, request_fingerprint
 
-        payload = {
-            "schema": HEADROOM_SCHEMA,
+        workload_names = [w.name for w in workloads]
+        payload = header(SWEEP_SCHEMA, request_fingerprint(
+            "headroom-sweep", workloads=workload_names,
+            configs=config_names, instructions=args.instructions,
+            sample_interval=args.sample_interval))
+        payload.update({
             "command": "headroom",
             "configs": config_names,
-            "workloads": [w.name for w in workloads],
+            "workloads": workload_names,
             "reports": reports,
             "ok": ok,
-        }
+        })
         print(json.dumps(payload, indent=2, sort_keys=True))
     elif args.all:
         print("Headroom above max(dep LB, structural LB) — "

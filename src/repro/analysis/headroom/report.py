@@ -4,17 +4,21 @@
 classification (shared with the runtime elimination audit), the
 dependence longest-path bound, the structural machine-limit bound, and
 one traced simulation for the actual cycle count plus lost-cycle
-attribution.  The result is a plain JSON-ready dict carrying
-``schema: "headroom/1"`` — the shape the CLI prints, the report cache
-stores and the golden tests pin.
+attribution.  The result is a plain JSON-ready dict wearing the unified
+envelope (``schema: "headroom/2"`` plus ``code_version`` and the
+config-``fingerprint``) — the shape the CLI prints, the report cache
+stores, :func:`repro.api.headroom` wraps and the golden tests pin.
+:func:`cached_headroom_report` is the shared report-cache path both the
+CLI and the API facade go through.
 """
 
 from repro.analysis.headroom.attribution import attribute, refill_estimate
 from repro.analysis.headroom.graph import dependence_bound
 from repro.analysis.headroom.structural import structural_bound
 from repro.analysis.opportunity import StaticOpportunities
+from repro.envelope import header
 
-HEADROOM_SCHEMA = "headroom/1"
+HEADROOM_SCHEMA = "headroom/2"
 
 # Workloads default to at most this many instructions: the analyzer runs
 # a traced simulation per point, and bounds converge well before the
@@ -38,9 +42,11 @@ def analyze_headroom(workload, config_name, config=None, trace=None,
     optional pre-built :class:`~repro.pipeline.config.MachineConfig`
     (else built from *config_name*); *trace* an optional pre-loaded µop
     trace (else emulated at the default budget).  Returns the
-    ``headroom/1`` report dict.
+    ``headroom/2`` report dict (envelope fingerprint = the compiled
+    config's fingerprint).
     """
     from repro.emulator.trace import trace_program
+    from repro.harness.cache import config_fingerprint
     from repro.harness.runner import ExperimentRunner
 
     if config is None:
@@ -61,8 +67,8 @@ def analyze_headroom(workload, config_name, config=None, trace=None,
     binding = "dependence" if dep.bound >= struct.bound else "structural"
     actual = attr.actual_cycles
     headroom = actual - bound
-    return {
-        "schema": HEADROOM_SCHEMA,
+    report = header(HEADROOM_SCHEMA, config_fingerprint(config))
+    report.update({
         "workload": workload.name,
         "config": config_name,
         "instructions": budget,
@@ -83,7 +89,41 @@ def analyze_headroom(workload, config_name, config=None, trace=None,
         "attribution": attr.to_dict(),
         "refill_estimate": refill_estimate(config),
         "sample_interval": sample_interval,
-    }
+    })
+    return report
+
+
+def cached_headroom_report(workload, config_name, *, config=None,
+                           instructions=None, sample_interval=500,
+                           cache=None):
+    """One report, through the report cache when one is attached.
+
+    The shared warm path of ``harness headroom`` and
+    :func:`repro.api.headroom`: reports are keyed like simulation
+    results (:func:`repro.harness.cache.headroom_key`, which folds in
+    the code version), so a warm call never re-simulates.  Cached
+    documents from an older schema are ignored, not migrated.
+    """
+    from repro.harness.cache import config_fingerprint, headroom_key
+    from repro.harness.runner import ExperimentRunner
+
+    if config is None:
+        config = ExperimentRunner.config(config_name)
+    key = None
+    if cache is not None:
+        key = headroom_key(workload.name, budget_for(workload, instructions),
+                           config_fingerprint(config), sample_interval,
+                           HEADROOM_SCHEMA)
+        cached = cache.load(key)
+        if isinstance(cached, dict) \
+                and cached.get("schema") == HEADROOM_SCHEMA:
+            return cached
+    report = analyze_headroom(workload, config_name, config=config,
+                              instructions=instructions,
+                              sample_interval=sample_interval)
+    if cache is not None:
+        cache.store(key, report)
+    return report
 
 
 def dominant_bottleneck(report):

@@ -13,20 +13,38 @@ is the supported surface::
     print(s.get("tvp", "hash_loop").speedup_over(s.get("baseline",
                                                        "hash_loop")))
 
-Results are frozen dataclasses with documented ``to_dict()`` /
-``from_dict()`` JSON round-trips, built on the exact same runner the
-experiment harness uses — facade numbers are byte-identical to a direct
-:meth:`ExperimentRunner.run`.
+Every ``harness`` subcommand has an API twin: ``run``/``sweep`` →
+:func:`simulate`/:func:`sweep`, ``explore`` → :func:`explore`,
+``headroom`` → :func:`headroom`, and the job service (``harness
+serve``/``submit``/``poll``) → :func:`submit`/:func:`status`/
+:func:`result`/:func:`events` over an in-process
+:class:`~repro.service.JobManager`.
+
+Results are frozen dataclasses wearing the unified envelope
+(:mod:`repro.envelope`): ``to_dict()`` emits a ``schema`` /
+``code_version`` / ``fingerprint`` header plus a deterministic body,
+``from_dict()`` validates the schema family and is its exact inverse.
+Provenance — the sweep :class:`~repro.harness.orchestrator.FaultReport`
+in particular — rides on the result object (``SweepResult.fault_report``)
+and is serialized only on request (``to_dict(provenance=True)``), so the
+default payload of a cold run, a warm cache read and a crash-resumed
+sweep are byte-identical under :func:`repro.envelope.canonical_json`.
 """
 
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Tuple
 
+from repro.envelope import check_schema, header, request_fingerprint
 from repro.harness.orchestrator import OrchestratedRunner
 from repro.harness.runner import ExperimentRunner
 from repro.pipeline.config import MachineConfig
 
-__all__ = ["SimResult", "SweepResult", "explore", "simulate", "sweep"]
+__all__ = ["HeadroomResult", "SIM_SCHEMA", "SWEEP_SCHEMA", "SimResult",
+           "SweepResult", "events", "explore", "headroom", "result",
+           "service", "simulate", "status", "submit", "sweep"]
+
+SIM_SCHEMA = "sim/2"
+SWEEP_SCHEMA = "sweep/2"
 
 _CUSTOM_CONFIG_NAME = "custom"
 
@@ -47,18 +65,21 @@ class SimResult:
         return 100.0 * (self.ipc / baseline.ipc - 1.0)
 
     def to_dict(self):
-        """JSON-ready payload; inverse of :meth:`from_dict`."""
-        return {
+        """JSON-ready enveloped payload; inverse of :meth:`from_dict`."""
+        payload = header(SIM_SCHEMA, self.fingerprint)
+        payload.update({
             "workload": self.workload,
             "config": self.config,
-            "fingerprint": self.fingerprint,
             "instructions": self.instructions,
             "ipc": self.ipc,
             "stats": dict(self.stats),
-        }
+        })
+        return payload
 
     @classmethod
     def from_dict(cls, payload):
+        if "schema" in payload:
+            check_schema(payload, "sim")
         return cls(workload=payload["workload"], config=payload["config"],
                    fingerprint=payload["fingerprint"],
                    instructions=payload["instructions"],
@@ -67,39 +88,121 @@ class SimResult:
 
 @dataclass(frozen=True)
 class SweepResult:
-    """A full (workload × config) sweep plus its fault report."""
+    """A full (workload × config) sweep plus its fault report.
+
+    The fault report (retries, quarantines, provenance counters, wall
+    time) is an attribute for programmatic access — service clients read
+    it from the job status — but is **not** part of the default
+    ``to_dict()`` payload: it differs between a cold and a warm run of
+    the same matrix, and the result body must not.  Pass
+    ``provenance=True`` to embed it (the CLI ``--save`` path does).
+    """
 
     results: Mapping[str, Mapping[str, SimResult]]   # config -> workload
     configs: Tuple[str, ...]
     workloads: Tuple[str, ...]
     instructions: Optional[int]
-    fault_report: Optional[dict] = field(default=None)
+    fingerprint: str = ""           # hash of the request matrix
+    fault_report: Optional[dict] = field(default=None, compare=False)
 
     def get(self, config, workload):
         """The :class:`SimResult` for one (config, workload) point."""
         return self.results[config][workload]
 
-    def to_dict(self):
-        """JSON-ready payload; inverse of :meth:`from_dict`."""
-        return {
+    def to_dict(self, provenance=False):
+        """JSON-ready enveloped payload; inverse of :meth:`from_dict`.
+
+        Deterministic by default; ``provenance=True`` adds the
+        ``fault_report`` (wall time, retries, result sources), which is
+        honest about *how* the numbers were obtained and therefore not
+        byte-stable across re-runs.
+        """
+        payload = header(SWEEP_SCHEMA, self.fingerprint)
+        payload.update({
             "configs": list(self.configs),
             "workloads": list(self.workloads),
             "instructions": self.instructions,
             "results": {config: {workload: result.to_dict()
                                  for workload, result in by_workload.items()}
                         for config, by_workload in self.results.items()},
-            "fault_report": self.fault_report,
-        }
+        })
+        if provenance:
+            payload["fault_report"] = self.fault_report
+        return payload
 
     @classmethod
     def from_dict(cls, payload):
+        if "schema" in payload:
+            check_schema(payload, "sweep")
         results = {config: {workload: SimResult.from_dict(item)
                             for workload, item in by_workload.items()}
                    for config, by_workload in payload["results"].items()}
         return cls(results=results, configs=tuple(payload["configs"]),
                    workloads=tuple(payload["workloads"]),
                    instructions=payload["instructions"],
+                   fingerprint=payload.get("fingerprint", ""),
                    fault_report=payload.get("fault_report"))
+
+
+@dataclass(frozen=True)
+class HeadroomResult:
+    """One (workload, config) headroom analysis in envelope form.
+
+    Wraps the ``headroom/2`` report document
+    (:func:`repro.analysis.headroom.report.analyze_headroom`) with typed
+    access to the fields callers branch on; ``report`` holds the full
+    document (bounds, critical path, attribution).
+    """
+
+    workload: str
+    config: str
+    fingerprint: str                # compiled MachineConfig fingerprint
+    report: Mapping[str, object]    # the full headroom/2 document
+
+    @property
+    def ipc(self):
+        return self.report["ipc"]
+
+    @property
+    def bound(self):
+        """The binding analytic cycle lower bound."""
+        return self.report["bound"]
+
+    @property
+    def binding(self):
+        """Which bound binds: ``"dependence"`` or ``"structural"``."""
+        return self.report["binding"]
+
+    @property
+    def headroom_pct(self):
+        return self.report["headroom_pct"]
+
+    @property
+    def sound(self):
+        return self.report["sound"]
+
+    def to_dict(self):
+        """The enveloped report document; inverse of :meth:`from_dict`."""
+        return dict(self.report)
+
+    @classmethod
+    def from_dict(cls, payload):
+        check_schema(payload, "headroom")
+        return cls(workload=payload["workload"], config=payload["config"],
+                   fingerprint=payload["fingerprint"], report=dict(payload))
+
+
+def sweep_fingerprint(workload_names, config_names, instructions):
+    """The request fingerprint of one (workload × config × budget) matrix.
+
+    Order-sensitive on purpose: the result document lays configs and
+    workloads out in submission order, so a reordered matrix is a
+    different document and must be a different fingerprint (and service
+    job key).
+    """
+    return request_fingerprint("sweep", workloads=list(workload_names),
+                               configs=list(config_names),
+                               instructions=instructions)
 
 
 def _resolve_workloads(workloads):
@@ -130,6 +233,29 @@ def _to_sim_result(runner, record, config_name, config=None):
                      ipc=record.ipc, stats=record.to_dict()["stats"])
 
 
+def sweep_result_from_records(runner, raw, config_names, instructions,
+                              fault_report=None):
+    """Assemble a :class:`SweepResult` from ``run_all`` records.
+
+    Shared by :func:`sweep` and the CLI ``--save`` path, so both emit
+    the same enveloped document for the same records.
+    """
+    results = {
+        config_name: {
+            workload_name: _to_sim_result(runner, record, config_name)
+            for workload_name, record in by_workload.items()
+        }
+        for config_name, by_workload in raw.items()
+    }
+    workload_names = tuple(w.name for w in runner.workloads)
+    return SweepResult(
+        results=results, configs=tuple(config_names),
+        workloads=workload_names, instructions=instructions,
+        fingerprint=sweep_fingerprint(workload_names, config_names,
+                                      instructions),
+        fault_report=fault_report)
+
+
 def simulate(workload, config="baseline", *, instructions=None,
              cache=None) -> SimResult:
     """Simulate one workload under one configuration.
@@ -154,7 +280,10 @@ def sweep(workloads=None, configs=("baseline", "mvp", "tvp", "gvp"), *,
     ``configs`` are named configurations; ``jobs`` defaults to all
     cores (the orchestrated pool with per-point timeouts, retry and
     journaled resume — pass ``journal=`` a path to make the sweep
-    resumable across interruptions).
+    resumable across interruptions).  The returned result carries the
+    sweep's :class:`~repro.harness.orchestrator.FaultReport` as a dict
+    on ``fault_report``, so retries and quarantines are visible without
+    scraping CLI output.
     """
     workload_objects = _resolve_workloads(workloads)
     config_names = [str(name) for name in configs]
@@ -165,24 +294,15 @@ def sweep(workloads=None, configs=("baseline", "mvp", "tvp", "gvp"), *,
                                 jobs=jobs, journal=journal, resume=resume,
                                 tracer=tracer, orchestration=orchestration)
     raw = runner.run_all(config_names)
-    results = {
-        config_name: {
-            workload_name: _to_sim_result(runner, record, config_name)
-            for workload_name, record in by_workload.items()
-        }
-        for config_name, by_workload in raw.items()
-    }
-    report = getattr(runner, "last_fault_report", None)
-    return SweepResult(
-        results=results, configs=tuple(config_names),
-        workloads=tuple(w.name for w in workload_objects),
-        instructions=instructions,
+    report = runner.last_fault_report
+    return sweep_result_from_records(
+        runner, raw, config_names, instructions,
         fault_report=report.to_dict() if report is not None else None)
 
 
 def explore(space="smoke", strategy="grid", *, workloads=None,
             instructions=None, seed=1, max_points=0, jobs=None, cache=None,
-            journal=None, resume=True):
+            journal=None, resume=True, tracer=None):
     """Run a design-space exploration; returns a frozen
     :class:`repro.dse.result.ExploreResult`.
 
@@ -195,7 +315,8 @@ def explore(space="smoke", strategy="grid", *, workloads=None,
     simulation cache with ordinary runs (a space point whose config
     matches a named configuration is a cache hit in both directions)
     and are journal-resumable (``journal=`` a path or ``True`` for the
-    canonical location).
+    canonical location).  ``tracer`` receives per-point progress events
+    (the job service bridges them into its event feeds).
     """
     from repro.dse.explore import Explorer
 
@@ -203,5 +324,124 @@ def explore(space="smoke", strategy="grid", *, workloads=None,
                         workloads=_resolve_workloads(workloads),
                         instructions=instructions, seed=seed,
                         max_points=max_points, cache=cache, jobs=jobs or 1,
-                        journal=journal, resume=resume)
+                        journal=journal, resume=resume, tracer=tracer)
     return explorer.run()
+
+
+def headroom(workload, config="baseline", *, instructions=None,
+             sample_interval=500, cache=None) -> HeadroomResult:
+    """Analytic cycle lower bounds + headroom attribution for one point.
+
+    The API twin of ``harness headroom``: runs the static headroom
+    analyzer (dependence + structural bounds, lost-cycle attribution)
+    and returns the enveloped report.  With a cache attached (a
+    :class:`~repro.harness.cache.SimulationCache`,
+    :class:`~repro.harness.cache.ReportCache` or cache directory
+    string), warm calls are served from the report cache without
+    re-simulating.
+    """
+    from repro.analysis.headroom.report import cached_headroom_report
+    from repro.harness.cache import ReportCache, SimulationCache
+
+    if isinstance(cache, SimulationCache):
+        cache = ReportCache(cache.directory)
+    elif isinstance(cache, str):
+        cache = ReportCache(cache)
+    workload_object = _resolve_workloads([workload])[0]
+    report = cached_headroom_report(workload_object, str(config),
+                                    instructions=instructions,
+                                    sample_interval=sample_interval,
+                                    cache=cache)
+    return HeadroomResult(workload=report["workload"],
+                          config=report["config"],
+                          fingerprint=report["fingerprint"], report=report)
+
+
+# -- the in-process job service --------------------------------------------------------
+_default_manager = None
+
+
+def service(cache_dir=None, jobs=None, resume=True, max_active=1):
+    """The in-process :class:`~repro.service.JobManager` facade state.
+
+    The first call creates the module-default manager (later calls with
+    all-default arguments return it); passing any argument rebuilds it.
+    :func:`submit`/:func:`status`/:func:`result`/:func:`events` operate
+    on this manager unless given one explicitly — the same four verbs
+    the HTTP surface exposes.
+    """
+    global _default_manager
+    from repro.service.core import JobManager
+
+    explicit = (cache_dir is not None or jobs is not None
+                or resume is not True or max_active != 1)
+    if _default_manager is None or explicit:
+        _default_manager = JobManager(cache_dir=cache_dir, jobs=jobs,
+                                      resume=resume, max_active=max_active)
+    return _default_manager
+
+
+def submit(workloads=None, configs=None, *, kind="sweep", instructions=None,
+           space="smoke", strategy="grid", seed=1, max_points=0,
+           spec=None, manager=None):
+    """Submit an asynchronous job; returns its submission receipt dict.
+
+    Mirrors ``POST /v1/jobs``: identical concurrent submissions coalesce
+    onto one running job, and a matrix whose result is already in the
+    report cache completes instantly with zero simulations.  Pass a
+    pre-built :class:`~repro.service.JobSpec` via ``spec``, or the same
+    keyword arguments :func:`sweep`/:func:`explore` take.
+    """
+    from repro.service.core import JobSpec
+
+    manager = manager if manager is not None else service()
+    if spec is None:
+        if kind == "sweep":
+            spec = JobSpec.sweep(workloads=workloads, configs=configs,
+                                 instructions=instructions)
+        else:
+            spec = JobSpec.explore(space=space, strategy=strategy,
+                                   seed=seed, max_points=max_points,
+                                   workloads=workloads,
+                                   instructions=instructions)
+    return manager.submit(spec).receipt()
+
+
+def status(job, *, manager=None):
+    """Job status dict (state, progress, fault report); ``GET /v1/jobs/<id>``."""
+    manager = manager if manager is not None else service()
+    return manager.status(_job_key(job))
+
+
+def result(job, *, timeout=None, manager=None):
+    """The finished job's typed result; ``GET /v1/jobs/<id>/result``.
+
+    Blocks up to ``timeout`` seconds for completion, then returns a
+    :class:`SweepResult` or :class:`~repro.dse.result.ExploreResult`
+    depending on the job kind.
+    """
+    from repro.dse.result import ExploreResult
+
+    manager = manager if manager is not None else service()
+    payload = manager.result(_job_key(job), timeout=timeout)
+    if payload.get("schema", "").startswith("explore/"):
+        return ExploreResult.from_dict(payload)
+    return SweepResult.from_dict(payload)
+
+
+def events(job, after=0, *, timeout=None, manager=None):
+    """``(events, next_index, done)`` for a job's progress feed.
+
+    Mirrors ``GET /v1/jobs/<id>/events?after=N``: returns every event
+    recorded after index ``after`` (long-polling up to ``timeout``
+    seconds when none are pending yet).
+    """
+    manager = manager if manager is not None else service()
+    return manager.events_after(_job_key(job), after=after, timeout=timeout)
+
+
+def _job_key(job):
+    """Accept a job key string, a receipt dict, or a Job object."""
+    if isinstance(job, dict):
+        return job["job"]
+    return getattr(job, "key", job)

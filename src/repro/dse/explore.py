@@ -99,7 +99,8 @@ class Explorer:
 
     def __init__(self, space, strategy="grid", workloads=None,
                  instructions=None, seed=1, max_points=0, cache=None,
-                 jobs=1, journal=None, resume=True, verbose=False):
+                 jobs=1, journal=None, resume=True, verbose=False,
+                 tracer=None):
         self.space = space if isinstance(space, ParameterSpace) \
             else get_space(space)
         self.space_fp = self.space.fingerprint()
@@ -119,6 +120,7 @@ class Explorer:
         self.jobs = max(1, int(jobs or 1))
         self.resume = bool(resume)
         self.verbose = verbose
+        self.tracer = tracer
         self.journal = self._resolve_journal(journal)
         self._runner = ExperimentRunner(workloads=self.workloads,
                                         instructions=instructions,
@@ -174,6 +176,8 @@ class Explorer:
         cached = self._load_report()
         if cached is not None:
             self.from_report_cache = True
+            self._emit(0, "explore_cached", space=self.space.name,
+                       points=len(cached.points))
             return cached
         replayed = {}
         if self.journal is not None:
@@ -181,6 +185,9 @@ class Explorer:
                 replayed = self.journal.replay(self.space_fp)
             else:
                 self.journal.reset()
+        self._emit(0, "explore_begin", space=self.space.name,
+                   strategy=self.strategy.name, seed=self.seed,
+                   max_points=self.max_points)
         evaluated = {}
         while True:
             batch = self.strategy.propose(evaluated)
@@ -188,11 +195,24 @@ class Explorer:
                 break
             for index, point_eval in self._evaluate_batch(batch, replayed):
                 evaluated[index] = point_eval
+                # The stamp slot carries the evaluated-point count (this
+                # package is time-free under the determinism lint).
+                self._emit(len(evaluated), "point_done", index=index,
+                           point_id=point_eval.point_id,
+                           geomean_ipc=point_eval.geomean_ipc)
         if self.journal is not None:
             self.journal.close()
         result = self._assemble(evaluated)
         self._store_report(result)
+        self._emit(len(evaluated), "explore_end",
+                   points=len(result.points),
+                   frontier=len(result.frontier))
         return result
+
+    def _emit(self, stamp, kind, **payload):
+        if self.tracer is not None and getattr(self.tracer, "enabled",
+                                               False):
+            self.tracer.event(stamp, kind, **payload)
 
     def _load_report(self):
         if self.cache is None or not self.resume:

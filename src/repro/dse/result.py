@@ -14,9 +14,11 @@ deliberately *not* part of the result; they live on the
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Tuple
 
+from repro.envelope import check_schema, header, request_fingerprint
+
 __all__ = ["EXPLORE_SCHEMA", "ExploreResult", "PointEval"]
 
-EXPLORE_SCHEMA = "explore/1"
+EXPLORE_SCHEMA = "explore/2"
 
 
 @dataclass(frozen=True)
@@ -96,15 +98,29 @@ class ExploreResult:
         """The suite-wide frontier as :class:`PointEval` objects."""
         return tuple(self.point(index) for index in self.frontier)
 
-    def to_dict(self):
-        """JSON-ready payload; inverse of :meth:`from_dict`.
+    def fingerprint(self):
+        """The request fingerprint of this exploration.
 
-        Deterministic: key order is fixed here and nested dicts are
-        plain data, so ``json.dumps(..., sort_keys=True)`` of two
-        equal results is byte-identical.
+        A pure function of the request identity — (space, strategy,
+        seed, budgets, workloads) — so it can be recomputed from the
+        fields and never needs to be stored.  The job service dedupes
+        explore submissions on exactly this value.
         """
-        return {
-            "schema": self.schema,
+        return request_fingerprint(
+            "explore", space=self.space_fingerprint, strategy=self.strategy,
+            seed=self.seed, max_points=self.max_points,
+            workloads=list(self.workloads), instructions=self.instructions)
+
+    def to_dict(self):
+        """JSON-ready enveloped payload; inverse of :meth:`from_dict`.
+
+        Deterministic apart from the ``code_version`` header field (a
+        hash of the simulator sources): key order is fixed here and
+        nested dicts are plain data, so ``json.dumps(...,
+        sort_keys=True)`` of two equal results is byte-identical.
+        """
+        payload = header(self.schema, self.fingerprint())
+        payload.update({
             "space": self.space,
             "space_fingerprint": self.space_fingerprint,
             "strategy": self.strategy,
@@ -120,10 +136,12 @@ class ExploreResult:
                 for workload, indices in sorted(
                     self.frontier_by_workload.items())
             },
-        }
+        })
+        return payload
 
     @classmethod
     def from_dict(cls, payload):
+        check_schema(payload, "explore")
         return cls(
             schema=payload["schema"], space=payload["space"],
             space_fingerprint=payload["space_fingerprint"],

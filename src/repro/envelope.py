@@ -1,0 +1,85 @@
+"""The versioned envelope every stable result document shares.
+
+Every machine-readable document this repo emits — :func:`repro.api.simulate`
+/ :func:`~repro.api.sweep` / :func:`~repro.api.explore` /
+:func:`~repro.api.headroom` results, CLI ``--save`` files and the job
+service's payloads — carries the same three-field header::
+
+    {"schema":       "<family>/<major>",
+     "code_version":  <16-hex hash of every src/repro source file>,
+     "fingerprint":   <16-hex hash of the request identity>,
+     ...family-specific body...}
+
+``schema`` names the document family and its major version: a major bump
+means the body shape changed and old documents must not be deserialized
+silently.  ``code_version`` records the exact simulator sources that
+produced the numbers (:func:`repro.harness.cache.code_version_hash`).
+``fingerprint`` hashes the *request* identity — the config knobs for a
+single simulation, the whole (workload × config × budget) matrix for a
+sweep, the (space, strategy, seed, budget) tuple for an exploration —
+and is also what the job service dedupes concurrent submissions on.
+
+Two invariants the envelope keeps:
+
+* ``to_dict()`` bodies contain only deterministic data — provenance
+  (wall time, cache-hit counters, fault reports) lives outside the
+  default payload, so a cold run, a warm cache read and a journal
+  resume serialize **byte-identically** under :func:`canonical_json`.
+* ``from_dict()`` validates the schema family before touching the body,
+  so a payload from another family (or a future major version) raises
+  :class:`ValueError` instead of building a half-filled result.
+"""
+
+import hashlib
+import json
+
+from repro.harness.cache import code_version_hash
+
+__all__ = ["canonical_json", "check_schema", "header",
+           "request_fingerprint"]
+
+
+def header(schema, fingerprint):
+    """The three envelope header fields, in documented order."""
+    return {
+        "schema": schema,
+        "code_version": code_version_hash(),
+        "fingerprint": fingerprint,
+    }
+
+
+def check_schema(payload, family):
+    """Validate *payload*'s ``schema`` against a document *family*.
+
+    Returns the schema string.  Raises :class:`ValueError` when the
+    payload is not a dict, carries no schema, or belongs to a different
+    family — the caller never deserializes a foreign document.
+    """
+    schema = payload.get("schema") if isinstance(payload, dict) else None
+    if not isinstance(schema, str) or schema.split("/", 1)[0] != family:
+        raise ValueError(
+            f"not a {family!r} document (schema={schema!r})")
+    return schema
+
+
+def request_fingerprint(kind, **identity):
+    """A short stable hash of one request's identity.
+
+    *identity* values must be plain JSON data (strings, numbers, lists,
+    None); key order never matters, list order always does — a sweep of
+    the same points in a different display order is a different result
+    document, so it must be a different fingerprint.
+    """
+    blob = json.dumps([kind, sorted(identity.items())],
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def canonical_json(payload):
+    """The one canonical serialization of an enveloped payload.
+
+    Sorted keys, no whitespace: two equal payloads — e.g. the job
+    service's stored copy of a sweep and a direct ``api.sweep()`` of the
+    same matrix — produce byte-identical strings.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))

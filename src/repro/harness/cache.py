@@ -573,11 +573,12 @@ class ReportCache:
 def cache_usage(directory=None):
     """On-disk usage per category of a cache directory.
 
-    Returns ``{category: {"files": int, "bytes": int}}`` for the four
+    Returns ``{category: {"files": int, "bytes": int}}`` for the five
     stores a cache directory holds: simulation ``results`` (top-level
     ``*.json``), packed ``traces`` (``traces/*.rtrc``), sweep
-    ``journals`` (``journals/*.jsonl``) and analysis ``reports``
-    (``reports/*.json``).
+    ``journals`` (``journals/*.jsonl``), analysis ``reports``
+    (``reports/*.json``) and the service's job registry
+    (``jobs/*.json``).
     """
     if directory is None:
         directory = os.environ.get("REPRO_CACHE_DIR") or _DEFAULT_DIR
@@ -605,11 +606,13 @@ def cache_usage(directory=None):
         "traces": tally(os.path.join(directory, "traces"), ".rtrc"),
         "journals": tally(os.path.join(directory, "journals"), ".jsonl"),
         "reports": tally(os.path.join(directory, "reports"), ".json"),
+        "jobs": tally(os.path.join(directory, "jobs"), ".json"),
     }
 
 
 def clear_cache(directory=None,
-                categories=("results", "traces", "journals", "reports")):
+                categories=("results", "traces", "journals", "reports",
+                            "jobs")):
     """Delete cache entries by category; returns {category: removed_count}."""
     if directory is None:
         directory = os.environ.get("REPRO_CACHE_DIR") or _DEFAULT_DIR
@@ -619,6 +622,7 @@ def clear_cache(directory=None,
         "traces": (os.path.join(directory, "traces"), ".rtrc"),
         "journals": (os.path.join(directory, "journals"), ".jsonl"),
         "reports": (os.path.join(directory, "reports"), ".json"),
+        "jobs": (os.path.join(directory, "jobs"), ".json"),
     }
     removed = {}
     for category in categories:

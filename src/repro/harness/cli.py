@@ -13,6 +13,8 @@ Subcommands::
                                    attribution (also: headroom --all)
     harness cache info|clear|prune inspect / clear / LRU-cap the on-disk
                                    result + trace + journal stores
+    harness serve                  run the async job service (HTTP)
+    harness submit / poll          client side of a running service
 
 Every simulation-running subcommand shares one common flag set
 (``--jobs/--cache-dir/--no-cache/--instructions/--workloads/--save`` plus
@@ -21,8 +23,13 @@ Sweeps are journaled by default: an interrupted run re-invoked with the
 same command resumes from ``<cache-dir>/journals/`` with zero
 recomputation (see EXPERIMENTS.md).
 
-The historical bare spelling ``harness fig3`` keeps working through a
-deprecation shim that prints a single warning line.
+``--save`` files wear the unified envelope (:mod:`repro.envelope`):
+every document opens with ``schema``/``code_version``/``fingerprint``
+and sweep documents are exactly ``SweepResult.to_dict()`` plus the
+fault report as an explicit provenance field.
+
+The historical bare spelling ``harness fig3`` is retired (it warned for
+one release); it now exits with a pointer to ``harness run fig3``.
 
 Examples::
 
@@ -112,8 +119,7 @@ def _common_flags():
 
 
 def build_parser():
-    """The `run` subcommand parser (also serves the deprecated bare
-    ``harness <experiment>`` spelling)."""
+    """The `run` subcommand parser (also carries the top-level help)."""
     parser = argparse.ArgumentParser(
         prog="repro-harness",
         description="Regenerate the paper's tables and figures.",
@@ -229,19 +235,25 @@ def _print_stage_profile(runner, saved):
     print(format_table(
         f"Stage wall time — {runner.profiled_runs} simulated point(s)",
         ["stage", "seconds", "share"], rows))
-    saved["_stage_profile"] = {
+    saved["stage_profile"] = {
         "runs": runner.profiled_runs,
         "seconds": {k: round(v, 6) for k, v in profile.items()},
     }
 
 
 def _epilogue(runner, saved, args):
-    """Shared tail: fault report, --save, cache summary."""
+    """Shared tail: fault report, --save, cache summary.
+
+    *saved* is an enveloped payload dict; the fault report and stage
+    profile are added as explicit provenance fields (they legitimately
+    differ between cold and warm runs of the same request, unlike the
+    result body).
+    """
     _print_stage_profile(runner, saved)
     report = _fault_report_of(runner)
     if report is not None:
         print(f"[{report.summary()}]")
-        saved["_fault_report"] = report.to_dict()
+        saved["fault_report"] = report.to_dict()
     if args.save:
         with open(args.save, "w") as handle:
             json.dump(saved, handle, indent=2)
@@ -266,8 +278,9 @@ def _cache_main(argv):
         prog="repro-harness cache",
         description="Inspect and manage the on-disk cache: simulation "
                     "results (*.json), packed traces (traces/*.rtrc), "
-                    "sweep journals (journals/*.jsonl) and analysis "
-                    "reports (reports/*.json).")
+                    "sweep journals (journals/*.jsonl), analysis "
+                    "reports (reports/*.json) and the service job "
+                    "registry (jobs/*.json).")
     sub = parser.add_subparsers(dest="action", required=True)
     location = argparse.ArgumentParser(add_help=False)
     location.add_argument("--cache-dir", type=str, default=None,
@@ -289,6 +302,8 @@ def _cache_main(argv):
                        help="only the sweep journals")
     clear.add_argument("--reports", action="store_true",
                        help="only the cached analysis reports")
+    clear.add_argument("--jobs", action="store_true",
+                       help="only the service job registry")
     prune = sub.add_parser(
         "prune", parents=[location],
         help="evict least-recently-used traces down to a size cap")
@@ -302,18 +317,18 @@ def _cache_main(argv):
         if args.json:
             print(json.dumps(usage, indent=2, sort_keys=True))
             return 0
-        for category in ("results", "traces", "journals", "reports"):
+        for category in ("results", "traces", "journals", "reports",
+                         "jobs"):
             entry = usage[category]
             print(f"{category:9s} {entry['files']:5d} files  "
                   f"{_format_bytes(entry['bytes'])}")
         return 0
     if args.action == "clear":
-        chosen = [name for name in ("results", "traces", "journals",
-                                    "reports")
-                  if getattr(args, name)]
+        all_categories = ("results", "traces", "journals", "reports",
+                          "jobs")
+        chosen = [name for name in all_categories if getattr(args, name)]
         removed = clear_cache(args.cache_dir,
-                              categories=chosen or ("results", "traces",
-                                                    "journals", "reports"))
+                              categories=chosen or all_categories)
         for category, count in removed.items():
             print(f"cleared {count} {category} entries")
         return 0
@@ -340,19 +355,26 @@ def _run_main(argv):
         return 2
     runner = _runner_from_args(args, parser,
                                label="run:" + ",".join(sorted(names)))
-    saved = {}
+    experiments = {}
     for name in names:
         started = time.time()
         result = EXPERIMENTS[name](runner)
         result.print()
         print(f"[{name} completed in {time.time() - started:.1f}s]\n")
-        saved[name] = {
+        experiments[name] = {
             "title": result.title,
             "headers": result.headers,
             "rows": _jsonable(result.rows),
             "notes": result.notes,
             "raw": _jsonable(result.raw),
         }
+    from repro.envelope import header, request_fingerprint
+
+    saved = header("harness-run/1", request_fingerprint(
+        "run", experiments=sorted(names),
+        workloads=[w.name for w in runner.workloads],
+        instructions=args.instructions))
+    saved.update({"command": "run", "experiments": experiments})
     _epilogue(runner, saved, args)
     return 0
 
@@ -383,16 +405,14 @@ def _sweep_main(argv):
     print(format_table("Sweep — IPC per (workload, config)",
                        ["workload"] + configs, rows))
     print(f"[sweep completed in {time.time() - started:.1f}s]\n")
-    saved = {
-        "meta": {
-            "configs": configs,
-            "workloads": [w.name for w in runner.workloads],
-            "instructions": args.instructions,
-        },
-        "results": {name: {workload: record.to_dict()
-                           for workload, record in by_workload.items()}
-                    for name, by_workload in results.items()},
-    }
+    # The saved document is exactly the api.sweep() envelope (sweep/2):
+    # one assembly helper serves the CLI and the facade, so a --save
+    # file, an api.sweep().to_dict() and a service result body only
+    # differ by the provenance fields _epilogue appends.
+    from repro.api import sweep_result_from_records
+
+    saved = sweep_result_from_records(runner, results, configs,
+                                      args.instructions).to_dict()
     _epilogue(runner, saved, args)
     return 0
 
@@ -482,6 +502,12 @@ def main(argv=None):
         return trace_main(argv)
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
+    if argv and argv[0] in ("serve", "submit", "poll"):
+        # The job service: `harness serve` runs it, `harness submit` and
+        # `harness poll` talk to a running instance over HTTP.
+        from repro.service.cli import main as service_main
+
+        return service_main(argv)
     if argv and argv[0] == "sweep":
         return _sweep_main(argv[1:])
     if argv and argv[0] == "explore":
@@ -489,12 +515,15 @@ def main(argv=None):
     if argv and argv[0] == "run":
         return _run_main(argv[1:])
     if argv and not argv[0].startswith("-"):
-        # Deprecated bare spelling `harness fig3` — keep it working, but
-        # say so exactly once per invocation.
+        # The pre-PR-4 bare spelling `harness fig3` is retired after its
+        # deprecation release (see README "Deprecation policy").
+        hint = ""
         if argv[0] in EXPERIMENTS or argv[0] == "all":
-            print("warning: bare `harness <experiment>` is deprecated; "
-                  "use `harness run <experiment>`", file=sys.stderr)
-        return _run_main(argv)
+            hint = (f"; the bare experiment spelling was removed — "
+                    f"use `harness run {argv[0]}`")
+        print(f"error: unknown subcommand {argv[0]!r}{hint}",
+              file=sys.stderr)
+        return 2
     # No subcommand (or just -h/--help): the run parser carries the help.
     build_parser().parse_args(argv)
     return 2

@@ -488,6 +488,7 @@ class OrchestratedRunner(ExperimentRunner):
         self._journal_admitted = set()   # keys admitted from replay
         self._active_report = None
         self._fault_plan = None          # parsed lazily from the env
+        self._sweep_started = 0.0        # monotonic() at run_all entry
 
     # -- journaling ----------------------------------------------------------------
     def _ensure_journal(self):
@@ -553,7 +554,22 @@ class OrchestratedRunner(ExperimentRunner):
                                 self.budget_for(workload), record.stats)
             if self._active_report is not None:
                 self._active_report.completed_serial += 1
+                self._emit_point(workload.name, config_name, "serial")
         return record
+
+    def _emit_point(self, workload_name, config_name, source):
+        """One ``point_done`` event on the sweep's wall-clock axis.
+
+        The pool path narrates its points from inside :meth:`_fan_out`;
+        this covers every other way a sweep point resolves (memo,
+        journal replay, disk cache, serial in-parent computation), so an
+        event feed sees *every* point of a ``run_all`` exactly once —
+        including on one-core hosts where the pool never engages.
+        """
+        self.tracer.event(round(monotonic() - self._sweep_started, 3),
+                          "point_done",
+                          point=f"{workload_name}/{config_name}",
+                          source=source)
 
     # -- trace distribution --------------------------------------------------------
     def _trace_blob_of(self, workload):
@@ -641,6 +657,7 @@ class OrchestratedRunner(ExperimentRunner):
         self.fault_reports.append(report)
         self._active_report = report
         started = monotonic()
+        self._sweep_started = started
         trace_hits_base = (self.trace_cache.hits
                            if self.trace_cache is not None else 0)
         trace_emu_base = self.trace_emulations
@@ -654,8 +671,10 @@ class OrchestratedRunner(ExperimentRunner):
                     if key in self._results:
                         if key in self._journal_admitted:
                             report.from_journal += 1
+                            self._emit_point(workload.name, name, "journal")
                         else:
                             report.from_memo += 1
+                            self._emit_point(workload.name, name, "memo")
                         continue
                     budget = self.budget_for(workload)
                     if self.cache is not None:
@@ -668,6 +687,7 @@ class OrchestratedRunner(ExperimentRunner):
                             self._journal_point(workload.name, name,
                                                 fingerprint, budget, stats)
                             report.from_cache += 1
+                            self._emit_point(workload.name, name, "cache")
                             continue
                     pending.append((workload, name, fingerprint))
             if pending and self._worker_target(len(pending)) > 1:
@@ -750,7 +770,8 @@ class OrchestratedRunner(ExperimentRunner):
             self._journal_point(point.workload.name, point.config_name,
                                 point.fingerprint, point.budget, stats)
             report.completed_pool += 1
-            emit("point_done", point=point.label, attempts=point.attempts)
+            emit("point_done", point=point.label, attempts=point.attempts,
+                 source="pool")
             if self.verbose:
                 print(f"    ran {point.workload.name} / {point.config_name}: "
                       f"IPC={record.ipc:.3f}  [worker]")

@@ -1,0 +1,30 @@
+"""Sweep-as-a-service: an async job API over the orchestrator.
+
+The batch backend (work-stealing orchestrator, durable journals,
+content-addressed simulation/trace/report caches) gets a serving layer:
+
+* :class:`~repro.service.core.JobSpec` — a content-hashed experiment
+  request (a sweep matrix or a DSE exploration), validated eagerly.
+* :class:`~repro.service.core.JobManager` — the in-process engine:
+  dedupes identical concurrent submissions onto one execution, serves
+  warm requests straight from the report cache with zero simulations,
+  bridges orchestrator/explorer events into per-job feeds, and records
+  every job durably under ``<cache-dir>/jobs/`` so a killed service
+  resumes its in-flight work from the sweep journal on restart.
+* :mod:`~repro.service.http` — the stdlib HTTP surface
+  (``harness serve``): submit, status, long-poll events, streamed
+  progress, and result bytes served in canonical JSON.
+* :class:`~repro.service.client.ServiceClient` — the urllib client the
+  ``harness submit``/``harness poll`` subcommands wrap.
+
+The same four verbs are mirrored in-process by :func:`repro.api.submit`
+/ ``status`` / ``result`` / ``events``, so notebooks get the dedupe and
+caching without a socket.
+"""
+
+from repro.service.core import (Job, JobManager, JobSpec,  # noqa: F401
+                                ServiceError)
+from repro.service.jobs import JOB_SCHEMA, JobRegistry     # noqa: F401
+
+__all__ = ["JOB_SCHEMA", "Job", "JobManager", "JobRegistry", "JobSpec",
+           "ServiceError"]

@@ -1,0 +1,221 @@
+"""``harness serve`` / ``submit`` / ``poll`` — the service CLI.
+
+``serve`` runs the job service in the foreground (recovering any jobs a
+previous instance left mid-flight); ``submit`` and ``poll`` are the
+client side, built on :class:`~repro.service.client.ServiceClient`::
+
+    harness serve --port 8787 &
+    harness submit --url http://127.0.0.1:8787 \\
+        --workloads hash_loop,permute --configs baseline,tvp \\
+        --instructions 20000 --wait --save sweep.json
+    harness poll <job-key> --url http://127.0.0.1:8787 --events
+
+``submit --wait`` blocks on server-side long-polls (no client
+busy-wait) and ``--save`` writes the service's canonical result bytes
+verbatim — byte-identical to ``api.sweep()`` serialized directly.
+"""
+
+import argparse
+import json
+import sys
+
+__all__ = ["main", "poll_main", "serve_main", "submit_main"]
+
+DEFAULT_URL = "http://127.0.0.1:8787"
+
+
+def build_serve_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-harness serve",
+        description="Run the async sweep/exploration job service.")
+    parser.add_argument("--host", type=str, default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8787,
+                        help="listen port (0 picks a free one; "
+                             "default: %(default)s)")
+    parser.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
+                        help="cache + job-registry location (default: "
+                             ".repro-cache, or $REPRO_CACHE_DIR)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="orchestrator workers per executing job "
+                             "(default: all cores)")
+    parser.add_argument("--max-active", type=int, default=1, metavar="N",
+                        help="jobs executing concurrently; the rest "
+                             "queue (default: %(default)s)")
+    parser.add_argument("--resume", default=True,
+                        action=argparse.BooleanOptionalAction,
+                        help="recover registry jobs and resume journals "
+                             "on startup (--no-resume starts cold)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every HTTP request")
+    return parser
+
+
+def serve_main(argv):
+    from repro.service.core import JobManager
+    from repro.service.http import serve
+
+    args = build_serve_parser().parse_args(argv)
+    manager = JobManager(cache_dir=args.cache_dir, jobs=args.jobs,
+                         resume=args.resume, max_active=args.max_active)
+    try:
+        serve(manager, host=args.host, port=args.port,
+              verbose=args.verbose)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _client_flags():
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--url", type=str, default=DEFAULT_URL,
+                        help="service base URL (default: %(default)s)")
+    common.add_argument("--save", type=str, default=None, metavar="FILE",
+                        help="write the result's canonical JSON bytes "
+                             "verbatim")
+    common.add_argument("--poll", type=float, default=30.0, metavar="SEC",
+                        help="long-poll turn length while waiting "
+                             "(default: %(default)s)")
+    return common
+
+
+def build_submit_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-harness submit",
+        description="Submit an experiment matrix to a running service.",
+        parents=[_client_flags()])
+    parser.add_argument("--kind", type=str, default="sweep",
+                        choices=("sweep", "explore"))
+    parser.add_argument("--workloads", type=str, default=None,
+                        help="comma-separated workload names "
+                             "(default: the whole suite)")
+    parser.add_argument("--configs", type=str, default=None,
+                        help="comma-separated named configs (sweep only; "
+                             "default: baseline,mvp,tvp,gvp)")
+    parser.add_argument("--instructions", type=int, default=None)
+    parser.add_argument("--space", type=str, default="smoke",
+                        help="parameter space (explore only)")
+    parser.add_argument("--strategy", type=str, default="grid")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--max-points", type=int, default=0)
+    parser.add_argument("--wait", action="store_true",
+                        help="block until the job finishes and print a "
+                             "one-line result summary")
+    return parser
+
+
+def _spec_payload(args):
+    payload = {"kind": args.kind, "instructions": args.instructions}
+    if args.workloads:
+        payload["workloads"] = [name.strip()
+                                for name in args.workloads.split(",")
+                                if name.strip()]
+    if args.kind == "sweep":
+        if args.configs:
+            payload["configs"] = [name.strip()
+                                  for name in args.configs.split(",")
+                                  if name.strip()]
+    else:
+        payload.update({"space": args.space, "strategy": args.strategy,
+                        "seed": args.seed, "max_points": args.max_points})
+    return payload
+
+
+def _summarize(payload):
+    schema = payload.get("schema", "?")
+    if schema.startswith("sweep"):
+        return (f"sweep {payload['fingerprint']}: "
+                f"{len(payload['workloads'])} workloads x "
+                f"{len(payload['configs'])} configs")
+    if schema.startswith("explore"):
+        return (f"explore {payload['fingerprint']}: "
+                f"{len(payload['points'])} points, "
+                f"{len(payload['frontier'])} on the frontier")
+    return f"{schema} result"
+
+
+def _finish(client, key, args):
+    """Shared --wait/--save tail of submit and poll."""
+    raw = client.wait(key, poll=args.poll)
+    if args.save:
+        with open(args.save, "wb") as handle:
+            handle.write(raw)
+        print(f"[result saved to {args.save}]")
+    print(f"[{_summarize(json.loads(raw))}]")
+
+
+def submit_main(argv):
+    from repro.service.client import ServiceClient, ServiceHTTPError
+
+    parser = build_submit_parser()
+    args = parser.parse_args(argv)
+    client = ServiceClient(args.url)
+    try:
+        receipt = client.submit(_spec_payload(args))
+        print(json.dumps(receipt, sort_keys=True))
+        if args.wait or args.save:
+            _finish(client, receipt["job"], args)
+    except ServiceHTTPError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def build_poll_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-harness poll",
+        description="Check on (or wait for) a submitted job.",
+        parents=[_client_flags()])
+    parser.add_argument("job", help="the job key from `harness submit`")
+    parser.add_argument("--events", action="store_true",
+                        help="follow the job's event feed until it "
+                             "finishes (one JSON line per event)")
+    parser.add_argument("--wait", action="store_true",
+                        help="block until the job finishes")
+    return parser
+
+
+def poll_main(argv):
+    from repro.service.client import ServiceClient, ServiceHTTPError
+
+    parser = build_poll_parser()
+    args = parser.parse_args(argv)
+    client = ServiceClient(args.url)
+    try:
+        if args.events:
+            after, done = 0, False
+            while not done:
+                events, after, done = client.events(args.job, after=after,
+                                                    timeout=args.poll)
+                for event in events:
+                    print(json.dumps(event, sort_keys=True))
+        else:
+            print(json.dumps(client.status(args.job), indent=2,
+                             sort_keys=True))
+        if args.wait or args.save:
+            _finish(client, args.job, args)
+    except ServiceHTTPError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "submit":
+        return submit_main(argv[1:])
+    if argv and argv[0] == "poll":
+        return poll_main(argv[1:])
+    print("usage: repro-harness {serve|submit|poll} ...", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

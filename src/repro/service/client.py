@@ -1,0 +1,122 @@
+"""A urllib client for the job service (``harness submit``/``poll``).
+
+Thin by design: every method is one HTTP round-trip, payloads are the
+wire dicts, and :meth:`ServiceClient.wait` blocks *server-side* (the
+``?timeout=`` long-poll) rather than sleeping client-side, so a result
+arrives the moment the job finishes.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+__all__ = ["ServiceClient", "ServiceHTTPError"]
+
+
+class ServiceHTTPError(RuntimeError):
+    """A non-2xx response; carries the status and decoded error body."""
+
+    def __init__(self, status, payload):
+        self.status = status
+        self.payload = payload
+        message = payload.get("error", payload) \
+            if isinstance(payload, dict) else payload
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class ServiceClient:
+    """Talk to one ``harness serve`` instance at *base_url*."""
+
+    def __init__(self, base_url):
+        self.base_url = base_url.rstrip("/")
+
+    # -- plumbing --------------------------------------------------------------------
+    def _request(self, path, body=None, timeout=None):
+        """One round-trip; returns ``(status, raw_bytes)``."""
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=None if body is None else json.dumps(body).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST" if body is not None else "GET")
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as reply:
+                return reply.status, reply.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read()
+
+    def _json(self, path, body=None, timeout=None, ok=(200,)):
+        status, raw = self._request(path, body=body, timeout=timeout)
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            payload = {"error": raw.decode(errors="replace")}
+        if status not in ok:
+            raise ServiceHTTPError(status, payload)
+        return payload
+
+    @staticmethod
+    def _poll_args(after=None, timeout=None):
+        parts = []
+        if after is not None:
+            parts.append(f"after={int(after)}")
+        if timeout is not None:
+            parts.append(f"timeout={float(timeout)}")
+        return "?" + "&".join(parts) if parts else ""
+
+    # -- the four verbs --------------------------------------------------------------
+    def submit(self, spec_payload):
+        """POST a job-spec dict; returns the submission receipt."""
+        return self._json("/v1/jobs", body=spec_payload)
+
+    def status(self, key):
+        return self._json(f"/v1/jobs/{key}")
+
+    def result_bytes(self, key, timeout=None):
+        """The canonical result bytes, or None while still running.
+
+        *timeout* blocks server-side; the socket allows 10 extra
+        seconds so the HTTP deadline never fires first.
+        """
+        socket_timeout = None if timeout is None else float(timeout) + 10.0
+        status, raw = self._request(
+            f"/v1/jobs/{key}/result" + self._poll_args(timeout=timeout),
+            timeout=socket_timeout)
+        if status == 200:
+            return raw
+        if status == 202:
+            return None
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            payload = {"error": raw.decode(errors="replace")}
+        raise ServiceHTTPError(status, payload)
+
+    def result(self, key, timeout=None):
+        """The result payload dict, or None while still running."""
+        raw = self.result_bytes(key, timeout=timeout)
+        return None if raw is None else json.loads(raw)
+
+    def events(self, key, after=0, timeout=None):
+        """One long-poll turn: ``(events, next_index, done)``."""
+        socket_timeout = None if timeout is None else float(timeout) + 10.0
+        payload = self._json(
+            f"/v1/jobs/{key}/events" + self._poll_args(after, timeout),
+            timeout=socket_timeout)
+        return payload["events"], payload["next"], payload["done"]
+
+    def wait(self, key, poll=30.0):
+        """Block until the job finishes; returns the result bytes.
+
+        Loops server-side long-polls of *poll* seconds each, so there is
+        no client-side sleeping and no busy-wait.
+        """
+        while True:
+            raw = self.result_bytes(key, timeout=poll)
+            if raw is not None:
+                return raw
+
+    def jobs(self):
+        return self._json("/v1/jobs")["jobs"]
+
+    def healthz(self):
+        return self._json("/healthz")

@@ -1,0 +1,516 @@
+"""The job engine: specs, dedupe, event feeds, crash recovery.
+
+:class:`JobManager` is the whole service minus the socket — the HTTP
+layer (:mod:`repro.service.http`) and the in-process facade
+(:func:`repro.api.submit` and friends) are both thin shims over it.
+
+The amortization ladder one submission walks, cheapest rung first:
+
+1. **in-flight dedupe** — an active job with the same content hash
+   absorbs the submission (N concurrent clients, one execution);
+2. **the report cache** — a finished result stored under the job key
+   (which folds in the code version) completes the job instantly with
+   zero simulations;
+3. **execution** — ``api.sweep()``/``api.explore()`` on a worker
+   thread, which itself resolves every point through the simulation
+   cache and the sweep journal before simulating anything.
+
+The journal path is a pure function of the job spec, so a service
+killed mid-sweep and restarted resumes exactly where the fsync'd
+journal ends and the merged result is byte-identical to an
+uninterrupted run — the registry (:mod:`repro.service.jobs`) only
+remembers *which* jobs to resubmit, never their data.
+"""
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.envelope import canonical_json, request_fingerprint
+from repro.harness.cache import (ReportCache, SimulationCache,
+                                 code_version_hash)
+from repro.harness.orchestrator import default_journal_path
+from repro.observability.sweep import SweepEventLog
+from repro.service.jobs import JobRegistry
+
+__all__ = ["Job", "JobManager", "JobSpec", "ServiceError"]
+
+_STATES = ("queued", "running", "done", "failed")
+
+
+class ServiceError(ValueError):
+    """A request the service rejects (HTTP 400): bad spec, bad names."""
+
+
+class JobNotFound(KeyError):
+    """No such job key (HTTP 404)."""
+
+
+class JobFailed(RuntimeError):
+    """The job ran and failed; ``str(exc)`` is the recorded error."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One content-hashed experiment request, validated at construction.
+
+    Build through :meth:`sweep` / :meth:`explore` (or :meth:`from_dict`
+    for wire payloads): they normalize the request — workloads resolve
+    to concrete suite names, an explore budget of 0 becomes the space
+    size — so two spellings of the same experiment hash identically and
+    coalesce into one job.
+    """
+
+    kind: str                        # "sweep" | "explore"
+    workloads: Tuple[str, ...]
+    instructions: Optional[int] = None
+    configs: Tuple[str, ...] = ()    # sweep only
+    space: str = ""                  # explore only: a built-in space name
+    strategy: str = ""
+    seed: int = 1
+    max_points: int = 0
+
+    @classmethod
+    def sweep(cls, workloads=None, configs=None, instructions=None):
+        if configs is None:
+            configs = ("baseline", "mvp", "tvp", "gvp")
+        config_names = _normalize_names(configs, "configs")
+        if not config_names:
+            raise ServiceError("a sweep needs at least one config")
+        from repro.harness.runner import ExperimentRunner
+
+        for name in config_names:
+            try:
+                ExperimentRunner.config(name)
+            except KeyError as exc:
+                raise ServiceError(str(exc)) from None
+        return cls(kind="sweep", workloads=_resolve_workloads(workloads),
+                   configs=config_names,
+                   instructions=_normalize_budget(instructions))
+
+    @classmethod
+    def explore(cls, space="smoke", strategy="grid", seed=1, max_points=0,
+                workloads=None, instructions=None):
+        from repro.dse.space import get_space, space_names
+        from repro.dse.strategies import strategy_names
+
+        space = str(space)
+        if space not in space_names():
+            raise ServiceError(f"unknown space {space!r} "
+                               f"(choose from {space_names()})")
+        strategy = str(strategy)
+        if strategy not in strategy_names():
+            raise ServiceError(f"unknown strategy {strategy!r} "
+                               f"(choose from {strategy_names()})")
+        size = get_space(space).size()
+        max_points = int(max_points)
+        max_points = size if max_points <= 0 else min(max_points, size)
+        return cls(kind="explore", workloads=_resolve_workloads(workloads),
+                   instructions=_normalize_budget(instructions),
+                   space=space, strategy=strategy, seed=int(seed),
+                   max_points=max_points)
+
+    def fingerprint(self):
+        """The request-identity hash; what submissions dedupe on.
+
+        For explorations this matches
+        :meth:`repro.dse.result.ExploreResult.fingerprint` exactly, so
+        a job's stored payload carries the same fingerprint the spec
+        hashed to.
+        """
+        if self.kind == "sweep":
+            from repro.api import sweep_fingerprint
+
+            return sweep_fingerprint(self.workloads, self.configs,
+                                     self.instructions)
+        from repro.dse.space import get_space
+
+        return request_fingerprint(
+            "explore", space=get_space(self.space).fingerprint(),
+            strategy=self.strategy, seed=self.seed,
+            max_points=self.max_points, workloads=list(self.workloads),
+            instructions=self.instructions)
+
+    def job_key(self):
+        """The job identity: request fingerprint x simulator sources.
+
+        Folding in the code version means an edited simulator never
+        serves a stale cached result — the same request simply becomes
+        a fresh job under a fresh key.
+        """
+        blob = f"{self.kind}:{self.fingerprint()}:{code_version_hash()}"
+        return (self.kind + "-"
+                + hashlib.sha256(blob.encode()).hexdigest()[:20])
+
+    def journal_path(self, cache_dir):
+        """Where this job's sweep journal lives — a pure function of the
+        spec, so a restarted service resumes its predecessor's file."""
+        if self.kind != "sweep":
+            return None
+        return default_journal_path(cache_dir, self.workloads,
+                                    self.instructions,
+                                    "service:" + ",".join(self.configs))
+
+    def to_dict(self):
+        """JSON-ready payload; inverse of :meth:`from_dict`."""
+        payload = {"kind": self.kind, "workloads": list(self.workloads),
+                   "instructions": self.instructions}
+        if self.kind == "sweep":
+            payload["configs"] = list(self.configs)
+        else:
+            payload.update({"space": self.space, "strategy": self.strategy,
+                            "seed": self.seed,
+                            "max_points": self.max_points})
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload):
+        if not isinstance(payload, dict):
+            raise ServiceError("job spec must be a JSON object")
+        kind = payload.get("kind", "sweep")
+        if kind == "sweep":
+            return cls.sweep(workloads=payload.get("workloads"),
+                             configs=payload.get("configs"),
+                             instructions=payload.get("instructions"))
+        if kind == "explore":
+            return cls.explore(space=payload.get("space", "smoke"),
+                               strategy=payload.get("strategy", "grid"),
+                               seed=payload.get("seed", 1),
+                               max_points=payload.get("max_points", 0),
+                               workloads=payload.get("workloads"),
+                               instructions=payload.get("instructions"))
+        raise ServiceError(f"unknown job kind {kind!r}")
+
+
+def _normalize_names(names, what):
+    if isinstance(names, str):
+        names = [part.strip() for part in names.split(",") if part.strip()]
+    try:
+        return tuple(str(name) for name in names)
+    except TypeError:
+        raise ServiceError(f"{what} must be a list of names") from None
+
+
+def _resolve_workloads(workloads):
+    from repro.workloads import get_workload, suite
+
+    if workloads is None:
+        return tuple(w.name for w in suite())
+    names = _normalize_names(workloads, "workloads")
+    if not names:
+        raise ServiceError("name at least one workload (or omit for "
+                           "the whole suite)")
+    for name in names:
+        try:
+            get_workload(name)
+        except KeyError as exc:
+            raise ServiceError(str(exc)) from None
+    return names
+
+
+def _normalize_budget(instructions):
+    if instructions is None:
+        return None
+    instructions = int(instructions)
+    if instructions < 1:
+        raise ServiceError("instructions must be >= 1")
+    return instructions
+
+
+class Job:
+    """One submitted experiment: state, event feed, result payload.
+
+    All mutable state is guarded by ``cond`` (one lock per job);
+    waiters — long-polling event readers, blocking ``result()`` calls —
+    park on the same condition and wake on every append/transition.
+    """
+
+    def __init__(self, spec, key):
+        self.spec = spec
+        self.key = key
+        self.cond = threading.Condition()
+        self.state = "queued"
+        self.events = []                 # [{"stamp", "kind", "data"}]
+        self.result_payload = None       # enveloped dict once done
+        self.fault_report = None         # sweep provenance, per execution
+        self.error = None
+        self.submissions = 1
+
+    @property
+    def done(self):
+        return self.state in ("done", "failed")
+
+    def receipt(self):
+        """What a submission returns (the POST /v1/jobs body)."""
+        with self.cond:
+            return {"job": self.key, "kind": self.spec.kind,
+                    "state": self.state,
+                    "fingerprint": self.spec.fingerprint(),
+                    "submissions": self.submissions}
+
+    def status(self, journal=None):
+        with self.cond:
+            status = {"job": self.key, "kind": self.spec.kind,
+                      "state": self.state,
+                      "fingerprint": self.spec.fingerprint(),
+                      "spec": self.spec.to_dict(),
+                      "submissions": self.submissions,
+                      "events": len(self.events),
+                      "fault_report": self.fault_report,
+                      "error": self.error}
+            if journal is not None:
+                status["journal"] = journal
+            return status
+
+    def append_event(self, stamp, kind, data):
+        with self.cond:
+            self.events.append({"stamp": stamp, "kind": kind,
+                                "data": dict(data)})
+            self.cond.notify_all()
+
+    def transition(self, state, *, result=None, error=None):
+        assert state in _STATES
+        with self.cond:
+            self.state = state
+            if result is not None:
+                self.result_payload = result
+            if error is not None:
+                self.error = error
+            self.cond.notify_all()
+
+
+class _JobEventFeed(SweepEventLog):
+    """Bridges orchestrator/explorer events into one job's feed."""
+
+    def __init__(self, job):
+        super().__init__()
+        self.job = job
+
+    def event(self, cycle, kind, **payload):
+        super().event(cycle, kind, **payload)
+        self.job.append_event(cycle, kind, payload)
+
+
+class JobManager:
+    """The in-process service engine; see the module docstring.
+
+    ``jobs`` is the orchestrator worker bound per executing job;
+    ``max_active`` caps how many jobs execute concurrently (excess jobs
+    queue on a semaphore).  ``resume=False`` disables both journal
+    resume and registry recovery — for tests that need guaranteed-cold
+    runs.
+    """
+
+    def __init__(self, cache_dir=None, jobs=None, resume=True,
+                 max_active=1):
+        registry = JobRegistry(cache_dir)
+        self.cache_dir = registry.cache_dir
+        self.registry = registry
+        self.jobs_per_run = jobs
+        self.resume = bool(resume)
+        self._lock = threading.Lock()
+        self._jobs = {}                  # key -> Job
+        self._slots = threading.Semaphore(max(1, int(max_active)))
+        self._threads = []
+        # Provenance counters (the service's own, never in results).
+        self.executions = 0              # sweeps/explorations actually run
+        self.deduped = 0                 # submissions absorbed by a live job
+        self.served_warm = 0             # completed straight from the cache
+
+    # -- submission ------------------------------------------------------------------
+    def submit(self, spec):
+        """Submit one :class:`JobSpec`; returns its :class:`Job`.
+
+        Walks the amortization ladder under the manager lock, so two
+        racing identical submissions cannot both reach execution.
+        """
+        key = spec.job_key()
+        with self._lock:
+            job = self._jobs.get(key)
+            if job is not None:
+                with job.cond:
+                    job.submissions += 1
+                    restart = job.state == "failed"
+                    if not restart:
+                        if job.done:
+                            self.served_warm += 1
+                        else:
+                            self.deduped += 1
+                if not restart:
+                    return job
+                # A failed job is retried on resubmission: fall through
+                # to a fresh execution under the same key.
+            job = self._jobs.get(key)
+            submissions = job.submissions if job is not None else 1
+            job = Job(spec, key)
+            job.submissions = submissions
+            self._jobs[key] = job
+            payload = self._load_cached(spec, key)
+            if payload is not None:
+                self.served_warm += 1
+                job.append_event(0, "job_cached", {"job": key})
+                job.transition("done", result=payload)
+                self._persist(job)
+                return job
+            job.append_event(0, "job_queued", {"job": key,
+                                               "kind": spec.kind})
+            self._persist(job)
+            thread = threading.Thread(target=self._execute, args=(job,),
+                                      daemon=True)
+            self._threads.append(thread)
+            thread.start()
+            return job
+
+    def _load_cached(self, spec, key):
+        if not self.resume:
+            return None
+        payload = ReportCache(self.cache_dir).load(key)
+        if isinstance(payload, dict) \
+                and str(payload.get("schema", "")).startswith(spec.kind):
+            return payload
+        return None
+
+    def _persist(self, job):
+        self.registry.save({
+            "key": job.key, "kind": job.spec.kind, "state": job.state,
+            "fingerprint": job.spec.fingerprint(),
+            "code_version": code_version_hash(),
+            "spec": job.spec.to_dict(), "error": job.error,
+            "submissions": job.submissions,
+        })
+
+    # -- execution -------------------------------------------------------------------
+    def _execute(self, job):
+        with self._slots:
+            job.transition("running")
+            self._persist(job)
+            job.append_event(0, "job_started", {"job": job.key})
+            self.executions += 1
+            feed = _JobEventFeed(job)
+            try:
+                payload = self._run(job.spec, feed, job)
+            except Exception as exc:       # recorded, surfaced via status
+                job.append_event(0, "job_failed",
+                                 {"job": job.key, "error": str(exc)})
+                job.transition("failed", error=f"{type(exc).__name__}: "
+                                               f"{exc}")
+                self._persist(job)
+                return
+            ReportCache(self.cache_dir).store(job.key, payload)
+            job.append_event(0, "job_done", {"job": job.key})
+            job.transition("done", result=payload)
+            self._persist(job)
+
+    def _run(self, spec, feed, job):
+        """Execute one spec through the public API; returns the
+        enveloped payload dict."""
+        from repro import api
+
+        cache = SimulationCache(self.cache_dir)
+        if spec.kind == "sweep":
+            result = api.sweep(
+                list(spec.workloads), spec.configs,
+                instructions=spec.instructions, jobs=self.jobs_per_run,
+                cache=cache, journal=spec.journal_path(self.cache_dir),
+                resume=self.resume, tracer=feed)
+            with job.cond:
+                job.fault_report = result.fault_report
+            return result.to_dict()
+        result = api.explore(
+            space=spec.space, strategy=spec.strategy,
+            workloads=list(spec.workloads), instructions=spec.instructions,
+            seed=spec.seed, max_points=spec.max_points,
+            jobs=self.jobs_per_run or 1, cache=cache,
+            journal=True, resume=self.resume, tracer=feed)
+        return result.to_dict()
+
+    # -- recovery --------------------------------------------------------------------
+    def recover(self):
+        """Resubmit every job a dead service left mid-flight.
+
+        Returns the resubmitted :class:`Job` objects.  Specs re-hash
+        under the *current* code version — if the sources changed since
+        the crash the old registry record is dropped (its journal, keyed
+        by spec not code, still accelerates the fresh run).
+        """
+        if not self.resume:
+            return []
+        recovered = []
+        for record in self.registry.unfinished():
+            try:
+                spec = JobSpec.from_dict(record.get("spec"))
+            except ServiceError:
+                self.registry.delete(record["key"])
+                continue
+            job = self.submit(spec)
+            if job.key != record["key"]:
+                self.registry.delete(record["key"])
+            recovered.append(job)
+        return recovered
+
+    # -- the read side ---------------------------------------------------------------
+    def _job(self, key):
+        with self._lock:
+            job = self._jobs.get(key)
+        if job is None:
+            raise JobNotFound(key)
+        return job
+
+    def status(self, key):
+        job = self._job(key)
+        return job.status(journal=job.spec.journal_path(self.cache_dir))
+
+    def list_jobs(self):
+        with self._lock:
+            jobs = sorted(self._jobs.values(), key=lambda j: j.key)
+        return [{"job": job.key, "kind": job.spec.kind, "state": job.state,
+                 "submissions": job.submissions} for job in jobs]
+
+    def result(self, key, timeout=None):
+        """The finished job's payload dict; None while still running.
+
+        Blocks up to *timeout* seconds (None = forever) for completion;
+        raises :class:`JobFailed` for a failed job.
+        """
+        job = self._job(key)
+        with job.cond:
+            job.cond.wait_for(lambda: job.done, timeout)
+            if job.state == "failed":
+                raise JobFailed(job.error or "job failed")
+            return job.result_payload
+
+    def result_bytes(self, key, timeout=None):
+        """The canonical-JSON bytes of the result (the HTTP body).
+
+        This is the byte-identity contract: these bytes equal
+        ``canonical_json(api.sweep(...).to_dict()).encode()`` for the
+        same matrix, whether the job executed, resumed or came warm
+        from the cache.
+        """
+        payload = self.result(key, timeout=timeout)
+        if payload is None:
+            return None
+        return canonical_json(payload).encode()
+
+    def events_after(self, key, after=0, timeout=None):
+        """``(events, next_index, done)`` — one long-poll turn.
+
+        Returns immediately when events beyond *after* exist (or the job
+        is finished); otherwise waits up to *timeout* seconds for the
+        next append.
+        """
+        job = self._job(key)
+        after = max(0, int(after))
+        with job.cond:
+            job.cond.wait_for(
+                lambda: len(job.events) > after or job.done, timeout)
+            events = list(job.events[after:])
+            return events, after + len(events), job.done
+
+    def counters(self):
+        """The service-level provenance counters (for /healthz)."""
+        with self._lock:
+            active = sum(1 for job in self._jobs.values() if not job.done)
+        return {"executions": self.executions, "deduped": self.deduped,
+                "served_warm": self.served_warm, "active": active}

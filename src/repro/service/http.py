@@ -1,0 +1,176 @@
+"""The stdlib HTTP surface over :class:`~repro.service.core.JobManager`.
+
+Routes (all JSON)::
+
+    POST /v1/jobs                     submit a JobSpec payload -> receipt
+    GET  /v1/jobs                     list known jobs
+    GET  /v1/jobs/<key>               status (state, fault report, ...)
+    GET  /v1/jobs/<key>/result        canonical result bytes
+                                      (?timeout=SECONDS to block; 202
+                                      while still running)
+    GET  /v1/jobs/<key>/events        long-poll event feed
+                                      (?after=N&timeout=SECONDS)
+    GET  /v1/jobs/<key>/stream        the whole feed as streamed JSONL,
+                                      closing when the job finishes
+    GET  /healthz                     liveness + dedupe counters
+
+Built on :class:`http.server.ThreadingHTTPServer` — one thread per
+connection, which is exactly right for a long-poll API whose handlers
+spend their time parked on a condition variable.  The result body is
+produced by :func:`repro.envelope.canonical_json`, so what a client
+receives is byte-identical to ``api.sweep()`` serialized directly.
+"""
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service.core import JobFailed, JobNotFound, JobSpec, ServiceError
+
+__all__ = ["ServiceHandler", "make_server", "serve"]
+
+#: Cap on blocking long-poll turns, so an abandoned connection cannot
+#: park a handler thread forever.
+MAX_POLL_SECONDS = 60.0
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """One request; the manager lives on the server object."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service/1"
+
+    # -- plumbing --------------------------------------------------------------------
+    @property
+    def manager(self):
+        return self.server.manager
+
+    def log_message(self, format, *args):   # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, status, payload):
+        self._send_bytes(status, json.dumps(payload).encode(),
+                         "application/json")
+
+    def _send_bytes(self, status, body, content_type):
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _query(self):
+        parts = urlsplit(self.path)
+        return parts.path.rstrip("/"), parse_qs(parts.query)
+
+    @staticmethod
+    def _timeout(query, default=0.0):
+        try:
+            timeout = float(query.get("timeout", [default])[0])
+        except (TypeError, ValueError):
+            timeout = default
+        return max(0.0, min(timeout, MAX_POLL_SECONDS))
+
+    # -- verbs -----------------------------------------------------------------------
+    def do_POST(self):
+        path, _query = self._query()
+        if path != "/v1/jobs":
+            self._send_json(404, {"error": f"no such route {path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            spec = JobSpec.from_dict(payload)
+        except (ValueError, ServiceError) as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        self._send_json(200, self.manager.submit(spec).receipt())
+
+    def do_GET(self):
+        path, query = self._query()
+        try:
+            if path == "/healthz":
+                self._send_json(200, {"ok": True,
+                                      **self.manager.counters()})
+            elif path == "/v1/jobs":
+                self._send_json(200, {"jobs": self.manager.list_jobs()})
+            elif path.startswith("/v1/jobs/"):
+                self._job_route(path[len("/v1/jobs/"):], query)
+            else:
+                self._send_json(404, {"error": f"no such route {path!r}"})
+        except JobNotFound as exc:
+            self._send_json(404, {"error": f"no such job {exc.args[0]!r}"})
+
+    def _job_route(self, rest, query):
+        key, _, verb = rest.partition("/")
+        if verb == "":
+            self._send_json(200, self.manager.status(key))
+        elif verb == "result":
+            self._result(key, query)
+        elif verb == "events":
+            events, nxt, done = self.manager.events_after(
+                key, after=int(query.get("after", [0])[0]),
+                timeout=self._timeout(query))
+            self._send_json(200, {"events": events, "next": nxt,
+                                  "done": done})
+        elif verb == "stream":
+            self._stream(key)
+        else:
+            self._send_json(404, {"error": f"no such job verb {verb!r}"})
+
+    def _result(self, key, query):
+        try:
+            body = self.manager.result_bytes(
+                key, timeout=self._timeout(query))
+        except JobFailed as exc:
+            self._send_json(500, {"error": str(exc),
+                                  "state": "failed"})
+            return
+        if body is None:
+            self._send_json(202, self.manager.status(key))
+            return
+        self._send_bytes(200, body, "application/json")
+
+    def _stream(self, key):
+        """The whole event feed as JSONL, one chunk per long-poll turn."""
+        self.manager.status(key)          # 404 before headers go out
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        after = 0
+        done = False
+        try:
+            while not done:
+                events, after, done = self.manager.events_after(
+                    key, after=after, timeout=MAX_POLL_SECONDS)
+                for event in events:
+                    self.wfile.write(json.dumps(event).encode() + b"\n")
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass                          # client hung up mid-stream
+        self.close_connection = True
+
+
+def make_server(manager, host="127.0.0.1", port=0, verbose=False):
+    """A bound (not yet serving) server; ``port=0`` picks a free port."""
+    server = ThreadingHTTPServer((host, port), ServiceHandler)
+    server.daemon_threads = True
+    server.manager = manager
+    server.verbose = verbose
+    return server
+
+
+def serve(manager, host="127.0.0.1", port=0, verbose=False, banner=print):
+    """Recover unfinished jobs, announce the URL, serve forever."""
+    recovered = manager.recover()
+    server = make_server(manager, host, port, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    banner(f"serving on http://{bound_host}:{bound_port} "
+           f"(cache {manager.cache_dir}, {len(recovered)} jobs recovered)",
+           flush=True)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()

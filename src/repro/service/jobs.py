@@ -1,0 +1,92 @@
+"""The durable job registry under ``<cache-dir>/jobs/``.
+
+One small JSON document per job, named by the job key, written
+atomically (tmp + rename) on every state transition.  The registry is
+what makes the service crash-safe: a restarted service lists the records
+left in ``queued``/``running`` state by its predecessor and resubmits
+them, and the sweep journal (named deterministically from the job spec)
+takes it from there — every already-completed point replays, so the
+merged result is byte-identical to an uninterrupted run.
+
+Records carry **no timestamps**: the registry must stay deterministic
+enough to diff across runs, and nothing in recovery needs wall-clock
+ordering (journals, not registries, carry the completed work).
+"""
+
+import json
+import os
+import tempfile
+
+__all__ = ["JOB_SCHEMA", "JobRegistry"]
+
+JOB_SCHEMA = "job/1"
+
+
+class JobRegistry:
+    """Atomic per-job state records in ``<cache-dir>/jobs/``."""
+
+    def __init__(self, cache_dir=None):
+        if cache_dir is None:
+            cache_dir = os.environ.get("REPRO_CACHE_DIR") or ".repro-cache"
+        self.cache_dir = str(cache_dir)
+        self.directory = os.path.join(self.cache_dir, "jobs")
+
+    def _path_of(self, key):
+        return os.path.join(self.directory, f"{key}.json")
+
+    def save(self, record):
+        """Atomically persist one job record (no-op on write failure)."""
+        record = dict(record)
+        record["schema"] = JOB_SCHEMA
+        tmp_path = None
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            handle, tmp_path = tempfile.mkstemp(dir=self.directory,
+                                                suffix=".tmp")
+            with os.fdopen(handle, "w") as tmp:
+                json.dump(record, tmp, sort_keys=True)
+            os.replace(tmp_path, self._path_of(record["key"]))
+        except OSError:
+            if tmp_path is not None:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+
+    def load(self, key):
+        """The record for *key*, or None (missing or unreadable)."""
+        try:
+            with open(self._path_of(key)) as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict) \
+                or record.get("schema") != JOB_SCHEMA:
+            return None
+        return record
+
+    def delete(self, key):
+        try:
+            os.unlink(self._path_of(key))
+        except OSError:
+            pass
+
+    def records(self):
+        """Every valid record, sorted by key for determinism."""
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:
+            return []
+        out = []
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            record = self.load(name[:-len(".json")])
+            if record is not None:
+                out.append(record)
+        return out
+
+    def unfinished(self):
+        """Records a dead service left mid-flight (queued or running)."""
+        return [record for record in self.records()
+                if record.get("state") in ("queued", "running")]

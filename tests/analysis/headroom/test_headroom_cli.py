@@ -5,6 +5,7 @@ import os
 
 import pytest
 
+from repro.analysis.headroom.cli import SWEEP_SCHEMA
 from repro.analysis.headroom.cli import main as headroom_main
 from repro.analysis.headroom.report import HEADROOM_SCHEMA
 from repro.harness.cli import main as harness_main
@@ -23,13 +24,16 @@ def test_single_workload_json_schema(capsys):
         capsys, ["hash_loop", "--config", "tvp", "--json",
                  "--no-cache"] + _FAST)
     assert code == 0
-    assert payload["schema"] == HEADROOM_SCHEMA
+    assert payload["schema"] == SWEEP_SCHEMA
     assert payload["command"] == "headroom"
     assert payload["ok"] is True
     assert payload["workloads"] == ["hash_loop"]
     assert payload["configs"] == ["tvp"]
+    assert len(payload["code_version"]) == 16
+    assert len(payload["fingerprint"]) == 16
     (report,) = payload["reports"]
     assert report["schema"] == HEADROOM_SCHEMA
+    assert report["code_version"] == payload["code_version"]
     assert report["sound"] is True
     assert report["bound"] == max(report["dep_lb"], report["structural_lb"])
     assert report["bound"] <= report["actual_cycles"]

@@ -144,5 +144,5 @@ def test_api_explore_facade(tmp_path):
                          instructions=_BUDGET, seed=1,
                          cache=SimulationCache(tmp_path / "cache"))
     assert isinstance(result, ExploreResult)
-    assert result.schema == "explore/1"
+    assert result.schema == "explore/2"
     assert result.workloads == tuple(_WORKLOADS)

@@ -1,9 +1,11 @@
 """Golden headroom-report snapshot definition and regeneration.
 
-Pins the **full** ``headroom/1`` report document — bounds, binding,
+Pins the **full** ``headroom/2`` report document — bounds, binding,
 critical path, attribution — for two kernels under base and TVP, so any
 change to the analyzer (or to the simulator timing it measures) fails
-with a field-level diff.  Deliberate changes re-pin with:
+with a field-level diff.  The envelope's ``code_version`` header is
+stripped before pinning (it changes on every source edit by design).
+Deliberate changes re-pin with:
 
     PYTHONPATH=src python -m tests.golden.regen_headroom
 """
@@ -24,9 +26,11 @@ SNAPSHOT_PATH = os.path.join(os.path.dirname(__file__), "headroom.json")
 
 def report_for(workload_name, config_name):
     """The pinned headroom report for one (kernel, config) point."""
-    return analyze_headroom(get_workload(workload_name), config_name,
-                            instructions=BUDGET,
-                            sample_interval=SAMPLE_INTERVAL)
+    report = analyze_headroom(get_workload(workload_name), config_name,
+                              instructions=BUDGET,
+                              sample_interval=SAMPLE_INTERVAL)
+    report.pop("code_version", None)      # changes on every source edit
+    return report
 
 
 def current_matrix():

@@ -76,13 +76,23 @@ def test_sweep_result_json_round_trip():
     swept = api.sweep(["hash_loop"], configs=("baseline",),
                       instructions=_BUDGET, jobs=1)
     payload = json.loads(json.dumps(swept.to_dict()))
+    # The default envelope body is deterministic: the fault report (wall
+    # time, provenance counters) stays off it and out of the round trip.
+    assert payload["schema"] == api.SWEEP_SCHEMA
+    assert "fault_report" not in payload
     rebuilt = api.SweepResult.from_dict(payload)
     assert rebuilt.configs == swept.configs
     assert rebuilt.workloads == swept.workloads
     assert rebuilt.instructions == swept.instructions
+    assert rebuilt.fingerprint == swept.fingerprint
     assert rebuilt.get("baseline", "hash_loop") == swept.get("baseline",
                                                              "hash_loop")
-    assert rebuilt.fault_report == swept.fault_report
+    assert rebuilt == swept               # fault_report excluded from eq
+    # Provenance mode carries the fault report explicitly.
+    provenance = json.loads(json.dumps(swept.to_dict(provenance=True)))
+    assert provenance["fault_report"] == swept.fault_report
+    assert (api.SweepResult.from_dict(provenance).fault_report
+            == swept.fault_report)
 
 
 def test_sweep_serial_path_has_fault_report():

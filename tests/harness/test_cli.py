@@ -18,13 +18,14 @@ def test_unknown_experiment_rejected(capsys):
 
 
 def test_table2_runs(capsys):
-    assert main(["table2"]) == 0
+    assert main(["run", "table2"]) == 0
     out = capsys.readouterr().out
     assert "55.2" in out
 
 
 def test_workload_subset_and_budget(capsys):
-    code = main(["fig2", "--workloads", "hash_loop", "--instructions", "1200"])
+    code = main(["run", "fig2", "--workloads", "hash_loop",
+                 "--instructions", "1200"])
     assert code == 0
     out = capsys.readouterr().out
     assert "hash_loop" in out

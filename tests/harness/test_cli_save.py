@@ -1,4 +1,4 @@
-"""CLI --save JSON output."""
+"""CLI --save JSON output (the ``harness-run/1`` envelope)."""
 
 import json
 
@@ -7,23 +7,25 @@ from repro.harness.cli import main
 
 def test_save_writes_json(tmp_path, capsys):
     out = tmp_path / "results.json"
-    code = main(["table2", "--save", str(out)])
+    code = main(["run", "table2", "--save", str(out)])
     assert code == 0
     payload = json.loads(out.read_text())
-    assert "table2" in payload
-    assert payload["table2"]["headers"] == ["flavor", "measured", "paper",
-                                            "verdict"]
-    assert any("55.2" in " ".join(map(str, row))
-               for row in payload["table2"]["rows"])
+    assert payload["schema"] == "harness-run/1"
+    assert len(payload["code_version"]) == 16
+    assert len(payload["fingerprint"]) == 16
+    assert payload["command"] == "run"
+    table = payload["experiments"]["table2"]
+    assert table["headers"] == ["flavor", "measured", "paper", "verdict"]
+    assert any("55.2" in " ".join(map(str, row)) for row in table["rows"])
     capsys.readouterr()
 
 
 def test_save_handles_non_jsonable_raw(tmp_path, capsys):
     # characterize's raw payload holds dataclasses: must stringify cleanly.
     out = tmp_path / "char.json"
-    code = main(["characterize", "--workloads", "hash_loop",
+    code = main(["run", "characterize", "--workloads", "hash_loop",
                  "--instructions", "1000", "--save", str(out)])
     assert code == 0
     payload = json.loads(out.read_text())
-    assert "characterize" in payload
+    assert "characterize" in payload["experiments"]
     capsys.readouterr()

@@ -1,5 +1,5 @@
 """The restructured CLI: `run` / `sweep` subcommands plus the
-deprecation shim for the historical bare spelling."""
+retirement of the historical bare spelling."""
 
 import json
 import os
@@ -19,15 +19,17 @@ def test_run_subcommand(capsys, tmp_path, monkeypatch):
     assert "deprecated" not in captured.err
 
 
-def test_bare_spelling_warns_exactly_once(capsys, tmp_path, monkeypatch):
+def test_bare_spelling_is_retired(capsys, tmp_path, monkeypatch):
+    # The pre-PR-4 spelling warned for one release; it now fails fast
+    # with a pointer to the `run` subcommand (README "Deprecation
+    # policy").
     monkeypatch.chdir(tmp_path)
     code = main(["fig2", "--workloads", "hash_loop",
                  "--instructions", "1200", "--jobs", "1"])
-    assert code == 0
+    assert code == 2
     captured = capsys.readouterr()
-    assert "hash_loop" in captured.out
-    assert captured.err.count("deprecated") == 1
-    assert "harness run" in captured.err
+    assert captured.out == ""            # nothing ran
+    assert "harness run fig2" in captured.err
 
 
 def test_run_subcommand_rejects_unknown_experiment(capsys, tmp_path,
@@ -48,15 +50,20 @@ def test_sweep_subcommand_saves_structured_results(capsys, tmp_path,
     out = capsys.readouterr().out
     assert "hash_loop" in out and "permute" in out
     payload = json.loads(save.read_text())
-    assert set(payload) == {"meta", "results", "_fault_report"}
-    assert payload["meta"]["configs"] == ["baseline", "tvp"]
-    assert payload["meta"]["workloads"] == ["hash_loop", "permute"]
+    # The saved document is the sweep/2 envelope plus the fault report
+    # as an explicit provenance field.
+    assert set(payload) == {"schema", "code_version", "fingerprint",
+                            "configs", "workloads", "instructions",
+                            "results", "fault_report"}
+    assert payload["schema"] == "sweep/2"
+    assert payload["configs"] == ["baseline", "tvp"]
+    assert payload["workloads"] == ["hash_loop", "permute"]
     point = payload["results"]["tvp"]["hash_loop"]
-    # RunRecord.to_dict() shape, not ad-hoc stringification.
-    assert set(point) == {"workload", "config", "ipc", "stats"}
+    # SimResult.to_dict() shape, not ad-hoc stringification.
+    assert point["schema"] == "sim/2"
     assert isinstance(point["ipc"], float)
     assert isinstance(point["stats"]["cycles"], int)
-    assert payload["_fault_report"]["points_total"] == 4
+    assert payload["fault_report"]["points_total"] == 4
 
 
 def test_sweep_rejects_unknown_config(tmp_path, monkeypatch):

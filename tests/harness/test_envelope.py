@@ -1,0 +1,65 @@
+"""The unified result envelope (:mod:`repro.envelope`)."""
+
+import string
+
+import pytest
+
+from repro.envelope import (canonical_json, check_schema, header,
+                            request_fingerprint)
+from repro.harness.cache import code_version_hash
+
+
+def _is_hex16(value):
+    return (isinstance(value, str) and len(value) == 16
+            and set(value) <= set(string.hexdigits.lower()))
+
+
+def test_header_fields():
+    payload = header("sweep/2", "0123456789abcdef")
+    assert list(payload) == ["schema", "code_version", "fingerprint"]
+    assert payload["schema"] == "sweep/2"
+    assert payload["code_version"] == code_version_hash()
+    assert _is_hex16(payload["code_version"])
+    assert payload["fingerprint"] == "0123456789abcdef"
+
+
+def test_check_schema_accepts_family_and_returns_schema():
+    assert check_schema({"schema": "sweep/2"}, "sweep") == "sweep/2"
+    assert check_schema({"schema": "sweep/3"}, "sweep") == "sweep/3"
+
+
+@pytest.mark.parametrize("payload", [
+    {"schema": "explore/2"},        # different family
+    {"schema": "sweeper/1"},        # family prefix is not a match
+    {},                             # no schema at all
+    {"schema": 2},                  # non-string schema
+    None,                           # not even a dict
+    "sweep/2",
+])
+def test_check_schema_rejects_foreign_documents(payload):
+    with pytest.raises(ValueError):
+        check_schema(payload, "sweep")
+
+
+def test_request_fingerprint_ignores_kwarg_order():
+    a = request_fingerprint("sweep", workloads=["a"], configs=["b"])
+    b = request_fingerprint("sweep", configs=["b"], workloads=["a"])
+    assert a == b
+    assert _is_hex16(a)
+
+
+def test_request_fingerprint_is_list_order_sensitive():
+    a = request_fingerprint("sweep", workloads=["a", "b"])
+    b = request_fingerprint("sweep", workloads=["b", "a"])
+    assert a != b
+
+
+def test_request_fingerprint_separates_kinds():
+    assert (request_fingerprint("sweep", workloads=["a"])
+            != request_fingerprint("explore", workloads=["a"]))
+
+
+def test_canonical_json_is_insertion_order_free():
+    assert (canonical_json({"b": 1, "a": [2, {"d": 3, "c": 4}]})
+            == canonical_json({"a": [2, {"c": 4, "d": 3}], "b": 1})
+            == '{"a":[2,{"c":4,"d":3}],"b":1}')

@@ -81,11 +81,14 @@ def test_kill9_then_resume_is_byte_identical(tmp_path):
 
     clean = json.loads(clean_save.read_text())
     resumed = json.loads(resumed_save.read_text())
-    # Byte-identical merged payloads.
+    # Byte-identical merged payloads — including the envelope headers
+    # (the fingerprint is a pure function of the request, and the fault
+    # report rides outside the result body as a provenance field).
     assert (json.dumps(clean["results"], sort_keys=True)
             == json.dumps(resumed["results"], sort_keys=True))
+    assert clean["fingerprint"] == resumed["fingerprint"]
     # Zero recomputation of journaled points.
-    report = resumed["_fault_report"]
+    report = resumed["fault_report"]
     assert report["from_journal"] == completed_before
     assert (report["completed_pool"] + report["completed_serial"]
             == _POINTS - completed_before)

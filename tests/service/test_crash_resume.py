@@ -1,0 +1,126 @@
+"""Crash-safety acceptance: ``kill -9`` the service mid-sweep, restart
+it on the same cache dir, and require journal-resumed, byte-identical
+results — fetched through the ``harness submit``/``poll`` CLI."""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro import api
+from repro.envelope import canonical_json
+from repro.service import JobSpec
+
+_SRC = os.path.dirname(os.path.dirname(repro.__file__))
+_WORKLOADS = ["hash_loop", "permute"]
+_CONFIGS = ["baseline", "tvp", "mvp"]
+_BUDGET = 20000
+_POINTS = len(_WORKLOADS) * len(_CONFIGS)
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    for knob in list(env):
+        if knob.startswith("REPRO_FAULT") or knob == "REPRO_CACHE_DIR":
+            del env[knob]
+    return env
+
+
+def _start_server(cache_dir, env):
+    """Launch ``harness serve``; returns (process, base_url, banner)."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.harness", "serve", "--port", "0",
+         "--cache-dir", str(cache_dir), "--jobs", "1"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True)
+    banner = process.stdout.readline()
+    match = re.search(r"serving on (http://[\d.]+:\d+)", banner)
+    assert match, f"no service banner, got {banner!r}"
+    return process, match.group(1), banner
+
+
+def _journal_lines(path):
+    try:
+        with open(path) as handle:
+            return [line for line in handle if line.endswith("\n")]
+    except OSError:
+        return []
+
+
+@pytest.mark.slow
+def test_kill9_service_resumes_byte_identical(tmp_path):
+    env = _env()
+    cache_dir = tmp_path / "cache"
+    spec = JobSpec.sweep(workloads=_WORKLOADS, configs=_CONFIGS,
+                         instructions=_BUDGET)
+    journal = spec.journal_path(str(cache_dir))
+
+    from repro.service.client import ServiceClient
+
+    victim, url, _ = _start_server(cache_dir, env)
+    try:
+        receipt = ServiceClient(url).submit(spec.to_dict())
+        assert receipt["job"] == spec.job_key()
+        # Kill -9 the whole service as soon as the journal shows at
+        # least one durably completed point.
+        deadline = time.time() + 300
+        while time.time() < deadline and not _journal_lines(journal):
+            if victim.poll() is not None:
+                pytest.fail("service died before it was killed")
+            time.sleep(0.02)
+        assert victim.poll() is None, "service exited prematurely"
+        os.kill(victim.pid, signal.SIGKILL)
+    finally:
+        if victim.poll() is None:
+            victim.kill()
+        victim.wait(timeout=60)
+        victim.stdout.close()
+    completed_before = len(_journal_lines(journal))
+    assert 1 <= completed_before < _POINTS
+
+    # Restart on the same cache dir: the registry resubmits the job and
+    # the journal carries its completed points.
+    revived, url, banner = _start_server(cache_dir, env)
+    try:
+        assert "1 jobs recovered" in banner
+        # Fetch through the client CLI; a resubmission dedupes into the
+        # recovered in-flight job and --save writes the canonical bytes.
+        save = tmp_path / "resumed.json"
+        fetched = subprocess.run(
+            [sys.executable, "-m", "repro.harness", "submit", "--url", url,
+             "--workloads", ",".join(_WORKLOADS),
+             "--configs", ",".join(_CONFIGS),
+             "--instructions", str(_BUDGET), "--wait", "--save", str(save)],
+            env=env, capture_output=True, text=True, timeout=600)
+        assert fetched.returncode == 0, fetched.stderr
+        assert json.loads(fetched.stdout.splitlines()[0])["job"] \
+            == spec.job_key()
+
+        # Byte-identical to a direct, cache-free api.sweep() in-process.
+        direct = api.sweep(_WORKLOADS, _CONFIGS, instructions=_BUDGET,
+                           jobs=1)
+        assert save.read_bytes() == canonical_json(direct.to_dict()).encode()
+
+        # `harness poll` sees a finished job whose fault report proves
+        # zero recomputation of the journaled points.
+        polled = subprocess.run(
+            [sys.executable, "-m", "repro.harness", "poll", spec.job_key(),
+             "--url", url],
+            env=env, capture_output=True, text=True, timeout=60)
+        assert polled.returncode == 0, polled.stderr
+        status = json.loads(polled.stdout)
+        assert status["state"] == "done"
+        report = status["fault_report"]
+        assert report["from_journal"] == completed_before
+        assert report["points_total"] == _POINTS
+    finally:
+        revived.kill()
+        revived.wait(timeout=60)
+        revived.stdout.close()

@@ -1,0 +1,136 @@
+"""The HTTP surface: dedupe across real sockets, byte identity,
+long-poll feeds and error mapping."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro import api
+from repro.envelope import canonical_json
+from repro.service import JobManager
+from repro.service.client import ServiceClient, ServiceHTTPError
+from repro.service.http import make_server
+
+_BUDGET = 1200
+_SPEC = {"kind": "sweep", "workloads": ["hash_loop", "permute"],
+         "configs": ["baseline", "tvp"], "instructions": _BUDGET}
+
+
+@pytest.fixture
+def service(tmp_path):
+    manager = JobManager(cache_dir=tmp_path, jobs=1)
+    server = make_server(manager)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield ServiceClient(f"http://{host}:{port}"), manager
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def test_concurrent_clients_coalesce_onto_one_job(service):
+    client, manager = service
+    receipts = []
+
+    def submit():
+        receipts.append(client.submit(_SPEC))
+
+    threads = [threading.Thread(target=submit) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    keys = {receipt["job"] for receipt in receipts}
+    assert len(keys) == 1
+    body = client.wait(keys.pop(), poll=30)
+    health = client.healthz()
+    assert health["ok"] is True
+    assert health["executions"] == 1
+    assert health["deduped"] + health["served_warm"] == 2
+    # The byte-identity contract, across a real socket.
+    direct = api.sweep(["hash_loop", "permute"], ("baseline", "tvp"),
+                       instructions=_BUDGET, jobs=1)
+    assert body == canonical_json(direct.to_dict()).encode()
+    assert json.loads(body)["schema"] == "sweep/2"
+
+
+def test_status_result_and_listing(service):
+    client, _manager = service
+    receipt = client.submit(_SPEC)
+    key = receipt["job"]
+    assert receipt["kind"] == "sweep"
+    body = client.wait(key, poll=30)
+    status = client.status(key)
+    assert status["state"] == "done"
+    assert status["fault_report"]["points_total"] == 4
+    assert client.result(key) == json.loads(body)
+    assert [job["job"] for job in client.jobs()] == [key]
+
+
+def test_events_long_poll_and_stream(service):
+    client, _manager = service
+    key = client.submit(_SPEC)["job"]
+    after, kinds, done = 0, [], False
+    while not done:
+        events, after, done = client.events(key, after=after, timeout=30)
+        kinds.extend(event["kind"] for event in events)
+    assert kinds[0] == "job_queued"
+    assert kinds[-1] == "job_done"
+    assert kinds.count("point_done") == 4
+    # The stream endpoint replays the same feed as JSONL and closes.
+    with urllib.request.urlopen(client.base_url
+                                + f"/v1/jobs/{key}/stream",
+                                timeout=120) as reply:
+        streamed = [json.loads(line) for line in reply if line.strip()]
+    assert [event["kind"] for event in streamed] == kinds
+
+
+def test_unknown_job_is_404(service):
+    client, _manager = service
+    with pytest.raises(ServiceHTTPError) as excinfo:
+        client.status("sweep-0000000000000000dead")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServiceHTTPError) as excinfo:
+        client.events("sweep-0000000000000000dead")
+    assert excinfo.value.status == 404
+
+
+def test_bad_spec_is_400(service):
+    client, _manager = service
+    for bad in ({"kind": "sweep", "configs": ["not_a_config"]},
+                {"kind": "teleport"},
+                {"kind": "explore", "space": "not_a_space"}):
+        with pytest.raises(ServiceHTTPError) as excinfo:
+            client.submit(bad)
+        assert excinfo.value.status == 400
+        assert "error" in excinfo.value.payload
+
+
+def test_unknown_routes_are_404(service):
+    client, _manager = service
+    for path in ("/v2/jobs", "/v1/nope"):
+        with pytest.raises(ServiceHTTPError) as excinfo:
+            client._json(path)
+        assert excinfo.value.status == 404
+    key = client.submit(_SPEC)["job"]
+    client.wait(key, poll=30)
+    with pytest.raises(ServiceHTTPError) as excinfo:
+        client._json(f"/v1/jobs/{key}/teleport")
+    assert excinfo.value.status == 404
+
+
+def test_explore_jobs_ride_the_same_surface(service):
+    client, _manager = service
+    receipt = client.submit({"kind": "explore", "space": "smoke",
+                             "strategy": "grid", "seed": 1,
+                             "workloads": ["hash_loop"],
+                             "instructions": _BUDGET})
+    payload = json.loads(client.wait(receipt["job"], poll=30))
+    assert payload["schema"] == "explore/2"
+    assert payload["fingerprint"] == receipt["fingerprint"]
+    assert len(payload["points"]) == 4

@@ -1,0 +1,190 @@
+"""The in-process job engine: dedupe, warm serving, byte identity,
+failure handling and crash recovery."""
+
+import json
+import threading
+
+import pytest
+
+from repro import api
+from repro.envelope import canonical_json
+from repro.service import JobManager, JobRegistry, JobSpec
+from repro.service.core import JobFailed, JobNotFound
+
+_BUDGET = 1200
+_WORKLOADS = ("hash_loop", "permute")
+_CONFIGS = ("baseline", "tvp")
+
+
+def _spec():
+    return JobSpec.sweep(workloads=list(_WORKLOADS),
+                         configs=list(_CONFIGS), instructions=_BUDGET)
+
+
+def _direct_bytes():
+    """What a cache-free direct ``api.sweep()`` of the matrix serializes
+    to — the reference side of the byte-identity contract."""
+    swept = api.sweep(list(_WORKLOADS), _CONFIGS, instructions=_BUDGET,
+                      jobs=1)
+    return canonical_json(swept.to_dict()).encode()
+
+
+def test_concurrent_identical_submissions_run_once(tmp_path):
+    manager = JobManager(cache_dir=tmp_path, jobs=1)
+    jobs = []
+
+    def submit():
+        jobs.append(manager.submit(_spec()))
+
+    threads = [threading.Thread(target=submit) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    keys = {job.key for job in jobs}
+    assert len(keys) == 1
+    body = manager.result_bytes(keys.pop(), timeout=300)
+    assert manager.counters()["executions"] == 1
+    assert (manager.counters()["deduped"]
+            + manager.counters()["served_warm"]) == 3
+    assert body == _direct_bytes()
+
+
+def test_warm_resubmission_serves_from_cache(tmp_path):
+    cold = JobManager(cache_dir=tmp_path, jobs=1)
+    key = cold.submit(_spec()).key
+    cold_bytes = cold.result_bytes(key, timeout=300)
+
+    # A fresh manager on the same cache dir: no execution at all.
+    warm = JobManager(cache_dir=tmp_path, jobs=1)
+    job = warm.submit(_spec())
+    assert job.state == "done"
+    assert warm.counters() == {"executions": 0, "deduped": 0,
+                               "served_warm": 1, "active": 0}
+    assert [e["kind"] for e in job.events] == ["job_cached"]
+    assert warm.result_bytes(job.key, timeout=10) == cold_bytes
+
+
+def test_event_feed_carries_orchestrator_progress(tmp_path):
+    manager = JobManager(cache_dir=tmp_path, jobs=1)
+    job = manager.submit(_spec())
+    manager.result(job.key, timeout=300)
+    kinds = [event["kind"] for event in job.events]
+    assert kinds[0] == "job_queued"
+    assert "job_started" in kinds
+    assert kinds[-1] == "job_done"
+    points = [event for event in job.events
+              if event["kind"] == "point_done"]
+    assert len(points) == len(_WORKLOADS) * len(_CONFIGS)
+    assert {p["data"]["source"] for p in points} <= {
+        "serial", "pool", "memo", "journal", "cache"}
+
+
+def test_events_after_long_polls_to_completion(tmp_path):
+    manager = JobManager(cache_dir=tmp_path, jobs=1)
+    job = manager.submit(JobSpec.sweep(workloads=["hash_loop"],
+                                       configs=["baseline"],
+                                       instructions=_BUDGET))
+    after, seen = 0, []
+    for _ in range(100):
+        events, after, done = manager.events_after(job.key, after=after,
+                                                   timeout=60)
+        seen.extend(events)
+        if done and len(seen) >= len(job.events):
+            break
+    assert [e["kind"] for e in seen] == [e["kind"] for e in job.events]
+
+
+def test_status_surfaces_the_fault_report(tmp_path):
+    manager = JobManager(cache_dir=tmp_path, jobs=1)
+    job = manager.submit(_spec())
+    manager.result(job.key, timeout=300)
+    status = manager.status(job.key)
+    assert status["state"] == "done"
+    assert status["fault_report"]["healthy"] is True
+    assert status["fault_report"]["points_total"] == 4
+    assert status["journal"].endswith(".jsonl")
+    # ... while the result payload itself stays provenance-free.
+    payload = json.loads(manager.result_bytes(job.key, timeout=10))
+    assert "fault_report" not in payload
+
+
+def test_failed_jobs_report_and_retry(tmp_path, monkeypatch):
+    manager = JobManager(cache_dir=tmp_path, jobs=1)
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("simulator exploded")
+
+    monkeypatch.setattr(api, "sweep", boom)
+    spec = _spec()
+    job = manager.submit(spec)
+    with pytest.raises(JobFailed, match="simulator exploded"):
+        manager.result(job.key, timeout=60)
+    assert manager.status(job.key)["state"] == "failed"
+    assert "simulator exploded" in manager.status(job.key)["error"]
+
+    # Resubmitting a failed job retries it under the same key.
+    monkeypatch.undo()
+    retried = manager.submit(spec)
+    assert retried.key == job.key
+    assert manager.result_bytes(retried.key, timeout=300) == _direct_bytes()
+    assert manager.counters()["executions"] == 2
+
+
+def test_unknown_job_raises(tmp_path):
+    manager = JobManager(cache_dir=tmp_path)
+    with pytest.raises(JobNotFound):
+        manager.status("sweep-0000000000000000dead")
+
+
+def test_recover_resubmits_unfinished_registry_records(tmp_path):
+    spec = _spec()
+    registry = JobRegistry(tmp_path)
+    registry.save({"key": spec.job_key(), "kind": spec.kind,
+                   "state": "running", "fingerprint": spec.fingerprint(),
+                   "spec": spec.to_dict(), "error": None,
+                   "submissions": 1})
+    # A stale record whose key no longer matches its spec (the sources
+    # changed since the crash) is dropped, not resurrected.
+    registry.save({"key": "sweep-0000000000000000dead", "kind": "sweep",
+                   "state": "queued", "fingerprint": "0" * 16,
+                   "spec": spec.to_dict(), "error": None,
+                   "submissions": 1})
+
+    manager = JobManager(cache_dir=tmp_path, jobs=1)
+    recovered = manager.recover()
+    assert {job.key for job in recovered} == {spec.job_key()}
+    assert registry.load("sweep-0000000000000000dead") is None
+    assert manager.result_bytes(spec.job_key(),
+                                timeout=300) == _direct_bytes()
+    # The registry record reflects the finished state.
+    assert registry.load(spec.job_key())["state"] == "done"
+
+
+def test_resume_false_never_reads_caches(tmp_path):
+    cold = JobManager(cache_dir=tmp_path, jobs=1)
+    key = cold.submit(_spec()).key
+    cold.result(key, timeout=300)
+
+    frozen = JobManager(cache_dir=tmp_path, jobs=1, resume=False)
+    assert frozen.recover() == []
+    job = frozen.submit(_spec())
+    frozen.result(job.key, timeout=300)
+    assert frozen.counters()["executions"] == 1
+    assert frozen.counters()["served_warm"] == 0
+
+
+def test_registry_round_trip_and_schema_guard(tmp_path):
+    registry = JobRegistry(tmp_path)
+    registry.save({"key": "sweep-abc", "state": "queued", "kind": "sweep"})
+    record = registry.load("sweep-abc")
+    assert record["schema"] == "job/1"
+    assert record["state"] == "queued"
+    assert registry.unfinished() == [record]
+    # Foreign documents are ignored, not half-parsed.
+    path = registry._path_of("sweep-bad")
+    with open(path, "w") as handle:
+        json.dump({"schema": "not-a-job/9", "key": "sweep-bad"}, handle)
+    assert registry.load("sweep-bad") is None
+    registry.delete("sweep-abc")
+    assert registry.records() == []

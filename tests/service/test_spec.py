@@ -1,0 +1,102 @@
+"""Job specs: validation, normalization and content hashing."""
+
+import pytest
+
+from repro import api
+from repro.dse.space import get_space
+from repro.envelope import request_fingerprint
+from repro.service import JobSpec, ServiceError
+from repro.workloads import suite
+
+_BUDGET = 1200
+
+
+def test_sweep_defaults_resolve_to_the_whole_suite():
+    spec = JobSpec.sweep()
+    assert spec.kind == "sweep"
+    assert spec.workloads == tuple(w.name for w in suite())
+    assert spec.configs == ("baseline", "mvp", "tvp", "gvp")
+    assert spec.instructions is None
+
+
+def test_two_spellings_of_one_request_hash_identically():
+    # Comma-string and list spellings normalize to the same spec, so
+    # concurrent submissions of either coalesce into one job.
+    a = JobSpec.sweep(workloads="hash_loop,permute",
+                      configs="baseline,tvp", instructions=_BUDGET)
+    b = JobSpec.sweep(workloads=["hash_loop", "permute"],
+                      configs=("baseline", "tvp"), instructions=_BUDGET)
+    assert a == b
+    assert a.fingerprint() == b.fingerprint()
+    assert a.job_key() == b.job_key()
+
+
+def test_sweep_fingerprint_matches_the_api_facade():
+    spec = JobSpec.sweep(workloads=["hash_loop"], configs=["baseline"],
+                         instructions=_BUDGET)
+    assert spec.fingerprint() == api.sweep_fingerprint(
+        ("hash_loop",), ("baseline",), _BUDGET)
+
+
+def test_explore_fingerprint_matches_the_result_document():
+    spec = JobSpec.explore(space="smoke", strategy="grid", seed=1,
+                           workloads=["hash_loop"], instructions=_BUDGET)
+    # max_points=0 normalizes to the space size, exactly as the
+    # Explorer does — the stored payload must wear the spec's hash.
+    assert spec.max_points == get_space("smoke").size()
+    assert spec.fingerprint() == request_fingerprint(
+        "explore", space=get_space("smoke").fingerprint(),
+        strategy="grid", seed=1, max_points=spec.max_points,
+        workloads=["hash_loop"], instructions=_BUDGET)
+
+
+def test_explore_max_points_clamps_to_the_space():
+    assert JobSpec.explore(max_points=2).max_points == 2
+    huge = JobSpec.explore(max_points=10_000)
+    assert huge.max_points == get_space("smoke").size()
+
+
+def test_job_key_distinguishes_requests():
+    base = JobSpec.sweep(workloads=["hash_loop"], configs=["baseline"],
+                         instructions=_BUDGET)
+    other = JobSpec.sweep(workloads=["hash_loop"], configs=["tvp"],
+                          instructions=_BUDGET)
+    assert base.job_key() != other.job_key()
+    assert base.job_key().startswith("sweep-")
+    assert JobSpec.explore().job_key().startswith("explore-")
+
+
+def test_job_key_folds_in_the_code_version(monkeypatch):
+    spec = JobSpec.sweep(workloads=["hash_loop"], configs=["baseline"],
+                         instructions=_BUDGET)
+    before = spec.job_key()
+    monkeypatch.setattr("repro.service.core.code_version_hash",
+                        lambda: "f" * 16)
+    assert spec.job_key() != before          # edited sources, fresh key
+    assert spec.fingerprint() == spec.fingerprint()
+
+
+def test_round_trip_through_wire_payload():
+    for spec in (JobSpec.sweep(workloads=["hash_loop"],
+                               configs=["baseline", "tvp"],
+                               instructions=_BUDGET),
+                 JobSpec.explore(space="smoke", strategy="random", seed=7,
+                                 max_points=2, workloads=["permute"])):
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+
+@pytest.mark.parametrize("build", [
+    lambda: JobSpec.sweep(configs=[]),
+    lambda: JobSpec.sweep(configs=["not_a_config"]),
+    lambda: JobSpec.sweep(workloads=["not_a_workload"]),
+    lambda: JobSpec.sweep(workloads=[]),
+    lambda: JobSpec.sweep(instructions=0),
+    lambda: JobSpec.sweep(workloads=42),
+    lambda: JobSpec.explore(space="not_a_space"),
+    lambda: JobSpec.explore(strategy="not_a_strategy"),
+    lambda: JobSpec.from_dict({"kind": "teleport"}),
+    lambda: JobSpec.from_dict("not an object"),
+])
+def test_bad_requests_raise_service_errors(build):
+    with pytest.raises(ServiceError):
+        build()
