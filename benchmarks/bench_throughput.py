@@ -81,11 +81,38 @@ def _replay_suite(traces, engine=None):
     return uops, wall
 
 
-def gauge(instructions, workloads=_WORKLOADS, engine=None):
+def _stage_breakdown(traces, engine=None):
+    """Replay once more with per-stage wall-time wrappers installed.
+
+    Runs as a *separate* pass so the headline ``replay`` numbers stay
+    unperturbed — the timing wrappers add a call layer per stage per
+    cycle, which on this scale inflates wall time noticeably.  Returns
+    ``{stage: seconds}`` summed across every (workload, config) point,
+    plus ``other`` (loop/bookkeeping time outside the six stages).
+    """
+    points = [(trace, ExperimentRunner.config(name, engine=engine))
+              for trace in traces for name in _CONFIGS]
+    totals = {}
+    started = time.perf_counter()
+    for trace, config in points:
+        model = CpuModel(trace, config)
+        model.enable_stage_profile(time.perf_counter)
+        model.run()
+        for stage, seconds in model.stage_profile.items():
+            totals[stage] = totals.get(stage, 0.0) + seconds
+    wall = time.perf_counter() - started
+    totals["other"] = max(0.0, wall - sum(totals.values()))
+    return {stage: round(seconds, 3) for stage, seconds in totals.items()}
+
+
+def gauge(instructions, workloads=_WORKLOADS, engine=None,
+          profile_stages=False):
     """Both phases, as the documented ``BENCH_throughput.json`` payload."""
     traces, capture_uops, capture_wall = _capture_suite(instructions,
                                                         workloads)
     replay_uops, replay_wall = _replay_suite(traces, engine=engine)
+    stages = (_stage_breakdown(traces, engine=engine)
+              if profile_stages else None)
     return {
         "schema": "bench_throughput/2",
         "instructions": instructions,
@@ -101,6 +128,10 @@ def gauge(instructions, workloads=_WORKLOADS, engine=None):
             "uops": replay_uops,
             "seconds": round(replay_wall, 3),
             "kuops_per_s": round(replay_uops / replay_wall / 1000.0, 1),
+            # Present only under --profile-stages; measured in a second
+            # instrumented pass, so the seconds here exceed the headline
+            # replay wall by the wrapper overhead.
+            **({"stages": stages} if stages else {}),
         },
     }
 
@@ -147,13 +178,23 @@ def check_against_baseline(payload, baseline_path, min_ratio):
 
 
 def main(instructions, json_path=None, min_replay_kuops=None,
-         workloads=_WORKLOADS, engine=None, baseline=None, min_ratio=0.8):
-    payload = gauge(instructions, workloads, engine=engine)
+         workloads=_WORKLOADS, engine=None, baseline=None, min_ratio=0.8,
+         profile_stages=False):
+    payload = gauge(instructions, workloads, engine=engine,
+                    profile_stages=profile_stages)
     print(f"engine: {payload['engine']}")
     for phase in ("capture", "replay"):
         print(f"{phase}: {payload[phase]['uops']} uops in "
               f"{payload[phase]['seconds']:.2f}s "
               f"= {payload[phase]['kuops_per_s']:.1f} kuops/s")
+    stages = payload["replay"].get("stages")
+    if stages:
+        total = sum(stages.values()) or 1.0
+        print("replay stage breakdown (instrumented second pass):")
+        for stage, seconds in sorted(stages.items(),
+                                     key=lambda kv: -kv[1]):
+            print(f"  {stage:>8}: {seconds:6.3f}s "
+                  f"({100.0 * seconds / total:4.1f}%)")
     if json_path:
         with open(json_path, "w") as handle:
             json.dump(payload, handle, indent=2)
@@ -198,6 +239,9 @@ if __name__ == "__main__":
     parser.add_argument("--min-ratio", type=float, default=0.8,
                         metavar="R", help="exit 1 if replay throughput "
                         "falls below R x the --baseline (default 0.8)")
+    parser.add_argument("--profile-stages", action="store_true",
+                        help="run an extra instrumented replay pass and "
+                             "report per-stage wall time")
     cli_args = parser.parse_args()
     budget = cli_args.instructions or (2000 if cli_args.quick else 10000)
     chosen = (tuple(cli_args.workloads.split(","))
@@ -206,4 +250,5 @@ if __name__ == "__main__":
                           min_replay_kuops=cli_args.min_replay_kuops,
                           workloads=chosen, engine=cli_args.engine,
                           baseline=cli_args.baseline,
-                          min_ratio=cli_args.min_ratio))
+                          min_ratio=cli_args.min_ratio,
+                          profile_stages=cli_args.profile_stages))

@@ -22,6 +22,9 @@ class RegisterAliasTable:
         self._int_prf = int_prf
         self._fp_prf = fp_prf
         self._flags_prf = flags_prf
+        # Flat reg -> file map: the remap paths below run once per rename /
+        # commit, so the class dispatch is paid once here instead.
+        self._prf_by_reg = [self._prf_of(reg) for reg in range(N_ARCH_REGS)]
         self.spec = [None] * N_ARCH_REGS
         self.committed = [None] * N_ARCH_REGS
         for reg in range(N_ARCH_REGS):
@@ -51,7 +54,7 @@ class RegisterAliasTable:
         undo log).  Reference counts move accordingly."""
         if reg == XZR:
             return HARDWIRED_ZERO
-        prf = self._prf_of(reg)
+        prf = self._prf_by_reg[reg]
         previous = self.spec[reg]
         prf.add_ref(name)
         prf.release(previous)
@@ -62,7 +65,7 @@ class RegisterAliasTable:
         """Roll one mapping back during a flush (young -> old order)."""
         if reg == XZR:
             return
-        prf = self._prf_of(reg)
+        prf = self._prf_by_reg[reg]
         prf.add_ref(previous_name)
         prf.release(new_name)
         self.spec[reg] = previous_name
@@ -78,7 +81,7 @@ class RegisterAliasTable:
         """
         if reg == XZR:
             return
-        self._prf_of(reg).release(name)
+        self._prf_by_reg[reg].release(name)
 
     def commit_and_drop(self, reg, new_name):
         """Equivalent to ``commit(reg, new_name)`` then
@@ -91,7 +94,7 @@ class RegisterAliasTable:
         """
         if reg == XZR:
             return
-        prf = self._prf_of(reg)
+        prf = self._prf_by_reg[reg]
         previous = self.committed[reg]
         self.committed[reg] = new_name
         prf.release(previous)

@@ -25,7 +25,7 @@ class RobEntry:
         "complete_cycle", "vp_used", "vp_predicted", "elim_kind",
         "move_width_blocked", "wait_store_seq", "src_names",
         "issue_ready_cycle", "in_iq", "wakeup_cycle", "wakeup_known",
-        "issue_token", "select_gate", "iq_active",
+        "issue_token", "select_gate", "iq_active", "pending_count",
     )
 
     def __init__(self, seq, uop):
@@ -55,6 +55,10 @@ class RobEntry:
                                        # unissued producer in the wakeup CAM)
         self.iq_active = False         # on the batch engine's active scan
                                        # list (vs parked in a gate bucket)
+        self.pending_count = -1        # batch engine: outstanding unissued
+                                       # sources (counter-based readiness);
+                                       # -1 selects the reference rescan
+                                       # protocol (_sources_ready)
 
     def __repr__(self):
         return f"<rob #{self.seq} {self.uop.text!r} {self.state.value}>"

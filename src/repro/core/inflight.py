@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class InflightPrediction:
     """One in-flight value prediction."""
 

@@ -75,7 +75,7 @@ class VtageConfig:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class Prediction:
     """Outcome of a VTAGE lookup."""
 

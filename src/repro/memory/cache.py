@@ -98,7 +98,8 @@ class Cache:
     # -- public API ----------------------------------------------------------------
     def access(self, addr, cycle, is_write=False, pc=None, is_prefetch=False):
         """Access *addr* at *cycle*; returns the data-ready cycle."""
-        ways, line_addr = self._locate(addr)
+        line_addr = addr >> self.line_bits       # _locate, inlined (hot path)
+        ways = self._sets[line_addr % self.sets]
         for position, line in enumerate(ways):
             if line.tag == line_addr:
                 if position:
@@ -109,8 +110,12 @@ class Cache:
                     self.stat_hits += 1
                     if line.ready_at > cycle:
                         self.stat_prefetch_hits += 1
-                    self._train_prefetcher(pc, addr, cycle, hit=True)
-                return max(cycle + self.latency, line.ready_at + 1)
+                    prefetcher = self.prefetcher
+                    if prefetcher is not None:
+                        prefetcher.observe(self, pc, addr, cycle, True)
+                ready = line.ready_at + 1
+                cycle += self.latency
+                return cycle if cycle >= ready else ready
         # Miss.
         if not is_prefetch:
             self.stat_misses += 1

@@ -20,6 +20,9 @@ class Tlb:
 
     def lookup(self, vpn):
         ways = self._sets[vpn % self.sets]
+        if ways and ways[0] == vpn:   # already MRU: skip the reorder
+            self.stat_hits += 1
+            return True
         if vpn in ways:
             ways.remove(vpn)
             ways.insert(0, vpn)

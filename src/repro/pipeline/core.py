@@ -43,15 +43,16 @@ from repro.core.spsr import SpSREngine
 from repro.core.vtage import Vtage
 from repro.emulator.trace import (_F_IS_BRANCH, _F_IS_CALL,
                                   _F_IS_COND_BRANCH, _F_IS_INDIRECT,
-                                  _F_IS_LOAD, _F_IS_RETURN, _F_IS_STORE,
-                                  _F_HAS_TARGET, _F_TAKEN, _F_VP_ELIG,
-                                  ColumnarTrace)
+                                  _F_IS_LAST_UOP, _F_IS_LOAD, _F_IS_RETURN,
+                                  _F_IS_STORE, _F_HAS_TARGET, _F_TAKEN,
+                                  _F_VP_ELIG, ColumnarTrace)
 from repro.frontend.btb import BranchTargetBuffer
 from repro.frontend.history import GlobalHistory
 from repro.frontend.indirect import IndirectTargetCache
 from repro.frontend.ras import ReturnAddressStack
 from repro.frontend.tage import Tage, TageConfig
 from repro.isa.opcodes import ExecClass
+from repro.isa.registers import FLAGS
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.observability.tracer import NULL_TRACER, PipelineTracer
 from repro.pipeline.config import MachineConfig
@@ -325,6 +326,7 @@ class CpuModel:
         self._decode_impl = self._decode
         self._rename_impl = self._rename_dispatch
         self._issue_impl = self._issue
+        self._commit_impl = self._commit
         self.stage_profile = None
         self._stage_profile = None
         self._stage_clock = None
@@ -343,6 +345,13 @@ class CpuModel:
         self._rename_gates = None
         self._pc_col = None
         self._seq_col = None
+        # Dependence adjacency (batch engine): producer seq -> consumer
+        # seqs CSR plus a per-µop bitmask of statically-covered source
+        # positions; covered sources skip the wakeup CAM entirely — the
+        # producer's writeback walks its consumer list instead.
+        self._dep_adj_off = None
+        self._dep_adj_consumers = None
+        self._dep_covered = None
 
         # Attach last: the tracer may sample any structure built above.
         self.tracer.attach(self)
@@ -374,6 +383,7 @@ class CpuModel:
         self._decode_impl = self._decode_spans
         self._rename_impl = self._rename_spans
         self._issue_impl = self._issue_spans
+        self._commit_impl = self._commit_spans
         self._iq_wakeups = []
         self._iq_active = []
         self._iq_parked = {}
@@ -462,7 +472,7 @@ class CpuModel:
                 profile[name] += perf() - start
             return wrapper
 
-        self._commit = timed("commit", self._commit)
+        self._commit_impl = timed("commit", self._commit_impl)
         self._complete = timed("complete", self._complete)
         self._issue_impl = timed("issue", self._issue_impl)
         self._rename_impl = timed("rename", self._rename_impl)
@@ -473,7 +483,7 @@ class CpuModel:
         target = len(self.trace)
         last_retire_cycle = 0
         stats = self.stats
-        commit = self._commit
+        commit = self._commit_impl
         complete = self._complete
         issue = self._issue_impl
         rename_dispatch = self._rename_impl
@@ -733,6 +743,80 @@ class CpuModel:
             elif uop.is_load:
                 self.lsq.remove_committed(uop.seq)
 
+    def _commit_spans(self):
+        """The batch engine's commit stage: retire the head run in one pass.
+
+        Byte-identical accounting to :meth:`_commit` — the same entries
+        retire in the same order with the same per-entry bookkeeping —
+        but the µop classification reads the trace flags column (seq ==
+        trace index in span mode) instead of dereferencing µop
+        attributes, and the per-run counters (retired µops/insts,
+        branches) are accumulated locally and batch-added once per call,
+        the way the event clock already batches rename stalls.  Span
+        mode implies the tracer is disabled, so the tracer hooks are
+        dropped rather than guarded.
+        """
+        rob_entries = self.rob.entries
+        if not rob_entries:
+            return
+        cycle = self.cycle
+        done = UopState.DONE
+        eliminated = UopState.ELIMINATED
+        head = rob_entries[0]
+        state = head.state
+        if state is done:
+            if head.complete_cycle >= cycle:
+                return
+        elif state is not eliminated:
+            return
+        stats = self.stats
+        entries_pop = self.entries_by_seq.pop
+        rat_commit = self.rat.commit_and_drop
+        vp_queue = self.vp_queue
+        flags_col = self._flags_col
+        lsq_remove = self.lsq.remove_committed
+        popleft = rob_entries.popleft
+        retired = 0
+        arch = 0
+        branches = 0
+        for _ in range(self.config.commit_width):
+            if not rob_entries:
+                break
+            entry = rob_entries[0]
+            state = entry.state
+            if state is done:
+                if entry.complete_cycle >= cycle:
+                    break
+            elif state is not eliminated:
+                break
+            popleft()
+            seq = entry.seq
+            entries_pop(seq, None)
+            fl = flags_col[seq]
+            retired += 1
+            if fl & _F_IS_LAST_UOP:
+                arch += 1
+            if fl & _F_IS_BRANCH:
+                branches += 1
+            if entry.elim_kind is not None:
+                self._count_elimination(entry.elim_kind)
+            if entry.move_width_blocked:
+                stats.elim_move_width_blocked += 1
+            if vp_queue is not None and fl & _F_VP_ELIG:
+                stats.vp_eligible += 1
+                self._train_vp_at_commit(entry, entry.uop)
+            for arch_reg, _prev, new_name in entry.undo:
+                rat_commit(arch_reg, new_name)
+            if fl & _F_IS_STORE:
+                self._retire_store(entry.uop, cycle)
+            elif fl & _F_IS_LOAD:
+                lsq_remove(seq)
+        if retired:
+            self._activity += retired
+            stats.retired_uops += retired
+            stats.retired_arch_insts += arch
+            stats.branches += branches
+
     # -- store-entry bookkeeping (shared by commit and squash) ------------------
     def _release_store_tracking(self, pc, seq):
         """Drop a store from the Store Sets LFST and the in-flight map.
@@ -783,15 +867,25 @@ class CpuModel:
     # ================================================================ complete
     def _complete(self):
         cycle = self.cycle
+        completions = self.completions
+        if not completions or completions[0][0] > cycle:
+            return
         tracer = self.tracer
         trace_on = tracer.enabled
-        while self.completions and self.completions[0][0] <= cycle:
-            _, _tiebreak, entry, token = heapq.heappop(self.completions)
+        heappop = heapq.heappop
+        stats = self.stats
+        name_kind = self._name_kind
+        vp_queue = self.vp_queue
+        vp_get = vp_queue.get if vp_queue is not None else None
+        issued = UopState.ISSUED
+        done = UopState.DONE
+        while completions and completions[0][0] <= cycle:
+            _, _tiebreak, entry, token = heappop(completions)
             self._activity += 1
-            if entry.state is not UopState.ISSUED \
+            if entry.state is not issued \
                     or entry.issue_token != token:
                 continue  # squashed or replayed while in flight
-            entry.state = UopState.DONE
+            entry.state = done
             if trace_on:
                 tracer.writeback(entry, cycle)
             uop = entry.uop
@@ -799,17 +893,17 @@ class CpuModel:
             # GVP predictions were additionally written at rename.
             dest_name = entry.dest_name
             if dest_name is not None:
-                kind = self._name_kind[dest_name]
+                kind = name_kind[dest_name]
                 if kind is None:
                     kind = self._classify_name(dest_name)
                 if uop.dst_is_fp:
                     if kind == 2:
-                        self.stats.fp_prf_writes += 1
+                        stats.fp_prf_writes += 1
                 elif kind == 1:
-                    self.stats.int_prf_writes += 1
+                    stats.int_prf_writes += 1
             # In-place value-prediction validation at the functional unit.
-            if self.vp_queue is not None:
-                vp_entry = self.vp_queue.get(uop.seq)
+            if vp_get is not None:
+                vp_entry = vp_get(uop.seq)
                 if vp_entry is not None:
                     vp_entry.correct = vp_entry.predicted == uop.result
                     if vp_entry.used and not vp_entry.correct:
@@ -889,13 +983,7 @@ class CpuModel:
         self.int_prf.set_ready(offender.dest_name, correction_cycle)
         waiters = self._waiters.pop(offender.dest_name, None)
         if waiters:
-            for waiter in waiters:
-                gate = waiter.issue_ready_cycle
-                waiter.select_gate = gate
-                if gate < self._iq_min_gate:
-                    self._iq_min_gate = gate
-            if self._iq_wakeups is not None:
-                self._iq_wakeups.extend(waiters)
+            self._wake_waiters(waiters, correction_cycle)
         self.stats.int_prf_writes += 1   # the correction write
         offender.complete_cycle = max(offender.complete_cycle,
                                       correction_cycle)
@@ -907,7 +995,11 @@ class CpuModel:
             candidate.state = UopState.WAITING
             candidate.wakeup_known = False
             # Forget any parked/cached wakeup state: revert the scan key
-            # to the dispatch floor so the scheduler reconsiders it.
+            # to the dispatch floor so the scheduler reconsiders it, and
+            # drop out of counter mode — pending counts taken at dispatch
+            # are stale after a replay; the reference rescan protocol
+            # re-derives readiness from the PRF.
+            candidate.pending_count = -1
             candidate.select_gate = candidate.issue_ready_cycle
             if candidate.select_gate < self._iq_min_gate:
                 self._iq_min_gate = candidate.select_gate
@@ -1262,6 +1354,59 @@ class CpuModel:
         del self._iq_park_heap[:]
         del self._iq_wakeups[:]
 
+    def _wake_waiters(self, waiters, ready):
+        """Producer writeback popped *waiters* from the wakeup CAM.
+
+        Two protocols coexist, selected per entry by ``pending_count``:
+
+        * **legacy** (``-1``, the reference engine and replay-invalidated
+          entries): revert the scan key to the dispatch floor so the
+          scheduler re-probes the entry's sources (the rescan converges
+          to the same gate — no counters are touched on the way).
+        * **counter** (``>= 0``, batch-engine entries registered at
+          dispatch): decrement the outstanding-source count and fold the
+          producer's completion cycle into the cached wakeup time; the
+          last producer computes the exact select gate and parks the
+          entry straight in its gate bucket — no rescan at all.
+        """
+        wakeups = self._iq_wakeups
+        min_gate = self._iq_min_gate
+        for waiter in waiters:
+            n = waiter.pending_count
+            if n < 0:
+                gate = waiter.issue_ready_cycle
+                waiter.select_gate = gate
+                if gate < min_gate:
+                    min_gate = gate
+                if wakeups is not None:
+                    wakeups.append(waiter)
+            elif n:
+                waiter.pending_count = n - 1
+                if ready > waiter.wakeup_cycle:
+                    waiter.wakeup_cycle = ready
+                if n == 1:
+                    waiter.wakeup_known = True
+                    gate = waiter.wakeup_cycle
+                    if waiter.issue_ready_cycle > gate:
+                        gate = waiter.issue_ready_cycle
+                    waiter.select_gate = gate
+                    if gate < min_gate:
+                        min_gate = gate
+                    if not waiter.iq_active:
+                        self._park(waiter, gate)
+            # n == 0: already woken via another registration — nothing to do.
+        self._iq_min_gate = min_gate
+
+    def _park(self, entry, gate):
+        """Park *entry* in the batch scheduler's bucket for *gate*."""
+        parked = self._iq_parked
+        bucket = parked.get(gate)
+        if bucket is None:
+            parked[gate] = [entry]
+            heapq.heappush(self._iq_park_heap, gate)
+        else:
+            bucket.append(entry)
+
     def _sources_ready(self, entry, cycle):
         # Readiness times become known when producers *issue* (their
         # completion cycle is fixed then), so the max over sources can be
@@ -1365,30 +1510,53 @@ class CpuModel:
         # Schedule readiness now that the completion cycle is known
         # (consumers may issue back-to-back via the bypass network).
         waiters_map = self._waiters
-        wakeups = self._iq_wakeups
         if entry.dest_name is not None and not entry.vp_used:
             prf = self.fp_prf if uop.dst_is_fp else self.int_prf
             prf.set_ready(entry.dest_name, complete)
             waiters = waiters_map.pop(entry.dest_name, None)
             if waiters:
-                for waiter in waiters:
-                    gate = waiter.issue_ready_cycle
-                    waiter.select_gate = gate
-                    if gate < self._iq_min_gate:
-                        self._iq_min_gate = gate
-                if wakeups is not None:
-                    wakeups.extend(waiters)
+                self._wake_waiters(waiters, complete)
         if entry.flags_name is not None:
             self.flags_prf.set_ready(entry.flags_name, complete)
             waiters = waiters_map.pop(entry.flags_name, None)
             if waiters:
-                for waiter in waiters:
-                    gate = waiter.issue_ready_cycle
-                    waiter.select_gate = gate
-                    if gate < self._iq_min_gate:
-                        self._iq_min_gate = gate
-                if wakeups is not None:
-                    wakeups.extend(waiters)
+                self._wake_waiters(waiters, complete)
+        # Dependence-adjacency writeback (batch engine): walk this
+        # producer's precomputed consumer list and decrement each live
+        # counter-mode consumer's outstanding-source count; the last
+        # producer parks the consumer at its exact wakeup gate.  The
+        # list covers only statically-analyzable edges — everything
+        # else went through the wakeup CAM above.
+        adj_off = self._dep_adj_off
+        if adj_off is not None:
+            seq = entry.seq
+            a0 = adj_off[seq]
+            a1 = adj_off[seq + 1]
+            if a0 != a1:
+                consumers = self._dep_adj_consumers
+                entries_get = self.entries_by_seq.get
+                min_gate = self._iq_min_gate
+                for k in range(a0, a1):
+                    consumer = entries_get(consumers[k])
+                    if consumer is None:
+                        continue        # squashed (or not yet renamed)
+                    n = consumer.pending_count
+                    if n <= 0:
+                        continue        # legacy mode or replay-invalidated
+                    consumer.pending_count = n - 1
+                    if complete > consumer.wakeup_cycle:
+                        consumer.wakeup_cycle = complete
+                    if n == 1:
+                        consumer.wakeup_known = True
+                        gate = consumer.wakeup_cycle
+                        if consumer.issue_ready_cycle > gate:
+                            gate = consumer.issue_ready_cycle
+                        consumer.select_gate = gate
+                        if gate < min_gate:
+                            min_gate = gate
+                        if not consumer.iq_active:
+                            self._park(consumer, gate)
+                self._iq_min_gate = min_gate
         self._completion_counter += 1
         entry.issue_token += 1
         heapq.heappush(self.completions,
@@ -1808,73 +1976,177 @@ class CpuModel:
         dispatch_ready = cycle + cfg.rename_to_dispatch + 1
         nop = ExecClass.NOP
         dispatch_bucket = None
+        slots = self._ready_slots
+        resolve = self._resolve_ready_slot
+        waiters_map = self._waiters
+        unscheduled = self._UNSCHEDULED
+        covered = self._dep_covered
+        rat = renamer.rat
+        spec = rat.spec
+        rat_write = rat.write
+        int_prf = renamer.int_prf
+        fp_prf = renamer.fp_prf
+        flags_prf = renamer.flags_prf
+        lsq_loads = lsq.loads
+        lsq_stores = lsq.stores
+        lq_capacity = lsq.lq_capacity
+        sq_capacity = lsq.sq_capacity
+        spec_get = spec.__getitem__
+        # Per-µop bookkeeping accumulates in locals and is flushed once
+        # after the loop (the early-outs below `break` instead of
+        # returning): none of it is read mid-stage except _iq_len, which
+        # the local mirrors.
+        renamed = 0
+        iq_len = self._iq_len
+        iq_added = 0
+        min_gate = self._iq_min_gate
         for _ in range(cfg.rename_width):
             if not decode_queue:
-                return
+                break
             head = decode_queue[0]
             if head[0] > cycle:
-                return
+                break
             index = head[1]
             fl = flags_col[index]
             if len(rob_entries) >= rob_capacity:
                 stats.stall_rob_full += 1
-                return
-            if fl & _F_IS_LOAD and lsq.lq_full:
+                break
+            if fl & _F_IS_LOAD and len(lsq_loads) >= lq_capacity:
                 stats.stall_lq_full += 1
-                return
-            if fl & _F_IS_STORE and lsq.sq_full:
+                break
+            if fl & _F_IS_STORE and len(lsq_stores) >= sq_capacity:
                 stats.stall_sq_full += 1
-                return
-            if self._iq_len >= iq_entries:
+                break
+            if iq_len >= iq_entries:
                 stats.stall_iq_full += 1
-                return
+                break
             uop = views[index]
             if uop is None:
                 uop = trace[index]
             if not renamer.can_rename(uop):
                 stats.stall_no_phys_reg += 1
-                return
+                break
             if index + 1 == head[2]:
                 decode_queue.popleft()
             else:
                 head[1] = index + 1
-            self._decode_q_uops -= 1
-            self._activity += 1
+            renamed += 1
             entry = RobEntry(index, uop)   # seq == index in span mode
-            outcome = renamer.rename(entry, cycle, gates[index])
-            rob_entries.append(entry)   # capacity checked above (rob.push)
-            entries_by_seq[index] = entry
-            if outcome.eliminated:
-                if self.elim_audit is not None:
-                    self.elim_audit.check(uop, entry.elim_kind)
-                if outcome.resolved_branch_taken is not None:
-                    stats.spsr_resolved_branches += 1
-                    if self.waiting_branch_seq == index:
-                        self._resume_fetch_after(cycle)
-                continue
-            if entry.vp_used:
-                stats.vp_predicted_used += 1
+            gate = gates[index]
+            if gate == 0:
+                # Inline plain rename: a zero gate is a static proof that
+                # no decision path (DSR/SpSR/VP) can apply, so this is
+                # Renamer.rename with every branch dead — same alloc /
+                # RAT-write / undo-log order, minus the call overhead.
+                entry.src_names = tuple(map(spec_get, uop.deps))
+                dst = uop.dst
+                if dst is not None:
+                    prf = fp_prf if uop.dst_is_fp else int_prf
+                    name = prf.alloc()
+                    prf.set_width(name, uop.width)
+                    entry.undo.append((dst, rat_write(dst, name), name))
+                    entry.dest_name = name
+                if uop.writes_flags:
+                    name = flags_prf.alloc()
+                    entry.undo.append((FLAGS, rat_write(FLAGS, name), name))
+                    entry.flags_name = name
+                rob_entries.append(entry)
+                entries_by_seq[index] = entry
+            elif gate == 4:
+                # VP-only gate: the strength-reduction probe is statically
+                # dead, so go straight to the predictor — the tail matches
+                # Renamer.rename's post-reduction path exactly.
+                entry.src_names = tuple(map(spec_get, uop.deps))
+                if renamer._try_value_predict(entry, uop, cycle):
+                    stats.vp_predicted_used += 1
+                else:
+                    dst = uop.dst
+                    if dst is not None:
+                        prf = fp_prf if uop.dst_is_fp else int_prf
+                        name = prf.alloc()
+                        prf.set_width(name, uop.width)
+                        entry.undo.append((dst, rat_write(dst, name), name))
+                        entry.dest_name = name
+                if uop.writes_flags:
+                    name = flags_prf.alloc()
+                    entry.undo.append((FLAGS, rat_write(FLAGS, name), name))
+                    entry.flags_name = name
+                rob_entries.append(entry)
+                entries_by_seq[index] = entry
+            else:
+                outcome = renamer.rename(entry, cycle, gate)
+                rob_entries.append(entry)   # capacity checked above
+                entries_by_seq[index] = entry
+                if outcome.eliminated:
+                    if self.elim_audit is not None:
+                        self.elim_audit.check(uop, entry.elim_kind)
+                    if outcome.resolved_branch_taken is not None:
+                        stats.spsr_resolved_branches += 1
+                        if self.waiting_branch_seq == index:
+                            self._resume_fetch_after(cycle)
+                    continue
+                if entry.vp_used:
+                    stats.vp_predicted_used += 1
             if uop.cls is nop:
                 entry.state = UopState.DONE
                 entry.complete_cycle = cycle
                 continue
             entry.issue_ready_cycle = dispatch_ready
-            entry.select_gate = dispatch_ready
             entry.in_iq = True
             iq.append(entry)
-            self._iq_len += 1
-            stats.iq_dispatched += 1
-            if dispatch_ready < self._iq_min_gate:
-                self._iq_min_gate = dispatch_ready
-            # Park straight into the dispatch-cycle gate bucket; the
-            # scheduler activates it when dispatch_ready arrives.
-            if dispatch_bucket is None:
-                parked = self._iq_parked
-                dispatch_bucket = parked.get(dispatch_ready)
-                if dispatch_bucket is None:
-                    dispatch_bucket = parked[dispatch_ready] = []
-                    heapq.heappush(self._iq_park_heap, dispatch_ready)
-            dispatch_bucket.append(entry)
+            iq_len += 1
+            iq_added += 1
+            # Counter-based readiness: probe every source now — exactly
+            # the probe the reference scan performs on first visit (the
+            # probe touches no counters and wake-then-rescan converges
+            # to the same gate, so moving it to dispatch is invisible).
+            # Pending sources each contribute one outstanding count,
+            # decremented at producer writeback: via the dependence
+            # adjacency when the edge is statically covered, via the
+            # wakeup CAM otherwise.  Entries with no pending source park
+            # straight at their exact select gate and are never scanned
+            # before it.
+            latest = 0
+            pending = 0
+            cmask = covered[index] if covered is not None else 0
+            pos = 0
+            for name in entry.src_names:
+                slot = slots[name]
+                if slot is None:
+                    slot = resolve(name)
+                ready = slot[0][slot[1]]
+                if ready >= unscheduled:
+                    pending += 1
+                    if not (cmask >> pos) & 1:
+                        waiters = waiters_map.get(name)
+                        if waiters is None:
+                            waiters_map[name] = [entry]
+                        else:
+                            waiters.append(entry)
+                elif ready > latest:
+                    latest = ready
+                pos += 1
+            entry.wakeup_cycle = latest
+            if pending:
+                entry.pending_count = pending
+                entry.select_gate = unscheduled
+            else:
+                entry.wakeup_known = True
+                gate = dispatch_ready if dispatch_ready > latest else latest
+                entry.select_gate = gate
+                if gate < min_gate:
+                    min_gate = gate
+                if gate == dispatch_ready:
+                    if dispatch_bucket is None:
+                        parked = self._iq_parked
+                        dispatch_bucket = parked.get(dispatch_ready)
+                        if dispatch_bucket is None:
+                            dispatch_bucket = parked[dispatch_ready] = []
+                            heapq.heappush(self._iq_park_heap,
+                                           dispatch_ready)
+                    dispatch_bucket.append(entry)
+                else:
+                    self._park(entry, gate)
             if fl & _F_IS_LOAD:
                 lq_entry = LsqEntry(index, uop.addr, uop.size, entry)
                 lsq.add_load(lq_entry)
@@ -1886,6 +2158,13 @@ class CpuModel:
                 lsq.add_store(sq_entry)
                 self.store_entries[index] = sq_entry
                 self.store_sets.store_renamed(uop.pc, index)
+        if renamed:
+            self._decode_q_uops -= renamed
+            self._activity += renamed
+            self._iq_len += iq_added
+            stats.iq_dispatched += iq_added
+        if min_gate < self._iq_min_gate:
+            self._iq_min_gate = min_gate
 
 
 def _truncate_spans(queue, flush_seq):

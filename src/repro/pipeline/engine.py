@@ -29,10 +29,11 @@ import os
 from array import array
 
 from repro.emulator.trace import (_F_HAS_IMM, _F_HAS_IMM2, _F_IMM_NEG,
-                                  _F_IS_BRANCH, _F_VP_ELIG, ColumnarTrace)
+                                  _F_IS_BRANCH, _F_VP_ELIG, _F_WRITES_FLAGS,
+                                  ColumnarTrace)
 from repro.isa.bits import fits_signed
 from repro.isa.opcodes import Op
-from repro.isa.registers import XZR
+from repro.isa.registers import FLAGS, N_ARCH_REGS, XZR
 
 try:                                    # optional: the container may lack it
     import numpy as _np
@@ -83,6 +84,16 @@ class BatchEngine(Engine):
         model._rename_gates = _rename_gates(trace, model.config,
                                             model.renamer)
         model._use_span_queues()
+        if model._span_queues:
+            # The scheduler kernel (counter-based readiness + adjacency
+            # writeback) rides on the span dispatch path; without span
+            # queues (tracer on, seq != index) the reference scheduler
+            # runs and the adjacency would be dead weight.
+            off, consumers, covered = _dep_adjacency(trace, model.config,
+                                                     model.renamer)
+            model._dep_adj_off = off
+            model._dep_adj_consumers = consumers
+            model._dep_covered = covered
 
 
 _ENGINES = {cls.name: cls() for cls in (InterpEngine, BatchEngine)}
@@ -200,6 +211,20 @@ def _vp_next(trace):
     return nxt
 
 
+def _gate_knobs(config, renamer):
+    """The config knobs the rename-path guards read.
+
+    The shared memoization key suffix for :func:`_rename_gates` and
+    :func:`_dep_adjacency`: configs agreeing on these knobs share both
+    packed structures.
+    """
+    spsr_on = renamer.spsr is not None
+    return (config.enable_move_elimination, config.enable_zero_one_idiom,
+            config.enable_nine_bit_idiom,
+            spsr_on and config.spsr_constant_folding, spsr_on,
+            renamer.vtage is not None)
+
+
 def _rename_gates(trace, config, renamer):
     """One gate byte per µop: which rename decision paths can apply.
 
@@ -209,13 +234,9 @@ def _rename_gates(trace, config, renamer):
     the batch rename loop skips the call.  Keyed by the config knobs the
     guards read, so configs sharing knobs share the packed array.
     """
-    en_move = config.enable_move_elimination
-    en_01 = config.enable_zero_one_idiom
-    en_9 = config.enable_nine_bit_idiom
-    spsr_on = renamer.spsr is not None
-    vp_on = renamer.vtage is not None
-    key = ("batch", "rename_gates", en_move, en_01, en_9,
-           spsr_on and config.spsr_constant_folding, spsr_on, vp_on)
+    knobs = _gate_knobs(config, renamer)
+    en_move, en_01, en_9, _fold, spsr_on, vp_on = knobs
+    key = ("batch", "rename_gates") + knobs
     gates = trace.derived.get(key)
     if gates is not None:
         return gates
@@ -272,7 +293,12 @@ def _rename_gates(trace, config, renamer):
         maybe_src = has_dst & _np.isin(op_a, sorted(dsr_src_ops))
         gate_a |= _np.where(dsr, GATE_DSR, 0).astype(_np.uint8)
         gates[:] = gate_a.tobytes()
-        src_candidates = _np.flatnonzero(maybe_src & ~dsr)
+        # The source-register DSR cases are refined µop-by-µop, over the
+        # (typically small) candidate subset only.
+        for i in _np.flatnonzero(maybe_src & ~dsr).tolist():
+            if _dsr_src_candidate(ops[i], op_index, src_flat, src_off[i],
+                                  src_off[i + 1], flags[i], en_move, en_01):
+                gates[i] |= GATE_DSR
     else:
         for i in range(n):
             gate = 0
@@ -300,12 +326,6 @@ def _rename_gates(trace, config, renamer):
                                           flags[i], en_move, en_01):
                         gate |= GATE_DSR
             gates[i] = gate
-        trace.derived[key] = gates
-        return gates
-    for i in src_candidates.tolist():
-        if _dsr_src_candidate(ops[i], op_index, src_flat, src_off[i],
-                              src_off[i + 1], flags[i], en_move, en_01):
-            gates[i] |= GATE_DSR
     trace.derived[key] = gates
     return gates
 
@@ -325,3 +345,147 @@ def _dsr_src_candidate(op, op_index, src_flat, s0, s1, fl, en_move, en_01):
             and op in (op_index[Op.ADD], op_index[Op.ORR], eor):
         return True
     return False
+
+
+# A dependence edge is statically *covered* only when the producer's
+# rename outcome is provably a plain allocation: any gate bit set means
+# the producer might eliminate (its destination aliases another name) or
+# value predict (its destination is ready at rename), so the edge's
+# waking event is not the producer's writeback and the consumer falls
+# back to the name-keyed wakeup CAM.  Flags never carry predictions, so
+# flags edges only exclude the elimination bits.
+_DEST_UNCOVERED = GATE_DSR | GATE_SPSR | GATE_VP
+_FLAGS_UNCOVERED = GATE_DSR | GATE_SPSR
+
+
+def _dep_adjacency(trace, config, renamer):
+    """Producer→consumer dependence lists plus covered-source bitmasks.
+
+    Returns ``(off, consumers, covered)``:
+
+    * ``off``/``consumers`` — a CSR over producer trace index (== seq in
+      span mode): ``consumers[off[j]:off[j + 1]]`` lists, oldest first,
+      every µop with a covered source position whose last prior writer
+      is *j* (once per position — duplicate reads appear twice).  The
+      producer's writeback walks exactly this list to decrement the
+      consumers' outstanding-source counters, instead of the consumers
+      registering in the wakeup CAM.
+    * ``covered`` — one byte per µop; bit *k* set means dependence
+      position *k* (the ``entry.src_names`` index) is in the CSR.  Clear
+      bits (unanalyzable producer, no prior writer, position >= 8) keep
+      the CAM protocol.
+
+    Built over the ``dep_off``/``dep_flat``/``dst``/``flags`` columns —
+    ``dep_flat`` is the architectural *read* set including FLAGS, in the
+    exact order ``Renamer.rename`` builds ``src_names`` from, so the
+    bitmask indexes align.  Keyed like :func:`_rename_gates` (the gates
+    decide coverage), memoized on the trace, NumPy-built with an
+    equivalent pure-Python fallback producing byte-identical arrays.
+    """
+    knobs = _gate_knobs(config, renamer)
+    key = ("batch", "dep_adjacency") + knobs
+    adj = trace.derived.get(key)
+    if adj is not None:
+        return adj
+    gates = _rename_gates(trace, config, renamer)
+    cols = trace.columns
+    n = len(trace)
+    dep_off = cols["dep_off"]
+    dep_flat = cols["dep_flat"]
+    dst = cols["dst"]
+    flags = cols["flags"]
+    covered = bytearray(n)
+    if _np is not None:
+        dep_off_a = _np.frombuffer(dep_off, dtype=_np.uint32
+                                   ).astype(_np.int64)
+        dep_flat_a = _np.frombuffer(dep_flat, dtype=_np.uint8
+                                    ).astype(_np.int64)
+        dst_a = _np.frombuffer(dst, dtype=_np.int16).astype(_np.int64)
+        fl_a = _np.frombuffer(flags, dtype=_np.uint32)
+        gate_a = _np.frombuffer(gates, dtype=_np.uint8)
+        # Writer records: (arch reg, µop index, analyzable) — one per
+        # destination write, one per flags write.
+        dest_w = _np.flatnonzero(dst_a >= 0)
+        flag_w = _np.flatnonzero((fl_a & _F_WRITES_FLAGS) != 0)
+        w_idx = _np.concatenate([dest_w, flag_w])
+        w_reg = _np.concatenate([
+            dst_a[dest_w],
+            _np.full(len(flag_w), FLAGS, dtype=_np.int64)])
+        w_ok = _np.concatenate([
+            (gate_a[dest_w] & _DEST_UNCOVERED) == 0,
+            (gate_a[flag_w] & _FLAGS_UNCOVERED) == 0])
+        # Last-prior-writer lookup via one searchsorted over combined
+        # (reg, index) keys: the record just below ``reg*stride + i`` is
+        # the youngest writer of ``reg`` older than µop ``i`` (reads
+        # resolve against the pre-update map, hence side='left').
+        stride = n + 1
+        w_key = w_reg * stride + w_idx
+        order = _np.argsort(w_key)
+        w_key = w_key[order]
+        w_idx = w_idx[order]
+        w_ok = w_ok[order]
+        m = len(dep_flat_a)
+        uop_of = _np.repeat(_np.arange(n, dtype=_np.int64),
+                            _np.diff(dep_off_a))
+        pos_of = _np.arange(m, dtype=_np.int64) - dep_off_a[uop_of]
+        loc = _np.searchsorted(w_key, dep_flat_a * stride + uop_of,
+                               side="left") - 1
+        loc_c = _np.maximum(loc, 0)
+        # The found record matches the read's register iff its key does
+        # not fall below the register's key range.
+        ok = (loc >= 0) & (w_key[loc_c] >= dep_flat_a * stride) \
+            & w_ok[loc_c] & (pos_of < 8)
+        prod = _np.where(ok, w_idx[loc_c], -1)
+        bits = _np.where(ok, _np.int64(1) << (pos_of & 7), 0)
+        # Bits are distinct per µop, so bitwise-or folds to a sum.
+        cov = _np.bincount(uop_of, weights=bits, minlength=n)
+        covered[:] = cov.astype(_np.uint8).tobytes()
+        e_prod = prod[ok]
+        e_cons = uop_of[ok]
+        counts = _np.bincount(e_prod, minlength=n) if len(e_prod) \
+            else _np.zeros(n, dtype=_np.int64)
+        off_a = _np.zeros(n + 1, dtype=_np.int64)
+        _np.cumsum(counts, out=off_a[1:])
+        consumers_a = e_cons[_np.argsort(e_prod, kind="stable")]
+        off = array("q", off_a.tobytes())
+        consumers = array("q", consumers_a.astype(_np.int64).tobytes())
+    else:
+        m = len(dep_flat)
+        producer = [-1] * m
+        last_writer = [-1] * N_ARCH_REGS
+        counts = array("q", bytes(8 * (n + 1)))
+        for i in range(n):
+            d0 = dep_off[i]
+            d1 = dep_off[i + 1]
+            for p in range(d0, d1):
+                r = dep_flat[p]
+                j = last_writer[r]
+                if j < 0 or p - d0 >= 8:
+                    continue
+                blocked = (_FLAGS_UNCOVERED if r == FLAGS
+                           else _DEST_UNCOVERED)
+                if gates[j] & blocked:
+                    continue
+                producer[p] = j
+                covered[i] |= 1 << (p - d0)
+                counts[j + 1] += 1
+            d = dst[i]
+            if d >= 0:
+                last_writer[d] = i
+            if flags[i] & _F_WRITES_FLAGS:
+                last_writer[FLAGS] = i
+        for j in range(1, n + 1):
+            counts[j] += counts[j - 1]
+        off = counts
+        consumers = array("q", bytes(8 * off[n]))
+        cursor = list(off)
+        for i in range(n):
+            for p in range(dep_off[i], dep_off[i + 1]):
+                j = producer[p]
+                if j >= 0:
+                    slot = cursor[j]
+                    consumers[slot] = i
+                    cursor[j] = slot + 1
+    adj = (off, consumers, covered)
+    trace.derived[key] = adj
+    return adj

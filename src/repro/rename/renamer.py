@@ -134,7 +134,7 @@ class Renamer:
         # Source names resolve against the pre-update RAT (direct map
         # indexing: ``rat.lookup`` is just ``rat.spec[reg]``).
         spec = rat.spec
-        entry.src_names = tuple([spec[reg] for reg in uop.deps])
+        entry.src_names = tuple(map(spec.__getitem__, uop.deps))
 
         if gate & 3:
             reduction = self._strength_reduce(entry, uop, cycle, gate)

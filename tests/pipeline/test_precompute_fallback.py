@@ -1,0 +1,113 @@
+"""No-NumPy fallback equivalence for the packed per-trace precomputes.
+
+The batch engine's precomputes (`_fetch_chunk_ends`, `_vp_next`,
+`_rename_gates`, `_dep_adjacency`) each carry two implementations: a
+vectorized NumPy build and a pure-Python fallback for environments
+without the optional ``fast`` extra.  The fallback is not a
+lower-fidelity approximation — it must produce *byte-identical* packed
+arrays, because the arrays feed the scheduler and any drift would break
+the engine identity contract only on NumPy-less boxes.  These tests pin
+that equivalence across differential-fuzz programs and real workloads by
+building each structure twice (``_np`` patched to None the second time)
+on fresh traces and comparing raw bytes.
+
+When NumPy is absent the suite still runs: the builds then exercise the
+pure-Python path twice and the comparison is trivially true, while the
+rest of the file (the no-NumPy engine run) is the part doing the work.
+"""
+
+import pytest
+
+import repro.pipeline.engine as engine_mod
+from repro.emulator.trace import ColumnarTrace, trace_program
+from repro.harness.runner import ExperimentRunner
+from repro.isa.assembler import assemble
+from repro.pipeline.core import CpuModel
+from repro.workloads import get_workload
+
+from tests.differential.progen import generate_source
+
+_SEED = 0xFA11BACC
+_CONFIGS = ("baseline", "tvp", "gvp+spsr")
+
+
+def _fuzz_uops(index, budget=1200):
+    program = assemble(generate_source(_SEED, index))
+    uops, _stats = trace_program(program, max_instructions=budget)
+    return uops
+
+
+def _workload_uops(name, budget=1500):
+    uops, _stats = trace_program(get_workload(name).program,
+                                 max_instructions=budget)
+    return uops
+
+
+def _build_precomputes(uops, config_name, use_numpy, monkeypatch):
+    """Build every packed precompute on a fresh trace; returns raw bytes.
+
+    A fresh ``ColumnarTrace`` per build keeps the ``trace.derived``
+    memoization from leaking one implementation's arrays into the other
+    build.
+    """
+    real_np = engine_mod._np
+    trace = ColumnarTrace.from_uops(uops, keep_views=True)
+    config = ExperimentRunner.config(config_name)
+    renamer = CpuModel(trace, config).renamer
+    monkeypatch.setattr(engine_mod, "_np",
+                        real_np if use_numpy else None)
+    try:
+        ends = engine_mod._fetch_chunk_ends(trace)
+        vp_next = engine_mod._vp_next(trace)
+        gates = engine_mod._rename_gates(trace, config, renamer)
+        off, consumers, covered = engine_mod._dep_adjacency(
+            trace, config, renamer)
+    finally:
+        monkeypatch.setattr(engine_mod, "_np", real_np)
+    return {
+        "fetch_chunk_ends": ends.tobytes(),
+        "vp_next": vp_next.tobytes(),
+        "rename_gates": bytes(gates),
+        "dep_adjacency.off": off.tobytes(),
+        "dep_adjacency.consumers": consumers.tobytes(),
+        "dep_adjacency.covered": bytes(covered),
+    }
+
+
+@pytest.mark.parametrize("config_name", _CONFIGS)
+@pytest.mark.parametrize("source_index", range(4))
+def test_fuzz_traces_fallback_byte_equal(source_index, config_name,
+                                         monkeypatch):
+    uops = _fuzz_uops(source_index)
+    with_np = _build_precomputes(uops, config_name, True, monkeypatch)
+    without = _build_precomputes(uops, config_name, False, monkeypatch)
+    for name in with_np:
+        assert with_np[name] == without[name], \
+            f"{name} differs between NumPy and pure-Python builds"
+
+
+@pytest.mark.parametrize("workload", ("hash_loop", "sparse_graph",
+                                      "xml_tree"))
+def test_workload_traces_fallback_byte_equal(workload, monkeypatch):
+    uops = _workload_uops(workload)
+    for config_name in _CONFIGS:
+        with_np = _build_precomputes(uops, config_name, True, monkeypatch)
+        without = _build_precomputes(uops, config_name, False, monkeypatch)
+        for name in with_np:
+            assert with_np[name] == without[name], \
+                f"{workload}/{config_name}: {name} differs"
+
+
+def test_batch_engine_counters_identical_without_numpy(monkeypatch):
+    """End-to-end: a batch run with ``_np=None`` matches the normal one."""
+    from dataclasses import asdict
+
+    uops = _workload_uops("hash_loop")
+    results = {}
+    for label, use_numpy in (("numpy", True), ("fallback", False)):
+        trace = ColumnarTrace.from_uops(uops, keep_views=True)
+        config = ExperimentRunner.config("gvp+spsr", engine="batch")
+        monkeypatch.setattr(engine_mod, "_np",
+                            engine_mod._np if use_numpy else None)
+        results[label] = asdict(CpuModel(trace, config).run().stats)
+    assert results["numpy"] == results["fallback"]
